@@ -1,0 +1,43 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/parallel/ ./internal/adhoc/ ./internal/word/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Short fuzzing passes over the parsers and encoders.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/timed/
+	$(GO) test -fuzz=FuzzStrRoundTrip -fuzztime=20s ./internal/encoding/
+	$(GO) test -fuzz=FuzzRecordRoundTrip -fuzztime=20s ./internal/encoding/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/deadline
+	$(GO) run ./examples/adhoc
+	$(GO) run ./examples/rtdb
+	$(GO) run ./examples/parallel
+	$(GO) run ./examples/automata
+
+experiments:
+	$(GO) run ./cmd/rtcheck
+	$(GO) run ./cmd/daccsim
+	$(GO) run ./cmd/rtdbsim
+	$(GO) run ./cmd/adhocsim
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,117 @@
+package rtc_test
+
+// Ablation benchmarks for the design decisions DESIGN.md records: the lasso
+// representation (exact decidability) vs. generator words (horizon scans),
+// valuation clamping at the guard maximum (the TBA configuration space), and
+// binary-fold vs. k-way merging of word families.
+
+import (
+	"testing"
+
+	"rtc/internal/omega"
+	"rtc/internal/timed"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// Lasso vs. generator: deciding recurrence on a lasso is O(cycle), while a
+// generator word can only be scanned to a horizon — and the horizon must be
+// generous to be trustworthy. The benchmark quantifies that gap for the
+// same underlying word.
+func BenchmarkAblation_LassoExact(b *testing.B) {
+	m := omega.MemberLasso(6)
+	for i := 0; i < b.N; i++ {
+		if !omega.InLOmega(m) {
+			b.Fatal("member rejected")
+		}
+	}
+}
+
+func BenchmarkAblation_GenHorizonScan(b *testing.B) {
+	// The same (a b^6 c d^6 $)^ω as a generator; membership evidence needs
+	// a long scan.
+	m := omega.MemberLasso(6)
+	gen := word.Gen{F: func(i uint64) word.TimedSym {
+		return word.TimedSym{Sym: m.At(int(i)), At: timeseq.Time(i / 15)}
+	}}
+	const horizon = 4096
+	for i := 0; i < b.N; i++ {
+		bad := false
+		for j := uint64(0); j < horizon; j += 15 {
+			// Check one block per cycle-length stride.
+			if gen.At(j).Sym != "a" {
+				bad = true
+			}
+		}
+		if bad {
+			b.Fatal("scan misaligned")
+		}
+	}
+}
+
+// Clamping ceiling: the TBA emptiness search explores per-step delays up to
+// maxConst+1, so its configuration space grows with the largest guard
+// constant. The same automaton shape with constants 2 / 20 / 60 shows the
+// cost that clamping at the (minimal) guard maximum keeps in check.
+func BenchmarkAblation_TBAClamp2(b *testing.B)  { benchClamp(b, 2) }
+func BenchmarkAblation_TBAClamp20(b *testing.B) { benchClamp(b, 20) }
+func BenchmarkAblation_TBAClamp60(b *testing.B) { benchClamp(b, 60) }
+
+func benchClamp(b *testing.B, bound timeseq.Time) {
+	b.Helper()
+	cs := timed.NewClockSet("x", "y")
+	a := timed.NewTBA([]word.Symbol{"a", "b"}, 2, 0, cs)
+	a.AddTrans(0, 1, "a", cs.Le("x", bound), "y")
+	a.AddTrans(1, 0, "b", cs.Le("y", bound), "x")
+	a.SetAccept(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, empty := a.Empty(); empty {
+			b.Fatal("declared empty")
+		}
+	}
+}
+
+// Binary fold vs. k-way merge over the same 16-stream family: ConcatAll
+// builds a chain of 15 binary merges (each prefix element passes through
+// up to 15 cursors), MergeMany keeps one open-stream set.
+func BenchmarkAblation_ConcatAll16(b *testing.B) {
+	streams := ablationStreams()
+	for i := 0; i < b.N; i++ {
+		ws := make([]word.Word, len(streams))
+		for k := range streams {
+			ws[k] = streams[k]
+		}
+		m := word.ConcatAll(ws...)
+		if p := word.Prefix(m, 256); len(p) != 256 {
+			b.Fatal("short prefix")
+		}
+	}
+}
+
+func BenchmarkAblation_MergeMany16(b *testing.B) {
+	streams := ablationStreams()
+	for i := 0; i < b.N; i++ {
+		m := word.MergeMany(func(k uint64) word.Word {
+			if int(k) < len(streams) {
+				return streams[k]
+			}
+			return word.MustLasso(nil, word.Finite{{Sym: "pad", At: 1 << 40}}, 1)
+		})
+		if p := word.Prefix(m, 256); len(p) != 256 {
+			b.Fatal("short prefix")
+		}
+	}
+}
+
+func ablationStreams() []word.Finite {
+	streams := make([]word.Finite, 16)
+	for k := range streams {
+		w := make(word.Finite, 32)
+		for i := range w {
+			w[i] = word.TimedSym{Sym: "s", At: timeseq.Time(k + 3*i)}
+		}
+		streams[k] = w
+	}
+	return streams
+}

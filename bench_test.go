@@ -1,0 +1,379 @@
+package rtc_test
+
+// One benchmark per experiment of the DESIGN.md index (E1–E10). The paper
+// has no numeric tables; each benchmark regenerates the corresponding
+// construction/figure/claim and reports domain-specific metrics alongside
+// ns/op. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The same code paths back the CLIs (cmd/rtcheck, cmd/adhocsim,
+// cmd/daccsim, cmd/rtdbsim); see EXPERIMENTS.md for the recorded outputs.
+
+import (
+	"fmt"
+
+	"testing"
+
+	"rtc/internal/adhoc"
+	"rtc/internal/automata"
+	"rtc/internal/complexity"
+	"rtc/internal/core"
+	"rtc/internal/dacc"
+	"rtc/internal/deadline"
+	"rtc/internal/experiments"
+	"rtc/internal/language"
+	"rtc/internal/omega"
+	"rtc/internal/parallel"
+	"rtc/internal/pcgs"
+	"rtc/internal/relational"
+	"rtc/internal/rtdb"
+	"rtc/internal/timed"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// E1: Theorem 3.1 / Corollary 3.2 — refute a candidate Büchi automaton for
+// L_ω by pumping its accepting run.
+func BenchmarkE1_NonRegularWitness(b *testing.B) {
+	cand := omega.CandidateShapeBuchi()
+	refuted := 0
+	for i := 0; i < b.N; i++ {
+		ce := omega.RefuteLOmega(cand)
+		if ce.BuchiAccepts != ce.InLanguage {
+			refuted++
+		}
+	}
+	if refuted != b.N {
+		b.Fatal("candidate escaped refutation")
+	}
+}
+
+// E1 (DFA half): refute the bounded-counter DFA.
+func BenchmarkE1_DFARefutation(b *testing.B) {
+	cand := automata.CandidateBoundedDFA(4)
+	for i := 0; i < b.N; i++ {
+		ce := automata.RefuteL(cand)
+		if ce.DFAAccepts == ce.InLanguage {
+			b.Fatal("not a disagreement")
+		}
+	}
+}
+
+// E2: Theorem 3.3 — the closure operations on timed ω-languages.
+func BenchmarkE2_ClosureOps(b *testing.B) {
+	allA := language.FromPredicate("a+", func(w word.Finite) bool {
+		if len(w) == 0 {
+			return false
+		}
+		for _, e := range w {
+			if e.Sym != "a" {
+				return false
+			}
+		}
+		return true
+	})
+	allB := language.FromPredicate("b+", func(w word.Finite) bool {
+		if len(w) == 0 {
+			return false
+		}
+		for _, e := range w {
+			if e.Sym != "b" {
+				return false
+			}
+		}
+		return true
+	})
+	comp := language.Complement(language.Union(language.Intersection(allA, allB), language.Concat(allA, allB, 12)))
+	w := word.Concat(word.FromClassical("aaa", 0), word.FromClassical("bb", 1)).(word.Finite)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if comp.Contains(w, 16) == language.Unknown {
+			b.Fatal("unexpected unknown")
+		}
+	}
+}
+
+// E3: Figures 1–2 — the NGC database under the November query.
+func BenchmarkE3_NGCQuery(b *testing.B) {
+	db := relational.NGCDatabase()
+	q := relational.NovemberQuery()
+	want := relational.Figure2Result()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := q.Eval(db)
+		if err != nil || !got.Equal(want) {
+			b.Fatal("Figure 2 mismatch")
+		}
+	}
+}
+
+// E3 (recognition form): the language (5) membership test.
+func BenchmarkE3_RecognitionLanguage(b *testing.B) {
+	db := relational.NGCDatabase()
+	lang := relational.RecognitionLanguage(relational.NovemberQuery())
+	w := relational.RecognitionWord(db, relational.Tuple{"Schaefer", "St. Catharines"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if lang.Contains(w, 1<<20) != language.Yes {
+			b.Fatal("member rejected")
+		}
+	}
+}
+
+// E4: §4.1 — the deadline acceptance sweep (firm and soft).
+func BenchmarkE4_DeadlineAcceptance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.E4Deadline()
+		if len(rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// E4 (single instance): one firm-deadline acceptor run.
+func BenchmarkE4_SingleFirmInstance(b *testing.B) {
+	inst := deadline.Instance{
+		Input:     automata.Syms("fedcba"),
+		Proposed:  automata.Syms("abcdef"),
+		Kind:      deadline.Firm,
+		Deadline:  20,
+		MinUseful: 1,
+	}
+	mk := func() deadline.Solver {
+		return &deadline.FuncSolver{
+			Cost:  func(n int) uint64 { return 2 * uint64(n) },
+			Solve: func(in []word.Symbol) []word.Symbol { return append([]word.Symbol{}, in...) },
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst2 := inst
+		inst2.Proposed = automata.Syms("fedcba")
+		res := deadline.Accepts(inst2, mk(), 200)
+		if !res.Verdict.Proven() {
+			b.Fatal("unproven verdict")
+		}
+	}
+}
+
+// E5: §4.2 — the data-accumulating termination sweep.
+func BenchmarkE5_DataAccumulating(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.E5DataAccumulating()
+		if len(rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// E5 (acceptor): one full §4.2 word + two-process acceptor run.
+func BenchmarkE5_Acceptor(b *testing.B) {
+	law := dacc.PolyLaw{K: 2, Gamma: 0.5, Beta: 0.5}
+	wl := dacc.Workload{Rate: 1, WorkPerDatum: 1}
+	inst, sim := dacc.BuildInstance(law, 16, wl, 997, 100000, false)
+	if !sim.Terminated {
+		b.Fatal("setup: diverged")
+	}
+	horizon := uint64(sim.At)*2 + 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := &dacc.Acceptor{Solver: &dacc.ChecksumSolver{Mod: 997}, Work: wl}
+		m := core.NewMachine(acc, inst.Word())
+		if res := core.RunForVerdict(m, horizon); res.Verdict != core.AcceptProven {
+			b.Fatalf("verdict %v", res.Verdict)
+		}
+	}
+}
+
+// E6: Definition 5.1 — the real-time database recognition pipeline.
+func BenchmarkE6_RTDBRecognition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.E6RTDB()
+		if len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// E6 (Lemma 5.1): scanning the periodic-query word for the progress bound.
+func BenchmarkE6_Lemma51(b *testing.B) {
+	ps := rtdb.PeriodicSpec{
+		Query: "q", Issue: 3, Period: 10,
+		Candidates: func(i uint64) rtdb.Value { return "s" },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := ps.PqWord()
+		if _, ok := rtdb.Lemma51Bound(w, 200, 1_000_000); !ok {
+			b.Fatal("Lemma 5.1 bound not found")
+		}
+	}
+}
+
+// E7: §5.2 — one cell of the routing comparison per protocol.
+func BenchmarkE7_RoutingFlooding(b *testing.B) {
+	benchRouting(b, func() adhoc.Protocol { return &adhoc.Flooding{} })
+}
+func BenchmarkE7_RoutingDV(b *testing.B) {
+	benchRouting(b, func() adhoc.Protocol { return &adhoc.DV{BeaconEvery: 5} })
+}
+func BenchmarkE7_RoutingSR(b *testing.B) {
+	benchRouting(b, func() adhoc.Protocol { return &adhoc.SR{} })
+}
+func BenchmarkE7_RoutingGeo(b *testing.B) {
+	benchRouting(b, func() adhoc.Protocol { return &adhoc.Geo{BeaconEvery: 5, BeaconTTL: 4} })
+}
+
+func benchRouting(b *testing.B, mk func() adhoc.Protocol) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		nodes := make([]*adhoc.Node, 16)
+		for j := range nodes {
+			nodes[j] = &adhoc.Node{
+				ID:    j + 1,
+				Mob:   adhoc.NewWaypoint(int64(j+1), 150, 150, 1.5, 60),
+				Range: 50,
+				Proto: mk(),
+			}
+		}
+		net := adhoc.NewNetwork(nodes)
+		for id := uint64(1); id <= 10; id++ {
+			net.Inject(adhoc.Message{
+				ID: id, Src: int(id%16) + 1, Dst: int((id*7)%16) + 1,
+				At: timeseq.Time(30 + id*10), Payload: "b",
+			})
+		}
+		net.Run(300)
+		if net.Metrics().Sent == 0 {
+			b.Fatal("no workload")
+		}
+	}
+}
+
+// E8: §6/§7 — the rt-PROC staircase on the goroutine system.
+func BenchmarkE8_RTProc(b *testing.B) {
+	wl := dacc.Workload{Rate: 1, WorkPerDatum: 2}
+	law := dacc.PolyLaw{K: 1, Gamma: 0, Beta: 0.5}
+	for i := 0; i < b.N; i++ {
+		out := parallel.RunDAcc(law, 400, wl, 2, 450)
+		if !out.Terminated {
+			b.Fatal("p=2 should meet the deadline for n=400")
+		}
+	}
+}
+
+// E9: Definition 3.5 — the merge concatenation itself.
+func BenchmarkE9_Concat(b *testing.B) {
+	x := make(word.Finite, 512)
+	y := make(word.Finite, 512)
+	for i := range x {
+		x[i] = word.TimedSym{Sym: "x", At: timeseq.Time(2 * i)}
+		y[i] = word.TimedSym{Sym: "y", At: timeseq.Time(2*i + 1)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := word.Concat(x, y).(word.Finite)
+		if len(m) != 1024 {
+			b.Fatal("merge length")
+		}
+	}
+}
+
+// E10: §2.1 — timed Büchi automaton acceptance and emptiness.
+func BenchmarkE10_TBAAcceptance(b *testing.B) {
+	cs := timed.NewClockSet("x")
+	a := timed.NewTBA([]word.Symbol{"a"}, 1, 0, cs)
+	a.AddTrans(0, 0, "a", cs.Le("x", 2), "x")
+	a.SetAccept(0)
+	w := word.MustLasso(nil, word.Finite{{Sym: "a", At: 1}}, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !a.AcceptsLasso(w) {
+			b.Fatal("rejected")
+		}
+	}
+}
+
+func BenchmarkE10_TBAEmptiness(b *testing.B) {
+	cs := timed.NewClockSet("x", "y")
+	a := timed.NewTBA([]word.Symbol{"a", "b"}, 2, 0, cs)
+	a.AddTrans(0, 1, "a", cs.Le("x", 3), "y")
+	a.AddTrans(1, 0, "b", cs.Ge("y", 1), "x")
+	a.SetAccept(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, empty := a.Empty(); empty {
+			b.Fatal("declared empty")
+		}
+	}
+}
+
+// rt-SPACE: the measured footprint of the unbounded L_ω acceptor.
+func BenchmarkSpaceProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prof := complexity.SpaceProfile([]int{4, 8, 16}, 64)
+		if len(prof) != 3 || prof[2] <= prof[0] {
+			b.Fatal("profile shape wrong")
+		}
+	}
+}
+
+// PCGS: generating the non-context-free window {a^n b^{n+1} c^{n+1}} via
+// synchronized communicating grammars (the §6 intuition).
+func BenchmarkPCGSGeneration(b *testing.B) {
+	master := pcgs.Grammar{
+		Nonterminals: map[pcgs.Symbol]bool{"S1": true, "S2": true},
+		Rules: []pcgs.Rule{
+			{Left: "S1", Right: []pcgs.Symbol{"a", "S1"}},
+			{Left: "S1", Right: []pcgs.Symbol{pcgs.QuerySymbol(2)}},
+			{Left: "S2", Right: nil},
+		},
+		Axiom: "S1",
+	}
+	worker := pcgs.Grammar{
+		Nonterminals: map[pcgs.Symbol]bool{"S2": true},
+		Rules:        []pcgs.Rule{{Left: "S2", Right: []pcgs.Symbol{"b", "S2", "c"}}},
+		Axiom:        "S2",
+	}
+	for i := 0; i < b.N; i++ {
+		sys := &pcgs.System{Components: []pcgs.Grammar{master, worker}, Mode: pcgs.Returning, MaxForm: 32}
+		words := sys.Generate(12, 12)
+		if len(words) == 0 {
+			b.Fatal("no words")
+		}
+	}
+}
+
+// Data complexity of the recognition problem (5): membership cost as the
+// instance grows with the query fixed — the measure §5.1.1 singles out
+// ("the size of the database input dominates by far the size of the
+// query").
+func BenchmarkE3_DataComplexity(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			db := relational.NewDatabase()
+			ex := relational.NewRelation(relational.ExhibitionsSchema)
+			sch := relational.NewRelation(relational.SchedulesSchema)
+			for i := 0; i < n; i++ {
+				title := fmt.Sprintf("T%d", i)
+				ex.MustInsert(title, "desc", fmt.Sprintf("Artist%d", i))
+				month := "October 1999"
+				if i%2 == 0 {
+					month = "November 1999"
+				}
+				sch.MustInsert(fmt.Sprintf("City%d", i), title, month)
+			}
+			db.Add(ex)
+			db.Add(sch)
+			lang := relational.RecognitionLanguage(relational.NovemberQuery())
+			w := relational.RecognitionWord(db, relational.Tuple{"Artist0", "City0"})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if lang.Contains(w, 1<<24) != language.Yes {
+					b.Fatal("member rejected")
+				}
+			}
+		})
+	}
+}

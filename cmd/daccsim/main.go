@@ -1,0 +1,32 @@
+// Command daccsim regenerates experiments E5 and E8: the data-accumulating
+// termination sweep over the arrival-law family f(n,t) = n + k·n^γ·t^β of
+// §4.2, and the rt-PROC(p) staircase of §6/§7 (minimum processors to meet a
+// deadline, in the analytic model and on the goroutine message-passing
+// system).
+package main
+
+import (
+	"flag"
+	"fmt"
+)
+
+import "rtc/internal/experiments"
+
+func main() {
+	which := flag.String("exp", "both", "which experiment to run: e5, e8, or both")
+	flag.Parse()
+
+	if *which == "e5" || *which == "both" {
+		fmt.Println("E5 — d-algorithm termination across arrival laws (n=64, rate=2, c=1)")
+		fmt.Println()
+		_, table := experiments.E5DataAccumulating()
+		fmt.Print(table)
+		fmt.Println()
+	}
+	if *which == "e8" || *which == "both" {
+		fmt.Println("E8 — rt-PROC staircase: minimum processors to meet the deadline")
+		fmt.Println()
+		_, table := experiments.E8RTProc()
+		fmt.Print(table)
+	}
+}

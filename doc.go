@@ -1,0 +1,43 @@
+// Package rtc is a from-scratch Go reproduction of
+//
+//	S. D. Bruda and S. G. Akl,
+//	"Real-Time Computation: A Formal Definition and its Applications",
+//	IPPS/SPDP Workshops 2001.
+//
+// The paper proposes well-behaved timed ω-languages as the formal
+// definition of real-time computation and a general acceptor — the
+// real-time algorithm of Definition 3.3/3.4 — and then uses the formalism
+// to model computing with deadlines (§4.1), real-time input arrival via the
+// data-accumulating paradigm (§4.2), the recognition problem for real-time
+// database queries (§5.1), routing in ad hoc networks (§5.2), and an
+// explicitly parallel/distributed variant (§6).
+//
+// The library implements every substrate the paper touches:
+//
+//   - internal/timeseq, internal/word, internal/language — time sequences,
+//     timed ω-words in three representations (finite, lasso, generator),
+//     the Definition 3.5 concatenation and Definition 3.6 Kleene closure;
+//   - internal/automata, internal/omega, internal/timed — classical
+//     automata, Büchi/Muller automata with exact lasso decision procedures
+//     and the constructive Theorem 3.1 / Corollary 3.2 refuters, and timed
+//     Büchi automata (Alur–Dill) with clock constraints and emptiness;
+//   - internal/core — the real-time algorithm runtime: timed input tape,
+//     write-only output tape, one output symbol per chronon, acceptance by
+//     "f infinitely often" with proven/horizon verdicts;
+//   - internal/deadline, internal/dacc — the §4 models and their
+//     two-process (P_w/P_m) acceptors;
+//   - internal/relational, internal/rtdb — a relational engine (with the
+//     Figure 1/2 example) and the real-time database layer (image/derived/
+//     invariant objects, consistency, lifespans, active rules, the
+//     Definition 5.1 recognition languages, Lemma 5.1);
+//   - internal/adhoc — a discrete-event mobile network with four routing
+//     protocols, the Broch-et-al. performance measures, and the routing
+//     language R_{n,u} with trace validation;
+//   - internal/parallel — §6's processes-as-goroutines model with trace
+//     words (c_k, l_k, r_k) and the PRAM degenerate case;
+//   - internal/experiments — the E1–E10 experiment harness shared by the
+//     CLIs (cmd/...) and the benchmarks (bench_test.go).
+//
+// See DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package rtc

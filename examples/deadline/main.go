@@ -1,0 +1,67 @@
+// Deadline example (§4.1): the same computation under no deadline, a firm
+// deadline, and a soft deadline with a decaying usefulness function. The
+// instance is encoded as a timed ω-word whose input tape makes the deadline
+// observable; the two-process acceptor (P_w solving, P_m monitoring)
+// decides membership in L(Π).
+//
+//	go run ./examples/deadline
+package main
+
+import (
+	"fmt"
+
+	"rtc/internal/automata"
+	"rtc/internal/deadline"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+func solver() deadline.Solver {
+	return &deadline.FuncSolver{
+		// Sorting six symbols costs 2 chronons each: P_w finishes at t=11.
+		Cost: func(n int) uint64 { return 2 * uint64(n) },
+		Solve: func(in []word.Symbol) []word.Symbol {
+			out := append([]word.Symbol{}, in...)
+			for i := 1; i < len(out); i++ {
+				for j := i; j > 0 && out[j] < out[j-1]; j-- {
+					out[j], out[j-1] = out[j-1], out[j]
+				}
+			}
+			return out
+		},
+	}
+}
+
+func main() {
+	base := deadline.Instance{
+		Input:    automata.Syms("fedcba"),
+		Proposed: automata.Syms("abcdef"),
+	}
+
+	// (i) No deadline: correctness is all that matters.
+	fmt.Println("no deadline:      ", deadline.Accepts(base, solver(), 200))
+
+	// (ii) Firm deadlines: the verdict flips exactly where the work fits.
+	for _, td := range []timeseq.Time{8, 12, 16} {
+		inst := base
+		inst.Kind = deadline.Firm
+		inst.Deadline = td
+		inst.MinUseful = 1
+		fmt.Printf("firm t_d=%-2d:       %v\n", td, deadline.Accepts(inst, solver(), 200))
+	}
+
+	// (iii) Soft deadline: finishing late is fine while usefulness
+	// u(t) = max/(t−t_d) stays above the announced minimum.
+	inst := base
+	inst.Kind = deadline.Soft
+	inst.Deadline = 8
+	inst.MinUseful = 3
+	inst.U = deadline.Hyperbolic(12, 8)
+	fmt.Println("soft, min u = 3:  ", deadline.Accepts(inst, solver(), 200))
+	inst.MinUseful = 7
+	fmt.Println("soft, min u = 7:  ", deadline.Accepts(inst, solver(), 200))
+
+	// The instance word itself, as the acceptor sees it.
+	w := base.Word()
+	fmt.Println("instance word:    ", word.Prefix(w, 12))
+}

@@ -1,0 +1,72 @@
+// Parallel/distributed example (§6): processes as goroutines communicating
+// by messages, with their behaviour captured as the trace-word tuple
+// (c_k·l_k·r_k); the PRAM degenerate case with null message words; and the
+// rt-PROC probe — the same data-accumulating workload needs more processors
+// as the load grows.
+//
+//	go run ./examples/parallel
+package main
+
+import (
+	"fmt"
+
+	"rtc/internal/dacc"
+	"rtc/internal/parallel"
+	"rtc/internal/word"
+)
+
+func main() {
+	// --- A 3-process pipeline: each process forwards to the next.
+	procs := make([]parallel.Process, 3)
+	for k := 0; k < 3; k++ {
+		k := k
+		procs[k] = parallel.ProcessFunc(func(ctx *parallel.Ctx) {
+			for _, m := range ctx.Inbox {
+				ctx.Emit(fmt.Sprintf("p%d:%s", k, m.Payload))
+				if k < 2 {
+					ctx.Send(k+1, m.Payload)
+				}
+			}
+		})
+	}
+	sys := parallel.NewSystem(procs...)
+	sys.Inject(0, "job")
+	sys.Run(4)
+	for k := 0; k < 3; k++ {
+		fmt.Printf("process %d: c=%v l=%v r=%v\n",
+			k, sys.CompWord(k), len(sys.SentWord(k)), len(sys.RecvWord(k)))
+	}
+	fmt.Println("behaviour word of p1:", word.Prefix(sys.BehaviorWord(1), 4))
+
+	// --- PRAM: communication through shared memory, l_k = r_k = ε.
+	const p = 4
+	sprocs := make([]parallel.SharedProcess, p)
+	for k := 0; k < p; k++ {
+		k := k
+		sprocs[k] = parallel.SharedProcessFunc(func(ctx *parallel.SharedCtx) {
+			if ctx.Now == 0 {
+				ctx.Write(p+k, ctx.Read(k)*ctx.Read(k)) // square my input
+				ctx.Emit("squared")
+			} else if ctx.Now == 1 && ctx.ID == 0 {
+				var sum int64
+				for i := 0; i < p; i++ {
+					sum += ctx.Read(p + i)
+				}
+				ctx.Write(2*p, sum)
+			}
+		})
+	}
+	pram := parallel.NewSharedSystem(2*p+1, sprocs...)
+	// (inputs seeded through round-0 snapshot: zero here, so demo with the
+	// message system above carries the interesting part)
+	pram.Run(2)
+	fmt.Println("PRAM sum of squares of zeros:", pram.Mem()[2*p])
+
+	// --- rt-PROC: more load, more processors (§7's hierarchy question).
+	wl := dacc.Workload{Rate: 1, WorkPerDatum: 2}
+	law := dacc.PolyLaw{K: 1, Gamma: 0, Beta: 0.5}
+	for _, n := range []uint64{100, 400, 1200} {
+		pmin, ok := parallel.MinProcessorsParallel(law, n, wl, 8, 450)
+		fmt.Printf("batch n=%-5d → minimum processors to meet the deadline: %d (ok=%v)\n", n, pmin, ok)
+	}
+}

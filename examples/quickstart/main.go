@@ -1,0 +1,62 @@
+// Quickstart: build timed ω-words, combine them with the Definition 3.5
+// concatenation, and run a real-time algorithm (Definition 3.3/3.4) that
+// accepts a simple timed language.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"rtc/internal/core"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// containsGo accepts exactly the timed words that carry the symbol "go"
+// somewhere: on seeing it, the control commits to the accepting absorbing
+// state s_f, in which it writes f on the output tape at every chronon —
+// Definition 3.4's acceptance ("f appears infinitely many times").
+type containsGo struct {
+	core.Control
+}
+
+func (p *containsGo) Tick(t *core.Tick) {
+	for _, e := range t.New {
+		if e.Sym == "go" {
+			p.AcceptForever()
+		}
+	}
+	p.Drive(t)
+}
+
+func main() {
+	// A finite timed word: symbols with arrival timestamps.
+	header := word.MustFinite(
+		word.TimedSym{Sym: "boot", At: 0},
+		word.TimedSym{Sym: "go", At: 3},
+	)
+	// An infinite, well-behaved tail: "idle" once per chronon, forever.
+	tail := word.RepeatClassical("idle", 1)
+
+	// Definition 3.5 concatenation: merge by arrival time.
+	input := word.Concat(header, tail)
+	fmt.Println("input prefix: ", word.Prefix(input, 6))
+	fmt.Println("well-behaved within horizon:", word.WellBehavedWithin(input, 64))
+
+	// Run the acceptor. The verdict is *proven* because the program
+	// declares its absorbing state.
+	m := core.NewMachine(&containsGo{}, input)
+	res := core.RunForVerdict(m, 50)
+	fmt.Println("verdict:      ", res)
+
+	// The same machine on a word without "go" rejects.
+	m2 := core.NewMachine(&containsGo{}, word.RepeatClassical("idle", 1))
+	fmt.Println("without go:   ", core.RunForVerdict(m2, 50))
+
+	// Time sequences are first-class: monotonicity is enforced, progress
+	// is checkable.
+	if _, err := timeseq.New(3, 2); err != nil {
+		fmt.Println("monotonicity: ", err)
+	}
+}

@@ -1,0 +1,96 @@
+// Real-time database example (§5.1): a live database with a periodically
+// sampled image object, a derived object updated by an active rule, and the
+// recognition problem of Definition 5.1 — an aperiodic query with a firm
+// deadline and a periodic query — run through the real-time algorithm
+// acceptor.
+//
+//	go run ./examples/rtdb
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtdb"
+	"rtc/internal/timeseq"
+	"rtc/internal/vtime"
+	"rtc/internal/word"
+)
+
+func statusDerive(src map[string]rtdb.Value) rtdb.Value {
+	t, _ := strconv.Atoi(src["temp"])
+	l, _ := strconv.Atoi(src["limit"])
+	if t > l {
+		return "high"
+	}
+	return "ok"
+}
+
+func tempRead(t timeseq.Time) rtdb.Value {
+	return strconv.Itoa(20 + int(t)/10) // the simulated physical world
+}
+
+func main() {
+	// --- The live database: sampling, archival history, active rules.
+	sched := vtime.New()
+	db := rtdb.New(sched)
+	db.AddInvariant("limit", "22")
+	db.AddImage(&rtdb.ImageObject{Name: "temp", Period: 5, Read: tempRead})
+	db.AddDerived(&rtdb.DerivedObject{
+		Name: "status", Sources: []string{"temp", "limit"}, Derive: statusDerive,
+	})
+	// The §5.1.2 execution model: immediate firing on image updates.
+	db.AddRule(rtdb.Rule{
+		Name: "rederive", On: "sample:temp", Mode: rtdb.Immediate,
+		Then: func(db *rtdb.DB, e rtdb.Event) { _ = db.Rederive("status") },
+	})
+	sched.RunUntil(42)
+	img, _ := db.Image("temp")
+	fmt.Println("samples so far:      ", len(img.History()))
+	v, stamp, _ := func() (rtdb.Value, timeseq.Time, bool) {
+		d, _ := db.Derived("status")
+		return d.Current()
+	}()
+	fmt.Printf("derived status:       %q (timestamp %d, age %d)\n", v, stamp, rtdb.Age(db.Now(), stamp))
+	fmt.Println("absolutely consistent (Ta=5):", db.AbsoluteConsistency(5))
+
+	// --- The recognition problem (Definition 5.1).
+	sp := rtdb.Spec{
+		Invariants: map[string]rtdb.Value{"limit": "22"},
+		Derived: []*rtdb.DerivedObject{{
+			Name: "status", Sources: []string{"temp", "limit"}, Derive: statusDerive,
+		}},
+		Images: []*rtdb.ImageObject{{Name: "temp", Period: 5, Read: tempRead}},
+	}
+	cat := rtdb.Catalog{"status_q": func(v *rtdb.View) []rtdb.Value {
+		if s, ok := v.DeriveNow("status"); ok {
+			return []rtdb.Value{s}
+		}
+		return nil
+	}}
+	reg := rtdb.DeriveRegistry{"status": statusDerive}
+
+	qs := rtdb.QuerySpec{
+		Query: "status_q", Issue: 25, Candidate: "ok",
+		Kind: deadline.Firm, Deadline: 5, MinUseful: 1,
+	}
+	fmt.Println("\naperiodic, fast eval:", rtdb.RunAperiodic(sp, qs, cat, reg, 2, 300).Verdict)
+	fmt.Println("aperiodic, slow eval:", rtdb.RunAperiodic(sp, qs, cat, reg, 9, 300).Verdict)
+
+	ps := rtdb.PeriodicSpec{
+		Query: "status_q", Issue: 2, Period: 10,
+		Candidates: func(i uint64) rtdb.Value {
+			s, _ := sp.ViewAt(2 + timeseq.Time(i)*10).DeriveNow("status")
+			return s
+		},
+	}
+	res, acc := rtdb.RunPeriodic(sp, ps, cat, reg, 1, 150)
+	fmt.Printf("periodic:             %v (%d served, %d f's)\n", res.Verdict, acc.Served(), res.FCount)
+
+	// Lemma 5.1 in action: the pq word's clock diverges.
+	w := ps.PqWord()
+	idx, _ := rtdb.Lemma51Bound(w, 100, 1_000_000)
+	fmt.Printf("Lemma 5.1: τ_%d ≥ 100 in pq word (finite index, as claimed)\n", idx)
+	fmt.Println("pq word prefix:      ", word.Prefix(w, 10))
+}

@@ -1,0 +1,3 @@
+module rtc
+
+go 1.22

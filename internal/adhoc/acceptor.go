@@ -1,0 +1,201 @@
+package adhoc
+
+import (
+	"strconv"
+
+	"rtc/internal/core"
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// §5.2.5 opens with "the immediate variant for such a model takes the form
+// of [a] real-time algorithm that accepts the language R_{n,u}". This file
+// implements that acceptor: a core.Program that consumes the network word
+// w = h_1 … h_n · m r m r … online — node characteristics and positions as
+// they arrive, message and receive events as they happen — and decides
+// whether the trace contains a valid route for a designated message (the u
+// of R_{n,u}), checking the conditions of §5.2.4 incrementally:
+//
+//  1. hops chain from u's source toward its destination carrying u's body;
+//  2. d_i = s_{i+1}, t′_i = t_{i+1}, and range(s_i, d_i, t_i) holds — the
+//     range predicate evaluated against the positions the word itself
+//     carries;
+//  3. t′_f is finite: on the hop that reaches u's destination the control
+//     commits to s_f (f forever).
+type RoutingAcceptor struct {
+	core.Control
+	// Source, Dest, Body identify the message u to be routed.
+	Source, Dest int
+	Body         string
+
+	ranges    map[int]float64
+	positions map[int]map[timeseq.Time]Pos
+
+	// frontier maps node → earliest time the body reached it (the source
+	// holds it from the start).
+	frontier map[int]timeseq.Time
+
+	rec   []word.Symbol
+	inRec bool
+}
+
+// NewRoutingAcceptor builds the acceptor for one routing instance.
+func NewRoutingAcceptor(src, dst int, body string) *RoutingAcceptor {
+	return &RoutingAcceptor{
+		Source:    src,
+		Dest:      dst,
+		Body:      body,
+		ranges:    map[int]float64{},
+		positions: map[int]map[timeseq.Time]Pos{},
+		frontier:  map[int]timeseq.Time{src: 0},
+	}
+}
+
+// Tick implements core.Program.
+func (a *RoutingAcceptor) Tick(t *core.Tick) {
+	for _, e := range t.New {
+		switch {
+		case a.inRec:
+			a.rec = append(a.rec, e.Sym)
+			if e.Sym == encoding.Dollar {
+				a.inRec = false
+				if fields, ok := encoding.ParseRecord(a.rec); ok {
+					a.handleRecord(fields, e.At)
+				}
+				a.rec = nil
+			}
+		case e.Sym == encoding.Dollar:
+			a.inRec = true
+			a.rec = append(a.rec[:0], e.Sym)
+		}
+	}
+	a.Drive(t)
+}
+
+func (a *RoutingAcceptor) handleRecord(fields []string, at timeseq.Time) {
+	if len(fields) < 2 {
+		return
+	}
+	// Node words: $id$ header or $id@prop$ (range=… / pos=…).
+	if id, err := strconv.Atoi(fields[0]); err == nil {
+		prop := fields[1]
+		switch {
+		case len(prop) > 6 && prop[:6] == "range=":
+			if r, err := strconv.ParseFloat(prop[6:], 64); err == nil {
+				a.ranges[id] = r
+			}
+		case len(prop) > 4 && prop[:4] == "pos=":
+			var x, y float64
+			if n, err := sscanPos(prop[4:], &x, &y); err == nil && n == 2 {
+				if a.positions[id] == nil {
+					a.positions[id] = map[timeseq.Time]Pos{}
+				}
+				a.positions[id][at] = Pos{X: x, Y: y}
+			}
+		}
+		return
+	}
+	// Message words: $m@t@from@to@kind:body$ — a one-hop data transmission
+	// of u's body extends the frontier, provided the §5.2.4 conditions
+	// hold at its generation time.
+	if fields[0] == "m" && len(fields) == 5 {
+		gen, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return
+		}
+		from, err1 := strconv.Atoi(fields[2])
+		to, err2 := strconv.Atoi(fields[3])
+		if err1 != nil || err2 != nil {
+			return
+		}
+		if fields[4] != "data:"+a.Body {
+			return
+		}
+		t0 := timeseq.Time(gen)
+		held, ok := a.frontier[from]
+		if !ok || held > t0 {
+			return // the sender did not hold the body yet: not a chain hop
+		}
+		recvAt := t0 + 1 // the one-chronon hop of §5.2.1
+		if to == Broadcast {
+			// A broadcast reaches every node in range of the sender.
+			for id := range a.ranges {
+				if id != from && a.inRangeAt(from, id, t0) {
+					a.extend(id, recvAt)
+				}
+			}
+			return
+		}
+		if a.inRangeAt(from, to, t0) {
+			a.extend(to, recvAt)
+		}
+	}
+}
+
+// extend advances the frontier and decides on reaching the destination.
+func (a *RoutingAcceptor) extend(node int, at timeseq.Time) {
+	if cur, ok := a.frontier[node]; !ok || at < cur {
+		a.frontier[node] = at
+	}
+	if node == a.Dest {
+		a.AcceptForever() // t′_f is finite: conditions 1–3 witnessed
+	}
+}
+
+// inRangeAt evaluates range(from, to, t) from the word's own position
+// stream (the latest position at or before t).
+func (a *RoutingAcceptor) inRangeAt(from, to int, t timeseq.Time) bool {
+	r, ok := a.ranges[from]
+	if !ok {
+		return false
+	}
+	pf, okF := a.posAt(from, t)
+	pt, okT := a.posAt(to, t)
+	return okF && okT && Dist(pf, pt) <= r
+}
+
+func (a *RoutingAcceptor) posAt(id int, t timeseq.Time) (Pos, bool) {
+	m := a.positions[id]
+	var best Pos
+	var bestAt timeseq.Time
+	found := false
+	for at, p := range m {
+		if at <= t && (!found || at > bestAt) {
+			best, bestAt, found = p, at, true
+		}
+	}
+	return best, found
+}
+
+// sscanPos parses "x,y".
+func sscanPos(s string, x, y *float64) (int, error) {
+	comma := -1
+	for i := range s {
+		if s[i] == ',' {
+			comma = i
+			break
+		}
+	}
+	if comma < 0 {
+		return 0, strconv.ErrSyntax
+	}
+	var err error
+	*x, err = strconv.ParseFloat(s[:comma], 64)
+	if err != nil {
+		return 0, err
+	}
+	*y, err = strconv.ParseFloat(s[comma+1:], 64)
+	if err != nil {
+		return 1, err
+	}
+	return 2, nil
+}
+
+// AcceptRoutingWord runs the online acceptor over a network run's word and
+// classifies the outcome for message u = (src, dst, body).
+func AcceptRoutingWord(net *Network, src, dst int, body string, horizon uint64) core.Result {
+	acc := NewRoutingAcceptor(src, dst, body)
+	m := core.NewMachine(acc, RoutingWord(net))
+	return core.RunForVerdict(m, horizon)
+}

@@ -1,0 +1,66 @@
+package adhoc
+
+import (
+	"testing"
+
+	"rtc/internal/core"
+)
+
+// The online R_{n,u} acceptor consumes the network word itself and commits
+// to s_f exactly when a valid route is witnessed.
+func TestRoutingAcceptorAcceptsDeliveredRoute(t *testing.T) {
+	net := NewNetwork(lineNodes(4, func() Protocol { return &Flooding{} }))
+	net.Inject(Message{ID: 1, Src: 1, Dst: 4, At: 3, Payload: "b"})
+	net.Run(30)
+	res := AcceptRoutingWord(net, 1, 4, "b", 30)
+	if res.Verdict != core.AcceptProven {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	// The word carries the timing: origination at 3, hops transmitted at
+	// 3, 4 and 5. The final m record arrives at its generation time 5 and
+	// already witnesses the (one-chronon) delivery at 6, so the acceptor
+	// commits at tick 5.
+	if res.DecidedAt != 5 {
+		t.Errorf("decided at %d, want 5", res.DecidedAt)
+	}
+}
+
+func TestRoutingAcceptorRejectsUndelivered(t *testing.T) {
+	nodes := []*Node{
+		{ID: 1, Mob: Static(Pos{0, 0}), Range: 5, Proto: &Flooding{}},
+		{ID: 2, Mob: Static(Pos{100, 0}), Range: 5, Proto: &Flooding{}},
+	}
+	net := NewNetwork(nodes)
+	net.Inject(Message{ID: 1, Src: 1, Dst: 2, At: 2, Payload: "b"})
+	net.Run(25)
+	res := AcceptRoutingWord(net, 1, 2, "b", 25)
+	if res.Verdict != core.RejectAtHorizon {
+		t.Fatalf("verdict = %v (t'_f = ω cannot be proven, only observed)", res.Verdict)
+	}
+}
+
+func TestRoutingAcceptorBodyMismatch(t *testing.T) {
+	net := NewNetwork(lineNodes(3, func() Protocol { return &Flooding{} }))
+	net.Inject(Message{ID: 1, Src: 1, Dst: 3, At: 2, Payload: "real"})
+	net.Run(20)
+	// Watching for a different body: the trace contains no route for it.
+	res := AcceptRoutingWord(net, 1, 3, "other", 20)
+	if res.Verdict.Accepted() {
+		t.Fatalf("accepted a route for a body the network never carried")
+	}
+}
+
+// The acceptor validates the range predicate from the word's own position
+// stream: a unicast protocol's route is accepted end to end.
+func TestRoutingAcceptorOnUnicastProtocol(t *testing.T) {
+	net := NewNetwork(lineNodes(5, func() Protocol { return &DV{BeaconEvery: 2} }))
+	net.Inject(Message{ID: 1, Src: 1, Dst: 5, At: 25, Payload: "b"})
+	net.Run(60)
+	if net.Metrics().Delivered != 1 {
+		t.Fatal("setup: not delivered")
+	}
+	res := AcceptRoutingWord(net, 1, 5, "b", 60)
+	if res.Verdict != core.AcceptProven {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}

@@ -1,0 +1,294 @@
+package adhoc
+
+import (
+	"math"
+	"testing"
+
+	"rtc/internal/timeseq"
+)
+
+func TestDistAndReflect(t *testing.T) {
+	if d := Dist(Pos{0, 0}, Pos{3, 4}); d != 5 {
+		t.Errorf("Dist = %g", d)
+	}
+	if got := reflect1D(12, 10); got != 8 {
+		t.Errorf("reflect1D(12,10) = %g", got)
+	}
+	if got := reflect1D(-3, 10); got != 3 {
+		t.Errorf("reflect1D(-3,10) = %g", got)
+	}
+	if got := reflect1D(23, 10); got != 3 {
+		t.Errorf("reflect1D(23,10) = %g", got)
+	}
+}
+
+func TestConstVelStaysInArena(t *testing.T) {
+	m := ConstVel{Start: Pos{5, 5}, VX: 1.7, VY: -2.3, W: 20, H: 15}
+	for tt := timeseq.Time(0); tt < 200; tt++ {
+		p := m.Pos(tt)
+		if p.X < 0 || p.X > 20 || p.Y < 0 || p.Y > 15 {
+			t.Fatalf("escaped arena at %d: %+v", tt, p)
+		}
+	}
+}
+
+func TestWaypointDeterministicAndBounded(t *testing.T) {
+	a := NewWaypoint(42, 100, 100, 2, 5)
+	b := NewWaypoint(42, 100, 100, 2, 5)
+	for tt := timeseq.Time(0); tt < 300; tt++ {
+		pa, pb := a.Pos(tt), b.Pos(tt)
+		if pa != pb {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", tt, pa, pb)
+		}
+		if pa.X < 0 || pa.X > 100 || pa.Y < 0 || pa.Y > 100 {
+			t.Fatalf("escaped arena at %d: %+v", tt, pa)
+		}
+	}
+	// Speed bound: per-chronon displacement ≤ speed (with slack for the
+	// ceil in leg timing).
+	prev := a.Pos(0)
+	for tt := timeseq.Time(1); tt < 300; tt++ {
+		cur := a.Pos(tt)
+		if d := Dist(prev, cur); d > 2.0+1e-9 {
+			t.Fatalf("moved %g > speed at %d", d, tt)
+		}
+		prev = cur
+	}
+	// Random access equals sequential access (purity).
+	if a.Pos(50) != b.Pos(50) {
+		t.Fatal("random access diverged")
+	}
+}
+
+// lineNodes builds a static chain 1-2-3-…-n spaced just within range.
+func lineNodes(n int, proto func() Protocol) []*Node {
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &Node{
+			ID:    i + 1,
+			Mob:   Static(Pos{X: float64(i) * 9, Y: 0}),
+			Range: 10,
+			Proto: proto(),
+		}
+	}
+	return nodes
+}
+
+func TestInRangeAndNeighbors(t *testing.T) {
+	net := NewNetwork(lineNodes(4, func() Protocol { return &Flooding{} }))
+	if !net.InRange(1, 2, 0) || net.InRange(1, 3, 0) {
+		t.Error("range predicate broken")
+	}
+	if net.InRange(2, 2, 0) {
+		t.Error("node in range of itself")
+	}
+	nb := net.Neighbors(2, 0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Errorf("Neighbors(2) = %v", nb)
+	}
+}
+
+func TestShortestHops(t *testing.T) {
+	net := NewNetwork(lineNodes(5, func() Protocol { return &Flooding{} }))
+	if got := net.shortestHops(1, 5, 0); got != 4 {
+		t.Errorf("shortestHops = %d, want 4", got)
+	}
+	if got := net.shortestHops(3, 3, 0); got != 0 {
+		t.Errorf("self distance = %d", got)
+	}
+	// Partitioned: a far-away node.
+	nodes := lineNodes(2, func() Protocol { return &Flooding{} })
+	nodes = append(nodes, &Node{ID: 3, Mob: Static(Pos{1000, 1000}), Range: 10, Proto: &Flooding{}})
+	net = NewNetwork(nodes)
+	if got := net.shortestHops(1, 3, 0); got != -1 {
+		t.Errorf("unreachable distance = %d", got)
+	}
+}
+
+func TestFloodingDeliversAlongLine(t *testing.T) {
+	net := NewNetwork(lineNodes(5, func() Protocol { return &Flooding{} }))
+	net.Inject(Message{ID: 1, Src: 1, Dst: 5, At: 1, Payload: "hello"})
+	net.Run(20)
+	m := net.Metrics()
+	if m.Delivered != 1 {
+		t.Fatalf("metrics = %v", m)
+	}
+	// One-chronon hops: 4 hops from origination.
+	if at := m.deliveredAt[1]; at != 1+4 {
+		t.Errorf("delivered at %d, want 5", at)
+	}
+	// Flooding transmits once per node except the destination.
+	if m.DataTransmissions != 4 {
+		t.Errorf("data transmissions = %d, want 4", m.DataTransmissions)
+	}
+	if m.ControlPackets != 0 {
+		t.Errorf("flooding has control packets: %d", m.ControlPackets)
+	}
+}
+
+func TestDVDeliversAfterConvergence(t *testing.T) {
+	net := NewNetwork(lineNodes(5, func() Protocol { return &DV{BeaconEvery: 2} }))
+	// Let routing tables converge, then send.
+	net.Inject(Message{ID: 1, Src: 1, Dst: 5, At: 30, Payload: "x"})
+	net.Run(60)
+	m := net.Metrics()
+	if m.Delivered != 1 {
+		t.Fatalf("DV did not deliver: %v", m)
+	}
+	// Unicast chain: exactly 4 data transmissions.
+	if m.DataTransmissions != 4 {
+		t.Errorf("data transmissions = %d, want 4", m.DataTransmissions)
+	}
+	if m.ControlPackets == 0 {
+		t.Error("DV should spend control packets on beacons")
+	}
+	ck := net.Trace().CheckRoute(1, net)
+	if !ck.OK {
+		t.Fatalf("route check failed: %v", ck.Violations)
+	}
+	if len(ck.Hops) != 4 {
+		t.Errorf("hops = %d, want 4", len(ck.Hops))
+	}
+	if ck.Latency != 4 {
+		t.Errorf("latency = %d, want 4 (one chronon per hop)", ck.Latency)
+	}
+}
+
+func TestSRRouteDiscoveryAndDelivery(t *testing.T) {
+	net := NewNetwork(lineNodes(5, func() Protocol { return &SR{} }))
+	net.Inject(Message{ID: 1, Src: 1, Dst: 5, At: 1, Payload: "x"})
+	net.Run(40)
+	m := net.Metrics()
+	if m.Delivered != 1 {
+		t.Fatalf("SR did not deliver: %v", m)
+	}
+	if m.ControlPackets == 0 {
+		t.Error("SR should spend control packets on discovery")
+	}
+	ck := net.Trace().CheckRoute(1, net)
+	if !ck.OK {
+		t.Fatalf("route check failed: %v", ck.Violations)
+	}
+	// A second message to the same destination reuses the cached route:
+	// control packets must not grow.
+	ctrlBefore := m.ControlPackets
+	net.Inject(Message{ID: 2, Src: 1, Dst: 5, At: net.Now() + 1, Payload: "y"})
+	net.Run(net.Now() + 20)
+	if net.Metrics().Delivered != 2 {
+		t.Fatal("second message lost")
+	}
+	if net.Metrics().ControlPackets != ctrlBefore {
+		t.Errorf("cached route still cost control packets: %d → %d",
+			ctrlBefore, net.Metrics().ControlPackets)
+	}
+}
+
+func TestGeoGreedyForwarding(t *testing.T) {
+	net := NewNetwork(lineNodes(5, func() Protocol { return &Geo{BeaconEvery: 2, BeaconTTL: 5} }))
+	// Give beacons time to spread positions.
+	net.Inject(Message{ID: 1, Src: 1, Dst: 5, At: 25, Payload: "x"})
+	net.Run(60)
+	m := net.Metrics()
+	if m.Delivered != 1 {
+		t.Fatalf("Geo did not deliver: %v", m)
+	}
+	ck := net.Trace().CheckRoute(1, net)
+	if !ck.OK {
+		t.Fatalf("route check failed: %v", ck.Violations)
+	}
+}
+
+// All four protocols against the same mobile scenario: flooding must
+// deliver at least as much as anything else, and spend the most data
+// transmissions; every delivered route must validate.
+func TestProtocolComparisonInvariants(t *testing.T) {
+	protos := map[string]func() Protocol{
+		"flooding": func() Protocol { return &Flooding{} },
+		"dv":       func() Protocol { return &DV{BeaconEvery: 4} },
+		"sr":       func() Protocol { return &SR{} },
+		"geo":      func() Protocol { return &Geo{BeaconEvery: 4, BeaconTTL: 4} },
+	}
+	results := map[string]*Metrics{}
+	for name, mk := range protos {
+		nodes := make([]*Node, 12)
+		for i := range nodes {
+			nodes[i] = &Node{
+				ID:    i + 1,
+				Mob:   NewWaypoint(int64(100+i), 120, 120, 1.5, 20),
+				Range: 45,
+				Proto: mk(),
+			}
+		}
+		net := NewNetwork(nodes)
+		id := uint64(1)
+		for at := timeseq.Time(30); at <= 120; at += 15 {
+			src := int(id%12) + 1
+			dst := int((id*5)%12) + 1
+			if dst == src {
+				dst = dst%12 + 1
+			}
+			net.Inject(Message{ID: id, Src: src, Dst: dst, At: at, Payload: "p"})
+			id++
+		}
+		net.Run(220)
+		results[name] = net.Metrics()
+		// Every delivered message's route must satisfy §5.2.4.
+		for mid := range net.Metrics().deliveredAt {
+			ck := net.Trace().CheckRoute(mid, net)
+			if !ck.OK {
+				t.Errorf("%s: message %d route invalid: %v", name, mid, ck.Violations)
+			}
+		}
+	}
+	if results["flooding"].Delivered < results["dv"].Delivered-1 {
+		t.Errorf("flooding delivered %d < dv %d", results["flooding"].Delivered, results["dv"].Delivered)
+	}
+	for name, m := range results {
+		if name == "flooding" {
+			continue
+		}
+		if m.DataTransmissions > results["flooding"].DataTransmissions {
+			t.Errorf("%s used more data transmissions (%d) than flooding (%d)",
+				name, m.DataTransmissions, results["flooding"].DataTransmissions)
+		}
+	}
+}
+
+func TestMetricsAccessors(t *testing.T) {
+	m := &Metrics{
+		Sent: 4, Delivered: 3, DataTransmissions: 9, ControlPackets: 11,
+		deliveredHops: map[uint64]int{1: 2, 2: 3, 3: 5},
+		originHops:    map[uint64]int{1: 2, 2: 2, 3: 4},
+	}
+	if r := m.DeliveryRatio(); math.Abs(r-0.75) > 1e-9 {
+		t.Errorf("DeliveryRatio = %g", r)
+	}
+	if m.Overhead() != 20 {
+		t.Errorf("Overhead = %d", m.Overhead())
+	}
+	// Excess hops: (2-2)+(3-2)+(5-4) = 2 over 3 messages.
+	if po := m.PathOptimality(); math.Abs(po-2.0/3.0) > 1e-9 {
+		t.Errorf("PathOptimality = %g", po)
+	}
+	var empty Metrics
+	if empty.DeliveryRatio() != 0 || empty.PathOptimality() != 0 {
+		t.Error("empty metrics not zero")
+	}
+}
+
+func TestSendCap(t *testing.T) {
+	nodes := lineNodes(2, func() Protocol { return &Flooding{} })
+	net := NewNetwork(nodes)
+	net.SendCap = 1
+	api := net.apis[1]
+	net.Step() // reset counters
+	if !api.Send(Packet{Kind: "data", To: Broadcast}) {
+		t.Fatal("first send blocked")
+	}
+	if api.Send(Packet{Kind: "data", To: Broadcast}) {
+		t.Fatal("second send allowed beyond cap")
+	}
+	if net.Metrics().SendCapHits != 1 {
+		t.Errorf("SendCapHits = %d", net.Metrics().SendCapHits)
+	}
+}

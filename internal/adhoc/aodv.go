@@ -1,0 +1,120 @@
+package adhoc
+
+// AODV-like protocol: reactive route discovery like SR, but hop-by-hop
+// forwarding like DV — route requests flood and install *reverse* routes
+// toward the origin; the destination's route reply walks those reverse
+// routes back, installing *forward* routes toward the destination; data
+// packets then follow next-hop pointers with no source route in the packet.
+// This is the fourth baseline family of the Broch et al. comparison.
+type AODV struct {
+	BufferCap int
+
+	api    *API
+	routes map[int]aodvRoute
+	seenRq map[uint64]bool
+	buffer []Message
+	reqSeq uint64
+}
+
+type aodvRoute struct {
+	next int
+	hops int
+}
+
+// Init implements Protocol.
+func (a *AODV) Init(api *API) {
+	a.api = api
+	a.routes = make(map[int]aodvRoute)
+	a.seenRq = make(map[uint64]bool)
+	if a.BufferCap == 0 {
+		a.BufferCap = 16
+	}
+}
+
+// OnTick implements Protocol.
+func (a *AODV) OnTick(*API) {}
+
+// Originate implements Protocol.
+func (a *AODV) Originate(api *API, m Message) {
+	if a.forward(api, m) {
+		return
+	}
+	if len(a.buffer) < a.BufferCap {
+		a.buffer = append(a.buffer, m)
+	}
+	a.reqSeq++
+	rq := uint64(api.ID())<<32 | a.reqSeq
+	a.seenRq[rq] = true
+	api.Send(Packet{Kind: "arreq", To: Broadcast, Src: api.ID(), Dst: m.Dst, Seq: rq, Hops: 1})
+}
+
+func (a *AODV) forward(api *API, m Message) bool {
+	r, ok := a.routes[m.Dst]
+	if !ok {
+		return false
+	}
+	return api.Send(Packet{
+		Kind: "data", To: r.next, Src: m.Src, Dst: m.Dst,
+		MsgID: m.ID, OriginTime: m.At, Hops: 1, Payload: m.Payload,
+	})
+}
+
+// install keeps the better (fresher-or-shorter) route.
+func (a *AODV) install(dst, next, hops int) {
+	if cur, ok := a.routes[dst]; !ok || hops < cur.hops {
+		a.routes[dst] = aodvRoute{next: next, hops: hops}
+	}
+}
+
+// OnPacket implements Protocol.
+func (a *AODV) OnPacket(api *API, p *Packet) {
+	me := api.ID()
+	switch p.Kind {
+	case "arreq":
+		if a.seenRq[p.Seq] {
+			return
+		}
+		a.seenRq[p.Seq] = true
+		// Reverse route toward the origin.
+		a.install(p.Src, p.From, p.Hops)
+		if p.Dst == me {
+			// Answer along the reverse route.
+			api.Send(Packet{Kind: "arrep", To: p.From, Src: me, Dst: p.Src, Hops: 1, Seq: p.Seq})
+			return
+		}
+		fwd := *p
+		fwd.To = Broadcast
+		fwd.Hops++
+		api.Send(fwd)
+	case "arrep":
+		// Forward route toward the replying destination.
+		a.install(p.Src, p.From, p.Hops)
+		if p.Dst == me {
+			var still []Message
+			for _, m := range a.buffer {
+				if m.Dst != p.Src || !a.forward(api, m) {
+					still = append(still, m)
+				}
+			}
+			a.buffer = still
+			return
+		}
+		if r, ok := a.routes[p.Dst]; ok {
+			fwd := *p
+			fwd.To = r.next
+			fwd.Hops++
+			api.Send(fwd)
+		}
+	case "data":
+		if p.Dst == me {
+			api.Deliver(p)
+			return
+		}
+		if r, ok := a.routes[p.Dst]; ok {
+			fwd := *p
+			fwd.To = r.next
+			fwd.Hops++
+			api.Send(fwd)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package adhoc
+
+import (
+	"testing"
+
+	"rtc/internal/timeseq"
+)
+
+func TestAODVDiscoveryAndDelivery(t *testing.T) {
+	net := NewNetwork(lineNodes(5, func() Protocol { return &AODV{} }))
+	net.Inject(Message{ID: 1, Src: 1, Dst: 5, At: 1, Payload: "x"})
+	net.Run(40)
+	m := net.Metrics()
+	if m.Delivered != 1 {
+		t.Fatalf("AODV did not deliver: %v", m)
+	}
+	if m.ControlPackets == 0 {
+		t.Error("AODV should spend control packets on discovery")
+	}
+	// Hop-by-hop unicast: exactly 4 data transmissions on the line.
+	if m.DataTransmissions != 4 {
+		t.Errorf("data transmissions = %d, want 4", m.DataTransmissions)
+	}
+	ck := net.Trace().CheckRoute(1, net)
+	if !ck.OK || len(ck.Hops) != 4 {
+		t.Fatalf("route check: %+v", ck)
+	}
+
+	// Cached routes serve later traffic with no new discovery.
+	ctrl := m.ControlPackets
+	net.Inject(Message{ID: 2, Src: 1, Dst: 5, At: net.Now() + 1, Payload: "y"})
+	net.Run(net.Now() + 20)
+	if net.Metrics().Delivered != 2 {
+		t.Fatal("second message lost")
+	}
+	if net.Metrics().ControlPackets != ctrl {
+		t.Errorf("cached route cost control packets: %d → %d", ctrl, net.Metrics().ControlPackets)
+	}
+	// The reverse route installed by the RREQ also serves reverse traffic
+	// without a fresh discovery.
+	net.Inject(Message{ID: 3, Src: 5, Dst: 1, At: net.Now() + 1, Payload: "z"})
+	net.Run(net.Now() + 20)
+	if net.Metrics().Delivered != 3 {
+		t.Fatal("reverse message lost")
+	}
+	if net.Metrics().ControlPackets != ctrl {
+		t.Errorf("reverse route cost control packets: %d → %d", ctrl, net.Metrics().ControlPackets)
+	}
+}
+
+func TestAODVMobileScenario(t *testing.T) {
+	nodes := make([]*Node, 12)
+	for i := range nodes {
+		nodes[i] = &Node{
+			ID:    i + 1,
+			Mob:   NewWaypoint(int64(300+i), 120, 120, 1.5, 30),
+			Range: 45,
+			Proto: &AODV{},
+		}
+	}
+	net := NewNetwork(nodes)
+	id := uint64(1)
+	for at := int64(30); at <= 150; at += 20 {
+		src := int(id%12) + 1
+		dst := int((id*5)%12) + 1
+		if dst == src {
+			dst = dst%12 + 1
+		}
+		net.Inject(Message{ID: id, Src: src, Dst: dst, At: timeseq.Time(at), Payload: "p"})
+		id++
+	}
+	net.Run(300)
+	m := net.Metrics()
+	if m.Delivered == 0 {
+		t.Fatal("AODV delivered nothing under mobility")
+	}
+	for mid := uint64(1); mid < id; mid++ {
+		ck := net.Trace().CheckRoute(mid, net)
+		if ck.Delivered && !ck.OK {
+			t.Errorf("message %d: invalid route: %v", mid, ck.Violations)
+		}
+	}
+}

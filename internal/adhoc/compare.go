@@ -1,0 +1,64 @@
+package adhoc
+
+import "fmt"
+
+// §5.2.4: "two routing algorithms may be compared by comparing their
+// corresponding words from R_{n,u}. Moreover, more than one measure of
+// performance may be considered." RouteComparison puts the three adopted
+// measures of two runs of the same scenario side by side.
+type RouteComparison struct {
+	A, B Summary
+}
+
+// Summary condenses one run.
+type Summary struct {
+	Name          string
+	DeliveryRatio float64
+	Overhead      int
+	ExcessHops    float64
+}
+
+// Summarize condenses a network run under a label.
+func Summarize(name string, net *Network) Summary {
+	m := net.Metrics()
+	return Summary{
+		Name:          name,
+		DeliveryRatio: m.DeliveryRatio(),
+		Overhead:      m.Overhead(),
+		ExcessHops:    m.PathOptimality(),
+	}
+}
+
+// Compare pairs two run summaries.
+func Compare(a, b Summary) RouteComparison { return RouteComparison{A: a, B: b} }
+
+// BetterDelivery names the run with the higher delivery ratio ("" on tie).
+func (c RouteComparison) BetterDelivery() string {
+	switch {
+	case c.A.DeliveryRatio > c.B.DeliveryRatio:
+		return c.A.Name
+	case c.B.DeliveryRatio > c.A.DeliveryRatio:
+		return c.B.Name
+	default:
+		return ""
+	}
+}
+
+// CheaperOverhead names the run with the lower routing overhead f+g.
+func (c RouteComparison) CheaperOverhead() string {
+	switch {
+	case c.A.Overhead < c.B.Overhead:
+		return c.A.Name
+	case c.B.Overhead < c.A.Overhead:
+		return c.B.Name
+	default:
+		return ""
+	}
+}
+
+// String renders the comparison.
+func (c RouteComparison) String() string {
+	return fmt.Sprintf("%s: delivery %.2f overhead %d excess %.2f | %s: delivery %.2f overhead %d excess %.2f",
+		c.A.Name, c.A.DeliveryRatio, c.A.Overhead, c.A.ExcessHops,
+		c.B.Name, c.B.DeliveryRatio, c.B.Overhead, c.B.ExcessHops)
+}

@@ -1,0 +1,47 @@
+package adhoc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareRuns(t *testing.T) {
+	run := func(mk func() Protocol) *Network {
+		net := NewNetwork(lineNodes(5, func() Protocol { return mk() }))
+		net.Inject(Message{ID: 1, Src: 1, Dst: 5, At: 20, Payload: "x"})
+		net.Inject(Message{ID: 2, Src: 5, Dst: 1, At: 30, Payload: "y"})
+		net.Run(80)
+		return net
+	}
+	flood := Summarize("flooding", run(func() Protocol { return &Flooding{} }))
+	dv := Summarize("dv", run(func() Protocol { return &DV{BeaconEvery: 3} }))
+	c := Compare(flood, dv)
+
+	// On a static line both deliver everything…
+	if flood.DeliveryRatio != 1 || dv.DeliveryRatio != 1 {
+		t.Fatalf("delivery: flood %.2f dv %.2f", flood.DeliveryRatio, dv.DeliveryRatio)
+	}
+	if c.BetterDelivery() != "" {
+		t.Errorf("BetterDelivery = %q on a tie", c.BetterDelivery())
+	}
+	// …but the beacons make DV's total overhead the larger one here.
+	if c.CheaperOverhead() != "flooding" {
+		t.Errorf("CheaperOverhead = %q (flood %d vs dv %d)",
+			c.CheaperOverhead(), flood.Overhead, dv.Overhead)
+	}
+	if !strings.Contains(c.String(), "flooding") || !strings.Contains(c.String(), "dv") {
+		t.Error("String missing names")
+	}
+}
+
+func TestCompareAsymmetric(t *testing.T) {
+	a := Summary{Name: "a", DeliveryRatio: 0.9, Overhead: 100}
+	b := Summary{Name: "b", DeliveryRatio: 0.7, Overhead: 60}
+	c := Compare(a, b)
+	if c.BetterDelivery() != "a" {
+		t.Errorf("BetterDelivery = %q", c.BetterDelivery())
+	}
+	if c.CheaperOverhead() != "b" {
+		t.Errorf("CheaperOverhead = %q", c.CheaperOverhead())
+	}
+}

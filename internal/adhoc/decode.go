@@ -1,0 +1,83 @@
+package adhoc
+
+import (
+	"strconv"
+
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// The message and receive-event encodings of §5.2.3 are invertible: a
+// network trace can be reconstructed from its events word. This closes the
+// loop on the paper's claim that the word w ∈ R_{n,u} "models all the
+// relevant characteristics of a routing problem" — the characteristics can
+// be read back out.
+
+// DecodedEvent is one m_u or r_u read back from a word.
+type DecodedEvent struct {
+	Kind byte // 'm' (send) or 'r' (receive)
+	At   timeseq.Time
+	Gen  timeseq.Time // the encoded generation time t
+	From int          // s
+	To   int          // d (link layer)
+	Body string       // the message body (sends only)
+}
+
+// DecodeEventsWord parses a finite word consisting of m/r records (as built
+// by Trace.EventsWord) back into events. It fails on malformed input.
+func DecodeEventsWord(w word.Finite) ([]DecodedEvent, bool) {
+	var out []DecodedEvent
+	i := 0
+	for i < len(w) {
+		if w[i].Sym != encoding.Dollar {
+			return nil, false
+		}
+		at := w[i].At
+		j := i + 1
+		for j < len(w) && w[j].Sym != encoding.Dollar {
+			j++
+		}
+		if j == len(w) {
+			return nil, false
+		}
+		syms := make([]word.Symbol, 0, j-i+1)
+		for k := i; k <= j; k++ {
+			syms = append(syms, w[k].Sym)
+		}
+		rec, ok := encoding.ParseRecord(syms)
+		if !ok || len(rec) < 4 {
+			return nil, false
+		}
+		gen, err1 := strconv.ParseUint(rec[1], 10, 64)
+		from, err2 := strconv.ParseInt(rec[2], 10, 64)
+		to, err3 := strconv.ParseInt(rec[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, false
+		}
+		ev := DecodedEvent{
+			At:   at,
+			Gen:  timeseq.Time(gen),
+			From: int(from),
+			To:   int(to),
+		}
+		switch rec[0] {
+		case "m":
+			if len(rec) != 5 {
+				return nil, false
+			}
+			ev.Kind = 'm'
+			ev.Body = rec[4]
+		case "r":
+			if len(rec) != 4 {
+				return nil, false
+			}
+			ev.Kind = 'r'
+		default:
+			return nil, false
+		}
+		out = append(out, ev)
+		i = j + 1
+	}
+	return out, true
+}

@@ -1,0 +1,56 @@
+package adhoc
+
+import (
+	"testing"
+
+	"rtc/internal/word"
+)
+
+// The events word round-trips: every send and receive of a run can be read
+// back with its times and endpoints.
+func TestDecodeEventsWordRoundTrip(t *testing.T) {
+	net := smallRun(t)
+	tr := net.Trace()
+	evs, ok := DecodeEventsWord(tr.EventsWord())
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	var sends, recvs int
+	for _, e := range evs {
+		switch e.Kind {
+		case 'm':
+			sends++
+		case 'r':
+			recvs++
+			// One-chronon hop: receive time = generation time + 1.
+			if e.At != e.Gen+1 {
+				t.Errorf("receive at %d for generation %d", e.At, e.Gen)
+			}
+		}
+	}
+	if sends != len(tr.Sends) || recvs != len(tr.Recvs) {
+		t.Fatalf("decoded %d sends %d recvs, trace has %d/%d",
+			sends, recvs, len(tr.Sends), len(tr.Recvs))
+	}
+	// Cross-check one send against the trace.
+	first := evs[0]
+	if first.Kind != 'm' || first.From != tr.Sends[0].P.From || first.At != tr.Sends[0].At {
+		t.Errorf("first decoded event %+v vs trace %+v", first, tr.Sends[0])
+	}
+}
+
+func TestDecodeEventsWordRejectsGarbage(t *testing.T) {
+	bad := []word.Finite{
+		{{Sym: "x", At: 0}},
+		{{Sym: "$", At: 0}},
+		word.FromClassical("$z$", 0),
+	}
+	for _, w := range bad {
+		if _, ok := DecodeEventsWord(w); ok {
+			t.Errorf("decoded garbage %v", w)
+		}
+	}
+	if evs, ok := DecodeEventsWord(nil); !ok || len(evs) != 0 {
+		t.Error("empty word should decode to no events")
+	}
+}

@@ -1,0 +1,27 @@
+package adhoc
+
+import "rtc/internal/timeseq"
+
+// Crash-stop failure injection: a failed node neither transmits nor
+// receives from its failure instant on. §5.2's model absorbs this without
+// change — a dead node is simply one whose range predicate goes false
+// forever — and the routing language's t′_f = ω case covers the messages
+// it strands.
+
+// FailAt schedules a crash-stop failure of the node at time t. The node
+// stops participating from t on (inclusive).
+func (n *Network) FailAt(id int, t timeseq.Time) {
+	if n.downAt == nil {
+		n.downAt = map[int]timeseq.Time{}
+	}
+	n.downAt[id] = t
+}
+
+// Alive reports whether the node participates at time t.
+func (n *Network) Alive(id int, t timeseq.Time) bool {
+	if n.downAt == nil {
+		return true
+	}
+	at, ok := n.downAt[id]
+	return !ok || t < at
+}

@@ -1,0 +1,89 @@
+package adhoc
+
+import (
+	"testing"
+)
+
+func TestFailedRelayStrandsMessages(t *testing.T) {
+	// Line 1–2–3: node 2 is the only relay.
+	net := NewNetwork(lineNodes(3, func() Protocol { return &Flooding{} }))
+	net.FailAt(2, 10)
+	// Before the failure: delivered.
+	net.Inject(Message{ID: 1, Src: 1, Dst: 3, At: 2, Payload: "x"})
+	// After the failure: stranded, t′_f = ω.
+	net.Inject(Message{ID: 2, Src: 1, Dst: 3, At: 20, Payload: "y"})
+	net.Run(60)
+	m := net.Metrics()
+	if m.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", m.Delivered)
+	}
+	if !net.Trace().LostBeyond(2, 1_000_000) {
+		t.Error("post-failure message not lost")
+	}
+	if ck := net.Trace().CheckRoute(1, net); !ck.OK {
+		t.Errorf("pre-failure route invalid: %v", ck.Violations)
+	}
+	if ck := net.Trace().CheckRoute(2, net); ck.Delivered {
+		t.Error("post-failure message claims delivery")
+	}
+}
+
+func TestRedundantPathSurvivesFailure(t *testing.T) {
+	// Diamond: 1 reaches 4 via 2 or 3.
+	nodes := []*Node{
+		{ID: 1, Mob: Static(Pos{0, 5}), Range: 8, Proto: &Flooding{}},
+		{ID: 2, Mob: Static(Pos{6, 0}), Range: 8, Proto: &Flooding{}},
+		{ID: 3, Mob: Static(Pos{6, 10}), Range: 8, Proto: &Flooding{}},
+		{ID: 4, Mob: Static(Pos{12, 5}), Range: 8, Proto: &Flooding{}},
+	}
+	net := NewNetwork(nodes)
+	net.FailAt(2, 0) // one arm down from the start
+	net.Inject(Message{ID: 1, Src: 1, Dst: 4, At: 5, Payload: "x"})
+	net.Run(40)
+	if net.Metrics().Delivered != 1 {
+		t.Fatal("flooding failed to route around the dead arm")
+	}
+	ck := net.Trace().CheckRoute(1, net)
+	if !ck.OK {
+		t.Fatalf("route check: %v", ck.Violations)
+	}
+	// The surviving path goes through node 3.
+	for _, h := range ck.Hops {
+		if h.From == 2 || h.To == 2 {
+			t.Fatalf("route used the dead node: %v", ck.Hops)
+		}
+	}
+}
+
+func TestDeadNodesSendNothing(t *testing.T) {
+	net := NewNetwork(lineNodes(3, func() Protocol { return &DV{BeaconEvery: 2} }))
+	net.FailAt(3, 0)
+	net.Run(30)
+	for _, s := range net.Trace().Sends {
+		if s.P.From == 3 {
+			t.Fatalf("dead node transmitted at %d", s.At)
+		}
+	}
+	for _, r := range net.Trace().Recvs {
+		if r.By == 3 {
+			t.Fatalf("dead node received at %d", r.At)
+		}
+	}
+	if net.Alive(3, 0) || !net.Alive(1, 1000) {
+		t.Error("Alive bookkeeping wrong")
+	}
+}
+
+func TestFailedSourceOriginatesNothing(t *testing.T) {
+	net := NewNetwork(lineNodes(3, func() Protocol { return &Flooding{} }))
+	net.FailAt(1, 0)
+	net.Inject(Message{ID: 1, Src: 1, Dst: 3, At: 5, Payload: "x"})
+	net.Run(30)
+	m := net.Metrics()
+	if m.Sent != 1 {
+		t.Errorf("workload count = %d (the environment still generated it)", m.Sent)
+	}
+	if m.Delivered != 0 || m.DataTransmissions != 0 {
+		t.Errorf("dead source produced traffic: %+v", m)
+	}
+}

@@ -1,0 +1,388 @@
+package adhoc
+
+import (
+	"fmt"
+	"sort"
+
+	"rtc/internal/timeseq"
+)
+
+// Broadcast is the link-layer address reaching every node in range.
+const Broadcast = -1
+
+// Packet is one one-hop transmission. Data packets carry the end-to-end
+// message identity; control packets (beacons, route requests/replies) are
+// the rt_1 … rt_g messages of §5.2.4 ("exchanged between nodes in the
+// routing process, for example when the routing tables are built/updated").
+type Packet struct {
+	Kind string // "data", or a protocol control kind
+
+	From, To int // link layer: sender and receiver (To may be Broadcast)
+	Src, Dst int // network layer: originator and final destination
+
+	MsgID      uint64 // end-to-end message id (data packets)
+	OriginTime timeseq.Time
+	Hops       int
+	TTL        int
+
+	Route    []int // DSR: accumulated / source route
+	RouteIdx int
+	Table    []RouteAd // DSDV: advertised routes
+	Pos      Pos       // DREAM: advertised position
+	Seq      uint64    // beacon / request sequence number
+	Payload  string    // message body b_u (opaque, per §5.2.3)
+}
+
+// RouteAd is one advertised route of a distance-vector beacon.
+type RouteAd struct {
+	Dst  int
+	Hops int
+	Seq  uint64
+}
+
+// cloneRoute copies a route slice (packets are value-copied on send but
+// slices would alias).
+func cloneRoute(r []int) []int {
+	if r == nil {
+		return nil
+	}
+	return append([]int{}, r...)
+}
+
+// Message is one end-to-end workload message u: generated at At by Src for
+// Dst, with body Payload (§5.2.3).
+type Message struct {
+	ID      uint64
+	Src     int
+	Dst     int
+	At      timeseq.Time
+	Payload string
+}
+
+// API is the capability surface a protocol instance sees: its identity,
+// clock, own position (a node knows its current position, after [11]), and
+// the one-hop send primitive. A node is otherwise unaware of the rest of
+// the network — the locality §5.2.5 insists on.
+type API struct {
+	net  *Network
+	id   int
+	sent int // sends this tick, to enforce the bounded-rate assumption
+}
+
+// ID returns the node label.
+func (a *API) ID() int { return a.id }
+
+// Now returns the current time.
+func (a *API) Now() timeseq.Time { return a.net.now }
+
+// NumNodes returns n (node labels are 1..n, as in §5.2.2).
+func (a *API) NumNodes() int { return len(a.net.nodes) }
+
+// Pos returns the node's own current position.
+func (a *API) Pos() Pos { return a.net.pos(a.id, a.net.now) }
+
+// Send queues a one-hop transmission; it is delivered one chronon later to
+// the nodes in range at send time. Each node may send at most SendCap
+// packets per chronon (the bounded-rate assumption that keeps w_{n,ω} well
+// behaved, §5.2.4).
+func (a *API) Send(p Packet) bool {
+	if a.sent >= a.net.SendCap {
+		a.net.metrics.SendCapHits++
+		return false
+	}
+	a.sent++
+	p.From = a.id
+	p.Route = cloneRoute(p.Route)
+	a.net.transmit(p)
+	return true
+}
+
+// Deliver reports end-to-end arrival of a data message at its destination.
+func (a *API) Deliver(p *Packet) {
+	a.net.deliver(a.id, p)
+}
+
+// Protocol is one node's routing algorithm. The network calls Init once,
+// then per chronon OnTick (timers/beacons), OnPacket for every delivered
+// packet, and Originate when the workload makes this node the source of a
+// new message.
+type Protocol interface {
+	Init(api *API)
+	OnTick(api *API)
+	OnPacket(api *API, p *Packet)
+	Originate(api *API, m Message)
+}
+
+// Node couples identity, mobility, radio range (part of the invariant
+// characteristics q_i of §5.2.2) and the protocol instance.
+type Node struct {
+	ID    int // 1..n
+	Mob   Mobility
+	Range float64
+	Proto Protocol
+}
+
+// Network is the discrete-time simulator.
+type Network struct {
+	nodes    map[int]*Node
+	order    []int // node ids, sorted, for deterministic iteration
+	now      timeseq.Time
+	inflight []Packet // sent at now, delivered at now+1
+	apis     map[int]*API
+	trace    *Trace
+	metrics  Metrics
+	workload []Message
+	downAt   map[int]timeseq.Time
+	// SendCap bounds per-node transmissions per chronon.
+	SendCap int
+}
+
+// NewNetwork builds a simulator over the given nodes.
+func NewNetwork(nodes []*Node) *Network {
+	net := &Network{
+		nodes:   make(map[int]*Node, len(nodes)),
+		apis:    make(map[int]*API, len(nodes)),
+		trace:   NewTrace(),
+		SendCap: 64,
+	}
+	net.metrics.deliveredAt = map[uint64]timeseq.Time{}
+	net.metrics.deliveredHops = map[uint64]int{}
+	net.metrics.originHops = map[uint64]int{}
+	for _, n := range nodes {
+		net.nodes[n.ID] = n
+		net.order = append(net.order, n.ID)
+	}
+	sort.Ints(net.order)
+	for _, id := range net.order {
+		net.apis[id] = &API{net: net, id: id}
+	}
+	for _, id := range net.order {
+		net.nodes[id].Proto.Init(net.apis[id])
+	}
+	return net
+}
+
+// Trace exposes the recorded events.
+func (n *Network) Trace() *Trace { return n.trace }
+
+// Metrics exposes the aggregate counters.
+func (n *Network) Metrics() *Metrics { return &n.metrics }
+
+// Nodes returns the node ids in order.
+func (n *Network) Nodes() []int { return n.order }
+
+// Node returns a node by id.
+func (n *Network) Node(id int) *Node { return n.nodes[id] }
+
+// Now returns the current simulation time.
+func (n *Network) Now() timeseq.Time { return n.now }
+
+// pos returns node id's position at time t.
+func (n *Network) pos(id int, t timeseq.Time) Pos {
+	return n.nodes[id].Mob.Pos(t)
+}
+
+// InRange is the predicate range(n1, n2, t) of §5.2.1: n2 hears n1 at time
+// t iff their distance does not exceed n1's transmission range.
+func (n *Network) InRange(n1, n2 int, t timeseq.Time) bool {
+	if n1 == n2 {
+		return false
+	}
+	if !n.Alive(n1, t) || !n.Alive(n2, t) {
+		return false
+	}
+	return Dist(n.pos(n1, t), n.pos(n2, t)) <= n.nodes[n1].Range
+}
+
+// Neighbors returns the nodes within range of id at time t, in order.
+func (n *Network) Neighbors(id int, t timeseq.Time) []int {
+	var out []int
+	for _, j := range n.order {
+		if j != id && n.InRange(id, j, t) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Inject schedules workload messages (sorted by time internally).
+func (n *Network) Inject(ms ...Message) {
+	n.workload = append(n.workload, ms...)
+	sort.SliceStable(n.workload, func(i, j int) bool { return n.workload[i].At < n.workload[j].At })
+}
+
+// transmit queues a packet for next-chronon delivery and records the send
+// event m_u.
+func (n *Network) transmit(p Packet) {
+	n.inflight = append(n.inflight, p)
+	if p.Kind == "data" {
+		n.metrics.DataTransmissions++
+	} else {
+		n.metrics.ControlPackets++
+	}
+	n.trace.sent(n.now, p)
+}
+
+// deliver records end-to-end delivery.
+func (n *Network) deliver(at int, p *Packet) {
+	if p.Kind != "data" {
+		return
+	}
+	if _, dup := n.metrics.deliveredAt[p.MsgID]; dup {
+		return // duplicate arrivals (flooding) count once
+	}
+	n.metrics.deliveredAt[p.MsgID] = n.now
+	n.metrics.deliveredHops[p.MsgID] = p.Hops
+	n.metrics.Delivered++
+	n.metrics.HopsTotal += p.Hops
+	n.trace.delivered(n.now, at, p)
+}
+
+// Step advances one chronon: deliver last tick's packets to the nodes that
+// were in range of the sender at send time, drive per-tick protocol logic,
+// and originate due workload messages.
+func (n *Network) Step() {
+	sendTime := n.now
+	n.now++
+	for _, id := range n.order {
+		n.apis[id].sent = 0
+	}
+	// 1. Deliver packets sent during the previous chronon. Range is
+	// evaluated at send time (the radio decided reachability when it
+	// transmitted).
+	pending := n.inflight
+	n.inflight = nil
+	for _, p := range pending {
+		if p.To == Broadcast {
+			for _, j := range n.order {
+				if n.InRange(p.From, j, sendTime) && n.Alive(j, n.now) {
+					n.handlePacket(j, p)
+				}
+			}
+		} else if n.InRange(p.From, p.To, sendTime) && n.Alive(p.To, n.now) {
+			n.handlePacket(p.To, p)
+		} else {
+			n.metrics.LinkDrops++
+		}
+	}
+	// 2. Per-tick protocol duties (failed nodes are silent).
+	for _, id := range n.order {
+		if n.Alive(id, n.now) {
+			n.nodes[id].Proto.OnTick(n.apis[id])
+		}
+	}
+	// 3. Workload origination.
+	for len(n.workload) > 0 && n.workload[0].At <= n.now {
+		m := n.workload[0]
+		n.workload = n.workload[1:]
+		n.metrics.Sent++
+		n.metrics.originHops[mKey(m.ID)] = n.shortestHops(m.Src, m.Dst, n.now)
+		n.trace.originated(n.now, m)
+		if n.Alive(m.Src, n.now) {
+			n.nodes[m.Src].Proto.Originate(n.apis[m.Src], m)
+		}
+	}
+}
+
+func mKey(id uint64) uint64 { return id }
+
+// handlePacket dispatches one delivered packet and records the receive
+// event r_u.
+func (n *Network) handlePacket(to int, p Packet) {
+	n.trace.received(n.now, to, p)
+	cp := p
+	cp.Route = cloneRoute(p.Route)
+	n.nodes[to].Proto.OnPacket(n.apis[to], &cp)
+}
+
+// Run advances the simulation until the given time.
+func (n *Network) Run(until timeseq.Time) {
+	for n.now < until {
+		n.Step()
+	}
+}
+
+// shortestHops computes the hop count of a shortest path from src to dst on
+// the connectivity graph frozen at time t (BFS) — the reference for the
+// path-optimality measure. It returns -1 when no path exists.
+func (n *Network) shortestHops(src, dst int, t timeseq.Time) int {
+	if src == dst {
+		return 0
+	}
+	dist := map[int]int{src: 0}
+	queue := []int{src}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		for _, j := range n.order {
+			if j == cur || !n.InRange(cur, j, t) {
+				continue
+			}
+			if _, ok := dist[j]; ok {
+				continue
+			}
+			dist[j] = dist[cur] + 1
+			if j == dst {
+				return dist[j]
+			}
+			queue = append(queue, j)
+		}
+	}
+	return -1
+}
+
+// Metrics are the three measures of performance of [Broch et al.] as §5.2.4
+// maps them into the model: routing overhead (total transmissions f+g),
+// path optimality (hops taken vs. shortest possible), and delivery ratio.
+type Metrics struct {
+	Sent              int
+	Delivered         int
+	DataTransmissions int // the f one-hop data messages
+	ControlPackets    int // the g routing-process messages
+	HopsTotal         int
+	LinkDrops         int
+	SendCapHits       int
+
+	deliveredAt   map[uint64]timeseq.Time
+	deliveredHops map[uint64]int
+	originHops    map[uint64]int
+}
+
+// DeliveryRatio returns delivered/sent.
+func (m *Metrics) DeliveryRatio() float64 {
+	if m.Sent == 0 {
+		return 0
+	}
+	return float64(m.Delivered) / float64(m.Sent)
+}
+
+// Overhead returns the §5.2.4 routing overhead f+g: every transmission
+// involved in routing.
+func (m *Metrics) Overhead() int {
+	return m.DataTransmissions + m.ControlPackets
+}
+
+// PathOptimality returns the mean excess hops over the shortest path
+// available at origination time, across delivered messages that had a path
+// ("the difference between the number of hops a message took to reach its
+// destination versus the length of the shortest possible path").
+func (m *Metrics) PathOptimality() float64 {
+	total, count := 0, 0
+	for id, hops := range m.deliveredHops {
+		opt := m.originHops[id]
+		if opt <= 0 {
+			continue
+		}
+		count++
+		total += hops - opt
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}
+
+// String summarizes the metrics.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d (%.2f) overhead=%d (data=%d control=%d) excess-hops=%.2f",
+		m.Sent, m.Delivered, m.DeliveryRatio(), m.Overhead(), m.DataTransmissions, m.ControlPackets, m.PathOptimality())
+}

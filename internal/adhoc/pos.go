@@ -1,0 +1,153 @@
+// Package adhoc implements §5.2 of the paper: ad hoc networks as a
+// real-time system. It provides a discrete-event network simulator built on
+// the paper's own abstraction — mobile nodes with positions p_i(t), a
+// transmission-range predicate range(n1, n2, t), and one-chronon message
+// hops ("transmitting a message takes one time unit", §5.2.1) — four
+// routing protocols in the spirit of the baselines of Broch et al. (the
+// comparison the paper cites as the only existing evaluation), the three
+// performance measures the paper adopts (routing overhead, path optimality,
+// delivery ratio), and the timed-word model of nodes, messages, receive
+// events, the routing language R_{n,u} (§5.2.2–5.2.4) and the per-node
+// distributed decomposition H_i = 𝓛_i·𝓡_i (§5.2.5).
+package adhoc
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"rtc/internal/timeseq"
+)
+
+// Pos is a planar position.
+type Pos struct {
+	X, Y float64
+}
+
+// Dist is the Euclidean distance.
+func Dist(a, b Pos) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// Mobility yields a node's position over time. Implementations must be
+// deterministic functions of t so traces and words are reproducible.
+type Mobility interface {
+	Pos(t timeseq.Time) Pos
+}
+
+// Static is a motionless node.
+type Static Pos
+
+// Pos implements Mobility.
+func (s Static) Pos(timeseq.Time) Pos { return Pos(s) }
+
+// ConstVel moves with constant velocity, reflecting off the arena walls —
+// the constant-velocity assumption §5.2.2 mentions as common in simulation.
+type ConstVel struct {
+	Start  Pos
+	VX, VY float64
+	W, H   float64
+}
+
+// Pos implements Mobility.
+func (c ConstVel) Pos(t timeseq.Time) Pos {
+	return Pos{
+		X: reflect1D(c.Start.X+c.VX*float64(t), c.W),
+		Y: reflect1D(c.Start.Y+c.VY*float64(t), c.H),
+	}
+}
+
+// reflect1D folds an unbounded coordinate into [0, w] with mirror
+// reflection.
+func reflect1D(x, w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	period := 2 * w
+	x = math.Mod(x, period)
+	if x < 0 {
+		x += period
+	}
+	if x > w {
+		x = period - x
+	}
+	return x
+}
+
+// Waypoint is the random-waypoint model with pause time — the mobility
+// model of the Broch et al. comparison, whose pause-time parameter sweeps
+// the mobility axis of experiment E7. Legs are generated lazily and cached;
+// Pos is safe for concurrent use.
+type Waypoint struct {
+	Seed  int64
+	W, H  float64
+	Speed float64 // distance per chronon while moving
+	Pause timeseq.Time
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	legs []leg
+}
+
+type leg struct {
+	from, to     Pos
+	start, cover timeseq.Time // moving during [start, start+cover); paused until next leg
+	pauseEnd     timeseq.Time
+}
+
+// NewWaypoint constructs the model; speed must be positive.
+func NewWaypoint(seed int64, w, h, speed float64, pause timeseq.Time) *Waypoint {
+	return &Waypoint{Seed: seed, W: w, H: h, Speed: speed, Pause: pause}
+}
+
+// Pos implements Mobility.
+func (wp *Waypoint) Pos(t timeseq.Time) Pos {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	if wp.rng == nil {
+		wp.rng = rand.New(rand.NewSource(wp.Seed))
+		start := Pos{wp.rng.Float64() * wp.W, wp.rng.Float64() * wp.H}
+		wp.legs = append(wp.legs, wp.makeLeg(start, 0))
+	}
+	for {
+		last := wp.legs[len(wp.legs)-1]
+		if t < last.pauseEnd {
+			break
+		}
+		wp.legs = append(wp.legs, wp.makeLeg(last.to, last.pauseEnd))
+	}
+	// Binary scan not needed: queries are near the tail in practice; walk
+	// back from the end.
+	for i := len(wp.legs) - 1; i >= 0; i-- {
+		l := wp.legs[i]
+		if t < l.start {
+			continue
+		}
+		if t >= l.start+l.cover {
+			return l.to // pausing
+		}
+		frac := float64(t-l.start) / float64(l.cover)
+		return Pos{
+			X: l.from.X + (l.to.X-l.from.X)*frac,
+			Y: l.from.Y + (l.to.Y-l.from.Y)*frac,
+		}
+	}
+	return wp.legs[0].from
+}
+
+// makeLeg draws the next waypoint and travel timing.
+func (wp *Waypoint) makeLeg(from Pos, start timeseq.Time) leg {
+	to := Pos{wp.rng.Float64() * wp.W, wp.rng.Float64() * wp.H}
+	d := Dist(from, to)
+	cover := timeseq.Time(math.Ceil(d / wp.Speed))
+	if cover == 0 {
+		cover = 1
+	}
+	return leg{
+		from:     from,
+		to:       to,
+		start:    start,
+		cover:    cover,
+		pauseEnd: start + cover + wp.Pause,
+	}
+}

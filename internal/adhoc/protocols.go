@@ -1,0 +1,435 @@
+package adhoc
+
+import (
+	"math"
+
+	"rtc/internal/timeseq"
+)
+
+// This file implements four routing algorithms in the spirit of the
+// baselines of the Broch et al. comparison the paper cites: flooding (the
+// protocol-free reference), a proactive distance-vector protocol
+// (DSDV-like), a reactive source-routing protocol (DSR-like), and a
+// position-based protocol (DREAM-like, after Basagni et al. [11], where
+// "the only thing known by any node is its current position"). They are
+// reimplementations from scratch that preserve each family's mechanism, not
+// ports of the original code.
+
+// ---------------------------------------------------------------------------
+// Flooding
+
+// Flooding rebroadcasts every data packet once. Maximal delivery, maximal
+// overhead — the upper baseline.
+type Flooding struct {
+	api  *API
+	seen map[uint64]bool
+}
+
+// Init implements Protocol.
+func (f *Flooding) Init(api *API) {
+	f.api = api
+	f.seen = make(map[uint64]bool)
+}
+
+// OnTick implements Protocol.
+func (f *Flooding) OnTick(*API) {}
+
+// Originate implements Protocol.
+func (f *Flooding) Originate(api *API, m Message) {
+	f.seen[m.ID] = true
+	api.Send(Packet{
+		Kind: "data", To: Broadcast, Src: m.Src, Dst: m.Dst,
+		MsgID: m.ID, OriginTime: m.At, Hops: 1, Payload: m.Payload,
+	})
+}
+
+// OnPacket implements Protocol.
+func (f *Flooding) OnPacket(api *API, p *Packet) {
+	if p.Kind != "data" || f.seen[p.MsgID] {
+		return
+	}
+	f.seen[p.MsgID] = true
+	if p.Dst == api.ID() {
+		api.Deliver(p)
+		return
+	}
+	fwd := *p
+	fwd.To = Broadcast
+	fwd.Hops++
+	api.Send(fwd)
+}
+
+// ---------------------------------------------------------------------------
+// Distance vector (DSDV-like)
+
+// DV is a proactive distance-vector protocol: every node periodically
+// broadcasts its routing table with per-destination sequence numbers;
+// routes with newer sequence numbers (or equal sequence and fewer hops)
+// win. Data packets follow the next-hop chain and wait briefly in a buffer
+// when no route is known yet.
+type DV struct {
+	BeaconEvery timeseq.Time
+	BufferCap   int
+
+	api    *API
+	table  map[int]dvRoute
+	seq    uint64
+	buffer []Message
+}
+
+type dvRoute struct {
+	next int
+	hops int
+	seq  uint64
+}
+
+// Init implements Protocol.
+func (d *DV) Init(api *API) {
+	d.api = api
+	d.table = make(map[int]dvRoute)
+	if d.BeaconEvery == 0 {
+		d.BeaconEvery = 5
+	}
+	if d.BufferCap == 0 {
+		d.BufferCap = 16
+	}
+}
+
+// OnTick implements Protocol.
+func (d *DV) OnTick(api *API) {
+	if api.Now()%d.BeaconEvery == timeseq.Time(api.ID())%d.BeaconEvery {
+		d.seq++
+		ads := []RouteAd{{Dst: api.ID(), Hops: 0, Seq: d.seq}}
+		for dst, r := range d.table {
+			ads = append(ads, RouteAd{Dst: dst, Hops: r.hops, Seq: r.seq})
+		}
+		api.Send(Packet{Kind: "dv", To: Broadcast, Table: ads})
+	}
+	// Retry buffered messages for which a route appeared.
+	var still []Message
+	for _, m := range d.buffer {
+		if !d.forward(api, m) {
+			still = append(still, m)
+		}
+	}
+	d.buffer = still
+}
+
+// forward sends a data message toward its next hop; false when no route.
+func (d *DV) forward(api *API, m Message) bool {
+	r, ok := d.table[m.Dst]
+	if !ok {
+		return false
+	}
+	return api.Send(Packet{
+		Kind: "data", To: r.next, Src: m.Src, Dst: m.Dst,
+		MsgID: m.ID, OriginTime: m.At, Hops: 1, Payload: m.Payload,
+	})
+}
+
+// Originate implements Protocol.
+func (d *DV) Originate(api *API, m Message) {
+	if d.forward(api, m) {
+		return
+	}
+	if len(d.buffer) < d.BufferCap {
+		d.buffer = append(d.buffer, m)
+	}
+}
+
+// OnPacket implements Protocol.
+func (d *DV) OnPacket(api *API, p *Packet) {
+	switch p.Kind {
+	case "dv":
+		for _, ad := range p.Table {
+			if ad.Dst == api.ID() {
+				continue
+			}
+			cand := dvRoute{next: p.From, hops: ad.Hops + 1, seq: ad.Seq}
+			cur, ok := d.table[ad.Dst]
+			if !ok || cand.seq > cur.seq || (cand.seq == cur.seq && cand.hops < cur.hops) {
+				d.table[ad.Dst] = cand
+			}
+		}
+	case "data":
+		if p.Dst == api.ID() {
+			api.Deliver(p)
+			return
+		}
+		if r, ok := d.table[p.Dst]; ok {
+			fwd := *p
+			fwd.To = r.next
+			fwd.Hops++
+			api.Send(fwd)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Source routing (DSR-like)
+
+// SR is a reactive source-routing protocol: sources flood a route request
+// that accumulates the traversed path; the destination returns a route
+// reply along the reversed path; data packets then carry the full source
+// route. Routes are cached; buffered messages flush when a route arrives.
+type SR struct {
+	BufferCap int
+
+	api    *API
+	cache  map[int][]int // dst → full path (self … dst)
+	seenRq map[uint64]bool
+	buffer []Message
+	reqSeq uint64
+}
+
+// Init implements Protocol.
+func (s *SR) Init(api *API) {
+	s.api = api
+	s.cache = make(map[int][]int)
+	s.seenRq = make(map[uint64]bool)
+	if s.BufferCap == 0 {
+		s.BufferCap = 16
+	}
+}
+
+// OnTick implements Protocol.
+func (s *SR) OnTick(api *API) {}
+
+// Originate implements Protocol.
+func (s *SR) Originate(api *API, m Message) {
+	if route, ok := s.cache[m.Dst]; ok {
+		s.sendAlong(api, m, route)
+		return
+	}
+	if len(s.buffer) < s.BufferCap {
+		s.buffer = append(s.buffer, m)
+	}
+	s.reqSeq++
+	rq := uint64(api.ID())<<32 | s.reqSeq
+	s.seenRq[rq] = true
+	api.Send(Packet{
+		Kind: "rreq", To: Broadcast, Src: api.ID(), Dst: m.Dst,
+		Seq: rq, Route: []int{api.ID()},
+	})
+}
+
+func (s *SR) sendAlong(api *API, m Message, route []int) {
+	if len(route) < 2 {
+		return
+	}
+	api.Send(Packet{
+		Kind: "data", To: route[1], Src: m.Src, Dst: m.Dst,
+		MsgID: m.ID, OriginTime: m.At, Hops: 1, Payload: m.Payload,
+		Route: route, RouteIdx: 1,
+	})
+}
+
+// OnPacket implements Protocol.
+func (s *SR) OnPacket(api *API, p *Packet) {
+	me := api.ID()
+	switch p.Kind {
+	case "rreq":
+		if s.seenRq[p.Seq] {
+			return
+		}
+		s.seenRq[p.Seq] = true
+		route := append(cloneRoute(p.Route), me)
+		if p.Dst == me {
+			// Reply along the reversed accumulated route.
+			rev := make([]int, len(route))
+			for i, x := range route {
+				rev[len(route)-1-i] = x
+			}
+			api.Send(Packet{
+				Kind: "rrep", To: rev[1], Src: me, Dst: p.Src,
+				Route: route, RouteIdx: len(rev) - 2, Seq: p.Seq,
+			})
+			return
+		}
+		fwd := *p
+		fwd.To = Broadcast
+		fwd.Route = route
+		api.Send(fwd)
+	case "rrep":
+		// Route runs source→…→destination of the original request; the
+		// reply walks it backwards using RouteIdx.
+		if p.Dst == me {
+			// The original requester: cache the route to its end.
+			dst := p.Route[len(p.Route)-1]
+			s.cache[dst] = cloneRoute(p.Route)
+			var still []Message
+			for _, m := range s.buffer {
+				if m.Dst == dst {
+					s.sendAlong(api, m, p.Route)
+				} else {
+					still = append(still, m)
+				}
+			}
+			s.buffer = still
+			return
+		}
+		// RouteIdx is this node's index in Route; pass the reply one step
+		// closer to the requester at Route[0].
+		if p.RouteIdx > 0 {
+			fwd := *p
+			fwd.RouteIdx--
+			fwd.To = p.Route[fwd.RouteIdx]
+			api.Send(fwd)
+		}
+	case "data":
+		if p.Dst == me {
+			api.Deliver(p)
+			return
+		}
+		if p.RouteIdx+1 < len(p.Route) {
+			fwd := *p
+			fwd.RouteIdx++
+			fwd.To = p.Route[fwd.RouteIdx]
+			fwd.Hops++
+			api.Send(fwd)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Position-based (DREAM-like)
+
+// Geo is a position-based protocol: nodes beacon their position and data
+// packets are forwarded greedily to the neighbour closest to the
+// destination's last known position — the general situation of §5.2.2
+// where "the only thing known about some node at some moment in time is
+// its position at that moment".
+//
+// Beacons run at two rates, echoing DREAM's distance effect (nearby nodes
+// need fresh positions, distant ones tolerate stale ones): cheap 1-hop
+// beacons every BeaconEvery chronons keep the neighbour table fresh, and
+// TTL-limited floods every FloodEvery chronons (default 4×BeaconEvery)
+// spread positions further out.
+type Geo struct {
+	BeaconEvery timeseq.Time
+	FloodEvery  timeseq.Time
+	BeaconTTL   int
+
+	api       *API
+	positions map[int]geoEntry
+	seenB     map[uint64]bool
+	seenData  map[uint64]bool
+	neighbors map[int]Pos // refreshed by 1-hop beacon receipt
+	nbAt      map[int]timeseq.Time
+}
+
+type geoEntry struct {
+	pos Pos
+	at  timeseq.Time
+}
+
+// Init implements Protocol.
+func (g *Geo) Init(api *API) {
+	g.api = api
+	g.positions = make(map[int]geoEntry)
+	g.seenB = make(map[uint64]bool)
+	g.seenData = make(map[uint64]bool)
+	g.neighbors = make(map[int]Pos)
+	g.nbAt = make(map[int]timeseq.Time)
+	if g.BeaconEvery == 0 {
+		g.BeaconEvery = 5
+	}
+	if g.FloodEvery == 0 {
+		g.FloodEvery = 4 * g.BeaconEvery
+	}
+	if g.BeaconTTL == 0 {
+		g.BeaconTTL = 3
+	}
+}
+
+// OnTick implements Protocol.
+func (g *Geo) OnTick(api *API) {
+	if api.Now()%g.BeaconEvery == timeseq.Time(api.ID())%g.BeaconEvery {
+		ttl := 1
+		if api.Now()%g.FloodEvery < g.BeaconEvery {
+			ttl = g.BeaconTTL // the periodic long-range flood
+		}
+		seq := uint64(api.ID())<<32 | uint64(api.Now())
+		g.seenB[seq] = true
+		api.Send(Packet{
+			Kind: "pos", To: Broadcast, Src: api.ID(),
+			Pos: api.Pos(), Seq: seq, TTL: ttl, OriginTime: api.Now(),
+		})
+	}
+}
+
+// Originate implements Protocol.
+func (g *Geo) Originate(api *API, m Message) {
+	g.seenData[m.ID] = true
+	g.routeData(api, Packet{
+		Kind: "data", Src: m.Src, Dst: m.Dst,
+		MsgID: m.ID, OriginTime: m.At, Hops: 1, Payload: m.Payload,
+	})
+}
+
+// OnPacket implements Protocol.
+func (g *Geo) OnPacket(api *API, p *Packet) {
+	me := api.ID()
+	switch p.Kind {
+	case "pos":
+		if p.Hops == 0 {
+			// Direct receipt: the sender is a current neighbour.
+			g.neighbors[p.From] = p.Pos
+			g.nbAt[p.From] = api.Now()
+		}
+		if g.seenB[p.Seq] {
+			return
+		}
+		g.seenB[p.Seq] = true
+		if old, ok := g.positions[p.Src]; !ok || p.OriginTime >= old.at {
+			g.positions[p.Src] = geoEntry{pos: p.Pos, at: p.OriginTime}
+		}
+		if p.TTL > 1 {
+			fwd := *p
+			fwd.TTL--
+			fwd.Hops++
+			fwd.To = Broadcast
+			api.Send(fwd)
+		}
+	case "data":
+		if p.Dst == me {
+			api.Deliver(p)
+			return
+		}
+		if g.seenData[p.MsgID] {
+			return
+		}
+		g.seenData[p.MsgID] = true
+		fwd := *p
+		fwd.Hops++
+		g.routeData(api, fwd)
+	}
+}
+
+// routeData forwards greedily toward the destination's last known
+// position; when the destination is unknown or no neighbour improves on our
+// own distance, it falls back to a local broadcast (each node forwards a
+// given message at most once, so the fallback stays bounded).
+func (g *Geo) routeData(api *API, p Packet) {
+	target, known := g.positions[p.Dst]
+	if known {
+		my := Dist(api.Pos(), target.pos)
+		best, bestID := math.Inf(1), -1
+		for id, pos := range g.neighbors {
+			// Forget stale neighbours.
+			if api.Now() > g.nbAt[id]+4*g.BeaconEvery {
+				continue
+			}
+			if d := Dist(pos, target.pos); d < best {
+				best, bestID = d, id
+			}
+		}
+		if bestID >= 0 && best < my {
+			p.To = bestID
+			api.Send(p)
+			return
+		}
+	}
+	p.To = Broadcast
+	api.Send(p)
+}

@@ -1,0 +1,68 @@
+package adhoc
+
+import (
+	"rtc/internal/timeseq"
+)
+
+// §5.2.4 closes with the variant R′_{n,u}: the routing problem where a
+// message may be lost — modelled by t′_f = ω — and notes that "in practice
+// an infinite delivery time usually means that the delivery time exceeds
+// some finite threshold T. This situation is modeled by our initial
+// construction, where a lost message is a message for which t′_f − t_1 > T."
+// The helpers below implement that threshold semantics over recorded runs.
+
+// Latency returns t′_f − t_1 for one message: the time from origination to
+// end-to-end delivery. ok is false when the message was never delivered
+// (t′_f = ω).
+func (tr *Trace) Latency(msgID uint64) (timeseq.Time, bool) {
+	var orig *OrigEvent
+	for i := range tr.Origs {
+		if tr.Origs[i].M.ID == msgID {
+			orig = &tr.Origs[i]
+			break
+		}
+	}
+	if orig == nil {
+		return 0, false
+	}
+	for i := range tr.Delivers {
+		if tr.Delivers[i].P.MsgID == msgID {
+			return tr.Delivers[i].At - orig.At, true
+		}
+	}
+	return 0, false
+}
+
+// LostBeyond reports whether the message counts as lost under threshold T:
+// never delivered, or delivered with t′_f − t_1 > T.
+func (tr *Trace) LostBeyond(msgID uint64, T timeseq.Time) bool {
+	lat, ok := tr.Latency(msgID)
+	return !ok || lat > T
+}
+
+// DeliveryRatioWithin is the R′-style delivery ratio: the fraction of
+// originated messages delivered within the threshold.
+func (tr *Trace) DeliveryRatioWithin(T timeseq.Time) float64 {
+	if len(tr.Origs) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, o := range tr.Origs {
+		if !tr.LostBeyond(o.M.ID, T) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(tr.Origs))
+}
+
+// LatencyProfile returns the delivery latencies of all delivered messages,
+// in origination order, for distribution summaries.
+func (tr *Trace) LatencyProfile() []timeseq.Time {
+	var out []timeseq.Time
+	for _, o := range tr.Origs {
+		if lat, ok := tr.Latency(o.M.ID); ok {
+			out = append(out, lat)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package adhoc
+
+import (
+	"testing"
+
+	"rtc/internal/timeseq"
+)
+
+func TestLatencyAndThreshold(t *testing.T) {
+	net := NewNetwork(lineNodes(5, func() Protocol { return &Flooding{} }))
+	net.Inject(Message{ID: 1, Src: 1, Dst: 5, At: 1, Payload: "x"}) // 4 hops
+	net.Inject(Message{ID: 2, Src: 2, Dst: 3, At: 1, Payload: "y"}) // 1 hop
+	net.Run(30)
+	tr := net.Trace()
+
+	lat, ok := tr.Latency(1)
+	if !ok || lat != 4 {
+		t.Fatalf("Latency(1) = (%d,%v), want 4", lat, ok)
+	}
+	lat, ok = tr.Latency(2)
+	if !ok || lat != 1 {
+		t.Fatalf("Latency(2) = (%d,%v), want 1", lat, ok)
+	}
+	if _, ok := tr.Latency(99); ok {
+		t.Error("latency reported for unknown message")
+	}
+
+	// Threshold semantics: T = 2 loses the 4-hop message, keeps the 1-hop.
+	if !tr.LostBeyond(1, 2) || tr.LostBeyond(1, 4) {
+		t.Error("LostBeyond boundary wrong for message 1")
+	}
+	if tr.LostBeyond(2, 2) {
+		t.Error("fast message lost under T=2")
+	}
+	if got := tr.DeliveryRatioWithin(2); got != 0.5 {
+		t.Errorf("DeliveryRatioWithin(2) = %g", got)
+	}
+	if got := tr.DeliveryRatioWithin(10); got != 1.0 {
+		t.Errorf("DeliveryRatioWithin(10) = %g", got)
+	}
+
+	prof := tr.LatencyProfile()
+	if len(prof) != 2 || prof[0] != 4 || prof[1] != 1 {
+		t.Errorf("LatencyProfile = %v", prof)
+	}
+}
+
+func TestUndeliveredAlwaysLost(t *testing.T) {
+	nodes := []*Node{
+		{ID: 1, Mob: Static(Pos{0, 0}), Range: 5, Proto: &Flooding{}},
+		{ID: 2, Mob: Static(Pos{500, 500}), Range: 5, Proto: &Flooding{}},
+	}
+	net := NewNetwork(nodes)
+	net.Inject(Message{ID: 1, Src: 1, Dst: 2, At: 1})
+	net.Run(40)
+	if !net.Trace().LostBeyond(1, timeseq.Time(1_000_000)) {
+		t.Error("undelivered message (t'_f = ω) not lost under any threshold")
+	}
+	if got := net.Trace().DeliveryRatioWithin(1000); got != 0 {
+		t.Errorf("ratio = %g", got)
+	}
+}

@@ -1,0 +1,363 @@
+package adhoc
+
+import (
+	"fmt"
+	"sort"
+
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// Trace records every network event so that runs can be rendered as the
+// timed ω-words of §5.2.2–§5.2.5 and validated against the routing language
+// R_{n,u} of §5.2.4.
+type Trace struct {
+	Sends    []SendEvent
+	Recvs    []RecvEvent
+	Origs    []OrigEvent
+	Delivers []DeliverEvent
+}
+
+// SendEvent is the generation of a one-hop message u_i (the word m_u).
+type SendEvent struct {
+	At timeseq.Time
+	P  Packet
+}
+
+// RecvEvent is the receipt of a one-hop message (the word r_u).
+type RecvEvent struct {
+	At timeseq.Time
+	By int
+	P  Packet
+}
+
+// OrigEvent is a workload message entering the network.
+type OrigEvent struct {
+	At timeseq.Time
+	M  Message
+}
+
+// DeliverEvent is end-to-end arrival at the intended destination.
+type DeliverEvent struct {
+	At timeseq.Time
+	By int
+	P  Packet
+}
+
+// NewTrace allocates an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+func (tr *Trace) sent(at timeseq.Time, p Packet) { tr.Sends = append(tr.Sends, SendEvent{at, p}) }
+func (tr *Trace) received(at timeseq.Time, by int, p Packet) {
+	tr.Recvs = append(tr.Recvs, RecvEvent{at, by, p})
+}
+func (tr *Trace) originated(at timeseq.Time, m Message) {
+	tr.Origs = append(tr.Origs, OrigEvent{at, m})
+}
+func (tr *Trace) delivered(at timeseq.Time, by int, p *Packet) {
+	tr.Delivers = append(tr.Delivers, DeliverEvent{at, by, *p})
+}
+
+// ---------------------------------------------------------------------------
+// Words (§5.2.2–5.2.3)
+
+// NodeWord builds h_i: the invariant characteristics q_i (the label and
+// transmission range) with time value 0, then the successive positions
+// p_i(t) labelled with their time values.
+func NodeWord(n *Node) word.Word {
+	t := timeseq.Time(0)
+	var pending word.Finite
+	first := true
+	return word.Sequential(func() word.TimedSym {
+		for len(pending) == 0 {
+			if first {
+				first = false
+				for _, s := range encoding.Tagged(uint64(n.ID), fmt.Sprintf("range=%g", n.Range)) {
+					pending = append(pending, word.TimedSym{Sym: s, At: 0})
+				}
+			}
+			p := n.Mob.Pos(t)
+			for _, s := range encoding.Tagged(uint64(n.ID), fmt.Sprintf("pos=%.2f,%.2f", p.X, p.Y)) {
+				pending = append(pending, word.TimedSym{Sym: s, At: t})
+			}
+			t++
+		}
+		e := pending[0]
+		pending = pending[1:]
+		return e
+	})
+}
+
+// MessageWord builds m_u for one send event: the encoding
+// e(t)@e(s)@e(d)@e(b) with every symbol carrying the generation time t
+// (§5.2.3). The link-layer receiver stands in for the one-hop destination d.
+func MessageWord(e SendEvent) word.Finite {
+	to := e.P.To
+	syms := encoding.Record("m",
+		encoding.FieldUint(uint64(e.At)),
+		encoding.FieldInt(int64(e.P.From)),
+		encoding.FieldInt(int64(to)),
+		e.P.Kind+":"+e.P.Payload,
+	)
+	out := make(word.Finite, len(syms))
+	for i, s := range syms {
+		out[i] = word.TimedSym{Sym: s, At: e.At}
+	}
+	return out
+}
+
+// ReceiveWord builds r_u for one receive event: e(t)@e(s)@e(d) with every
+// symbol carrying the receive time t′. The t field identifies the one-hop
+// message by its generation time, which under the one-chronon hop is t′−1.
+func ReceiveWord(e RecvEvent) word.Finite {
+	gen := e.At
+	if gen > 0 {
+		gen--
+	}
+	syms := encoding.Record("r",
+		encoding.FieldUint(uint64(gen)),
+		encoding.FieldInt(int64(e.P.From)),
+		encoding.FieldInt(int64(e.By)),
+	)
+	out := make(word.Finite, len(syms))
+	for i, s := range syms {
+		out[i] = word.TimedSym{Sym: s, At: e.At}
+	}
+	return out
+}
+
+// EventsWord merges every m_u and r_u of the trace into one finite timed
+// word (ordered by time; sends of one instant precede receives, mirroring
+// the one-chronon hop).
+func (tr *Trace) EventsWord() word.Finite {
+	type ev struct {
+		at   timeseq.Time
+		kind int // 0 = send, 1 = recv
+		idx  int
+	}
+	var evs []ev
+	for i, e := range tr.Sends {
+		evs = append(evs, ev{e.At, 0, i})
+	}
+	for i, e := range tr.Recvs {
+		evs = append(evs, ev{e.At, 1, i})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].kind < evs[j].kind
+	})
+	var out word.Finite
+	for _, e := range evs {
+		if e.kind == 0 {
+			out = append(out, MessageWord(tr.Sends[e.idx])...)
+		} else {
+			out = append(out, ReceiveWord(tr.Recvs[e.idx])...)
+		}
+	}
+	return out
+}
+
+// RoutingWord assembles the network word
+// w = h_1 h_2 … h_n · m_{u1} r_{u1} m_{u2} r_{u2} … of §5.2.4 from a run:
+// the (infinite) node words concatenated with the recorded events under
+// Definition 3.5.
+func RoutingWord(net *Network) word.Word {
+	ws := make([]word.Word, 0, len(net.order)+1)
+	for _, id := range net.order {
+		ws = append(ws, NodeWord(net.nodes[id]))
+	}
+	ws = append(ws, net.trace.EventsWord())
+	return word.ConcatAll(ws...)
+}
+
+// ---------------------------------------------------------------------------
+// The routing language R_{n,u} (§5.2.4)
+
+// Hop is one element u_i of a route: a one-hop data transmission together
+// with its receive event.
+type Hop struct {
+	SentAt timeseq.Time // t_i
+	RecvAt timeseq.Time // t'_i
+	From   int          // s_i
+	To     int          // d_i
+}
+
+// RouteCheck is the verdict of validating one message's route against the
+// conditions of §5.2.4.
+type RouteCheck struct {
+	OK         bool
+	Violations []string
+	Hops       []Hop
+	Delivered  bool
+	Latency    timeseq.Time // t'_f − t_1
+	F          int          // data transmissions for this message
+	G          int          // control transmissions during the run (global)
+}
+
+// Chain reconstructs the successful delivery path of a message by backward
+// induction from its delivery event: the hop that delivered at time T was
+// sent at T−1 by a node that had received (or originated) the message by
+// then. Works for unicast and broadcast (flooding) traces alike.
+func (tr *Trace) Chain(msgID uint64, net *Network) ([]Hop, bool) {
+	var del *DeliverEvent
+	for i := range tr.Delivers {
+		if tr.Delivers[i].P.MsgID == msgID {
+			del = &tr.Delivers[i]
+			break
+		}
+	}
+	if del == nil {
+		return nil, false
+	}
+	var orig *OrigEvent
+	for i := range tr.Origs {
+		if tr.Origs[i].M.ID == msgID {
+			orig = &tr.Origs[i]
+			break
+		}
+	}
+	if orig == nil {
+		return nil, false
+	}
+	// recvAt[node] = earliest receive time of the message at node, with the
+	// sender of that packet.
+	type arrival struct {
+		at   timeseq.Time
+		from int
+	}
+	firstRecv := map[int]arrival{}
+	for _, r := range tr.Recvs {
+		if r.P.MsgID != msgID || r.P.Kind != "data" {
+			continue
+		}
+		if a, ok := firstRecv[r.By]; !ok || r.At < a.at {
+			firstRecv[r.By] = arrival{r.At, r.P.From}
+		}
+	}
+	var hops []Hop
+	cur := del.By
+	guard := 0
+	for cur != orig.M.Src {
+		a, ok := firstRecv[cur]
+		if !ok {
+			return nil, false
+		}
+		hops = append(hops, Hop{SentAt: a.at - 1, RecvAt: a.at, From: a.from, To: cur})
+		cur = a.from
+		if guard++; guard > len(net.order)+4 {
+			return nil, false // cycle in reconstruction
+		}
+	}
+	// Reverse into source→destination order.
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	return hops, true
+}
+
+// CheckRoute validates the conditions of §5.2.4 for one message:
+//
+//  1. the hop sources/destinations chain from u's source to its
+//     destination (b_1 = … = b_f = b is structural here: hops carry the
+//     message id);
+//  2. consecutive hops connect in space and time: d_i = s_{i+1},
+//     t'_i = t_{i+1}, and range(s_i, d_i, t_i) holds;
+//  3. t'_f is finite (the message was delivered).
+func (tr *Trace) CheckRoute(msgID uint64, net *Network) RouteCheck {
+	var out RouteCheck
+	out.G = net.metrics.ControlPackets
+	var orig *OrigEvent
+	for i := range tr.Origs {
+		if tr.Origs[i].M.ID == msgID {
+			orig = &tr.Origs[i]
+			break
+		}
+	}
+	if orig == nil {
+		out.Violations = append(out.Violations, "message never originated")
+		return out
+	}
+	for _, s := range tr.Sends {
+		if s.P.Kind == "data" && s.P.MsgID == msgID {
+			out.F++
+		}
+	}
+	hops, ok := tr.Chain(msgID, net)
+	if !ok {
+		out.Violations = append(out.Violations, "t'_f not finite: message not delivered")
+		return out
+	}
+	out.Hops = hops
+	out.Delivered = true
+	if len(hops) == 0 {
+		out.Violations = append(out.Violations, "empty route")
+		return out
+	}
+	if hops[0].From != orig.M.Src {
+		out.Violations = append(out.Violations, fmt.Sprintf("s_1 = %d, want source %d", hops[0].From, orig.M.Src))
+	}
+	if hops[len(hops)-1].To != orig.M.Dst {
+		out.Violations = append(out.Violations, fmt.Sprintf("d_f = %d, want destination %d", hops[len(hops)-1].To, orig.M.Dst))
+	}
+	for i, h := range hops {
+		if !net.InRange(h.From, h.To, h.SentAt) {
+			out.Violations = append(out.Violations,
+				fmt.Sprintf("hop %d: range(%d,%d,%d) is false", i, h.From, h.To, h.SentAt))
+		}
+		if h.RecvAt != h.SentAt+1 {
+			out.Violations = append(out.Violations,
+				fmt.Sprintf("hop %d: transmission took %d chronons, want 1", i, h.RecvAt-h.SentAt))
+		}
+		if i+1 < len(hops) {
+			if h.To != hops[i+1].From {
+				out.Violations = append(out.Violations,
+					fmt.Sprintf("hop %d: d_i=%d but s_{i+1}=%d", i, h.To, hops[i+1].From))
+			}
+			if hops[i+1].SentAt < h.RecvAt {
+				out.Violations = append(out.Violations,
+					fmt.Sprintf("hop %d: forwarded at %d before received at %d", i, hops[i+1].SentAt, h.RecvAt))
+			}
+		}
+	}
+	out.Latency = hops[len(hops)-1].RecvAt - hops[0].SentAt
+	out.OK = len(out.Violations) == 0
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Distributed decomposition (§5.2.5)
+
+// LocalWord builds 𝓛_i: the node's own word h_i concatenated with the
+// m_u of every message the node sent.
+func LocalWord(net *Network, id int) word.Word {
+	var sent word.Finite
+	for _, s := range net.trace.Sends {
+		if s.P.From == id {
+			sent = append(sent, MessageWord(s)...)
+		}
+	}
+	return word.Concat(NodeWord(net.nodes[id]), sent)
+}
+
+// RemoteWord builds 𝓡_i: the receive events of every message delivered to
+// node i (the union of the M_{l,i} of equation (12)).
+func RemoteWord(net *Network, id int) word.Finite {
+	var out word.Finite
+	for _, r := range net.trace.Recvs {
+		if r.By == id {
+			out = append(out, ReceiveWord(r)...)
+		}
+	}
+	return out
+}
+
+// ComponentWord builds H_i = 𝓛_i·𝓡_i: everything node i knows — "only
+// those messages that are sent by the corresponding node, and those
+// messages that are received by the node. Besides this information, no
+// knowledge about the external world exists."
+func ComponentWord(net *Network, id int) word.Word {
+	return word.Concat(LocalWord(net, id), RemoteWord(net, id))
+}

@@ -1,0 +1,175 @@
+package adhoc
+
+import (
+	"strings"
+	"testing"
+
+	"rtc/internal/encoding"
+	"rtc/internal/word"
+)
+
+func smallRun(t *testing.T) *Network {
+	t.Helper()
+	net := NewNetwork(lineNodes(3, func() Protocol { return &Flooding{} }))
+	net.Inject(Message{ID: 1, Src: 1, Dst: 3, At: 1, Payload: "b"})
+	net.Run(10)
+	if net.Metrics().Delivered != 1 {
+		t.Fatal("setup: message not delivered")
+	}
+	return net
+}
+
+func TestNodeWordShape(t *testing.T) {
+	n := &Node{ID: 2, Mob: ConstVel{Start: Pos{1, 2}, VX: 1, VY: 0, W: 100, H: 100}, Range: 10}
+	w := NodeWord(n)
+	p := word.Prefix(w, 60)
+	recs, ok := encoding.Records(word.Finite(p[:len(p)-len(p)%1]).Syms())
+	// The prefix may cut a record; parse only the complete leading records.
+	for !ok && len(p) > 0 {
+		p = p[:len(p)-1]
+		recs, ok = encoding.Records(word.Finite(p).Syms())
+	}
+	if len(recs) < 3 {
+		t.Fatalf("records = %v", recs)
+	}
+	// First record: the invariant characteristics q_2.
+	if recs[0][0] != "2" || !strings.HasPrefix(recs[0][1], "range=") {
+		t.Fatalf("q_i record = %v", recs[0])
+	}
+	// Then positions, each prefixed by the node label (the enc(i,π)
+	// convention of §5.2.2).
+	if recs[1][0] != "2" || !strings.HasPrefix(recs[1][1], "pos=") {
+		t.Fatalf("position record = %v", recs[1])
+	}
+	if !word.MonotoneWithin(w, 200) || !word.WellBehavedWithin(w, 200) {
+		t.Error("node word must be monotone and progressing")
+	}
+}
+
+func TestMessageAndReceiveWords(t *testing.T) {
+	net := smallRun(t)
+	tr := net.Trace()
+	if len(tr.Sends) == 0 || len(tr.Recvs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	mw := MessageWord(tr.Sends[0])
+	rec, ok := encoding.ParseRecord(mw.Syms())
+	if !ok || rec[0] != "m" || len(rec) != 5 {
+		t.Fatalf("message record = %v", rec)
+	}
+	// All symbols carry the generation time.
+	for _, e := range mw {
+		if e.At != tr.Sends[0].At {
+			t.Fatal("message word time drift")
+		}
+	}
+	rw := ReceiveWord(tr.Recvs[0])
+	rrec, ok := encoding.ParseRecord(rw.Syms())
+	if !ok || rrec[0] != "r" || len(rrec) != 4 {
+		t.Fatalf("receive record = %v", rrec)
+	}
+	// The receive happens one chronon after the send it echoes.
+	if rw[0].At != tr.Recvs[0].At || tr.Recvs[0].At != tr.Sends[0].At+1 {
+		t.Fatalf("receive at %d, send at %d", tr.Recvs[0].At, tr.Sends[0].At)
+	}
+}
+
+func TestEventsWordOrdered(t *testing.T) {
+	net := smallRun(t)
+	ew := net.Trace().EventsWord()
+	if len(ew) == 0 {
+		t.Fatal("empty events word")
+	}
+	if !word.MonotoneWithin(ew, uint64(len(ew))) {
+		t.Fatal("events word not monotone")
+	}
+}
+
+func TestRoutingWordWellFormed(t *testing.T) {
+	net := smallRun(t)
+	w := RoutingWord(net)
+	if !w.Length().Omega {
+		t.Fatal("routing word must be infinite (node words continue forever)")
+	}
+	if !word.MonotoneWithin(w, 500) {
+		t.Fatal("routing word not monotone")
+	}
+	if !word.WellBehavedWithin(w, 500) {
+		t.Fatal("routing word should look well behaved (bounded messages per chronon)")
+	}
+}
+
+// §5.2.5: component words contain exactly the node's own sends and its
+// receipts.
+func TestComponentWords(t *testing.T) {
+	net := smallRun(t)
+	// Node 2 is the relay on the line 1–2–3.
+	local := word.Prefix(LocalWord(net, 2), 200)
+	countKind := func(w word.Finite, kind string) int {
+		recs, _ := encoding.Records(w.Syms())
+		n := 0
+		for _, r := range recs {
+			if len(r) > 0 && r[0] == kind {
+				n++
+			}
+		}
+		return n
+	}
+	_ = local
+	remote := RemoteWord(net, 2)
+	// Node 2 received the flood from node 1 exactly once.
+	if got := countKind(remote, "r"); got != 1 {
+		t.Errorf("node 2 receive events = %d, want 1", got)
+	}
+	// Node 3 (destination) also receives once and sends nothing.
+	if got := countKind(RemoteWord(net, 3), "r"); got != 1 {
+		t.Errorf("node 3 receive events = %d, want 1", got)
+	}
+	var sent3 int
+	for _, s := range net.Trace().Sends {
+		if s.P.From == 3 {
+			sent3++
+		}
+	}
+	if sent3 != 0 {
+		t.Errorf("destination sent %d packets under flooding", sent3)
+	}
+	// H_i is a valid timed word.
+	h2 := ComponentWord(net, 2)
+	if !word.MonotoneWithin(h2, 300) {
+		t.Error("H_2 not monotone")
+	}
+}
+
+func TestChainOnFlooding(t *testing.T) {
+	net := smallRun(t)
+	hops, ok := net.Trace().Chain(1, net)
+	if !ok || len(hops) != 2 {
+		t.Fatalf("chain = %v, %v", hops, ok)
+	}
+	if hops[0].From != 1 || hops[0].To != 2 || hops[1].From != 2 || hops[1].To != 3 {
+		t.Fatalf("chain = %v", hops)
+	}
+	ck := net.Trace().CheckRoute(1, net)
+	if !ck.OK || ck.Latency != 2 || ck.F != 2 {
+		t.Fatalf("check = %+v", ck)
+	}
+}
+
+func TestCheckRouteUndelivered(t *testing.T) {
+	// Partitioned network: no delivery, t'_f not finite.
+	nodes := []*Node{
+		{ID: 1, Mob: Static(Pos{0, 0}), Range: 5, Proto: &Flooding{}},
+		{ID: 2, Mob: Static(Pos{100, 100}), Range: 5, Proto: &Flooding{}},
+	}
+	net := NewNetwork(nodes)
+	net.Inject(Message{ID: 7, Src: 1, Dst: 2, At: 1})
+	net.Run(20)
+	ck := net.Trace().CheckRoute(7, net)
+	if ck.OK || ck.Delivered {
+		t.Fatalf("partitioned route validated: %+v", ck)
+	}
+	if len(ck.Violations) == 0 {
+		t.Fatal("no violation recorded")
+	}
+}

@@ -1,0 +1,358 @@
+// Package automata implements the classical finite-automata substrate of §2:
+// deterministic and nondeterministic finite automata (with λ-transitions, as
+// used in the A′ construction of Theorem 3.1's proof), the usual product /
+// determinization / minimization constructions, and an executable form of
+// the pumping argument behind Theorem 3.1.
+package automata
+
+import (
+	"fmt"
+	"sort"
+
+	"rtc/internal/word"
+)
+
+// Dead is the implicit reject state: a missing transition leads to Dead and
+// the run is rejecting.
+const Dead = -1
+
+// DFA is a deterministic finite automaton over word.Symbol. Missing
+// transitions are implicit transitions to a dead (rejecting, absorbing)
+// state.
+type DFA struct {
+	Alphabet  []word.Symbol
+	NumStates int
+	Start     int
+	// Trans maps (state, symbol) to the successor state.
+	Trans map[int]map[word.Symbol]int
+	// Accept holds the accepting states.
+	Accept map[int]bool
+}
+
+// NewDFA allocates an empty DFA with the given alphabet and state count.
+func NewDFA(alphabet []word.Symbol, numStates, start int) *DFA {
+	return &DFA{
+		Alphabet:  alphabet,
+		NumStates: numStates,
+		Start:     start,
+		Trans:     make(map[int]map[word.Symbol]int),
+		Accept:    make(map[int]bool),
+	}
+}
+
+// SetTrans adds the transition (from, sym) → to.
+func (d *DFA) SetTrans(from int, sym word.Symbol, to int) {
+	m, ok := d.Trans[from]
+	if !ok {
+		m = make(map[word.Symbol]int)
+		d.Trans[from] = m
+	}
+	m[sym] = to
+}
+
+// SetAccept marks states as accepting.
+func (d *DFA) SetAccept(states ...int) {
+	for _, s := range states {
+		d.Accept[s] = true
+	}
+}
+
+// Step returns the successor of s under sym, or Dead.
+func (d *DFA) Step(s int, sym word.Symbol) int {
+	if s == Dead {
+		return Dead
+	}
+	if m, ok := d.Trans[s]; ok {
+		if t, ok := m[sym]; ok {
+			return t
+		}
+	}
+	return Dead
+}
+
+// Accepts reports whether the DFA accepts the (classical) word ws.
+func (d *DFA) Accepts(ws []word.Symbol) bool {
+	s := d.Start
+	for _, a := range ws {
+		s = d.Step(s, a)
+		if s == Dead {
+			return false
+		}
+	}
+	return d.Accept[s]
+}
+
+// Run returns the full state trajectory over ws: Run(ws)[i] is the state
+// after consuming i symbols (so len(result) == len(ws)+1). Once Dead, the
+// trajectory stays Dead.
+func (d *DFA) Run(ws []word.Symbol) []int {
+	out := make([]int, len(ws)+1)
+	out[0] = d.Start
+	for i, a := range ws {
+		out[i+1] = d.Step(out[i], a)
+	}
+	return out
+}
+
+// Complete returns an equivalent DFA in which every (state, symbol) pair has
+// an explicit transition; the dead state, if needed, becomes a real state.
+func (d *DFA) Complete() *DFA {
+	needSink := false
+	for s := 0; s < d.NumStates; s++ {
+		for _, a := range d.Alphabet {
+			if d.Step(s, a) == Dead {
+				needSink = true
+			}
+		}
+	}
+	n := d.NumStates
+	out := NewDFA(d.Alphabet, n, d.Start)
+	for s, m := range d.Trans {
+		for a, t := range m {
+			out.SetTrans(s, a, t)
+		}
+	}
+	for s := range d.Accept {
+		out.Accept[s] = true
+	}
+	if needSink {
+		sink := n
+		out.NumStates = n + 1
+		for s := 0; s <= n; s++ {
+			for _, a := range d.Alphabet {
+				if out.Step(s, a) == Dead {
+					out.SetTrans(s, a, sink)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Complement returns a DFA for the complement language (with respect to
+// Alphabet*).
+func (d *DFA) Complement() *DFA {
+	c := d.Complete()
+	acc := make(map[int]bool)
+	for s := 0; s < c.NumStates; s++ {
+		if !c.Accept[s] {
+			acc[s] = true
+		}
+	}
+	c.Accept = acc
+	return c
+}
+
+// Product returns the product DFA whose acceptance combines the operand
+// acceptances with the given boolean operator (∧ for intersection, ∨ for
+// union, XOR for symmetric difference). Both operands are completed first;
+// the alphabets must be equal.
+func Product(a, b *DFA, combine func(bool, bool) bool) *DFA {
+	ca, cb := a.Complete(), b.Complete()
+	id := func(sa, sb int) int { return sa*cb.NumStates + sb }
+	out := NewDFA(a.Alphabet, ca.NumStates*cb.NumStates, id(ca.Start, cb.Start))
+	for sa := 0; sa < ca.NumStates; sa++ {
+		for sb := 0; sb < cb.NumStates; sb++ {
+			s := id(sa, sb)
+			for _, sym := range a.Alphabet {
+				out.SetTrans(s, sym, id(ca.Step(sa, sym), cb.Step(sb, sym)))
+			}
+			if combine(ca.Accept[sa], cb.Accept[sb]) {
+				out.Accept[s] = true
+			}
+		}
+	}
+	return out
+}
+
+// ShortestAccepted returns a shortest accepted word, or (nil, false) when
+// the language is empty. BFS from the start state.
+func (d *DFA) ShortestAccepted() ([]word.Symbol, bool) {
+	type node struct {
+		state int
+		via   word.Symbol
+		prev  int // index into visit order; -1 for start
+	}
+	if d.Accept[d.Start] {
+		return []word.Symbol{}, true
+	}
+	seen := map[int]bool{d.Start: true}
+	queue := []node{{state: d.Start, prev: -1}}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		for _, a := range d.Alphabet {
+			t := d.Step(cur.state, a)
+			if t == Dead || seen[t] {
+				continue
+			}
+			seen[t] = true
+			queue = append(queue, node{state: t, via: a, prev: qi})
+			if d.Accept[t] {
+				// Reconstruct.
+				var rev []word.Symbol
+				for i := len(queue) - 1; i != -1; i = queue[i].prev {
+					if queue[i].prev == -1 {
+						break
+					}
+					rev = append(rev, queue[i].via)
+				}
+				ws := make([]word.Symbol, len(rev))
+				for i := range rev {
+					ws[i] = rev[len(rev)-1-i]
+				}
+				return ws, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Empty reports whether the DFA's language is empty.
+func (d *DFA) Empty() bool {
+	_, ok := d.ShortestAccepted()
+	return !ok
+}
+
+// Equivalent reports whether a and b accept the same language; when they do
+// not, it returns a word in the symmetric difference.
+func Equivalent(a, b *DFA) (bool, []word.Symbol) {
+	xor := Product(a, b, func(x, y bool) bool { return x != y })
+	if w, ok := xor.ShortestAccepted(); ok {
+		return false, w
+	}
+	return true, nil
+}
+
+// Minimize returns the minimal DFA for d's language, via Moore's partition
+// refinement on the completed, reachable part.
+func (d *DFA) Minimize() *DFA {
+	c := d.Complete()
+	// Restrict to reachable states.
+	reach := []int{c.Start}
+	seen := map[int]bool{c.Start: true}
+	for qi := 0; qi < len(reach); qi++ {
+		for _, a := range c.Alphabet {
+			t := c.Step(reach[qi], a)
+			if !seen[t] {
+				seen[t] = true
+				reach = append(reach, t)
+			}
+		}
+	}
+	sort.Ints(reach)
+	idx := make(map[int]int, len(reach))
+	for i, s := range reach {
+		idx[s] = i
+	}
+	n := len(reach)
+	// Initial partition: accepting vs not.
+	class := make([]int, n)
+	for i, s := range reach {
+		if c.Accept[s] {
+			class[i] = 1
+		}
+	}
+	for {
+		// Signature of each state: (class, classes of successors).
+		type sig struct {
+			cls  int
+			succ string
+		}
+		sigs := make([]sig, n)
+		for i, s := range reach {
+			key := make([]byte, 0, 4*len(c.Alphabet))
+			for _, a := range c.Alphabet {
+				t := idx[c.Step(s, a)]
+				key = append(key, byte(class[t]), byte(class[t]>>8), byte(class[t]>>16), byte(class[t]>>24))
+			}
+			sigs[i] = sig{cls: class[i], succ: string(key)}
+		}
+		next := make(map[sig]int)
+		newClass := make([]int, n)
+		for i := range reach {
+			id, ok := next[sigs[i]]
+			if !ok {
+				id = len(next)
+				next[sigs[i]] = id
+			}
+			newClass[i] = id
+		}
+		changed := false
+		for i := range class {
+			if class[i] != newClass[i] {
+				changed = true
+			}
+		}
+		class = newClass
+		if !changed {
+			break
+		}
+	}
+	numClasses := 0
+	for _, cl := range class {
+		if cl+1 > numClasses {
+			numClasses = cl + 1
+		}
+	}
+	out := NewDFA(c.Alphabet, numClasses, class[idx[c.Start]])
+	for i, s := range reach {
+		for _, a := range c.Alphabet {
+			out.SetTrans(class[i], a, class[idx[c.Step(s, a)]])
+		}
+		if c.Accept[s] {
+			out.Accept[class[i]] = true
+		}
+	}
+	return out
+}
+
+// Syms converts a plain string of single-rune symbols into a symbol slice —
+// a convenience for tests and the pumping machinery.
+func Syms(s string) []word.Symbol {
+	out := make([]word.Symbol, 0, len(s))
+	for _, r := range s {
+		out = append(out, word.Symbol(string(r)))
+	}
+	return out
+}
+
+// String renders a symbol slice back to a plain string.
+func String(ws []word.Symbol) string {
+	out := ""
+	for _, a := range ws {
+		out += string(a)
+	}
+	return out
+}
+
+// Validate checks internal consistency: states in range, transitions over
+// the declared alphabet.
+func (d *DFA) Validate() error {
+	inRange := func(s int) bool { return s >= 0 && s < d.NumStates }
+	if !inRange(d.Start) {
+		return fmt.Errorf("automata: start state %d out of range", d.Start)
+	}
+	alpha := make(map[word.Symbol]bool, len(d.Alphabet))
+	for _, a := range d.Alphabet {
+		alpha[a] = true
+	}
+	for s, m := range d.Trans {
+		if !inRange(s) {
+			return fmt.Errorf("automata: source state %d out of range", s)
+		}
+		for a, t := range m {
+			if !alpha[a] {
+				return fmt.Errorf("automata: transition on undeclared symbol %q", a)
+			}
+			if !inRange(t) {
+				return fmt.Errorf("automata: target state %d out of range", t)
+			}
+		}
+	}
+	for s := range d.Accept {
+		if !inRange(s) {
+			return fmt.Errorf("automata: accepting state %d out of range", s)
+		}
+	}
+	return nil
+}

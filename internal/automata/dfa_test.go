@@ -1,0 +1,254 @@
+package automata
+
+import (
+	"testing"
+
+	"rtc/internal/word"
+)
+
+// evenA accepts words over {a,b} with an even number of a's.
+func evenA() *DFA {
+	d := NewDFA([]word.Symbol{"a", "b"}, 2, 0)
+	d.SetTrans(0, "a", 1)
+	d.SetTrans(1, "a", 0)
+	d.SetTrans(0, "b", 0)
+	d.SetTrans(1, "b", 1)
+	d.SetAccept(0)
+	return d
+}
+
+// endsB accepts words over {a,b} ending in b.
+func endsB() *DFA {
+	d := NewDFA([]word.Symbol{"a", "b"}, 2, 0)
+	d.SetTrans(0, "a", 0)
+	d.SetTrans(0, "b", 1)
+	d.SetTrans(1, "a", 0)
+	d.SetTrans(1, "b", 1)
+	d.SetAccept(1)
+	return d
+}
+
+func TestDFAAccepts(t *testing.T) {
+	d := evenA()
+	cases := map[string]bool{
+		"":     true,
+		"a":    false,
+		"aa":   true,
+		"ab":   false,
+		"bab":  false,
+		"baab": true,
+	}
+	for in, want := range cases {
+		if got := d.Accepts(Syms(in)); got != want {
+			t.Errorf("evenA(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestDFARunAndDead(t *testing.T) {
+	d := NewDFA([]word.Symbol{"a"}, 2, 0)
+	d.SetTrans(0, "a", 1)
+	d.SetAccept(1)
+	traj := d.Run(Syms("aaa"))
+	want := []int{0, 1, Dead, Dead}
+	for i := range want {
+		if traj[i] != want[i] {
+			t.Fatalf("Run = %v, want %v", traj, want)
+		}
+	}
+	if d.Accepts(Syms("aa")) {
+		t.Error("dead run accepted")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	d := NewDFA([]word.Symbol{"a", "b"}, 1, 0)
+	d.SetTrans(0, "a", 0)
+	d.SetAccept(0)
+	c := d.Complete()
+	if c.NumStates != 2 {
+		t.Fatalf("Complete added %d states, want sink only", c.NumStates-1)
+	}
+	for s := 0; s < c.NumStates; s++ {
+		for _, a := range c.Alphabet {
+			if c.Step(s, a) == Dead {
+				t.Fatalf("Complete left (%d,%s) undefined", s, a)
+			}
+		}
+	}
+	// Language unchanged.
+	for _, in := range []string{"", "a", "aa", "b", "ab"} {
+		if c.Accepts(Syms(in)) != d.Accepts(Syms(in)) {
+			t.Errorf("Complete changed verdict on %q", in)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	d := evenA()
+	c := d.Complement()
+	for _, in := range []string{"", "a", "ab", "aab", "bb"} {
+		if c.Accepts(Syms(in)) == d.Accepts(Syms(in)) {
+			t.Errorf("complement agrees with original on %q", in)
+		}
+	}
+}
+
+func TestProduct(t *testing.T) {
+	and := Product(evenA(), endsB(), func(x, y bool) bool { return x && y })
+	cases := map[string]bool{
+		"b":    true,  // zero a's (even), ends b
+		"ab":   false, // odd a's
+		"aab":  true,
+		"aaba": false, // ends a
+		"":     false, // doesn't end in b
+	}
+	for in, want := range cases {
+		if got := and.Accepts(Syms(in)); got != want {
+			t.Errorf("(evenA ∧ endsB)(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestShortestAcceptedAndEmpty(t *testing.T) {
+	d := endsB()
+	w, ok := d.ShortestAccepted()
+	if !ok || String(w) != "b" {
+		t.Errorf("ShortestAccepted = %q, %v", String(w), ok)
+	}
+	empty := NewDFA([]word.Symbol{"a"}, 1, 0)
+	empty.SetTrans(0, "a", 0)
+	if !empty.Empty() {
+		t.Error("DFA without accepting states not empty")
+	}
+	eps := NewDFA([]word.Symbol{"a"}, 1, 0)
+	eps.SetAccept(0)
+	w, ok = eps.ShortestAccepted()
+	if !ok || len(w) != 0 {
+		t.Errorf("ShortestAccepted on ε-accepting DFA = %v, %v", w, ok)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := evenA()
+	b := evenA()
+	if ok, ce := Equivalent(a, b); !ok {
+		t.Errorf("identical DFAs inequivalent, witness %q", String(ce))
+	}
+	c := endsB()
+	ok, ce := Equivalent(a, c)
+	if ok {
+		t.Fatal("different DFAs declared equivalent")
+	}
+	if a.Accepts(ce) == c.Accepts(ce) {
+		t.Errorf("counterexample %q does not separate", String(ce))
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// Build an inflated evenA with duplicate states.
+	d := NewDFA([]word.Symbol{"a", "b"}, 4, 0)
+	d.SetTrans(0, "a", 1)
+	d.SetTrans(0, "b", 2) // 2 duplicates 0
+	d.SetTrans(1, "a", 2)
+	d.SetTrans(1, "b", 3) // 3 duplicates 1
+	d.SetTrans(2, "a", 3)
+	d.SetTrans(2, "b", 0)
+	d.SetTrans(3, "a", 0)
+	d.SetTrans(3, "b", 1)
+	d.SetAccept(0, 2)
+	m := d.Minimize()
+	if m.NumStates != 2 {
+		t.Fatalf("Minimize: %d states, want 2", m.NumStates)
+	}
+	if ok, ce := Equivalent(d, m); !ok {
+		t.Fatalf("minimized DFA differs, witness %q", String(ce))
+	}
+}
+
+func TestMinimizeDropsUnreachable(t *testing.T) {
+	d := evenA()
+	d.NumStates = 5 // three unreachable states
+	d.SetAccept(4)
+	m := d.Minimize()
+	if m.NumStates != 2 {
+		t.Fatalf("Minimize kept unreachable states: %d", m.NumStates)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := evenA()
+	if err := d.Validate(); err != nil {
+		t.Errorf("valid DFA rejected: %v", err)
+	}
+	d.SetTrans(0, "z", 1)
+	if err := d.Validate(); err == nil {
+		t.Error("undeclared symbol accepted")
+	}
+}
+
+func TestNFADeterminize(t *testing.T) {
+	// NFA for words over {a,b} containing "ab".
+	n := NewNFA([]word.Symbol{"a", "b"}, 3, 0)
+	n.AddTrans(0, "a", 0)
+	n.AddTrans(0, "b", 0)
+	n.AddTrans(0, "a", 1)
+	n.AddTrans(1, "b", 2)
+	n.AddTrans(2, "a", 2)
+	n.AddTrans(2, "b", 2)
+	n.SetAccept(2)
+	cases := map[string]bool{
+		"":      false,
+		"ab":    true,
+		"ba":    false,
+		"aab":   true,
+		"babab": true,
+		"bbaa":  false,
+	}
+	for in, want := range cases {
+		if got := n.Accepts(Syms(in)); got != want {
+			t.Errorf("NFA(%q) = %v, want %v", in, got, want)
+		}
+	}
+	d := n.Determinize()
+	for in, want := range cases {
+		if got := d.Accepts(Syms(in)); got != want {
+			t.Errorf("DFA(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestNFAEpsilon(t *testing.T) {
+	// λ-transitions: start can jump to either branch, as in the A′
+	// construction of Theorem 3.1.
+	n := NewNFA([]word.Symbol{"a", "b"}, 3, 0)
+	n.AddEps(0, 1)
+	n.AddEps(0, 2)
+	n.AddTrans(1, "a", 1)
+	n.AddTrans(2, "b", 2)
+	n.SetAccept(1, 2)
+	for in, want := range map[string]bool{
+		"":    true,
+		"aa":  true,
+		"bb":  true,
+		"ab":  false,
+		"aab": false,
+	} {
+		if got := n.Accepts(Syms(in)); got != want {
+			t.Errorf("εNFA(%q) = %v, want %v", in, got, want)
+		}
+		if got := n.Determinize().Accepts(Syms(in)); got != want {
+			t.Errorf("det(εNFA)(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFromDFA(t *testing.T) {
+	d := evenA()
+	n := FromDFA(d)
+	for _, in := range []string{"", "a", "aa", "ba", "bab"} {
+		if n.Accepts(Syms(in)) != d.Accepts(Syms(in)) {
+			t.Errorf("FromDFA changed verdict on %q", in)
+		}
+	}
+}

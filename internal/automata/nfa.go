@@ -1,0 +1,180 @@
+package automata
+
+import (
+	"sort"
+
+	"rtc/internal/word"
+)
+
+// NFA is a nondeterministic finite automaton with λ-transitions, as used by
+// the A′ construction in the proof of Theorem 3.1 ("the transition function
+// of A′ is δ, augmented with λ-transitions from s′ to each state in S1").
+type NFA struct {
+	Alphabet  []word.Symbol
+	NumStates int
+	Start     []int
+	Trans     map[int]map[word.Symbol][]int
+	Eps       map[int][]int
+	Accept    map[int]bool
+}
+
+// NewNFA allocates an empty NFA.
+func NewNFA(alphabet []word.Symbol, numStates int, start ...int) *NFA {
+	return &NFA{
+		Alphabet:  alphabet,
+		NumStates: numStates,
+		Start:     start,
+		Trans:     make(map[int]map[word.Symbol][]int),
+		Eps:       make(map[int][]int),
+		Accept:    make(map[int]bool),
+	}
+}
+
+// AddTrans adds a transition (from, sym) → to.
+func (n *NFA) AddTrans(from int, sym word.Symbol, to int) {
+	m, ok := n.Trans[from]
+	if !ok {
+		m = make(map[word.Symbol][]int)
+		n.Trans[from] = m
+	}
+	m[sym] = append(m[sym], to)
+}
+
+// AddEps adds a λ-transition from → to.
+func (n *NFA) AddEps(from, to int) {
+	n.Eps[from] = append(n.Eps[from], to)
+}
+
+// SetAccept marks states as accepting.
+func (n *NFA) SetAccept(states ...int) {
+	for _, s := range states {
+		n.Accept[s] = true
+	}
+}
+
+// closure expands a state set with λ-transitions.
+func (n *NFA) closure(set map[int]bool) map[int]bool {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.Eps[s] {
+			if !set[t] {
+				set[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return set
+}
+
+// step computes the successor state set under one symbol (with closure).
+func (n *NFA) step(set map[int]bool, sym word.Symbol) map[int]bool {
+	out := make(map[int]bool)
+	for s := range set {
+		if m, ok := n.Trans[s]; ok {
+			for _, t := range m[sym] {
+				out[t] = true
+			}
+		}
+	}
+	return n.closure(out)
+}
+
+// Accepts reports whether the NFA accepts ws.
+func (n *NFA) Accepts(ws []word.Symbol) bool {
+	set := make(map[int]bool, len(n.Start))
+	for _, s := range n.Start {
+		set[s] = true
+	}
+	set = n.closure(set)
+	for _, a := range ws {
+		set = n.step(set, a)
+		if len(set) == 0 {
+			return false
+		}
+	}
+	for s := range set {
+		if n.Accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// Determinize performs the subset construction and returns an equivalent
+// DFA.
+func (n *NFA) Determinize() *DFA {
+	key := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for s := range set {
+			ids = append(ids, s)
+		}
+		sort.Ints(ids)
+		b := make([]byte, 0, 4*len(ids))
+		for _, s := range ids {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		return string(b)
+	}
+	start := make(map[int]bool, len(n.Start))
+	for _, s := range n.Start {
+		start[s] = true
+	}
+	start = n.closure(start)
+
+	states := []map[int]bool{start}
+	index := map[string]int{key(start): 0}
+	type edge struct {
+		from int
+		sym  word.Symbol
+		to   int
+	}
+	var edges []edge
+	for qi := 0; qi < len(states); qi++ {
+		for _, a := range n.Alphabet {
+			succ := n.step(states[qi], a)
+			if len(succ) == 0 {
+				continue // implicit dead state in the DFA
+			}
+			k := key(succ)
+			id, ok := index[k]
+			if !ok {
+				id = len(states)
+				index[k] = id
+				states = append(states, succ)
+			}
+			edges = append(edges, edge{qi, a, id})
+		}
+	}
+	d := NewDFA(n.Alphabet, len(states), 0)
+	for _, e := range edges {
+		d.SetTrans(e.from, e.sym, e.to)
+	}
+	for i, set := range states {
+		for s := range set {
+			if n.Accept[s] {
+				d.Accept[i] = true
+				break
+			}
+		}
+	}
+	return d
+}
+
+// FromDFA embeds a DFA as an NFA.
+func FromDFA(d *DFA) *NFA {
+	n := NewNFA(d.Alphabet, d.NumStates, d.Start)
+	for s, m := range d.Trans {
+		for a, t := range m {
+			n.AddTrans(s, a, t)
+		}
+	}
+	for s := range d.Accept {
+		n.Accept[s] = true
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInL(t *testing.T) {
+	cases := map[string]bool{
+		"abcd":       true,
+		"aabccd":     true,
+		"abbcddd":    false, // x=2, y=3
+		"abbbcccddd": true,
+		"bcd":        false, // u=0
+		"acd":        false, // x=0
+		"abd":        false, // v=0
+		"abc":        false, // y=0
+		"abcda":      false, // trailing garbage
+		"":           false,
+	}
+	for in, want := range cases {
+		if got := InL(Syms(in)); got != want {
+			t.Errorf("InL(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestLWord(t *testing.T) {
+	if got := String(LWord(2, 3, 1)); got != "aabbbcddd" {
+		t.Errorf("LWord = %q", got)
+	}
+	if !InL(LWord(1, 5, 2)) {
+		t.Error("LWord not in L")
+	}
+}
+
+// checkCounterexample asserts a genuine disagreement.
+func checkCounterexample(t *testing.T, d *DFA, ce Counterexample) {
+	t.Helper()
+	if ce.DFAAccepts == ce.InLanguage {
+		t.Fatalf("not a disagreement: word %q, dfa=%v inL=%v",
+			String(ce.Word), ce.DFAAccepts, ce.InLanguage)
+	}
+	if got := d.Accepts(ce.Word); got != ce.DFAAccepts {
+		t.Fatalf("reported DFA verdict wrong for %q: got %v", String(ce.Word), got)
+	}
+	if got := InL(ce.Word); got != ce.InLanguage {
+		t.Fatalf("reported L verdict wrong for %q: got %v", String(ce.Word), got)
+	}
+}
+
+// The over-approximating candidate (a⁺b⁺c⁺d⁺) must be refuted by a pumped
+// word it wrongly accepts.
+func TestRefuteLOverApproximation(t *testing.T) {
+	d := CandidateOverDFA()
+	ce := RefuteL(d)
+	checkCounterexample(t, d, ce)
+	if !ce.DFAAccepts || ce.InLanguage {
+		t.Errorf("over-approximation should be refuted by a false accept, got %+v", ce)
+	}
+	if !ce.Pumped {
+		t.Error("expected the pumping step to produce the witness")
+	}
+}
+
+// Bounded counters (exact up to k) must be refuted by a member beyond their
+// bound that they wrongly reject.
+func TestRefuteLBoundedCandidates(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		d := CandidateBoundedDFA(k)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("k=%d: invalid candidate: %v", k, err)
+		}
+		// Sanity: exact within the bound.
+		for x := 1; x <= k; x++ {
+			if !d.Accepts(LWord(1, x, 1)) {
+				t.Fatalf("k=%d: candidate rejects member x=%d", k, x)
+			}
+		}
+		ce := RefuteL(d)
+		checkCounterexample(t, d, ce)
+		if ce.DFAAccepts || !ce.InLanguage {
+			t.Errorf("k=%d: bounded candidate should be refuted by a false reject, got %+v", k, ce)
+		}
+	}
+}
+
+// Theorem 3.1, sampled over arbitrary machines: RefuteL finds a genuine
+// disagreement for every random DFA.
+func TestRefuteLRandomDFAs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		d := NewDFA(LAlphabet, n, rng.Intn(n))
+		for s := 0; s < n; s++ {
+			for _, a := range LAlphabet {
+				if rng.Intn(4) > 0 { // leave some transitions dead
+					d.SetTrans(s, a, rng.Intn(n))
+				}
+			}
+			if rng.Intn(3) == 0 {
+				d.SetAccept(s)
+			}
+		}
+		ce := RefuteL(d)
+		checkCounterexample(t, d, ce)
+	}
+}
+
+// Even a large minimized candidate cannot escape: minimize the bounded
+// candidate and refute it again.
+func TestRefuteLMinimizedCandidate(t *testing.T) {
+	d := CandidateBoundedDFA(4).Minimize()
+	ce := RefuteL(d)
+	checkCounterexample(t, d, ce)
+}

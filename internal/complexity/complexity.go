@@ -1,0 +1,211 @@
+// Package complexity is the seed of the real-time complexity theory §3.2
+// and §7 call for: complexity classes of well-behaved timed ω-languages
+// parameterized by the measurable resources of the real-time algorithm —
+// working storage (rt-SPACE) and processors (rt-PROC).
+//
+// Lower bounds cannot be "run", but the class definitions can: a language
+// exhibits membership in rt-SPACE(f) through an accepting program whose
+// metered footprint respects f on every tested input, and the separation
+// the paper's Theorem 3.1 sets up — L_ω needs memory; finite-state devices
+// (constant space) cannot accept it — becomes measurable: the unbounded
+// acceptor below decides L_ω correctly with footprint Θ(x) on block size x,
+// while every constant-space candidate is refuted by omega.RefuteLOmega.
+package complexity
+
+import (
+	"rtc/internal/core"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// LOmegaAcceptor is the real-time algorithm (Definition 3.3) for
+// L_ω = { l_1 $ l_2 $ … | l_i ∈ a^u b^x c^v d^x }, the language Theorem 3.1
+// proves beyond every finite-state acceptor. It checks each $-terminated
+// block with unary counters (working storage grows with the block's b-run,
+// the resource a finite automaton lacks), writes f after every valid block,
+// and enters the rejecting absorbing state on the first invalid one.
+//
+// Acceptance under Definition 3.4: members keep producing f forever (one
+// per block); non-members stop after the offending block — with a proven
+// reject, since the control absorbs.
+type LOmegaAcceptor struct {
+	core.Control
+	phase   int // 0:a's 1:b's 2:c's 3:d's
+	u, x, v uint64
+	d       uint64
+	pendF   uint64 // valid blocks not yet acknowledged with f
+	hwm     uint64 // high-water mark of the counter cells
+}
+
+// note updates the footprint high-water mark; several symbols can be
+// consumed within one chronon, so the peak must be tracked inside the tick.
+func (p *LOmegaAcceptor) note() {
+	if s := p.u + p.x + p.v + p.d + p.pendF; s > p.hwm {
+		p.hwm = s
+	}
+}
+
+// Tick implements core.Program.
+func (p *LOmegaAcceptor) Tick(t *core.Tick) {
+	for _, e := range t.New {
+		if p.Decided() {
+			break
+		}
+		switch e.Sym {
+		case "a":
+			if p.phase != 0 {
+				p.RejectForever()
+				continue
+			}
+			p.u++
+		case "b":
+			if p.phase > 1 || p.u == 0 {
+				p.RejectForever()
+				continue
+			}
+			p.phase = 1
+			p.x++
+		case "c":
+			if p.phase != 1 && p.phase != 2 || p.x == 0 {
+				p.RejectForever()
+				continue
+			}
+			p.phase = 2
+			p.v++
+		case "d":
+			if p.phase != 2 && p.phase != 3 || p.v == 0 {
+				p.RejectForever()
+				continue
+			}
+			p.phase = 3
+			p.d++
+			if p.d > p.x {
+				p.RejectForever()
+			}
+		case "$":
+			if p.phase != 3 || p.d != p.x {
+				p.RejectForever()
+				continue
+			}
+			p.pendF++
+			p.phase, p.u, p.x, p.v, p.d = 0, 0, 0, 0, 0
+		default:
+			p.RejectForever()
+		}
+		p.note()
+	}
+	if p.Decided() {
+		p.Drive(t)
+		return
+	}
+	if p.pendF > 0 {
+		if err := t.Emit(core.F); err == nil {
+			p.pendF--
+		}
+	}
+}
+
+// SpaceUsed implements core.SpaceMetered: the high-water mark of the unary
+// counter cells. The dominant term is the b-counter that must survive until
+// the d-run — the memory Theorem 3.1 shows no finite automaton has.
+func (p *LOmegaAcceptor) SpaceUsed() uint64 { return p.hwm }
+
+// ConstWatcher is a constant-space real-time algorithm: it accepts words
+// containing the designated symbol infinitely often by echoing f on each
+// occurrence. A representative inhabitant of rt-CONSTSPACE.
+type ConstWatcher struct {
+	Sym  word.Symbol
+	pend uint64
+}
+
+// Tick implements core.Program.
+func (c *ConstWatcher) Tick(t *core.Tick) {
+	for _, e := range t.New {
+		if e.Sym == c.Sym {
+			c.pend = 1 // saturating: constant storage
+		}
+	}
+	if c.pend > 0 {
+		if err := t.Emit(core.F); err == nil {
+			c.pend = 0
+		}
+	}
+}
+
+// SpaceUsed implements core.SpaceMetered.
+func (c *ConstWatcher) SpaceUsed() uint64 { return c.pend + 1 }
+
+// Sample is one input with its expected verdict, for exhibiting class
+// membership on a test set.
+type Sample struct {
+	Name   string
+	Input  word.Word
+	Member bool
+}
+
+// Exhibit runs a fresh program from mk on every sample and reports whether
+// (a) all verdicts match and (b) the space bound held on all runs; it also
+// returns the peak footprint observed.
+func Exhibit(mk func() core.Program, samples []Sample, horizon uint64, bound core.SpaceBound) (allCorrect, withinBound bool, peak uint64) {
+	allCorrect, withinBound = true, true
+	for _, s := range samples {
+		m := core.NewMachine(mk(), s.Input)
+		res, used, ok := core.RunWithSpaceBound(m, horizon, bound)
+		if res.Verdict.Accepted() != s.Member {
+			allCorrect = false
+		}
+		if !ok {
+			withinBound = false
+		}
+		if used > peak {
+			peak = used
+		}
+	}
+	return allCorrect, withinBound, peak
+}
+
+// MemberWord builds the timed lasso ((a b^x c d^x $) per chronon-advancing
+// block) for the L_ω space measurements.
+func MemberWord(x int, period timeseq.Time) *word.Lasso {
+	var cyc word.Finite
+	add := func(sym string, n int) {
+		for i := 0; i < n; i++ {
+			cyc = append(cyc, word.TimedSym{Sym: word.Symbol(sym), At: 0})
+		}
+	}
+	add("a", 1)
+	add("b", x)
+	add("c", 1)
+	add("d", x)
+	add("$", 1)
+	return word.MustLasso(nil, cyc, period)
+}
+
+// NonMemberWord is MemberWord with one unbalanced block in every cycle.
+func NonMemberWord(x int, period timeseq.Time) *word.Lasso {
+	var cyc word.Finite
+	add := func(sym string, n int) {
+		for i := 0; i < n; i++ {
+			cyc = append(cyc, word.TimedSym{Sym: word.Symbol(sym), At: 0})
+		}
+	}
+	add("a", 1)
+	add("b", x)
+	add("c", 1)
+	add("d", x+1)
+	add("$", 1)
+	return word.MustLasso(nil, cyc, period)
+}
+
+// SpaceProfile measures the acceptor's peak footprint as a function of the
+// block size x — the measurable face of "L_ω ∉ constant space".
+func SpaceProfile(xs []int, horizon uint64) []uint64 {
+	unbounded := core.SpaceBound(func(timeseq.Time) uint64 { return ^uint64(0) })
+	out := make([]uint64, len(xs))
+	for i, x := range xs {
+		m := core.NewMachine(&LOmegaAcceptor{}, MemberWord(x, 1))
+		_, used, _ := core.RunWithSpaceBound(m, horizon, unbounded)
+		out[i] = used
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package complexity
+
+import (
+	"testing"
+
+	"rtc/internal/core"
+	"rtc/internal/omega"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// The unbounded-memory real-time algorithm decides L_ω correctly — the
+// second half of experiment E1 (the first half refutes every finite-state
+// candidate).
+func TestLOmegaAcceptorCorrect(t *testing.T) {
+	for _, x := range []int{1, 2, 5, 9} {
+		m := core.NewMachine(&LOmegaAcceptor{}, MemberWord(x, 1))
+		res := core.RunForVerdict(m, 200)
+		if res.Verdict != core.AcceptAtHorizon {
+			t.Errorf("member x=%d verdict = %v", x, res.Verdict)
+		}
+		if res.FCount < 100 {
+			t.Errorf("member x=%d produced only %d f's", x, res.FCount)
+		}
+		m2 := core.NewMachine(&LOmegaAcceptor{}, NonMemberWord(x, 1))
+		if res := core.RunForVerdict(m2, 200); res.Verdict != core.RejectProven {
+			t.Errorf("non-member x=%d verdict = %v", x, res.Verdict)
+		}
+	}
+}
+
+// The acceptor also agrees with the exact lasso decision procedure on the
+// member/non-member families and on malformed blocks.
+func TestLOmegaAcceptorAgreesWithInLOmega(t *testing.T) {
+	cases := []*word.Lasso{
+		MemberWord(3, 1),
+		NonMemberWord(3, 1),
+		word.MustLasso(nil, word.FromClassical("bcd$", 0), 1),  // u = 0
+		word.MustLasso(nil, word.FromClassical("abcd$", 0), 1), // member
+		word.MustLasso(nil, word.FromClassical("abdc$", 0), 1), // order violation
+	}
+	for _, l := range cases {
+		want := omega.InLOmega(omega.FromTimedLasso(l))
+		m := core.NewMachine(&LOmegaAcceptor{}, l)
+		res := core.RunForVerdict(m, 200)
+		if res.Verdict.Accepted() != want {
+			t.Errorf("%v: acceptor %v, InLOmega %v", l, res.Verdict, want)
+		}
+	}
+}
+
+// rt-SPACE separation, measured: the L_ω acceptor's footprint grows
+// linearly with the block size, while the constant-space watcher stays
+// flat. (The matching impossibility half — no constant-space device accepts
+// L_ω — is omega.RefuteLOmega.)
+func TestSpaceSeparation(t *testing.T) {
+	xs := []int{2, 4, 8, 16, 32}
+	prof := SpaceProfile(xs, 128)
+	for i := 1; i < len(prof); i++ {
+		if prof[i] <= prof[i-1] {
+			t.Fatalf("space profile not increasing: %v", prof)
+		}
+	}
+	// Linear in x: footprint ≈ 2x + O(1).
+	for i, x := range xs {
+		if prof[i] < uint64(2*x) || prof[i] > uint64(2*x)+8 {
+			t.Errorf("x=%d: footprint %d outside 2x..2x+8", x, prof[i])
+		}
+	}
+	// The constant-space watcher's footprint is independent of the input.
+	var peaks []uint64
+	for _, x := range xs {
+		m := core.NewMachine(&ConstWatcher{Sym: "$"}, MemberWord(x, 1))
+		_, used, ok := core.RunWithSpaceBound(m, 128, core.ConstSpace(2))
+		if !ok {
+			t.Fatalf("watcher exceeded constant bound on x=%d", x)
+		}
+		peaks = append(peaks, used)
+	}
+	for i := 1; i < len(peaks); i++ {
+		if peaks[i] != peaks[0] {
+			t.Fatalf("watcher footprint varies: %v", peaks)
+		}
+	}
+}
+
+func TestExhibit(t *testing.T) {
+	samples := []Sample{
+		{Name: "member x=2", Input: MemberWord(2, 1), Member: true},
+		{Name: "member x=6", Input: MemberWord(6, 1), Member: true},
+		{Name: "non-member x=2", Input: NonMemberWord(2, 1), Member: false},
+		{Name: "garbage", Input: word.RepeatClassical("zz", 1), Member: false},
+	}
+	// On this sample set the largest block has x = 6, so 2x+4 cells
+	// suffice — the footprint is a function of the data, not of time.
+	correct, within, peak := Exhibit(
+		func() core.Program { return &LOmegaAcceptor{} },
+		samples, 128, core.ConstSpace(16),
+	)
+	if !correct {
+		t.Error("acceptor verdicts wrong on samples")
+	}
+	if !within {
+		t.Errorf("2x+4 bound violated (peak %d)", peak)
+	}
+	// …but no bound below 2x works: the b-counter must survive to the
+	// d-run.
+	_, withinConst, _ := Exhibit(
+		func() core.Program { return &LOmegaAcceptor{} },
+		samples, 128, core.ConstSpace(6),
+	)
+	if withinConst {
+		t.Error("the L_ω acceptor claimed 6 cells on an x=6 block")
+	}
+}
+
+func TestRunWithSpaceBoundVerdicts(t *testing.T) {
+	m := core.NewMachine(&LOmegaAcceptor{}, NonMemberWord(2, 1))
+	res, used, within := core.RunWithSpaceBound(m, 100, core.ConstSpace(100))
+	if res.Verdict != core.RejectProven {
+		t.Errorf("verdict = %v", res.Verdict)
+	}
+	if used == 0 || !within {
+		t.Errorf("used=%d within=%v", used, within)
+	}
+	if m.MaxSpace() != used {
+		t.Errorf("MaxSpace=%d, used=%d", m.MaxSpace(), used)
+	}
+}
+
+func TestSpaceBoundHelpers(t *testing.T) {
+	c := core.ConstSpace(5)
+	if c(0) != 5 || c(1000) != 5 {
+		t.Error("ConstSpace broken")
+	}
+	l := core.LinearSpace(2, 3)
+	if l(timeseq.Time(10)) != 23 {
+		t.Error("LinearSpace broken")
+	}
+}

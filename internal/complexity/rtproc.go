@@ -1,0 +1,48 @@
+package complexity
+
+import (
+	"rtc/internal/dacc"
+	"rtc/internal/parallel"
+	"rtc/internal/timeseq"
+)
+
+// The rt-PROC classes of §3.2: parallel real-time computations using a
+// bounded number of processors. As with rt-SPACE, lower bounds are not
+// executable, but class membership exhibits are: a problem instance sits in
+// rt-PROC(p) for a deadline when some p-processor real-time algorithm meets
+// it, and the hierarchy question ("is rt-PROC(p) ⊋ rt-PROC(p−1)?") becomes
+// the measured staircase of instance families whose minimum processor count
+// grows without bound.
+
+// RTProcExhibit is one class-membership exhibit: the instance (an arrival
+// law, batch and workload, with a deadline) together with the least p whose
+// run meets it.
+type RTProcExhibit struct {
+	Law      dacc.Law
+	N        uint64
+	Work     dacc.Workload
+	Deadline timeseq.Time
+	// MinP is the least processor count meeting the deadline (0 if none up
+	// to the probe bound did).
+	MinP int
+	OK   bool
+}
+
+// ExhibitRTProc probes the least p ∈ [1, maxP] meeting the deadline on the
+// real goroutine system of §6.
+func ExhibitRTProc(law dacc.Law, n uint64, w dacc.Workload, deadlineT timeseq.Time, maxP int) RTProcExhibit {
+	p, ok := parallel.MinProcessorsParallel(law, n, w, maxP, deadlineT)
+	return RTProcExhibit{Law: law, N: n, Work: w, Deadline: deadlineT, MinP: p, OK: ok}
+}
+
+// Staircase probes a family of instances and returns their exhibits — the
+// empirical face of the hierarchy question. A strictly unbounded, monotone
+// MinP sequence over the family is the behaviour the conjectured strict
+// hierarchy predicts.
+func Staircase(law dacc.Law, batches []uint64, w dacc.Workload, deadlineT timeseq.Time, maxP int) []RTProcExhibit {
+	out := make([]RTProcExhibit, len(batches))
+	for i, n := range batches {
+		out[i] = ExhibitRTProc(law, n, w, deadlineT, maxP)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package complexity
+
+import (
+	"testing"
+
+	"rtc/internal/dacc"
+)
+
+func TestStaircaseMonotone(t *testing.T) {
+	law := dacc.PolyLaw{K: 1, Gamma: 0, Beta: 0.5}
+	w := dacc.Workload{Rate: 1, WorkPerDatum: 2}
+	ex := Staircase(law, []uint64{100, 400, 1200}, w, 450, 8)
+	prev := 0
+	for _, e := range ex {
+		if !e.OK {
+			t.Fatalf("n=%d: no p ≤ 8 meets the deadline", e.N)
+		}
+		if e.MinP < prev {
+			t.Fatalf("staircase decreased: %+v", ex)
+		}
+		prev = e.MinP
+	}
+	if ex[0].MinP != 1 {
+		t.Errorf("smallest batch needs %d processors", ex[0].MinP)
+	}
+	if prev < 3 {
+		t.Errorf("staircase topped out at %d", prev)
+	}
+}
+
+func TestExhibitBeyondBound(t *testing.T) {
+	// An impossible deadline: nothing up to maxP succeeds.
+	law := dacc.PolyLaw{K: 1, Gamma: 0, Beta: 0.5}
+	w := dacc.Workload{Rate: 1, WorkPerDatum: 2}
+	e := ExhibitRTProc(law, 5000, w, 100, 4)
+	if e.OK {
+		t.Fatalf("exhibit claims success: %+v", e)
+	}
+}

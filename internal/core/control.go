@@ -1,0 +1,64 @@
+package core
+
+// Control is the absorbing-state skeleton shared by every acceptor the
+// paper constructs (§4.1, §4.2, §5.1.3): the control is undecided until it
+// commits to the accepting state s_f — in which it writes f on the output
+// tape at every tick, forever — or the rejecting state s_r, in which the
+// output tape is never touched again. "Once in one of the states s_f or
+// s_r, the acceptor keeps cycling in the same state."
+//
+// Embed Control in a Program and call Drive at the end of each Tick; the
+// embedding program automatically satisfies Absorbing, so Machine can report
+// proven verdicts.
+type Control struct {
+	state controlState
+}
+
+type controlState int
+
+const (
+	undecided controlState = iota
+	sf
+	sr
+)
+
+// AcceptForever moves the control to s_f. Further calls to AcceptForever or
+// RejectForever are ignored: absorbing states are absorbing.
+func (c *Control) AcceptForever() {
+	if c.state == undecided {
+		c.state = sf
+	}
+}
+
+// RejectForever moves the control to s_r.
+func (c *Control) RejectForever() {
+	if c.state == undecided {
+		c.state = sr
+	}
+}
+
+// Absorbed implements Absorbing.
+func (c *Control) Absorbed() (accepting, absorbed bool) {
+	switch c.state {
+	case sf:
+		return true, true
+	case sr:
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// Decided reports whether the control has committed.
+func (c *Control) Decided() bool { return c.state != undecided }
+
+// Drive performs the per-tick output duty of the absorbing states: in s_f
+// it writes f (at most one symbol per tick, per Definition 3.3); in s_r and
+// while undecided it writes nothing.
+func (c *Control) Drive(t *Tick) {
+	if c.state == sf {
+		// Emit can only fail if the program already used its quota this
+		// tick, which a well-formed acceptor in s_f never does.
+		_ = t.Emit(F)
+	}
+}

@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+
+	"rtc/internal/core"
+	"rtc/internal/word"
+)
+
+// sawStart is a minimal acceptor: it commits to the accepting absorbing
+// state s_f when the symbol "start" arrives, after which it writes f on the
+// output tape forever (Definition 3.4's acceptance).
+type sawStart struct{ core.Control }
+
+func (p *sawStart) Tick(t *core.Tick) {
+	for _, e := range t.New {
+		if e.Sym == "start" {
+			p.AcceptForever()
+		}
+	}
+	p.Drive(t)
+}
+
+func ExampleRunForVerdict() {
+	input := word.Concat(
+		word.MustFinite(word.TimedSym{Sym: "start", At: 2}),
+		word.RepeatClassical("idle", 1),
+	)
+	m := core.NewMachine(&sawStart{}, input)
+	res := core.RunForVerdict(m, 50)
+	fmt.Println(res.Verdict, "at tick", res.DecidedAt)
+	// Output: accept (proven) at tick 2
+}

@@ -1,0 +1,238 @@
+// Package core implements the paper's central contribution: the real-time
+// algorithm of Definition 3.3 and its acceptance condition (Definition 3.4).
+//
+// A real-time algorithm consists of a finite control (a program), an input
+// tape holding a timed ω-word, and a write-only output tape. The semantics
+// enforced by Machine are exactly the definition's:
+//
+//   - an input element (σ_i, τ_i) is not available to the program at any
+//     time t < τ_i;
+//   - during any time unit the program may add at most one symbol to the
+//     output tape;
+//   - the output tape is write-only — the program never reads it back;
+//   - the program has unbounded working storage (its own Go state), of
+//     which any single computation uses a finite amount.
+//
+// Acceptance (Definition 3.4): the input is accepted iff the designated
+// symbol F appears infinitely often on the output tape. Machine reports
+// proven verdicts when the program declares it has entered one of the
+// absorbing states s_f / s_r of the paper's acceptor constructions, and
+// horizon-bounded verdicts otherwise — the strongest statement a finite
+// observer of an ω-computation can make.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// F is the designated output symbol of Definition 3.4.
+const F = word.Symbol("f")
+
+// Tick is the per-chronon context handed to a program. It exposes the
+// current time, the input elements that became available at this instant,
+// and the (write-only) output port.
+type Tick struct {
+	// Now is the current time.
+	Now timeseq.Time
+	// New holds the input elements whose timestamp equals Now, in input
+	// order. Elements with earlier timestamps were delivered on earlier
+	// ticks; the program is responsible for buffering what it has not yet
+	// processed (that buffer is part of its working storage).
+	New word.Finite
+
+	emitted bool
+	machine *Machine
+}
+
+// ErrOutputQuota reports a second Emit within one time unit, which
+// Definition 3.3 forbids.
+var ErrOutputQuota = errors.New("core: at most one output symbol per time unit")
+
+// Emit appends one symbol to the output tape at the current time. A second
+// call within the same tick returns ErrOutputQuota and writes nothing.
+func (t *Tick) Emit(s word.Symbol) error {
+	if t.emitted {
+		return ErrOutputQuota
+	}
+	t.emitted = true
+	t.machine.output = append(t.machine.output, word.TimedSym{Sym: s, At: t.Now})
+	if s == F {
+		t.machine.fCount++
+		t.machine.lastF = t.Now
+	}
+	return nil
+}
+
+// Program is the finite control of a real-time algorithm. Tick is called
+// once per chronon, in increasing time order.
+type Program interface {
+	Tick(t *Tick)
+}
+
+// Absorbing is an optional Program extension matching the acceptor shape
+// used throughout §4 and §5: once the control reaches one of the designated
+// absorbing states (s_f, in which it writes f at every tick forever, or s_r,
+// in which it never writes f again), the ω-behaviour is decided and the
+// machine can report a proven verdict.
+type Absorbing interface {
+	// Absorbed returns (accepting, true) once the control sits in s_f or
+	// s_r forever; (false, false) while still undecided.
+	Absorbed() (accepting bool, absorbed bool)
+}
+
+// Verdict classifies the outcome of observing a run.
+type Verdict int
+
+const (
+	// RejectAtHorizon: no evidence of recurrence of F within the horizon.
+	RejectAtHorizon Verdict = iota
+	// AcceptAtHorizon: F kept recurring up to the horizon, but the program
+	// did not prove absorption.
+	AcceptAtHorizon
+	// RejectProven: the program entered the rejecting absorbing state.
+	RejectProven
+	// AcceptProven: the program entered the accepting absorbing state, in
+	// which F recurs forever.
+	AcceptProven
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case AcceptProven:
+		return "accept (proven)"
+	case RejectProven:
+		return "reject (proven)"
+	case AcceptAtHorizon:
+		return "accept (at horizon)"
+	default:
+		return "reject (at horizon)"
+	}
+}
+
+// Accepted reports whether the verdict is an accept.
+func (v Verdict) Accepted() bool { return v == AcceptProven || v == AcceptAtHorizon }
+
+// Proven reports whether the verdict is exact rather than horizon-bounded.
+func (v Verdict) Proven() bool { return v == AcceptProven || v == RejectProven }
+
+// Machine executes a Program over a timed input word under discrete time.
+type Machine struct {
+	prog  Program
+	input word.Word
+
+	now      timeseq.Time
+	started  bool
+	inputIdx uint64
+	inputLen word.Length
+
+	output   word.Finite
+	fCount   uint64
+	lastF    timeseq.Time
+	maxSpace uint64
+}
+
+// NewMachine pairs a program with its input tape.
+func NewMachine(prog Program, input word.Word) *Machine {
+	return &Machine{prog: prog, input: input, inputLen: input.Length()}
+}
+
+// Now returns the machine's clock (the time of the last executed tick).
+func (m *Machine) Now() timeseq.Time { return m.now }
+
+// Output returns the output tape written so far. The returned slice is the
+// live tape; callers must not modify it (the tape is write-only even for
+// them).
+func (m *Machine) Output() word.Finite { return m.output }
+
+// FCount returns the number of F symbols written so far.
+func (m *Machine) FCount() uint64 { return m.fCount }
+
+// LastF returns the time of the most recent F output (zero if none).
+func (m *Machine) LastF() timeseq.Time { return m.lastF }
+
+// StepTick advances virtual time by one chronon and runs the program once.
+func (m *Machine) StepTick() {
+	if m.started {
+		m.now++
+	} else {
+		m.started = true // first tick runs at time 0
+	}
+	tick := Tick{Now: m.now, machine: m}
+	// Deliver the input elements arriving exactly now. The input's time
+	// projection is monotone, so a single cursor suffices.
+	for {
+		if !m.inputLen.Omega && m.inputIdx >= m.inputLen.N {
+			break
+		}
+		e := m.input.At(m.inputIdx)
+		if e.At > m.now {
+			break
+		}
+		if e.At == m.now {
+			tick.New = append(tick.New, e)
+		}
+		// Elements with e.At < now on the first tick(s) cannot occur for
+		// valid inputs starting at time 0; consume them defensively so the
+		// machine never stalls.
+		m.inputIdx++
+	}
+	m.prog.Tick(&tick)
+	m.noteSpace()
+}
+
+// RunTicks executes n ticks (chronons).
+func (m *Machine) RunTicks(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		m.StepTick()
+	}
+}
+
+// Result summarizes an observed run.
+type Result struct {
+	Verdict Verdict
+	// Horizon is the last tick executed.
+	Horizon timeseq.Time
+	// FCount is the number of F outputs within the horizon.
+	FCount uint64
+	// DecidedAt is the tick at which absorption was proven (valid only for
+	// proven verdicts).
+	DecidedAt timeseq.Time
+}
+
+// RunForVerdict runs the machine for up to horizon ticks and classifies the
+// outcome. If the program proves absorption (Absorbing), the verdict is
+// exact and the run stops early. Otherwise the verdict is horizon-bounded:
+// accept if an F was written within the trailing window (defaulting to the
+// last quarter of the horizon), i.e. F still looked recurrent when
+// observation stopped.
+func RunForVerdict(m *Machine, horizon uint64) Result {
+	abs, _ := m.prog.(Absorbing)
+	for i := uint64(0); i < horizon; i++ {
+		m.StepTick()
+		if abs != nil {
+			if acc, done := abs.Absorbed(); done {
+				v := RejectProven
+				if acc {
+					v = AcceptProven
+				}
+				return Result{Verdict: v, Horizon: m.now, FCount: m.fCount, DecidedAt: m.now}
+			}
+		}
+	}
+	window := timeseq.Time(horizon / 4)
+	v := RejectAtHorizon
+	if m.fCount > 0 && m.lastF+window >= m.now {
+		v = AcceptAtHorizon
+	}
+	return Result{Verdict: v, Horizon: m.now, FCount: m.fCount}
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("%s after %d ticks (%d f's)", r.Verdict, r.Horizon, r.FCount)
+}

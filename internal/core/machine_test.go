@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+func ts(sym string, at timeseq.Time) word.TimedSym {
+	return word.TimedSym{Sym: word.Symbol(sym), At: at}
+}
+
+// recorder keeps everything delivered to it, with arrival ticks.
+type recorder struct {
+	got  []word.TimedSym
+	tick []timeseq.Time
+}
+
+func (r *recorder) Tick(t *Tick) {
+	for _, e := range t.New {
+		r.got = append(r.got, e)
+		r.tick = append(r.tick, t.Now)
+	}
+}
+
+// Definition 3.3: a symbol with timestamp τ is not available before τ.
+func TestInputAvailability(t *testing.T) {
+	in := word.MustFinite(ts("a", 0), ts("b", 0), ts("c", 2), ts("d", 5))
+	r := &recorder{}
+	m := NewMachine(r, in)
+	m.RunTicks(7)
+	if len(r.got) != 4 {
+		t.Fatalf("delivered %d symbols", len(r.got))
+	}
+	for i, e := range r.got {
+		if r.tick[i] != e.At {
+			t.Errorf("symbol %s delivered at tick %d, timestamped %d", e.Sym, r.tick[i], e.At)
+		}
+	}
+	// Same-timestamp symbols arrive in input order within one tick.
+	if r.got[0].Sym != "a" || r.got[1].Sym != "b" {
+		t.Errorf("order broken: %v", r.got)
+	}
+}
+
+// emitter tries to write n symbols every tick.
+type emitter struct {
+	n    int
+	errs []error
+}
+
+func (e *emitter) Tick(t *Tick) {
+	for i := 0; i < e.n; i++ {
+		e.errs = append(e.errs, t.Emit("x"))
+	}
+}
+
+// Definition 3.3: at most one output symbol per time unit.
+func TestOutputQuota(t *testing.T) {
+	e := &emitter{n: 3}
+	m := NewMachine(e, word.Finite{})
+	m.RunTicks(2)
+	if got := len(m.Output()); got != 2 {
+		t.Fatalf("output length = %d, want 2 (one per tick)", got)
+	}
+	wantErr := []bool{false, true, true, false, true, true}
+	for i, err := range e.errs {
+		if (err != nil) != wantErr[i] {
+			t.Errorf("emit %d: err=%v", i, err)
+		}
+		if err != nil && !errors.Is(err, ErrOutputQuota) {
+			t.Errorf("emit %d: wrong error %v", i, err)
+		}
+	}
+	// Output timestamps follow the clock.
+	out := m.Output()
+	if out[0].At != 0 || out[1].At != 1 {
+		t.Errorf("output times = %v", out)
+	}
+}
+
+// gWatcher accepts iff the input contains the symbol g: on seeing it the
+// control enters s_f (writes f forever); it never rejects on its own.
+type gWatcher struct {
+	Control
+}
+
+func (g *gWatcher) Tick(t *Tick) {
+	for _, e := range t.New {
+		if e.Sym == "g" {
+			g.AcceptForever()
+		}
+	}
+	g.Drive(t)
+}
+
+func TestAcceptProvenViaControl(t *testing.T) {
+	in := word.MustLasso(word.Finite{ts("g", 3)}, word.Finite{ts("w", 4)}, 1)
+	g := &gWatcher{}
+	m := NewMachine(g, in)
+	res := RunForVerdict(m, 100)
+	if res.Verdict != AcceptProven {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.DecidedAt != 3 {
+		t.Errorf("DecidedAt = %d, want 3", res.DecidedAt)
+	}
+	if !res.Verdict.Accepted() || !res.Verdict.Proven() {
+		t.Error("verdict predicates broken")
+	}
+}
+
+func TestRejectAtHorizonWithoutG(t *testing.T) {
+	in := word.RepeatClassical("w", 1)
+	g := &gWatcher{}
+	m := NewMachine(g, in)
+	res := RunForVerdict(m, 50)
+	if res.Verdict != RejectAtHorizon {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.FCount != 0 {
+		t.Errorf("FCount = %d", res.FCount)
+	}
+}
+
+// rejector enters s_r on symbol r.
+type rejector struct{ Control }
+
+func (r *rejector) Tick(t *Tick) {
+	for _, e := range t.New {
+		if e.Sym == "r" {
+			r.RejectForever()
+		}
+	}
+	r.Drive(t)
+}
+
+func TestRejectProven(t *testing.T) {
+	in := word.MustLasso(word.Finite{ts("r", 2)}, word.Finite{ts("w", 3)}, 1)
+	m := NewMachine(&rejector{}, in)
+	res := RunForVerdict(m, 100)
+	if res.Verdict != RejectProven {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Verdict.Accepted() || !res.Verdict.Proven() {
+		t.Error("verdict predicates broken")
+	}
+}
+
+// periodicF writes f every period ticks without ever absorbing — the
+// periodic-computation shape discussed under Definition 3.4, where each f
+// signals one successfully served instance.
+type periodicF struct {
+	period timeseq.Time
+}
+
+func (p *periodicF) Tick(t *Tick) {
+	if t.Now%p.period == 0 {
+		_ = t.Emit(F)
+	}
+}
+
+func TestAcceptAtHorizonForPeriodicF(t *testing.T) {
+	m := NewMachine(&periodicF{period: 5}, word.RepeatClassical("w", 1))
+	res := RunForVerdict(m, 200)
+	if res.Verdict != AcceptAtHorizon {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.FCount != 40 {
+		t.Errorf("FCount = %d, want 40", res.FCount)
+	}
+}
+
+// A program that writes f only early looks rejecting at a long horizon: the
+// recurrence died out.
+type earlyF struct{}
+
+func (earlyF) Tick(t *Tick) {
+	if t.Now < 3 {
+		_ = t.Emit(F)
+	}
+}
+
+func TestFinitelyManyFsRejectAtHorizon(t *testing.T) {
+	m := NewMachine(earlyF{}, word.RepeatClassical("w", 1))
+	res := RunForVerdict(m, 400)
+	if res.Verdict != RejectAtHorizon {
+		t.Fatalf("verdict = %v (f stopped recurring)", res.Verdict)
+	}
+	if res.FCount != 3 {
+		t.Errorf("FCount = %d", res.FCount)
+	}
+}
+
+func TestControlAbsorbingIsSticky(t *testing.T) {
+	var c Control
+	if c.Decided() {
+		t.Fatal("fresh control decided")
+	}
+	c.AcceptForever()
+	c.RejectForever() // must be ignored
+	acc, done := c.Absorbed()
+	if !done || !acc {
+		t.Fatalf("Absorbed = (%v,%v)", acc, done)
+	}
+}
+
+func TestMachineClockAndFCount(t *testing.T) {
+	m := NewMachine(&periodicF{period: 2}, word.RepeatClassical("w", 1))
+	m.RunTicks(5) // ticks at t = 0,1,2,3,4; f at 0, 2, 4
+	if m.Now() != 4 {
+		t.Errorf("Now = %d, want 4", m.Now())
+	}
+	if m.FCount() != 3 {
+		t.Errorf("FCount = %d, want 3", m.FCount())
+	}
+	if m.LastF() != 4 {
+		t.Errorf("LastF = %d, want 4", m.LastF())
+	}
+}
+
+// Property (Definition 3.3): no input element is ever delivered before its
+// timestamp, none is lost, and same-instant elements preserve input order —
+// over random monotone words.
+func TestInputAvailabilityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(12)
+		w := make(word.Finite, 0, n)
+		at := timeseq.Time(0)
+		for i := 0; i < n; i++ {
+			at += timeseq.Time(rng.Intn(3))
+			w = append(w, word.TimedSym{Sym: word.Symbol(fmt.Sprintf("s%d", i)), At: at})
+		}
+		r := &recorder{}
+		m := NewMachine(r, w)
+		m.RunTicks(uint64(at) + 2)
+		if len(r.got) != n {
+			t.Fatalf("trial %d: delivered %d of %d", trial, len(r.got), n)
+		}
+		for i, e := range r.got {
+			if r.tick[i] != e.At {
+				t.Fatalf("trial %d: %v delivered at %d", trial, e, r.tick[i])
+			}
+			if e != w[i] {
+				t.Fatalf("trial %d: order broken at %d: %v vs %v", trial, i, e, w[i])
+			}
+		}
+	}
+}

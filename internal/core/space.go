@@ -1,0 +1,77 @@
+package core
+
+import "rtc/internal/timeseq"
+
+// Definition 3.3 gives a real-time algorithm access to an infinite amount
+// of working storage of which any single computation uses a finite amount,
+// "with the same meaning as in classical complexity theory": the space used
+// during the computation, not counting the input and output tapes. The
+// machinery below meters that usage, the prerequisite for the rt-SPACE
+// classes sketched in §3.2.
+
+// SpaceMetered is an optional Program extension: SpaceUsed reports the
+// current working-storage footprint in cells (the program's own accounting
+// unit — e.g. buffered symbols, unary counter cells).
+type SpaceMetered interface {
+	SpaceUsed() uint64
+}
+
+// MaxSpace returns the peak working storage observed so far (0 when the
+// program is not metered).
+func (m *Machine) MaxSpace() uint64 { return m.maxSpace }
+
+// noteSpace records the footprint after a tick.
+func (m *Machine) noteSpace() {
+	if sm, ok := m.prog.(SpaceMetered); ok {
+		if s := sm.SpaceUsed(); s > m.maxSpace {
+			m.maxSpace = s
+		}
+	}
+}
+
+// SpaceBound is a bound f(t) on working storage as a function of elapsed
+// time — the natural parameterization for ω-computations, where input
+// length is unbounded.
+type SpaceBound func(t timeseq.Time) uint64
+
+// ConstSpace is the O(1) bound of rt-CONSTSPACE.
+func ConstSpace(c uint64) SpaceBound {
+	return func(timeseq.Time) uint64 { return c }
+}
+
+// LinearSpace is the O(t) bound.
+func LinearSpace(a, b uint64) SpaceBound {
+	return func(t timeseq.Time) uint64 { return a*uint64(t) + b }
+}
+
+// RunWithSpaceBound runs the machine for horizon ticks, failing fast when
+// the program's metered footprint exceeds bound at any tick. It returns the
+// verdict result, the peak space, and whether the bound held throughout.
+func RunWithSpaceBound(m *Machine, horizon uint64, bound SpaceBound) (Result, uint64, bool) {
+	abs, _ := m.prog.(Absorbing)
+	within := true
+	for i := uint64(0); i < horizon; i++ {
+		m.StepTick()
+		m.noteSpace()
+		if sm, ok := m.prog.(SpaceMetered); ok {
+			if sm.SpaceUsed() > bound(m.now) {
+				within = false
+			}
+		}
+		if abs != nil {
+			if acc, done := abs.Absorbed(); done {
+				v := RejectProven
+				if acc {
+					v = AcceptProven
+				}
+				return Result{Verdict: v, Horizon: m.now, FCount: m.fCount, DecidedAt: m.now}, m.maxSpace, within
+			}
+		}
+	}
+	window := timeseq.Time(horizon / 4)
+	v := RejectAtHorizon
+	if m.fCount > 0 && m.lastF+window >= m.now {
+		v = AcceptAtHorizon
+	}
+	return Result{Verdict: v, Horizon: m.now, FCount: m.fCount}, m.maxSpace, within
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// meteredEcho buffers every arrived symbol forever — linear footprint.
+type meteredEcho struct {
+	buf []word.Symbol
+}
+
+func (m *meteredEcho) Tick(t *Tick) {
+	for _, e := range t.New {
+		m.buf = append(m.buf, e.Sym)
+	}
+	_ = t.Emit(F)
+}
+
+func (m *meteredEcho) SpaceUsed() uint64 { return uint64(len(m.buf)) }
+
+func TestSpaceMetering(t *testing.T) {
+	m := NewMachine(&meteredEcho{}, word.RepeatClassical("x", 1))
+	res, used, within := RunWithSpaceBound(m, 20, LinearSpace(1, 2))
+	if !within {
+		t.Errorf("linear bound violated at %d", used)
+	}
+	if used != 20 {
+		t.Errorf("peak = %d, want 20", used)
+	}
+	if m.MaxSpace() != used {
+		t.Errorf("MaxSpace = %d", m.MaxSpace())
+	}
+	if res.Verdict != AcceptAtHorizon {
+		t.Errorf("verdict = %v", res.Verdict)
+	}
+
+	m2 := NewMachine(&meteredEcho{}, word.RepeatClassical("x", 1))
+	_, _, within = RunWithSpaceBound(m2, 20, ConstSpace(5))
+	if within {
+		t.Error("constant bound not violated by a linear program")
+	}
+}
+
+func TestSpaceBoundEarlyAbsorption(t *testing.T) {
+	// A program that absorbs immediately stops the bounded run with a
+	// proven verdict.
+	g := &gWatcher{}
+	m := NewMachine(g, word.MustLasso(word.Finite{ts("g", 1)}, word.Finite{ts("w", 2)}, 1))
+	res, _, _ := RunWithSpaceBound(m, 100, ConstSpace(1))
+	if res.Verdict != AcceptProven || res.DecidedAt != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestBoundHelpers(t *testing.T) {
+	if ConstSpace(7)(timeseq.Time(99)) != 7 {
+		t.Error("ConstSpace broken")
+	}
+	if LinearSpace(3, 4)(timeseq.Time(5)) != 19 {
+		t.Error("LinearSpace broken")
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		AcceptProven:    "accept (proven)",
+		RejectProven:    "reject (proven)",
+		AcceptAtHorizon: "accept (at horizon)",
+		RejectAtHorizon: "reject (at horizon)",
+	} {
+		if v.String() != want {
+			t.Errorf("Verdict(%d).String() = %q", v, v.String())
+		}
+	}
+	r := Result{Verdict: AcceptProven, Horizon: 9, FCount: 3}
+	if s := r.String(); !strings.Contains(s, "accept (proven)") || !strings.Contains(s, "9") {
+		t.Errorf("Result.String() = %q", s)
+	}
+}

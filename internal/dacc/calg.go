@@ -1,0 +1,291 @@
+package dacc
+
+import (
+	"rtc/internal/core"
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// This file implements c-algorithms, the sibling paradigm §4.2 points to:
+// "data that arrive during the computation consist in corrections to the
+// initial input rather than new input". A correction (i, v) overwrites the
+// i-th input datum with value v; the algorithm must fold it into the
+// solution, paying a rework cost. Termination is as for d-algorithms: all
+// arrived corrections are folded in before the next one arrives.
+
+// Correction replaces datum Index (1-based) with Value.
+type Correction struct {
+	Index uint64
+	Value uint64
+}
+
+// CWorkload extends the d-algorithm cost model with the rework cost of one
+// correction. For many problems reworking one datum is cheaper than initial
+// processing (incremental update), for others it is more expensive
+// (recompute a suffix); the cost is a free parameter.
+type CWorkload struct {
+	Rate           uint64
+	WorkPerDatum   uint64
+	WorkPerCorrect uint64
+}
+
+// SimulateC runs the c-algorithm termination dynamics: the initial n data
+// are processed first; corrections arrive under the law (each arrival is
+// one correction, targeting data cyclically) and each costs WorkPerCorrect.
+// Termination mirrors the d-algorithm condition.
+func SimulateC(law Law, n uint64, w CWorkload, maxT timeseq.Time) Outcome {
+	if w.Rate == 0 || w.WorkPerDatum == 0 || w.WorkPerCorrect == 0 {
+		return Outcome{}
+	}
+	var workDone uint64
+	initialWork := n * w.WorkPerDatum
+	for t := timeseq.Time(0); t <= maxT; t++ {
+		arrivedCorrections := law.Total(n, t) - n
+		need := initialWork + arrivedCorrections*w.WorkPerCorrect
+		workDone += w.Rate
+		if workDone > need {
+			workDone = need
+		}
+		if workDone == need {
+			return Outcome{Terminated: true, At: t, Processed: n + arrivedCorrections}
+		}
+	}
+	return Outcome{}
+}
+
+// CInstance is a c-algorithm problem instance: n initial data plus a stream
+// of corrections under the arrival law.
+type CInstance struct {
+	Law        Law
+	N          uint64
+	Datum      func(j uint64) uint64     // initial value of datum j (1-based)
+	Correct    func(k uint64) Correction // k-th correction (1-based)
+	Proposed   []word.Symbol
+	ArrivalCap timeseq.Time
+}
+
+// CorrectionSym encodes a correction as one record-valued symbol stream.
+func CorrectionSym(c Correction) []word.Symbol {
+	return encoding.Record("corr", encoding.FieldUint(c.Index), encoding.FieldUint(c.Value))
+}
+
+// Word builds the timed ω-word: proposed output and initial data at time 0,
+// then each correction (announced by the same c marker as §4.2) at its law
+// arrival time.
+func (inst CInstance) Word() word.Word {
+	var header word.Finite
+	for _, s := range inst.Proposed {
+		header = append(header, word.TimedSym{Sym: s, At: 0})
+	}
+	header = append(header, word.TimedSym{Sym: Sep, At: 0})
+	for j := uint64(1); j <= inst.N; j++ {
+		header = append(header, word.TimedSym{Sym: encoding.Num(inst.Datum(j)), At: 0})
+	}
+	header = append(header, word.TimedSym{Sym: Sep, At: 0})
+
+	nextK := uint64(1) // next correction index; correction k is datum n+k in law terms
+	emitted := 0
+	t := timeseq.Time(0)
+	var queue word.Finite
+	arrivalOf := func(k uint64) (timeseq.Time, bool) {
+		return ArrivalTime(inst.Law, inst.N, inst.N+k, inst.ArrivalCap)
+	}
+	countAt := func(x timeseq.Time, firstK uint64) uint64 {
+		var cnt uint64
+		for k := firstK; ; k++ {
+			at, ok := arrivalOf(k)
+			if !ok || at != x {
+				break
+			}
+			cnt++
+		}
+		return cnt
+	}
+	return word.Sequential(func() word.TimedSym {
+		if emitted < len(header) {
+			e := header[emitted]
+			emitted++
+			if emitted == len(header) {
+				for c := countAt(1, nextK); c > 0; c-- {
+					queue = append(queue, word.TimedSym{Sym: C, At: 0})
+				}
+			}
+			return e
+		}
+		for {
+			if len(queue) > 0 {
+				e := queue[0]
+				queue = queue[1:]
+				return e
+			}
+			t++
+			for k := nextK; ; k++ {
+				at, ok := arrivalOf(k)
+				if !ok || at != t {
+					break
+				}
+				for _, s := range CorrectionSym(inst.Correct(k)) {
+					queue = append(queue, word.TimedSym{Sym: s, At: t})
+				}
+				nextK = k + 1
+			}
+			for c := countAt(t+1, nextK); c > 0; c-- {
+				queue = append(queue, word.TimedSym{Sym: C, At: t})
+			}
+			if len(queue) == 0 && t >= inst.ArrivalCap {
+				return word.TimedSym{Sym: "w", At: t}
+			}
+		}
+	})
+}
+
+// CAcceptor is the two-process acceptor for c-algorithm instances: P_w
+// maintains the running solution (here: the sum of the data modulo Mod,
+// updated incrementally under corrections), P_m applies the §4.2
+// termination test.
+type CAcceptor struct {
+	core.Control
+	Work CWorkload
+	Mod  uint64
+
+	parsed   bool
+	proposed []word.Symbol
+	data     []uint64
+	sum      uint64
+
+	// Work backlog: initial items then corrections, both queued as work
+	// units.
+	initQueue []int        // indices into data still unprocessed
+	corrQueue []Correction // corrections not yet folded in
+	workAcc   uint64
+	processed uint64
+	recBuf    []word.Symbol
+	inRec     bool
+}
+
+// Tick implements core.Program.
+func (a *CAcceptor) Tick(t *core.Tick) {
+	defer a.Drive(t)
+	if !a.parsed {
+		if t.Now != 0 || len(t.New) == 0 {
+			a.RejectForever()
+			return
+		}
+		section := 0
+		for _, e := range t.New {
+			switch {
+			case e.Sym == Sep:
+				section++
+			case section == 0:
+				a.proposed = append(a.proposed, e.Sym)
+			case section == 1:
+				v, _ := encoding.AsNum(e.Sym)
+				a.data = append(a.data, v)
+			}
+		}
+		if section < 2 {
+			a.RejectForever()
+			return
+		}
+		for i := range a.data {
+			a.initQueue = append(a.initQueue, i)
+		}
+		a.parsed = true
+	} else {
+		for _, e := range t.New {
+			switch {
+			case a.inRec:
+				a.recBuf = append(a.recBuf, e.Sym)
+				if e.Sym == encoding.Dollar {
+					a.inRec = false
+					if rec, ok := encoding.ParseRecord(a.recBuf); ok && len(rec) == 3 && rec[0] == "corr" {
+						a.corrQueue = append(a.corrQueue, Correction{
+							Index: encoding.MustParseUint(rec[1]),
+							Value: encoding.MustParseUint(rec[2]),
+						})
+					}
+					a.recBuf = nil
+				}
+			case e.Sym == encoding.Dollar:
+				a.inRec = true
+				a.recBuf = append(a.recBuf[:0], e.Sym)
+			}
+		}
+	}
+	if a.Decided() {
+		return
+	}
+	// P_w: spend this chronon's work.
+	a.workAcc += a.Work.Rate
+	for {
+		if len(a.initQueue) > 0 && a.workAcc >= a.Work.WorkPerDatum {
+			a.workAcc -= a.Work.WorkPerDatum
+			i := a.initQueue[0]
+			a.initQueue = a.initQueue[1:]
+			a.sum = (a.sum + a.data[i]) % a.Mod
+			a.processed++
+			continue
+		}
+		// Corrections fold in only after the initial pass (a c-algorithm
+		// must have something to correct).
+		if len(a.initQueue) == 0 && len(a.corrQueue) > 0 && a.workAcc >= a.Work.WorkPerCorrect {
+			a.workAcc -= a.Work.WorkPerCorrect
+			c := a.corrQueue[0]
+			a.corrQueue = a.corrQueue[1:]
+			if c.Index >= 1 && c.Index <= uint64(len(a.data)) {
+				old := a.data[c.Index-1]
+				a.data[c.Index-1] = c.Value
+				// Incremental update of the running sum.
+				a.sum = (a.sum + a.Mod + c.Value%a.Mod - old%a.Mod) % a.Mod
+			}
+			a.processed++
+			continue
+		}
+		break
+	}
+	if len(a.initQueue) == 0 && len(a.corrQueue) == 0 {
+		a.workAcc = 0
+		if a.processed > 0 {
+			// P_m: caught up before the next correction arrives.
+			if symsEqual([]word.Symbol{encoding.Num(a.sum)}, a.proposed) {
+				a.AcceptForever()
+			} else {
+				a.RejectForever()
+			}
+		}
+	}
+}
+
+// BuildCInstance assembles a checksum c-instance whose proposed output is
+// the corrected sum at the simulated termination point.
+func BuildCInstance(law Law, n uint64, w CWorkload, mod uint64, cap timeseq.Time, sabotage bool) (CInstance, Outcome) {
+	out := SimulateC(law, n, w, cap)
+	datum := func(j uint64) uint64 { return (j*3 + 1) % mod }
+	correct := func(k uint64) Correction {
+		return Correction{Index: (k-1)%n + 1, Value: (k*11 + 5) % mod}
+	}
+	// Ground truth: apply the corrections folded in by termination.
+	vals := make([]uint64, n)
+	for j := uint64(1); j <= n; j++ {
+		vals[j-1] = datum(j)
+	}
+	if out.Processed > n {
+		for k := uint64(1); k <= out.Processed-n; k++ {
+			c := correct(k)
+			vals[c.Index-1] = c.Value
+		}
+	}
+	var sum uint64
+	for _, v := range vals {
+		sum = (sum + v) % mod
+	}
+	if sabotage {
+		sum = (sum + 1) % mod
+	}
+	return CInstance{
+		Law: law, N: n, Datum: datum, Correct: correct,
+		Proposed:   []word.Symbol{encoding.Num(sum)},
+		ArrivalCap: cap,
+	}, out
+}

@@ -1,0 +1,169 @@
+package dacc
+
+import (
+	"testing"
+
+	"rtc/internal/core"
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+func TestSimulateCTerminates(t *testing.T) {
+	law := PolyLaw{K: 0.5, Gamma: 0, Beta: 1} // one correction every 2 chronons
+	w := CWorkload{Rate: 2, WorkPerDatum: 1, WorkPerCorrect: 1}
+	out := SimulateC(law, 8, w, 100000)
+	if !out.Terminated {
+		t.Fatalf("c-algorithm diverged: %+v", out)
+	}
+	if out.Processed < 8 {
+		t.Errorf("processed %d < initial batch", out.Processed)
+	}
+}
+
+func TestSimulateCKnifeEdge(t *testing.T) {
+	// Corrections every chronon costing 3 units against rate 2: the rework
+	// stream alone outruns the worker.
+	law := PolyLaw{K: 1, Gamma: 0, Beta: 1}
+	w := CWorkload{Rate: 2, WorkPerDatum: 1, WorkPerCorrect: 3}
+	if out := SimulateC(law, 8, w, 20000); out.Terminated {
+		t.Errorf("super-rate correction stream terminated: %+v", out)
+	}
+	// Cheap rework (1 unit) under the same law terminates.
+	w.WorkPerCorrect = 1
+	if out := SimulateC(law, 8, w, 20000); !out.Terminated {
+		t.Error("sub-rate correction stream diverged")
+	}
+}
+
+func TestSimulateCDegenerate(t *testing.T) {
+	if out := SimulateC(ConstantLaw{}, 5, CWorkload{}, 100); out.Terminated {
+		t.Error("zero workload terminated")
+	}
+	// No corrections at all: a plain off-line run.
+	w := CWorkload{Rate: 1, WorkPerDatum: 2, WorkPerCorrect: 1}
+	out := SimulateC(ConstantLaw{}, 5, w, 1000)
+	if !out.Terminated || out.Processed != 5 {
+		t.Fatalf("offline c-run = %+v", out)
+	}
+	// 10 units of work at rate 1, tick 0 counts: t = 9.
+	if out.At != 9 {
+		t.Errorf("At = %d, want 9", out.At)
+	}
+}
+
+func TestCorrectionSymRoundTrip(t *testing.T) {
+	syms := CorrectionSym(Correction{Index: 3, Value: 42})
+	rec, ok := encoding.ParseRecord(syms)
+	if !ok || rec[0] != "corr" || rec[1] != "3" || rec[2] != "42" {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestCInstanceWordShape(t *testing.T) {
+	inst := CInstance{
+		Law:        PolyLaw{K: 0.5, Gamma: 0, Beta: 1},
+		N:          3,
+		Datum:      func(j uint64) uint64 { return j },
+		Correct:    func(k uint64) Correction { return Correction{Index: 1, Value: 9} },
+		Proposed:   []word.Symbol{encoding.Num(6)},
+		ArrivalCap: 1000,
+	}
+	w := inst.Word()
+	p := word.Prefix(w, 30)
+	// Header: #6 | #1 #2 #3 |
+	if p[0].Sym != encoding.Num(6) || p[1].Sym != Sep || p[5].Sym != Sep {
+		t.Fatalf("header = %v", p[:6])
+	}
+	// Corrections arrive as records at law times (first at t=2), each
+	// announced by a c one chronon earlier.
+	sawCorr := false
+	cAt := map[timeseq.Time]int{}
+	for i := 0; i < len(p); i++ {
+		if p[i].Sym == C {
+			cAt[p[i].At]++
+		}
+		if p[i].Sym == encoding.Dollar && i+1 < len(p) && p[i+1].Sym == "c" {
+			// record start followed by payload char 'c' (of "corr")
+			sawCorr = true
+			if cAt[p[i].At-1] == 0 {
+				t.Fatalf("correction at %d without marker at %d", p[i].At, p[i].At-1)
+			}
+		}
+	}
+	if !sawCorr {
+		t.Fatal("no correction record in prefix")
+	}
+	if !word.MonotoneWithin(w, 64) {
+		t.Error("c-instance word not monotone")
+	}
+}
+
+func TestCAcceptorEndToEnd(t *testing.T) {
+	law := PolyLaw{K: 1, Gamma: 0.5, Beta: 0.5}
+	wl := CWorkload{Rate: 2, WorkPerDatum: 1, WorkPerCorrect: 1}
+	inst, sim := BuildCInstance(law, 8, wl, 997, 100000, false)
+	if !sim.Terminated {
+		t.Fatal("expected termination")
+	}
+	a := &CAcceptor{Work: wl, Mod: 997}
+	m := core.NewMachine(a, inst.Word())
+	res := core.RunForVerdict(m, uint64(sim.At)*4+100)
+	if res.Verdict != core.AcceptProven {
+		t.Fatalf("member verdict = %v (sim %+v)", res.Verdict, sim)
+	}
+	if res.DecidedAt != sim.At {
+		t.Errorf("acceptor decided at %d, simulation at %d", res.DecidedAt, sim.At)
+	}
+
+	bad, _ := BuildCInstance(law, 8, wl, 997, 100000, true)
+	a2 := &CAcceptor{Work: wl, Mod: 997}
+	m2 := core.NewMachine(a2, bad.Word())
+	if res := core.RunForVerdict(m2, uint64(sim.At)*4+100); res.Verdict != core.RejectProven {
+		t.Fatalf("sabotaged verdict = %v", res.Verdict)
+	}
+}
+
+// The defining difference from d-algorithms: corrections rework existing
+// data, so the final solution reflects overwrites, not appends.
+func TestCAcceptorAppliesCorrections(t *testing.T) {
+	// One datum (value 5), one correction (datum 1 → 7) arriving at t=4.
+	law := stepLaw{at: 4}
+	inst := CInstance{
+		Law:        law,
+		N:          1,
+		Datum:      func(j uint64) uint64 { return 5 },
+		Correct:    func(k uint64) Correction { return Correction{Index: 1, Value: 7} },
+		Proposed:   []word.Symbol{encoding.Num(7)},
+		ArrivalCap: 100,
+	}
+	wl := CWorkload{Rate: 1, WorkPerDatum: 1, WorkPerCorrect: 1}
+	a := &CAcceptor{Work: wl, Mod: 997}
+	m := core.NewMachine(a, inst.Word())
+	res := core.RunForVerdict(m, 200)
+	// The worker catches up at t=0 with sum 5 — but the proposed output is
+	// the corrected 7, so the first comparison rejects. (A c-algorithm
+	// member word must propose the solution at the *termination* point; a
+	// termination point before the correction has the uncorrected sum.)
+	if res.Verdict != core.RejectProven {
+		t.Fatalf("verdict = %v; catch-up precedes the correction", res.Verdict)
+	}
+	// With the uncorrected sum proposed, it accepts at the first catch-up.
+	inst.Proposed = []word.Symbol{encoding.Num(5)}
+	a2 := &CAcceptor{Work: wl, Mod: 997}
+	res = core.RunForVerdict(core.NewMachine(a2, inst.Word()), 200)
+	if res.Verdict != core.AcceptProven || res.DecidedAt != 0 {
+		t.Fatalf("verdict = %v at %d", res.Verdict, res.DecidedAt)
+	}
+}
+
+// stepLaw delivers exactly one extra datum, at time `at`.
+type stepLaw struct{ at timeseq.Time }
+
+func (l stepLaw) Total(n uint64, t timeseq.Time) uint64 {
+	if t >= l.at {
+		return n + 1
+	}
+	return n
+}
+func (l stepLaw) String() string { return "step" }

@@ -1,0 +1,199 @@
+// Package dacc implements the data-accumulating paradigm of §4.2: a
+// d-algorithm works on a virtually endless input stream whose arrival rate
+// is governed by a data arrival law f(n, t), and the computation terminates
+// when all currently arrived data have been processed before another datum
+// arrives. The family of laws used throughout the paper (equation (4)) is
+//
+//	f(n, t) = n + k·n^γ·t^β.
+//
+// The package provides the laws, arrival-time inversion, a deterministic
+// termination simulation with a work-rate model (the number of processors
+// enters as a rate multiplier, feeding the rt-PROC experiments of §6/§7),
+// an analytic fixed-point predictor, and the §4.2 timed-word construction
+// with its two-process acceptor.
+package dacc
+
+import (
+	"fmt"
+	"math"
+
+	"rtc/internal/timeseq"
+)
+
+// Law is a data arrival law: Total(n, t) is the cumulative number of data
+// items that have arrived by time t, given n items available beforehand.
+// Laws must be non-decreasing in t with Total(n, 0) = n.
+type Law interface {
+	Total(n uint64, t timeseq.Time) uint64
+	String() string
+}
+
+// PolyLaw is the paper's law family (4): f(n,t) = n + k·n^γ·t^β.
+type PolyLaw struct {
+	K     float64
+	Gamma float64
+	Beta  float64
+}
+
+// Total implements Law.
+func (l PolyLaw) Total(n uint64, t timeseq.Time) uint64 {
+	extra := l.K * math.Pow(float64(n), l.Gamma) * math.Pow(float64(t), l.Beta)
+	if math.IsInf(extra, 1) || extra > 1e18 {
+		return n + uint64(1e18)
+	}
+	return n + uint64(extra)
+}
+
+// String implements Law.
+func (l PolyLaw) String() string {
+	return fmt.Sprintf("f(n,t)=n+%g·n^%g·t^%g", l.K, l.Gamma, l.Beta)
+}
+
+// ConstantLaw delivers no data beyond the initial batch — the degenerate
+// case in which a d-algorithm is an ordinary off-line algorithm.
+type ConstantLaw struct{}
+
+// Total implements Law.
+func (ConstantLaw) Total(n uint64, t timeseq.Time) uint64 { return n }
+
+// String implements Law.
+func (ConstantLaw) String() string { return "f(n,t)=n" }
+
+// ArrivalTime returns the arrival time t_j of the j-th datum (1-indexed):
+// 0 for j ≤ n, otherwise the smallest t with Total(n, t) ≥ j. The second
+// result is false when no such time exists below the cap.
+func ArrivalTime(law Law, n uint64, j uint64, cap timeseq.Time) (timeseq.Time, bool) {
+	if j <= n {
+		return 0, true
+	}
+	if law.Total(n, cap) < j {
+		return 0, false
+	}
+	lo, hi := timeseq.Time(0), cap
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if law.Total(n, mid) >= j {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// Workload is the cost model of the d-algorithm: the worker performs Rate
+// work units per chronon and each datum requires WorkPerDatum units. A
+// p-processor implementation contributes p·Rate (the PRAM-flavoured model
+// of §6: perfect work division).
+type Workload struct {
+	Rate         uint64
+	WorkPerDatum uint64
+}
+
+// Outcome describes one simulated d-algorithm run.
+type Outcome struct {
+	// Terminated reports whether the computation caught up with the stream.
+	Terminated bool
+	// At is the termination time (valid when Terminated).
+	At timeseq.Time
+	// Processed is the number of data items processed at termination (the
+	// problem size the d-algorithm actually solved).
+	Processed uint64
+}
+
+// Simulate runs the d-algorithm termination dynamics tick by tick: data
+// arriving at tick t are available at t; the worker spends Rate units per
+// tick; the run terminates at the end of the first tick at which every
+// arrived datum is processed and no further datum arrives at the same tick.
+// The simulation gives up at maxT (Outcome.Terminated == false), which is
+// the finite observer's verdict on divergence.
+func Simulate(law Law, n uint64, w Workload, maxT timeseq.Time) Outcome {
+	if w.Rate == 0 || w.WorkPerDatum == 0 {
+		return Outcome{}
+	}
+	var workDone uint64
+	for t := timeseq.Time(0); t <= maxT; t++ {
+		arrived := law.Total(n, t)
+		workDone += w.Rate
+		processed := workDone / w.WorkPerDatum
+		if processed > arrived {
+			// Idle capacity does not bank: clamp to the arrived data.
+			processed = arrived
+			workDone = processed * w.WorkPerDatum
+		}
+		if processed == arrived {
+			// All currently arrived data processed "before another datum
+			// arrives": in discrete time the next datum arrives at tick
+			// t+1 at the earliest, strictly after the worker went idle at
+			// the end of tick t. This is the catch-up fixed point
+			// T = c·f(n,T) of the d-algorithm analyses.
+			return Outcome{Terminated: true, At: t, Processed: processed}
+		}
+	}
+	return Outcome{Processed: workDone / w.WorkPerDatum}
+}
+
+// Predict computes the analytic termination time as the least fixed point of
+//
+//	T(t) = ⌈ WorkPerDatum · f(n, t) / Rate ⌉
+//
+// by monotone iteration from t = 0. It agrees with Simulate up to the
+// start-up discretization. The second result is false on divergence within
+// the cap.
+func Predict(law Law, n uint64, w Workload, cap timeseq.Time) (timeseq.Time, bool) {
+	if w.Rate == 0 || w.WorkPerDatum == 0 {
+		return 0, false
+	}
+	var t timeseq.Time
+	for iter := 0; iter < 1_000_000; iter++ {
+		need := law.Total(n, t) * w.WorkPerDatum
+		next := timeseq.Time((need + w.Rate - 1) / w.Rate)
+		if next > cap {
+			return 0, false
+		}
+		if next <= t {
+			return t, true
+		}
+		t = next
+	}
+	return 0, false
+}
+
+// CriticalBeta reports the asymptotic sustainability regime of a PolyLaw
+// for the given workload — whether a worker that has fallen arbitrarily far
+// behind can still catch up — following the characterization of the
+// d-algorithms papers the section builds on:
+//
+//   - β < 1: the arrival rate decays relative to linear work — the worker
+//     always catches up eventually;
+//   - β = 1: catch-up iff the steady arrival work k·n^γ·WorkPerDatum is
+//     strictly below Rate;
+//   - β > 1: arrivals outgrow any linear-rate worker — once behind, the
+//     worker never recovers (an individual run can still terminate early,
+//     before the stream ramps up).
+func CriticalBeta(l PolyLaw, n uint64, w Workload) (terminates bool) {
+	switch {
+	case l.Beta < 1:
+		return true
+	case l.Beta == 1:
+		return l.K*math.Pow(float64(n), l.Gamma)*float64(w.WorkPerDatum) < float64(w.Rate)
+	default:
+		return l.K <= 0
+	}
+}
+
+// MinProcessors returns the least p ∈ [1, maxP] for which a p-processor
+// implementation (Rate scaled by p) terminates within maxT, and false if
+// none does. This is the experimental probe into the rt-PROC(p) hierarchy
+// question of §3.2/§7: for arrival laws in the β = 1 regime the answer
+// grows with k·n^γ, so added processors make the difference between success
+// and failure.
+func MinProcessors(law Law, n uint64, w Workload, maxP int, maxT timeseq.Time) (int, bool) {
+	for p := 1; p <= maxP; p++ {
+		scaled := Workload{Rate: w.Rate * uint64(p), WorkPerDatum: w.WorkPerDatum}
+		if out := Simulate(law, n, scaled, maxT); out.Terminated {
+			return p, true
+		}
+	}
+	return 0, false
+}

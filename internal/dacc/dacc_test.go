@@ -1,0 +1,317 @@
+package dacc
+
+import (
+	"testing"
+
+	"rtc/internal/core"
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+func TestPolyLawTotal(t *testing.T) {
+	l := PolyLaw{K: 2, Gamma: 1, Beta: 1} // n + 2nt
+	if got := l.Total(3, 0); got != 3 {
+		t.Errorf("Total(3,0) = %d", got)
+	}
+	if got := l.Total(3, 5); got != 33 {
+		t.Errorf("Total(3,5) = %d, want 33", got)
+	}
+	sub := PolyLaw{K: 4, Gamma: 0.5, Beta: 0.5} // n + 4√n·√t
+	if got := sub.Total(16, 4); got != 16+32 {
+		t.Errorf("sublinear Total = %d, want 48", got)
+	}
+}
+
+func TestLawMonotone(t *testing.T) {
+	l := PolyLaw{K: 1.5, Gamma: 0.7, Beta: 0.9}
+	prev := uint64(0)
+	for tt := timeseq.Time(0); tt < 100; tt++ {
+		cur := l.Total(10, tt)
+		if cur < prev {
+			t.Fatalf("law decreasing at %d", tt)
+		}
+		prev = cur
+	}
+}
+
+func TestArrivalTime(t *testing.T) {
+	l := PolyLaw{K: 1, Gamma: 0, Beta: 1} // n + t: one datum per tick
+	for j := uint64(1); j <= 5; j++ {
+		at, ok := ArrivalTime(l, 5, j, 1000)
+		if !ok || at != 0 {
+			t.Errorf("initial datum %d at %d", j, at)
+		}
+	}
+	for j := uint64(6); j <= 10; j++ {
+		at, ok := ArrivalTime(l, 5, j, 1000)
+		if !ok || at != timeseq.Time(j-5) {
+			t.Errorf("datum %d at %d, want %d", j, at, j-5)
+		}
+	}
+	// Beyond the cap.
+	if _, ok := ArrivalTime(l, 5, 5000, 100); ok {
+		t.Error("arrival beyond cap reported")
+	}
+	// Constant law never delivers beyond n.
+	if _, ok := ArrivalTime(ConstantLaw{}, 5, 6, 1<<40); ok {
+		t.Error("constant law delivered datum 6")
+	}
+}
+
+// β < 1: arrival gaps grow, so a linear worker always terminates.
+func TestSimulateSublinearTerminates(t *testing.T) {
+	l := PolyLaw{K: 2, Gamma: 0.5, Beta: 0.5}
+	w := Workload{Rate: 1, WorkPerDatum: 1}
+	out := Simulate(l, 16, w, 1_000_000)
+	if !out.Terminated {
+		t.Fatalf("sublinear law did not terminate: %+v", out)
+	}
+	if out.Processed < 16 {
+		t.Errorf("processed %d < initial batch", out.Processed)
+	}
+	if !CriticalBeta(l, 16, w) {
+		t.Error("CriticalBeta disagrees")
+	}
+}
+
+// β = 1: the knife edge — terminates iff k·n^γ·work < rate.
+func TestSimulateLinearKnifeEdge(t *testing.T) {
+	w := Workload{Rate: 2, WorkPerDatum: 1}
+	slowStream := PolyLaw{K: 0.4, Gamma: 0, Beta: 1}
+	if out := Simulate(slowStream, 10, w, 100000); !out.Terminated {
+		t.Errorf("sub-rate linear stream did not terminate: %+v", out)
+	}
+	fastStream := PolyLaw{K: 3, Gamma: 0, Beta: 1}
+	if out := Simulate(fastStream, 10, w, 10000); out.Terminated {
+		t.Errorf("super-rate linear stream terminated: %+v", out)
+	}
+	if !CriticalBeta(slowStream, 10, w) || CriticalBeta(fastStream, 10, w) {
+		t.Error("CriticalBeta disagrees on the knife edge")
+	}
+}
+
+// β > 1: once the worker is behind when the stream ramps up, it never
+// recovers.
+func TestSimulateSuperlinearDiverges(t *testing.T) {
+	l := PolyLaw{K: 0.1, Gamma: 0, Beta: 1.5}
+	w := Workload{Rate: 1, WorkPerDatum: 5} // initial batch alone takes 20 ticks
+	if out := Simulate(l, 4, w, 20000); out.Terminated {
+		t.Errorf("β>1 law terminated: %+v", out)
+	}
+	if CriticalBeta(l, 4, w) {
+		t.Error("CriticalBeta disagrees for β>1")
+	}
+	// …but a fast worker finishes the initial batch before the superlinear
+	// stream produces its first datum, and that early termination is legal.
+	fast := Workload{Rate: 5, WorkPerDatum: 1}
+	if out := Simulate(l, 4, fast, 20000); !out.Terminated || out.At != 0 {
+		t.Errorf("early termination missed: %+v", out)
+	}
+}
+
+// Zero workload parameters are rejected gracefully.
+func TestSimulateDegenerate(t *testing.T) {
+	if out := Simulate(ConstantLaw{}, 5, Workload{}, 100); out.Terminated {
+		t.Error("zero workload terminated")
+	}
+	if _, ok := Predict(ConstantLaw{}, 5, Workload{}, 100); ok {
+		t.Error("zero workload predicted")
+	}
+}
+
+// Predict is the catch-up fixed point: it lower-bounds the simulated
+// termination time and matches its order of magnitude in the terminating
+// regimes.
+func TestPredictAgainstSimulate(t *testing.T) {
+	cases := []struct {
+		law Law
+		n   uint64
+		w   Workload
+	}{
+		{PolyLaw{K: 2, Gamma: 0.5, Beta: 0.5}, 16, Workload{Rate: 1, WorkPerDatum: 1}},
+		{PolyLaw{K: 0.4, Gamma: 0, Beta: 1}, 10, Workload{Rate: 2, WorkPerDatum: 1}},
+		{ConstantLaw{}, 50, Workload{Rate: 5, WorkPerDatum: 2}},
+	}
+	for _, c := range cases {
+		pred, okP := Predict(c.law, c.n, c.w, 1_000_000)
+		sim := Simulate(c.law, c.n, c.w, 1_000_000)
+		if !okP || !sim.Terminated {
+			t.Fatalf("%v: pred ok=%v, sim=%+v", c.law, okP, sim)
+		}
+		// Simulate counts tick 0 as a working tick (work = rate·(t+1)),
+		// Predict as rate·t, so the prediction may sit a couple of
+		// chronons above the simulation.
+		if pred > sim.At+2 {
+			t.Errorf("%v: Predict %d exceeds simulation %d", c.law, pred, sim.At)
+		}
+		// Within 4x: the gap between catch-up and the first arrival gap.
+		if sim.At > 4*(pred+10) {
+			t.Errorf("%v: Predict %d far below simulation %d", c.law, pred, sim.At)
+		}
+	}
+}
+
+// Predict diverges exactly when the simulation does, on the β = 1 knife
+// edge.
+func TestPredictDivergence(t *testing.T) {
+	w := Workload{Rate: 2, WorkPerDatum: 1}
+	if _, ok := Predict(PolyLaw{K: 3, Gamma: 0, Beta: 1}, 10, w, 1_000_000); ok {
+		t.Error("Predict terminated on a super-rate stream")
+	}
+}
+
+// Termination time grows with k and n in the terminating regime — the shape
+// of the d-algorithm analyses the paper builds on.
+func TestTerminationTimeMonotoneInLoad(t *testing.T) {
+	w := Workload{Rate: 4, WorkPerDatum: 1}
+	prev := timeseq.Time(0)
+	for _, k := range []float64{0.5, 1, 2, 3} {
+		out := Simulate(PolyLaw{K: k, Gamma: 0, Beta: 1}, 100, w, 1_000_000)
+		if !out.Terminated {
+			t.Fatalf("k=%g did not terminate", k)
+		}
+		if out.At < prev {
+			t.Errorf("termination time decreased at k=%g", k)
+		}
+		prev = out.At
+	}
+}
+
+// The rt-PROC probe: the minimum processor count to terminate grows with
+// the arrival coefficient, and for each load there is a p succeeding where
+// p−1 fails.
+func TestMinProcessors(t *testing.T) {
+	w := Workload{Rate: 1, WorkPerDatum: 1}
+	prev := 0
+	for _, k := range []float64{0.5, 1.5, 2.5, 3.5} {
+		law := PolyLaw{K: k, Gamma: 0, Beta: 1}
+		p, ok := MinProcessors(law, 20, w, 8, 100000)
+		if !ok {
+			t.Fatalf("k=%g: no processor count up to 8 terminates", k)
+		}
+		if p < prev {
+			t.Errorf("k=%g: MinProcessors %d < previous %d", k, p, prev)
+		}
+		prev = p
+		if p > 1 {
+			scaled := Workload{Rate: w.Rate * uint64(p-1), WorkPerDatum: w.WorkPerDatum}
+			if out := Simulate(law, 20, scaled, 100000); out.Terminated {
+				t.Errorf("k=%g: p-1=%d also terminates, not minimal", k, p-1)
+			}
+		}
+	}
+	if prev < 2 {
+		t.Error("sweep never needed more than one processor — probe too weak")
+	}
+}
+
+func TestWordConstructionShape(t *testing.T) {
+	inst := Instance{
+		Law:        PolyLaw{K: 1, Gamma: 0, Beta: 0.5}, // arrivals at √t pace
+		N:          2,
+		Datum:      func(j uint64) word.Symbol { return encoding.Num(j) },
+		Proposed:   []word.Symbol{encoding.Num(99)},
+		ArrivalCap: 1000,
+	}
+	w := inst.Word()
+	p := word.Prefix(w, 12)
+	// Header: #99 | #1 #2 | at time 0.
+	if p[0].Sym != encoding.Num(99) || p[1].Sym != Sep ||
+		p[2].Sym != encoding.Num(1) || p[3].Sym != encoding.Num(2) || p[4].Sym != Sep {
+		t.Fatalf("header = %v", p[:5])
+	}
+	// Every later datum must be announced by a c exactly one chronon
+	// earlier.
+	cAt := map[timeseq.Time]int{}
+	dataAt := map[timeseq.Time]int{}
+	long := word.Prefix(w, 64)
+	for _, e := range long {
+		if e.Sym == C {
+			cAt[e.At]++
+		} else if _, ok := encoding.AsNum(e.Sym); ok && e.At > 0 {
+			dataAt[e.At]++
+		}
+	}
+	for at, n := range dataAt {
+		if cAt[at-1] != n {
+			t.Errorf("data at %d: %d items, %d markers at %d", at, n, cAt[at-1], at-1)
+		}
+	}
+	if len(dataAt) == 0 {
+		t.Fatal("no post-initial data in the word")
+	}
+	if !word.MonotoneWithin(w, 64) {
+		t.Error("constructed word not monotone")
+	}
+}
+
+// The full §4.2 pipeline: member words are accepted (proven), sabotaged
+// words rejected, divergent streams never decided.
+func TestAcceptorEndToEnd(t *testing.T) {
+	law := PolyLaw{K: 2, Gamma: 0.5, Beta: 0.5}
+	wl := Workload{Rate: 1, WorkPerDatum: 1}
+
+	inst, sim := BuildInstance(law, 16, wl, 997, 100000, false)
+	if !sim.Terminated {
+		t.Fatal("expected terminating configuration")
+	}
+	a := &Acceptor{Solver: &ChecksumSolver{Mod: 997}, Work: wl}
+	m := core.NewMachine(a, inst.Word())
+	res := core.RunForVerdict(m, uint64(sim.At)*4+100)
+	if res.Verdict != core.AcceptProven {
+		t.Fatalf("member verdict = %v (sim %+v)", res.Verdict, sim)
+	}
+
+	bad, _ := BuildInstance(law, 16, wl, 997, 100000, true)
+	a2 := &Acceptor{Solver: &ChecksumSolver{Mod: 997}, Work: wl}
+	m2 := core.NewMachine(a2, bad.Word())
+	res2 := core.RunForVerdict(m2, uint64(sim.At)*4+100)
+	if res2.Verdict != core.RejectProven {
+		t.Fatalf("sabotaged verdict = %v", res2.Verdict)
+	}
+}
+
+func TestAcceptorDivergentStreamUndecided(t *testing.T) {
+	law := PolyLaw{K: 3, Gamma: 0, Beta: 1} // faster than the worker
+	wl := Workload{Rate: 1, WorkPerDatum: 1}
+	inst, sim := BuildInstance(law, 4, wl, 997, 2000, false)
+	if sim.Terminated {
+		t.Fatal("expected divergence")
+	}
+	a := &Acceptor{Solver: &ChecksumSolver{Mod: 997}, Work: wl}
+	m := core.NewMachine(a, inst.Word())
+	res := core.RunForVerdict(m, 500)
+	if res.Verdict != core.RejectAtHorizon {
+		t.Fatalf("divergent verdict = %v, want reject at horizon", res.Verdict)
+	}
+}
+
+// Acceptor and Simulate agree on the termination instant.
+func TestAcceptorMatchesSimulation(t *testing.T) {
+	law := PolyLaw{K: 1, Gamma: 0.5, Beta: 0.5}
+	wl := Workload{Rate: 2, WorkPerDatum: 3}
+	inst, sim := BuildInstance(law, 9, wl, 997, 100000, false)
+	if !sim.Terminated {
+		t.Fatal("expected termination")
+	}
+	a := &Acceptor{Solver: &ChecksumSolver{Mod: 997}, Work: wl}
+	m := core.NewMachine(a, inst.Word())
+	res := core.RunForVerdict(m, uint64(sim.At)*4+100)
+	if res.Verdict != core.AcceptProven {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.DecidedAt != sim.At {
+		t.Errorf("acceptor decided at %d, simulation at %d", res.DecidedAt, sim.At)
+	}
+}
+
+func TestChecksumSolver(t *testing.T) {
+	s := &ChecksumSolver{Mod: 10}
+	s.Absorb(encoding.Num(7))
+	s.Absorb(encoding.Num(8))
+	sol := s.Solution()
+	if len(sol) != 1 || sol[0] != encoding.Num(5) {
+		t.Errorf("Solution = %v", sol)
+	}
+}

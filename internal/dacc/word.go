@@ -1,0 +1,264 @@
+package dacc
+
+import (
+	"rtc/internal/core"
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// C is the special symbol of the §4.2 construction announcing, one chronon
+// ahead, that another datum is about to arrive; P_m uses it to know whether
+// P_w caught up with the stream "before another datum arrives".
+const C = word.Symbol("c")
+
+// Sep delimits the proposed output and the initial batch at time 0 (the
+// paper omits delimiters for clarity; we add them so the acceptor can
+// parse).
+const Sep = word.Symbol("|")
+
+// Instance is a data-accumulating problem instance: an unbounded stream of
+// data whose j-th item (1-indexed) is Datum(j), arriving under Law with an
+// initial batch of N items, plus the proposed output the acceptor compares
+// against.
+type Instance struct {
+	Law      Law
+	N        uint64
+	Datum    func(j uint64) word.Symbol
+	Proposed []word.Symbol
+	// ArrivalCap bounds the arrival-time inversion (a construction-side
+	// horizon; divergent laws stop producing elements beyond it).
+	ArrivalCap timeseq.Time
+}
+
+// Word builds the timed ω-word of the §4.2 construction: the proposed
+// output and the initial batch at time 0, then each later datum preceded by
+// the marker c one chronon earlier.
+//
+// Deviation from the paper's letter: with bursty laws the paper's exact
+// interleaving σ…(c, ι_j)… can break monotonicity (the c of a datum at
+// t could precede data at t−1 in index order but follow them in time). We
+// emit, at every tick t, first the data arriving at t and then one c for
+// each datum arriving at t+1, preserving both monotonicity and the marker's
+// semantics (c at t ⇔ a datum arrives at t+1).
+func (inst Instance) Word() word.Word {
+	var header word.Finite
+	for _, s := range inst.Proposed {
+		header = append(header, word.TimedSym{Sym: s, At: 0})
+	}
+	header = append(header, word.TimedSym{Sym: Sep, At: 0})
+	for j := uint64(1); j <= inst.N; j++ {
+		header = append(header, word.TimedSym{Sym: inst.Datum(j), At: 0})
+	}
+	header = append(header, word.TimedSym{Sym: Sep, At: 0})
+
+	nextJ := inst.N + 1 // next datum index to emit
+	emittedHeader := 0
+	t := timeseq.Time(0)
+	var queue word.Finite // elements pending for the current tick
+
+	// cCountAt returns how many data arrive exactly at time x.
+	cCountAt := func(x timeseq.Time, firstJ uint64) uint64 {
+		if x > inst.ArrivalCap {
+			return 0
+		}
+		var cnt uint64
+		for j := firstJ; ; j++ {
+			at, ok := ArrivalTime(inst.Law, inst.N, j, inst.ArrivalCap)
+			if !ok || at != x {
+				break
+			}
+			cnt++
+		}
+		return cnt
+	}
+
+	return word.Sequential(func() word.TimedSym {
+		if emittedHeader < len(header) {
+			e := header[emittedHeader]
+			emittedHeader++
+			if emittedHeader == len(header) {
+				// Seed the time-0 trailer: markers for data at time 1.
+				for c := cCountAt(1, nextJ); c > 0; c-- {
+					queue = append(queue, word.TimedSym{Sym: C, At: 0})
+				}
+			}
+			return e
+		}
+		for {
+			if len(queue) > 0 {
+				e := queue[0]
+				queue = queue[1:]
+				return e
+			}
+			// Advance to the next tick: data arriving at t+1, then markers
+			// for t+2.
+			t++
+			for j := nextJ; ; j++ {
+				at, ok := ArrivalTime(inst.Law, inst.N, j, inst.ArrivalCap)
+				if !ok || at != t {
+					break
+				}
+				queue = append(queue, word.TimedSym{Sym: inst.Datum(j), At: t})
+				nextJ = j + 1
+			}
+			for c := cCountAt(t+1, nextJ); c > 0; c-- {
+				queue = append(queue, word.TimedSym{Sym: C, At: t})
+			}
+			if len(queue) == 0 && t >= inst.ArrivalCap {
+				// Beyond the construction horizon: keep the word total (and
+				// well behaved) with an explicit idle marker.
+				return word.TimedSym{Sym: "w", At: t}
+			}
+		}
+	})
+}
+
+// OnlineSolver abstracts the on-line algorithm P_w wraps in §4.2: it absorbs
+// data items one by one and always has a partial solution for the prefix
+// processed so far ("once such a signal is emitted the p-th time, P_w has a
+// partial solution immediately available for ι_1…ι_p").
+type OnlineSolver interface {
+	// Absorb integrates one datum into the running solution.
+	Absorb(s word.Symbol)
+	// Solution returns the solution for the data absorbed so far.
+	Solution() []word.Symbol
+}
+
+// ChecksumSolver is a tiny on-line solver: the solution is the running sum
+// of numeric data modulo Mod, encoded as one number symbol.
+type ChecksumSolver struct {
+	Mod uint64
+	sum uint64
+}
+
+// Absorb implements OnlineSolver.
+func (c *ChecksumSolver) Absorb(s word.Symbol) {
+	v, _ := encoding.AsNum(s)
+	c.sum = (c.sum + v) % c.Mod
+}
+
+// Solution implements OnlineSolver.
+func (c *ChecksumSolver) Solution() []word.Symbol {
+	return []word.Symbol{encoding.Num(c.sum)}
+}
+
+// Acceptor is the §4.2 two-process acceptor as a core.Program: P_w consumes
+// buffered data at Rate work units per chronon (WorkPerDatum units each),
+// emitting a completion signal per datum; P_m accepts when P_w has caught up
+// with the arrived data, no further datum is due the next chronon (no c
+// marker this tick), and the partial solution matches the proposed one.
+type Acceptor struct {
+	core.Control
+	Solver   OnlineSolver
+	Work     Workload
+	parsed   bool
+	proposed []word.Symbol
+	buffer   []word.Symbol // arrived but unprocessed data
+	workAcc  uint64
+	absorbed uint64
+	sawC     bool // a datum arrives next chronon
+}
+
+// Tick implements core.Program.
+func (a *Acceptor) Tick(t *core.Tick) {
+	defer a.Drive(t)
+	if !a.parsed {
+		if t.Now != 0 || len(t.New) == 0 {
+			a.RejectForever()
+			return
+		}
+		section := 0
+		for _, e := range t.New {
+			switch {
+			case e.Sym == Sep:
+				section++
+			case section == 0:
+				a.proposed = append(a.proposed, e.Sym)
+			case section == 1:
+				a.buffer = append(a.buffer, e.Sym)
+			case e.Sym == C:
+				a.sawC = true
+			}
+		}
+		if section < 2 {
+			a.RejectForever()
+			return
+		}
+		a.parsed = true
+	} else {
+		a.sawC = false
+		for _, e := range t.New {
+			switch e.Sym {
+			case C:
+				a.sawC = true
+			case "w", Sep:
+				// idle marker / stray separator: ignore
+			default:
+				a.buffer = append(a.buffer, e.Sym)
+			}
+		}
+	}
+	if a.Decided() {
+		return
+	}
+	// P_w: one chronon of work.
+	a.workAcc += a.Work.Rate
+	for len(a.buffer) > 0 && a.workAcc >= a.Work.WorkPerDatum {
+		a.workAcc -= a.Work.WorkPerDatum
+		a.Solver.Absorb(a.buffer[0])
+		a.buffer = a.buffer[1:]
+		a.absorbed++
+	}
+	if len(a.buffer) == 0 {
+		a.workAcc = 0 // idle cycles are lost; partial progress on a pending
+		// datum is kept
+	}
+	// P_m: termination check — P_w caught up with every arrived datum; the
+	// next datum (announced by c for tick t+1) arrives strictly later, so
+	// "all currently arrived data have been processed before another datum
+	// arrives" holds at the end of this tick.
+	if len(a.buffer) == 0 && a.absorbed > 0 {
+		if symsEqual(a.Solver.Solution(), a.proposed) {
+			a.AcceptForever()
+		} else {
+			a.RejectForever()
+		}
+	}
+}
+
+func symsEqual(a, b []word.Symbol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildInstance assembles a checksum instance whose proposed output is the
+// true solution at the predicted termination point (or a corrupted one when
+// sabotage is true), so tests and benchmarks can construct members and
+// non-members of L(Π) at will.
+func BuildInstance(law Law, n uint64, w Workload, mod uint64, cap timeseq.Time, sabotage bool) (Instance, Outcome) {
+	out := Simulate(law, n, w, cap)
+	datum := func(j uint64) word.Symbol { return encoding.Num((j*7 + 3) % mod) }
+	sum := uint64(0)
+	for j := uint64(1); j <= out.Processed; j++ {
+		v, _ := encoding.AsNum(datum(j))
+		sum = (sum + v) % mod
+	}
+	if sabotage {
+		sum = (sum + 1) % mod
+	}
+	return Instance{
+		Law:        law,
+		N:          n,
+		Datum:      datum,
+		Proposed:   []word.Symbol{encoding.Num(sum)},
+		ArrivalCap: cap,
+	}, out
+}

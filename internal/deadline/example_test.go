@@ -1,0 +1,34 @@
+package deadline_test
+
+import (
+	"fmt"
+
+	"rtc/internal/automata"
+	"rtc/internal/deadline"
+	"rtc/internal/word"
+)
+
+// A firm deadline at t_d = 4 against a computation that needs 6 chronons:
+// the two-process acceptor of §4.1 provably rejects; at t_d = 8 it provably
+// accepts.
+func ExampleAccepts() {
+	solver := func() deadline.Solver {
+		return &deadline.FuncSolver{
+			Cost:  func(n int) uint64 { return 2 * uint64(n) },
+			Solve: func(in []word.Symbol) []word.Symbol { return in },
+		}
+	}
+	inst := deadline.Instance{
+		Input:     automata.Syms("xyz"),
+		Proposed:  automata.Syms("xyz"),
+		Kind:      deadline.Firm,
+		Deadline:  4,
+		MinUseful: 1,
+	}
+	fmt.Println(deadline.Accepts(inst, solver(), 100).Verdict)
+	inst.Deadline = 8
+	fmt.Println(deadline.Accepts(inst, solver(), 100).Verdict)
+	// Output:
+	// reject (proven)
+	// accept (proven)
+}

@@ -1,0 +1,269 @@
+package deadline
+
+import (
+	"rtc/internal/core"
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// §4.1 closes with: "we assumed here that all the input data are available
+// at the beginning of computation. However, the case when data arrive while
+// the computation is in progress is easily modeled by modifying the
+// timestamps that correspond with each input data." This file implements
+// that variant: a deadline instance whose input symbols carry individual
+// arrival times.
+
+// StreamedInstance is a deadline instance whose i-th input symbol arrives
+// at InputTimes[i] (non-decreasing). The proposed output and the deadline
+// envelope still arrive at time 0.
+type StreamedInstance struct {
+	Input      []word.Symbol
+	InputTimes []timeseq.Time
+	Proposed   []word.Symbol
+	Kind       Kind
+	Deadline   timeseq.Time
+	MinUseful  uint64
+	U          Usefulness
+}
+
+// Word builds the timed ω-word: the header (minimum usefulness, proposed
+// output) at time 0, each input symbol at its own timestamp, and the
+// w/d/usefulness envelope of the base construction merged in by
+// Definition 3.5.
+func (inst StreamedInstance) Word() word.Word {
+	var header word.Finite
+	add := func(s word.Symbol, at timeseq.Time) {
+		header = append(header, word.TimedSym{Sym: s, At: at})
+	}
+	if inst.Kind != None {
+		// The minimum usefulness is tagged so a numeric proposed output
+		// cannot be mistaken for it.
+		add(MinTag, 0)
+		add(encoding.Num(inst.MinUseful), 0)
+	}
+	for _, s := range inst.Proposed {
+		add(s, 0)
+	}
+	add(Sep, 0)
+	var input word.Finite
+	for i, s := range inst.Input {
+		at := timeseq.Time(0)
+		if i < len(inst.InputTimes) {
+			at = inst.InputTimes[i]
+		}
+		input = append(input, word.TimedSym{Sym: "i", At: at}, word.TimedSym{Sym: s, At: at})
+	}
+	envelope := envelopeWord(inst.Kind, inst.Deadline, inst.U)
+	return word.ConcatAll(header, input, envelope)
+}
+
+// envelopeWord produces the w/(d, usefulness) marker stream of the §4.1
+// construction, starting at time 1.
+func envelopeWord(kind Kind, td timeseq.Time, u Usefulness) word.Word {
+	useAfter := func(t timeseq.Time) uint64 {
+		if kind == Soft && u != nil {
+			return u(t)
+		}
+		return 0
+	}
+	return word.Gen{F: func(k uint64) word.TimedSym {
+		t := timeseq.Time(k + 1)
+		if kind == None || t < td {
+			return word.TimedSym{Sym: W, At: t}
+		}
+		j := k - uint64(td-1)
+		at := td + timeseq.Time(j/2)
+		if j%2 == 0 {
+			return word.TimedSym{Sym: D, At: at}
+		}
+		return word.TimedSym{Sym: encoding.Num(useAfter(at)), At: at}
+	}}
+}
+
+// StreamSolver extends Solver for incremental input: Feed is called as each
+// input symbol arrives; Tick still performs one chronon of work and reports
+// completion of the work received so far. Finished reports whether the
+// solver considers the whole instance done (it cannot know how much input
+// remains, so the acceptor tells it via Feed and the caller's protocol).
+type StreamSolver interface {
+	// StartStream announces the proposed solution at time 0.
+	StartStream(proposed []word.Symbol)
+	// Feed delivers one input symbol at its arrival instant.
+	Feed(sym word.Symbol)
+	// Tick performs one chronon of work; it returns the current solution
+	// and whether all fed input has been fully processed.
+	Tick() (solution []word.Symbol, idle bool)
+}
+
+// IncrementalSolver is a StreamSolver with a per-symbol cost: each fed
+// symbol requires Cost chronons of processing before it is folded into the
+// running solution via Fold.
+type IncrementalSolver struct {
+	Cost uint64
+	Fold func(acc []word.Symbol, sym word.Symbol) []word.Symbol
+
+	acc     []word.Symbol
+	backlog []word.Symbol
+	workAcc uint64
+}
+
+// StartStream implements StreamSolver.
+func (s *IncrementalSolver) StartStream([]word.Symbol) {
+	s.acc = nil
+	s.backlog = nil
+	s.workAcc = 0
+}
+
+// Feed implements StreamSolver.
+func (s *IncrementalSolver) Feed(sym word.Symbol) {
+	s.backlog = append(s.backlog, sym)
+}
+
+// Tick implements StreamSolver.
+func (s *IncrementalSolver) Tick() ([]word.Symbol, bool) {
+	s.workAcc++
+	for len(s.backlog) > 0 && s.workAcc >= s.Cost {
+		s.workAcc -= s.Cost
+		s.acc = s.Fold(s.acc, s.backlog[0])
+		s.backlog = s.backlog[1:]
+	}
+	if len(s.backlog) == 0 {
+		s.workAcc = 0
+	}
+	return s.acc, len(s.backlog) == 0
+}
+
+// StreamedAcceptor runs a StreamSolver against a StreamedInstance word: the
+// acceptor forwards each arriving input symbol (prefixed by the "i" tag) to
+// P_w, watches the deadline envelope, and decides the moment the solver
+// goes idle with no input pending in the same chronon — subject to the
+// usual deadline discipline.
+type StreamedAcceptor struct {
+	core.Control
+	Solver StreamSolver
+	// ExpectInput is the number of input symbols the instance carries (the
+	// problem size; known to the acceptor as part of the problem, like the
+	// arrival law in §4.2).
+	ExpectInput int
+
+	parsed    bool
+	proposed  []word.Symbol
+	fed       int
+	minUseful uint64
+	hasMin    bool
+	pastDead  bool
+	curUseful uint64
+	expectSym bool
+}
+
+// MinTag announces the minimum-usefulness value in the header.
+const MinTag = word.Symbol("min")
+
+// Tick implements core.Program.
+func (a *StreamedAcceptor) Tick(t *core.Tick) {
+	defer a.Drive(t)
+	if !a.parsed {
+		if t.Now != 0 || len(t.New) == 0 {
+			a.RejectForever()
+			return
+		}
+		// Header: [min #v] proposed… Sep, then time-0 input follows. The
+		// solver must be started before any input is fed to it.
+		i := 0
+		expectMin := false
+		sawSep := false
+		for ; i < len(t.New); i++ {
+			e := t.New[i]
+			if e.Sym == Sep {
+				sawSep = true
+				i++
+				break
+			}
+			if e.Sym == MinTag {
+				expectMin = true
+				continue
+			}
+			if expectMin {
+				expectMin = false
+				if v, ok := encoding.AsNum(e.Sym); ok {
+					a.minUseful = v
+					a.hasMin = true
+				}
+				continue
+			}
+			a.proposed = append(a.proposed, e.Sym)
+		}
+		if !sawSep {
+			a.RejectForever()
+			return
+		}
+		a.parsed = true
+		a.Solver.StartStream(a.proposed)
+		for ; i < len(t.New); i++ {
+			a.consume(t.New[i])
+		}
+		a.afterWork(t)
+		return
+	}
+	for _, e := range t.New {
+		a.consume(e)
+	}
+	a.afterWork(t)
+}
+
+// consume routes one input element.
+func (a *StreamedAcceptor) consume(e word.TimedSym) {
+	switch {
+	case e.Sym == "i":
+		a.expectSym = true
+	case a.expectSym:
+		a.expectSym = false
+		a.fed++
+		a.Solver.Feed(e.Sym)
+	case e.Sym == D:
+		a.pastDead = true
+	case e.Sym == W:
+	default:
+		if v, ok := encoding.AsNum(e.Sym); ok && a.pastDead {
+			a.curUseful = v
+		}
+	}
+}
+
+func (a *StreamedAcceptor) afterWork(t *core.Tick) {
+	if a.Decided() {
+		return
+	}
+	sol, idle := a.Solver.Tick()
+	if !idle || a.fed < a.ExpectInput {
+		return
+	}
+	// All input arrived and processed: P_m compares under the deadline
+	// discipline of §4.1.
+	match := symsEqual(sol, a.proposed)
+	if !a.pastDead {
+		if match {
+			a.AcceptForever()
+		} else {
+			a.RejectForever()
+		}
+		return
+	}
+	if !a.hasMin || a.minUseful == 0 || a.curUseful < a.minUseful {
+		a.RejectForever()
+		return
+	}
+	if match {
+		a.AcceptForever()
+	} else {
+		a.RejectForever()
+	}
+}
+
+// AcceptsStreamed runs the full streamed pipeline.
+func AcceptsStreamed(inst StreamedInstance, solver StreamSolver, horizon uint64) core.Result {
+	acc := &StreamedAcceptor{Solver: solver, ExpectInput: len(inst.Input)}
+	m := core.NewMachine(acc, inst.Word())
+	return core.RunForVerdict(m, horizon)
+}

@@ -1,0 +1,153 @@
+package deadline
+
+import (
+	"testing"
+
+	"rtc/internal/core"
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// sumSolver folds numeric symbols into a running sum (order-insensitive, so
+// streaming arrival order does not matter).
+func sumSolver(cost uint64) *IncrementalSolver {
+	return &IncrementalSolver{
+		Cost: cost,
+		Fold: func(acc []word.Symbol, sym word.Symbol) []word.Symbol {
+			var cur uint64
+			if len(acc) == 1 {
+				cur, _ = encoding.AsNum(acc[0])
+			}
+			v, _ := encoding.AsNum(sym)
+			return []word.Symbol{encoding.Num(cur + v)}
+		},
+	}
+}
+
+func nums(vs ...uint64) []word.Symbol {
+	out := make([]word.Symbol, len(vs))
+	for i, v := range vs {
+		out[i] = encoding.Num(v)
+	}
+	return out
+}
+
+func TestStreamedWordShape(t *testing.T) {
+	inst := StreamedInstance{
+		Input:      nums(1, 2, 3),
+		InputTimes: []timeseq.Time{0, 4, 9},
+		Proposed:   nums(6),
+	}
+	w := inst.Word()
+	p := word.Prefix(w, 24)
+	// Input symbols sit at their own timestamps, tagged by "i".
+	at := map[timeseq.Time]bool{}
+	for i := 0; i+1 < len(p); i++ {
+		if p[i].Sym == "i" {
+			at[p[i+1].At] = true
+			if p[i+1].At != p[i].At {
+				t.Fatalf("tag and payload at different times: %v %v", p[i], p[i+1])
+			}
+		}
+	}
+	for _, want := range []timeseq.Time{0, 4, 9} {
+		if !at[want] {
+			t.Errorf("no input arrival at %d (prefix %v)", want, p)
+		}
+	}
+	if !word.MonotoneWithin(w, 64) {
+		t.Error("streamed word not monotone")
+	}
+}
+
+func TestStreamedNoDeadline(t *testing.T) {
+	inst := StreamedInstance{
+		Input:      nums(1, 2, 3),
+		InputTimes: []timeseq.Time{0, 4, 9},
+		Proposed:   nums(6),
+	}
+	res := AcceptsStreamed(inst, sumSolver(1), 200)
+	if res.Verdict != core.AcceptProven {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	// The decision cannot precede the last arrival.
+	if res.DecidedAt < 9 {
+		t.Errorf("decided at %d, before the last arrival", res.DecidedAt)
+	}
+	wrong := inst
+	wrong.Proposed = nums(7)
+	if res := AcceptsStreamed(wrong, sumSolver(1), 200); res.Verdict != core.RejectProven {
+		t.Fatalf("wrong output verdict = %v", res.Verdict)
+	}
+}
+
+// A firm deadline earlier than the last arrival dooms the computation no
+// matter how fast the solver is — the real-time character comes from the
+// input, exactly as §3.1.1 argues ("time restrictions are imposed by the
+// input itself").
+func TestStreamedFirmDeadlineVsArrival(t *testing.T) {
+	inst := StreamedInstance{
+		Input:      nums(1, 2),
+		InputTimes: []timeseq.Time{0, 12},
+		Proposed:   nums(3),
+		Kind:       Firm,
+		Deadline:   6,
+		MinUseful:  1,
+	}
+	if res := AcceptsStreamed(inst, sumSolver(1), 300); res.Verdict != core.RejectProven {
+		t.Fatalf("verdict = %v; input at 12 cannot beat deadline 6", res.Verdict)
+	}
+	// Moving the deadline past the arrival (plus processing) flips it.
+	inst.Deadline = 16
+	if res := AcceptsStreamed(inst, sumSolver(1), 300); res.Verdict != core.AcceptProven {
+		t.Fatalf("verdict = %v with deadline 16", res.Verdict)
+	}
+}
+
+func TestStreamedSoftDeadline(t *testing.T) {
+	u := Hyperbolic(10, 5)
+	inst := StreamedInstance{
+		Input:      nums(4, 5),
+		InputTimes: []timeseq.Time{0, 8}, // decision at t = 8, after t_d = 5
+		Proposed:   nums(9),
+		Kind:       Soft,
+		Deadline:   5,
+		MinUseful:  3,
+		U:          u,
+	}
+	// u(8) = 10/3 = 3 ≥ 3: accepted late.
+	if res := AcceptsStreamed(inst, sumSolver(1), 300); res.Verdict != core.AcceptProven {
+		t.Fatalf("soft verdict = %v", res.Verdict)
+	}
+	inst.MinUseful = 5
+	if res := AcceptsStreamed(inst, sumSolver(1), 300); res.Verdict != core.RejectProven {
+		t.Fatalf("strict soft verdict = %v", res.Verdict)
+	}
+}
+
+// Slow incremental processing delays the decision past the arrival times.
+func TestStreamedProcessingBacklog(t *testing.T) {
+	inst := StreamedInstance{
+		Input:      nums(1, 1, 1, 1),
+		InputTimes: []timeseq.Time{0, 0, 0, 0},
+		Proposed:   nums(4),
+	}
+	res := AcceptsStreamed(inst, sumSolver(5), 300)
+	if res.Verdict != core.AcceptProven {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	// 4 symbols × 5 chronons each: idle no earlier than tick 19.
+	if res.DecidedAt < 19 {
+		t.Errorf("decided at %d, backlog cost ignored", res.DecidedAt)
+	}
+}
+
+func TestStreamedMalformed(t *testing.T) {
+	w := word.RepeatClassical("w", 1) // nothing at time 0
+	acc := &StreamedAcceptor{Solver: sumSolver(1), ExpectInput: 1}
+	m := core.NewMachine(acc, w)
+	if res := core.RunForVerdict(m, 50); res.Verdict != core.RejectProven {
+		t.Fatalf("malformed verdict = %v", res.Verdict)
+	}
+}

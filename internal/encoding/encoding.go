@@ -1,0 +1,186 @@
+// Package encoding provides the shared enc(·) machinery the paper assumes
+// throughout §4 and §5: injective encodings of numbers, strings, and tagged
+// records over symbol alphabets, with the designated delimiters $ and @ kept
+// out of every payload (§5.1.1 and §5.2.2 require the delimiters to be
+// outside the codomain of enc).
+package encoding
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rtc/internal/word"
+)
+
+// Dollar is the $ delimiter of §5.1.1 (recognition problem) and §5.2.2
+// (node encodings).
+const Dollar = word.Symbol("$")
+
+// At is the @ separator of §5.2.2/§5.2.3 (node and message encodings).
+const At = word.Symbol("@")
+
+// Num encodes a natural number as a single symbol outside every string
+// payload ("#" prefix keeps the codomains disjoint, the paper's standing
+// assumption that Σ, Ω and ℕ do not overlap).
+func Num(v uint64) word.Symbol {
+	return word.Symbol("#" + strconv.FormatUint(v, 10))
+}
+
+// AsNum decodes a Num symbol.
+func AsNum(s word.Symbol) (uint64, bool) {
+	str := string(s)
+	if !strings.HasPrefix(str, "#") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(str[1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Str encodes a string one byte per symbol (so arbitrary byte strings —
+// including invalid UTF-8 — round-trip). The bytes '$', '@', '#' and '%'
+// are escaped so payloads never collide with delimiters or numbers.
+func Str(s string) []word.Symbol {
+	out := make([]word.Symbol, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch b := s[i]; b {
+		case '$', '@', '#', '%':
+			out = append(out, word.Symbol([]byte{'%', b}))
+		default:
+			out = append(out, word.Symbol(s[i:i+1]))
+		}
+	}
+	return out
+}
+
+// UnStr inverts Str. Symbols produced by other encoders make it fail.
+func UnStr(syms []word.Symbol) (string, bool) {
+	var b strings.Builder
+	for _, s := range syms {
+		str := string(s)
+		switch {
+		case len(str) == 2 && str[0] == '%':
+			b.WriteByte(str[1])
+		case len(str) >= 1 && (str == "$" || str == "@" || strings.HasPrefix(str, "#") || strings.HasPrefix(str, "%")):
+			return "", false
+		default:
+			b.WriteString(str)
+		}
+	}
+	return b.String(), true
+}
+
+// Record encodes a $-delimited record of fields separated by @:
+// $f1@f2@…@fk$ — the shape enc(i,π) = $e(i)@e(π)$ of §5.2.2 generalizes to
+// any arity.
+func Record(fields ...string) []word.Symbol {
+	out := []word.Symbol{Dollar}
+	for i, f := range fields {
+		if i > 0 {
+			out = append(out, At)
+		}
+		out = append(out, Str(f)...)
+	}
+	return append(out, Dollar)
+}
+
+// ParseRecord splits one Record back into fields. It expects the symbols to
+// be exactly one record.
+func ParseRecord(syms []word.Symbol) ([]string, bool) {
+	if len(syms) < 2 || syms[0] != Dollar || syms[len(syms)-1] != Dollar {
+		return nil, false
+	}
+	inner := syms[1 : len(syms)-1]
+	var fields []string
+	var cur []word.Symbol
+	flush := func() bool {
+		s, ok := UnStr(cur)
+		if !ok {
+			return false
+		}
+		fields = append(fields, s)
+		cur = nil
+		return true
+	}
+	for _, s := range inner {
+		if s == At {
+			if !flush() {
+				return nil, false
+			}
+			continue
+		}
+		if s == Dollar {
+			return nil, false
+		}
+		cur = append(cur, s)
+	}
+	if !flush() {
+		return nil, false
+	}
+	return fields, true
+}
+
+// Records scans a symbol stream for consecutive Record encodings, returning
+// the parsed field lists. Non-record trailing symbols fail the parse.
+func Records(syms []word.Symbol) ([][]string, bool) {
+	var out [][]string
+	i := 0
+	for i < len(syms) {
+		if syms[i] != Dollar {
+			return nil, false
+		}
+		j := i + 1
+		for j < len(syms) && syms[j] != Dollar {
+			j++
+		}
+		if j == len(syms) {
+			return nil, false
+		}
+		rec, ok := ParseRecord(syms[i : j+1])
+		if !ok {
+			return nil, false
+		}
+		out = append(out, rec)
+		i = j + 1
+	}
+	return out, true
+}
+
+// FieldUint formats an integer field for Record.
+func FieldUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// FieldInt formats a signed integer field for Record.
+func FieldInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// Tagged encodes enc(i, π) exactly as §5.2.2 defines it:
+//
+//	enc(i, i) = $e(i)$            (the label itself)
+//	enc(i, π) = $e(i)@e(π)$       (any other property, prefixed by the label)
+func Tagged(label uint64, property string) []word.Symbol {
+	if property == "" {
+		return Record(FieldUint(label))
+	}
+	return Record(FieldUint(label), property)
+}
+
+// String renders a symbol slice for diagnostics.
+func String(syms []word.Symbol) string {
+	var b strings.Builder
+	for _, s := range syms {
+		b.WriteString(string(s))
+	}
+	return b.String()
+}
+
+// MustParseUint parses a record field that must be a number (programming
+// error otherwise).
+func MustParseUint(f string) uint64 {
+	v, err := strconv.ParseUint(f, 10, 64)
+	if err != nil {
+		panic(fmt.Sprintf("encoding: field %q is not a number", f))
+	}
+	return v
+}

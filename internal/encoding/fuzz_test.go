@@ -1,0 +1,34 @@
+package encoding
+
+import (
+	"testing"
+)
+
+// FuzzStrRoundTrip: any string survives Str/UnStr.
+func FuzzStrRoundTrip(f *testing.F) {
+	for _, seed := range []string{"", "abc", "a$b@c#d%e", "Terre Sauvage", "%%%", "#42", "$@"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got, ok := UnStr(Str(s))
+		if !ok {
+			t.Fatalf("UnStr failed on Str(%q)", s)
+		}
+		if got != s {
+			t.Fatalf("round trip %q → %q", s, got)
+		}
+	})
+}
+
+// FuzzRecordRoundTrip: any pair of fields survives Record/ParseRecord.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add("a", "b")
+	f.Add("", "")
+	f.Add("x$y", "#1@%")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		rec, ok := ParseRecord(Record(a, b))
+		if !ok || len(rec) != 2 || rec[0] != a || rec[1] != b {
+			t.Fatalf("round trip (%q,%q) → %v (%v)", a, b, rec, ok)
+		}
+	})
+}

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rtc/internal/adhoc"
+	"rtc/internal/core"
+	"rtc/internal/dacc"
+	"rtc/internal/deadline"
+	"rtc/internal/parallel"
+	"rtc/internal/rtdb"
+	"rtc/internal/stats"
+	"rtc/internal/timeseq"
+)
+
+// E5Row is one point of the data-accumulating sweep.
+type E5Row struct {
+	Law        dacc.PolyLaw
+	Terminated bool
+	At         timeseq.Time
+	Processed  uint64
+	Predicted  timeseq.Time
+	PredictOK  bool
+}
+
+// E5DataAccumulating sweeps the arrival-law parameters of equation (4).
+// Expected shape: termination everywhere below the β=1, k·n^γ·c = rate
+// knife edge; divergence at and beyond it; termination time growing with k
+// and β; Simulate and the analytic fixed point agreeing.
+func E5DataAccumulating() ([]E5Row, string) {
+	n := uint64(64)
+	wl := dacc.Workload{Rate: 2, WorkPerDatum: 1}
+	var rows []E5Row
+	t := stats.NewTable("k", "γ", "β", "terminated", "T_sim", "T_pred", "processed")
+	for _, beta := range []float64{0.5, 0.8, 1.0, 1.3} {
+		for _, k := range []float64{0.5, 1.0, 1.9, 2.5} {
+			law := dacc.PolyLaw{K: k, Gamma: 0, Beta: beta}
+			sim := dacc.Simulate(law, n, wl, 400000)
+			pred, okP := dacc.Predict(law, n, wl, 400000)
+			rows = append(rows, E5Row{Law: law, Terminated: sim.Terminated, At: sim.At, Processed: sim.Processed, Predicted: pred, PredictOK: okP})
+			tsim, tpred := "-", "-"
+			if sim.Terminated {
+				tsim = uitoa(uint64(sim.At))
+			}
+			if okP {
+				tpred = uitoa(uint64(pred))
+			}
+			t.Row(k, 0.0, beta, sim.Terminated, tsim, tpred, sim.Processed)
+		}
+	}
+	return rows, t.String()
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// E6Row is one RTDB recognition run.
+type E6Row struct {
+	Name     string
+	Verdict  core.Verdict
+	FCount   uint64
+	Expected bool // ground truth s ∈ q(B)
+}
+
+// E6RTDB runs the Definition 5.1 recognition pipeline: aperiodic members
+// and non-members, deadline pressure, and a periodic query. Expected shape:
+// the acceptor verdict always matches the ground truth, with deadline
+// misses turning correct-but-late answers into rejects.
+func E6RTDB() ([]E6Row, string) {
+	sp := rtdb.Spec{
+		Invariants: map[string]rtdb.Value{"limit": "22"},
+		Derived: []*rtdb.DerivedObject{{
+			Name: "status", Sources: []string{"temp", "limit"},
+			Derive: statusDerive,
+		}},
+		Images: []*rtdb.ImageObject{{Name: "temp", Period: 5, Read: tempRead}},
+	}
+	cat := rtdb.Catalog{
+		"status_q": func(v *rtdb.View) []rtdb.Value {
+			if s, ok := v.DeriveNow("status"); ok {
+				return []rtdb.Value{s}
+			}
+			return nil
+		},
+	}
+	reg := rtdb.DeriveRegistry{"status": statusDerive}
+
+	var rows []E6Row
+	add := func(name string, res core.Result, expected bool) {
+		rows = append(rows, E6Row{Name: name, Verdict: res.Verdict, FCount: res.FCount, Expected: expected})
+	}
+
+	member := rtdb.QuerySpec{Query: "status_q", Issue: 7, Candidate: "ok"}
+	add("aperiodic member", rtdb.RunAperiodic(sp, member, cat, reg, 2, 300), true)
+
+	non := rtdb.QuerySpec{Query: "status_q", Issue: 7, Candidate: "high"}
+	add("aperiodic non-member", rtdb.RunAperiodic(sp, non, cat, reg, 2, 300), false)
+
+	firmFast := member
+	firmFast.Kind = deadline.Firm
+	firmFast.Deadline = 4
+	firmFast.MinUseful = 1
+	add("firm, fast eval", rtdb.RunAperiodic(sp, firmFast, cat, reg, 2, 300), true)
+	add("firm, slow eval", rtdb.RunAperiodic(sp, firmFast, cat, reg, 9, 300), false)
+
+	ps := rtdb.PeriodicSpec{
+		Query: "status_q", Issue: 2, Period: 10,
+		Candidates: func(i uint64) rtdb.Value {
+			v := sp.ViewAt(2 + timeseq.Time(i)*10)
+			s, ok := v.DeriveNow("status")
+			if !ok {
+				return "?"
+			}
+			return s
+		},
+	}
+	res, _ := rtdb.RunPeriodic(sp, ps, cat, reg, 1, 200)
+	add("periodic all-served", res, true)
+
+	t := stats.NewTable("case", "verdict", "f-count", "ground truth")
+	for _, r := range rows {
+		t.Row(r.Name, r.Verdict.String(), r.FCount, r.Expected)
+	}
+	return rows, t.String()
+}
+
+func statusDerive(src map[string]rtdb.Value) rtdb.Value {
+	tv := atoi(src["temp"])
+	lv := atoi(src["limit"])
+	if tv > lv {
+		return "high"
+	}
+	return "ok"
+}
+
+func tempRead(t timeseq.Time) rtdb.Value { return uitoa(20 + uint64(t)/10) }
+
+func atoi(s string) int {
+	v := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v
+}
+
+// E7Row is one protocol × pause-time cell of the routing comparison.
+type E7Row struct {
+	Protocol      string
+	PauseTime     timeseq.Time
+	DeliveryRatio float64
+	Overhead      int
+	Control       int
+	ExcessHops    float64
+	RoutesValid   bool
+}
+
+// E7Config parameterizes the routing comparison.
+type E7Config struct {
+	Nodes    int
+	Arena    float64
+	Range    float64
+	Speed    float64
+	Messages int
+	Horizon  timeseq.Time
+	Seed     int64
+}
+
+// DefaultE7 is a laptop-scale mirror of the Broch et al. setup.
+func DefaultE7() E7Config {
+	return E7Config{Nodes: 16, Arena: 150, Range: 50, Speed: 1.5, Messages: 12, Horizon: 400, Seed: 1}
+}
+
+// E7Routing runs the four protocols across a pause-time sweep (high pause =
+// low mobility) and reports the three measures of §5.2.4. Expected shape
+// (Broch et al.): flooding delivers the most at the highest overhead; the
+// reactive protocol's control overhead drops as mobility falls (routes stay
+// valid); every delivered route validates against R_{n,u}.
+func E7Routing(cfg E7Config, pauses []timeseq.Time) ([]E7Row, string) {
+	protos := []struct {
+		name string
+		mk   func() adhoc.Protocol
+	}{
+		{"flooding", func() adhoc.Protocol { return &adhoc.Flooding{} }},
+		{"dsdv-like", func() adhoc.Protocol { return &adhoc.DV{BeaconEvery: 5} }},
+		{"dsr-like", func() adhoc.Protocol { return &adhoc.SR{} }},
+		{"aodv-like", func() adhoc.Protocol { return &adhoc.AODV{} }},
+		{"dream-like", func() adhoc.Protocol { return &adhoc.Geo{BeaconEvery: 5, BeaconTTL: 4} }},
+	}
+	var rows []E7Row
+	t := stats.NewTable("protocol", "pause", "delivery", "overhead", "control", "excess-hops", "routes-ok")
+	for _, pause := range pauses {
+		for _, p := range protos {
+			m, valid := runE7Cell(cfg, pause, p.mk)
+			row := E7Row{
+				Protocol:      p.name,
+				PauseTime:     pause,
+				DeliveryRatio: m.DeliveryRatio(),
+				Overhead:      m.Overhead(),
+				Control:       m.ControlPackets,
+				ExcessHops:    m.PathOptimality(),
+				RoutesValid:   valid,
+			}
+			rows = append(rows, row)
+			t.Row(p.name, uint64(pause), row.DeliveryRatio, row.Overhead, row.Control, row.ExcessHops, row.RoutesValid)
+		}
+	}
+	return rows, t.String()
+}
+
+func runE7Cell(cfg E7Config, pause timeseq.Time, mk func() adhoc.Protocol) (*adhoc.Metrics, bool) {
+	nodes := make([]*adhoc.Node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = &adhoc.Node{
+			ID:    i + 1,
+			Mob:   adhoc.NewWaypoint(cfg.Seed*1000+int64(i), cfg.Arena, cfg.Arena, cfg.Speed, pause),
+			Range: cfg.Range,
+			Proto: mk(),
+		}
+	}
+	net := adhoc.NewNetwork(nodes)
+	rng := randSource(cfg.Seed * 7)
+	at := timeseq.Time(40)
+	for id := uint64(1); id <= uint64(cfg.Messages); id++ {
+		src := int(rng()%uint64(cfg.Nodes)) + 1
+		dst := int(rng()%uint64(cfg.Nodes)) + 1
+		for dst == src {
+			dst = int(rng()%uint64(cfg.Nodes)) + 1
+		}
+		net.Inject(adhoc.Message{ID: id, Src: src, Dst: dst, At: at, Payload: "b"})
+		at += 12
+	}
+	net.Run(cfg.Horizon)
+	valid := true
+	for id := uint64(1); id <= uint64(cfg.Messages); id++ {
+		ck := net.Trace().CheckRoute(id, net)
+		if ck.Delivered && !ck.OK {
+			valid = false
+		}
+	}
+	return net.Metrics(), valid
+}
+
+// randSource is a tiny deterministic generator (splitmix64) so experiment
+// workloads do not perturb the global rand stream.
+func randSource(seed int64) func() uint64 {
+	s := uint64(seed)
+	return func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// E8Row is one point of the rt-PROC staircase.
+type E8Row struct {
+	Batch      uint64
+	ModelMinP  int
+	ModelOK    bool
+	SystemMinP int
+	SystemOK   bool
+}
+
+// E8RTProc probes the rt-PROC(p) hierarchy: the minimum processor count to
+// meet a deadline, in the analytic model and on the real goroutine system.
+// Expected shape: both staircases are non-decreasing in the load, and for
+// every load some p succeeds where p−1 fails.
+func E8RTProc() ([]E8Row, string) {
+	wl := dacc.Workload{Rate: 1, WorkPerDatum: 2}
+	law := dacc.PolyLaw{K: 1, Gamma: 0, Beta: 0.5}
+	const deadlineT = 450
+	var rows []E8Row
+	t := stats.NewTable("initial batch n", "model min p", "system min p")
+	for _, n := range []uint64{100, 400, 1200} {
+		mp, mok := dacc.MinProcessors(law, n, wl, 8, deadlineT)
+		sp, sok := parallel.MinProcessorsParallel(law, n, wl, 8, deadlineT)
+		rows = append(rows, E8Row{Batch: n, ModelMinP: mp, ModelOK: mok, SystemMinP: sp, SystemOK: sok})
+		t.Row(n, mp, sp)
+	}
+	return rows, t.String()
+}
+
+// E7Agg is one protocol × pause cell aggregated over seeds.
+type E7Agg struct {
+	Protocol  string
+	PauseTime timeseq.Time
+	Delivery  stats.Summary
+	Overhead  stats.Summary
+}
+
+// E7RoutingMulti repeats the routing comparison across seeds and reports
+// mean ± stddev per cell — the form in which simulation studies like Broch
+// et al. report their curves.
+func E7RoutingMulti(cfg E7Config, pauses []timeseq.Time, seeds []int64) ([]E7Agg, string) {
+	protoNames := []string{"flooding", "dsdv-like", "dsr-like", "aodv-like", "dream-like"}
+	type cell struct {
+		delivery []float64
+		overhead []float64
+	}
+	cells := map[string]*cell{}
+	key := func(p string, pause timeseq.Time) string { return fmt.Sprintf("%s|%d", p, pause) }
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		rows, _ := E7Routing(c, pauses)
+		for _, r := range rows {
+			k := key(r.Protocol, r.PauseTime)
+			if cells[k] == nil {
+				cells[k] = &cell{}
+			}
+			cells[k].delivery = append(cells[k].delivery, r.DeliveryRatio)
+			cells[k].overhead = append(cells[k].overhead, float64(r.Overhead))
+		}
+	}
+	var out []E7Agg
+	t := stats.NewTable("protocol", "pause", "delivery μ", "±σ", "overhead μ", "±σ")
+	for _, pause := range pauses {
+		for _, p := range protoNames {
+			c := cells[key(p, pause)]
+			if c == nil {
+				continue
+			}
+			agg := E7Agg{
+				Protocol:  p,
+				PauseTime: pause,
+				Delivery:  stats.Summarize(c.delivery),
+				Overhead:  stats.Summarize(c.overhead),
+			}
+			out = append(out, agg)
+			t.Row(p, uint64(pause), agg.Delivery.Mean, agg.Delivery.Std, agg.Overhead.Mean, agg.Overhead.Std)
+		}
+	}
+	return out, t.String()
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rtc/internal/core"
+	"rtc/internal/deadline"
+	"rtc/internal/timeseq"
+)
+
+func TestE1AllRefuted(t *testing.T) {
+	res := E1NonRegular(10, 3)
+	if !res.AllRefuted {
+		t.Fatalf("some candidate escaped refutation:\n%s", res.Table)
+	}
+	if res.DFACandidates < 10 || res.BuchiCandidates < 3 {
+		t.Errorf("candidate counts: %d DFA, %d Büchi", res.DFACandidates, res.BuchiCandidates)
+	}
+	if !strings.Contains(res.Table, "refuted") {
+		t.Error("table missing verdicts")
+	}
+}
+
+func TestE3Matches(t *testing.T) {
+	res := E3NGC()
+	if !res.Match {
+		t.Fatalf("Figure 2 mismatch:\n%s", res.Table)
+	}
+	for _, artist := range []string{"Schaefer", "Aelbrecht", "Dieric"} {
+		if !strings.Contains(res.Table, artist) {
+			t.Errorf("table missing %s", artist)
+		}
+	}
+}
+
+func TestE4Shapes(t *testing.T) {
+	rows, table := E4Deadline()
+	if table == "" {
+		t.Fatal("empty table")
+	}
+	// Per kind: acceptance monotone non-decreasing in t_d with exactly one
+	// flip, and every verdict proven.
+	perKind := map[deadline.Kind][]E4Row{}
+	for _, r := range rows {
+		if !r.Proven {
+			t.Errorf("unproven verdict at %v t_d=%d", r.Kind, r.Deadline)
+		}
+		perKind[r.Kind] = append(perKind[r.Kind], r)
+	}
+	flipAt := map[deadline.Kind]timeseq.Time{}
+	for kind, rs := range perKind {
+		flips := 0
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Accepted != rs[i-1].Accepted {
+				flips++
+				flipAt[kind] = rs[i].Deadline
+			}
+		}
+		if flips != 1 || rs[0].Accepted || !rs[len(rs)-1].Accepted {
+			t.Errorf("%v sweep shape wrong: %+v", kind, rs)
+		}
+	}
+	// Soft flips no later than firm (late-but-useful answers count).
+	if flipAt[deadline.Soft] > flipAt[deadline.Firm] {
+		t.Errorf("soft flip at %d after firm flip at %d", flipAt[deadline.Soft], flipAt[deadline.Firm])
+	}
+}
+
+func TestE5Shapes(t *testing.T) {
+	rows, table := E5DataAccumulating()
+	if table == "" {
+		t.Fatal("empty table")
+	}
+	// β<1 always terminates; β=1 splits at k·c = rate (= 2); β>1 with a
+	// slow start diverges for the larger k.
+	var seenDiverge, seenTerminate bool
+	for _, r := range rows {
+		switch {
+		case r.Law.Beta < 1:
+			if !r.Terminated {
+				t.Errorf("β=%g k=%g should terminate", r.Law.Beta, r.Law.K)
+			}
+		case r.Law.Beta == 1:
+			want := r.Law.K < 2
+			if r.Terminated != want {
+				t.Errorf("β=1 k=%g terminated=%v, want %v", r.Law.K, r.Terminated, want)
+			}
+		}
+		if r.Terminated {
+			seenTerminate = true
+			// Near the β=1 knife edge the one-tick work offset between
+			// Simulate and Predict is amplified by 1/(rate−k·c), so the
+			// agreement bound is relative.
+			if r.PredictOK && float64(r.Predicted) > 1.1*float64(r.At)+5 {
+				t.Errorf("k=%g β=%g: prediction %d far above simulation %d",
+					r.Law.K, r.Law.Beta, r.Predicted, r.At)
+			}
+		} else {
+			seenDiverge = true
+		}
+	}
+	if !seenDiverge || !seenTerminate {
+		t.Error("sweep did not cover both regimes")
+	}
+}
+
+func TestE6VerdictsMatchGroundTruth(t *testing.T) {
+	rows, table := E6RTDB()
+	if table == "" {
+		t.Fatal("empty table")
+	}
+	for _, r := range rows {
+		if got := r.Verdict.Accepted(); got != r.Expected {
+			t.Errorf("%s: verdict %v, ground truth %v", r.Name, r.Verdict, r.Expected)
+		}
+	}
+	// The periodic case must have produced at least one f per served query.
+	last := rows[len(rows)-1]
+	if last.Name != "periodic all-served" || last.FCount < 3 {
+		t.Errorf("periodic row = %+v", last)
+	}
+	if rows[0].Verdict != core.AcceptProven {
+		t.Errorf("member not proven: %+v", rows[0])
+	}
+}
+
+func TestE7Shapes(t *testing.T) {
+	cfg := DefaultE7()
+	cfg.Messages = 8
+	cfg.Horizon = 300
+	rows, table := E7Routing(cfg, []timeseq.Time{0, 120})
+	if table == "" {
+		t.Fatal("empty table")
+	}
+	byProto := map[string][]E7Row{}
+	for _, r := range rows {
+		if !r.RoutesValid {
+			t.Errorf("%s@pause=%d: delivered route failed §5.2.4 validation", r.Protocol, r.PauseTime)
+		}
+		byProto[r.Protocol] = append(byProto[r.Protocol], r)
+	}
+	for pauseIdx := 0; pauseIdx < 2; pauseIdx++ {
+		flood := byProto["flooding"][pauseIdx]
+		for name, rs := range byProto {
+			if name == "flooding" {
+				continue
+			}
+			// Flooding delivers at least as much as any other protocol
+			// (allowing one message of slack for timing edges).
+			if rs[pauseIdx].DeliveryRatio > flood.DeliveryRatio+1.0/8 {
+				t.Errorf("pause %d: %s delivery %.2f exceeds flooding %.2f by more than slack",
+					rs[pauseIdx].PauseTime, name, rs[pauseIdx].DeliveryRatio, flood.DeliveryRatio)
+			}
+		}
+	}
+	// The proactive protocol pays control overhead even with no mobility;
+	// flooding pays none.
+	for _, r := range byProto["flooding"] {
+		if r.Control != 0 {
+			t.Errorf("flooding control packets = %d", r.Control)
+		}
+	}
+	for _, r := range byProto["dsdv-like"] {
+		if r.Control == 0 {
+			t.Error("dsdv-like paid no control packets")
+		}
+	}
+}
+
+func TestE8Staircase(t *testing.T) {
+	rows, table := E8RTProc()
+	if table == "" {
+		t.Fatal("empty table")
+	}
+	prevM, prevS := 0, 0
+	for _, r := range rows {
+		if !r.ModelOK || !r.SystemOK {
+			t.Fatalf("n=%d: model ok=%v system ok=%v", r.Batch, r.ModelOK, r.SystemOK)
+		}
+		if r.ModelMinP < prevM || r.SystemMinP < prevS {
+			t.Errorf("staircase decreased at n=%d: %+v", r.Batch, r)
+		}
+		prevM, prevS = r.ModelMinP, r.SystemMinP
+	}
+	if prevM < 2 || prevS < 2 {
+		t.Errorf("staircases too flat: model %d, system %d", prevM, prevS)
+	}
+}
+
+func TestE7Multi(t *testing.T) {
+	cfg := DefaultE7()
+	cfg.Messages = 6
+	cfg.Horizon = 250
+	aggs, table := E7RoutingMulti(cfg, []timeseq.Time{0}, []int64{1, 2, 3})
+	if table == "" || len(aggs) != 5 {
+		t.Fatalf("aggs = %d", len(aggs))
+	}
+	for _, a := range aggs {
+		if a.Delivery.N != 3 {
+			t.Errorf("%s: %d samples", a.Protocol, a.Delivery.N)
+		}
+		if a.Delivery.Mean < 0 || a.Delivery.Mean > 1 {
+			t.Errorf("%s: mean delivery %g", a.Protocol, a.Delivery.Mean)
+		}
+	}
+}

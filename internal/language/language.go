@@ -1,0 +1,274 @@
+// Package language implements timed ω-languages (Definition 3.2) and the
+// operations of §3.1.2: union, intersection, complement, concatenation
+// (lifted from Definition 3.5) and Kleene closure (Definition 3.6), whose
+// closure properties Theorem 3.3 asserts.
+//
+// A language is represented by its membership predicate. Because membership
+// of a genuinely infinite word can only be observed through finite prefixes,
+// predicates are three-valued: Yes and No are definite answers (for many of
+// the paper's languages, such as lasso-presented ones, membership is exactly
+// decidable), while Unknown reports that the horizon was insufficient.
+package language
+
+import (
+	"fmt"
+
+	"rtc/internal/word"
+)
+
+// Verdict is the outcome of a bounded membership test.
+type Verdict int
+
+const (
+	// Unknown means the horizon did not suffice to decide membership.
+	Unknown Verdict = iota
+	// Yes means the word is definitely in the language.
+	Yes
+	// No means the word is definitely not in the language.
+	No
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Yes:
+		return "yes"
+	case No:
+		return "no"
+	default:
+		return "unknown"
+	}
+}
+
+// Not negates a definite verdict and preserves Unknown.
+func (v Verdict) Not() Verdict {
+	switch v {
+	case Yes:
+		return No
+	case No:
+		return Yes
+	default:
+		return Unknown
+	}
+}
+
+// Language is a timed ω-language given by a (bounded-horizon) membership
+// predicate.
+type Language struct {
+	// Name identifies the language in diagnostics.
+	Name string
+	// Member decides membership of w, examining at most the first horizon
+	// elements of w.
+	Member func(w word.Word, horizon uint64) Verdict
+}
+
+// Contains is a convenience wrapper around Member.
+func (l *Language) Contains(w word.Word, horizon uint64) Verdict {
+	return l.Member(w, horizon)
+}
+
+// Union returns the language L1 ∪ L2 (§3.1.2: "straightforwardly defined").
+// The three-valued semantics is the Kleene disjunction.
+func Union(a, b *Language) *Language {
+	return &Language{
+		Name: fmt.Sprintf("(%s ∪ %s)", a.Name, b.Name),
+		Member: func(w word.Word, h uint64) Verdict {
+			va, vb := a.Member(w, h), b.Member(w, h)
+			switch {
+			case va == Yes || vb == Yes:
+				return Yes
+			case va == No && vb == No:
+				return No
+			default:
+				return Unknown
+			}
+		},
+	}
+}
+
+// Intersection returns the language L1 ∩ L2 with Kleene conjunction.
+func Intersection(a, b *Language) *Language {
+	return &Language{
+		Name: fmt.Sprintf("(%s ∩ %s)", a.Name, b.Name),
+		Member: func(w word.Word, h uint64) Verdict {
+			va, vb := a.Member(w, h), b.Member(w, h)
+			switch {
+			case va == No || vb == No:
+				return No
+			case va == Yes && vb == Yes:
+				return Yes
+			default:
+				return Unknown
+			}
+		},
+	}
+}
+
+// Complement returns the complement language (with respect to the universe
+// of all timed ω-words over the implicit alphabet).
+func Complement(a *Language) *Language {
+	return &Language{
+		Name: fmt.Sprintf("¬%s", a.Name),
+		Member: func(w word.Word, h uint64) Verdict {
+			return a.Member(w, h).Not()
+		},
+	}
+}
+
+// Concat returns the concatenation L1·L2 = {w1w2 | w1 ∈ L1, w2 ∈ L2} of
+// Definition 3.5. Membership is decided by split search over the first
+// maxSplit elements: a finite word w is in L1·L2 iff some two-colouring of
+// its elements projects to members of L1 and L2 whose stable merge is
+// exactly w. The search is exponential in the word length, which is
+// intrinsic (the operands may interleave arbitrarily); maxSplit caps it.
+// Words longer than maxSplit (and infinite words) yield Unknown unless
+// a definite Yes is found on colourings of a prefix — concatenation of
+// general ω-languages is only semi-decidable from predicates alone.
+func Concat(a, b *Language, maxSplit uint64) *Language {
+	return &Language{
+		Name: fmt.Sprintf("(%s·%s)", a.Name, b.Name),
+		Member: func(w word.Word, h uint64) Verdict {
+			l := w.Length()
+			if l.Omega || l.N > maxSplit || l.N > 62 {
+				return Unknown
+			}
+			n := l.N
+			f := word.Prefix(w, n)
+			sawUnknown := false
+			for mask := uint64(0); mask < 1<<n; mask++ {
+				w1 := make(word.Finite, 0, n)
+				w2 := make(word.Finite, 0, n)
+				for i := uint64(0); i < n; i++ {
+					if mask&(1<<i) != 0 {
+						w1 = append(w1, f[i])
+					} else {
+						w2 = append(w2, f[i])
+					}
+				}
+				// The colouring must reproduce w under the deterministic
+				// merge of Definition 3.5.
+				if !word.IsConcatenationOf(f, w1, w2, n+1) {
+					continue
+				}
+				va, vb := a.Member(w1, h), b.Member(w2, h)
+				if va == Yes && vb == Yes {
+					return Yes
+				}
+				if va != No && vb != No {
+					sawUnknown = true
+				}
+			}
+			if sawUnknown {
+				return Unknown
+			}
+			return No
+		},
+	}
+}
+
+// Power returns L^k per Definition 3.6: L^0 = ∅, L^1 = L, L^k = L·L^{k-1}.
+// (The paper defines L^0 as the empty language, not the singleton of the
+// empty word; we follow the paper.)
+func Power(a *Language, k int, maxSplit uint64) *Language {
+	switch {
+	case k <= 0:
+		return Empty(fmt.Sprintf("%s^0", a.Name))
+	case k == 1:
+		return a
+	default:
+		p := a
+		for i := 2; i <= k; i++ {
+			p = Concat(a, p, maxSplit)
+		}
+		p.Name = fmt.Sprintf("%s^%d", a.Name, k)
+		return p
+	}
+}
+
+// Kleene returns L* = ∪_{0≤k<ω} L^k (Definition 3.6), tested up to maxK
+// factors. Because L^0 = ∅ in the paper's definition, the empty word is in
+// L* only if it is in L itself.
+func Kleene(a *Language, maxK int, maxSplit uint64) *Language {
+	return &Language{
+		Name: fmt.Sprintf("%s*", a.Name),
+		Member: func(w word.Word, h uint64) Verdict {
+			sawUnknown := false
+			for k := 1; k <= maxK; k++ {
+				switch Power(a, k, maxSplit).Member(w, h) {
+				case Yes:
+					return Yes
+				case Unknown:
+					sawUnknown = true
+				}
+			}
+			if sawUnknown {
+				return Unknown
+			}
+			return No
+		},
+	}
+}
+
+// Empty is the empty language.
+func Empty(name string) *Language {
+	return &Language{
+		Name:   name,
+		Member: func(word.Word, uint64) Verdict { return No },
+	}
+}
+
+// Universe is the language of all timed ω-words (over any alphabet).
+func Universe(name string) *Language {
+	return &Language{
+		Name:   name,
+		Member: func(word.Word, uint64) Verdict { return Yes },
+	}
+}
+
+// FromPredicate builds a language from an exact predicate over finite words;
+// infinite words are Unknown. Handy for lifting classical languages.
+func FromPredicate(name string, pred func(word.Finite) bool) *Language {
+	return &Language{
+		Name: name,
+		Member: func(w word.Word, h uint64) Verdict {
+			l := w.Length()
+			if l.Omega {
+				return Unknown
+			}
+			if pred(word.Prefix(w, l.N)) {
+				return Yes
+			}
+			return No
+		},
+	}
+}
+
+// WellBehavedOnly restricts a language to its well-behaved words
+// (Definition 3.2): the intersection of L with the set of well-behaved
+// timed ω-words, checked over the horizon. Lassos are decided exactly.
+func WellBehavedOnly(a *Language) *Language {
+	return &Language{
+		Name: fmt.Sprintf("wb(%s)", a.Name),
+		Member: func(w word.Word, h uint64) Verdict {
+			if lasso, ok := w.(*word.Lasso); ok {
+				if !lasso.WellBehaved() {
+					return No
+				}
+				return a.Member(w, h)
+			}
+			if !w.Length().Omega {
+				return No // finite words are never well behaved
+			}
+			if !word.WellBehavedWithin(w, h) {
+				return No
+			}
+			v := a.Member(w, h)
+			if v == Yes {
+				// Membership is definite but well-behavedness of a general
+				// infinite word is only evidenced, not proven.
+				return Yes
+			}
+			return v
+		},
+	}
+}

@@ -1,0 +1,263 @@
+package language
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+func ts(sym string, at timeseq.Time) word.TimedSym {
+	return word.TimedSym{Sym: word.Symbol(sym), At: at}
+}
+
+// allA is the finite-word language of non-empty words of a's (any times).
+var allA = FromPredicate("a+", func(w word.Finite) bool {
+	if len(w) == 0 {
+		return false
+	}
+	for _, e := range w {
+		if e.Sym != "a" {
+			return false
+		}
+	}
+	return true
+})
+
+// allB is the analogous language of b's.
+var allB = FromPredicate("b+", func(w word.Finite) bool {
+	if len(w) == 0 {
+		return false
+	}
+	for _, e := range w {
+		if e.Sym != "b" {
+			return false
+		}
+	}
+	return true
+})
+
+func wordOf(s string, times ...timeseq.Time) word.Finite {
+	w := make(word.Finite, len(s))
+	for i, r := range s {
+		w[i] = word.TimedSym{Sym: word.Symbol(string(r)), At: times[i]}
+	}
+	return w
+}
+
+func TestVerdictNot(t *testing.T) {
+	if Yes.Not() != No || No.Not() != Yes || Unknown.Not() != Unknown {
+		t.Error("Verdict.Not broken")
+	}
+}
+
+func TestUnionIntersectionComplement(t *testing.T) {
+	wa := wordOf("aa", 0, 1)
+	wb := wordOf("bb", 0, 1)
+	wab := wordOf("ab", 0, 1)
+
+	u := Union(allA, allB)
+	if u.Contains(wa, 10) != Yes || u.Contains(wb, 10) != Yes {
+		t.Error("union misses members")
+	}
+	if u.Contains(wab, 10) != No {
+		t.Error("union accepts non-member")
+	}
+
+	i := Intersection(allA, allB)
+	if i.Contains(wa, 10) != No || i.Contains(wab, 10) != No {
+		t.Error("intersection of disjoint languages should be empty")
+	}
+
+	c := Complement(allA)
+	if c.Contains(wa, 10) != No || c.Contains(wb, 10) != Yes {
+		t.Error("complement broken")
+	}
+	// Double complement is identity on definite verdicts.
+	cc := Complement(c)
+	if cc.Contains(wa, 10) != Yes {
+		t.Error("double complement broken")
+	}
+}
+
+func TestKleeneThreeValuedLogic(t *testing.T) {
+	unknown := &Language{Name: "?", Member: func(word.Word, uint64) Verdict { return Unknown }}
+	wa := wordOf("a", 0)
+	if got := Union(unknown, allA).Contains(wa, 10); got != Yes {
+		t.Errorf("Unknown ∪ Yes = %v, want yes", got)
+	}
+	if got := Union(unknown, allB).Contains(wa, 10); got != Unknown {
+		t.Errorf("Unknown ∪ No = %v, want unknown", got)
+	}
+	if got := Intersection(unknown, allB).Contains(wa, 10); got != No {
+		t.Errorf("Unknown ∩ No = %v, want no", got)
+	}
+	if got := Intersection(unknown, allA).Contains(wa, 10); got != Unknown {
+		t.Errorf("Unknown ∩ Yes = %v, want unknown", got)
+	}
+}
+
+func TestConcatLanguages(t *testing.T) {
+	ab := Concat(allA, allB, 16)
+	// a's at 0, b's at 1: a member (split by symbol).
+	if got := ab.Contains(wordOf("aabb", 0, 0, 1, 1), 10); got != Yes {
+		t.Errorf("aabb ∈ a+·b+ = %v", got)
+	}
+	// Interleaved times: b before a — still a member under Definition 3.5's
+	// merge (order by time, operands interleave).
+	if got := ab.Contains(wordOf("ba", 0, 1), 10); got != Yes {
+		t.Errorf("(b,0)(a,1) ∈ a+·b+ = %v; Def 3.5 merges by time", got)
+	}
+	// A tie (a,0)(b,0) must put the a first (item 3), so (b,0)(a,0) is NOT
+	// a valid merge of a word of a's with a word of b's.
+	if got := ab.Contains(word.Finite{ts("b", 0), ts("a", 0)}, 10); got != No {
+		t.Errorf("(b,0)(a,0) ∈ a+·b+ = %v, want no (tie-break violation)", got)
+	}
+	// Pure a's: not in the concatenation (b+ part must be non-empty).
+	if got := ab.Contains(wordOf("aa", 0, 1), 10); got != No {
+		t.Errorf("aa ∈ a+·b+ = %v", got)
+	}
+}
+
+func TestPowerAndKleene(t *testing.T) {
+	// L = {single a at any time}.
+	single := FromPredicate("a", func(w word.Finite) bool {
+		return len(w) == 1 && w[0].Sym == "a"
+	})
+	if got := Power(single, 0, 16).Contains(word.Finite{}, 10); got != No {
+		t.Errorf("L^0 should be empty per Definition 3.6, got %v", got)
+	}
+	p2 := Power(single, 2, 16)
+	if got := p2.Contains(wordOf("aa", 0, 1), 10); got != Yes {
+		t.Errorf("aa ∈ L^2 = %v", got)
+	}
+	if got := p2.Contains(wordOf("a", 0), 10); got != No {
+		t.Errorf("a ∈ L^2 = %v", got)
+	}
+	star := Kleene(single, 4, 16)
+	for n := 1; n <= 4; n++ {
+		w := wordOf(strings.Repeat("a", n), make([]timeseq.Time, n)...)
+		if got := star.Contains(w, 10); got != Yes {
+			t.Errorf("a^%d ∈ L* = %v", n, got)
+		}
+	}
+	if got := star.Contains(word.Finite{}, 10); got != No {
+		t.Errorf("ε ∈ L* = %v; paper's L^0 = ∅ excludes ε", got)
+	}
+	if got := star.Contains(wordOf("ab", 0, 0), 10); got != No {
+		t.Errorf("ab ∈ L* = %v", got)
+	}
+}
+
+// Theorem 3.3, executable half: the operation combinators agree with set
+// semantics on sampled words. De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B.
+func TestDeMorgan(t *testing.T) {
+	f := func(syms []bool, rawTimes []uint8) bool {
+		n := len(syms)
+		if len(rawTimes) < n {
+			n = len(rawTimes)
+		}
+		w := make(word.Finite, n)
+		var at timeseq.Time
+		for i := 0; i < n; i++ {
+			at += timeseq.Time(rawTimes[i] % 3)
+			s := "a"
+			if !syms[i] {
+				s = "b"
+			}
+			w[i] = word.TimedSym{Sym: word.Symbol(s), At: at}
+		}
+		lhs := Complement(Union(allA, allB)).Contains(w, 10)
+		rhs := Intersection(Complement(allA), Complement(allB)).Contains(w, 10)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 3.3's closure under concatenation, executable half: for members
+// w1 ∈ L1 and w2 ∈ L2, Concat(w1,w2) ∈ L1·L2.
+func TestConcatSoundOnConstructedMembers(t *testing.T) {
+	ab := Concat(allA, allB, 16)
+	cases := []struct{ a, b word.Finite }{
+		{wordOf("a", 0), wordOf("b", 0)},
+		{wordOf("aa", 1, 2), wordOf("bbb", 0, 1, 3)},
+		{wordOf("aaa", 5, 5, 5), wordOf("b", 5)},
+	}
+	for _, c := range cases {
+		m := word.Concat(c.a, c.b).(word.Finite)
+		if got := ab.Contains(m, 10); got != Yes {
+			t.Errorf("Concat(%v,%v)=%v ∉ L1·L2 (got %v)", c.a, c.b, m, got)
+		}
+	}
+}
+
+func TestWellBehavedOnly(t *testing.T) {
+	anyLasso := Universe("U")
+	wb := WellBehavedOnly(anyLasso)
+
+	good := word.RepeatClassical("a", 1)
+	if got := wb.Contains(good, 50); got != Yes {
+		t.Errorf("well-behaved lasso rejected: %v", got)
+	}
+	frozen := word.MustLasso(nil, word.FromClassical("a", 0), 0)
+	if got := wb.Contains(frozen, 50); got != No {
+		t.Errorf("frozen lasso accepted: %v", got)
+	}
+	fin := wordOf("a", 0)
+	if got := wb.Contains(fin, 50); got != No {
+		t.Errorf("finite word accepted as well behaved: %v", got)
+	}
+	// §3.2: the classical embedding (period-0) is the crisp delimitation
+	// between classical and real-time algorithms.
+	classical := word.MustLasso(nil, word.FromClassical("ab", 0), 0)
+	if got := wb.Contains(classical, 50); got != No {
+		t.Errorf("classical embedding accepted: %v", got)
+	}
+}
+
+func TestEmptyAndUniverse(t *testing.T) {
+	w := wordOf("a", 0)
+	if Empty("∅").Contains(w, 1) != No {
+		t.Error("empty language accepted a word")
+	}
+	if Universe("U").Contains(w, 1) != Yes {
+		t.Error("universe rejected a word")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Yes.String() != "yes" || No.String() != "no" || Unknown.String() != "unknown" {
+		t.Error("Verdict.String broken")
+	}
+}
+
+// WellBehavedOnly on generator words: definite members need the horizon
+// evidence; frozen generators are refuted.
+func TestWellBehavedOnlyGenerators(t *testing.T) {
+	wb := WellBehavedOnly(Universe("U"))
+	advancing := word.Gen{F: func(i uint64) word.TimedSym {
+		return word.TimedSym{Sym: "a", At: timeseq.Time(i)}
+	}}
+	if got := wb.Contains(advancing, 64); got != Yes {
+		t.Errorf("advancing generator = %v", got)
+	}
+	frozen := word.Gen{F: func(uint64) word.TimedSym {
+		return word.TimedSym{Sym: "a", At: 5}
+	}}
+	if got := wb.Contains(frozen, 64); got != No {
+		t.Errorf("frozen generator = %v", got)
+	}
+	// Unknown inner verdicts stay unknown for well-behaved-looking words.
+	unk := WellBehavedOnly(&Language{Name: "?", Member: func(word.Word, uint64) Verdict { return Unknown }})
+	if got := unk.Contains(advancing, 64); got != Unknown {
+		t.Errorf("unknown inner = %v", got)
+	}
+	// Lasso members of the inner language still need well-behavedness.
+	if got := wb.Contains(word.RepeatClassical("a", 2), 64); got != Yes {
+		t.Errorf("well-behaved lasso = %v", got)
+	}
+}

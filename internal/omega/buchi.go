@@ -1,0 +1,410 @@
+// Package omega implements ω-automata (§2.1): Büchi and Muller acceptance
+// over ultimately periodic (lasso) ω-words, with exact decision procedures,
+// run extraction, and the constructive refutation behind Theorem 3.1 /
+// Corollary 3.2 — for any candidate Büchi automaton claimed to accept
+// L_ω = (L·$)^ω with L = {a^u b^x c^v d^x}, a concrete disagreeing lasso is
+// produced by pumping the accepting run.
+package omega
+
+import (
+	"fmt"
+
+	"rtc/internal/word"
+)
+
+// LassoWord is an ultimately periodic classical ω-word: Prefix·Cycle^ω.
+// Cycle must be non-empty.
+type LassoWord struct {
+	Prefix []word.Symbol
+	Cycle  []word.Symbol
+}
+
+// FromTimedLasso projects the symbol sequence of a timed lasso.
+func FromTimedLasso(l *word.Lasso) LassoWord {
+	return LassoWord{Prefix: l.Prefix.Syms(), Cycle: l.Cycle.Syms()}
+}
+
+// At returns the i-th symbol of the ω-word.
+func (w LassoWord) At(i int) word.Symbol {
+	if i < len(w.Prefix) {
+		return w.Prefix[i]
+	}
+	return w.Cycle[(i-len(w.Prefix))%len(w.Cycle)]
+}
+
+// String renders the lasso.
+func (w LassoWord) String() string {
+	return fmt.Sprintf("%s(%s)^ω", wordString(w.Prefix), wordString(w.Cycle))
+}
+
+func wordString(ws []word.Symbol) string {
+	s := ""
+	for _, a := range ws {
+		s += string(a)
+	}
+	return s
+}
+
+// Buchi is a (nondeterministic) Büchi automaton. A run is accepting iff it
+// visits an accepting state infinitely often (inf(r) ∩ F ≠ ∅).
+type Buchi struct {
+	Alphabet  []word.Symbol
+	NumStates int
+	Start     []int
+	Trans     map[int]map[word.Symbol][]int
+	Accept    map[int]bool
+}
+
+// NewBuchi allocates an empty Büchi automaton.
+func NewBuchi(alphabet []word.Symbol, numStates int, start ...int) *Buchi {
+	return &Buchi{
+		Alphabet:  alphabet,
+		NumStates: numStates,
+		Start:     start,
+		Trans:     make(map[int]map[word.Symbol][]int),
+		Accept:    make(map[int]bool),
+	}
+}
+
+// AddTrans adds a transition (from, sym) → to.
+func (b *Buchi) AddTrans(from int, sym word.Symbol, to int) {
+	m, ok := b.Trans[from]
+	if !ok {
+		m = make(map[word.Symbol][]int)
+		b.Trans[from] = m
+	}
+	m[sym] = append(m[sym], to)
+}
+
+// SetAccept marks states as accepting.
+func (b *Buchi) SetAccept(states ...int) {
+	for _, s := range states {
+		b.Accept[s] = true
+	}
+}
+
+// succ returns the successors of s under sym.
+func (b *Buchi) succ(s int, sym word.Symbol) []int {
+	if m, ok := b.Trans[s]; ok {
+		return m[sym]
+	}
+	return nil
+}
+
+// Run is an accepting run over a lasso word, in product-graph form: the
+// stem visits StemStates while consuming the first len(StemStates)-1 symbols
+// of the word; the loop then repeats forever, with LoopStates[i] the state
+// before consuming the (len(StemStates)-1+i)-th symbol. LoopStates is
+// non-empty; the transition from the last loop state back to the first
+// consumes the final loop symbol. LoopLen symbols are consumed per loop
+// traversal (== len(LoopStates)), a multiple of the word's cycle length so
+// the loop re-aligns with the word.
+type Run struct {
+	StemStates []int // states s_0, s_1, …, s_k (s_0 ∈ Start); k symbols consumed
+	LoopStates []int // states around the loop, starting at s_k
+}
+
+// node is a product-graph vertex: automaton state × word position class.
+// Positions 0..len(prefix)-1 are the prefix; len(prefix)+j (0 ≤ j < cycle)
+// repeat forever.
+type node struct {
+	state int
+	pos   int
+}
+
+// posAfter returns the position class following p for a word with the given
+// prefix and cycle lengths.
+func posAfter(p, prefixLen, cycleLen int) int {
+	p++
+	if p >= prefixLen+cycleLen {
+		p = prefixLen
+	}
+	return p
+}
+
+// symbolAt returns the symbol consumed at position class p.
+func symbolAtClass(w LassoWord, p int) word.Symbol {
+	if p < len(w.Prefix) {
+		return w.Prefix[p]
+	}
+	return w.Cycle[p-len(w.Prefix)]
+}
+
+// AcceptsLasso decides — exactly — whether the automaton accepts the lasso
+// word, and returns an accepting run when it does.
+func (b *Buchi) AcceptsLasso(w LassoWord) (Run, bool) {
+	if len(w.Cycle) == 0 {
+		return Run{}, false
+	}
+	prefixLen, cycleLen := len(w.Prefix), len(w.Cycle)
+	numPos := prefixLen + cycleLen
+
+	// Forward reachability over the product graph.
+	id := func(n node) int { return n.state*numPos + n.pos }
+	parent := make(map[int]node) // BFS tree for stem reconstruction
+	inQueue := make(map[int]bool)
+	var queue []node
+	push := func(n node, from node, root bool) {
+		k := id(n)
+		if inQueue[k] {
+			return
+		}
+		inQueue[k] = true
+		if !root {
+			parent[k] = from
+		}
+		queue = append(queue, n)
+	}
+	for _, s := range b.Start {
+		push(node{s, 0}, node{}, true)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		sym := symbolAtClass(w, cur.pos)
+		np := posAfter(cur.pos, prefixLen, cycleLen)
+		for _, t := range b.succ(cur.state, sym) {
+			push(node{t, np}, cur, false)
+		}
+	}
+	// Accepting loop: a reachable accepting node in the cyclic part from
+	// which a non-empty path returns to itself.
+	for qi := range queue {
+		n := queue[qi]
+		if n.pos < prefixLen || !b.Accept[n.state] {
+			continue
+		}
+		loop, ok := b.findLoop(w, n)
+		if !ok {
+			continue
+		}
+		// Stem: BFS-tree path from a start node to n.
+		var stemRev []node
+		cur := n
+		for {
+			stemRev = append(stemRev, cur)
+			p, ok := parent[id(cur)]
+			if !ok {
+				break
+			}
+			cur = p
+		}
+		stem := make([]int, len(stemRev))
+		for i := range stemRev {
+			stem[i] = stemRev[len(stemRev)-1-i].state
+		}
+		return Run{StemStates: stem, LoopStates: loop}, true
+	}
+	return Run{}, false
+}
+
+// findLoop searches for a non-empty product-graph path from n back to n,
+// returning the states along it (starting at n, excluding the final return
+// to n).
+func (b *Buchi) findLoop(w LassoWord, n node) ([]int, bool) {
+	prefixLen, cycleLen := len(w.Prefix), len(w.Cycle)
+	numPos := prefixLen + cycleLen
+	id := func(x node) int { return x.state*numPos + x.pos }
+	parent := make(map[int]node)
+	seen := make(map[int]bool)
+	var queue []node
+	// Seed with successors of n (paths of length ≥ 1).
+	sym := symbolAtClass(w, n.pos)
+	np := posAfter(n.pos, prefixLen, cycleLen)
+	for _, t := range b.succ(n.state, sym) {
+		m := node{t, np}
+		if m == n {
+			return []int{n.state}, true // self-loop
+		}
+		if !seen[id(m)] {
+			seen[id(m)] = true
+			parent[id(m)] = n
+			queue = append(queue, m)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		csym := symbolAtClass(w, cur.pos)
+		cnp := posAfter(cur.pos, prefixLen, cycleLen)
+		for _, t := range b.succ(cur.state, csym) {
+			m := node{t, cnp}
+			if m == n {
+				// Reconstruct n → … → cur, then back to n.
+				var rev []node
+				x := cur
+				for x != n {
+					rev = append(rev, x)
+					x = parent[id(x)]
+				}
+				loop := make([]int, 0, len(rev)+1)
+				loop = append(loop, n.state)
+				for i := len(rev) - 1; i >= 0; i-- {
+					loop = append(loop, rev[i].state)
+				}
+				return loop, true
+			}
+			if !seen[id(m)] {
+				seen[id(m)] = true
+				parent[id(m)] = cur
+				queue = append(queue, m)
+			}
+		}
+	}
+	return nil, false
+}
+
+// Empty reports whether the automaton accepts no ω-word at all, and when it
+// is non-empty returns a witnessing lasso word. Standard ω-emptiness:
+// search for a reachable accepting state on a cycle, with symbols recorded.
+func (b *Buchi) Empty() (LassoWord, bool) {
+	// BFS over states recording one reaching word per state.
+	reach := make(map[int][]word.Symbol)
+	var order []int
+	for _, s := range b.Start {
+		if _, ok := reach[s]; !ok {
+			reach[s] = []word.Symbol{}
+			order = append(order, s)
+		}
+	}
+	for qi := 0; qi < len(order); qi++ {
+		s := order[qi]
+		for sym, ts := range b.Trans[s] {
+			for _, t := range ts {
+				if _, ok := reach[t]; !ok {
+					w := append(append([]word.Symbol{}, reach[s]...), sym)
+					reach[t] = w
+					order = append(order, t)
+				}
+			}
+		}
+	}
+	// For each reachable accepting state, search a cycle back to it.
+	for _, s := range order {
+		if !b.Accept[s] {
+			continue
+		}
+		if cyc, ok := b.cycleThrough(s); ok {
+			return LassoWord{Prefix: reach[s], Cycle: cyc}, false
+		}
+	}
+	return LassoWord{}, true
+}
+
+// cycleThrough finds a non-empty symbol path from s back to s.
+func (b *Buchi) cycleThrough(s int) ([]word.Symbol, bool) {
+	type entry struct {
+		state int
+		via   word.Symbol
+		prev  int
+	}
+	var queue []entry
+	seen := make(map[int]bool)
+	enqueue := func(t int, via word.Symbol, prev int) {
+		if !seen[t] {
+			seen[t] = true
+			queue = append(queue, entry{t, via, prev})
+		}
+	}
+	for sym, ts := range b.Trans[s] {
+		for _, t := range ts {
+			if t == s {
+				return []word.Symbol{sym}, true
+			}
+			enqueue(t, sym, -1)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		for sym, ts := range b.Trans[cur.state] {
+			for _, t := range ts {
+				if t == s {
+					var rev []word.Symbol
+					rev = append(rev, sym)
+					i := qi
+					for i != -1 {
+						rev = append(rev, queue[i].via)
+						i = queue[i].prev
+					}
+					cyc := make([]word.Symbol, len(rev))
+					for k := range rev {
+						cyc[k] = rev[len(rev)-1-k]
+					}
+					return cyc, true
+				}
+				if !seen[t] {
+					seen[t] = true
+					queue = append(queue, entry{t, sym, qi})
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// Union returns a Büchi automaton for L(a) ∪ L(b) via disjoint union.
+func Union(a, c *Buchi) *Buchi {
+	out := NewBuchi(a.Alphabet, a.NumStates+c.NumStates)
+	out.Start = append(out.Start, a.Start...)
+	for _, s := range c.Start {
+		out.Start = append(out.Start, s+a.NumStates)
+	}
+	for s, m := range a.Trans {
+		for sym, ts := range m {
+			for _, t := range ts {
+				out.AddTrans(s, sym, t)
+			}
+		}
+	}
+	for s, m := range c.Trans {
+		for sym, ts := range m {
+			for _, t := range ts {
+				out.AddTrans(s+a.NumStates, sym, t+a.NumStates)
+			}
+		}
+	}
+	for s := range a.Accept {
+		out.Accept[s] = true
+	}
+	for s := range c.Accept {
+		out.Accept[s+a.NumStates] = true
+	}
+	return out
+}
+
+// Intersect returns a Büchi automaton for L(a) ∩ L(b) via the standard
+// two-phase product (Baier–Katoen): the phase flag waits in phase 0 for an
+// accepting a-state and in phase 1 for an accepting c-state, flipping on the
+// current state. Accepting states are phase-0 states whose a-component is
+// accepting: visiting them infinitely often forces infinitely many accepting
+// visits in both components.
+func Intersect(a, c *Buchi) *Buchi {
+	id := func(sa, sc, phase int) int { return (sa*c.NumStates+sc)*2 + phase }
+	out := NewBuchi(a.Alphabet, a.NumStates*c.NumStates*2)
+	for _, sa := range a.Start {
+		for _, sc := range c.Start {
+			out.Start = append(out.Start, id(sa, sc, 0))
+		}
+	}
+	for sa := 0; sa < a.NumStates; sa++ {
+		for sc := 0; sc < c.NumStates; sc++ {
+			for phase := 0; phase < 2; phase++ {
+				np := phase
+				if phase == 0 && a.Accept[sa] {
+					np = 1
+				} else if phase == 1 && c.Accept[sc] {
+					np = 0
+				}
+				for _, sym := range a.Alphabet {
+					for _, ta := range a.succ(sa, sym) {
+						for _, tc := range c.succ(sc, sym) {
+							out.AddTrans(id(sa, sc, phase), sym, id(ta, tc, np))
+						}
+					}
+				}
+			}
+			if a.Accept[sa] {
+				out.Accept[id(sa, sc, 0)] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package omega
+
+import (
+	"testing"
+
+	"rtc/internal/automata"
+	"rtc/internal/word"
+)
+
+// infA is a Büchi automaton over {a,b} accepting words with infinitely many
+// a's.
+func infA() *Buchi {
+	b := NewBuchi([]word.Symbol{"a", "b"}, 2, 0)
+	b.AddTrans(0, "a", 1)
+	b.AddTrans(0, "b", 0)
+	b.AddTrans(1, "a", 1)
+	b.AddTrans(1, "b", 0)
+	b.SetAccept(1)
+	return b
+}
+
+// infB accepts words with infinitely many b's.
+func infB() *Buchi {
+	b := NewBuchi([]word.Symbol{"a", "b"}, 2, 0)
+	b.AddTrans(0, "a", 0)
+	b.AddTrans(0, "b", 1)
+	b.AddTrans(1, "a", 0)
+	b.AddTrans(1, "b", 1)
+	b.SetAccept(1)
+	return b
+}
+
+func lasso(prefix, cycle string) LassoWord {
+	return LassoWord{Prefix: automata.Syms(prefix), Cycle: automata.Syms(cycle)}
+}
+
+func TestBuchiAcceptsLasso(t *testing.T) {
+	b := infA()
+	cases := []struct {
+		w    LassoWord
+		want bool
+	}{
+		{lasso("", "a"), true},
+		{lasso("", "b"), false},
+		{lasso("bbb", "ab"), true},
+		{lasso("aaa", "b"), false}, // only finitely many a's
+		{lasso("", "ba"), true},
+		{lasso("ab", "bb"), false},
+	}
+	for _, c := range cases {
+		run, got := b.AcceptsLasso(c.w)
+		if got != c.want {
+			t.Errorf("infA accepts %v = %v, want %v", c.w, got, c.want)
+		}
+		if got {
+			validateRun(t, b, c.w, run)
+		}
+	}
+}
+
+// validateRun checks that a returned run is a genuine accepting run: the
+// stem starts at a start state, every transition is legal, the loop closes,
+// and the loop visits an accepting state.
+func validateRun(t *testing.T, b *Buchi, w LassoWord, run Run) {
+	t.Helper()
+	if len(run.StemStates) == 0 || len(run.LoopStates) == 0 {
+		t.Fatalf("degenerate run %+v", run)
+	}
+	isStart := false
+	for _, s := range b.Start {
+		if run.StemStates[0] == s {
+			isStart = true
+		}
+	}
+	if !isStart {
+		t.Fatalf("run does not begin at a start state: %+v", run)
+	}
+	hasTrans := func(from int, sym word.Symbol, to int) bool {
+		for _, x := range b.succ(from, sym) {
+			if x == to {
+				return true
+			}
+		}
+		return false
+	}
+	pos := 0
+	for i := 0; i+1 < len(run.StemStates); i++ {
+		sym := w.At(pos)
+		if !hasTrans(run.StemStates[i], sym, run.StemStates[i+1]) {
+			t.Fatalf("illegal stem transition %d -%s-> %d", run.StemStates[i], sym, run.StemStates[i+1])
+		}
+		pos++
+	}
+	if run.LoopStates[0] != run.StemStates[len(run.StemStates)-1] {
+		t.Fatalf("loop does not start at stem end")
+	}
+	accepting := false
+	for i := 0; i < len(run.LoopStates); i++ {
+		sym := w.At(pos + i)
+		next := run.LoopStates[(i+1)%len(run.LoopStates)]
+		if !hasTrans(run.LoopStates[i], sym, next) {
+			t.Fatalf("illegal loop transition %d -%s-> %d", run.LoopStates[i], sym, next)
+		}
+		if b.Accept[run.LoopStates[i]] {
+			accepting = true
+		}
+	}
+	if !accepting {
+		t.Fatalf("loop visits no accepting state: %+v", run)
+	}
+	// Loop length must realign with the word's cycle.
+	if len(run.LoopStates)%len(w.Cycle) != 0 {
+		t.Fatalf("loop length %d not a multiple of cycle length %d",
+			len(run.LoopStates), len(w.Cycle))
+	}
+}
+
+func TestBuchiEmpty(t *testing.T) {
+	b := infA()
+	if w, empty := b.Empty(); empty {
+		t.Error("infA declared empty")
+	} else if _, ok := b.AcceptsLasso(w); !ok {
+		t.Errorf("emptiness witness %v not accepted", w)
+	}
+
+	// No accepting state on any cycle → empty.
+	e := NewBuchi([]word.Symbol{"a"}, 2, 0)
+	e.AddTrans(0, "a", 1) // 1 is a trap with no outgoing cycle through accept
+	e.SetAccept(0)        // accepting but not on a cycle
+	if _, empty := e.Empty(); !empty {
+		t.Error("automaton with no accepting cycle declared non-empty")
+	}
+}
+
+func TestBuchiUnion(t *testing.T) {
+	u := Union(infA(), infB())
+	// Any infinite word over {a,b} has infinitely many a's or b's.
+	for _, w := range []LassoWord{
+		lasso("", "a"), lasso("", "b"), lasso("ab", "ab"), lasso("b", "a"),
+	} {
+		if _, ok := u.AcceptsLasso(w); !ok {
+			t.Errorf("union rejects %v", w)
+		}
+	}
+}
+
+func TestBuchiIntersect(t *testing.T) {
+	i := Intersect(infA(), infB())
+	yes := []LassoWord{lasso("", "ab"), lasso("aaa", "ba"), lasso("", "aabb")}
+	no := []LassoWord{lasso("", "a"), lasso("", "b"), lasso("ab", "a"), lasso("ba", "b")}
+	for _, w := range yes {
+		if _, ok := i.AcceptsLasso(w); !ok {
+			t.Errorf("intersection rejects %v (has inf a's and b's)", w)
+		}
+	}
+	for _, w := range no {
+		if _, ok := i.AcceptsLasso(w); ok {
+			t.Errorf("intersection accepts %v", w)
+		}
+	}
+}
+
+func TestMullerAcceptance(t *testing.T) {
+	// Deterministic two-state walker over {a,b}: state tracks last symbol.
+	m := NewMuller([]word.Symbol{"a", "b"}, 2, 0)
+	m.AddTrans(0, "a", 0)
+	m.AddTrans(0, "b", 1)
+	m.AddTrans(1, "a", 0)
+	m.AddTrans(1, "b", 1)
+	// Accept exactly runs that settle into only-a's: inf(r) = {0}.
+	m.AddAccepting(0)
+	if !m.AcceptsLasso(lasso("bbb", "a")) {
+		t.Error("Muller rejects b³a^ω")
+	}
+	if m.AcceptsLasso(lasso("", "ab")) {
+		t.Error("Muller accepts (ab)^ω though inf(r) = {0,1}")
+	}
+	if m.AcceptsLasso(lasso("", "b")) {
+		t.Error("Muller accepts b^ω though inf(r) = {1}")
+	}
+	// Now also accept inf(r) = {0,1}.
+	m.AddAccepting(0, 1)
+	if !m.AcceptsLasso(lasso("", "ab")) {
+		t.Error("Muller rejects (ab)^ω after adding {0,1}")
+	}
+	if m.AcceptsLasso(lasso("", "b")) {
+		t.Error("Muller still must reject b^ω")
+	}
+}
+
+// FromBuchi must preserve the accepted lasso words.
+func TestFromBuchiEquivalence(t *testing.T) {
+	b := infA()
+	m := FromBuchi(b)
+	words := []LassoWord{
+		lasso("", "a"), lasso("", "b"), lasso("bbb", "ab"),
+		lasso("aaa", "b"), lasso("", "ba"), lasso("ab", "bb"),
+	}
+	for _, w := range words {
+		_, wantOK := b.AcceptsLasso(w)
+		if got := m.AcceptsLasso(w); got != wantOK {
+			t.Errorf("FromBuchi differs on %v: muller=%v buchi=%v", w, got, wantOK)
+		}
+	}
+}
+
+func TestLassoWordAt(t *testing.T) {
+	w := lasso("xy", "ab")
+	want := "xyababab"
+	for i := 0; i < len(want); i++ {
+		if w.At(i) != word.Symbol(want[i:i+1]) {
+			t.Fatalf("At(%d) = %s, want %s", i, w.At(i), want[i:i+1])
+		}
+	}
+}

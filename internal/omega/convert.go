@@ -1,0 +1,116 @@
+package omega
+
+import (
+	"sort"
+
+	"rtc/internal/automata"
+	"rtc/internal/word"
+)
+
+// ToBuchi converts a Muller automaton into an equivalent Büchi automaton by
+// the classical guess-and-verify construction: a run nondeterministically
+// jumps from a copy of the original automaton into a checking copy for some
+// F ∈ 𝓕, where it must stay within F forever; a visited-set sweep resets
+// every time all of F has been seen, and the resets are the Büchi accepting
+// visits. The construction is exponential in |F| (visited ⊆ F), as Muller →
+// Büchi inherently is.
+func (m *Muller) ToBuchi() *Buchi {
+	// State layout: 0..n-1 = the free copy; then per family member F a
+	// block of |F|·2^|F| states indexed by (position of s in F, visited
+	// mask).
+	n := m.NumStates
+	type block struct {
+		states []int       // sorted members of F
+		index  map[int]int // state → position
+		base   int         // first Büchi id of the block
+	}
+	blocks := make([]block, 0, len(m.Family))
+	next := n
+	for _, F := range m.Family {
+		var states []int
+		for s := range F {
+			states = append(states, s)
+		}
+		sort.Ints(states)
+		idx := make(map[int]int, len(states))
+		for i, s := range states {
+			idx[s] = i
+		}
+		blocks = append(blocks, block{states: states, index: idx, base: next})
+		next += len(states) << uint(len(states))
+	}
+	id := func(b block, s int, mask int) int {
+		return b.base + b.index[s]<<uint(len(b.states)) + mask
+	}
+
+	out := NewBuchi(m.Alphabet, next, m.Start...)
+	addFree := func(from int, sym word.Symbol, to int) {
+		out.AddTrans(from, sym, to)
+		// Also allow the jump into any checking copy whose F contains the
+		// target: the guess "from now on, inf(r) = F".
+		for _, b := range blocks {
+			if j, ok := b.index[to]; ok {
+				_ = j
+				mask := 1 << uint(b.index[to])
+				full := 1<<uint(len(b.states)) - 1
+				if mask == full {
+					mask = 0 // immediately completed a sweep of a singleton F
+				}
+				out.AddTrans(from, sym, id(b, to, mask))
+			}
+		}
+	}
+	for s, mm := range m.Trans {
+		for sym, ts := range mm {
+			for _, t := range ts {
+				addFree(s, sym, t)
+			}
+		}
+	}
+	// Checking copies: transitions restricted to F, visited-mask updates,
+	// reset (and accept) on completion.
+	for _, b := range blocks {
+		full := 1<<uint(len(b.states)) - 1
+		for _, s := range b.states {
+			for sym, ts := range m.Trans[s] {
+				for _, t := range ts {
+					if _, ok := b.index[t]; !ok {
+						continue // leaving F kills the run in this copy
+					}
+					for mask := 0; mask <= full; mask++ {
+						nm := mask | 1<<uint(b.index[t])
+						if nm == full {
+							nm = 0
+						}
+						out.AddTrans(id(b, s, mask), sym, id(b, t, nm))
+					}
+				}
+			}
+		}
+		// Accepting: mask == 0 states (a full sweep of F just completed).
+		for _, s := range b.states {
+			out.Accept[id(b, s, 0)] = true
+		}
+	}
+	return out
+}
+
+// LimitBuchi lifts a DFA to the Büchi automaton accepting
+//
+//	lim L(D) = { w ∈ Σ^ω : infinitely many prefixes of w are in L(D) },
+//
+// the classical limit operation (for deterministic D the construction is
+// literally "reinterpret accepting states as Büchi accepting").
+func LimitBuchi(d *automata.DFA) *Buchi {
+	c := d.Complete()
+	b := NewBuchi(c.Alphabet, c.NumStates, c.Start)
+	for s, mm := range c.Trans {
+		for sym, t := range mm {
+			b.AddTrans(s, sym, t)
+		}
+	}
+	for s := range c.Accept {
+		b.SetAccept(s)
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+package omega
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtc/internal/automata"
+	"rtc/internal/word"
+)
+
+var ab = []word.Symbol{"a", "b"}
+
+// randomLassos builds a deterministic pool of test words over {a,b}.
+func randomLassos(rng *rand.Rand, count int) []LassoWord {
+	alpha := "ab"
+	mk := func(n int) string {
+		s := ""
+		for i := 0; i < n; i++ {
+			s += string(alpha[rng.Intn(2)])
+		}
+		return s
+	}
+	var out []LassoWord
+	for i := 0; i < count; i++ {
+		out = append(out, lasso(mk(rng.Intn(4)), mk(1+rng.Intn(4))))
+	}
+	return out
+}
+
+// lastSymbolMuller tracks the last symbol read (state 0 after a, 1 after b).
+func lastSymbolMuller() *Muller {
+	m := NewMuller(ab, 2, 0)
+	m.AddTrans(0, "a", 0)
+	m.AddTrans(0, "b", 1)
+	m.AddTrans(1, "a", 0)
+	m.AddTrans(1, "b", 1)
+	return m
+}
+
+func TestMullerToBuchiHandExamples(t *testing.T) {
+	// Accept inf(r) = {0}: "eventually only a's".
+	m := lastSymbolMuller()
+	m.AddAccepting(0)
+	b := m.ToBuchi()
+	cases := []struct {
+		w    LassoWord
+		want bool
+	}{
+		{lasso("", "a"), true},
+		{lasso("bbb", "a"), true},
+		{lasso("", "ab"), false},
+		{lasso("", "b"), false},
+		{lasso("ab", "aa"), true},
+	}
+	for _, c := range cases {
+		if _, got := b.AcceptsLasso(c.w); got != c.want {
+			t.Errorf("ToBuchi on %v = %v, want %v", c.w, got, c.want)
+		}
+	}
+	// Adding inf(r) = {0,1} ("both infinitely often") extends the accepted
+	// set accordingly.
+	m.AddAccepting(0, 1)
+	b = m.ToBuchi()
+	if _, got := b.AcceptsLasso(lasso("", "ab")); !got {
+		t.Error("ToBuchi rejects (ab)^ω after adding {0,1}")
+	}
+	if _, got := b.AcceptsLasso(lasso("", "b")); got {
+		t.Error("ToBuchi accepts b^ω though {1} ∉ 𝓕")
+	}
+}
+
+// Property: ToBuchi preserves the accepted lasso words on random Muller
+// automata.
+func TestMullerToBuchiEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	words := randomLassos(rng, 40)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(3)
+		m := NewMuller(ab, n, rng.Intn(n))
+		for s := 0; s < n; s++ {
+			for _, a := range ab {
+				for c := 1 + rng.Intn(2); c > 0; c-- {
+					m.AddTrans(s, a, rng.Intn(n))
+				}
+			}
+		}
+		// Random family: a few random non-empty subsets.
+		for f := 1 + rng.Intn(3); f > 0; f-- {
+			var set []int
+			for s := 0; s < n; s++ {
+				if rng.Intn(2) == 0 {
+					set = append(set, s)
+				}
+			}
+			if len(set) == 0 {
+				set = []int{rng.Intn(n)}
+			}
+			m.AddAccepting(set...)
+		}
+		b := m.ToBuchi()
+		for _, w := range words {
+			want := m.AcceptsLasso(w)
+			if _, got := b.AcceptsLasso(w); got != want {
+				t.Fatalf("trial %d: ToBuchi differs on %v: buchi=%v muller=%v",
+					trial, w, got, want)
+			}
+		}
+	}
+}
+
+// The round trip Büchi → Muller (FromBuchi) → Büchi (ToBuchi) preserves the
+// language.
+func TestBuchiMullerRoundTrip(t *testing.T) {
+	orig := infA()
+	back := FromBuchi(orig).ToBuchi()
+	rng := rand.New(rand.NewSource(9))
+	for _, w := range randomLassos(rng, 60) {
+		_, want := orig.AcceptsLasso(w)
+		_, got := back.AcceptsLasso(w)
+		if got != want {
+			t.Fatalf("round trip differs on %v: %v vs %v", w, got, want)
+		}
+	}
+}
+
+func TestLimitBuchi(t *testing.T) {
+	// evenA: words with an even number of a's. lim evenA = ω-words with
+	// infinitely many even-a prefixes — true unless the word has finitely
+	// many prefixes with even a-count, i.e. unless eventually every prefix
+	// has odd count, which cannot persist if a's keep coming… concretely:
+	// infinitely many a's → counts alternate → accept; finitely many a's →
+	// accept iff the final fixed count is even.
+	d := automata.NewDFA(ab, 2, 0)
+	d.SetTrans(0, "a", 1)
+	d.SetTrans(1, "a", 0)
+	d.SetTrans(0, "b", 0)
+	d.SetTrans(1, "b", 1)
+	d.SetAccept(0)
+	b := LimitBuchi(d)
+	cases := []struct {
+		w    LassoWord
+		want bool
+	}{
+		{lasso("", "a"), true},   // infinitely many a's
+		{lasso("", "b"), true},   // zero a's forever: every prefix even
+		{lasso("a", "b"), false}, // one a then b's: all late prefixes odd
+		{lasso("aa", "b"), true}, // two a's then b's
+		{lasso("", "ab"), true},  // alternating
+		{lasso("aab", "ab"), true},
+	}
+	for _, c := range cases {
+		if _, got := b.AcceptsLasso(c.w); got != c.want {
+			t.Errorf("lim evenA on %v = %v, want %v", c.w, got, c.want)
+		}
+	}
+}

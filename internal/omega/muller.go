@@ -1,0 +1,280 @@
+package omega
+
+import (
+	"sort"
+
+	"rtc/internal/word"
+)
+
+// Muller is a Muller automaton (§2.1): instead of accepting states it
+// carries an acceptance family 𝓕 ⊆ 2^S, and a run r is accepting iff
+// inf(r) ∈ 𝓕.
+type Muller struct {
+	Alphabet  []word.Symbol
+	NumStates int
+	Start     []int
+	Trans     map[int]map[word.Symbol][]int
+	// Family is the acceptance family; each element is a state set.
+	Family []map[int]bool
+}
+
+// NewMuller allocates an empty Muller automaton.
+func NewMuller(alphabet []word.Symbol, numStates int, start ...int) *Muller {
+	return &Muller{
+		Alphabet:  alphabet,
+		NumStates: numStates,
+		Start:     start,
+		Trans:     make(map[int]map[word.Symbol][]int),
+	}
+}
+
+// AddTrans adds a transition (from, sym) → to.
+func (m *Muller) AddTrans(from int, sym word.Symbol, to int) {
+	mm, ok := m.Trans[from]
+	if !ok {
+		mm = make(map[word.Symbol][]int)
+		m.Trans[from] = mm
+	}
+	mm[sym] = append(mm[sym], to)
+}
+
+// AddAccepting adds the state set F to the acceptance family.
+func (m *Muller) AddAccepting(states ...int) {
+	f := make(map[int]bool, len(states))
+	for _, s := range states {
+		f[s] = true
+	}
+	m.Family = append(m.Family, f)
+}
+
+func (m *Muller) succ(s int, sym word.Symbol) []int {
+	if mm, ok := m.Trans[s]; ok {
+		return mm[sym]
+	}
+	return nil
+}
+
+// AcceptsLasso decides — exactly — whether the Muller automaton accepts the
+// lasso word: some run must have inf(r) ∈ 𝓕.
+//
+// The decision uses the product graph of automaton × word positions. A run's
+// infinitely-visited node set is a strongly connected subgraph of the cyclic
+// part, contained in an SCC; conversely, any reachable SCC of the product
+// graph restricted to nodes whose states lie in F, containing at least one
+// edge and projecting onto exactly F, yields a run with inf(r) = F (walk the
+// SCC forever, covering all its nodes).
+func (m *Muller) AcceptsLasso(w LassoWord) bool {
+	if len(w.Cycle) == 0 {
+		return false
+	}
+	prefixLen, cycleLen := len(w.Prefix), len(w.Cycle)
+	numPos := prefixLen + cycleLen
+	id := func(n node) int { return n.state*numPos + n.pos }
+
+	// Forward reachability.
+	reached := make(map[int]node)
+	var queue []node
+	push := func(n node) {
+		if _, ok := reached[id(n)]; !ok {
+			reached[id(n)] = n
+			queue = append(queue, n)
+		}
+	}
+	for _, s := range m.Start {
+		push(node{s, 0})
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		sym := symbolAtClass(w, cur.pos)
+		np := posAfter(cur.pos, prefixLen, cycleLen)
+		for _, t := range m.succ(cur.state, sym) {
+			push(node{t, np})
+		}
+	}
+
+	for _, F := range m.Family {
+		if m.familyFeasible(w, F, reached) {
+			return true
+		}
+	}
+	return false
+}
+
+// familyFeasible checks a single family member F as described on
+// AcceptsLasso.
+func (m *Muller) familyFeasible(w LassoWord, F map[int]bool, reached map[int]node) bool {
+	if len(F) == 0 {
+		return false
+	}
+	prefixLen, cycleLen := len(w.Prefix), len(w.Cycle)
+	numPos := prefixLen + cycleLen
+	id := func(n node) int { return n.state*numPos + n.pos }
+
+	// Restricted node set: reachable cyclic-part nodes with state ∈ F.
+	restricted := make(map[int]node)
+	for k, n := range reached {
+		if n.pos >= prefixLen && F[n.state] {
+			restricted[k] = n
+		}
+	}
+	if len(restricted) == 0 {
+		return false
+	}
+	// Edges within the restriction.
+	succs := make(map[int][]int)
+	for k, n := range restricted {
+		sym := symbolAtClass(w, n.pos)
+		np := posAfter(n.pos, prefixLen, cycleLen)
+		for _, t := range m.succ(n.state, sym) {
+			tk := id(node{t, np})
+			if _, ok := restricted[tk]; ok {
+				succs[k] = append(succs[k], tk)
+			}
+		}
+	}
+	// Tarjan SCC over the restricted graph.
+	for _, comp := range tarjan(restricted, succs) {
+		// An SCC supports an infinite run iff it has an internal edge
+		// (non-trivial SCC, or a self-loop).
+		hasEdge := false
+		inComp := make(map[int]bool, len(comp))
+		for _, k := range comp {
+			inComp[k] = true
+		}
+		proj := make(map[int]bool)
+		for _, k := range comp {
+			proj[restricted[k].state] = true
+			for _, t := range succs[k] {
+				if inComp[t] {
+					hasEdge = true
+				}
+			}
+		}
+		if !hasEdge {
+			continue
+		}
+		if len(proj) != len(F) {
+			continue
+		}
+		match := true
+		for s := range F {
+			if !proj[s] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// tarjan computes strongly connected components of the graph given by node
+// keys and successor lists. Iterative to avoid deep recursion.
+func tarjan(nodes map[int]node, succs map[int][]int) [][]int {
+	keys := make([]int, 0, len(nodes))
+	for k := range nodes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys) // determinism
+
+	index := make(map[int]int)
+	lowlink := make(map[int]int)
+	onStack := make(map[int]bool)
+	var stack []int
+	var comps [][]int
+	counter := 0
+
+	type frame struct {
+		v  int
+		ci int // next child index
+	}
+	for _, root := range keys {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		var callStack []frame
+		index[root] = counter
+		lowlink[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		callStack = append(callStack, frame{v: root})
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			advanced := false
+			for f.ci < len(succs[f.v]) {
+				ch := succs[f.v][f.ci]
+				f.ci++
+				if _, ok := index[ch]; !ok {
+					index[ch] = counter
+					lowlink[ch] = counter
+					counter++
+					stack = append(stack, ch)
+					onStack[ch] = true
+					callStack = append(callStack, frame{v: ch})
+					advanced = true
+					break
+				} else if onStack[ch] {
+					if index[ch] < lowlink[f.v] {
+						lowlink[f.v] = index[ch]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Pop f.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if lowlink[v] < lowlink[p.v] {
+					lowlink[p.v] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				var comp []int
+				for {
+					u := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[u] = false
+					comp = append(comp, u)
+					if u == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// FromBuchi converts a Büchi automaton into an equivalent Muller automaton:
+// the family contains every state set that intersects the Büchi accepting
+// set and is realizable; by definition inf(r) ∩ F ≠ ∅ ⟺ inf(r) ∈ {S' ⊆ S :
+// S' ∩ F ≠ ∅}, so we enumerate those subsets. Exponential in |S| — intended
+// for the small automata of tests and demonstrations.
+func FromBuchi(b *Buchi) *Muller {
+	m := NewMuller(b.Alphabet, b.NumStates, b.Start...)
+	m.Trans = b.Trans
+	n := b.NumStates
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		hit := false
+		var states []int
+		for s := 0; s < n; s++ {
+			if mask&(1<<uint(s)) != 0 {
+				states = append(states, s)
+				if b.Accept[s] {
+					hit = true
+				}
+			}
+		}
+		if hit {
+			m.AddAccepting(states...)
+		}
+	}
+	return m
+}

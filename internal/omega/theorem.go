@@ -1,0 +1,216 @@
+package omega
+
+import (
+	"strings"
+
+	"rtc/internal/automata"
+	"rtc/internal/word"
+)
+
+// This file is the executable content of Theorem 3.1 at the ω level and of
+// Corollary 3.2. The language
+//
+//	L_ω = { l_1 $ l_2 $ l_3 $ … | l_i ∈ L }, L = { a^u b^x c^v d^x | u,x,v>0 }
+//
+// is not ω-regular. The executable form mirrors the refuter of package
+// automata: given ANY candidate Büchi automaton, RefuteLOmega constructs a
+// lasso ω-word on which the candidate disagrees with L_ω. When the candidate
+// accepts all small members, the accepting run of the largest one is pumped
+// inside a b-block — the run-splicing version of the paper's A′ argument —
+// yielding an accepted lasso with unbalanced b's and d's.
+
+// LOmegaAlphabet is the alphabet of L_ω.
+var LOmegaAlphabet = []word.Symbol{"a", "b", "c", "d", "$"}
+
+// InLOmega decides — exactly — membership of a lasso word in L_ω: the word
+// must consist of infinitely many $-separated blocks, each in L.
+func InLOmega(w LassoWord) bool {
+	if len(w.Cycle) == 0 {
+		return false
+	}
+	hasDollar := false
+	for _, s := range w.Cycle {
+		if s == "$" {
+			hasDollar = true
+			break
+		}
+	}
+	if !hasDollar {
+		// Eventually a block never terminates, so some l_i is infinite —
+		// not a member (every l_i ∈ L is finite).
+		return false
+	}
+	// Every distinct block content appears as a complete block within
+	// Prefix + 3 copies of Cycle: blocks fully inside the prefix, the block
+	// spanning the prefix/cycle boundary, and all periodic blocks (period
+	// divides |Cycle|, and each block is shorter than 2|Cycle|).
+	var unrolled []word.Symbol
+	unrolled = append(unrolled, w.Prefix...)
+	for r := 0; r < 3; r++ {
+		unrolled = append(unrolled, w.Cycle...)
+	}
+	blocks := splitBlocks(unrolled)
+	// The final element of splitBlocks is the trailing partial block (after
+	// the last $); its content repeats an already-checked complete block,
+	// so only complete blocks are tested.
+	for _, blk := range blocks[:len(blocks)-1] {
+		if !automata.InL(blk) {
+			return false
+		}
+	}
+	return true
+}
+
+// splitBlocks splits ws on "$"; the final element is the (possibly empty)
+// trailing segment after the last $.
+func splitBlocks(ws []word.Symbol) [][]word.Symbol {
+	var out [][]word.Symbol
+	cur := []word.Symbol{}
+	for _, s := range ws {
+		if s == "$" {
+			out = append(out, cur)
+			cur = []word.Symbol{}
+		} else {
+			cur = append(cur, s)
+		}
+	}
+	out = append(out, cur)
+	return out
+}
+
+// MemberLasso returns the member (a·b^x·c·d^x·$)^ω of L_ω.
+func MemberLasso(x int) LassoWord {
+	return LassoWord{Cycle: automata.Syms(
+		"a" + strings.Repeat("b", x) + "c" + strings.Repeat("d", x) + "$")}
+}
+
+// OmegaCounterexample records a disagreement between a candidate Büchi
+// automaton and L_ω.
+type OmegaCounterexample struct {
+	Word         LassoWord
+	BuchiAccepts bool
+	InLanguage   bool
+	PumpedFromX  int  // when Pumped, the block size that was pumped
+	Pumped       bool // witness came from run splicing
+}
+
+// RefuteLOmega produces, for an arbitrary candidate Büchi automaton over
+// LOmegaAlphabet, a lasso word on which the candidate disagrees with L_ω.
+// It always succeeds — which is Corollary 3.2 (take C = ∅ to lift the
+// statement to timed ω-regular languages, as the paper does).
+func RefuteLOmega(b *Buchi) OmegaCounterexample {
+	n := b.NumStates
+	if n < 1 {
+		n = 1
+	}
+	// Step 1: the members (a b^x c d^x $)^ω for x ≤ n+1 must all be
+	// accepted.
+	for x := 1; x <= n+1; x++ {
+		m := MemberLasso(x)
+		if _, ok := b.AcceptsLasso(m); !ok {
+			return OmegaCounterexample{Word: m, BuchiAccepts: false, InLanguage: true}
+		}
+	}
+	// Step 2: pump the accepting run of the largest member.
+	x := n + 1
+	m := MemberLasso(x)
+	run, ok := b.AcceptsLasso(m)
+	if !ok {
+		// Cannot happen: step 1 just accepted it. Keep the refuter total.
+		return OmegaCounterexample{Word: m, BuchiAccepts: false, InLanguage: true}
+	}
+	L := len(m.Cycle) // 2x+3
+	LL := len(run.LoopStates)
+	stemLen := len(run.StemStates) - 1 // symbols consumed by the stem
+	// Position (within the cycle) of the k-th loop symbol.
+	loopPos := func(k int) int { return (stemLen + k) % L }
+
+	// Rotate the loop so that index 0 sits at the start of a b-block
+	// (cycle position 1). Rotating by r extends the stem by r symbols.
+	r := 0
+	for loopPos(r) != 1 {
+		r++
+	}
+	rotStates := make([]int, LL)
+	for k := 0; k < LL; k++ {
+		rotStates[k] = run.LoopStates[(r+k)%LL]
+	}
+	newStemLen := stemLen + r
+	rotPos := func(k int) int { return (newStemLen + k) % L }
+
+	// The states before consuming each of the x b's, plus the state after
+	// the last b, are rotStates[0..x] — x+1 = n+2 values over n states.
+	seen := make(map[int]int)
+	k1, k2 := -1, -1
+	for k := 0; k <= x && k < LL; k++ {
+		if prev, ok := seen[rotStates[k]]; ok {
+			k1, k2 = prev, k
+			break
+		}
+		seen[rotStates[k]] = k
+	}
+	if k1 < 0 {
+		// Unreachable by pigeonhole (x+1 > NumStates); keep total.
+		return OmegaCounterexample{Word: m, BuchiAccepts: true, InLanguage: true}
+	}
+	// Pumped loop: duplicate the segment [k1, k2). The duplicated input is
+	// b^{k2-k1}, so exactly one block per loop traversal becomes
+	// a·b^{x+(k2-k1)}·c·d^x — not in L.
+	pumpedSyms := make([]word.Symbol, 0, LL+(k2-k1))
+	for k := 0; k < k2; k++ {
+		pumpedSyms = append(pumpedSyms, m.Cycle[rotPos(k)])
+	}
+	for k := k1; k < LL; k++ {
+		pumpedSyms = append(pumpedSyms, m.Cycle[rotPos(k)])
+	}
+	prefixSyms := make([]word.Symbol, newStemLen)
+	for i := 0; i < newStemLen; i++ {
+		prefixSyms[i] = m.Cycle[i%L]
+	}
+	pumped := LassoWord{Prefix: prefixSyms, Cycle: pumpedSyms}
+	_, accepts := b.AcceptsLasso(pumped)
+	return OmegaCounterexample{
+		Word:         pumped,
+		BuchiAccepts: accepts,
+		InLanguage:   InLOmega(pumped),
+		PumpedFromX:  x,
+		Pumped:       true,
+	}
+}
+
+// CandidateShapeBuchi returns a Büchi automaton accepting (a⁺b⁺c⁺d⁺$)^ω —
+// the finite-state over-approximation of L_ω. RefuteLOmega must catch it
+// with a pumped lasso it wrongly accepts.
+func CandidateShapeBuchi() *Buchi {
+	b := NewBuchi(LOmegaAlphabet, 5, 0)
+	b.AddTrans(0, "a", 1)
+	b.AddTrans(1, "a", 1)
+	b.AddTrans(1, "b", 2)
+	b.AddTrans(2, "b", 2)
+	b.AddTrans(2, "c", 3)
+	b.AddTrans(3, "c", 3)
+	b.AddTrans(3, "d", 4)
+	b.AddTrans(4, "d", 4)
+	b.AddTrans(4, "$", 0)
+	b.SetAccept(0)
+	return b
+}
+
+// CandidateBoundedBuchi counts b's and d's exactly up to k, then gives up on
+// larger blocks (rejecting them). RefuteLOmega must catch it with a member
+// whose block size exceeds k.
+func CandidateBoundedBuchi(k int) *Buchi {
+	// Reuse the DFA construction and tie acceptance back to the start.
+	d := automata.CandidateBoundedDFA(k)
+	b := NewBuchi(LOmegaAlphabet, d.NumStates, d.Start)
+	for s, m := range d.Trans {
+		for sym, t := range m {
+			b.AddTrans(s, word.Symbol(sym), t)
+		}
+	}
+	for s := range d.Accept {
+		b.AddTrans(s, "$", d.Start)
+	}
+	b.SetAccept(d.Start)
+	return b
+}

@@ -1,0 +1,115 @@
+package omega
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInLOmega(t *testing.T) {
+	yes := []LassoWord{
+		MemberLasso(1),
+		MemberLasso(3),
+		lasso("abcd$", "aabbccdd$"), // mixed block sizes
+		lasso("abcd$abbcdd$", "abbbcccdddbbb$"[:0]+"abcd$"), // prefix blocks + simple cycle
+	}
+	for _, w := range yes {
+		if !InLOmega(w) {
+			t.Errorf("InLOmega(%v) = false, want true", w)
+		}
+	}
+	no := []LassoWord{
+		lasso("", "abcdd$"),     // unbalanced
+		lasso("", "abcd"),       // no $: final block infinite
+		lasso("abdc$", "abcd$"), // bad prefix block
+		lasso("", "$"),          // empty blocks
+		lasso("", "bcd$"),       // u = 0
+	}
+	for _, w := range no {
+		if InLOmega(w) {
+			t.Errorf("InLOmega(%v) = true, want false", w)
+		}
+	}
+}
+
+func TestMemberLasso(t *testing.T) {
+	m := MemberLasso(2)
+	want := "abbcdd$"
+	if len(m.Cycle) != len(want) {
+		t.Fatalf("cycle = %v", m.Cycle)
+	}
+	for i := range want {
+		if string(m.Cycle[i]) != want[i:i+1] {
+			t.Fatalf("cycle = %v, want %s", m.Cycle, want)
+		}
+	}
+}
+
+func checkOmegaCounterexample(t *testing.T, b *Buchi, ce OmegaCounterexample) {
+	t.Helper()
+	if ce.BuchiAccepts == ce.InLanguage {
+		t.Fatalf("not a disagreement: %v buchi=%v inL=%v", ce.Word, ce.BuchiAccepts, ce.InLanguage)
+	}
+	if _, ok := b.AcceptsLasso(ce.Word); ok != ce.BuchiAccepts {
+		t.Fatalf("reported Büchi verdict wrong for %v", ce.Word)
+	}
+	if got := InLOmega(ce.Word); got != ce.InLanguage {
+		t.Fatalf("reported L_ω verdict wrong for %v", ce.Word)
+	}
+}
+
+// Corollary 3.2, on the over-approximating candidate: it accepts all members
+// and must be refuted by a pumped lasso it wrongly accepts.
+func TestRefuteLOmegaShapeCandidate(t *testing.T) {
+	b := CandidateShapeBuchi()
+	// Sanity: it accepts members.
+	for x := 1; x <= 4; x++ {
+		if _, ok := b.AcceptsLasso(MemberLasso(x)); !ok {
+			t.Fatalf("shape candidate rejects member x=%d", x)
+		}
+	}
+	ce := RefuteLOmega(b)
+	checkOmegaCounterexample(t, b, ce)
+	if !ce.Pumped || !ce.BuchiAccepts || ce.InLanguage {
+		t.Errorf("expected a pumped false-accept, got %+v", ce)
+	}
+}
+
+// Bounded-counting candidates are exact up to their bound and must be
+// refuted by a larger member they wrongly reject.
+func TestRefuteLOmegaBoundedCandidates(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		b := CandidateBoundedBuchi(k)
+		for x := 1; x <= k; x++ {
+			if _, ok := b.AcceptsLasso(MemberLasso(x)); !ok {
+				t.Fatalf("k=%d: bounded candidate rejects member x=%d", k, x)
+			}
+		}
+		ce := RefuteLOmega(b)
+		checkOmegaCounterexample(t, b, ce)
+		if ce.BuchiAccepts || !ce.InLanguage {
+			t.Errorf("k=%d: expected a false reject, got %+v", k, ce)
+		}
+	}
+}
+
+// Corollary 3.2, sampled over arbitrary machines: RefuteLOmega finds a
+// genuine disagreement for every random Büchi automaton.
+func TestRefuteLOmegaRandomBuchi(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(5)
+		b := NewBuchi(LOmegaAlphabet, n, rng.Intn(n))
+		for s := 0; s < n; s++ {
+			for _, a := range LOmegaAlphabet {
+				for c := rng.Intn(3); c > 0; c-- {
+					b.AddTrans(s, a, rng.Intn(n))
+				}
+			}
+			if rng.Intn(3) == 0 {
+				b.SetAccept(s)
+			}
+		}
+		ce := RefuteLOmega(b)
+		checkOmegaCounterexample(t, b, ce)
+	}
+}

@@ -1,0 +1,141 @@
+package parallel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rtc/internal/dacc"
+	"rtc/internal/timeseq"
+)
+
+// This file is the operational probe into the rt-PROC(p) hierarchy question
+// of §3.2/§7 ("is there a well-behaved timed ω-language that can be accepted
+// by a k-processor real-time algorithm but cannot be accepted by a
+// (k−1)-processor one?"): a data-accumulating workload is executed by an
+// actual p-process message-passing system — one distributor plus p workers —
+// and success (termination before a horizon) depends on p exactly as the
+// analytic model of internal/dacc predicts.
+
+// distributor is process 0: it receives externally injected data items and
+// deals them round-robin to the workers; workers report completions back.
+type distributor struct {
+	workers   int
+	nextWork  int
+	assigned  uint64
+	completed uint64
+	idleSince timeseq.Time
+	done      bool
+	doneAt    timeseq.Time
+}
+
+func (d *distributor) Step(ctx *Ctx) {
+	for _, m := range ctx.Inbox {
+		switch {
+		case strings.HasPrefix(m.Payload, "item:"):
+			d.assigned++
+			ctx.Send(1+d.nextWork, m.Payload)
+			d.nextWork = (d.nextWork + 1) % d.workers
+		case m.Payload == "done":
+			d.completed++
+		}
+	}
+	if !d.done && d.assigned > 0 && d.completed == d.assigned {
+		// All dealt work completed; the environment decides whether new
+		// data arrived meanwhile (the §4.2 termination condition is checked
+		// by the harness, which knows the arrival law).
+		d.done = true
+		d.doneAt = ctx.Now
+		ctx.Emit("caught-up")
+	}
+	if d.done && d.completed < d.assigned {
+		d.done = false // more work arrived; keep going
+	}
+}
+
+// worker processes items at rate work units per chronon, workPerDatum units
+// per item.
+type worker struct {
+	rate    uint64
+	perItem uint64
+	queue   []string
+	acc     uint64
+}
+
+func (w *worker) Step(ctx *Ctx) {
+	for _, m := range ctx.Inbox {
+		if strings.HasPrefix(m.Payload, "item:") {
+			w.queue = append(w.queue, m.Payload)
+		}
+	}
+	w.acc += w.rate
+	for len(w.queue) > 0 && w.acc >= w.perItem {
+		w.acc -= w.perItem
+		item := w.queue[0]
+		w.queue = w.queue[1:]
+		ctx.Emit("done " + item)
+		ctx.Send(0, "done")
+	}
+	if len(w.queue) == 0 {
+		w.acc = 0
+	}
+}
+
+// DAccOutcome reports one parallel run.
+type DAccOutcome struct {
+	Terminated bool
+	At         timeseq.Time
+	Processed  uint64
+}
+
+// RunDAcc executes the data-accumulating workload on a real 1+p-process
+// system: items arrive per the law and are injected into the distributor;
+// the run terminates when every arrived item has been processed and
+// acknowledged. Message hops cost one chronon each, so the parallel system
+// pays a small coordination latency over dacc.Simulate — the price of
+// distribution, visible in the measurements.
+func RunDAcc(law dacc.Law, n uint64, wl dacc.Workload, p int, maxT timeseq.Time) DAccOutcome {
+	procs := make([]Process, 1+p)
+	dist := &distributor{workers: p}
+	procs[0] = dist
+	for k := 0; k < p; k++ {
+		procs[1+k] = &worker{rate: wl.Rate, perItem: wl.WorkPerDatum}
+	}
+	sys := NewSystem(procs...)
+
+	injected := uint64(0)
+	for t := timeseq.Time(0); t <= maxT; t++ {
+		arrived := law.Total(n, t)
+		for injected < arrived {
+			injected++
+			sys.Inject(0, "item:"+strconv.FormatUint(injected, 10))
+		}
+		sys.Step()
+		// Termination: the distributor caught up with everything injected
+		// so far, and the environment has nothing in flight for this tick.
+		if dist.done && dist.assigned == injected && law.Total(n, t) == injected {
+			return DAccOutcome{Terminated: true, At: t, Processed: dist.completed}
+		}
+	}
+	return DAccOutcome{Processed: dist.completed}
+}
+
+// MinProcessorsParallel is the message-passing counterpart of
+// dacc.MinProcessors: the least p whose parallel run terminates within
+// maxT.
+func MinProcessorsParallel(law dacc.Law, n uint64, wl dacc.Workload, maxP int, maxT timeseq.Time) (int, bool) {
+	for p := 1; p <= maxP; p++ {
+		if out := RunDAcc(law, n, wl, p, maxT); out.Terminated {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Describe renders the outcome.
+func (o DAccOutcome) String() string {
+	if !o.Terminated {
+		return fmt.Sprintf("diverged after processing %d items", o.Processed)
+	}
+	return fmt.Sprintf("terminated at t=%d having processed %d items", o.At, o.Processed)
+}

@@ -1,0 +1,291 @@
+// Package parallel implements the explicitly parallel and distributed model
+// of §6: a real-time algorithm made of p independent processes that
+// communicate only by messages. Each process k is described by three timed
+// words — its computation c_k, the messages it sends l_k, and the messages
+// it receives r_k — and the behaviour of the whole algorithm is the tuple
+// (c_1·l_1·r_1, …, c_p·l_p·r_p).
+//
+// Processes execute as real goroutines in lockstep rounds (one round per
+// chronon): within a round all processes step concurrently against a
+// consistent snapshot, messages sent in round t are delivered in round t+1
+// (the network has the one-chronon hop of §5.2.1), and inbox ordering is
+// canonicalized so runs are deterministic despite true parallelism.
+//
+// The PRAM appears as the degenerate case (§6: communication through shared
+// memory means "there is no communication — both l_k and r_k are null
+// words"): SharedSystem gives processes a synchronous shared memory with
+// reads against the previous round's snapshot and priority-resolved
+// concurrent writes, and its trace words l_k, r_k stay empty.
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// Msg is one inter-process message.
+type Msg struct {
+	From, To int
+	Payload  string
+	SentAt   timeseq.Time
+}
+
+// Ctx is the per-round capability surface of one process.
+type Ctx struct {
+	ID    int
+	Now   timeseq.Time
+	Inbox []Msg // messages delivered this round, canonical order
+
+	sends []Msg
+	emits []string
+}
+
+// Send queues a message for delivery next round.
+func (c *Ctx) Send(to int, payload string) {
+	c.sends = append(c.sends, Msg{From: c.ID, To: to, Payload: payload, SentAt: c.Now})
+}
+
+// Emit records one computation symbol of c_k for this round.
+func (c *Ctx) Emit(sym string) {
+	c.emits = append(c.emits, sym)
+}
+
+// Process is one of the p processes.
+type Process interface {
+	Step(ctx *Ctx)
+}
+
+// ProcessFunc adapts a function to Process.
+type ProcessFunc func(ctx *Ctx)
+
+// Step implements Process.
+func (f ProcessFunc) Step(ctx *Ctx) { f(ctx) }
+
+// System runs p message-passing processes in lockstep.
+type System struct {
+	procs []Process
+	now   timeseq.Time
+
+	inTransit []Msg // sent last round, delivered next round
+	injected  []Msg
+
+	comp [][]word.TimedSym // c_k traces
+	sent [][]word.TimedSym // l_k traces
+	recv [][]word.TimedSym // r_k traces
+}
+
+// NewSystem builds a system over the given processes (ids 0..p-1).
+func NewSystem(procs ...Process) *System {
+	p := len(procs)
+	return &System{
+		procs: procs,
+		comp:  make([][]word.TimedSym, p),
+		sent:  make([][]word.TimedSym, p),
+		recv:  make([][]word.TimedSym, p),
+	}
+}
+
+// P returns the number of processes.
+func (s *System) P() int { return len(s.procs) }
+
+// Now returns the current round (chronon).
+func (s *System) Now() timeseq.Time { return s.now }
+
+// Inject delivers an external message to a process in the next round; the
+// environment plays the role of a virtual extra sender (From = -1).
+func (s *System) Inject(to int, payload string) {
+	s.injected = append(s.injected, Msg{From: -1, To: to, Payload: payload, SentAt: s.now})
+}
+
+// Step runs one chronon: deliver, then step every process concurrently.
+func (s *System) Step() {
+	p := len(s.procs)
+	inboxes := make([][]Msg, p)
+	pending := append(s.inTransit, s.injected...)
+	s.inTransit = nil
+	s.injected = nil
+	// Canonical inbox order: by (From, queue order).
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].From < pending[j].From })
+	for _, m := range pending {
+		if m.To >= 0 && m.To < p {
+			inboxes[m.To] = append(inboxes[m.To], m)
+		}
+	}
+
+	ctxs := make([]*Ctx, p)
+	var wg sync.WaitGroup
+	for k := 0; k < p; k++ {
+		ctxs[k] = &Ctx{ID: k, Now: s.now, Inbox: inboxes[k]}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			s.procs[k].Step(ctxs[k])
+		}(k)
+	}
+	wg.Wait()
+
+	// Collect effects deterministically, in process order.
+	for k := 0; k < p; k++ {
+		for _, m := range inboxes[k] {
+			s.recv[k] = append(s.recv[k], recvSym(m, s.now))
+		}
+		for _, sym := range ctxs[k].emits {
+			s.comp[k] = append(s.comp[k], word.TimedSym{Sym: word.Symbol(sym), At: s.now})
+		}
+		for _, m := range ctxs[k].sends {
+			s.inTransit = append(s.inTransit, m)
+			s.sent[k] = append(s.sent[k], sentSym(m))
+		}
+	}
+	s.now++
+}
+
+// Run advances n rounds.
+func (s *System) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+func sentSym(m Msg) word.TimedSym {
+	return word.TimedSym{
+		Sym: word.Symbol(encoding.String(encoding.Record("l",
+			encoding.FieldInt(int64(m.From)), encoding.FieldInt(int64(m.To)), m.Payload))),
+		At: m.SentAt,
+	}
+}
+
+func recvSym(m Msg, at timeseq.Time) word.TimedSym {
+	return word.TimedSym{
+		Sym: word.Symbol(encoding.String(encoding.Record("r",
+			encoding.FieldInt(int64(m.From)), encoding.FieldInt(int64(m.To)), m.Payload))),
+		At: at,
+	}
+}
+
+// CompWord returns c_k.
+func (s *System) CompWord(k int) word.Finite { return word.Finite(s.comp[k]) }
+
+// SentWord returns l_k.
+func (s *System) SentWord(k int) word.Finite { return word.Finite(s.sent[k]) }
+
+// RecvWord returns r_k.
+func (s *System) RecvWord(k int) word.Finite { return word.Finite(s.recv[k]) }
+
+// BehaviorWord returns c_k·l_k·r_k, the per-process behaviour word of §6.
+func (s *System) BehaviorWord(k int) word.Word {
+	return word.ConcatAll(s.CompWord(k), s.SentWord(k), s.RecvWord(k))
+}
+
+// BehaviorTuple returns the tuple (c_1 l_1 r_1, …, c_p l_p r_p).
+func (s *System) BehaviorTuple() []word.Word {
+	out := make([]word.Word, len(s.procs))
+	for k := range s.procs {
+		out[k] = s.BehaviorWord(k)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// PRAM variant
+
+// SharedCtx extends the per-round context with synchronous shared memory:
+// Read sees the previous round's snapshot; writes land after the round,
+// with concurrent writes to one cell resolved by lowest process id
+// (priority CRCW).
+type SharedCtx struct {
+	Ctx
+	snapshot []int64
+	writes   map[int]int64
+}
+
+// Read returns cell i as of the previous round.
+func (c *SharedCtx) Read(i int) int64 { return c.snapshot[i] }
+
+// Write stores v into cell i at the end of the round.
+func (c *SharedCtx) Write(i int, v int64) {
+	if c.writes == nil {
+		c.writes = make(map[int]int64)
+	}
+	c.writes[i] = v
+}
+
+// SharedProcess is a PRAM processor.
+type SharedProcess interface {
+	Step(ctx *SharedCtx)
+}
+
+// SharedProcessFunc adapts a function.
+type SharedProcessFunc func(ctx *SharedCtx)
+
+// Step implements SharedProcess.
+func (f SharedProcessFunc) Step(ctx *SharedCtx) { f(ctx) }
+
+// SharedSystem is the PRAM case of the §6 model.
+type SharedSystem struct {
+	procs []SharedProcess
+	mem   []int64
+	now   timeseq.Time
+	comp  [][]word.TimedSym
+}
+
+// NewSharedSystem builds a PRAM with the given memory size.
+func NewSharedSystem(memSize int, procs ...SharedProcess) *SharedSystem {
+	return &SharedSystem{
+		procs: procs,
+		mem:   make([]int64, memSize),
+		comp:  make([][]word.TimedSym, len(procs)),
+	}
+}
+
+// Mem returns the current memory image (for inspection).
+func (s *SharedSystem) Mem() []int64 { return append([]int64{}, s.mem...) }
+
+// Now returns the current round.
+func (s *SharedSystem) Now() timeseq.Time { return s.now }
+
+// Step runs one synchronous PRAM round on real goroutines.
+func (s *SharedSystem) Step() {
+	p := len(s.procs)
+	snapshot := append([]int64{}, s.mem...)
+	ctxs := make([]*SharedCtx, p)
+	var wg sync.WaitGroup
+	for k := 0; k < p; k++ {
+		ctxs[k] = &SharedCtx{Ctx: Ctx{ID: k, Now: s.now}, snapshot: snapshot}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			s.procs[k].Step(ctxs[k])
+		}(k)
+	}
+	wg.Wait()
+	// Priority CRCW: higher-id writes first, lowest id wins by overwriting.
+	for k := p - 1; k >= 0; k-- {
+		for i, v := range ctxs[k].writes {
+			s.mem[i] = v
+		}
+		for _, sym := range ctxs[k].emits {
+			s.comp[k] = append(s.comp[k], word.TimedSym{Sym: word.Symbol(sym), At: s.now})
+		}
+		if len(ctxs[k].sends) > 0 {
+			panic(fmt.Sprintf("parallel: PRAM process %d attempted message sends; on the PRAM l_k and r_k are null words", k))
+		}
+	}
+	s.now++
+}
+
+// Run advances n rounds.
+func (s *SharedSystem) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// CompWord returns c_k; on the PRAM the behaviour word is c_k alone since
+// l_k and r_k are null.
+func (s *SharedSystem) CompWord(k int) word.Finite { return word.Finite(s.comp[k]) }

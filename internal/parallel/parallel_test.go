@@ -1,0 +1,333 @@
+package parallel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rtc/internal/dacc"
+	"rtc/internal/encoding"
+	"rtc/internal/word"
+)
+
+// echo is a process that forwards every payload to the next process and
+// emits what it sees.
+func echo(next int) ProcessFunc {
+	return func(ctx *Ctx) {
+		for _, m := range ctx.Inbox {
+			ctx.Emit("saw " + m.Payload)
+			if next >= 0 {
+				ctx.Send(next, m.Payload)
+			}
+		}
+	}
+}
+
+func TestMessageDelayOneChronon(t *testing.T) {
+	sys := NewSystem(echo(1), echo(-1))
+	sys.Inject(0, "x")
+	sys.Step() // round 0: process 0 receives, forwards
+	if len(sys.CompWord(0)) != 1 || sys.CompWord(0)[0].At != 0 {
+		t.Fatalf("c_0 = %v", sys.CompWord(0))
+	}
+	if len(sys.CompWord(1)) != 0 {
+		t.Fatal("process 1 saw the message in the same round")
+	}
+	sys.Step() // round 1: process 1 receives
+	c1 := sys.CompWord(1)
+	if len(c1) != 1 || c1[0].At != 1 {
+		t.Fatalf("c_1 = %v", c1)
+	}
+}
+
+// Determinism under true concurrency: two identical runs produce identical
+// traces.
+func TestLockstepDeterminism(t *testing.T) {
+	build := func() *System {
+		// A ring of 5 processes, each forwarding and spawning extra
+		// messages.
+		procs := make([]Process, 5)
+		for k := 0; k < 5; k++ {
+			k := k
+			procs[k] = ProcessFunc(func(ctx *Ctx) {
+				for _, m := range ctx.Inbox {
+					ctx.Emit(fmt.Sprintf("%d<-%s", k, m.Payload))
+					ctx.Send((k+1)%5, m.Payload+"!")
+					if len(m.Payload)%2 == 0 {
+						ctx.Send((k+2)%5, m.Payload+"?")
+					}
+				}
+			})
+		}
+		s := NewSystem(procs...)
+		s.Inject(0, "a")
+		s.Inject(3, "bb")
+		return s
+	}
+	a, b := build(), build()
+	a.Run(8)
+	b.Run(8)
+	for k := 0; k < 5; k++ {
+		wa := word.Prefix(a.BehaviorWord(k), 1000)
+		wb := word.Prefix(b.BehaviorWord(k), 1000)
+		if !word.Equal(wa, wb) {
+			t.Fatalf("process %d traces differ:\n%v\n%v", k, wa, wb)
+		}
+	}
+}
+
+// The behaviour words c_k, l_k, r_k record exactly the §6 decomposition.
+func TestTraceWords(t *testing.T) {
+	sys := NewSystem(echo(1), echo(-1))
+	sys.Inject(0, "m")
+	sys.Run(3)
+	// l_0 has one send; r_0 one receive (the injection); c_0 one emit.
+	if len(sys.SentWord(0)) != 1 {
+		t.Errorf("l_0 = %v", sys.SentWord(0))
+	}
+	if len(sys.RecvWord(0)) != 1 {
+		t.Errorf("r_0 = %v", sys.RecvWord(0))
+	}
+	// Process 1 sends nothing.
+	if len(sys.SentWord(1)) != 0 {
+		t.Errorf("l_1 = %v", sys.SentWord(1))
+	}
+	if len(sys.RecvWord(1)) != 1 {
+		t.Errorf("r_1 = %v", sys.RecvWord(1))
+	}
+	// The behaviour word is a valid timed word.
+	bw := word.Prefix(sys.BehaviorWord(0), 100)
+	if !word.MonotoneWithin(bw, uint64(len(bw))) {
+		t.Error("behaviour word not monotone")
+	}
+	if len(sys.BehaviorTuple()) != 2 {
+		t.Error("tuple size")
+	}
+}
+
+// PRAM: parallel tree-style sum, with null l_k/r_k words by construction.
+func TestSharedSystemParallelSum(t *testing.T) {
+	const p = 4
+	// mem[0..p-1]: inputs; each processor k adds mem[k] into mem[p+k]; then
+	// processor 0 sums the partials (round 2).
+	procs := make([]SharedProcess, p)
+	for k := 0; k < p; k++ {
+		k := k
+		procs[k] = SharedProcessFunc(func(ctx *SharedCtx) {
+			switch ctx.Now {
+			case 0:
+				ctx.Write(p+k, ctx.Read(k)*2)
+				ctx.Emit("doubled")
+			case 1:
+				if ctx.ID == 0 {
+					var sum int64
+					for i := 0; i < p; i++ {
+						sum += ctx.Read(p + i)
+					}
+					ctx.Write(2*p, sum)
+					ctx.Emit("summed")
+				}
+			}
+		})
+	}
+	sys := NewSharedSystem(2*p+1, procs...)
+	mem := sys.Mem()
+	_ = mem
+	// Seed inputs via a dedicated round: write directly.
+	seed := NewSharedSystem(2*p+1, procs...)
+	_ = seed
+	sys2 := NewSharedSystem(2*p+1, procs...)
+	for i := 0; i < p; i++ {
+		sys2.mem[i] = int64(i + 1)
+	}
+	sys2.Run(2)
+	if got := sys2.Mem()[2*p]; got != 2*(1+2+3+4) {
+		t.Fatalf("sum = %d, want 20", got)
+	}
+	// Each processor's computation word is non-trivial; there are no
+	// message words at all (the PRAM degenerate case of §6).
+	if len(sys2.CompWord(0)) != 2 {
+		t.Errorf("c_0 = %v", sys2.CompWord(0))
+	}
+	if len(sys2.CompWord(1)) != 1 {
+		t.Errorf("c_1 = %v", sys2.CompWord(1))
+	}
+}
+
+// Priority CRCW: concurrent writes resolve to the lowest process id.
+func TestSharedPriorityWrite(t *testing.T) {
+	procs := make([]SharedProcess, 3)
+	for k := 0; k < 3; k++ {
+		k := k
+		procs[k] = SharedProcessFunc(func(ctx *SharedCtx) {
+			ctx.Write(0, int64(100+k))
+		})
+	}
+	sys := NewSharedSystem(1, procs...)
+	sys.Step()
+	if got := sys.Mem()[0]; got != 100 {
+		t.Fatalf("concurrent write resolved to %d, want 100 (lowest id)", got)
+	}
+}
+
+// PRAM processes must not send messages.
+func TestSharedSendPanics(t *testing.T) {
+	p := SharedProcessFunc(func(ctx *SharedCtx) { ctx.Send(0, "no") })
+	sys := NewSharedSystem(1, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PRAM send did not panic")
+		}
+	}()
+	sys.Step()
+}
+
+// The parallel d-algorithm terminates when its sequential model does, pays
+// a bounded coordination overhead, and exhibits the rt-PROC staircase: more
+// load needs more processors.
+func TestRunDAccAgainstModel(t *testing.T) {
+	law := dacc.PolyLaw{K: 0.4, Gamma: 0, Beta: 1}
+	wl := dacc.Workload{Rate: 1, WorkPerDatum: 1}
+	seq := dacc.Simulate(law, 10, wl, 100000)
+	if !seq.Terminated {
+		t.Fatal("sequential model diverged")
+	}
+	par := RunDAcc(law, 10, wl, 1, 100000)
+	if !par.Terminated {
+		t.Fatal("parallel run diverged where the model terminates")
+	}
+	if par.Processed < seq.Processed {
+		t.Errorf("parallel processed %d < model %d", par.Processed, seq.Processed)
+	}
+	// Coordination latency: within a constant factor plus message rounds.
+	if par.At > 4*seq.At+50 {
+		t.Errorf("parallel took %d, model %d — overhead too large", par.At, seq.At)
+	}
+}
+
+// The rt-PROC staircase, operationally: with a fixed deadline, heavier
+// initial batches need more processors, and for each batch some p succeeds
+// where p−1 fails. (Message acks cost two chronons, so unlike the idealized
+// sequential model the parallel system can only observe termination during
+// an arrival gap — the sweep therefore uses a sub-linear stream, where gaps
+// grow, and a deadline that the catch-up time dominates.)
+func TestMinProcessorsParallelStaircase(t *testing.T) {
+	wl := dacc.Workload{Rate: 1, WorkPerDatum: 2}
+	law := dacc.PolyLaw{K: 1, Gamma: 0, Beta: 0.5}
+	const deadline = 450
+	prev := 0
+	for _, n := range []uint64{100, 400, 1200} {
+		p, ok := MinProcessorsParallel(law, n, wl, 8, deadline)
+		if !ok {
+			t.Fatalf("n=%d: no p ≤ 8 meets the deadline", n)
+		}
+		if p < prev {
+			t.Errorf("n=%d: staircase decreased: %d after %d", n, p, prev)
+		}
+		if p > 1 {
+			if out := RunDAcc(law, n, wl, p-1, deadline); out.Terminated {
+				t.Errorf("n=%d: p-1=%d also meets the deadline; not minimal", n, p-1)
+			}
+		}
+		prev = p
+	}
+	if prev < 3 {
+		t.Errorf("staircase topped out at %d processors; sweep too weak", prev)
+	}
+}
+
+func TestDAccOutcomeString(t *testing.T) {
+	if !strings.Contains(DAccOutcome{Terminated: true, At: 5, Processed: 9}.String(), "t=5") {
+		t.Error("String broken")
+	}
+	if !strings.Contains(DAccOutcome{}.String(), "diverged") {
+		t.Error("String broken for divergence")
+	}
+	_ = strconv.Itoa(0)
+}
+
+// §6 consistency invariant: every receive event r_k corresponds to a send
+// event in some l_j one round earlier, with matching endpoints and payload
+// (the trace tuple really is a communication-closed decomposition).
+func TestTraceSendReceiveConsistency(t *testing.T) {
+	procs := make([]Process, 4)
+	for k := 0; k < 4; k++ {
+		k := k
+		procs[k] = ProcessFunc(func(ctx *Ctx) {
+			for _, m := range ctx.Inbox {
+				if len(m.Payload) < 6 {
+					ctx.Send((k+1)%4, m.Payload+"x")
+				}
+				ctx.Send((k+2)%4, m.Payload+"y")
+			}
+		})
+	}
+	sys := NewSystem(procs...)
+	sys.Inject(0, "p")
+	sys.Run(6)
+
+	type sendKey struct {
+		from, to int
+		payload  string
+	}
+	sent := map[sendKey]int{}
+	for k := 0; k < 4; k++ {
+		for _, e := range sys.SentWord(k) {
+			rec, ok := encodingParse(e.Sym)
+			if !ok || rec[0] != "l" {
+				t.Fatalf("bad l record %v", e)
+			}
+			sent[sendKey{atoi(rec[1]), atoi(rec[2]), rec[3]}]++
+		}
+	}
+	for k := 0; k < 4; k++ {
+		for _, e := range sys.RecvWord(k) {
+			rec, ok := encodingParse(e.Sym)
+			if !ok || rec[0] != "r" {
+				t.Fatalf("bad r record %v", e)
+			}
+			key := sendKey{atoi(rec[1]), atoi(rec[2]), rec[3]}
+			if key.from == -1 {
+				continue // environment injection has no l record
+			}
+			if sent[key] == 0 {
+				t.Fatalf("receive %v without a matching send", rec)
+			}
+			sent[key]--
+		}
+	}
+}
+
+// encodingParse decodes one record-valued trace symbol.
+func encodingParse(s word.Symbol) ([]string, bool) {
+	var syms []word.Symbol
+	str := string(s)
+	i := 0
+	for i < len(str) {
+		if str[i] == '%' && i+1 < len(str) {
+			syms = append(syms, word.Symbol(str[i:i+2]))
+			i += 2
+			continue
+		}
+		syms = append(syms, word.Symbol(str[i:i+1]))
+		i++
+	}
+	return encoding.ParseRecord(syms)
+}
+
+func atoi(s string) int {
+	neg := false
+	v := 0
+	for i, c := range s {
+		if i == 0 && c == '-' {
+			neg = true
+			continue
+		}
+		v = v*10 + int(c-'0')
+	}
+	if neg {
+		return -v
+	}
+	return v
+}

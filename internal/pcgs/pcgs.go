@@ -1,0 +1,275 @@
+// Package pcgs implements parallel communicating grammar systems, the
+// formal device §6 cites as the intuition behind the distributed real-time
+// model ("a PCGS consists in a number of grammars, with their own work
+// space, that communicate with each other by means of special symbols.
+// Except for this communication, the grammars work independently. The case
+// of parallel grammar systems closely resembles a real world ad hoc
+// network"). The paper treats PCGS as intuitional support; this package
+// makes the intuition executable — component grammars rewrite in lockstep
+// rounds, query symbols Q_i pull another component's sentential form, and
+// the master's derivations generate the system's language.
+//
+// The implementation follows the standard returning/non-returning PCGS
+// semantics (Păun & Sântean; Csuhaj-Varjú et al.): in a communication step
+// every occurrence of a query symbol Q_j is replaced by component j's
+// current sentential form (provided it contains no query symbols itself),
+// and in returning mode the queried component resets to its axiom.
+package pcgs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is a terminal or nonterminal. Nonterminals are recognized by an
+// explicit set; query symbols have the reserved shape "Q<i>".
+type Symbol = string
+
+// Rule is a context-free production A → α.
+type Rule struct {
+	Left  Symbol
+	Right []Symbol
+}
+
+// Grammar is one component: its nonterminals, rules and axiom. Terminals
+// are whatever appears in right-hand sides without being declared a
+// nonterminal or a query symbol.
+type Grammar struct {
+	Nonterminals map[Symbol]bool
+	Rules        []Rule
+	Axiom        Symbol
+}
+
+// QuerySymbol returns Q_i, the symbol that requests component i's
+// sentential form (components are 1-indexed, the master is component 1).
+func QuerySymbol(i int) Symbol { return fmt.Sprintf("Q%d", i) }
+
+// queryIndex parses a query symbol.
+func queryIndex(s Symbol) (int, bool) {
+	if len(s) < 2 || s[0] != 'Q' {
+		return 0, false
+	}
+	n := 0
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, n > 0
+}
+
+// Mode selects the communication semantics.
+type Mode int
+
+const (
+	// Returning: after being queried, a component resumes from its axiom.
+	Returning Mode = iota
+	// NonReturning: the queried component keeps its sentential form.
+	NonReturning
+)
+
+// System is a PCGS: component 1 is the master; the generated language is
+// the set of terminal strings the master can derive.
+type System struct {
+	Components []Grammar
+	Mode       Mode
+	// MaxForm bounds sentential-form length during search (derivations
+	// that outgrow it are pruned).
+	MaxForm int
+}
+
+// form is one configuration: the tuple of sentential forms.
+type form []string
+
+func (f form) key() string { return strings.Join(f, "\x00") }
+
+// isNonterminal reports whether s is a nonterminal of g (query symbols are
+// handled separately).
+func (g Grammar) isNonterminal(s Symbol) bool { return g.Nonterminals[s] }
+
+// words as space-joined symbol strings keep the search state compact.
+func join(syms []Symbol) string { return strings.Join(syms, " ") }
+func split(w string) []Symbol {
+	if w == "" {
+		return nil
+	}
+	return strings.Split(w, " ")
+}
+
+// hasQuery reports whether the form contains a query symbol.
+func hasQuery(syms []Symbol) bool {
+	for _, s := range syms {
+		if _, ok := queryIndex(s); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Generate searches the derivation space breadth-first and returns every
+// terminal string (over the master) of length ≤ maxLen derivable within
+// maxSteps lockstep rounds. The result is sorted and duplicate-free —
+// a finite window onto L(Γ).
+func (sys *System) Generate(maxSteps, maxLen int) []string {
+	if sys.MaxForm == 0 {
+		sys.MaxForm = 24
+	}
+	start := make(form, len(sys.Components))
+	for i, g := range sys.Components {
+		start[i] = g.Axiom
+	}
+	seen := map[string]bool{start.key(): true}
+	frontier := []form{start}
+	results := map[string]bool{}
+
+	for step := 0; step < maxSteps && len(frontier) > 0; step++ {
+		var next []form
+		for _, f := range frontier {
+			for _, nf := range sys.step(f) {
+				k := nf.key()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				next = append(next, nf)
+				// Harvest: master form all-terminal?
+				master := split(nf[0])
+				if len(master) <= maxLen && sys.allTerminal(master) {
+					results[strings.Join(master, "")] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	out := make([]string, 0, len(results))
+	for w := range results {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// allTerminal reports whether the master's form contains neither
+// nonterminals (of any component) nor query symbols.
+func (sys *System) allTerminal(syms []Symbol) bool {
+	for _, s := range syms {
+		if _, ok := queryIndex(s); ok {
+			return false
+		}
+		for _, g := range sys.Components {
+			if g.isNonterminal(s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// step yields all successor configurations of one lockstep round: if any
+// component's form holds query symbols, a communication step fires;
+// otherwise every component rewrites one nonterminal (components whose form
+// is terminal idle).
+func (sys *System) step(f form) []form {
+	for _, w := range f {
+		if hasQuery(split(w)) {
+			if nf, ok := sys.communicate(f); ok {
+				return []form{nf}
+			}
+			return nil // blocked communication (circular queries)
+		}
+	}
+	// Rewriting step: the per-component choices multiply.
+	options := make([][]string, len(sys.Components))
+	for i, g := range sys.Components {
+		syms := split(f[i])
+		var opts []string
+		for pos, s := range syms {
+			if !g.isNonterminal(s) {
+				continue
+			}
+			for _, r := range g.Rules {
+				if r.Left != s {
+					continue
+				}
+				nw := make([]Symbol, 0, len(syms)+len(r.Right))
+				nw = append(nw, syms[:pos]...)
+				nw = append(nw, r.Right...)
+				nw = append(nw, syms[pos+1:]...)
+				if len(nw) <= sys.MaxForm {
+					opts = append(opts, join(nw))
+				}
+			}
+		}
+		if len(opts) == 0 {
+			// Terminal (or stuck) components idle. A component stuck on a
+			// nonterminal with no rule blocks the whole system in strict
+			// PCGS semantics; idling is the common relaxed convention and
+			// keeps master-only derivations alive.
+			opts = []string{f[i]}
+		}
+		options[i] = opts
+	}
+	var out []form
+	var build func(i int, acc form)
+	build = func(i int, acc form) {
+		if i == len(options) {
+			cp := make(form, len(acc))
+			copy(cp, acc)
+			out = append(out, cp)
+			return
+		}
+		for _, o := range options[i] {
+			acc[i] = o
+			build(i+1, acc)
+		}
+	}
+	build(0, make(form, len(options)))
+	return out
+}
+
+// communicate performs one communication step: every query symbol whose
+// target holds a query-free form is substituted; in returning mode the
+// queried components reset to their axioms afterwards.
+func (sys *System) communicate(f form) (form, bool) {
+	queried := map[int]bool{}
+	nf := make(form, len(f))
+	progress := false
+	for i, w := range f {
+		syms := split(w)
+		var nw []Symbol
+		for _, s := range syms {
+			j, ok := queryIndex(s)
+			if !ok {
+				nw = append(nw, s)
+				continue
+			}
+			if j < 1 || j > len(f) {
+				return nil, false
+			}
+			target := split(f[j-1])
+			if hasQuery(target) {
+				// Not satisfiable this round; keep the query.
+				nw = append(nw, s)
+				continue
+			}
+			nw = append(nw, target...)
+			queried[j-1] = true
+			progress = true
+		}
+		if len(nw) > sys.MaxForm {
+			return nil, false
+		}
+		nf[i] = join(nw)
+	}
+	if !progress {
+		return nil, false
+	}
+	if sys.Mode == Returning {
+		for j := range queried {
+			nf[j] = sys.Components[j].Axiom
+		}
+	}
+	return nf, true
+}

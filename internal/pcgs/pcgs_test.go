@@ -1,0 +1,204 @@
+package pcgs
+
+import (
+	"strings"
+	"testing"
+)
+
+// abcSystem is a two-component returning PCGS whose master language is
+//
+//	{ a^n b^{n+1} c^{n+1} : n ≥ 0 },
+//
+// a non-context-free 3-way correlation: the master pumps a's while the
+// second component pumps matched b/c pairs in lockstep, and one query
+// splices the counts together. This is the §6 intuition made concrete —
+// synchronized independent workers plus communication exceed what either
+// can do alone.
+func abcSystem(mode Mode) *System {
+	master := Grammar{
+		Nonterminals: map[Symbol]bool{"S1": true, "S2": true},
+		Rules: []Rule{
+			{Left: "S1", Right: []Symbol{"a", "S1"}},
+			{Left: "S1", Right: []Symbol{QuerySymbol(2)}},
+			{Left: "S2", Right: nil}, // erase the received nonterminal
+		},
+		Axiom: "S1",
+	}
+	worker := Grammar{
+		Nonterminals: map[Symbol]bool{"S2": true},
+		Rules: []Rule{
+			{Left: "S2", Right: []Symbol{"b", "S2", "c"}},
+		},
+		Axiom: "S2",
+	}
+	return &System{Components: []Grammar{master, worker}, Mode: mode, MaxForm: 40}
+}
+
+func inABC(w string) bool {
+	n := strings.Count(w, "a")
+	i := 0
+	for i < len(w) && w[i] == 'a' {
+		i++
+	}
+	j := i
+	for j < len(w) && w[j] == 'b' {
+		j++
+	}
+	k := j
+	for k < len(w) && w[k] == 'c' {
+		k++
+	}
+	if k != len(w) {
+		return false
+	}
+	b, c := j-i, k-j
+	return i == n && b == n+1 && c == n+1
+}
+
+func TestABCGeneration(t *testing.T) {
+	sys := abcSystem(Returning)
+	words := sys.Generate(16, 14)
+	if len(words) == 0 {
+		t.Fatal("no words generated")
+	}
+	for _, w := range words {
+		if !inABC(w) {
+			t.Errorf("generated %q outside {a^n b^{n+1} c^{n+1}}", w)
+		}
+	}
+	// Completeness on the small window: bcc…, abbcc, aabbbccc, …
+	for _, want := range []string{"bc", "abbcc", "aabbbccc"} {
+		found := false
+		for _, w := range words {
+			if w == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing member %q (got %v)", want, words)
+		}
+	}
+}
+
+func TestQuerySymbolParsing(t *testing.T) {
+	if QuerySymbol(3) != "Q3" {
+		t.Errorf("QuerySymbol = %q", QuerySymbol(3))
+	}
+	for s, want := range map[Symbol]int{"Q1": 1, "Q12": 12} {
+		got, ok := queryIndex(s)
+		if !ok || got != want {
+			t.Errorf("queryIndex(%q) = (%d,%v)", s, got, ok)
+		}
+	}
+	for _, s := range []Symbol{"Q", "Qx", "R3", "a", "Q0"} {
+		if _, ok := queryIndex(s); ok {
+			t.Errorf("queryIndex(%q) parsed", s)
+		}
+	}
+}
+
+// Returning vs non-returning: a master that queries twice sees a reset
+// worker in returning mode (second copy restarts short) and a continuing
+// worker otherwise (second copy strictly longer).
+func doubleQuerySystem(mode Mode) *System {
+	master := Grammar{
+		Nonterminals: map[Symbol]bool{"S1": true, "X": true, "S2": true},
+		Rules: []Rule{
+			// Round 1: take the first copy and keep a marker to query again.
+			{Left: "S1", Right: []Symbol{QuerySymbol(2), "X"}},
+			// Later: take the second copy.
+			{Left: "X", Right: []Symbol{QuerySymbol(2)}},
+			{Left: "S2", Right: []Symbol{"e"}}, // finish received forms
+		},
+		Axiom: "S1",
+	}
+	worker := Grammar{
+		Nonterminals: map[Symbol]bool{"S2": true},
+		Rules: []Rule{
+			{Left: "S2", Right: []Symbol{"d", "S2"}},
+		},
+		Axiom: "S2",
+	}
+	return &System{Components: []Grammar{master, worker}, Mode: mode, MaxForm: 32}
+}
+
+func TestReturningVersusNonReturning(t *testing.T) {
+	ret := doubleQuerySystem(Returning).Generate(14, 20)
+	non := doubleQuerySystem(NonReturning).Generate(14, 20)
+	if len(ret) == 0 || len(non) == 0 {
+		t.Fatalf("generation empty: ret=%v non=%v", ret, non)
+	}
+	counts := func(w string) (first, second int) {
+		// Words look like d^i e d^j e: split on the e's.
+		parts := strings.SplitN(w, "e", 3)
+		return len(parts[0]), len(parts[1])
+	}
+	// In both modes the second segment is produced after more rounds; in
+	// returning mode the worker restarted, so a second segment SHORTER
+	// than or equal to the first is reachable; in non-returning mode the
+	// second segment is always strictly longer than the first.
+	sawShortSecond := false
+	for _, w := range ret {
+		if strings.Count(w, "e") != 2 {
+			continue
+		}
+		f, s := counts(w)
+		if s <= f {
+			sawShortSecond = true
+		}
+	}
+	if !sawShortSecond {
+		t.Errorf("returning mode never produced a reset-length second copy: %v", ret)
+	}
+	for _, w := range non {
+		if strings.Count(w, "e") != 2 {
+			continue
+		}
+		f, s := counts(w)
+		if s <= f {
+			t.Errorf("non-returning word %q has second copy ≤ first", w)
+		}
+	}
+}
+
+// Blocked communication (mutual queries) kills the derivation rather than
+// hanging.
+func TestCircularQueriesBlock(t *testing.T) {
+	g1 := Grammar{
+		Nonterminals: map[Symbol]bool{"S1": true},
+		Rules:        []Rule{{Left: "S1", Right: []Symbol{QuerySymbol(2)}}},
+		Axiom:        "S1",
+	}
+	g2 := Grammar{
+		Nonterminals: map[Symbol]bool{"S2": true},
+		Rules:        []Rule{{Left: "S2", Right: []Symbol{QuerySymbol(1)}}},
+		Axiom:        "S2",
+	}
+	sys := &System{Components: []Grammar{g1, g2}, Mode: Returning, MaxForm: 16}
+	if words := sys.Generate(10, 10); len(words) != 0 {
+		t.Errorf("circular system generated %v", words)
+	}
+}
+
+// A single-component PCGS degenerates to its grammar.
+func TestSingleComponent(t *testing.T) {
+	g := Grammar{
+		Nonterminals: map[Symbol]bool{"S": true},
+		Rules: []Rule{
+			{Left: "S", Right: []Symbol{"a", "S", "b"}},
+			{Left: "S", Right: []Symbol{"a", "b"}},
+		},
+		Axiom: "S",
+	}
+	sys := &System{Components: []Grammar{g}, Mode: Returning, MaxForm: 20}
+	words := sys.Generate(10, 8)
+	want := map[string]bool{"ab": true, "aabb": true, "aaabbb": true, "aaaabbbb": true}
+	if len(words) != len(want) {
+		t.Fatalf("words = %v", words)
+	}
+	for _, w := range words {
+		if !want[w] {
+			t.Fatalf("unexpected word %q", w)
+		}
+	}
+}

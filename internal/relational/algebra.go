@@ -1,0 +1,287 @@
+package relational
+
+import (
+	"fmt"
+)
+
+// Query is a partial mapping from database instances to relation instances
+// (§5.1.1). Evaluation may fail on schema mismatches, which is the partial
+// part.
+type Query interface {
+	// Eval computes q(I).
+	Eval(db *Database) (*Relation, error)
+	// Sort returns the output schema.
+	Sort() Schema
+}
+
+// From is the query returning a stored relation instance.
+type From struct {
+	Name   string
+	Schema Schema
+}
+
+// Eval implements Query.
+func (q From) Eval(db *Database) (*Relation, error) {
+	r, ok := db.Relation(q.Name)
+	if !ok {
+		return nil, fmt.Errorf("relational: unknown relation %q", q.Name)
+	}
+	if !r.Schema.SameSort(q.Schema) {
+		return nil, fmt.Errorf("relational: relation %q has sort %v, query expects %v",
+			q.Name, r.Schema.Attrs, q.Schema.Attrs)
+	}
+	return r.Clone(), nil
+}
+
+// Sort implements Query.
+func (q From) Sort() Schema { return q.Schema }
+
+// Select filters tuples by a predicate on attribute values.
+type Select struct {
+	Input Query
+	// Pred receives the tuple's value for each attribute of the input sort.
+	Pred func(get func(Attribute) Value) bool
+	// Label names the selection in the output schema.
+	Label string
+}
+
+// Eval implements Query.
+func (q Select) Eval(db *Database) (*Relation, error) {
+	in, err := q.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(q.Sort())
+	for _, t := range in.Tuples() {
+		tt := t
+		get := func(a Attribute) Value {
+			if i, ok := in.Schema.Index(a); ok {
+				return tt[i]
+			}
+			return ""
+		}
+		if q.Pred(get) {
+			if err := out.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sort implements Query.
+func (q Select) Sort() Schema {
+	s := q.Input.Sort()
+	return Schema{Name: "σ(" + s.Name + ")", Attrs: s.Attrs}
+}
+
+// Eq builds the common equality selection σ_{attr = value}.
+func Eq(input Query, attr Attribute, value Value) Select {
+	return Select{
+		Input: input,
+		Pred:  func(get func(Attribute) Value) bool { return get(attr) == value },
+		Label: fmt.Sprintf("%s=%s", attr, value),
+	}
+}
+
+// Project keeps only the listed attributes.
+type Project struct {
+	Input Query
+	Attrs []Attribute
+}
+
+// Eval implements Query.
+func (q Project) Eval(db *Database) (*Relation, error) {
+	in, err := q.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(q.Attrs))
+	for i, a := range q.Attrs {
+		j, ok := in.Schema.Index(a)
+		if !ok {
+			return nil, fmt.Errorf("relational: projection attribute %q not in sort %v", a, in.Schema.Attrs)
+		}
+		idx[i] = j
+	}
+	out := NewRelation(q.Sort())
+	for _, t := range in.Tuples() {
+		nt := make(Tuple, len(idx))
+		for i, j := range idx {
+			nt[i] = t[j]
+		}
+		if err := out.Insert(nt); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Sort implements Query.
+func (q Project) Sort() Schema {
+	return Schema{Name: "π(" + q.Input.Sort().Name + ")", Attrs: q.Attrs}
+}
+
+// Join is the natural join on shared attribute names.
+type Join struct {
+	Left, Right Query
+}
+
+// Eval implements Query.
+func (q Join) Eval(db *Database) (*Relation, error) {
+	l, err := q.Left.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := q.Right.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	// Shared attributes join; right-only attributes are appended.
+	var shared [][2]int // (left idx, right idx)
+	var rightOnly []int
+	for j, a := range r.Schema.Attrs {
+		if i, ok := l.Schema.Index(a); ok {
+			shared = append(shared, [2]int{i, j})
+		} else {
+			rightOnly = append(rightOnly, j)
+		}
+	}
+	out := NewRelation(q.Sort())
+	// Hash join on the shared attributes.
+	index := make(map[string][]Tuple)
+	keyOf := func(t Tuple, side int) string {
+		k := ""
+		for _, p := range shared {
+			k += "\x00" + t[p[side]]
+		}
+		return k
+	}
+	for _, rt := range r.Tuples() {
+		index[keyOf(rt, 1)] = append(index[keyOf(rt, 1)], rt)
+	}
+	for _, lt := range l.Tuples() {
+		for _, rt := range index[keyOf(lt, 0)] {
+			nt := make(Tuple, 0, len(lt)+len(rightOnly))
+			nt = append(nt, lt...)
+			for _, j := range rightOnly {
+				nt = append(nt, rt[j])
+			}
+			if err := out.Insert(nt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sort implements Query.
+func (q Join) Sort() Schema {
+	l, r := q.Left.Sort(), q.Right.Sort()
+	attrs := append([]Attribute{}, l.Attrs...)
+	for _, a := range r.Attrs {
+		if _, ok := l.Index(a); !ok {
+			attrs = append(attrs, a)
+		}
+	}
+	return Schema{Name: l.Name + "⋈" + r.Name, Attrs: attrs}
+}
+
+// Union is set union of two same-sort queries.
+type Union struct{ Left, Right Query }
+
+// Eval implements Query.
+func (q Union) Eval(db *Database) (*Relation, error) {
+	l, err := q.Left.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := q.Right.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	if !l.Schema.SameSort(r.Schema) {
+		return nil, fmt.Errorf("relational: union of different sorts %v, %v", l.Schema.Attrs, r.Schema.Attrs)
+	}
+	out := NewRelation(q.Sort())
+	for _, t := range l.Tuples() {
+		_ = out.Insert(t)
+	}
+	for _, t := range r.Tuples() {
+		_ = out.Insert(t)
+	}
+	return out, nil
+}
+
+// Sort implements Query.
+func (q Union) Sort() Schema {
+	s := q.Left.Sort()
+	return Schema{Name: s.Name + "∪", Attrs: s.Attrs}
+}
+
+// Diff is set difference of two same-sort queries.
+type Diff struct{ Left, Right Query }
+
+// Eval implements Query.
+func (q Diff) Eval(db *Database) (*Relation, error) {
+	l, err := q.Left.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := q.Right.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	if !l.Schema.SameSort(r.Schema) {
+		return nil, fmt.Errorf("relational: difference of different sorts %v, %v", l.Schema.Attrs, r.Schema.Attrs)
+	}
+	out := NewRelation(q.Sort())
+	for _, t := range l.Tuples() {
+		if !r.Contains(t) {
+			_ = out.Insert(t)
+		}
+	}
+	return out, nil
+}
+
+// Sort implements Query.
+func (q Diff) Sort() Schema {
+	s := q.Left.Sort()
+	return Schema{Name: s.Name + "−", Attrs: s.Attrs}
+}
+
+// Rename renames one attribute.
+type Rename struct {
+	Input   Query
+	OldAttr Attribute
+	NewAttr Attribute
+}
+
+// Eval implements Query.
+func (q Rename) Eval(db *Database) (*Relation, error) {
+	in, err := q.Input.Eval(db)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(q.Sort())
+	for _, t := range in.Tuples() {
+		if err := out.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Sort implements Query.
+func (q Rename) Sort() Schema {
+	s := q.Input.Sort()
+	attrs := make([]Attribute, len(s.Attrs))
+	for i, a := range s.Attrs {
+		if a == q.OldAttr {
+			attrs[i] = q.NewAttr
+		} else {
+			attrs[i] = a
+		}
+	}
+	return Schema{Name: "ρ(" + s.Name + ")", Attrs: attrs}
+}

@@ -1,0 +1,62 @@
+package relational
+
+// This file reproduces the worked example of §5.1.1: the National Gallery
+// of Canada travelling-exhibitions database of Figure 1 and the query of
+// Figure 2 ("which artist is exhibited in which city in November").
+
+// NGC schema names and attributes, as in the paper.
+var (
+	ExhibitionsSchema = Schema{
+		Name:  "Exhibitions",
+		Attrs: []Attribute{"Title", "Description", "Artist"},
+	}
+	SchedulesSchema = Schema{
+		Name:  "Schedules",
+		Attrs: []Attribute{"City", "Title", "Date"},
+	}
+)
+
+// NGCDatabase builds the exact database instance of Figure 1.
+func NGCDatabase() *Database {
+	ex := NewRelation(ExhibitionsSchema)
+	ex.MustInsert("Terre Sauvage", "Canadian Landscape Paintings", "Thompson")
+	ex.MustInsert("Terre Sauvage", "Canadian Landscape Paintings", "Harris")
+	ex.MustInsert("Terre Sauvage", "Canadian Landscape Paintings", "MacDonald")
+	ex.MustInsert("Painter of the Soil", "Works on Paper", "Schaefer")
+	ex.MustInsert("Sorrowful Images", "Early Nederlandish Devotional Diptychs", "Aelbrecht")
+	ex.MustInsert("Sorrowful Images", "Early Nederlandish Devotional Diptychs", "Dieric")
+
+	sch := NewRelation(SchedulesSchema)
+	sch.MustInsert("Mexico City", "Terre Sauvage", "October 1999")
+	sch.MustInsert("St. Catharines", "Painter of the Soil", "November 1999")
+	sch.MustInsert("Hamilton", "Sorrowful Images", "November 1999")
+
+	db := NewDatabase()
+	db.Add(ex)
+	db.Add(sch)
+	return db
+}
+
+// NovemberQuery is the Figure 2 query: join Exhibitions and Schedules on
+// Title, keep the November 1999 schedules, and project (Artist, City).
+func NovemberQuery() Query {
+	return Project{
+		Input: Eq(
+			Join{
+				Left:  From{Name: "Exhibitions", Schema: ExhibitionsSchema},
+				Right: From{Name: "Schedules", Schema: SchedulesSchema},
+			},
+			"Date", "November 1999",
+		),
+		Attrs: []Attribute{"Artist", "City"},
+	}
+}
+
+// Figure2Result is the expected answer S of Figure 2.
+func Figure2Result() *Relation {
+	s := NewRelation(Schema{Name: "S", Attrs: []Attribute{"Artist", "City"}})
+	s.MustInsert("Schaefer", "St. Catharines")
+	s.MustInsert("Aelbrecht", "Hamilton")
+	s.MustInsert("Dieric", "Hamilton")
+	return s
+}

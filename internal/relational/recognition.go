@@ -1,0 +1,142 @@
+package relational
+
+import (
+	"strings"
+
+	"rtc/internal/encoding"
+	"rtc/internal/language"
+	"rtc/internal/word"
+)
+
+// This file implements the recognition problem (5) of §5.1.1, which defines
+// the data complexity of a query q:
+//
+//	{ enc(I) $ enc(u) | u ∈ q(I) }.
+//
+// The instance/tuple separator must lie outside the codomain of enc; since
+// our record encoding already uses '$' internally, the top-level separator
+// is the distinct symbol '§' (the paper only requires *some* special
+// symbol).
+
+// RecognitionSep separates enc(I) from enc(u).
+const RecognitionSep = word.Symbol("§")
+
+// EncodeInstance encodes a database instance deterministically: for each
+// relation (sorted by name) a header record $R@name@attrs$ followed by one
+// record $t@v1@…@vk$ per tuple in canonical order.
+func EncodeInstance(db *Database) []word.Symbol {
+	var out []word.Symbol
+	for _, name := range db.Names() {
+		r, _ := db.Relation(name)
+		attrs := make([]string, len(r.Schema.Attrs))
+		for i, a := range r.Schema.Attrs {
+			attrs[i] = string(a)
+		}
+		out = append(out, encoding.Record("R", name, strings.Join(attrs, "\x1f"))...)
+		for _, t := range r.Tuples() {
+			fields := append([]string{"t"}, t...)
+			out = append(out, encoding.Record(fields...)...)
+		}
+	}
+	return out
+}
+
+// DecodeInstance inverts EncodeInstance.
+func DecodeInstance(syms []word.Symbol) (*Database, bool) {
+	recs, ok := encoding.Records(syms)
+	if !ok {
+		return nil, false
+	}
+	db := NewDatabase()
+	var cur *Relation
+	for _, rec := range recs {
+		if len(rec) == 0 {
+			return nil, false
+		}
+		switch rec[0] {
+		case "R":
+			if len(rec) != 3 {
+				return nil, false
+			}
+			var attrs []Attribute
+			if rec[2] != "" {
+				for _, a := range strings.Split(rec[2], "\x1f") {
+					attrs = append(attrs, Attribute(a))
+				}
+			}
+			cur = NewRelation(Schema{Name: rec[1], Attrs: attrs})
+			db.Add(cur)
+		case "t":
+			if cur == nil {
+				return nil, false
+			}
+			if err := cur.Insert(Tuple(rec[1:])); err != nil {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+	return db, true
+}
+
+// EncodeTuple encodes a candidate tuple u.
+func EncodeTuple(u Tuple) []word.Symbol {
+	fields := append([]string{"u"}, u...)
+	return encoding.Record(fields...)
+}
+
+// DecodeTuple inverts EncodeTuple.
+func DecodeTuple(syms []word.Symbol) (Tuple, bool) {
+	rec, ok := encoding.ParseRecord(syms)
+	if !ok || len(rec) == 0 || rec[0] != "u" {
+		return nil, false
+	}
+	return Tuple(rec[1:]), true
+}
+
+// RecognitionWord builds the classical word enc(I)§enc(u) as a timed word
+// with the all-zero time sequence (the classical embedding of §3.2).
+func RecognitionWord(db *Database, u Tuple) word.Finite {
+	var syms []word.Symbol
+	syms = append(syms, EncodeInstance(db)...)
+	syms = append(syms, RecognitionSep)
+	syms = append(syms, EncodeTuple(u)...)
+	out := make(word.Finite, len(syms))
+	for i, s := range syms {
+		out[i] = word.TimedSym{Sym: s, At: 0}
+	}
+	return out
+}
+
+// RecognitionLanguage is the language (5) for a fixed query q: the word
+// enc(I)§enc(u) is a member iff u ∈ q(I). Data complexity of q is the
+// complexity of deciding this language for growing I.
+func RecognitionLanguage(q Query) *language.Language {
+	return language.FromPredicate("recognition", func(w word.Finite) bool {
+		syms := w.Syms()
+		sep := -1
+		for i, s := range syms {
+			if s == RecognitionSep {
+				sep = i
+				break
+			}
+		}
+		if sep < 0 {
+			return false
+		}
+		db, ok := DecodeInstance(syms[:sep])
+		if !ok {
+			return false
+		}
+		u, ok := DecodeTuple(syms[sep+1:])
+		if !ok {
+			return false
+		}
+		res, err := q.Eval(db)
+		if err != nil {
+			return false
+		}
+		return res.Contains(u)
+	})
+}

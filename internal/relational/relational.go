@@ -1,0 +1,220 @@
+// Package relational implements the relational database substrate of
+// §5.1.1, following the notation of Abiteboul–Hull–Vianu as the paper does:
+// attributes (att), an underlying domain (dom), relation schemas with their
+// sorts, relation and database instances, a relational algebra for queries,
+// and the recognition problem (5) that defines query data complexity:
+//
+//	{ enc(I) $ enc(u) | u ∈ q(I) }.
+//
+// The worked example of Figures 1–2 (the NGC travelling-exhibitions
+// database and the query "which artist is exhibited in which city in
+// November") lives in ngc.go.
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an element of the underlying domain dom. The paper takes dom as
+// the set of finite strings of characters.
+type Value = string
+
+// Attribute is an element of att.
+type Attribute string
+
+// Schema is a relation schema: a relation name together with its ordered
+// set of attributes (its sort).
+type Schema struct {
+	Name  string
+	Attrs []Attribute
+}
+
+// Arity returns |sort(R)|.
+func (s Schema) Arity() int { return len(s.Attrs) }
+
+// Index returns the position of an attribute in the sort.
+func (s Schema) Index(a Attribute) (int, bool) {
+	for i, x := range s.Attrs {
+		if x == a {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// SameSort reports whether two schemas have identical sorts (attribute
+// names and order), as required for union and difference.
+func (s Schema) SameSort(o Schema) bool {
+	if len(s.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuple is a tuple over a relation schema, positional on the sort.
+type Tuple []Value
+
+// Equal compares tuples component-wise.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// key builds a canonical map key for set semantics.
+func (t Tuple) key() string {
+	return strings.Join(t, "\x00")
+}
+
+// Relation is a relation instance: a finite set of tuples over a schema.
+type Relation struct {
+	Schema Schema
+	tuples map[string]Tuple
+}
+
+// NewRelation creates an empty instance over the schema.
+func NewRelation(s Schema) *Relation {
+	return &Relation{Schema: s, tuples: make(map[string]Tuple)}
+}
+
+// Insert adds a tuple (set semantics: duplicates collapse). It returns an
+// error on arity mismatch.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.Schema.Arity() {
+		return fmt.Errorf("relational: tuple arity %d does not match sort %v", len(t), r.Schema.Attrs)
+	}
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.tuples[cp.key()] = cp
+	return nil
+}
+
+// MustInsert is Insert for statically known tuples.
+func (r *Relation) MustInsert(vals ...Value) {
+	if err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Delete removes a tuple; missing tuples are a no-op.
+func (r *Relation) Delete(t Tuple) {
+	delete(r.tuples, t.key())
+}
+
+// Contains reports tuple membership.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.tuples[t.key()]
+	return ok
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuples in canonical (sorted) order, so iteration and
+// encodings are deterministic.
+func (r *Relation) Tuples() []Tuple {
+	keys := make([]string, 0, len(r.tuples))
+	for k := range r.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.tuples[k]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Schema)
+	for k, t := range r.tuples {
+		out.tuples[k] = t
+	}
+	return out
+}
+
+// Equal reports set equality of two instances with the same sort.
+func (r *Relation) Equal(o *Relation) bool {
+	if !r.Schema.SameSort(o.Schema) || r.Len() != o.Len() {
+		return false
+	}
+	for k := range r.tuples {
+		if _, ok := o.tuples[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the instance as a small table.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(", r.Schema.Name)
+	for i, a := range r.Schema.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(string(a))
+	}
+	b.WriteString(")\n")
+	for _, t := range r.Tuples() {
+		b.WriteString("  " + strings.Join(t, " | ") + "\n")
+	}
+	return b.String()
+}
+
+// Database is a database instance I over a database schema R: a relation
+// instance per relation name.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase creates an empty instance.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// Add registers a relation instance (replacing any previous instance of the
+// same name).
+func (db *Database) Add(r *Relation) {
+	db.rels[r.Schema.Name] = r
+}
+
+// Relation looks up an instance by relation name.
+func (db *Database) Relation(name string) (*Relation, bool) {
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// Names returns the relation names in sorted order.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the instance.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, r := range db.rels {
+		out.Add(r.Clone())
+	}
+	return out
+}

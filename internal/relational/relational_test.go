@@ -1,0 +1,227 @@
+package relational
+
+import (
+	"testing"
+
+	"rtc/internal/language"
+)
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := NewRelation(Schema{Name: "R", Attrs: []Attribute{"A", "B"}})
+	r.MustInsert("1", "2")
+	r.MustInsert("1", "2") // duplicate collapses
+	r.MustInsert("3", "4")
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if !r.Contains(Tuple{"1", "2"}) || r.Contains(Tuple{"2", "1"}) {
+		t.Error("Contains broken")
+	}
+	r.Delete(Tuple{"1", "2"})
+	if r.Len() != 1 || r.Contains(Tuple{"1", "2"}) {
+		t.Error("Delete broken")
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	r := NewRelation(Schema{Name: "R", Attrs: []Attribute{"A"}})
+	if err := r.Insert(Tuple{"1", "2"}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestTuplesDeterministicOrder(t *testing.T) {
+	r := NewRelation(Schema{Name: "R", Attrs: []Attribute{"A"}})
+	r.MustInsert("b")
+	r.MustInsert("a")
+	r.MustInsert("c")
+	ts := r.Tuples()
+	if ts[0][0] != "a" || ts[1][0] != "b" || ts[2][0] != "c" {
+		t.Errorf("order = %v", ts)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	r := NewRelation(Schema{Name: "R", Attrs: []Attribute{"A"}})
+	r.MustInsert("x")
+	c := r.Clone()
+	c.MustInsert("y")
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone not isolated")
+	}
+	db := NewDatabase()
+	db.Add(r)
+	dc := db.Clone()
+	cr, _ := dc.Relation("R")
+	cr.MustInsert("z")
+	if r.Len() != 1 {
+		t.Error("Database clone not isolated")
+	}
+}
+
+// The headline check: Figure 1's database under Figure 2's query yields
+// exactly Figure 2's three tuples.
+func TestNGCFigure2(t *testing.T) {
+	db := NGCDatabase()
+	got, err := NovemberQuery().Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Figure2Result()
+	if !got.Equal(want) {
+		t.Fatalf("query result:\n%v\nwant:\n%v", got, want)
+	}
+}
+
+func TestNGCShape(t *testing.T) {
+	db := NGCDatabase()
+	ex, ok := db.Relation("Exhibitions")
+	if !ok || ex.Len() != 6 {
+		t.Fatalf("Exhibitions has %d tuples, want 6", ex.Len())
+	}
+	if ex.Schema.Arity() != 3 {
+		t.Errorf("arity(Exhibitions) = %d, want 3 (as in the paper)", ex.Schema.Arity())
+	}
+	sch, ok := db.Relation("Schedules")
+	if !ok || sch.Len() != 3 {
+		t.Fatalf("Schedules has %d tuples, want 3", sch.Len())
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	db := NGCDatabase()
+	nov := Eq(From{Name: "Schedules", Schema: SchedulesSchema}, "Date", "November 1999")
+	r, err := nov.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("November schedules = %d, want 2", r.Len())
+	}
+	cities, err := Project{Input: nov, Attrs: []Attribute{"City"}}.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cities.Len() != 2 || !cities.Contains(Tuple{"Hamilton"}) || !cities.Contains(Tuple{"St. Catharines"}) {
+		t.Errorf("cities = %v", cities)
+	}
+}
+
+func TestProjectUnknownAttribute(t *testing.T) {
+	db := NGCDatabase()
+	_, err := Project{Input: From{Name: "Schedules", Schema: SchedulesSchema}, Attrs: []Attribute{"Nope"}}.Eval(db)
+	if err == nil {
+		t.Error("projection on unknown attribute succeeded")
+	}
+}
+
+func TestJoinSharesAttributes(t *testing.T) {
+	db := NGCDatabase()
+	j := Join{
+		Left:  From{Name: "Exhibitions", Schema: ExhibitionsSchema},
+		Right: From{Name: "Schedules", Schema: SchedulesSchema},
+	}
+	r, err := j.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every exhibition title appears in exactly one schedule, so the join
+	// has as many tuples as Exhibitions.
+	if r.Len() != 6 {
+		t.Fatalf("join size = %d, want 6", r.Len())
+	}
+	want := []Attribute{"Title", "Description", "Artist", "City", "Date"}
+	if len(r.Schema.Attrs) != len(want) {
+		t.Fatalf("join sort = %v", r.Schema.Attrs)
+	}
+	for i := range want {
+		if r.Schema.Attrs[i] != want[i] {
+			t.Fatalf("join sort = %v, want %v", r.Schema.Attrs, want)
+		}
+	}
+}
+
+func TestUnionDiff(t *testing.T) {
+	s := Schema{Name: "R", Attrs: []Attribute{"A"}}
+	a := NewRelation(s)
+	a.MustInsert("1")
+	a.MustInsert("2")
+	b := NewRelation(s)
+	b.MustInsert("2")
+	b.MustInsert("3")
+	db := NewDatabase()
+	ra := a.Clone()
+	ra.Schema.Name = "A"
+	rb := b.Clone()
+	rb.Schema.Name = "B"
+	db.Add(ra)
+	db.Add(rb)
+	qa := From{Name: "A", Schema: Schema{Name: "A", Attrs: s.Attrs}}
+	qb := From{Name: "B", Schema: Schema{Name: "B", Attrs: s.Attrs}}
+	u, err := Union{Left: qa, Right: qb}.Eval(db)
+	if err != nil || u.Len() != 3 {
+		t.Fatalf("union = %v (%v)", u, err)
+	}
+	d, err := Diff{Left: qa, Right: qb}.Eval(db)
+	if err != nil || d.Len() != 1 || !d.Contains(Tuple{"1"}) {
+		t.Fatalf("diff = %v (%v)", d, err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	db := NGCDatabase()
+	q := Rename{Input: From{Name: "Schedules", Schema: SchedulesSchema}, OldAttr: "City", NewAttr: "Town"}
+	r, err := q.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Schema.Index("Town"); !ok {
+		t.Errorf("renamed sort = %v", r.Schema.Attrs)
+	}
+	if _, ok := r.Schema.Index("City"); ok {
+		t.Errorf("old attribute survived: %v", r.Schema.Attrs)
+	}
+}
+
+func TestEncodeDecodeInstance(t *testing.T) {
+	db := NGCDatabase()
+	syms := EncodeInstance(db)
+	back, ok := DecodeInstance(syms)
+	if !ok {
+		t.Fatal("DecodeInstance failed")
+	}
+	for _, name := range db.Names() {
+		orig, _ := db.Relation(name)
+		got, ok := back.Relation(name)
+		if !ok || !got.Equal(orig) {
+			t.Fatalf("relation %q not preserved", name)
+		}
+	}
+	// Determinism.
+	again := EncodeInstance(db)
+	if len(again) != len(syms) {
+		t.Fatal("encoding not deterministic")
+	}
+	for i := range syms {
+		if syms[i] != again[i] {
+			t.Fatal("encoding not deterministic")
+		}
+	}
+}
+
+func TestRecognitionLanguage(t *testing.T) {
+	db := NGCDatabase()
+	lang := RecognitionLanguage(NovemberQuery())
+	member := RecognitionWord(db, Tuple{"Schaefer", "St. Catharines"})
+	if got := lang.Contains(member, 1<<20); got != language.Yes {
+		t.Fatalf("member verdict = %v", got)
+	}
+	non := RecognitionWord(db, Tuple{"Thompson", "Mexico City"})
+	if got := lang.Contains(non, 1<<20); got != language.No {
+		t.Fatalf("non-member verdict = %v", got)
+	}
+	garbage := RecognitionWord(NewDatabase(), Tuple{"x"})
+	if got := lang.Contains(garbage, 1<<20); got != language.No {
+		t.Fatalf("empty instance verdict = %v", got)
+	}
+}

@@ -1,0 +1,316 @@
+package rtdb
+
+import (
+	"rtc/internal/core"
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// Mode selects the acceptance discipline of the recognition acceptor.
+type Mode int
+
+const (
+	// Aperiodic: language (9) — a single query instance; the first
+	// successful comparison commits the control to s_f (f forever), the
+	// first failure to s_r.
+	Aperiodic Mode = iota
+	// Periodic: language (10) — f is written once per successfully served
+	// invocation ("each occurrence of f signals a successfully served
+	// query"), and any failure prevents all further f's.
+	Periodic
+)
+
+// DeriveRegistry resolves derived-object names to their computation — the
+// part of enc(D) that a symbol encoding cannot carry (the paper's enc is
+// assumed to encode objects; we register the function by name).
+type DeriveRegistry map[string]func(src map[string]Value) Value
+
+// RTAcceptor is the recognition acceptor for the languages of Definition
+// 5.1: it consumes db_B·aq (or db_B·pq) words, reconstructs the database
+// state from the input tape, evaluates each issued query after EvalCost
+// chronons, and compares the answer set against the candidate tuple under
+// the §4.1 deadline discipline.
+type RTAcceptor struct {
+	core.Control
+	Catalog  Catalog
+	Registry DeriveRegistry
+	Mode     Mode
+	// EvalCost is the number of chronons P_w needs per query evaluation.
+	EvalCost uint64
+
+	invariants map[string]Value
+	derived    map[string]*DerivedObject
+	samples    map[string][]Sample
+
+	pending []*invocation
+	served  uint64
+	failed  uint64
+}
+
+type invocation struct {
+	query     string
+	candidate Value
+	hasCand   bool
+	issue     timeseq.Time
+	minUseful uint64
+	hasMin    bool
+	remaining uint64
+	pastDead  bool
+	curUseful uint64
+	done      bool
+	success   bool
+}
+
+// NewRTAcceptor builds an acceptor.
+func NewRTAcceptor(cat Catalog, reg DeriveRegistry, mode Mode, evalCost uint64) *RTAcceptor {
+	if evalCost == 0 {
+		evalCost = 1
+	}
+	return &RTAcceptor{
+		Catalog:    cat,
+		Registry:   reg,
+		Mode:       mode,
+		EvalCost:   evalCost,
+		invariants: map[string]Value{},
+		derived:    map[string]*DerivedObject{},
+		samples:    map[string][]Sample{},
+	}
+}
+
+// Served returns the number of successfully served invocations.
+func (a *RTAcceptor) Served() uint64 { return a.served }
+
+// Failed returns the number of failed invocations.
+func (a *RTAcceptor) Failed() uint64 { return a.failed }
+
+// Tick implements core.Program.
+func (a *RTAcceptor) Tick(t *core.Tick) {
+	a.consume(t)
+	// P_w: advance every in-flight evaluation by one chronon.
+	for _, inv := range a.pending {
+		if inv.done {
+			continue
+		}
+		if inv.remaining > 0 {
+			inv.remaining--
+		}
+		if inv.remaining == 0 {
+			a.finish(inv, t.Now)
+		}
+	}
+	if a.Mode == Periodic && a.failed > 0 {
+		a.RejectForever()
+	}
+	a.Drive(t)
+}
+
+// consume parses this tick's arrivals: records (V/D/I/s/q), deadline
+// markers, and usefulness values.
+func (a *RTAcceptor) consume(t *core.Tick) {
+	var rec []word.Symbol
+	inRecord := false
+	var lastDMarker *invocation
+	var headerMin uint64
+	var headerHasMin bool
+	var headerCand Value
+	var headerHasCand bool
+
+	for _, e := range t.New {
+		if inRecord {
+			rec = append(rec, e.Sym)
+			if e.Sym == encoding.Dollar {
+				fields, ok := encoding.ParseRecord(rec)
+				inRecord = false
+				rec = nil
+				if ok {
+					a.handleRecord(fields, t.Now, &headerMin, &headerHasMin, &headerCand, &headerHasCand)
+				}
+				lastDMarker = nil
+			}
+			continue
+		}
+		switch {
+		case e.Sym == encoding.Dollar:
+			inRecord = true
+			rec = append(rec[:0], e.Sym)
+		default:
+			if kind, issue, ok := markerIssue(e.Sym); ok {
+				if inv := a.invocationAt(issue); inv != nil {
+					if kind == 'd' {
+						inv.pastDead = true
+						lastDMarker = inv
+					}
+				}
+				if kind == 'w' {
+					lastDMarker = nil
+				}
+				continue
+			}
+			if v, ok := encoding.AsNum(e.Sym); ok {
+				if lastDMarker != nil {
+					// The usefulness value paired with the last d marker.
+					lastDMarker.curUseful = v
+					lastDMarker = nil
+				} else {
+					// A header minimum-usefulness announcement.
+					headerMin = v
+					headerHasMin = true
+				}
+			}
+		}
+	}
+}
+
+// handleRecord integrates one parsed record into the acceptor state.
+func (a *RTAcceptor) handleRecord(fields []string, now timeseq.Time,
+	headerMin *uint64, headerHasMin *bool, headerCand *Value, headerHasCand *bool) {
+	switch fields[0] {
+	case "V":
+		if len(fields) == 3 {
+			a.invariants[fields[1]] = fields[2]
+		}
+	case "D":
+		if len(fields) >= 2 {
+			name := fields[1]
+			fn, ok := a.Registry[name]
+			if !ok {
+				return
+			}
+			a.derived[name] = &DerivedObject{
+				Name:    name,
+				Sources: append([]string{}, fields[2:]...),
+				Derive:  fn,
+			}
+		}
+	case "I":
+		if len(fields) == 3 {
+			a.samples[fields[1]] = append(a.samples[fields[1]], Sample{At: now, Value: fields[2]})
+		}
+	case "s":
+		if len(fields) == 2 {
+			*headerCand = fields[1]
+			*headerHasCand = true
+		}
+	case "q":
+		if len(fields) == 2 {
+			inv := &invocation{
+				query:     fields[1],
+				candidate: *headerCand,
+				hasCand:   *headerHasCand,
+				issue:     now,
+				minUseful: *headerMin,
+				hasMin:    *headerHasMin,
+				remaining: a.EvalCost,
+			}
+			a.pending = append(a.pending, inv)
+			*headerHasMin = false
+			*headerMin = 0
+			*headerHasCand = false
+			*headerCand = ""
+		}
+	}
+}
+
+// invocationAt finds the (unique) invocation issued at the given time.
+func (a *RTAcceptor) invocationAt(issue timeseq.Time) *invocation {
+	for _, inv := range a.pending {
+		if inv.issue == issue {
+			return inv
+		}
+	}
+	return nil
+}
+
+// view assembles the acceptor's reconstruction of the database state.
+func (a *RTAcceptor) view(now timeseq.Time) *View {
+	return &View{Now: now, Invariants: a.invariants, Samples: a.samples, Derived: a.derived}
+}
+
+// finish is P_m's comparison at the moment the evaluation of one invocation
+// completes, mirroring §4.1.
+func (a *RTAcceptor) finish(inv *invocation, now timeseq.Time) {
+	inv.done = true
+	match := false
+	// The query answers over the database state as of its issue time, so
+	// the verdict agrees with s ∈ q(B) regardless of evaluation latency;
+	// the latency only matters to the deadline discipline.
+	if q, ok := a.Catalog[inv.query]; ok && inv.hasCand {
+		for _, ans := range q(a.view(inv.issue)) {
+			if ans == inv.candidate {
+				match = true
+				break
+			}
+		}
+	}
+	ok := match
+	if inv.pastDead {
+		ok = match && inv.hasMin && inv.minUseful > 0 && inv.curUseful >= inv.minUseful
+	}
+	inv.success = ok
+	if ok {
+		a.served++
+	} else {
+		a.failed++
+	}
+	if a.Mode == Aperiodic {
+		if ok {
+			a.AcceptForever()
+		} else {
+			a.RejectForever()
+		}
+	}
+}
+
+// PeriodicProgress is a periodic-mode program wrapper that emits one f per
+// successfully served invocation, as discussed under Definition 3.4. It
+// wraps RTAcceptor because the f-per-success duty needs the output port.
+type PeriodicProgress struct {
+	*RTAcceptor
+	emitted uint64
+}
+
+// Tick implements core.Program.
+func (p *PeriodicProgress) Tick(t *core.Tick) {
+	p.RTAcceptor.Tick(t)
+	if p.RTAcceptor.Mode != Periodic {
+		return
+	}
+	if acc, done := p.RTAcceptor.Absorbed(); done && !acc {
+		return // failed: no further f's
+	}
+	if p.emitted < p.RTAcceptor.served {
+		// One f per tick at most (Definition 3.3): catch up gradually.
+		if err := t.Emit(core.F); err == nil {
+			p.emitted++
+		}
+	}
+}
+
+// RecognitionWordAperiodic assembles db_B · aq_[q,s,t] (language (9)).
+func RecognitionWordAperiodic(sp Spec, qs QuerySpec) word.Word {
+	return word.Concat(sp.DBWord(), qs.AqWord())
+}
+
+// RecognitionWordPeriodic assembles db_B · pq_[q,s,t,tp] (language (10)).
+func RecognitionWordPeriodic(sp Spec, ps PeriodicSpec) word.Word {
+	return word.Concat(sp.DBWord(), ps.PqWord())
+}
+
+// RunAperiodic runs the full pipeline for language (9) and returns the
+// machine verdict.
+func RunAperiodic(sp Spec, qs QuerySpec, cat Catalog, reg DeriveRegistry, evalCost, horizon uint64) core.Result {
+	acc := NewRTAcceptor(cat, reg, Aperiodic, evalCost)
+	m := core.NewMachine(acc, RecognitionWordAperiodic(sp, qs))
+	return core.RunForVerdict(m, horizon)
+}
+
+// RunPeriodic runs the pipeline for language (10); the result's FCount is
+// the number of served invocations observed within the horizon.
+func RunPeriodic(sp Spec, ps PeriodicSpec, cat Catalog, reg DeriveRegistry, evalCost, horizon uint64) (core.Result, *RTAcceptor) {
+	acc := NewRTAcceptor(cat, reg, Periodic, evalCost)
+	prog := &PeriodicProgress{RTAcceptor: acc}
+	m := core.NewMachine(prog, RecognitionWordPeriodic(sp, ps))
+	res := core.RunForVerdict(m, horizon)
+	return res, acc
+}

@@ -1,0 +1,90 @@
+package rtdb
+
+import (
+	"rtc/internal/timeseq"
+)
+
+// Age returns a(x) = now − t_x, the age of a timestamped object (§5.1.2).
+func Age(now, stamp timeseq.Time) timeseq.Time {
+	if stamp > now {
+		return 0
+	}
+	return now - stamp
+}
+
+// Dispersion returns d(x, y) = |t_x − t_y|.
+func Dispersion(a, b timeseq.Time) timeseq.Time {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// AbsolutelyConsistent reports whether a set of timestamps is absolutely
+// consistent: a(x_i) ≤ Ta for every element.
+func AbsolutelyConsistent(now timeseq.Time, stamps []timeseq.Time, ta timeseq.Time) bool {
+	for _, s := range stamps {
+		if Age(now, s) > ta {
+			return false
+		}
+	}
+	return true
+}
+
+// RelativelyConsistent reports whether a set of timestamps is relatively
+// consistent: d(x_i, x_j) ≤ Tr for every pair. Pairwise dispersion over a
+// set is bounded by max−min, so a linear scan suffices.
+func RelativelyConsistent(stamps []timeseq.Time, tr timeseq.Time) bool {
+	if len(stamps) == 0 {
+		return true
+	}
+	lo, hi := stamps[0], stamps[0]
+	for _, s := range stamps[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return hi-lo <= tr
+}
+
+// imageStamps collects the latest sample times of all image objects.
+func (db *DB) imageStamps() []timeseq.Time {
+	var out []timeseq.Time
+	for _, o := range db.images {
+		if s, ok := o.Latest(); ok {
+			out = append(out, s.At)
+		}
+	}
+	return out
+}
+
+// AbsoluteConsistency reports whether the database has absolute consistency
+// (§5.1.2): the most recent image set is absolutely consistent and the ages
+// of the data objects used to derive the derived objects stay below the
+// threshold.
+func (db *DB) AbsoluteConsistency(ta timeseq.Time) bool {
+	now := db.Now()
+	if !AbsolutelyConsistent(now, db.imageStamps(), ta) {
+		return false
+	}
+	for _, d := range db.derived {
+		if d.valid && Age(now, d.stamp) > ta {
+			return false
+		}
+	}
+	return true
+}
+
+// RelativeConsistency is the pairwise analogue.
+func (db *DB) RelativeConsistency(tr timeseq.Time) bool {
+	stamps := db.imageStamps()
+	for _, d := range db.derived {
+		if d.valid {
+			stamps = append(stamps, d.stamp)
+		}
+	}
+	return RelativelyConsistent(stamps, tr)
+}

@@ -1,0 +1,324 @@
+package rtdb
+
+import (
+	"fmt"
+	"sort"
+
+	"rtc/internal/timeseq"
+	"rtc/internal/vtime"
+)
+
+// Value is the value of a data object (a string, as in the relational
+// substrate).
+type Value = string
+
+// Sample is one archival snapshot of an image object: the value read from
+// the external environment and its sampling (valid) time. §5.1.2 assumes
+// valid and transaction time coincide (immediate firing on image updates).
+type Sample struct {
+	At    timeseq.Time
+	Value Value
+}
+
+// ImageObject is an object "containing information obtained directly from
+// the external environment", sampled every Period chronons. Archival
+// variants are kept so that different snapshots at different points in time
+// are available (the I_1, …, I_{n-1} of the instance definition).
+type ImageObject struct {
+	Name   string
+	Period timeseq.Time
+	// Read produces the external value at a sampling instant — the
+	// simulated physical world.
+	Read func(t timeseq.Time) Value
+
+	history []Sample
+}
+
+// Latest returns the most recent sample, if any.
+func (o *ImageObject) Latest() (Sample, bool) {
+	if len(o.history) == 0 {
+		return Sample{}, false
+	}
+	return o.history[len(o.history)-1], true
+}
+
+// At returns the sample that was current at time t (the archival lookup).
+func (o *ImageObject) At(t timeseq.Time) (Sample, bool) {
+	i := sort.Search(len(o.history), func(i int) bool { return o.history[i].At > t })
+	if i == 0 {
+		return Sample{}, false
+	}
+	return o.history[i-1], true
+}
+
+// History returns all archival samples, oldest first.
+func (o *ImageObject) History() []Sample { return o.history }
+
+// DerivedObject is "computed from a set of image objects and possibly other
+// objects"; its timestamp is the oldest valid time of the objects used to
+// derive it.
+type DerivedObject struct {
+	Name    string
+	Sources []string
+	// Derive computes the value from the named sources' current values.
+	Derive func(src map[string]Value) Value
+
+	value Value
+	// stamp is the oldest valid time among the sources at derivation.
+	stamp timeseq.Time
+	valid bool
+}
+
+// Current returns the derived value and its timestamp.
+func (o *DerivedObject) Current() (Value, timeseq.Time, bool) {
+	return o.value, o.stamp, o.valid
+}
+
+// FiringMode selects when a triggered rule runs (§5.1.2, active databases).
+type FiringMode int
+
+const (
+	// Immediate: the rule fires as soon as its event and condition hold.
+	Immediate FiringMode = iota
+	// Deferred: rule invocation is delayed until the end of the current
+	// chronon (the quiescent state in the absence of further rules).
+	Deferred
+	// Concurrent: the action is spawned as a separate scheduler event,
+	// running after the triggering transaction but within the same chronon
+	// ordering discipline.
+	Concurrent
+)
+
+// String implements fmt.Stringer.
+func (m FiringMode) String() string {
+	switch m {
+	case Immediate:
+		return "immediate"
+	case Deferred:
+		return "deferred"
+	default:
+		return "concurrent"
+	}
+}
+
+// Event is an occurrence a rule can react to: an external phenomenon or an
+// internal change. Attributes are passed to the rule ("events may have
+// attributes that are passed to the system").
+type Event struct {
+	Kind string
+	At   timeseq.Time
+	Attr map[string]Value
+}
+
+// Rule is "on event if condition then action" with a firing mode.
+type Rule struct {
+	Name string
+	On   string // event kind
+	Mode FiringMode
+	If   func(db *DB, e Event) bool
+	Then func(db *DB, e Event)
+}
+
+// Scheduler priorities within one chronon: samples happen first, then
+// rule cascades, then deferred rules at the quiescent point.
+const (
+	prioSample     = 0
+	prioConcurrent = 5
+	prioDeferred   = 9
+)
+
+// DB is a live real-time database instance
+// B = (I_1, …, I_n, D, V) driven by a virtual-time scheduler.
+type DB struct {
+	sched      *vtime.Scheduler
+	images     map[string]*ImageObject
+	derived    map[string]*DerivedObject
+	invariants map[string]Value
+	rules      []Rule
+
+	deferred        []func()
+	deferredArmed   bool
+	fired           []string // firing log: "time:rule" for tests/diagnostics
+	cascadeDepthCap int
+	raiseDepth      int
+}
+
+// New creates an empty database bound to a scheduler.
+func New(s *vtime.Scheduler) *DB {
+	return &DB{
+		sched:           s,
+		images:          make(map[string]*ImageObject),
+		derived:         make(map[string]*DerivedObject),
+		invariants:      make(map[string]Value),
+		cascadeDepthCap: 64,
+	}
+}
+
+// Scheduler exposes the underlying clock.
+func (db *DB) Scheduler() *vtime.Scheduler { return db.sched }
+
+// Now returns the current virtual time.
+func (db *DB) Now() timeseq.Time { return db.sched.Now() }
+
+// AddInvariant registers an invariant object ("a value that is constant
+// with time"). Its timestamp is always the current time, per §5.1.2.
+func (db *DB) AddInvariant(name string, v Value) {
+	db.invariants[name] = v
+}
+
+// Invariant looks up an invariant object.
+func (db *DB) Invariant(name string) (Value, bool) {
+	v, ok := db.invariants[name]
+	return v, ok
+}
+
+// AddImage registers an image object and schedules its periodic sampling
+// starting at time 0 (or now, if the clock already advanced). Each sampling
+// generates an event "sample:<name>" that the rule engine handles.
+func (db *DB) AddImage(o *ImageObject) {
+	db.images[o.Name] = o
+	start := db.sched.Now()
+	db.sched.Every(start, o.Period, prioSample, func() {
+		t := db.sched.Now()
+		v := o.Read(t)
+		o.history = append(o.history, Sample{At: t, Value: v})
+		db.Raise(Event{Kind: "sample:" + o.Name, At: t, Attr: map[string]Value{"value": v}})
+	})
+}
+
+// Image looks up an image object.
+func (db *DB) Image(name string) (*ImageObject, bool) {
+	o, ok := db.images[name]
+	return o, ok
+}
+
+// AddDerived registers a derived object. Recomputation is wired by the
+// caller through rules (typically: on sample of any source, rederive) or by
+// calling Rederive explicitly; §5.1.2 notes one may, e.g., impose immediate
+// firing for image updates but deferred firing for derived objects.
+func (db *DB) AddDerived(o *DerivedObject) {
+	db.derived[o.Name] = o
+}
+
+// Derived looks up a derived object.
+func (db *DB) Derived(name string) (*DerivedObject, bool) {
+	o, ok := db.derived[name]
+	return o, ok
+}
+
+// Rederive recomputes a derived object from the current source values; the
+// timestamp becomes the oldest source valid time.
+func (db *DB) Rederive(name string) error {
+	o, ok := db.derived[name]
+	if !ok {
+		return fmt.Errorf("rtdb: unknown derived object %q", name)
+	}
+	src := make(map[string]Value, len(o.Sources))
+	oldest := timeseq.Infinity
+	for _, s := range o.Sources {
+		if img, ok := db.images[s]; ok {
+			smp, has := img.Latest()
+			if !has {
+				return fmt.Errorf("rtdb: source %q has no sample yet", s)
+			}
+			src[s] = smp.Value
+			if smp.At < oldest {
+				oldest = smp.At
+			}
+			continue
+		}
+		if v, ok := db.invariants[s]; ok {
+			src[s] = v
+			// Invariant timestamps are "always the current time".
+			if db.Now() < oldest {
+				oldest = db.Now()
+			}
+			continue
+		}
+		if d, ok := db.derived[s]; ok && d.valid {
+			src[s] = d.value
+			if d.stamp < oldest {
+				oldest = d.stamp
+			}
+			continue
+		}
+		return fmt.Errorf("rtdb: unknown source %q for derived %q", s, name)
+	}
+	o.value = o.Derive(src)
+	o.stamp = oldest
+	o.valid = true
+	return nil
+}
+
+// AddRule registers a rule.
+func (db *DB) AddRule(r Rule) {
+	db.rules = append(db.rules, r)
+}
+
+// Raise delivers an event to the rule engine under the firing-mode
+// semantics. Immediate rules run inline (and may cascade, bounded by the
+// cascade cap); concurrent rules are scheduled as separate events in the
+// same chronon; deferred rules run at the chronon's quiescent point.
+func (db *DB) Raise(e Event) {
+	db.raise(e, db.raiseDepth)
+}
+
+func (db *DB) raise(e Event, depth int) {
+	if depth > db.cascadeDepthCap {
+		panic(fmt.Sprintf("rtdb: rule cascade deeper than %d (non-terminating rule set?)", db.cascadeDepthCap))
+	}
+	for i := range db.rules {
+		r := db.rules[i]
+		if r.On != e.Kind {
+			continue
+		}
+		switch r.Mode {
+		case Immediate:
+			if r.If == nil || r.If(db, e) {
+				db.fired = append(db.fired, fmt.Sprintf("%d:%s", db.Now(), r.Name))
+				db.runAction(r, e, depth)
+			}
+		case Concurrent:
+			db.sched.At(db.Now(), prioConcurrent, func() {
+				if r.If == nil || r.If(db, e) {
+					db.fired = append(db.fired, fmt.Sprintf("%d:%s", db.Now(), r.Name))
+					db.runAction(r, e, depth)
+				}
+			})
+		case Deferred:
+			db.deferred = append(db.deferred, func() {
+				// Deferred rules evaluate their condition against the
+				// final (quiescent) state.
+				if r.If == nil || r.If(db, e) {
+					db.fired = append(db.fired, fmt.Sprintf("%d:%s", db.Now(), r.Name))
+					db.runAction(r, e, depth)
+				}
+			})
+			if !db.deferredArmed {
+				db.deferredArmed = true
+				db.sched.At(db.Now(), prioDeferred, db.flushDeferred)
+			}
+		}
+	}
+}
+
+func (db *DB) runAction(r Rule, e Event, depth int) {
+	// Actions may raise further events; thread the cascade depth through a
+	// temporary override of Raise.
+	prev := db.raiseDepth
+	db.raiseDepth = depth + 1
+	r.Then(db, e)
+	db.raiseDepth = prev
+}
+
+func (db *DB) flushDeferred() {
+	db.deferredArmed = false
+	pending := db.deferred
+	db.deferred = nil
+	for _, f := range pending {
+		f()
+	}
+}
+
+// FiringLog returns the recorded rule firings ("time:rule").
+func (db *DB) FiringLog() []string { return db.fired }

@@ -1,0 +1,154 @@
+// Package rtdb implements the real-time database system of §5.1.2–5.1.3:
+// image / derived / invariant objects (after Vrbsky's data model), ages,
+// dispersion and absolute/relative consistency, lifespans as a boolean
+// algebra of time intervals, active rules with immediate / deferred /
+// concurrent firing, periodic sampling of the external world on the virtual
+// clock, and the recognition problem for real-time queries as well-behaved
+// timed ω-languages (Definition 5.1, languages (9) and (10), Lemma 5.1).
+package rtdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rtc/internal/timeseq"
+)
+
+// Interval is a closed interval [Lo, Hi] of chronons; a degenerate interval
+// with Lo == Hi represents a single instant, as §5.1.2 prescribes. Hi may be
+// timeseq.Infinity for an unbounded interval.
+type Interval struct {
+	Lo, Hi timeseq.Time
+}
+
+// Contains reports whether t lies in the interval.
+func (iv Interval) Contains(t timeseq.Time) bool { return iv.Lo <= t && t <= iv.Hi }
+
+// Empty reports an inverted interval.
+func (iv Interval) Empty() bool { return iv.Hi < iv.Lo }
+
+// Lifespan is a finite union of intervals in canonical form: sorted,
+// pairwise disjoint, and with adjacent intervals merged. §5.1.2: "The
+// lifespan of a data object is defined as a finite union of intervals.
+// These intervals are closed under union, intersection and complementation,
+// and form therefore a boolean algebra."
+type Lifespan []Interval
+
+// NewLifespan normalizes an arbitrary interval collection.
+func NewLifespan(ivals ...Interval) Lifespan {
+	var keep []Interval
+	for _, iv := range ivals {
+		if !iv.Empty() {
+			keep = append(keep, iv)
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i].Lo < keep[j].Lo })
+	var out Lifespan
+	for _, iv := range keep {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			// Merge overlapping or adjacent (Hi+1 == Lo) intervals; watch
+			// for Infinity overflow.
+			if iv.Lo <= last.Hi || (last.Hi != timeseq.Infinity && iv.Lo == last.Hi+1) {
+				if iv.Hi > last.Hi {
+					last.Hi = iv.Hi
+				}
+				continue
+			}
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// Instant is the degenerate lifespan {t}.
+func Instant(t timeseq.Time) Lifespan { return Lifespan{{Lo: t, Hi: t}} }
+
+// Always is the lifespan [0, ∞).
+func Always() Lifespan { return Lifespan{{Lo: 0, Hi: timeseq.Infinity}} }
+
+// Contains reports whether t lies in the lifespan, by binary search.
+func (l Lifespan) Contains(t timeseq.Time) bool {
+	i := sort.Search(len(l), func(i int) bool { return l[i].Hi >= t })
+	return i < len(l) && l[i].Contains(t)
+}
+
+// Union returns l ∪ o.
+func (l Lifespan) Union(o Lifespan) Lifespan {
+	return NewLifespan(append(append([]Interval{}, l...), o...)...)
+}
+
+// Intersect returns l ∩ o.
+func (l Lifespan) Intersect(o Lifespan) Lifespan {
+	var out []Interval
+	for _, a := range l {
+		for _, b := range o {
+			lo, hi := a.Lo, a.Hi
+			if b.Lo > lo {
+				lo = b.Lo
+			}
+			if b.Hi < hi {
+				hi = b.Hi
+			}
+			if lo <= hi {
+				out = append(out, Interval{lo, hi})
+			}
+		}
+	}
+	return NewLifespan(out...)
+}
+
+// Complement returns the complement of l with respect to [0, ∞).
+func (l Lifespan) Complement() Lifespan {
+	var out []Interval
+	cur := timeseq.Time(0)
+	open := true // [cur, …) is currently outside l
+	for _, iv := range l {
+		if iv.Lo > 0 && open {
+			if iv.Lo-1 >= cur {
+				out = append(out, Interval{cur, iv.Lo - 1})
+			}
+		}
+		if iv.Hi == timeseq.Infinity {
+			open = false
+			break
+		}
+		cur = iv.Hi + 1
+	}
+	if open {
+		out = append(out, Interval{cur, timeseq.Infinity})
+	}
+	return NewLifespan(out...)
+}
+
+// Equal compares canonical lifespans.
+func (l Lifespan) Equal(o Lifespan) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for i := range l {
+		if l[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the lifespan.
+func (l Lifespan) String() string {
+	if len(l) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(l))
+	for i, iv := range l {
+		if iv.Hi == timeseq.Infinity {
+			parts[i] = fmt.Sprintf("[%d,∞)", iv.Lo)
+		} else if iv.Lo == iv.Hi {
+			parts[i] = fmt.Sprintf("{%d}", iv.Lo)
+		} else {
+			parts[i] = fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+		}
+	}
+	return strings.Join(parts, "∪")
+}

@@ -1,0 +1,111 @@
+package rtdb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtc/internal/timeseq"
+)
+
+func TestLifespanNormalization(t *testing.T) {
+	l := NewLifespan(Interval{5, 7}, Interval{1, 2}, Interval{3, 4}, Interval{9, 8})
+	// [1,2] and [3,4] are adjacent → merge; [9,8] is empty → drop.
+	want := Lifespan{{1, 4}, {5, 7}}
+	// …and [1,4] is adjacent to [5,7] → everything merges to [1,7].
+	want = Lifespan{{1, 7}}
+	if !l.Equal(want) {
+		t.Fatalf("normalized = %v, want %v", l, want)
+	}
+}
+
+func TestLifespanContains(t *testing.T) {
+	l := NewLifespan(Interval{2, 4}, Interval{8, 8}, Interval{20, timeseq.Infinity})
+	for _, c := range []struct {
+		t    timeseq.Time
+		want bool
+	}{
+		{0, false}, {2, true}, {4, true}, {5, false}, {8, true}, {9, false},
+		{19, false}, {20, true}, {1 << 40, true},
+	} {
+		if got := l.Contains(c.t); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestLifespanUnionIntersect(t *testing.T) {
+	a := NewLifespan(Interval{0, 5}, Interval{10, 15})
+	b := NewLifespan(Interval{4, 11})
+	u := a.Union(b)
+	if !u.Equal(Lifespan{{0, 15}}) {
+		t.Errorf("union = %v", u)
+	}
+	i := a.Intersect(b)
+	if !i.Equal(Lifespan{{4, 5}, {10, 11}}) {
+		t.Errorf("intersect = %v", i)
+	}
+}
+
+func TestLifespanComplement(t *testing.T) {
+	a := NewLifespan(Interval{2, 5})
+	c := a.Complement()
+	if !c.Equal(Lifespan{{0, 1}, {6, timeseq.Infinity}}) {
+		t.Errorf("complement = %v", c)
+	}
+	if !Always().Complement().Equal(Lifespan(nil)) {
+		t.Errorf("complement of Always = %v", Always().Complement())
+	}
+	if !NewLifespan().Complement().Equal(Always()) {
+		t.Errorf("complement of ∅ = %v", NewLifespan().Complement())
+	}
+	// Involution.
+	if !a.Complement().Complement().Equal(a) {
+		t.Errorf("double complement = %v", a.Complement().Complement())
+	}
+}
+
+// The boolean-algebra claim of §5.1.2, checked pointwise on random
+// lifespans: membership respects ∪, ∩ and ¬, and De Morgan holds.
+func TestLifespanBooleanAlgebra(t *testing.T) {
+	mk := func(xs []uint8) Lifespan {
+		var ivals []Interval
+		for i := 0; i+1 < len(xs); i += 2 {
+			lo, hi := timeseq.Time(xs[i]%64), timeseq.Time(xs[i+1]%64)
+			if lo <= hi {
+				ivals = append(ivals, Interval{lo, hi})
+			}
+		}
+		return NewLifespan(ivals...)
+	}
+	f := func(xs, ys []uint8, probe uint8) bool {
+		a, b := mk(xs), mk(ys)
+		p := timeseq.Time(probe % 80)
+		if a.Union(b).Contains(p) != (a.Contains(p) || b.Contains(p)) {
+			return false
+		}
+		if a.Intersect(b).Contains(p) != (a.Contains(p) && b.Contains(p)) {
+			return false
+		}
+		if a.Complement().Contains(p) != !a.Contains(p) {
+			return false
+		}
+		// De Morgan: ¬(a ∪ b) = ¬a ∩ ¬b.
+		return a.Union(b).Complement().Equal(a.Complement().Intersect(b.Complement()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstantAndString(t *testing.T) {
+	i := Instant(7)
+	if !i.Contains(7) || i.Contains(6) || i.Contains(8) {
+		t.Error("Instant broken")
+	}
+	if s := i.String(); s != "{7}" {
+		t.Errorf("String = %q", s)
+	}
+	if s := NewLifespan().String(); s != "∅" {
+		t.Errorf("empty String = %q", s)
+	}
+}

@@ -1,0 +1,102 @@
+package rtdb
+
+import (
+	"rtc/internal/core"
+	"rtc/internal/deadline"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// §5.1.2 lists three query patterns: periodic, sporadic, and aperiodic.
+// PeriodicSpec and QuerySpec cover the first and last; SporadicSpec models
+// the middle one — recurring invocations with a bounded but irregular
+// inter-arrival time (at least MinGap, at most MaxGap chronons apart),
+// drawn deterministically from a seed so runs are reproducible.
+
+// SporadicSpec describes a sporadic query.
+type SporadicSpec struct {
+	Query string
+	First timeseq.Time
+	// MinGap/MaxGap bound the inter-arrival time; MinGap ≥ 1.
+	MinGap, MaxGap timeseq.Time
+	Seed           uint64
+	// Candidates yields the tuple tested at the i-th invocation (0-based),
+	// given its issue time.
+	Candidates func(i uint64, issue timeseq.Time) Value
+	Kind       deadline.Kind
+	Deadline   timeseq.Time
+	MinUseful  uint64
+	U          deadline.Usefulness
+}
+
+// splitmix64 is a small deterministic generator for the gap sequence.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// IssueTime returns the issue time of the i-th invocation.
+func (ss SporadicSpec) IssueTime(i uint64) timeseq.Time {
+	minGap := ss.MinGap
+	if minGap == 0 {
+		minGap = 1
+	}
+	span := uint64(1)
+	if ss.MaxGap > minGap {
+		span = uint64(ss.MaxGap-minGap) + 1
+	}
+	at := ss.First
+	for k := uint64(0); k < i; k++ {
+		gap := minGap + timeseq.Time(splitmix64(ss.Seed^(k+1))%span)
+		at += gap
+	}
+	return at
+}
+
+// Invocation returns the aperiodic spec of the i-th invocation.
+func (ss SporadicSpec) Invocation(i uint64) QuerySpec {
+	issue := ss.IssueTime(i)
+	return QuerySpec{
+		Query:     ss.Query,
+		Issue:     issue,
+		Candidate: ss.Candidates(i, issue),
+		Kind:      ss.Kind,
+		Deadline:  ss.Deadline,
+		MinUseful: ss.MinUseful,
+		U:         ss.U,
+	}
+}
+
+// Word builds the sporadic-query ω-word as the infinite concatenation of
+// the invocation words — well behaved by the Lemma 5.1 argument, since the
+// issue times are strictly increasing (MinGap ≥ 1) and unbounded.
+func (ss SporadicSpec) Word() word.Word {
+	return word.MergeMany(func(k uint64) word.Word {
+		return ss.Invocation(k).AqWord()
+	})
+}
+
+// MemberN is the ground truth over the first n invocations, mirroring
+// Spec.MemberPq.
+func (sp Spec) MemberN(cat Catalog, ss SporadicSpec, n uint64) bool {
+	for i := uint64(0); i < n; i++ {
+		if !sp.MemberAq(cat, ss.Invocation(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunSporadic runs the recognition pipeline for a sporadic query; the
+// acceptor is the same periodic-mode machine (one f per served invocation,
+// failure kills all further f's).
+func RunSporadic(sp Spec, ss SporadicSpec, cat Catalog, reg DeriveRegistry, evalCost, horizon uint64) (core.Result, *RTAcceptor) {
+	acc := NewRTAcceptor(cat, reg, Periodic, evalCost)
+	prog := &PeriodicProgress{RTAcceptor: acc}
+	w := word.Concat(sp.DBWord(), ss.Word())
+	m := core.NewMachine(prog, w)
+	res := core.RunForVerdict(m, horizon)
+	return res, acc
+}

@@ -1,0 +1,116 @@
+package rtdb
+
+import (
+	"testing"
+
+	"rtc/internal/core"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+func testSporadic() SporadicSpec {
+	sp := testSpec()
+	return SporadicSpec{
+		Query:  "temp_q",
+		First:  3,
+		MinGap: 4,
+		MaxGap: 11,
+		Seed:   17,
+		Candidates: func(i uint64, issue timeseq.Time) Value {
+			v := sp.ViewAt(issue)
+			s, _ := v.Latest("temp")
+			return s.Value
+		},
+	}
+}
+
+func TestSporadicIssueTimes(t *testing.T) {
+	ss := testSporadic()
+	prev := timeseq.Time(0)
+	for i := uint64(0); i < 20; i++ {
+		at := ss.IssueTime(i)
+		if i == 0 {
+			if at != ss.First {
+				t.Fatalf("first issue at %d", at)
+			}
+		} else {
+			gap := at - prev
+			if gap < ss.MinGap || gap > ss.MaxGap {
+				t.Fatalf("gap %d out of [%d,%d] at invocation %d", gap, ss.MinGap, ss.MaxGap, i)
+			}
+		}
+		prev = at
+	}
+	// Deterministic.
+	if ss.IssueTime(7) != ss.IssueTime(7) {
+		t.Error("issue times not deterministic")
+	}
+	// Irregular: not all gaps equal (otherwise it degenerates to periodic).
+	gaps := map[timeseq.Time]bool{}
+	for i := uint64(1); i < 12; i++ {
+		gaps[ss.IssueTime(i)-ss.IssueTime(i-1)] = true
+	}
+	if len(gaps) < 2 {
+		t.Error("sporadic gaps look periodic")
+	}
+}
+
+func TestSporadicWordWellBehaved(t *testing.T) {
+	ss := testSporadic()
+	w := ss.Word()
+	if !word.MonotoneWithin(w, 1500) {
+		t.Error("sporadic word not monotone")
+	}
+	if !word.WellBehavedWithin(w, 1500) {
+		t.Error("sporadic word should look well behaved")
+	}
+	if idx, ok := Lemma51Bound(w, 150, 1_000_000); !ok {
+		t.Error("no finite index passes 150")
+	} else if w.At(idx).At < 150 {
+		t.Error("bound witness wrong")
+	}
+}
+
+func TestRunSporadicAllServed(t *testing.T) {
+	sp := testSpec()
+	cat := testCatalog()
+	reg := testRegistry()
+	ss := testSporadic()
+	if !sp.MemberN(cat, ss, 8) {
+		t.Fatal("ground truth rejects; candidate function wrong")
+	}
+	res, acc := RunSporadic(sp, ss, cat, reg, 1, 200)
+	if res.Verdict != core.AcceptAtHorizon {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if acc.Served() < 8 || acc.Failed() != 0 {
+		t.Fatalf("served=%d failed=%d", acc.Served(), acc.Failed())
+	}
+}
+
+func TestRunSporadicFailure(t *testing.T) {
+	sp := testSpec()
+	cat := testCatalog()
+	reg := testRegistry()
+	ss := testSporadic()
+	good := ss.Candidates
+	ss.Candidates = func(i uint64, issue timeseq.Time) Value {
+		if i == 3 {
+			return "bogus"
+		}
+		return good(i, issue)
+	}
+	if sp.MemberN(cat, ss, 8) {
+		t.Fatal("ground truth should reject")
+	}
+	res, acc := RunSporadic(sp, ss, cat, reg, 1, 300)
+	if res.Verdict != core.RejectProven {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if acc.Failed() == 0 {
+		t.Fatal("failure not recorded")
+	}
+	if res.FCount > 3 {
+		t.Fatalf("FCount = %d after failing invocation 3", res.FCount)
+	}
+}

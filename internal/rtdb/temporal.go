@@ -1,0 +1,223 @@
+package rtdb
+
+import (
+	"sort"
+
+	"rtc/internal/relational"
+	"rtc/internal/timeseq"
+)
+
+// This file implements the temporal-database aspects §5.1.2 summarizes:
+// "the database appears as a sequence of states or snapshots indexed by
+// some time domain" — represented efficiently, as the section recommends,
+// by a single relation with tuple-level timestamps ("timestamps may be
+// placed at attribute or tuple level … typically unions of intervals over
+// the temporal domain"). Time is linear and discrete, the model of choice
+// for real-time databases.
+
+// HistoricalTuple is a tuple with its valid-time lifespan.
+type HistoricalTuple struct {
+	Tuple relational.Tuple
+	Valid Lifespan
+}
+
+// HistoricalRelation is a relation whose tuples carry lifespans. The
+// sequence-of-snapshots view I_t is recovered by SnapshotAt.
+type HistoricalRelation struct {
+	Schema relational.Schema
+	rows   []HistoricalTuple
+}
+
+// NewHistoricalRelation creates an empty historical relation.
+func NewHistoricalRelation(s relational.Schema) *HistoricalRelation {
+	return &HistoricalRelation{Schema: s}
+}
+
+// Insert records a tuple valid over the given lifespan. Re-inserting an
+// existing tuple unions the lifespans (set semantics per instant).
+func (h *HistoricalRelation) Insert(t relational.Tuple, valid Lifespan) error {
+	if len(t) != h.Schema.Arity() {
+		return errArity(h.Schema, t)
+	}
+	for i := range h.rows {
+		if h.rows[i].Tuple.Equal(t) {
+			h.rows[i].Valid = h.rows[i].Valid.Union(valid)
+			return nil
+		}
+	}
+	cp := make(relational.Tuple, len(t))
+	copy(cp, t)
+	h.rows = append(h.rows, HistoricalTuple{Tuple: cp, Valid: valid})
+	return nil
+}
+
+func errArity(s relational.Schema, t relational.Tuple) error {
+	r := relational.NewRelation(s)
+	return r.Insert(t) // reuse the relational arity error
+}
+
+// Terminate ends a tuple's validity at time t (exclusive): its lifespan is
+// intersected with [0, t−1]. A tuple never valid is removed.
+func (h *HistoricalRelation) Terminate(t relational.Tuple, at timeseq.Time) {
+	var upTo Lifespan
+	if at > 0 {
+		upTo = NewLifespan(Interval{0, at - 1})
+	}
+	out := h.rows[:0]
+	for _, row := range h.rows {
+		if row.Tuple.Equal(t) {
+			row.Valid = row.Valid.Intersect(upTo)
+			if len(row.Valid) == 0 {
+				continue
+			}
+		}
+		out = append(out, row)
+	}
+	h.rows = out
+}
+
+// HoldsAt is the predicate R(u, t) of §5.1.2: tuple u is in the relation at
+// time t.
+func (h *HistoricalRelation) HoldsAt(u relational.Tuple, t timeseq.Time) bool {
+	for _, row := range h.rows {
+		if row.Tuple.Equal(u) {
+			return row.Valid.Contains(t)
+		}
+	}
+	return false
+}
+
+// SnapshotAt materializes the instance I_t.
+func (h *HistoricalRelation) SnapshotAt(t timeseq.Time) *relational.Relation {
+	r := relational.NewRelation(h.Schema)
+	for _, row := range h.rows {
+		if row.Valid.Contains(t) {
+			_ = r.Insert(row.Tuple)
+		}
+	}
+	return r
+}
+
+// Rows returns the stored historical tuples.
+func (h *HistoricalRelation) Rows() []HistoricalTuple { return h.rows }
+
+// ChangePoints returns every instant at which the snapshot differs from the
+// preceding instant — the boundaries of the sequence-of-states view. The
+// result is sorted and bounded by the stored lifespans.
+func (h *HistoricalRelation) ChangePoints() []timeseq.Time {
+	set := map[timeseq.Time]bool{}
+	for _, row := range h.rows {
+		for _, iv := range row.Valid {
+			set[iv.Lo] = true
+			if iv.Hi != timeseq.Infinity {
+				set[iv.Hi+1] = true
+			}
+		}
+	}
+	out := make([]timeseq.Time, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HistoricalDatabase is a database of historical relations plus a
+// snapshot-indexed evaluation of ordinary relational queries — the temporal
+// extension of the §5.1.1 query model.
+type HistoricalDatabase struct {
+	rels map[string]*HistoricalRelation
+}
+
+// NewHistoricalDatabase creates an empty instance.
+func NewHistoricalDatabase() *HistoricalDatabase {
+	return &HistoricalDatabase{rels: map[string]*HistoricalRelation{}}
+}
+
+// Add registers a historical relation.
+func (db *HistoricalDatabase) Add(h *HistoricalRelation) {
+	db.rels[h.Schema.Name] = h
+}
+
+// Relation looks up a historical relation.
+func (db *HistoricalDatabase) Relation(name string) (*HistoricalRelation, bool) {
+	h, ok := db.rels[name]
+	return h, ok
+}
+
+// SnapshotAt materializes the whole database instance I_t.
+func (db *HistoricalDatabase) SnapshotAt(t timeseq.Time) *relational.Database {
+	out := relational.NewDatabase()
+	for _, h := range db.rels {
+		out.Add(h.SnapshotAt(t))
+	}
+	return out
+}
+
+// QueryAt evaluates an ordinary relational query against the snapshot at
+// time t — "one could simply add a second argument to R and write R(u, t)".
+func (db *HistoricalDatabase) QueryAt(q relational.Query, t timeseq.Time) (*relational.Relation, error) {
+	return q.Eval(db.SnapshotAt(t))
+}
+
+// QueryDuring evaluates q at every change point within [lo, hi] and returns
+// the union of the answers together with the lifespan during which each
+// answer tuple was in the result — a simple valid-time query semantics.
+func (db *HistoricalDatabase) QueryDuring(q relational.Query, lo, hi timeseq.Time) (*HistoricalRelation, error) {
+	// Collect candidate evaluation points: lo plus every change point of
+	// every stored relation inside (lo, hi].
+	points := []timeseq.Time{lo}
+	for _, h := range db.rels {
+		for _, cp := range h.ChangePoints() {
+			if cp > lo && cp <= hi {
+				points = append(points, cp)
+			}
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
+	out := NewHistoricalRelation(q.Sort())
+	for i, p := range points {
+		if i > 0 && points[i-1] == p {
+			continue
+		}
+		end := hi
+		for _, np := range points[i+1:] {
+			if np != p {
+				end = np - 1
+				break
+			}
+		}
+		res, err := q.Eval(db.SnapshotAt(p))
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range res.Tuples() {
+			if err := out.Insert(u, NewLifespan(Interval{p, end})); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// FromLiveImage converts an image object's archival history into a
+// historical relation (Name, Value) with lifespans spanning from each
+// sample to the next — the "archival sets of image objects" view of §5.1.2.
+func FromLiveImage(o *ImageObject, now timeseq.Time) *HistoricalRelation {
+	h := NewHistoricalRelation(relational.Schema{
+		Name:  o.Name,
+		Attrs: []relational.Attribute{"Object", "Value"},
+	})
+	hist := o.History()
+	for i, s := range hist {
+		end := now
+		if i+1 < len(hist) {
+			end = hist[i+1].At - 1
+		}
+		if end < s.At {
+			continue
+		}
+		_ = h.Insert(relational.Tuple{o.Name, s.Value}, NewLifespan(Interval{s.At, end}))
+	}
+	return h
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStdMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if got := StdDev(xs); math.Abs(got-2.138089935) > 1e-6 {
+		t.Errorf("StdDev = %g", got)
+	}
+	if !almost(Median(xs), 4.5) {
+		t.Errorf("Median = %g", Median(xs))
+	}
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Errorf("odd Median = %g", Median([]float64{3, 1, 2}))
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 || Median(nil) != 0 {
+		t.Error("degenerate cases not zero")
+	}
+}
+
+func TestMinMaxAndSummary(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %g, %g", lo, hi)
+	}
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !almost(s.Mean, 2) || !almost(s.Median, 2) || s.Lo != 1 || s.Hi != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Error("Summary.String broken")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("proto", "delivery", "overhead")
+	tbl.Row("flooding", 0.98, 412)
+	tbl.Row("dv", 0.761, 96)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "proto") || !strings.Contains(lines[2], "0.980") {
+		t.Fatalf("table:\n%s", out)
+	}
+	// Columns align: every row at least as wide as the header's first col.
+	if !strings.Contains(lines[3], "dv ") {
+		t.Fatalf("padding broken:\n%s", out)
+	}
+}

@@ -1,0 +1,317 @@
+// Package timed implements timed Büchi automata as summarized in §2.1 of the
+// paper (after Alur & Dill): finite automata equipped with a set C of clocks,
+// transition guards drawn from the constraint language Φ(C), and clock
+// resets. Time is discrete (Definition 3.1), so clock valuations are natural
+// numbers and acceptance over ultimately periodic timed words is decided
+// exactly by clamping valuations above the largest constant.
+package timed
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rtc/internal/timeseq"
+)
+
+// Valuation assigns a value to each clock, indexed by clock id.
+type Valuation []timeseq.Time
+
+// Constraint is an element of Φ(X) (§2.1): x ≤ c, c ≤ x, ¬d, or d1 ∧ d2.
+type Constraint interface {
+	// Eval reports whether the constraint holds under v.
+	Eval(v Valuation) bool
+	// MaxConst returns the largest constant mentioned, for clamping.
+	MaxConst() timeseq.Time
+	// String renders the constraint in the parser's syntax.
+	String() string
+}
+
+// le is the atom x ≤ c.
+type le struct {
+	clock int
+	name  string
+	c     timeseq.Time
+}
+
+func (a le) Eval(v Valuation) bool  { return v[a.clock] <= a.c }
+func (a le) MaxConst() timeseq.Time { return a.c }
+func (a le) String() string         { return fmt.Sprintf("%s<=%d", a.name, a.c) }
+
+// ge is the atom c ≤ x.
+type ge struct {
+	clock int
+	name  string
+	c     timeseq.Time
+}
+
+func (a ge) Eval(v Valuation) bool  { return v[a.clock] >= a.c }
+func (a ge) MaxConst() timeseq.Time { return a.c }
+func (a ge) String() string         { return fmt.Sprintf("%s>=%d", a.name, a.c) }
+
+// not is ¬d.
+type not struct{ d Constraint }
+
+func (a not) Eval(v Valuation) bool  { return !a.d.Eval(v) }
+func (a not) MaxConst() timeseq.Time { return a.d.MaxConst() }
+func (a not) String() string         { return "!(" + a.d.String() + ")" }
+
+// and is d1 ∧ d2.
+type and struct{ d1, d2 Constraint }
+
+func (a and) Eval(v Valuation) bool { return a.d1.Eval(v) && a.d2.Eval(v) }
+func (a and) MaxConst() timeseq.Time {
+	m := a.d1.MaxConst()
+	if n := a.d2.MaxConst(); n > m {
+		m = n
+	}
+	return m
+}
+func (a and) String() string { return "(" + a.d1.String() + " && " + a.d2.String() + ")" }
+
+// tt is the trivially true constraint (the empty conjunction).
+type tt struct{}
+
+func (tt) Eval(Valuation) bool    { return true }
+func (tt) MaxConst() timeseq.Time { return 0 }
+func (tt) String() string         { return "true" }
+
+// True is the guard that always holds.
+func True() Constraint { return tt{} }
+
+// ClockSet names the clocks of an automaton; constraints are built against
+// it so clock ids resolve consistently.
+type ClockSet struct {
+	names []string
+	index map[string]int
+}
+
+// NewClockSet declares clocks with the given names.
+func NewClockSet(names ...string) *ClockSet {
+	cs := &ClockSet{names: names, index: make(map[string]int, len(names))}
+	for i, n := range names {
+		cs.index[n] = i
+	}
+	return cs
+}
+
+// Len returns the number of clocks.
+func (cs *ClockSet) Len() int { return len(cs.names) }
+
+// Names returns the clock names.
+func (cs *ClockSet) Names() []string { return cs.names }
+
+// ID resolves a clock name.
+func (cs *ClockSet) ID(name string) (int, bool) {
+	i, ok := cs.index[name]
+	return i, ok
+}
+
+// Le builds x ≤ c.
+func (cs *ClockSet) Le(name string, c timeseq.Time) Constraint {
+	return le{clock: cs.mustID(name), name: name, c: c}
+}
+
+// Ge builds c ≤ x.
+func (cs *ClockSet) Ge(name string, c timeseq.Time) Constraint {
+	return ge{clock: cs.mustID(name), name: name, c: c}
+}
+
+// Lt builds x < c as ¬(c ≤ x), per the paper's grammar.
+func (cs *ClockSet) Lt(name string, c timeseq.Time) Constraint {
+	return not{cs.Ge(name, c)}
+}
+
+// Gt builds c < x as ¬(x ≤ c).
+func (cs *ClockSet) Gt(name string, c timeseq.Time) Constraint {
+	return not{cs.Le(name, c)}
+}
+
+// Eq builds x = c as (x ≤ c) ∧ (c ≤ x).
+func (cs *ClockSet) Eq(name string, c timeseq.Time) Constraint {
+	return and{cs.Le(name, c), cs.Ge(name, c)}
+}
+
+// Not negates a constraint.
+func Not(d Constraint) Constraint { return not{d} }
+
+// And conjoins constraints (True for the empty conjunction).
+func And(ds ...Constraint) Constraint {
+	if len(ds) == 0 {
+		return tt{}
+	}
+	out := ds[0]
+	for _, d := range ds[1:] {
+		out = and{out, d}
+	}
+	return out
+}
+
+// Or is sugar: d1 ∨ d2 = ¬(¬d1 ∧ ¬d2).
+func Or(d1, d2 Constraint) Constraint { return not{and{not{d1}, not{d2}}} }
+
+func (cs *ClockSet) mustID(name string) int {
+	i, ok := cs.index[name]
+	if !ok {
+		panic(fmt.Sprintf("timed: unknown clock %q", name))
+	}
+	return i
+}
+
+// Parse parses a constraint in a small syntax over the clock set:
+//
+//	expr := term { "&&" term }
+//	term := "!" term | "(" expr ")" | atom | "true"
+//	atom := clock op const
+//	op   := "<=" | ">=" | "<" | ">" | "=="
+//
+// Everything desugars into the paper's Φ(X) grammar.
+func (cs *ClockSet) Parse(s string) (Constraint, error) {
+	p := &parser{cs: cs, toks: tokenize(s)}
+	c, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("timed: trailing input at token %d in %q", p.pos, s)
+	}
+	return c, nil
+}
+
+// MustParse is Parse that panics on error, for statically known constraints.
+func (cs *ClockSet) MustParse(s string) Constraint {
+	c, err := cs.Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type parser struct {
+	cs   *ClockSet
+	toks []string
+	pos  int
+}
+
+func tokenize(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		switch {
+		case s[i] == ' ' || s[i] == '\t':
+			i++
+		case strings.HasPrefix(s[i:], "&&"):
+			toks = append(toks, "&&")
+			i += 2
+		case strings.HasPrefix(s[i:], "<="), strings.HasPrefix(s[i:], ">="), strings.HasPrefix(s[i:], "=="):
+			toks = append(toks, s[i:i+2])
+			i += 2
+		case s[i] == '<' || s[i] == '>' || s[i] == '!' || s[i] == '(' || s[i] == ')':
+			toks = append(toks, string(s[i]))
+			i++
+		default:
+			j := i
+			for j < len(s) && (isAlnum(s[j])) {
+				j++
+			}
+			if j == i {
+				toks = append(toks, string(s[i]))
+				i++
+			} else {
+				toks = append(toks, s[i:j])
+				i = j
+			}
+		}
+	}
+	return toks
+}
+
+func isAlnum(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_'
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expr() (Constraint, error) {
+	c, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&&" {
+		p.next()
+		d, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		c = and{c, d}
+	}
+	return c, nil
+}
+
+func (p *parser) term() (Constraint, error) {
+	switch t := p.peek(); t {
+	case "!":
+		p.next()
+		d, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		return not{d}, nil
+	case "(":
+		p.next()
+		d, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("timed: missing )")
+		}
+		return d, nil
+	case "true":
+		p.next()
+		return tt{}, nil
+	case "":
+		return nil, fmt.Errorf("timed: unexpected end of constraint")
+	default:
+		return p.atom()
+	}
+}
+
+func (p *parser) atom() (Constraint, error) {
+	name := p.next()
+	if _, ok := p.cs.ID(name); !ok {
+		return nil, fmt.Errorf("timed: unknown clock %q", name)
+	}
+	op := p.next()
+	num := p.next()
+	c, err := strconv.ParseUint(num, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("timed: bad constant %q: %v", num, err)
+	}
+	ct := timeseq.Time(c)
+	switch op {
+	case "<=":
+		return p.cs.Le(name, ct), nil
+	case ">=":
+		return p.cs.Ge(name, ct), nil
+	case "<":
+		return p.cs.Lt(name, ct), nil
+	case ">":
+		return p.cs.Gt(name, ct), nil
+	case "==":
+		return p.cs.Eq(name, ct), nil
+	default:
+		return nil, fmt.Errorf("timed: bad operator %q", op)
+	}
+}

@@ -1,0 +1,84 @@
+package timed
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtc/internal/omega"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// Differential test for the clamped-configuration decision procedure: a TBA
+// with C = ∅ is exactly a Büchi automaton (the Corollary 3.2 observation),
+// so on random automata and random timed lassos the two decision procedures
+// must agree — timestamps must not influence the clock-free verdict.
+func TestClockFreeTBAMatchesBuchi(t *testing.T) {
+	alpha := []word.Symbol{"a", "b"}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(4)
+		tba := NewTBA(alpha, n, 0, nil)
+		buchi := omega.NewBuchi(alpha, n, 0)
+		for s := 0; s < n; s++ {
+			for _, sym := range alpha {
+				for c := rng.Intn(3); c > 0; c-- {
+					to := rng.Intn(n)
+					tba.AddTrans(s, to, sym, nil)
+					buchi.AddTrans(s, sym, to)
+				}
+			}
+			if rng.Intn(3) == 0 {
+				tba.SetAccept(s)
+				buchi.SetAccept(s)
+			}
+		}
+		for w := 0; w < 8; w++ {
+			l := randomTimedLasso(rng, alpha)
+			got := tba.AcceptsLasso(l)
+			_, want := buchi.AcceptsLasso(omega.FromTimedLasso(l))
+			if got != want {
+				t.Fatalf("trial %d: clock-free TBA %v, Büchi %v on %v", trial, got, want, l)
+			}
+		}
+	}
+}
+
+// randomTimedLasso builds a small valid timed lasso with random symbols and
+// timestamps.
+func randomTimedLasso(rng *rand.Rand, alpha []word.Symbol) *word.Lasso {
+	n := 1 + rng.Intn(4)
+	var cyc word.Finite
+	at := timeseq.Time(rng.Intn(3))
+	for i := 0; i < n; i++ {
+		cyc = append(cyc, word.TimedSym{Sym: alpha[rng.Intn(len(alpha))], At: at})
+		at += timeseq.Time(rng.Intn(3))
+	}
+	span := cyc[len(cyc)-1].At - cyc[0].At
+	period := span + timeseq.Time(1+rng.Intn(3))
+	return word.MustLasso(nil, cyc, period)
+}
+
+// Clamping soundness: raising every guard constant far beyond the word's
+// timing must not change the verdict when the original guards were already
+// insensitive at the clamp ceiling (here: guards that the word satisfies
+// with room to spare vs. the identical automaton with slack constants).
+func TestClampingInsensitiveToSlack(t *testing.T) {
+	build := func(bound timeseq.Time) *TBA {
+		cs := NewClockSet("x")
+		a := NewTBA([]word.Symbol{"a"}, 1, 0, cs)
+		a.AddTrans(0, 0, "a", cs.Le("x", bound), "x")
+		a.SetAccept(0)
+		return a
+	}
+	w := word.MustLasso(nil, word.Finite{{Sym: "a", At: 1}}, 2) // gaps ≤ 2
+	for _, bound := range []timeseq.Time{2, 3, 10, 100, 200} {
+		if !build(bound).AcceptsLasso(w) {
+			t.Errorf("bound %d rejected a gap-2 word", bound)
+		}
+	}
+	tight := build(1)
+	if tight.AcceptsLasso(w) {
+		t.Error("bound 1 accepted a gap-2 word")
+	}
+}

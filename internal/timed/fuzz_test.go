@@ -1,0 +1,34 @@
+package timed
+
+import (
+	"testing"
+)
+
+// FuzzParse: the constraint parser never panics and accepted inputs
+// re-parse from their own rendering to an equivalent constraint.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"x<=3", "x>=0 && y<5", "!(x==2)", "((x>1))", "true",
+		"x<=3 &&", "z<=1", "x ? 2", "", "x<=99999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	cs := NewClockSet("x", "y")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := cs.Parse(s)
+		if err != nil {
+			return // rejected input: fine
+		}
+		// Accepted input: the rendering must re-parse and agree on a few
+		// probe valuations.
+		c2, err := cs.Parse(c.String())
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not re-parse: %v", c.String(), s, err)
+		}
+		for _, v := range []Valuation{{0, 0}, {1, 3}, {7, 2}, {255, 255}} {
+			if c.Eval(v) != c2.Eval(v) {
+				t.Fatalf("%q and its rendering disagree under %v", s, v)
+			}
+		}
+	})
+}

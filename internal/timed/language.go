@@ -1,0 +1,29 @@
+package timed
+
+import (
+	"rtc/internal/language"
+	"rtc/internal/word"
+)
+
+// Language wraps the TBA as a timed ω-language in the sense of §3: "a
+// timed ω-language accepted by some TBA is a timed regular language".
+// Lasso-presented words are decided exactly; other representations yield
+// Unknown (finite words are definite non-members — the language contains
+// only ω-words).
+func (a *TBA) Language(name string) *language.Language {
+	return &language.Language{
+		Name: name,
+		Member: func(w word.Word, h uint64) language.Verdict {
+			if l, ok := w.(*word.Lasso); ok {
+				if a.AcceptsLasso(l) {
+					return language.Yes
+				}
+				return language.No
+			}
+			if !w.Length().Omega {
+				return language.No
+			}
+			return language.Unknown
+		},
+	}
+}

@@ -1,0 +1,48 @@
+package timed
+
+import (
+	"testing"
+
+	"rtc/internal/language"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+func TestTBAAsLanguage(t *testing.T) {
+	lang := gapTBA().Language("gap≤2")
+	good := word.MustLasso(nil, word.Finite{{Sym: "a", At: 1}}, 2)
+	bad := word.MustLasso(nil, word.Finite{{Sym: "a", At: 1}}, 3)
+	if got := lang.Contains(good, 64); got != language.Yes {
+		t.Errorf("member verdict = %v", got)
+	}
+	if got := lang.Contains(bad, 64); got != language.No {
+		t.Errorf("non-member verdict = %v", got)
+	}
+	// Finite words are definite non-members of an ω-language.
+	fin := word.MustFinite(word.TimedSym{Sym: "a", At: 1})
+	if got := lang.Contains(fin, 64); got != language.No {
+		t.Errorf("finite word verdict = %v", got)
+	}
+	// Generator words cannot be decided exactly.
+	gen := word.Gen{F: func(i uint64) word.TimedSym {
+		return word.TimedSym{Sym: "a", At: 1 + 2*timeseq.Time(i)}
+	}}
+	if got := lang.Contains(gen, 64); got != language.Unknown {
+		t.Errorf("generator verdict = %v", got)
+	}
+}
+
+// The timed-regular language operations compose with the language layer:
+// intersection of two TBA languages agrees with the product TBA.
+func TestTBALanguageIntersection(t *testing.T) {
+	la := maxGapTBA(3).Language("≤3")
+	lb := minGapTBA(2).Language("≥2")
+	both := language.Intersection(la, lb)
+	prodLang := Intersect(maxGapTBA(3), minGapTBA(2)).Language("band")
+	for period := timeseq.Time(1); period <= 5; period++ {
+		w := word.MustLasso(nil, word.Finite{{Sym: "a", At: 1}}, period)
+		if got, want := both.Contains(w, 64), prodLang.Contains(w, 64); got != want {
+			t.Errorf("period %d: ∩ combinator %v, product %v", period, got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package timed
+
+import (
+	"fmt"
+)
+
+// Alur–Dill timed automata are closed under intersection; this file
+// implements the product construction. The clocks of the two operands are
+// kept disjoint (the right operand's clock ids are shifted past the left's),
+// transitions synchronize on input symbols, guards conjoin, resets union,
+// and Büchi acceptance uses the standard two-phase flag (see
+// omega.Intersect): phase 0 waits for an accepting left state, phase 1 for
+// an accepting right state, flipping on the current state; accepting
+// product states are phase-0 states with an accepting left component.
+
+// shiftConstraint re-indexes a constraint's clocks by offset. All
+// constraint implementations live in this package, so the type switch is
+// exhaustive.
+func shiftConstraint(c Constraint, offset int) Constraint {
+	switch x := c.(type) {
+	case le:
+		x.clock += offset
+		return x
+	case ge:
+		x.clock += offset
+		return x
+	case not:
+		return not{shiftConstraint(x.d, offset)}
+	case and:
+		return and{shiftConstraint(x.d1, offset), shiftConstraint(x.d2, offset)}
+	case tt:
+		return x
+	default:
+		panic(fmt.Sprintf("timed: unknown constraint type %T", c))
+	}
+}
+
+// Intersect builds a TBA accepting L(a) ∩ L(b). Both operands must share
+// the alphabet.
+func Intersect(a, b *TBA) *TBA {
+	names := make([]string, 0, a.Clocks.Len()+b.Clocks.Len())
+	for _, n := range a.Clocks.Names() {
+		names = append(names, "l_"+n)
+	}
+	for _, n := range b.Clocks.Names() {
+		names = append(names, "r_"+n)
+	}
+	clocks := NewClockSet(names...)
+	offset := a.Clocks.Len()
+
+	id := func(sa, sb, phase int) int { return (sa*b.NumStates+sb)*2 + phase }
+	out := NewTBA(a.Alphabet, a.NumStates*b.NumStates*2, id(a.Start, b.Start, 0), clocks)
+
+	for _, ta := range a.Trans {
+		for _, tb := range b.Trans {
+			if ta.Sym != tb.Sym {
+				continue
+			}
+			guard := And(ta.Guard, shiftConstraint(tb.Guard, offset))
+			resets := make([]int, 0, len(ta.Reset)+len(tb.Reset))
+			resets = append(resets, ta.Reset...)
+			for _, r := range tb.Reset {
+				resets = append(resets, r+offset)
+			}
+			for phase := 0; phase < 2; phase++ {
+				np := phase
+				if phase == 0 && a.Accept[ta.From] {
+					np = 1
+				} else if phase == 1 && b.Accept[tb.From] {
+					np = 0
+				}
+				out.Trans = append(out.Trans, Transition{
+					From:  id(ta.From, tb.From, phase),
+					To:    id(ta.To, tb.To, np),
+					Sym:   ta.Sym,
+					Reset: resets,
+					Guard: guard,
+				})
+			}
+		}
+	}
+	for sa := 0; sa < a.NumStates; sa++ {
+		if !a.Accept[sa] {
+			continue
+		}
+		for sb := 0; sb < b.NumStates; sb++ {
+			out.Accept[id(sa, sb, 0)] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package timed
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// maxGapTBA accepts words of a's whose consecutive gaps are ≤ g.
+func maxGapTBA(g timeseq.Time) *TBA {
+	cs := NewClockSet("x")
+	a := NewTBA([]word.Symbol{"a"}, 1, 0, cs)
+	a.AddTrans(0, 0, "a", cs.Le("x", g), "x")
+	a.SetAccept(0)
+	return a
+}
+
+// minGapTBA accepts words of a's whose consecutive gaps are ≥ g (the first
+// symbol is unconstrained: its "gap" is from time 0).
+func minGapTBA(g timeseq.Time) *TBA {
+	cs := NewClockSet("y")
+	a := NewTBA([]word.Symbol{"a"}, 2, 0, cs)
+	a.AddTrans(0, 1, "a", nil, "y") // first symbol free
+	a.AddTrans(1, 1, "a", cs.Ge("y", g), "y")
+	a.SetAccept(1)
+	return a
+}
+
+func TestIntersectBand(t *testing.T) {
+	// Gaps in [2, 3]: intersection of ≤3 and ≥2.
+	band := Intersect(maxGapTBA(3), minGapTBA(2))
+	cases := []struct {
+		period timeseq.Time
+		want   bool
+	}{
+		{1, false}, {2, true}, {3, true}, {4, false},
+	}
+	for _, c := range cases {
+		w := word.MustLasso(nil, word.Finite{{Sym: "a", At: 1}}, c.period)
+		if got := band.AcceptsLasso(w); got != c.want {
+			t.Errorf("period %d: band accepts = %v, want %v", c.period, got, c.want)
+		}
+	}
+}
+
+// Property: the product accepts exactly the words both operands accept, on
+// random gap words.
+func TestIntersectAgreesPointwise(t *testing.T) {
+	a := maxGapTBA(4)
+	b := minGapTBA(2)
+	prod := Intersect(a, b)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		// Random lasso of a's: cycle of 1-3 symbols with random offsets.
+		n := 1 + rng.Intn(3)
+		var cyc word.Finite
+		at := timeseq.Time(rng.Intn(3))
+		for i := 0; i < n; i++ {
+			cyc = append(cyc, word.TimedSym{Sym: "a", At: at})
+			at += timeseq.Time(rng.Intn(4))
+		}
+		period := at - cyc[0].At + timeseq.Time(rng.Intn(4))
+		if cyc[len(cyc)-1].At > cyc[0].At+period {
+			period = cyc[len(cyc)-1].At - cyc[0].At
+		}
+		if period == 0 {
+			period = 1
+		}
+		l, err := word.NewLasso(nil, cyc, period)
+		if err != nil {
+			continue
+		}
+		want := a.AcceptsLasso(l) && b.AcceptsLasso(l)
+		if got := prod.AcceptsLasso(l); got != want {
+			t.Fatalf("trial %d on %v: product=%v, a∧b=%v", trial, l, got, want)
+		}
+	}
+}
+
+// The product's emptiness machinery still works: a contradictory band is
+// empty, a satisfiable one yields a well-behaved witness accepted by both
+// operands.
+func TestIntersectEmptiness(t *testing.T) {
+	impossible := Intersect(maxGapTBA(1), minGapTBA(3))
+	if _, empty := impossible.Empty(); !empty {
+		t.Error("gap ≤1 ∧ gap ≥3 declared non-empty")
+	}
+	possible := Intersect(maxGapTBA(3), minGapTBA(2))
+	wit, empty := possible.Empty()
+	if empty {
+		t.Fatal("satisfiable band declared empty")
+	}
+	if !wit.Word.WellBehaved() {
+		t.Fatalf("witness %v not well behaved", wit.Word)
+	}
+	if !maxGapTBA(3).AcceptsLasso(wit.Word) || !minGapTBA(2).AcceptsLasso(wit.Word) {
+		t.Fatalf("witness %v not accepted by both operands", wit.Word)
+	}
+}
+
+func TestShiftConstraint(t *testing.T) {
+	cs := NewClockSet("x", "y")
+	c := And(cs.Le("x", 3), Not(cs.Ge("y", 2)))
+	shifted := shiftConstraint(c, 2)
+	// Under a 4-clock valuation, the shifted constraint reads clocks 2,3.
+	v := Valuation{99, 99, 3, 1}
+	if !shifted.Eval(v) {
+		t.Error("shifted constraint misreads clocks")
+	}
+	v = Valuation{0, 0, 4, 1}
+	if shifted.Eval(v) {
+		t.Error("shifted constraint ignored its own clock")
+	}
+	if shifted.MaxConst() != 3 {
+		t.Errorf("MaxConst = %d", shifted.MaxConst())
+	}
+}

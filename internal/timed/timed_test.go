@@ -1,0 +1,218 @@
+package timed
+
+import (
+	"testing"
+
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+func TestConstraintEval(t *testing.T) {
+	cs := NewClockSet("x", "y")
+	v := Valuation{3, 7}
+	cases := []struct {
+		c    Constraint
+		want bool
+	}{
+		{cs.Le("x", 3), true},
+		{cs.Le("x", 2), false},
+		{cs.Ge("y", 7), true},
+		{cs.Ge("y", 8), false},
+		{Not(cs.Le("x", 3)), false},
+		{And(cs.Le("x", 5), cs.Ge("y", 5)), true},
+		{And(cs.Le("x", 5), cs.Ge("y", 9)), false},
+		{Or(cs.Le("x", 0), cs.Ge("y", 7)), true},
+		{cs.Lt("x", 3), false},
+		{cs.Lt("x", 4), true},
+		{cs.Gt("y", 6), true},
+		{cs.Eq("x", 3), true},
+		{cs.Eq("x", 4), false},
+		{True(), true},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(v); got != c.want {
+			t.Errorf("%s under %v = %v, want %v", c.c, v, got, c.want)
+		}
+	}
+}
+
+func TestConstraintMaxConst(t *testing.T) {
+	cs := NewClockSet("x", "y")
+	c := And(cs.Le("x", 3), Not(cs.Ge("y", 11)))
+	if got := c.MaxConst(); got != 11 {
+		t.Errorf("MaxConst = %d, want 11", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cs := NewClockSet("x", "y")
+	cases := []struct {
+		in   string
+		v    Valuation
+		want bool
+	}{
+		{"x<=5", Valuation{5, 0}, true},
+		{"x<5", Valuation{5, 0}, false},
+		{"x>=2 && y<=0", Valuation{3, 0}, true},
+		{"!(x==3)", Valuation{3, 0}, false},
+		{"(x>1 && y<1) && x<=9", Valuation{2, 0}, true},
+		{"true", Valuation{0, 0}, true},
+	}
+	for _, c := range cases {
+		con, err := cs.Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := con.Eval(c.v); got != c.want {
+			t.Errorf("%q under %v = %v, want %v", c.in, c.v, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "z<=3", "x<=", "x<=3 &&", "(x<=3", "x ? 3"} {
+		if _, err := cs.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func ts(sym string, at timeseq.Time) word.TimedSym {
+	return word.TimedSym{Sym: word.Symbol(sym), At: at}
+}
+
+// gapTBA accepts timed words over {a} where consecutive a's are at most 2
+// chronons apart: clock x is reset on every a and guards x<=2.
+func gapTBA() *TBA {
+	cs := NewClockSet("x")
+	a := NewTBA([]word.Symbol{"a"}, 1, 0, cs)
+	a.AddTrans(0, 0, "a", cs.Le("x", 2), "x")
+	a.SetAccept(0)
+	return a
+}
+
+func TestReachableConfigs(t *testing.T) {
+	a := gapTBA()
+	// a at 1, 3, 5: all gaps ≤ 2 — reachable.
+	w := word.MustFinite(ts("a", 1), ts("a", 3), ts("a", 5))
+	confs := a.ReachableConfigs(w)
+	if len(confs) != 1 || confs[0].State != 0 || confs[0].Val[0] != 0 {
+		t.Fatalf("ReachableConfigs = %+v", confs)
+	}
+	// a at 1, 4: gap 3 > 2 — no run survives.
+	w = word.MustFinite(ts("a", 1), ts("a", 4))
+	if confs := a.ReachableConfigs(w); confs != nil {
+		t.Fatalf("run should die, got %+v", confs)
+	}
+}
+
+func TestTBAAcceptsLasso(t *testing.T) {
+	a := gapTBA()
+	good := word.MustLasso(nil, word.Finite{ts("a", 1)}, 2) // a every 2 chronons
+	if !a.AcceptsLasso(good) {
+		t.Error("period-2 word rejected")
+	}
+	bad := word.MustLasso(nil, word.Finite{ts("a", 1)}, 3) // gap 3
+	if a.AcceptsLasso(bad) {
+		t.Error("period-3 word accepted")
+	}
+	// Uneven cycle: a at 1 and 2 within a period of 4 → wrap gap 3.
+	uneven := word.MustLasso(nil, word.Finite{ts("a", 1), ts("a", 2)}, 4)
+	if a.AcceptsLasso(uneven) {
+		t.Error("uneven word with wrap gap 3 accepted")
+	}
+	// Same cycle with period 3 → wrap gap 2: fine.
+	ok3 := word.MustLasso(nil, word.Finite{ts("a", 1), ts("a", 2)}, 3)
+	if !a.AcceptsLasso(ok3) {
+		t.Error("wrap gap 2 rejected")
+	}
+}
+
+// A TBA with C = ∅ is an ordinary Büchi automaton — the observation used in
+// Corollary 3.2's proof.
+func TestTBAWithoutClocksIsBuchi(t *testing.T) {
+	a := NewTBA([]word.Symbol{"a", "b"}, 2, 0, nil)
+	// Accepts words with infinitely many a's, any timing.
+	a.AddTrans(0, 1, "a", nil)
+	a.AddTrans(0, 0, "b", nil)
+	a.AddTrans(1, 1, "a", nil)
+	a.AddTrans(1, 0, "b", nil)
+	a.SetAccept(1)
+	yes := word.RepeatClassical("ab", 5)
+	if !a.AcceptsLasso(yes) {
+		t.Error("(ab)^ω rejected regardless of timing")
+	}
+	no := word.MustLasso(word.FromClassical("aaa", 0), word.Finite{ts("b", 1)}, 1)
+	if a.AcceptsLasso(no) {
+		t.Error("aaab^ω accepted")
+	}
+}
+
+// Timing sensitivity: the same symbol sequence is accepted or rejected
+// purely on timestamps — the defining feature of timed languages.
+func TestTimedLanguageSeparatesOnTimeOnly(t *testing.T) {
+	cs := NewClockSet("x")
+	a := NewTBA([]word.Symbol{"a", "b"}, 2, 0, cs)
+	// b must come exactly 1 chronon after the preceding a.
+	a.AddTrans(0, 1, "a", nil, "x")
+	a.AddTrans(1, 0, "b", cs.Eq("x", 1))
+	a.SetAccept(0)
+	tight := word.MustLasso(nil, word.Finite{ts("a", 0), ts("b", 1)}, 2)
+	loose := word.MustLasso(nil, word.Finite{ts("a", 0), ts("b", 2)}, 3)
+	if !a.AcceptsLasso(tight) {
+		t.Error("exact-gap word rejected")
+	}
+	if a.AcceptsLasso(loose) {
+		t.Error("wrong-gap word accepted despite identical symbols")
+	}
+}
+
+func TestTBAEmptyNonEmpty(t *testing.T) {
+	a := gapTBA()
+	w, empty := a.Empty()
+	if empty {
+		t.Fatal("gapTBA declared empty")
+	}
+	if !w.Word.WellBehaved() {
+		t.Fatalf("witness %v is not well behaved", w.Word)
+	}
+	if !a.AcceptsLasso(w.Word) {
+		t.Fatalf("witness %v not accepted", w.Word)
+	}
+}
+
+func TestTBAEmptyDetectsEmptiness(t *testing.T) {
+	cs := NewClockSet("x")
+	a := NewTBA([]word.Symbol{"a"}, 1, 0, cs)
+	// Guard is unsatisfiable: x<=1 && x>=2.
+	a.AddTrans(0, 0, "a", And(cs.Le("x", 1), cs.Ge("x", 2)), "x")
+	a.SetAccept(0)
+	if _, empty := a.Empty(); !empty {
+		t.Error("unsatisfiable TBA declared non-empty")
+	}
+}
+
+// A TBA whose only accepting cycles are Zeno (zero elapsed time) accepts no
+// well-behaved word: the progress condition of Definition 3.1 excludes them.
+func TestTBAEmptyRejectsZenoOnlyCycles(t *testing.T) {
+	cs := NewClockSet("x")
+	a := NewTBA([]word.Symbol{"a"}, 1, 0, cs)
+	// Every a must arrive at global time 0: guard x<=0 and no reset…
+	// actually x is never reset, so x <= 0 forces all arrivals at time 0.
+	a.AddTrans(0, 0, "a", cs.Le("x", 0))
+	a.SetAccept(0)
+	if _, empty := a.Empty(); !empty {
+		t.Error("Zeno-only TBA declared non-empty (progress violated)")
+	}
+}
+
+func TestAcceptsFinitePrefixInto(t *testing.T) {
+	cs := NewClockSet("x")
+	a := NewTBA([]word.Symbol{"a", "b"}, 2, 0, cs)
+	a.AddTrans(0, 1, "a", nil, "x")
+	a.AddTrans(1, 0, "b", cs.Le("x", 2))
+	w := word.MustFinite(ts("a", 0), ts("b", 2))
+	if !a.AcceptsFinitePrefixInto(w, 0) {
+		t.Error("prefix should end in state 0")
+	}
+	if a.AcceptsFinitePrefixInto(w, 1) {
+		t.Error("prefix cannot end in state 1")
+	}
+}

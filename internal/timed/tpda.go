@@ -1,0 +1,181 @@
+package timed
+
+import (
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// §3.1.1 notes that "the definition of timed push-down automata can be
+// obtained by naturally restricting definition 3.3, but one will have to
+// add clocks to the model, given the limited (stack-like) nature of the
+// storage space access of such a device. We believe that such models can be
+// easily derived." This file derives it: a TPDA is a finite control with a
+// stack, clocks, and guarded transitions that combine one input symbol, a
+// stack action and clock resets. Acceptance is by final state on finite
+// timed words (the natural finite restriction of Definition 3.3).
+
+// StackAction describes the stack effect of one transition.
+type StackAction struct {
+	// Pop, when non-empty, requires (and removes) this top-of-stack symbol.
+	Pop word.Symbol
+	// Push, when non-empty, is pushed after the pop (last element ends up
+	// on top).
+	Push []word.Symbol
+}
+
+// TPDATransition is one guarded transition.
+type TPDATransition struct {
+	From, To int
+	Sym      word.Symbol
+	Guard    Constraint
+	Reset    []int
+	Stack    StackAction
+}
+
+// TPDA is a timed push-down automaton.
+type TPDA struct {
+	Alphabet  []word.Symbol
+	NumStates int
+	Start     int
+	Clocks    *ClockSet
+	Trans     []TPDATransition
+	Accept    map[int]bool
+	// AcceptEmptyStackOnly additionally requires an empty stack.
+	AcceptEmptyStackOnly bool
+}
+
+// NewTPDA allocates an empty TPDA.
+func NewTPDA(alphabet []word.Symbol, numStates, start int, clocks *ClockSet) *TPDA {
+	if clocks == nil {
+		clocks = NewClockSet()
+	}
+	return &TPDA{
+		Alphabet:  alphabet,
+		NumStates: numStates,
+		Start:     start,
+		Clocks:    clocks,
+		Accept:    make(map[int]bool),
+	}
+}
+
+// AddTrans appends a transition; nil guard means True.
+func (a *TPDA) AddTrans(tr TPDATransition) {
+	if tr.Guard == nil {
+		tr.Guard = True()
+	}
+	a.Trans = append(a.Trans, tr)
+}
+
+// SetAccept marks accepting states.
+func (a *TPDA) SetAccept(states ...int) {
+	for _, s := range states {
+		a.Accept[s] = true
+	}
+}
+
+// tpdaConfig is one configuration: control state, stack, clock valuation.
+type tpdaConfig struct {
+	state int
+	stack string // stack symbols joined by 0x1f, top last
+	val   uint64
+}
+
+const stackSep = "\x1f"
+
+func pushAll(stack string, syms []word.Symbol) string {
+	for _, s := range syms {
+		if stack == "" {
+			stack = string(s)
+		} else {
+			stack += stackSep + string(s)
+		}
+	}
+	return stack
+}
+
+func top(stack string) (word.Symbol, string, bool) {
+	if stack == "" {
+		return "", "", false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == 0x1f {
+			return word.Symbol(stack[i+1:]), stack[:i], true
+		}
+	}
+	return word.Symbol(stack), "", true
+}
+
+// Accepts decides acceptance of a finite timed word by breadth-first
+// exploration of the configuration space (clock valuations are clamped as
+// for the TBA; the stack is bounded by the input length times the largest
+// push, so the search is finite).
+func (a *TPDA) Accepts(w word.Finite) bool {
+	ceiling := a.maxConst() + 1
+	if ceiling > 254 {
+		panic("timed: guard constants too large for the dense valuation encoding")
+	}
+	cur := map[tpdaConfig]bool{{state: a.Start, val: 0}: true}
+	prev := timeseq.Time(0)
+	decode := func(val uint64) Valuation {
+		v := make(Valuation, a.Clocks.Len())
+		for i := range v {
+			v[i] = timeseq.Time((val >> (8 * uint(i))) & 0xff)
+		}
+		return v
+	}
+	for _, e := range w {
+		elapsed := e.At - prev
+		prev = e.At
+		next := map[tpdaConfig]bool{}
+		for c := range cur {
+			aged := decode(c.val)
+			for i := range aged {
+				aged[i] = clamp(aged[i]+elapsed, ceiling)
+			}
+			for _, tr := range a.Trans {
+				if tr.From != c.state || tr.Sym != e.Sym {
+					continue
+				}
+				if !tr.Guard.Eval(aged) {
+					continue
+				}
+				stack := c.stack
+				if tr.Stack.Pop != "" {
+					t, rest, ok := top(stack)
+					if !ok || t != tr.Stack.Pop {
+						continue
+					}
+					stack = rest
+				}
+				stack = pushAll(stack, tr.Stack.Push)
+				nv := make(Valuation, len(aged))
+				copy(nv, aged)
+				for _, r := range tr.Reset {
+					nv[r] = 0
+				}
+				next[tpdaConfig{state: tr.To, stack: stack, val: encodeVal(nv)}] = true
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for c := range cur {
+		if a.Accept[c.state] && (!a.AcceptEmptyStackOnly || c.stack == "") {
+			return true
+		}
+	}
+	return false
+}
+
+// maxConst mirrors TBA.maxConst for TPDA guards.
+func (a *TPDA) maxConst() timeseq.Time {
+	var m timeseq.Time
+	for _, t := range a.Trans {
+		if c := t.Guard.MaxConst(); c > m {
+			m = c
+		}
+	}
+	return m
+}

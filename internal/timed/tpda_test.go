@@ -1,0 +1,100 @@
+package timed
+
+import (
+	"testing"
+
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// balancedTPDA accepts timed words a^n b^n where every b arrives within
+// `window` chronons of the LAST a — counting needs the stack, timing needs
+// the clock: neither a TBA nor an untimed PDA can do both.
+func balancedTPDA(window timeseq.Time) *TPDA {
+	cs := NewClockSet("x")
+	p := NewTPDA([]word.Symbol{"a", "b"}, 2, 0, cs)
+	p.AddTrans(TPDATransition{
+		From: 0, To: 0, Sym: "a",
+		Reset: []int{0}, // x measures time since the last a
+		Stack: StackAction{Push: []word.Symbol{"A"}},
+	})
+	p.AddTrans(TPDATransition{
+		From: 0, To: 1, Sym: "b",
+		Guard: cs.Le("x", window),
+		Stack: StackAction{Pop: "A"},
+	})
+	p.AddTrans(TPDATransition{
+		From: 1, To: 1, Sym: "b",
+		Guard: cs.Le("x", window),
+		Stack: StackAction{Pop: "A"},
+	})
+	p.SetAccept(1)
+	p.AcceptEmptyStackOnly = true
+	return p
+}
+
+func tw(s string, times ...timeseq.Time) word.Finite {
+	w := make(word.Finite, len(s))
+	for i, r := range s {
+		w[i] = word.TimedSym{Sym: word.Symbol(string(r)), At: times[i]}
+	}
+	return w
+}
+
+func TestTPDABalancedAndTimed(t *testing.T) {
+	p := balancedTPDA(3)
+	cases := []struct {
+		w    word.Finite
+		want bool
+		name string
+	}{
+		{tw("aabb", 0, 1, 2, 3), true, "balanced, in time"},
+		{tw("ab", 0, 3), true, "boundary gap"},
+		{tw("ab", 0, 4), false, "late b"},
+		{tw("aab", 0, 1, 2), false, "unbalanced: leftover a"},
+		{tw("abb", 0, 1, 2), false, "unbalanced: extra b"},
+		{tw("aabb", 0, 1, 2, 9), false, "second b too late"},
+		{tw("ba", 0, 1), false, "wrong order"},
+		{tw(""), false, "empty word"},
+	}
+	for _, c := range cases {
+		if got := p.Accepts(c.w); got != c.want {
+			t.Errorf("%s (%v): %v, want %v", c.name, c.w, got, c.want)
+		}
+	}
+}
+
+// The timing constraint alone separates words with identical symbols — the
+// defining timed property, now with a stack.
+func TestTPDATimingSeparation(t *testing.T) {
+	p := balancedTPDA(2)
+	fast := tw("aabb", 0, 1, 2, 3)
+	slow := tw("aabb", 0, 1, 2, 5)
+	if !p.Accepts(fast) {
+		t.Error("fast word rejected")
+	}
+	if p.Accepts(slow) {
+		t.Error("slow word accepted despite identical symbols")
+	}
+}
+
+// Counting alone separates words with identical timing.
+func TestTPDACountingSeparation(t *testing.T) {
+	p := balancedTPDA(10)
+	if !p.Accepts(tw("aaabbb", 0, 0, 0, 1, 1, 1)) {
+		t.Error("balanced rejected")
+	}
+	if p.Accepts(tw("aaabb", 0, 0, 0, 1, 1)) {
+		t.Error("unbalanced accepted")
+	}
+}
+
+// Final-state-only acceptance (without the empty-stack requirement).
+func TestTPDAFinalStateOnly(t *testing.T) {
+	p := balancedTPDA(5)
+	p.AcceptEmptyStackOnly = false
+	// A prefix of the b-run now suffices to sit in state 1.
+	if !p.Accepts(tw("aab", 0, 1, 2)) {
+		t.Error("final-state acceptance rejected a partial pop")
+	}
+}

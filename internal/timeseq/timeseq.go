@@ -1,0 +1,241 @@
+// Package timeseq implements time sequences as defined in Definition 3.1 of
+// Bruda & Akl, "Real-Time Computation: A Formal Definition and its
+// Applications" (IPPS 2001).
+//
+// A time sequence is a (finite or infinite) monotonically non-decreasing
+// sequence of natural timestamps. A sequence is well behaved when it also
+// satisfies the progress condition: for every t there is some finite index i
+// with τ_i > t. Per the paper, time is discrete: each natural number is one
+// nondecomposable unit of time (a "chronon").
+//
+// Finite sequences are represented explicitly by Seq. Infinite sequences
+// appear at the word level (package word), where they are backed by lassos or
+// generators; this package supplies the validation primitives those
+// representations share.
+package timeseq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Time is a discrete timestamp measured in chronons. Definition 3.1 uses
+// natural numbers; arithmetic on Time never goes negative in valid sequences
+// because monotonicity is enforced at construction time.
+type Time uint64
+
+// Infinity is a sentinel timestamp strictly larger than every timestamp a
+// valid computation can produce. It is used for "never" (e.g. a lost message
+// whose receive time is ω in the routing model of §5.2.4).
+const Infinity Time = ^Time(0)
+
+// ErrNotMonotone reports a violation of the monotonicity constraint of
+// Definition 3.1 (τ_i ≤ τ_{i+1}).
+var ErrNotMonotone = errors.New("timeseq: sequence is not monotonically non-decreasing")
+
+// Seq is a finite time sequence. The zero value is the empty sequence, which
+// is vacuously a time sequence (Definition 3.1 admits finite subsequences).
+type Seq []Time
+
+// New validates ts against the monotonicity constraint and returns it as a
+// Seq. The slice is not copied; callers that keep mutating the input should
+// pass a copy.
+func New(ts ...Time) (Seq, error) {
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			return nil, fmt.Errorf("%w: τ_%d=%d < τ_%d=%d", ErrNotMonotone, i+1, ts[i], i, ts[i-1])
+		}
+	}
+	return Seq(ts), nil
+}
+
+// MustNew is New for statically known sequences; it panics on invalid input.
+func MustNew(ts ...Time) Seq {
+	s, err := New(ts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// IsMonotone reports whether s satisfies the monotonicity constraint.
+// Constructed Seq values always do; this exists for sequences assembled by
+// hand or decoded from external input.
+func IsMonotone(ts []Time) bool {
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of timestamps in s.
+func (s Seq) Len() int { return len(s) }
+
+// At returns the i-th timestamp (0-indexed).
+func (s Seq) At(i int) Time { return s[i] }
+
+// Last returns the final timestamp. It panics on an empty sequence.
+func (s Seq) Last() Time { return s[len(s)-1] }
+
+// ProgressBeyond reports whether some element of s exceeds t. For finite
+// sequences this is the strongest progress statement available: a finite
+// sequence can never be well behaved (Definition 3.1 notes that a
+// well-behaved time sequence is always infinite), but a finite prefix can
+// witness progress up to its last element.
+func (s Seq) ProgressBeyond(t Time) bool {
+	return len(s) > 0 && s[len(s)-1] > t
+}
+
+// IsSubsequenceOf reports whether s is a subsequence of t in the sense of §2:
+// every element of s occurs in t, in the same relative order. Because time
+// sequences are monotone, this reduces to a greedy match.
+func (s Seq) IsSubsequenceOf(t Seq) bool {
+	j := 0
+	for _, v := range s {
+		for j < len(t) && t[j] != v {
+			j++
+		}
+		if j == len(t) {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// Merge interleaves two monotone sequences into one monotone sequence
+// containing every element of both. On equal timestamps, elements of a
+// precede elements of b, matching item 3 of Definition 3.5 (the first operand
+// wins ties in a timed-word concatenation).
+func Merge(a, b Seq) Seq {
+	out := make(Seq, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Uniform returns the constant sequence t, t, ..., t of length n. With t = 0
+// it is the sequence 00...0 that embeds a classical word as a (non
+// well-behaved) timed word, per the closing remark of §3.2.
+func Uniform(t Time, n int) Seq {
+	s := make(Seq, n)
+	for i := range s {
+		s[i] = t
+	}
+	return s
+}
+
+// Ramp returns the sequence start, start+step, ..., of length n.
+func Ramp(start, step Time, n int) Seq {
+	s := make(Seq, n)
+	for i := range s {
+		s[i] = start + Time(i)*step
+	}
+	return s
+}
+
+// CountAtOrBefore returns the number of elements of s that are ≤ t,
+// exploiting monotonicity via binary search.
+func (s Seq) CountAtOrBefore(t Time) int {
+	return sort.Search(len(s), func(i int) bool { return s[i] > t })
+}
+
+// Generator describes an infinite time sequence by random access: Tau(i) is
+// the i-th timestamp (0-indexed). Implementations must be monotone.
+type Generator interface {
+	Tau(i uint64) Time
+}
+
+// GeneratorFunc adapts a function to the Generator interface.
+type GeneratorFunc func(i uint64) Time
+
+// Tau implements Generator.
+func (f GeneratorFunc) Tau(i uint64) Time { return f(i) }
+
+// CheckMonotone verifies the monotonicity constraint on the first n elements
+// of g. It returns the first violating index (i such that Tau(i) < Tau(i-1))
+// and false, or (0, true) if no violation is found within the horizon.
+func CheckMonotone(g Generator, n uint64) (uint64, bool) {
+	if n == 0 {
+		return 0, true
+	}
+	prev := g.Tau(0)
+	for i := uint64(1); i < n; i++ {
+		cur := g.Tau(i)
+		if cur < prev {
+			return i, false
+		}
+		prev = cur
+	}
+	return 0, true
+}
+
+// CheckProgress verifies the progress condition of Definition 3.1 up to the
+// bound t: it searches for a finite index i ≤ maxIdx with Tau(i) > t. It
+// returns the witnessing index and true, or (0, false) when no witness exists
+// within the search budget — which for a lazily described sequence is the
+// strongest refutation a finite observer can produce.
+func CheckProgress(g Generator, t Time, maxIdx uint64) (uint64, bool) {
+	// Exponential probing followed by binary search keeps this O(log maxIdx)
+	// for monotone generators while remaining correct (if slow) for buggy
+	// non-monotone ones, since we only ever test the > t predicate.
+	for i := uint64(1); ; i *= 2 {
+		if i > maxIdx {
+			break
+		}
+		if g.Tau(i-1) > t {
+			// Refine to the first witness in (i/2-1, i-1].
+			lo, hi := i/2, i-1 // Tau(lo-1) ≤ t (or lo==0), Tau(hi) > t
+			for lo < hi {
+				mid := lo + (hi-lo)/2
+				if g.Tau(mid) > t {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			return hi, true
+		}
+		if i > maxIdx/2 {
+			break
+		}
+	}
+	if maxIdx > 0 && g.Tau(maxIdx-1) > t {
+		return maxIdx - 1, true
+	}
+	return 0, false
+}
+
+// WellBehavedWithin reports whether g looks well behaved when observed up to
+// horizon: monotone on [0, horizon) and making progress beyond every t that
+// is itself witnessed within the horizon. A true result is evidence, not
+// proof (well-behavedness is a property of the whole infinite sequence); a
+// false result is a genuine refutation of monotonicity or of progress within
+// the horizon.
+func WellBehavedWithin(g Generator, horizon uint64) bool {
+	if _, ok := CheckMonotone(g, horizon); !ok {
+		return false
+	}
+	if horizon == 0 {
+		return true
+	}
+	// Progress within the horizon: the sequence must not be eventually
+	// constant over the observed window. We test that the last observed
+	// timestamp exceeds the first by at least one chronon per full window,
+	// i.e. the sequence is not frozen.
+	first, last := g.Tau(0), g.Tau(horizon-1)
+	return last > first || horizon < 2
+}

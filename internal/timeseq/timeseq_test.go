@@ -1,0 +1,248 @@
+package timeseq
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAcceptsMonotone(t *testing.T) {
+	cases := [][]Time{
+		{},
+		{0},
+		{0, 0, 0},
+		{1, 2, 3},
+		{5, 5, 7, 7, 9},
+	}
+	for _, c := range cases {
+		if _, err := New(c...); err != nil {
+			t.Errorf("New(%v) unexpectedly failed: %v", c, err)
+		}
+	}
+}
+
+func TestNewRejectsNonMonotone(t *testing.T) {
+	cases := [][]Time{
+		{1, 0},
+		{0, 5, 4},
+		{3, 3, 2, 9},
+	}
+	for _, c := range cases {
+		if _, err := New(c...); !errors.Is(err, ErrNotMonotone) {
+			t.Errorf("New(%v) = %v, want ErrNotMonotone", c, err)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(2,1) did not panic")
+		}
+	}()
+	MustNew(2, 1)
+}
+
+func TestIsMonotone(t *testing.T) {
+	if !IsMonotone([]Time{0, 1, 1, 4}) {
+		t.Error("monotone sequence rejected")
+	}
+	if IsMonotone([]Time{0, 1, 0}) {
+		t.Error("non-monotone sequence accepted")
+	}
+}
+
+func TestProgressBeyond(t *testing.T) {
+	s := MustNew(0, 2, 4)
+	if !s.ProgressBeyond(3) {
+		t.Error("ProgressBeyond(3) = false on sequence ending at 4")
+	}
+	if s.ProgressBeyond(4) {
+		t.Error("ProgressBeyond(4) = true on sequence ending at 4")
+	}
+	var empty Seq
+	if empty.ProgressBeyond(0) {
+		t.Error("empty sequence claims progress")
+	}
+}
+
+func TestIsSubsequenceOf(t *testing.T) {
+	full := MustNew(0, 1, 1, 2, 5, 5, 9)
+	for _, sub := range []Seq{
+		{},
+		{0},
+		{1, 1, 5},
+		{0, 2, 9},
+		full,
+	} {
+		if !sub.IsSubsequenceOf(full) {
+			t.Errorf("%v should be a subsequence of %v", sub, full)
+		}
+	}
+	for _, sub := range []Seq{
+		{1, 1, 1},
+		{9, 9},
+		{3},
+	} {
+		if sub.IsSubsequenceOf(full) {
+			t.Errorf("%v should NOT be a subsequence of %v", sub, full)
+		}
+	}
+}
+
+func TestMergeBasic(t *testing.T) {
+	a := MustNew(0, 2, 4)
+	b := MustNew(1, 2, 3)
+	got := Merge(a, b)
+	want := Seq{0, 1, 2, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Merge length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Merge = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: Merge output is monotone, has the combined length, and both
+// inputs are subsequences of it (items 1 of Definition 3.5 at the
+// time-sequence level).
+func TestMergeProperties(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a := randomMonotone(xs)
+		b := randomMonotone(ys)
+		m := Merge(a, b)
+		if len(m) != len(a)+len(b) {
+			return false
+		}
+		if !IsMonotone([]Time(m)) {
+			return false
+		}
+		return a.IsSubsequenceOf(m) && b.IsSubsequenceOf(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomMonotone converts arbitrary fuzz input into a valid time sequence by
+// sorting.
+func randomMonotone(xs []uint16) Seq {
+	s := make(Seq, len(xs))
+	for i, x := range xs {
+		s[i] = Time(x)
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func TestUniformAndRamp(t *testing.T) {
+	u := Uniform(7, 4)
+	if len(u) != 4 {
+		t.Fatalf("Uniform length = %d", len(u))
+	}
+	for _, v := range u {
+		if v != 7 {
+			t.Fatalf("Uniform = %v", u)
+		}
+	}
+	r := Ramp(3, 2, 4)
+	want := Seq{3, 5, 7, 9}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ramp = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestCountAtOrBefore(t *testing.T) {
+	s := MustNew(0, 1, 1, 3, 7)
+	cases := []struct {
+		t    Time
+		want int
+	}{
+		{0, 1}, {1, 3}, {2, 3}, {3, 4}, {6, 4}, {7, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := s.CountAtOrBefore(c.t); got != c.want {
+			t.Errorf("CountAtOrBefore(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestCheckMonotoneGenerator(t *testing.T) {
+	inc := GeneratorFunc(func(i uint64) Time { return Time(i) })
+	if idx, ok := CheckMonotone(inc, 1000); !ok {
+		t.Errorf("increasing generator flagged at %d", idx)
+	}
+	bad := GeneratorFunc(func(i uint64) Time {
+		if i == 5 {
+			return 0
+		}
+		return Time(i)
+	})
+	if idx, ok := CheckMonotone(bad, 1000); ok || idx != 5 {
+		t.Errorf("CheckMonotone(bad) = (%d,%v), want (5,false)", idx, ok)
+	}
+}
+
+func TestCheckProgress(t *testing.T) {
+	inc := GeneratorFunc(func(i uint64) Time { return Time(i / 3) })
+	idx, ok := CheckProgress(inc, 10, 1<<20)
+	if !ok {
+		t.Fatal("progress not found for unbounded generator")
+	}
+	if inc.Tau(idx) <= 10 {
+		t.Fatalf("witness Tau(%d)=%d is not > 10", idx, inc.Tau(idx))
+	}
+	if idx > 0 && inc.Tau(idx-1) > 10 {
+		t.Fatalf("witness %d is not the first index beyond 10", idx)
+	}
+
+	frozen := GeneratorFunc(func(i uint64) Time { return 4 })
+	if _, ok := CheckProgress(frozen, 4, 1<<16); ok {
+		t.Error("frozen generator claimed progress beyond its constant")
+	}
+	if _, ok := CheckProgress(frozen, 3, 1<<16); !ok {
+		t.Error("constant-4 generator should progress beyond 3")
+	}
+}
+
+// Property: for strictly increasing generators, CheckProgress returns the
+// minimal witness.
+func TestCheckProgressMinimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		step := Time(rng.Intn(5) + 1)
+		g := GeneratorFunc(func(i uint64) Time { return Time(i) * step })
+		target := Time(rng.Intn(1000))
+		idx, ok := CheckProgress(g, target, 1<<20)
+		if !ok {
+			t.Fatalf("no progress found for step=%d target=%d", step, target)
+		}
+		if g.Tau(idx) <= target {
+			t.Fatalf("Tau(%d)=%d ≤ %d", idx, g.Tau(idx), target)
+		}
+		if idx > 0 && g.Tau(idx-1) > target {
+			t.Fatalf("witness %d not minimal for step=%d target=%d", idx, step, target)
+		}
+	}
+}
+
+func TestWellBehavedWithin(t *testing.T) {
+	inc := GeneratorFunc(func(i uint64) Time { return Time(i) })
+	if !WellBehavedWithin(inc, 1000) {
+		t.Error("identity generator should look well behaved")
+	}
+	frozen := GeneratorFunc(func(i uint64) Time { return 9 })
+	if WellBehavedWithin(frozen, 1000) {
+		t.Error("frozen generator should not look well behaved")
+	}
+	bad := GeneratorFunc(func(i uint64) Time { return Time(1000 - i) })
+	if WellBehavedWithin(bad, 100) {
+		t.Error("decreasing generator should not look well behaved")
+	}
+}

@@ -1,0 +1,125 @@
+// Package vtime is a deterministic discrete virtual-time kernel shared by
+// the simulators in this repository (the real-time algorithm runtime, the
+// real-time database, the ad hoc network). Time is the discrete chronon
+// scale of Definition 3.1; events fire in (time, priority, insertion order)
+// order, so every simulation is reproducible.
+package vtime
+
+import (
+	"container/heap"
+
+	"rtc/internal/timeseq"
+)
+
+// Scheduler is a virtual-time event queue. The zero value is not usable;
+// call New.
+type Scheduler struct {
+	now   timeseq.Time
+	queue eventHeap
+	seq   uint64
+}
+
+// New returns a scheduler at time 0.
+func New() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() timeseq.Time { return s.now }
+
+// At schedules fn at absolute time t with the given priority (lower fires
+// first among same-time events). Scheduling in the past panics: virtual time
+// never rewinds.
+func (s *Scheduler) At(t timeseq.Time, priority int, fn func()) {
+	if t < s.now {
+		panic("vtime: scheduling into the past")
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, priority: priority, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d chronons from now.
+func (s *Scheduler) After(d timeseq.Time, priority int, fn func()) {
+	s.At(s.now+d, priority, fn)
+}
+
+// Every schedules fn at start, start+period, start+2·period, … until the
+// scheduler is drained or the returned cancel function is called.
+func (s *Scheduler) Every(start, period timeseq.Time, priority int, fn func()) (cancel func()) {
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		s.After(period, priority, tick)
+	}
+	s.At(start, priority, tick)
+	return func() { stopped = true }
+}
+
+// Step fires the next event, advancing time to it. It reports false when the
+// queue is empty.
+func (s *Scheduler) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil fires every event scheduled strictly before or at limit, then
+// sets the clock to limit. Events scheduled by handlers are honoured if they
+// fall within the limit.
+func (s *Scheduler) RunUntil(limit timeseq.Time) {
+	for s.queue.Len() > 0 && s.queue[0].at <= limit {
+		s.Step()
+	}
+	if s.now < limit {
+		s.now = limit
+	}
+}
+
+// Drain fires events until the queue is empty. Callers must ensure the event
+// set is finite (e.g. cancel recurring events), or bound execution with
+// RunUntil instead.
+func (s *Scheduler) Drain() {
+	for s.Step() {
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+type event struct {
+	at       timeseq.Time
+	priority int
+	seq      uint64
+	fn       func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,111 @@
+package vtime
+
+import (
+	"testing"
+
+	"rtc/internal/timeseq"
+)
+
+func TestOrderingByTime(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(5, 0, func() { got = append(got, 5) })
+	s.At(1, 0, func() { got = append(got, 1) })
+	s.At(3, 0, func() { got = append(got, 3) })
+	s.Drain()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %d", s.Now())
+	}
+}
+
+func TestOrderingByPriorityThenSeq(t *testing.T) {
+	s := New()
+	var got []string
+	s.At(2, 1, func() { got = append(got, "p1-first") })
+	s.At(2, 0, func() { got = append(got, "p0") })
+	s.At(2, 1, func() { got = append(got, "p1-second") })
+	s.Drain()
+	want := []string{"p0", "p1-first", "p1-second"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestSchedulingFromHandler(t *testing.T) {
+	s := New()
+	var got []timeseq.Time
+	s.At(1, 0, func() {
+		got = append(got, s.Now())
+		s.After(2, 0, func() { got = append(got, s.Now()) })
+	})
+	s.Drain()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := New()
+	s.At(5, 0, func() {})
+	s.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on past scheduling")
+		}
+	}()
+	s.At(1, 0, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(1, 0, func() { fired++ })
+	s.At(10, 0, func() { fired++ })
+	s.RunUntil(5)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %d, want 5", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.RunUntil(10)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	var at []timeseq.Time
+	cancel := s.Every(2, 3, 0, func() { at = append(at, s.Now()) })
+	s.RunUntil(11)
+	cancel()
+	s.RunUntil(100)
+	want := []timeseq.Time{2, 5, 8, 11}
+	if len(at) != len(want) {
+		t.Fatalf("fired at %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty scheduler returned true")
+	}
+}

@@ -1,0 +1,214 @@
+package word
+
+import "rtc/internal/timeseq"
+
+// Concat implements the concatenation of timed ω-words from Definition 3.5:
+// the elements of a and b are merged in non-decreasing order of arrival
+// time, where
+//
+//   - item 1: both operands are subsequences of the result and every result
+//     element comes from one operand;
+//   - item 2: blocks of equal-timestamp elements inside one operand stay
+//     contiguous and in order (guaranteed here because each operand is
+//     consumed strictly left to right);
+//   - item 3: when an element of a and an element of b carry the same
+//     timestamp, the element of a precedes.
+//
+// Items 1–3 make the result unique, so concatenation is exactly the stable
+// merge computed here. If both operands are finite the result is Finite;
+// otherwise it is a lazily merged infinite word.
+func Concat(a, b Word) Word {
+	la, lb := a.Length(), b.Length()
+	if !la.Omega && !lb.Omega {
+		return concatFinite(a, la.N, b, lb.N)
+	}
+	var ai, bi uint64
+	return Sequential(func() TimedSym {
+		aOK := la.Omega || ai < la.N
+		bOK := lb.Omega || bi < lb.N
+		switch {
+		case aOK && bOK:
+			ea, eb := a.At(ai), b.At(bi)
+			if ea.At <= eb.At {
+				ai++
+				return ea
+			}
+			bi++
+			return eb
+		case aOK:
+			e := a.At(ai)
+			ai++
+			return e
+		case bOK:
+			e := b.At(bi)
+			bi++
+			return e
+		default:
+			// Unreachable: at least one operand is infinite.
+			panic("word: merged word exhausted both finite operands")
+		}
+	})
+}
+
+func concatFinite(a Word, na uint64, b Word, nb uint64) Finite {
+	out := make(Finite, 0, na+nb)
+	var ai, bi uint64
+	for ai < na && bi < nb {
+		ea, eb := a.At(ai), b.At(bi)
+		if ea.At <= eb.At {
+			out = append(out, ea)
+			ai++
+		} else {
+			out = append(out, eb)
+			bi++
+		}
+	}
+	for ; ai < na; ai++ {
+		out = append(out, a.At(ai))
+	}
+	for ; bi < nb; bi++ {
+		out = append(out, b.At(bi))
+	}
+	return out
+}
+
+// ConcatAll folds Concat over ws left to right. Definition 3.5's merge is
+// associative, so the grouping does not matter; left folding keeps the
+// intermediate words cheap when early operands are finite.
+func ConcatAll(ws ...Word) Word {
+	if len(ws) == 0 {
+		return Finite(nil)
+	}
+	acc := ws[0]
+	for _, w := range ws[1:] {
+		acc = Concat(acc, w)
+	}
+	return acc
+}
+
+// IsConcatenationOf checks, over the first horizon elements, that w equals
+// the (unique) concatenation of a and b under Definition 3.5. For finite
+// operands a horizon covering both operands makes the check exact.
+func IsConcatenationOf(w, a, b Word, horizon uint64) bool {
+	want := Concat(a, b)
+	for i := uint64(0); i < horizon; i++ {
+		lw, lwant := w.Length(), want.Length()
+		wDone := !lw.Omega && i >= lw.N
+		wantDone := !lwant.Omega && i >= lwant.N
+		if wDone != wantDone {
+			return false
+		}
+		if wDone {
+			return true
+		}
+		if w.At(i) != want.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeMany concatenates a countably infinite family of timed words
+// stream(0), stream(1), … under Definition 3.5, generalising the binary
+// merge: elements are ordered by arrival time, with lower stream index
+// winning ties (the generalisation of item 3), and each stream consumed left
+// to right (item 2).
+//
+// The family must satisfy the condition Lemma 5.1 isolates for the periodic
+// query construction: the first timestamp of stream(k) is non-decreasing in
+// k and unbounded. Then only finitely many streams contribute below any
+// time bound, every output position is determined after opening finitely
+// many streams, and — when each stream is itself monotone — the result is a
+// timed ω-word. This is exactly how the paper assembles the periodic-query
+// word pq = aq_{[q,s1,t]}·aq_{[q,s2,t+tp]}·… (§5.1.3) and the network trace
+// w_{n,ω} = h_1…h_n·m_{u1}·r_{u1}·… (§5.2.4).
+func MergeMany(stream func(k uint64) Word) Word {
+	type cursor struct {
+		k   uint64
+		w   Word
+		len Length
+		idx uint64
+		cur TimedSym
+	}
+	var open []*cursor
+	nextK := uint64(0)
+	var nextFirst TimedSym
+	nextAvail := false // whether stream(nextK) has been probed
+
+	probeNext := func() {
+		for {
+			w := stream(nextK)
+			l := w.Length()
+			if !l.Omega && l.N == 0 {
+				// Empty stream: skip it entirely.
+				nextK++
+				continue
+			}
+			nextFirst = w.At(0)
+			nextAvail = true
+			return
+		}
+	}
+	openStream := func() {
+		w := stream(nextK)
+		open = append(open, &cursor{k: nextK, w: w, len: w.Length(), cur: nextFirst})
+		nextK++
+		nextAvail = false
+	}
+
+	return Sequential(func() TimedSym {
+		for {
+			if !nextAvail {
+				probeNext()
+			}
+			// Current best among open cursors: minimal (time, k).
+			var best *cursor
+			for _, c := range open {
+				if best == nil || c.cur.At < best.cur.At || (c.cur.At == best.cur.At && c.k < best.k) {
+					best = c
+				}
+			}
+			// Open further streams whose first element would arrive no
+			// later than the current best (or if nothing is open yet).
+			if best == nil || nextFirst.At <= best.cur.At {
+				openStream()
+				continue
+			}
+			out := best.cur
+			best.idx++
+			if best.len.Omega || best.idx < best.len.N {
+				best.cur = best.w.At(best.idx)
+			} else {
+				// Stream exhausted: drop the cursor.
+				for i, c := range open {
+					if c == best {
+						open = append(open[:i], open[i+1:]...)
+						break
+					}
+				}
+			}
+			return out
+		}
+	})
+}
+
+// Repeat returns the ω-word obtained by repeating the finite word w with its
+// timestamps shifted by period per repetition — the k-fold self-
+// concatenation of Definition 3.6 carried to infinity. The result is a
+// Lasso, so acceptance on it stays decidable. Repeat requires a non-empty w
+// whose span fits within period (so repetitions do not interleave); for the
+// general interleaving case use MergeMany with shifted copies.
+func Repeat(w Finite, period timeseq.Time) (*Lasso, error) {
+	return NewLasso(nil, w, period)
+}
+
+// Shift returns a copy of the finite word w with all timestamps moved
+// forward by dt.
+func Shift(w Finite, dt timeseq.Time) Finite {
+	out := make(Finite, len(w))
+	for i, e := range w {
+		e.At += dt
+		out[i] = e
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package word
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rtc/internal/timeseq"
+)
+
+func TestConcatFiniteBasic(t *testing.T) {
+	a := MustFinite(ts("a1", 0), ts("a2", 2), ts("a3", 4))
+	b := MustFinite(ts("b1", 1), ts("b2", 2), ts("b3", 5))
+	got := Concat(a, b).(Finite)
+	want := Finite{
+		ts("a1", 0), ts("b1", 1),
+		ts("a2", 2), // item 3: a wins the tie at time 2
+		ts("b2", 2),
+		ts("a3", 4), ts("b3", 5),
+	}
+	if !Equal(got, want) {
+		t.Fatalf("Concat = %v, want %v", got, want)
+	}
+}
+
+// Item 3 of Definition 3.5: on equal arrival times, the left operand's
+// symbol precedes.
+func TestConcatTieBreak(t *testing.T) {
+	a := MustFinite(ts("x", 5))
+	b := MustFinite(ts("y", 5))
+	got := Concat(a, b).(Finite)
+	if got[0].Sym != "x" || got[1].Sym != "y" {
+		t.Fatalf("tie broken wrong: %v", got)
+	}
+	// And reversed operands reverse the order.
+	got = Concat(b, a).(Finite)
+	if got[0].Sym != "y" || got[1].Sym != "x" {
+		t.Fatalf("reverse tie broken wrong: %v", got)
+	}
+}
+
+// Item 2 of Definition 3.5: equal-timestamp blocks within one operand stay
+// contiguous and ordered.
+func TestConcatPreservesBlocks(t *testing.T) {
+	a := MustFinite(ts("a1", 3), ts("a2", 3), ts("a3", 3))
+	b := MustFinite(ts("b1", 3), ts("b2", 3))
+	got := Concat(a, b).(Finite)
+	want := Finite{ts("a1", 3), ts("a2", 3), ts("a3", 3), ts("b1", 3), ts("b2", 3)}
+	if !Equal(got, want) {
+		t.Fatalf("Concat = %v, want %v", got, want)
+	}
+}
+
+// Item 1 of Definition 3.5, as a property over random operands: the result
+// is a monotone word of combined length of which both operands are
+// subsequences.
+func TestConcatProperties(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := randomWord(xs, "a")
+		b := randomWord(ys, "b")
+		m := Concat(a, b).(Finite)
+		if len(m) != len(a)+len(b) {
+			return false
+		}
+		if !MonotoneWithin(m, uint64(len(m))) {
+			return false
+		}
+		return IsSubsequence(a, m, uint64(len(m))) && IsSubsequence(b, m, uint64(len(m)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Concatenation under Definition 3.5 is associative; verify on random
+// triples.
+func TestConcatAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		a := randomWordN(rng, 6, "a")
+		b := randomWordN(rng, 6, "b")
+		c := randomWordN(rng, 6, "c")
+		left := Concat(Concat(a, b), c).(Finite)
+		right := Concat(a, Concat(b, c)).(Finite)
+		if !Equal(left, right) {
+			t.Fatalf("associativity broken:\n a=%v\n b=%v\n c=%v\n (ab)c=%v\n a(bc)=%v",
+				a, b, c, left, right)
+		}
+	}
+}
+
+func TestConcatInfinite(t *testing.T) {
+	a := RepeatClassical("a", 2)              // a at 0, 2, 4, ...
+	b := MustFinite(ts("b1", 1), ts("b2", 3)) // interleaves
+	m := Concat(a, b)                         // infinite
+	got := Prefix(m, 6)
+	want := Finite{ts("a", 0), ts("b1", 1), ts("a", 2), ts("b2", 3), ts("a", 4), ts("a", 6)}
+	if !Equal(got, want) {
+		t.Fatalf("Concat(inf, fin) prefix = %v, want %v", got, want)
+	}
+	if !m.Length().Omega {
+		t.Error("infinite concat not infinite")
+	}
+}
+
+func TestIsConcatenationOf(t *testing.T) {
+	a := MustFinite(ts("a", 0), ts("a", 2))
+	b := MustFinite(ts("b", 1))
+	good := Finite{ts("a", 0), ts("b", 1), ts("a", 2)}
+	if !IsConcatenationOf(good, a, b, 10) {
+		t.Error("true concatenation rejected")
+	}
+	bad := Finite{ts("b", 1), ts("a", 0), ts("a", 2)}
+	if IsConcatenationOf(bad, a, b, 10) {
+		t.Error("false concatenation accepted")
+	}
+}
+
+func TestConcatAll(t *testing.T) {
+	if got := ConcatAll(); got.Length().Omega || got.Length().N != 0 {
+		t.Error("empty ConcatAll not the empty word")
+	}
+	a := MustFinite(ts("a", 0))
+	b := MustFinite(ts("b", 1))
+	c := MustFinite(ts("c", 0))
+	got := ConcatAll(a, b, c).(Finite)
+	want := Finite{ts("a", 0), ts("c", 0), ts("b", 1)}
+	if !Equal(got, want) {
+		t.Fatalf("ConcatAll = %v, want %v", got, want)
+	}
+}
+
+// MergeMany with shifted copies reproduces the periodic-query construction
+// pattern of §5.1.3 and preserves Lemma 5.1's finiteness: every prefix is
+// produced after opening finitely many streams.
+func TestMergeMany(t *testing.T) {
+	base := MustFinite(ts("q", 0), ts("s", 1))
+	m := MergeMany(func(k uint64) Word {
+		return Shift(base, timeseq.Time(3*k))
+	})
+	got := Prefix(m, 8)
+	want := Finite{
+		ts("q", 0), ts("s", 1),
+		ts("q", 3), ts("s", 4),
+		ts("q", 6), ts("s", 7),
+		ts("q", 9), ts("s", 10),
+	}
+	if !Equal(got, want) {
+		t.Fatalf("MergeMany prefix = %v, want %v", got, want)
+	}
+}
+
+// MergeMany must interleave overlapping streams by time with lower stream
+// index winning ties.
+func TestMergeManyInterleaving(t *testing.T) {
+	// stream k: two symbols at times k and k+2, labelled by stream.
+	m := MergeMany(func(k uint64) Word {
+		lbl := Symbol(string(rune('A' + k)))
+		return MustFinite(TimedSym{lbl, timeseq.Time(k)}, TimedSym{lbl, timeseq.Time(k + 2)})
+	})
+	got := Prefix(m, 6)
+	want := Finite{
+		{"A", 0}, {"B", 1},
+		{"A", 2}, {"C", 2}, // tie at 2: stream 0 before stream 2
+		{"B", 3}, {"D", 3}, // tie at 3: stream 1 before stream 3
+	}
+	if !Equal(got, want) {
+		t.Fatalf("MergeMany = %v, want %v", got, want)
+	}
+}
+
+// MergeMany with infinite streams: each stream is itself an ω-word.
+func TestMergeManyInfiniteStreams(t *testing.T) {
+	m := MergeMany(func(k uint64) Word {
+		lbl := Symbol(string(rune('a' + k)))
+		return &Lasso{Cycle: Finite{{lbl, timeseq.Time(10 * k)}}, Period: 100}
+	})
+	got := Prefix(m, 5)
+	want := Finite{{"a", 0}, {"b", 10}, {"c", 20}, {"d", 30}, {"e", 40}}
+	if !Equal(got, want) {
+		t.Fatalf("MergeMany infinite = %v, want %v", got, want)
+	}
+	// Deep index: the streams keep cycling with period 100.
+	if e := m.At(10); e.At > 110 {
+		t.Fatalf("At(10) = %v, clock ran away", e)
+	}
+}
+
+func TestRepeatAndShift(t *testing.T) {
+	w := MustFinite(ts("a", 0), ts("b", 1))
+	l, err := Repeat(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Prefix(l, 4)
+	want := Finite{ts("a", 0), ts("b", 1), ts("a", 2), ts("b", 3)}
+	if !Equal(got, want) {
+		t.Fatalf("Repeat = %v, want %v", got, want)
+	}
+	if _, err := Repeat(MustFinite(ts("a", 0), ts("b", 5)), 2); err == nil {
+		t.Error("Repeat accepted a word wider than its period")
+	}
+	s := Shift(w, 10)
+	if s[0].At != 10 || s[1].At != 11 {
+		t.Errorf("Shift = %v", s)
+	}
+	if w[0].At != 0 {
+		t.Error("Shift mutated its input")
+	}
+}
+
+// randomWord builds a monotone finite word from fuzz input by sorting the
+// timestamps.
+func randomWord(xs []uint8, label string) Finite {
+	times := make([]timeseq.Time, len(xs))
+	for i, x := range xs {
+		times[i] = timeseq.Time(x % 32)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	w := make(Finite, len(times))
+	for i, at := range times {
+		w[i] = TimedSym{Sym: Symbol(label), At: at}
+	}
+	return w
+}
+
+func randomWordN(rng *rand.Rand, n int, label string) Finite {
+	xs := make([]uint8, rng.Intn(n+1))
+	for i := range xs {
+		xs[i] = uint8(rng.Intn(256))
+	}
+	return randomWord(xs, label)
+}

@@ -1,0 +1,37 @@
+package word_test
+
+import (
+	"fmt"
+
+	"rtc/internal/word"
+)
+
+// Concatenation under Definition 3.5 merges by arrival time; on ties, the
+// left operand's symbols come first.
+func ExampleConcat() {
+	a := word.MustFinite(
+		word.TimedSym{Sym: "a1", At: 0},
+		word.TimedSym{Sym: "a2", At: 2},
+	)
+	b := word.MustFinite(
+		word.TimedSym{Sym: "b1", At: 1},
+		word.TimedSym{Sym: "b2", At: 2},
+	)
+	fmt.Println(word.Concat(a, b))
+	// Output: (a1,0)(b1,1)(a2,2)(b2,2)
+}
+
+// A lasso presents an ultimately periodic timed ω-word; period 0 yields the
+// classical-word embedding of §3.2, which is never well behaved.
+func ExampleLasso_WellBehaved() {
+	ticking := word.RepeatClassical("ab", 1)
+	frozen := word.MustLasso(nil, word.FromClassical("ab", 0), 0)
+	fmt.Println(ticking.WellBehaved(), frozen.WellBehaved())
+	// Output: true false
+}
+
+func ExamplePrefix() {
+	w := word.RepeatClassical("x", 2)
+	fmt.Println(word.Prefix(w, 3))
+	// Output: (x,0)(x,2)(x,4)
+}

@@ -1,0 +1,42 @@
+package word
+
+import "sync"
+
+// Gen is an infinite timed word defined by random access. The function must
+// be pure (same i ⇒ same element) and its time projection monotone; the
+// constructions of §4 and §5 of the paper (deadline words, data-accumulating
+// words, database words) are all of this shape.
+type Gen struct {
+	F func(i uint64) TimedSym
+}
+
+// At implements Word.
+func (g Gen) At(i uint64) TimedSym { return g.F(i) }
+
+// Length implements Word; a Gen word always has length ω.
+func (g Gen) Length() Length { return OmegaLen }
+
+// memoWord caches the elements of an underlying sequential producer so that
+// At supports random access. It is safe for concurrent use.
+type memoWord struct {
+	mu   sync.Mutex
+	next func() TimedSym // produces element len(buf)
+	buf  []TimedSym
+}
+
+func (m *memoWord) At(i uint64) TimedSym {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for uint64(len(m.buf)) <= i {
+		m.buf = append(m.buf, m.next())
+	}
+	return m.buf[i]
+}
+
+func (m *memoWord) Length() Length { return OmegaLen }
+
+// Sequential wraps a stateful producer (called exactly once per index, in
+// order) as a random-access infinite Word.
+func Sequential(next func() TimedSym) Word {
+	return &memoWord{next: next}
+}

@@ -1,0 +1,119 @@
+package word
+
+import (
+	"errors"
+	"fmt"
+
+	"rtc/internal/timeseq"
+)
+
+// Lasso is an ultimately periodic timed ω-word u·v^ω. The k-th traversal of
+// the cycle v shifts every cycle timestamp by k·Period chronons. Lassos are
+// the finite presentation of ω-words on which acceptance questions (Büchi,
+// Muller, and the "f infinitely often" condition of Definition 3.4) are
+// exactly decidable.
+type Lasso struct {
+	Prefix Finite
+	Cycle  Finite // must be non-empty
+	// Period is the time advance per full traversal of Cycle. A Lasso is a
+	// well-behaved timed word iff Period ≥ 1 (the progress condition of
+	// Definition 3.1); Period 0 yields a valid but frozen — hence not well
+	// behaved — timed word, such as the classical-word embedding of §3.2.
+	Period timeseq.Time
+}
+
+var errEmptyCycle = errors.New("word: lasso cycle must be non-empty")
+
+// NewLasso validates the lasso invariants:
+//
+//   - Cycle is non-empty;
+//   - Prefix and Cycle time projections are monotone;
+//   - the last prefix timestamp does not exceed the first cycle timestamp;
+//   - the last cycle timestamp does not exceed first cycle timestamp+Period,
+//     so consecutive traversals remain monotone.
+func NewLasso(prefix, cycle Finite, period timeseq.Time) (*Lasso, error) {
+	if len(cycle) == 0 {
+		return nil, errEmptyCycle
+	}
+	if _, err := NewFinite(prefix...); err != nil {
+		return nil, fmt.Errorf("word: lasso prefix: %w", err)
+	}
+	if _, err := NewFinite(cycle...); err != nil {
+		return nil, fmt.Errorf("word: lasso cycle: %w", err)
+	}
+	if len(prefix) > 0 && prefix[len(prefix)-1].At > cycle[0].At {
+		return nil, fmt.Errorf("word: lasso prefix ends at %d after cycle starts at %d: %w",
+			prefix[len(prefix)-1].At, cycle[0].At, timeseq.ErrNotMonotone)
+	}
+	if cycle[len(cycle)-1].At > cycle[0].At+period {
+		return nil, fmt.Errorf("word: lasso cycle spans %d..%d but period is %d: %w",
+			cycle[0].At, cycle[len(cycle)-1].At, period, timeseq.ErrNotMonotone)
+	}
+	return &Lasso{Prefix: prefix, Cycle: cycle, Period: period}, nil
+}
+
+// MustLasso is NewLasso for statically known lassos; it panics on invalid
+// input.
+func MustLasso(prefix, cycle Finite, period timeseq.Time) *Lasso {
+	l, err := NewLasso(prefix, cycle, period)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// At implements Word.
+func (l *Lasso) At(i uint64) TimedSym {
+	if i < uint64(len(l.Prefix)) {
+		return l.Prefix[i]
+	}
+	i -= uint64(len(l.Prefix))
+	k := i / uint64(len(l.Cycle))
+	j := i % uint64(len(l.Cycle))
+	e := l.Cycle[j]
+	e.At += timeseq.Time(k) * l.Period
+	return e
+}
+
+// Length implements Word; a lasso always has length ω.
+func (l *Lasso) Length() Length { return OmegaLen }
+
+// WellBehaved reports — exactly — whether l is a well-behaved timed ω-word:
+// the progress condition holds iff the clock advances by at least one
+// chronon per cycle traversal.
+func (l *Lasso) WellBehaved() bool { return l.Period >= 1 }
+
+// CycleStart returns the index of the first element of the first cycle
+// traversal.
+func (l *Lasso) CycleStart() uint64 { return uint64(len(l.Prefix)) }
+
+// CycleLen returns the number of elements per cycle traversal.
+func (l *Lasso) CycleLen() uint64 { return uint64(len(l.Cycle)) }
+
+// CountInCycle returns how many elements of one cycle traversal carry the
+// given symbol. Under Definition 3.4 a lasso input is accepted by an
+// acceptor that eventually echoes the cycle iff the designated symbol recurs
+// in the cycle, so this count decides "infinitely many occurrences".
+func (l *Lasso) CountInCycle(s Symbol) int {
+	n := 0
+	for _, e := range l.Cycle {
+		if e.Sym == s {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the lasso as prefix(cycle)^ω[+period].
+func (l *Lasso) String() string {
+	return fmt.Sprintf("%s(%s)^ω+%d", l.Prefix, l.Cycle, l.Period)
+}
+
+// RepeatClassical builds the lasso embedding of the ω-word (syms)^ω where
+// every symbol of the i-th repetition arrives at time i·period (one
+// traversal per period chronons). With period ≥ 1 the result is well
+// behaved.
+func RepeatClassical(syms string, period timeseq.Time) *Lasso {
+	cyc := FromClassical(syms, 0)
+	return MustLasso(nil, cyc, period)
+}

@@ -1,0 +1,80 @@
+package word
+
+import (
+	"math/rand"
+	"testing"
+
+	"rtc/internal/timeseq"
+)
+
+// Property: MergeMany's output contains every stream as a subsequence
+// (item 1 of Definition 3.5, generalized), is monotone, and — below the
+// padding horizon — has exactly the combined length of the finite streams.
+//
+// MergeMany consumes an infinite family; the trial's finite streams are
+// padded with far-future infinite lassos, whose first elements mark where
+// the interesting prefix ends.
+func TestMergeManyProperties(t *testing.T) {
+	const padAt = 100000
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		nStreams := 2 + rng.Intn(4)
+		streams := make([]Finite, nStreams)
+		total := 0
+		for k := range streams {
+			n := 1 + rng.Intn(5)
+			at := timeseq.Time(k * 3) // non-decreasing first times
+			w := make(Finite, 0, n)
+			for i := 0; i < n; i++ {
+				at += timeseq.Time(rng.Intn(4))
+				w = append(w, TimedSym{Sym: Symbol(rune('A' + k)), At: at})
+			}
+			streams[k] = w
+			total += n
+		}
+		m := MergeMany(func(k uint64) Word {
+			if int(k) < nStreams {
+				return streams[k]
+			}
+			return MustLasso(nil, Finite{{Sym: "pad", At: padAt + timeseq.Time(k)}}, 1)
+		})
+		p := Prefix(m, uint64(total)+1)
+		if len(p) != total+1 {
+			t.Fatalf("trial %d: prefix length %d", trial, len(p))
+		}
+		if p[total].At < padAt {
+			t.Fatalf("trial %d: element %d should be padding, got %v", trial, total, p[total])
+		}
+		body := p[:total]
+		if !MonotoneWithin(body, uint64(total)) {
+			t.Fatalf("trial %d: merged body not monotone: %v", trial, body)
+		}
+		for k, s := range streams {
+			if !IsSubsequence(s, body, uint64(total)) {
+				t.Fatalf("trial %d: stream %d (%v) not a subsequence of %v", trial, k, s, body)
+			}
+		}
+	}
+}
+
+// Ties across streams resolve to the lower stream index, and elements of
+// one stream never reorder.
+func TestMergeManyStability(t *testing.T) {
+	streams := []Finite{
+		{{Sym: "a1", At: 5}, {Sym: "a2", At: 5}},
+		{{Sym: "b1", At: 5}},
+	}
+	m := MergeMany(func(k uint64) Word {
+		if int(k) < len(streams) {
+			return streams[k]
+		}
+		return MustLasso(nil, Finite{{Sym: "pad", At: 1000 + timeseq.Time(k)}}, 1)
+	})
+	p := Prefix(m, 3)
+	want := []Symbol{"a1", "a2", "b1"}
+	for i, s := range want {
+		if p[i].Sym != s {
+			t.Fatalf("merged = %v, want order %v", p, want)
+		}
+	}
+}

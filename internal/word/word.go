@@ -1,0 +1,238 @@
+// Package word implements timed ω-words (Definition 3.2 of Bruda & Akl,
+// IPPS 2001): pairs (σ, τ) of a symbol sequence and a time sequence, where
+// τ_i is the instant at which σ_i becomes available as input.
+//
+// Three representations cover the uses in the paper:
+//
+//   - Finite: an explicit finite timed word (time sequences may be finite by
+//     Definition 3.1).
+//   - Lasso: an ultimately periodic infinite word u·v^ω with a fixed time
+//     advance per period. Lassos make acceptance by ω-automata and the
+//     "f infinitely often" condition of Definition 3.4 exactly decidable,
+//     and are the standard finite presentation of ω-words.
+//   - Gen: a lazily evaluated infinite word given by random access, used for
+//     the constructions of §4 and §5 (deadline words, data-accumulating
+//     words, database words, network traces).
+//
+// The concatenation of Definition 3.5 — a stable merge by arrival time — is
+// implemented by Concat and works across all representations.
+package word
+
+import (
+	"fmt"
+	"strings"
+
+	"rtc/internal/timeseq"
+)
+
+// Symbol is one input or output symbol. The paper's alphabets mix plain
+// letters with encoded values (usefulness figures, encodings of tuples,
+// positions, …), so symbols are small strings rather than runes.
+type Symbol string
+
+// TimedSym is one element (σ_i, τ_i) of a timed word.
+type TimedSym struct {
+	Sym Symbol
+	At  timeseq.Time
+}
+
+// Length describes the length of a word: either a finite count or ω.
+type Length struct {
+	N     uint64 // valid when !Omega
+	Omega bool
+}
+
+// Finite constructs the length of a finite word.
+func FiniteLen(n uint64) Length { return Length{N: n} }
+
+// OmegaLen is the length ω.
+var OmegaLen = Length{Omega: true}
+
+// Word is a timed word of finite or infinite length. At(i) must be defined
+// for every i < Length().N (finite case) or every i (infinite case), and the
+// projected time sequence must be monotone.
+type Word interface {
+	// At returns the i-th element, 0-indexed.
+	At(i uint64) TimedSym
+	// Length reports the word's length (possibly ω).
+	Length() Length
+}
+
+// Finite is an explicit finite timed word. The zero value is the empty word.
+type Finite []TimedSym
+
+// At implements Word.
+func (f Finite) At(i uint64) TimedSym { return f[i] }
+
+// Length implements Word.
+func (f Finite) Length() Length { return FiniteLen(uint64(len(f))) }
+
+// NewFinite validates monotonicity of the time projection and returns the
+// word.
+func NewFinite(elems ...TimedSym) (Finite, error) {
+	for i := 1; i < len(elems); i++ {
+		if elems[i].At < elems[i-1].At {
+			return nil, fmt.Errorf("word: element %d at time %d precedes element %d at time %d: %w",
+				i, elems[i].At, i-1, elems[i-1].At, timeseq.ErrNotMonotone)
+		}
+	}
+	return Finite(elems), nil
+}
+
+// MustFinite is NewFinite for statically known words; it panics on invalid
+// input.
+func MustFinite(elems ...TimedSym) Finite {
+	w, err := NewFinite(elems...)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// FromClassical embeds a classical (untimed) word as a timed word by
+// attaching the constant time sequence t,t,...,t. With t = 0 this is the
+// embedding of §3.2: "one can add the time sequence 00…0 to a classical word
+// and obtain the corresponding timed ω-word", which is never well behaved.
+func FromClassical(syms string, t timeseq.Time) Finite {
+	w := make(Finite, 0, len(syms))
+	for _, r := range syms {
+		w = append(w, TimedSym{Sym: Symbol(string(r)), At: t})
+	}
+	return w
+}
+
+// Times returns the time projection τ of a finite word.
+func (f Finite) Times() timeseq.Seq {
+	s := make(timeseq.Seq, len(f))
+	for i, e := range f {
+		s[i] = e.At
+	}
+	return s
+}
+
+// Syms returns the symbol projection σ of a finite word.
+func (f Finite) Syms() []Symbol {
+	s := make([]Symbol, len(f))
+	for i, e := range f {
+		s[i] = e.Sym
+	}
+	return s
+}
+
+// String renders the word as (σ1,τ1)(σ2,τ2)… for debugging and test output.
+func (f Finite) String() string {
+	var b strings.Builder
+	for _, e := range f {
+		fmt.Fprintf(&b, "(%s,%d)", e.Sym, e.At)
+	}
+	return b.String()
+}
+
+// Prefix returns the first n elements of w as a Finite word. For finite w it
+// truncates at the word's end.
+func Prefix(w Word, n uint64) Finite {
+	if l := w.Length(); !l.Omega && l.N < n {
+		n = l.N
+	}
+	out := make(Finite, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, w.At(i))
+	}
+	return out
+}
+
+// PrefixUntil returns every element of w with timestamp ≤ t, scanning at
+// most maxLen elements. Because time projections are monotone, the scan
+// stops at the first element beyond t.
+func PrefixUntil(w Word, t timeseq.Time, maxLen uint64) Finite {
+	var out Finite
+	l := w.Length()
+	for i := uint64(0); i < maxLen; i++ {
+		if !l.Omega && i >= l.N {
+			break
+		}
+		e := w.At(i)
+		if e.At > t {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Equal reports whether two finite words are identical element-wise.
+func Equal(a, b Finite) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsequence reports whether sub is a subsequence of w (restricted to the
+// first maxLen elements of w), in the sense of §2: an order-preserving
+// embedding of (symbol, time) pairs. The greedy match is sound and complete
+// for the subsequence relation.
+func IsSubsequence(sub Finite, w Word, maxLen uint64) bool {
+	l := w.Length()
+	j := uint64(0)
+	for _, e := range sub {
+		for {
+			if j >= maxLen || (!l.Omega && j >= l.N) {
+				return false
+			}
+			cur := w.At(j)
+			j++
+			if cur == e {
+				break
+			}
+			// Monotone times let us abandon early: once w's clock passes
+			// e.At, the pair can no longer occur.
+			if cur.At > e.At {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MonotoneWithin verifies the time projection of w is monotone over the
+// first n elements.
+func MonotoneWithin(w Word, n uint64) bool {
+	if l := w.Length(); !l.Omega && l.N < n {
+		n = l.N
+	}
+	if n == 0 {
+		return true
+	}
+	prev := w.At(0).At
+	for i := uint64(1); i < n; i++ {
+		cur := w.At(i).At
+		if cur < prev {
+			return false
+		}
+		prev = cur
+	}
+	return true
+}
+
+// WellBehavedWithin reports whether w looks well behaved (Definition 3.2 via
+// Definition 3.1) when observed over its first horizon elements: the word is
+// infinite, monotone, and its clock advances within the window. For lassos,
+// prefer Lasso.WellBehaved, which is exact.
+func WellBehavedWithin(w Word, horizon uint64) bool {
+	if !w.Length().Omega {
+		return false // finite words are never well behaved
+	}
+	if !MonotoneWithin(w, horizon) {
+		return false
+	}
+	if horizon < 2 {
+		return true
+	}
+	return w.At(horizon-1).At > w.At(0).At
+}

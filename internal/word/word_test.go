@@ -1,0 +1,190 @@
+package word
+
+import (
+	"errors"
+	"testing"
+
+	"rtc/internal/timeseq"
+)
+
+func ts(sym string, at timeseq.Time) TimedSym {
+	return TimedSym{Sym: Symbol(sym), At: at}
+}
+
+func TestNewFiniteValidation(t *testing.T) {
+	if _, err := NewFinite(ts("a", 0), ts("b", 1), ts("c", 1)); err != nil {
+		t.Fatalf("monotone word rejected: %v", err)
+	}
+	_, err := NewFinite(ts("a", 2), ts("b", 1))
+	if !errors.Is(err, timeseq.ErrNotMonotone) {
+		t.Fatalf("non-monotone word accepted: %v", err)
+	}
+}
+
+func TestFromClassicalEmbedding(t *testing.T) {
+	w := FromClassical("abc", 0)
+	if len(w) != 3 {
+		t.Fatalf("length = %d", len(w))
+	}
+	for i, want := range []Symbol{"a", "b", "c"} {
+		if w[i].Sym != want || w[i].At != 0 {
+			t.Fatalf("element %d = %v", i, w[i])
+		}
+	}
+	// §3.2: the classical embedding is never well behaved.
+	if WellBehavedWithin(w, 10) {
+		t.Error("finite classical embedding claimed well behaved")
+	}
+}
+
+func TestPrefixAndPrefixUntil(t *testing.T) {
+	w := MustFinite(ts("a", 0), ts("b", 1), ts("c", 3), ts("d", 3), ts("e", 7))
+	p := Prefix(w, 3)
+	if !Equal(p, MustFinite(ts("a", 0), ts("b", 1), ts("c", 3))) {
+		t.Errorf("Prefix = %v", p)
+	}
+	if got := Prefix(w, 100); len(got) != 5 {
+		t.Errorf("over-long prefix length = %d", len(got))
+	}
+	u := PrefixUntil(w, 3, 100)
+	if !Equal(u, MustFinite(ts("a", 0), ts("b", 1), ts("c", 3), ts("d", 3))) {
+		t.Errorf("PrefixUntil(3) = %v", u)
+	}
+	if got := PrefixUntil(w, 0, 100); len(got) != 1 {
+		t.Errorf("PrefixUntil(0) length = %d", len(got))
+	}
+}
+
+func TestIsSubsequence(t *testing.T) {
+	w := MustFinite(ts("a", 0), ts("b", 1), ts("a", 1), ts("c", 3))
+	for _, sub := range []Finite{
+		nil,
+		{ts("a", 0)},
+		{ts("b", 1), ts("c", 3)},
+		{ts("a", 0), ts("a", 1)},
+	} {
+		if !IsSubsequence(sub, w, 100) {
+			t.Errorf("%v should embed into %v", sub, w)
+		}
+	}
+	for _, sub := range []Finite{
+		{ts("a", 2)},
+		{ts("c", 3), ts("a", 0)},
+		{ts("b", 1), ts("b", 1)},
+	} {
+		if IsSubsequence(sub, w, 100) {
+			t.Errorf("%v should NOT embed into %v", sub, w)
+		}
+	}
+}
+
+func TestLassoIndexing(t *testing.T) {
+	// prefix: (p,0); cycle: (x,1)(y,2) with period 2.
+	l := MustLasso(Finite{ts("p", 0)}, Finite{ts("x", 1), ts("y", 2)}, 2)
+	want := Finite{
+		ts("p", 0),
+		ts("x", 1), ts("y", 2),
+		ts("x", 3), ts("y", 4),
+		ts("x", 5), ts("y", 6),
+	}
+	got := Prefix(l, 7)
+	if !Equal(got, want) {
+		t.Fatalf("lasso prefix = %v, want %v", got, want)
+	}
+	if !l.Length().Omega {
+		t.Error("lasso not infinite")
+	}
+	if !l.WellBehaved() {
+		t.Error("period-2 lasso should be well behaved")
+	}
+}
+
+func TestLassoValidation(t *testing.T) {
+	if _, err := NewLasso(nil, nil, 1); err == nil {
+		t.Error("empty cycle accepted")
+	}
+	// Prefix ends after cycle starts.
+	if _, err := NewLasso(Finite{ts("p", 5)}, Finite{ts("x", 1)}, 1); err == nil {
+		t.Error("prefix/cycle overlap accepted")
+	}
+	// Cycle spans more than one period.
+	if _, err := NewLasso(nil, Finite{ts("x", 0), ts("y", 5)}, 2); err == nil {
+		t.Error("over-wide cycle accepted")
+	}
+}
+
+func TestLassoFrozenNotWellBehaved(t *testing.T) {
+	l := MustLasso(nil, Finite{ts("a", 0)}, 0)
+	if l.WellBehaved() {
+		t.Error("period-0 lasso claimed well behaved")
+	}
+	if WellBehavedWithin(l, 64) {
+		t.Error("frozen lasso passes the horizon check")
+	}
+}
+
+func TestCountInCycle(t *testing.T) {
+	l := MustLasso(nil, Finite{ts("f", 0), ts("w", 0), ts("f", 1)}, 1)
+	if got := l.CountInCycle("f"); got != 2 {
+		t.Errorf("CountInCycle(f) = %d", got)
+	}
+	if got := l.CountInCycle("z"); got != 0 {
+		t.Errorf("CountInCycle(z) = %d", got)
+	}
+}
+
+func TestRepeatClassical(t *testing.T) {
+	l := RepeatClassical("ab", 1)
+	got := Prefix(l, 5)
+	want := Finite{ts("a", 0), ts("b", 0), ts("a", 1), ts("b", 1), ts("a", 2)}
+	if !Equal(got, want) {
+		t.Fatalf("RepeatClassical prefix = %v, want %v", got, want)
+	}
+}
+
+func TestSequentialMemoization(t *testing.T) {
+	calls := 0
+	w := Sequential(func() TimedSym {
+		e := ts("x", timeseq.Time(calls))
+		calls++
+		return e
+	})
+	if w.At(3).At != 3 {
+		t.Fatalf("At(3) = %v", w.At(3))
+	}
+	if w.At(1).At != 1 { // must come from the memo, not a fresh call
+		t.Fatalf("At(1) = %v", w.At(1))
+	}
+	if calls != 4 {
+		t.Fatalf("producer called %d times, want 4", calls)
+	}
+}
+
+func TestGenWord(t *testing.T) {
+	g := Gen{F: func(i uint64) TimedSym { return ts("g", timeseq.Time(2*i)) }}
+	if !g.Length().Omega {
+		t.Error("Gen not infinite")
+	}
+	if !WellBehavedWithin(g, 50) {
+		t.Error("advancing Gen fails the horizon check")
+	}
+	if g.At(5) != ts("g", 10) {
+		t.Errorf("At(5) = %v", g.At(5))
+	}
+}
+
+func TestMonotoneWithin(t *testing.T) {
+	good := Gen{F: func(i uint64) TimedSym { return ts("x", timeseq.Time(i)) }}
+	if !MonotoneWithin(good, 100) {
+		t.Error("monotone Gen rejected")
+	}
+	bad := Gen{F: func(i uint64) TimedSym {
+		if i == 7 {
+			return ts("x", 0)
+		}
+		return ts("x", timeseq.Time(i))
+	}}
+	if MonotoneWithin(bad, 100) {
+		t.Error("non-monotone Gen accepted")
+	}
+}
