@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz examples experiments clean
+.PHONY: all build vet test race race-grid bench bench-json fuzz examples experiments clean
 
 all: build vet test
 
@@ -14,10 +14,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/adhoc/ ./internal/word/
+	$(GO) test -race ./internal/parallel/ ./internal/adhoc/... ./internal/word/
+
+# Grid/runner differential tests under the race detector: exercises the
+# kinematics cache and the parallel scenario runner concurrently.
+race-grid:
+	$(GO) test -run=TestGrid -race ./internal/adhoc/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable benchmark snapshot (ns/op, B/op, allocs/op for E1-E10
+# plus the adhoc scaling suite) for tracking perf across commits.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem . ./internal/adhoc/ | $(GO) run ./cmd/benchjson -o BENCH_adhoc.json
 
 # Short fuzzing passes over the parsers and encoders.
 fuzz:

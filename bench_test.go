@@ -12,6 +12,7 @@ package rtc_test
 
 import (
 	"fmt"
+	"runtime"
 
 	"testing"
 
@@ -211,21 +212,32 @@ func BenchmarkE6_Lemma51(b *testing.B) {
 	}
 }
 
-// E7: §5.2 — one cell of the routing comparison per protocol.
+// E7: §5.2 — one cell of the routing comparison per protocol, on the
+// grid-backed fast path.
 func BenchmarkE7_RoutingFlooding(b *testing.B) {
-	benchRouting(b, func() adhoc.Protocol { return &adhoc.Flooding{} })
+	benchRouting(b, false, func() adhoc.Protocol { return &adhoc.Flooding{} })
 }
 func BenchmarkE7_RoutingDV(b *testing.B) {
-	benchRouting(b, func() adhoc.Protocol { return &adhoc.DV{BeaconEvery: 5} })
+	benchRouting(b, false, func() adhoc.Protocol { return &adhoc.DV{BeaconEvery: 5} })
 }
 func BenchmarkE7_RoutingSR(b *testing.B) {
-	benchRouting(b, func() adhoc.Protocol { return &adhoc.SR{} })
+	benchRouting(b, false, func() adhoc.Protocol { return &adhoc.SR{} })
 }
 func BenchmarkE7_RoutingGeo(b *testing.B) {
-	benchRouting(b, func() adhoc.Protocol { return &adhoc.Geo{BeaconEvery: 5, BeaconTTL: 4} })
+	benchRouting(b, false, func() adhoc.Protocol { return &adhoc.Geo{BeaconEvery: 5, BeaconTTL: 4} })
 }
 
-func benchRouting(b *testing.B, mk func() adhoc.Protocol) {
+// E7 reference-path variants: identical cells with the kinematics cache
+// and spatial grid disabled, so the fast path's gain is measurable as the
+// Brute/grid ratio on the same workload.
+func BenchmarkE7_RoutingFloodingBrute(b *testing.B) {
+	benchRouting(b, true, func() adhoc.Protocol { return &adhoc.Flooding{} })
+}
+func BenchmarkE7_RoutingGeoBrute(b *testing.B) {
+	benchRouting(b, true, func() adhoc.Protocol { return &adhoc.Geo{BeaconEvery: 5, BeaconTTL: 4} })
+}
+
+func benchRouting(b *testing.B, brute bool, mk func() adhoc.Protocol) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		nodes := make([]*adhoc.Node, 16)
@@ -238,6 +250,8 @@ func benchRouting(b *testing.B, mk func() adhoc.Protocol) {
 			}
 		}
 		net := adhoc.NewNetwork(nodes)
+		net.TraceMode = adhoc.TraceData // routing measures need only data events
+		net.BruteForce = brute
 		for id := uint64(1); id <= 10; id++ {
 			net.Inject(adhoc.Message{
 				ID: id, Src: int(id%16) + 1, Dst: int((id*7)%16) + 1,
@@ -248,6 +262,31 @@ func benchRouting(b *testing.B, mk func() adhoc.Protocol) {
 		if net.Metrics().Sent == 0 {
 			b.Fatal("no workload")
 		}
+	}
+}
+
+// E7 matrix: the full pause × protocol sweep (3 pauses × 5 protocols = 15
+// cells plus route validation) on the scenario runner, serial vs. all
+// CPUs. Near-linear scaling in the worker count is the acceptance target.
+func BenchmarkE7_ScenarioMatrix(b *testing.B) {
+	pauses := []timeseq.Time{0, 60, 240}
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.E7Config{
+				Nodes: 16, Arena: 150, Range: 50, Speed: 1.5,
+				Messages: 12, Horizon: 400, Seed: 1, Workers: workers,
+			}
+			for i := 0; i < b.N; i++ {
+				rows, _ := experiments.E7Routing(cfg, pauses)
+				if len(rows) != len(pauses)*5 {
+					b.Fatalf("matrix produced %d rows", len(rows))
+				}
+			}
+		})
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"rtc/internal/adhoc"
+	"rtc/internal/adhoc/runner"
 	"rtc/internal/experiments"
 	"rtc/internal/timeseq"
 )
@@ -26,6 +27,9 @@ func main() {
 	pauses := flag.String("pauses", "0,60,240", "comma-separated pause times (high pause = low mobility)")
 	fail := flag.String("fail", "", "crash-stop failures as id@t pairs, e.g. '3@100,7@150' (single-run demo)")
 	seeds := flag.String("seeds", "", "comma-separated seeds: aggregate mean ± stddev across runs")
+	workers := flag.Int("workers", 0, "scenario-runner workers (0 = all CPUs, 1 = serial)")
+	brute := flag.Bool("brute", false, "disable the kinematics cache and spatial grid (reference path)")
+	matrix := flag.Bool("matrix", false, "run one pause time per protocol on the parallel runner and print the leaderboard")
 	flag.Parse()
 
 	if *fail != "" {
@@ -36,6 +40,12 @@ func main() {
 	cfg := experiments.E7Config{
 		Nodes: *nodes, Arena: *arena, Range: *rng, Speed: *speed,
 		Messages: *msgs, Horizon: timeseq.Time(*horizon), Seed: *seed,
+		Workers: *workers, BruteForce: *brute,
+	}
+
+	if *matrix {
+		matrixDemo(cfg, firstPause(*pauses))
+		return
 	}
 	var ps []timeseq.Time
 	for _, s := range strings.Split(*pauses, ",") {
@@ -58,6 +68,48 @@ func main() {
 	}
 	_, table := experiments.E7Routing(cfg, ps)
 	fmt.Print(table)
+}
+
+// firstPause parses the first entry of the -pauses list.
+func firstPause(spec string) timeseq.Time {
+	var v uint64
+	fmt.Sscanf(strings.TrimSpace(strings.Split(spec, ",")[0]), "%d", &v)
+	return timeseq.Time(v)
+}
+
+// matrixDemo runs every protocol on one scenario concurrently via the
+// runner and prints the per-measure leaderboard (§5.2.4: "more than one
+// measure of performance may be considered").
+func matrixDemo(cfg experiments.E7Config, pause timeseq.Time) {
+	protos := []struct {
+		name string
+		mk   func() adhoc.Protocol
+	}{
+		{"flooding", func() adhoc.Protocol { return &adhoc.Flooding{} }},
+		{"dsdv-like", func() adhoc.Protocol { return &adhoc.DV{BeaconEvery: 5} }},
+		{"dsr-like", func() adhoc.Protocol { return &adhoc.SR{} }},
+		{"aodv-like", func() adhoc.Protocol { return &adhoc.AODV{} }},
+		{"dream-like", func() adhoc.Protocol { return &adhoc.Geo{BeaconEvery: 5, BeaconTTL: 4} }},
+	}
+	scenarios := make([]runner.Scenario, len(protos))
+	for i, p := range protos {
+		mk := p.mk
+		scenarios[i] = runner.Scenario{
+			Name:    p.name,
+			Horizon: cfg.Horizon,
+			Build:   func() *adhoc.Network { return experiments.BuildE7Cell(cfg, pause, mk) },
+		}
+	}
+	results := runner.Run(scenarios, cfg.Workers)
+	board := runner.Leaderboard(results)
+	fmt.Printf("matrix — %d protocols, pause=%d, %d workers requested\n\n", len(protos), uint64(pause), cfg.Workers)
+	fmt.Print(board)
+	fmt.Printf("\nbest delivery: %s\ncheapest overhead: %s\n", board.BestDelivery(), board.CheapestOverhead())
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("FAILED %s: %v\n", r.Name, r.Err)
+		}
+	}
 }
 
 // failureDemo runs a single flooding scenario with injected crash-stop

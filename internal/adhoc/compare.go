@@ -62,3 +62,43 @@ func (c RouteComparison) String() string {
 		c.A.Name, c.A.DeliveryRatio, c.A.Overhead, c.A.ExcessHops,
 		c.B.Name, c.B.DeliveryRatio, c.B.Overhead, c.B.ExcessHops)
 }
+
+// Leaderboard generalizes the pairwise comparison to a whole matrix of
+// runs: "more than one measure of performance may be considered" (§5.2.4),
+// so each measure gets its own winner.
+type Leaderboard []Summary
+
+// BestDelivery names the run with the highest delivery ratio (first wins on
+// ties; "" when empty).
+func (l Leaderboard) BestDelivery() string {
+	best := ""
+	var v float64
+	for _, s := range l {
+		if best == "" || s.DeliveryRatio > v {
+			best, v = s.Name, s.DeliveryRatio
+		}
+	}
+	return best
+}
+
+// CheapestOverhead names the run with the lowest routing overhead f+g.
+func (l Leaderboard) CheapestOverhead() string {
+	best := ""
+	var v int
+	for _, s := range l {
+		if best == "" || s.Overhead < v {
+			best, v = s.Name, s.Overhead
+		}
+	}
+	return best
+}
+
+// String renders one line per run.
+func (l Leaderboard) String() string {
+	out := ""
+	for _, s := range l {
+		out += fmt.Sprintf("%-12s delivery %.2f overhead %d excess %.2f\n",
+			s.Name, s.DeliveryRatio, s.Overhead, s.ExcessHops)
+	}
+	return out
+}

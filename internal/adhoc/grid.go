@@ -1,0 +1,69 @@
+package adhoc
+
+// Uniform spatial grid over node positions, rebuilt once per chronon from
+// the kinematics cache. The cell side equals the maximum radio range in the
+// network, so every node a sender can reach lies in the 3×3 cell
+// neighbourhood of the sender's cell: Neighbors and broadcast fan-out scan
+// O(cell occupancy) candidates instead of all n nodes. The grid stores
+// dense node indices (positions in Network.order), never ids, so candidate
+// slices sort into the same deterministic id order the brute-force path
+// iterates in.
+type grid struct {
+	cell  float64
+	cells map[uint64][]int32
+}
+
+// newGrid builds an empty grid with the given cell side (> 0).
+func newGrid(cell float64) *grid {
+	return &grid{cell: cell, cells: make(map[uint64][]int32)}
+}
+
+// cellKey packs signed cell coordinates into one map key (keeps the map on
+// the fast uint64 hashing path).
+func cellKey(cx, cy int32) uint64 {
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+// coords maps a position to its cell coordinates.
+func (g *grid) coords(p Pos) (int32, int32) {
+	return int32(floorDiv(p.X, g.cell)), int32(floorDiv(p.Y, g.cell))
+}
+
+// floorDiv is floor(x/c) without the generality (and cost) of math.Floor;
+// c > 0.
+func floorDiv(x, c float64) int {
+	q := x / c
+	i := int(q)
+	if q < 0 && float64(i) != q {
+		i--
+	}
+	return i
+}
+
+// rebuild reindexes the grid from the per-chronon position slice. Cell
+// slices are truncated, not freed, so a steady-state run stops allocating
+// after the first few chronons.
+func (g *grid) rebuild(pos []Pos) {
+	for k, v := range g.cells {
+		g.cells[k] = v[:0]
+	}
+	for i, p := range pos {
+		cx, cy := g.coords(p)
+		k := cellKey(cx, cy)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+}
+
+// nearby appends to out the dense indices of every node in the 3×3 cell
+// neighbourhood of p — a superset of the nodes within one cell side
+// (= max radio range) of p. Callers filter with the range predicate and
+// sort when they need deterministic iteration.
+func (g *grid) nearby(p Pos, out []int32) []int32 {
+	cx, cy := g.coords(p)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			out = append(out, g.cells[cellKey(cx+dx, cy+dy)]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package adhoc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rtc/internal/timeseq"
+)
+
+// twinNets builds two identical networks over the same node parameters:
+// one on the default grid-backed fast path, one forced onto the
+// brute-force reference path. Mobility models are constructed separately
+// per network (same seeds) so the twins share no state.
+func twinNets(t *testing.T, seed int64, n int, mkProto func() Protocol) (fast, brute *Network) {
+	t.Helper()
+	build := func() *Network {
+		rng := rand.New(rand.NewPCG(uint64(seed), 99))
+		nodes := make([]*Node, n)
+		for i := range nodes {
+			var mob Mobility
+			switch i % 3 {
+			case 0:
+				mob = NewWaypoint(seed*100+int64(i), 120, 120, 1+rng.Float64()*2, timeseq.Time(rng.IntN(40)))
+			case 1:
+				mob = ConstVel{Start: Pos{rng.Float64() * 120, rng.Float64() * 120}, VX: rng.Float64()*3 - 1.5, VY: rng.Float64()*3 - 1.5, W: 120, H: 120}
+			default:
+				mob = Static{rng.Float64() * 120, rng.Float64() * 120}
+			}
+			nodes[i] = &Node{
+				ID:    i + 1,
+				Mob:   mob,
+				Range: 20 + rng.Float64()*40, // heterogeneous radio ranges
+				Proto: mkProto(),
+			}
+		}
+		net := NewNetwork(nodes)
+		// Crash-stop failures at staggered times exercise Alive filtering
+		// on both paths.
+		net.FailAt(3, 25)
+		net.FailAt(7, 60)
+		return net
+	}
+	fast = build()
+	brute = build()
+	brute.BruteForce = true
+	return fast, brute
+}
+
+// TestGridMatchesBruteForce is the differential property test: across
+// random mobility traces, node failures, and heterogeneous ranges, the
+// grid-backed Neighbors/InRange must agree exactly with the brute-force
+// path at the cached chronon, the previous chronon (delivery's send-time
+// queries), and an arbitrary historical time (slow-path fallback).
+func TestGridMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		fast, brute := twinNets(t, seed, 24, func() Protocol { return &Flooding{} })
+		for step := 0; step < 120; step++ {
+			fast.Step()
+			brute.Step()
+			now := fast.Now()
+			times := []timeseq.Time{now}
+			if now >= 1 {
+				times = append(times, now-1)
+			}
+			if now >= 7 {
+				times = append(times, now-7) // outside the cache window
+			}
+			for _, tm := range times {
+				for _, i := range fast.Nodes() {
+					wantNb := brute.Neighbors(i, tm)
+					gotNb := fast.Neighbors(i, tm)
+					if len(wantNb) != len(gotNb) {
+						t.Fatalf("seed %d t=%d node %d: neighbors %v (grid) != %v (brute)", seed, tm, i, gotNb, wantNb)
+					}
+					for k := range wantNb {
+						if wantNb[k] != gotNb[k] {
+							t.Fatalf("seed %d t=%d node %d: neighbors %v (grid) != %v (brute)", seed, tm, i, gotNb, wantNb)
+						}
+					}
+					for _, j := range fast.Nodes() {
+						if fast.InRange(i, j, tm) != brute.InRange(i, j, tm) {
+							t.Fatalf("seed %d t=%d: InRange(%d,%d) disagrees", seed, tm, i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGridFloodingRunEquivalence runs the same flooded workload on the
+// grid-backed and brute-force twins and demands identical end-to-end
+// metrics — the fan-out order and reachability sets must match event for
+// event, not just pairwise.
+func TestGridFloodingRunEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		fast, brute := twinNets(t, seed, 24, func() Protocol { return &Flooding{} })
+		for _, net := range []*Network{fast, brute} {
+			for id := uint64(1); id <= 15; id++ {
+				net.Inject(Message{ID: id, Src: int(id)%24 + 1, Dst: int(id*5)%24 + 1, At: timeseq.Time(10 + id*6), Payload: "b"})
+			}
+			net.Run(200)
+		}
+		fm, bm := fast.Metrics(), brute.Metrics()
+		if fm.Sent != bm.Sent || fm.Delivered != bm.Delivered ||
+			fm.DataTransmissions != bm.DataTransmissions ||
+			fm.ControlPackets != bm.ControlPackets ||
+			fm.HopsTotal != bm.HopsTotal || fm.LinkDrops != bm.LinkDrops {
+			t.Fatalf("seed %d: metrics diverge:\n grid:  %v\n brute: %v", seed, fm, bm)
+		}
+		if len(fast.Trace().Recvs) != len(brute.Trace().Recvs) {
+			t.Fatalf("seed %d: receive event counts diverge: %d vs %d", seed, len(fast.Trace().Recvs), len(brute.Trace().Recvs))
+		}
+	}
+}
+
+// TestGridBoundaryDistance pins the boundary semantics of range(n1,n2,t):
+// distance exactly equal to the radio range is in range (§5.2.1 "does not
+// exceed"), epsilon beyond is not — on both paths, including positions
+// that straddle a grid cell border.
+func TestGridBoundaryDistance(t *testing.T) {
+	mk := func() *Network {
+		return NewNetwork([]*Node{
+			{ID: 1, Mob: Static{0, 0}, Range: 50, Proto: &Flooding{}},
+			{ID: 2, Mob: Static{50, 0}, Range: 50, Proto: &Flooding{}}, // exactly at range, on a cell border
+			{ID: 3, Mob: Static{50.0000001, 0}, Range: 50, Proto: &Flooding{}},
+			{ID: 4, Mob: Static{30, 40}, Range: 50, Proto: &Flooding{}}, // 3-4-5 triangle: dist 50 exactly
+			{ID: 5, Mob: Static{0, 50.5}, Range: 50, Proto: &Flooding{}},
+		})
+	}
+	fast, brute := mk(), mk()
+	brute.BruteForce = true
+	for _, net := range []*Network{fast, brute} {
+		if !net.InRange(1, 2, 0) {
+			t.Errorf("distance == range must be in range (BruteForce=%v)", net.BruteForce)
+		}
+		if net.InRange(1, 3, 0) {
+			t.Errorf("distance just beyond range must be out of range (BruteForce=%v)", net.BruteForce)
+		}
+		if !net.InRange(1, 4, 0) {
+			t.Errorf("3-4-5 diagonal at exactly range must be in range (BruteForce=%v)", net.BruteForce)
+		}
+		if net.InRange(1, 5, 0) {
+			t.Errorf("50.5 must be out of range 50 (BruteForce=%v)", net.BruteForce)
+		}
+		nb := net.Neighbors(1, 0)
+		if len(nb) != 2 || nb[0] != 2 || nb[1] != 4 {
+			t.Errorf("Neighbors(1) = %v, want [2 4] (BruteForce=%v)", nb, net.BruteForce)
+		}
+	}
+}
+
+// TestGridZeroRange covers the degenerate network where every radio range
+// is zero: no grid can be built (cell side would be 0), so the fast path
+// must fall back to the full scan and still agree with brute force —
+// co-located nodes are in range (distance 0 does not exceed range 0),
+// separated ones are not.
+func TestGridZeroRange(t *testing.T) {
+	mk := func() *Network {
+		return NewNetwork([]*Node{
+			{ID: 1, Mob: Static{0, 0}, Range: 0, Proto: &Flooding{}},
+			{ID: 2, Mob: Static{0, 0}, Range: 0, Proto: &Flooding{}},
+			{ID: 3, Mob: Static{1, 0}, Range: 0, Proto: &Flooding{}},
+		})
+	}
+	fast, brute := mk(), mk()
+	brute.BruteForce = true
+	fast.Step()
+	brute.Step()
+	for _, net := range []*Network{fast, brute} {
+		if !net.InRange(1, 2, 1) {
+			t.Errorf("co-located zero-range nodes: distance 0 does not exceed range 0 (BruteForce=%v)", net.BruteForce)
+		}
+		if net.InRange(1, 3, 1) {
+			t.Errorf("separated zero-range nodes must be out of range (BruteForce=%v)", net.BruteForce)
+		}
+		nb := net.Neighbors(1, 1)
+		if len(nb) != 1 || nb[0] != 2 {
+			t.Errorf("Neighbors(1) = %v, want [2] (BruteForce=%v)", nb, net.BruteForce)
+		}
+	}
+}

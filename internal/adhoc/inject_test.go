@@ -1,0 +1,119 @@
+package adhoc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rtc/internal/timeseq"
+)
+
+// countProto counts originations per node without sending anything.
+type countProto struct {
+	origs []Message
+}
+
+func (c *countProto) Init(*API)              {}
+func (c *countProto) OnTick(*API)            {}
+func (c *countProto) OnPacket(*API, *Packet) {}
+func (c *countProto) Originate(_ *API, m Message) {
+	c.origs = append(c.origs, m)
+}
+
+// TestInjectIncremental10k is the regression test for Inject's quadratic
+// behavior: the old implementation re-ran sort.SliceStable over the whole
+// workload on every call, so 10k one-message calls cost ~10k full sorts.
+// Sorted insertion makes the same pattern cheap; this test pins the
+// semantics — messages originate in nondecreasing time order, with
+// injection order preserved among equal times — and doubles as a
+// don't-hang canary for the quadratic path.
+func TestInjectIncremental10k(t *testing.T) {
+	const N = 10000
+	nodes := []*Node{
+		{ID: 1, Mob: Static{0, 0}, Range: 10, Proto: &countProto{}},
+		{ID: 2, Mob: Static{5, 0}, Range: 10, Proto: &countProto{}},
+	}
+	net := NewNetwork(nodes)
+	net.SendCap = 1 << 30
+	rng := rand.New(rand.NewPCG(42, 7))
+	for id := uint64(1); id <= N; id++ {
+		// Random times in [1, 500] guarantee heavy ties: the stable-order
+		// property is exercised, not just the sort order.
+		at := timeseq.Time(1 + rng.IntN(500))
+		net.Inject(Message{ID: id, Src: 1, Dst: 2, At: at, Payload: "b"})
+	}
+	net.Run(501)
+	origs := net.Trace().Origs
+	if len(origs) != N {
+		t.Fatalf("originated %d messages, want %d", len(origs), N)
+	}
+	seen := make(map[uint64]bool, N)
+	for i := 1; i < len(origs); i++ {
+		a, b := origs[i-1], origs[i]
+		if b.M.At < a.M.At {
+			t.Fatalf("origination order regressed at %d: t=%d after t=%d", i, b.M.At, a.M.At)
+		}
+		if b.M.At == a.M.At && b.M.ID < a.M.ID {
+			// IDs were injected in increasing order, so among equal times
+			// stable insertion must preserve increasing IDs.
+			t.Fatalf("stability violated at %d: id %d after id %d at t=%d", i, b.M.ID, a.M.ID, b.M.At)
+		}
+	}
+	for _, o := range origs {
+		if seen[o.M.ID] {
+			t.Fatalf("message %d originated twice", o.M.ID)
+		}
+		seen[o.M.ID] = true
+	}
+}
+
+// TestInjectAfterDrain verifies the workload cursor resets cleanly: a
+// second wave injected after the first fully drains must originate, and
+// late (past-due) messages fire on the next chronon.
+func TestInjectAfterDrain(t *testing.T) {
+	nodes := []*Node{
+		{ID: 1, Mob: Static{0, 0}, Range: 10, Proto: &countProto{}},
+		{ID: 2, Mob: Static{5, 0}, Range: 10, Proto: &countProto{}},
+	}
+	net := NewNetwork(nodes)
+	net.Inject(Message{ID: 1, Src: 1, Dst: 2, At: 2, Payload: "a"})
+	net.Run(10)
+	if net.Metrics().Sent != 1 {
+		t.Fatalf("first wave: sent %d, want 1", net.Metrics().Sent)
+	}
+	// Second wave: one future message, one already past due.
+	net.Inject(Message{ID: 2, Src: 1, Dst: 2, At: 15, Payload: "b"})
+	net.Inject(Message{ID: 3, Src: 1, Dst: 2, At: 3, Payload: "c"})
+	net.Run(20)
+	if net.Metrics().Sent != 3 {
+		t.Fatalf("after second wave: sent %d, want 3", net.Metrics().Sent)
+	}
+	origs := net.Trace().Origs
+	if origs[1].M.ID != 3 || origs[2].M.ID != 2 {
+		t.Fatalf("second wave order: got %d then %d, want 3 then 2", origs[1].M.ID, origs[2].M.ID)
+	}
+}
+
+// TestInjectInterleavedWithRun injects mid-run between steps, before and
+// after the cursor has consumed part of the workload.
+func TestInjectInterleavedWithRun(t *testing.T) {
+	nodes := []*Node{
+		{ID: 1, Mob: Static{0, 0}, Range: 10, Proto: &countProto{}},
+		{ID: 2, Mob: Static{5, 0}, Range: 10, Proto: &countProto{}},
+	}
+	net := NewNetwork(nodes)
+	net.Inject(Message{ID: 1, Src: 1, Dst: 2, At: 1, Payload: "a"})
+	net.Inject(Message{ID: 2, Src: 1, Dst: 2, At: 8, Payload: "b"})
+	net.Run(4) // consumes ID 1, leaves ID 2 pending behind the cursor
+	net.Inject(Message{ID: 3, Src: 1, Dst: 2, At: 6, Payload: "c"})
+	net.Run(10)
+	origs := net.Trace().Origs
+	if len(origs) != 3 {
+		t.Fatalf("originated %d, want 3", len(origs))
+	}
+	want := []uint64{1, 3, 2}
+	for i, w := range want {
+		if origs[i].M.ID != w {
+			t.Fatalf("origination order: got %v, want %v", []uint64{origs[0].M.ID, origs[1].M.ID, origs[2].M.ID}, want)
+		}
+	}
+}

@@ -10,6 +10,22 @@ import (
 // Broadcast is the link-layer address reaching every node in range.
 const Broadcast = -1
 
+// TraceMode selects which link-layer events a run's Trace records. Metrics
+// counters are unaffected: they are maintained in either mode.
+type TraceMode uint8
+
+const (
+	// TraceAll records every one-hop send and receive — the full event set
+	// the §5.2 word constructions (EventsWord, RoutingWord, H_i) need.
+	TraceAll TraceMode = iota
+	// TraceData records only data packets (plus all originations and
+	// deliveries). That is exactly what R_{n,u} route validation
+	// (CheckRoute) and the R′ delivery-ratio measures consume; dropping
+	// control-packet events takes the trace out of the simulator's hot
+	// path for beacon-heavy protocols.
+	TraceData
+)
+
 // Packet is one one-hop transmission. Data packets carry the end-to-end
 // message identity; control packets (beacons, route requests/replies) are
 // the rt_1 … rt_g messages of §5.2.4 ("exchanged between nodes in the
@@ -125,16 +141,52 @@ type Node struct {
 // Network is the discrete-time simulator.
 type Network struct {
 	nodes    map[int]*Node
-	order    []int // node ids, sorted, for deterministic iteration
+	order    []int       // node ids, sorted, for deterministic iteration
+	idx      map[int]int // id → dense index into order and the caches
+	nodeList []*Node     // dense, parallel to order (hot loops skip the map)
+	apiList  []*API      // dense, parallel to order
 	now      timeseq.Time
 	inflight []Packet // sent at now, delivered at now+1
+	spare    []Packet // last chronon's inflight backing array, recycled
 	apis     map[int]*API
 	trace    *Trace
 	metrics  Metrics
 	workload []Message
+	wlHead   int // index of the first pending workload message
 	downAt   map[int]timeseq.Time
 	// SendCap bounds per-node transmissions per chronon.
 	SendCap int
+	// TraceMode selects the trace granularity (TraceAll by default).
+	TraceMode TraceMode
+	// BruteForce disables the per-chronon kinematics cache and the spatial
+	// grid: every range query recomputes positions through Mobility.Pos and
+	// Neighbors/broadcast fan-out scan all n nodes. The slow path is kept
+	// for differential testing against the grid-backed fast path.
+	BruteForce bool
+
+	// Per-chronon kinematics cache: each node's position is computed at
+	// most once per tick. curPos covers cacheTime, prevPos covers
+	// cacheTime−1 (delivery evaluates range at send time). Filling is lazy
+	// — an idle chronon (no packets, no workload, no position queries)
+	// costs nothing — and each slice is indexed by the dense node index
+	// (idx) and backed by a spatial grid with cell side maxRange.
+	curPos     []Pos
+	prevPos    []Pos
+	cacheTime  timeseq.Time
+	curFilled  bool
+	prevFilled bool
+	curGrid    *grid
+	prevGrid   *grid
+	maxRange   float64
+	scratch    []int32 // reusable grid-query buffer
+	nbScratch  []int   // reusable candidate-id buffer for broadcast fan-out
+
+	// Reusable BFS state for shortestHops (dense-index space, generation
+	// stamps instead of a fresh visited map per call).
+	bfsSeen  []uint32
+	bfsDist  []int32
+	bfsQueue []int32
+	bfsGen   uint32
 }
 
 // NewNetwork builds a simulator over the given nodes.
@@ -142,6 +194,7 @@ func NewNetwork(nodes []*Node) *Network {
 	net := &Network{
 		nodes:   make(map[int]*Node, len(nodes)),
 		apis:    make(map[int]*API, len(nodes)),
+		idx:     make(map[int]int, len(nodes)),
 		trace:   NewTrace(),
 		SendCap: 64,
 	}
@@ -151,15 +204,77 @@ func NewNetwork(nodes []*Node) *Network {
 	for _, n := range nodes {
 		net.nodes[n.ID] = n
 		net.order = append(net.order, n.ID)
+		if n.Range > net.maxRange {
+			net.maxRange = n.Range
+		}
 	}
 	sort.Ints(net.order)
-	for _, id := range net.order {
-		net.apis[id] = &API{net: net, id: id}
+	for i, id := range net.order {
+		net.idx[id] = i
 	}
-	for _, id := range net.order {
-		net.nodes[id].Proto.Init(net.apis[id])
+	net.curPos = make([]Pos, len(net.order))
+	net.prevPos = make([]Pos, len(net.order))
+	if net.maxRange > 0 {
+		net.curGrid = newGrid(net.maxRange)
+		net.prevGrid = newGrid(net.maxRange)
+	}
+	net.nodeList = make([]*Node, len(net.order))
+	net.apiList = make([]*API, len(net.order))
+	for i, id := range net.order {
+		net.nodeList[i] = net.nodes[id]
+		net.apiList[i] = &API{net: net, id: id}
+		net.apis[id] = net.apiList[i]
+	}
+	for i := range net.order {
+		net.nodeList[i].Proto.Init(net.apiList[i])
 	}
 	return net
+}
+
+// ensureCur fills the current-chronon cache (positions at cacheTime and
+// the grid over them) if this tick hasn't needed it yet.
+func (n *Network) ensureCur() {
+	if n.curFilled {
+		return
+	}
+	for i, id := range n.order {
+		n.curPos[i] = n.nodes[id].Mob.Pos(n.cacheTime)
+	}
+	if n.curGrid != nil {
+		n.curGrid.rebuild(n.curPos)
+	}
+	n.curFilled = true
+}
+
+// ensurePrev fills the previous-chronon cache (positions at cacheTime−1).
+// Usually the slot already holds last tick's curPos via the swap in
+// advanceCache; it is recomputed only when last tick was idle.
+func (n *Network) ensurePrev() {
+	if n.prevFilled {
+		return
+	}
+	for i, id := range n.order {
+		n.prevPos[i] = n.nodes[id].Mob.Pos(n.cacheTime - 1)
+	}
+	if n.prevGrid != nil {
+		n.prevGrid.rebuild(n.prevPos)
+	}
+	n.prevFilled = true
+}
+
+// advanceCache rotates the current tick's cache into the previous slot and
+// retargets the current slot at time t. Slices and grids swap rather than
+// reallocate; nothing is computed until a query arrives. When the cache is
+// not exactly one chronon behind (e.g. BruteForce was toggled off mid-run)
+// the stale previous slot is marked unfilled so delivery recomputes
+// send-time positions.
+func (n *Network) advanceCache(t timeseq.Time) {
+	contiguous := n.cacheTime+1 == t
+	n.curPos, n.prevPos = n.prevPos, n.curPos
+	n.curGrid, n.prevGrid = n.prevGrid, n.curGrid
+	n.prevFilled = contiguous && n.curFilled
+	n.curFilled = false
+	n.cacheTime = t
 }
 
 // Trace exposes the recorded events.
@@ -177,9 +292,40 @@ func (n *Network) Node(id int) *Node { return n.nodes[id] }
 // Now returns the current simulation time.
 func (n *Network) Now() timeseq.Time { return n.now }
 
-// pos returns node id's position at time t.
+// pos returns node id's position at time t: from the kinematics cache when
+// t is the current or previous chronon, through the mobility model
+// otherwise (mobility is a deterministic function of t, so both paths
+// agree).
 func (n *Network) pos(id int, t timeseq.Time) Pos {
+	if !n.BruteForce {
+		if t == n.cacheTime {
+			n.ensureCur()
+			return n.curPos[n.idx[id]]
+		}
+		if t+1 == n.cacheTime {
+			n.ensurePrev()
+			return n.prevPos[n.idx[id]]
+		}
+	}
 	return n.nodes[id].Mob.Pos(t)
+}
+
+// fastPath returns the spatial grid and cached position slice covering
+// time t, or (nil, nil) when none does (brute-force mode, zero radio
+// ranges, or a time outside the cached window).
+func (n *Network) fastPath(t timeseq.Time) (*grid, []Pos) {
+	if n.BruteForce || n.curGrid == nil {
+		return nil, nil
+	}
+	if t == n.cacheTime {
+		n.ensureCur()
+		return n.curGrid, n.curPos
+	}
+	if t+1 == n.cacheTime {
+		n.ensurePrev()
+		return n.prevGrid, n.prevPos
+	}
+	return nil, nil
 }
 
 // InRange is the predicate range(n1, n2, t) of §5.2.1: n2 hears n1 at time
@@ -194,21 +340,59 @@ func (n *Network) InRange(n1, n2 int, t timeseq.Time) bool {
 	return Dist(n.pos(n1, t), n.pos(n2, t)) <= n.nodes[n1].Range
 }
 
-// Neighbors returns the nodes within range of id at time t, in order.
+// Neighbors returns the nodes within range of id at time t, in ascending
+// id order. When a spatial grid covers t only the 3×3 cell neighbourhood is
+// scanned; otherwise all nodes are.
 func (n *Network) Neighbors(id int, t timeseq.Time) []int {
+	g, ps := n.fastPath(t)
+	if g == nil {
+		var out []int
+		for _, j := range n.order {
+			if j != id && n.InRange(id, j, t) {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	if !n.Alive(id, t) {
+		return nil
+	}
+	ci := n.idx[id]
+	self, reach := ps[ci], n.nodes[id].Range
+	n.scratch = g.nearby(self, n.scratch[:0])
 	var out []int
-	for _, j := range n.order {
-		if j != id && n.InRange(id, j, t) {
+	for _, cj := range n.scratch {
+		if int(cj) == ci {
+			continue
+		}
+		if j := n.order[cj]; Dist(self, ps[cj]) <= reach && n.Alive(j, t) {
 			out = append(out, j)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 
-// Inject schedules workload messages (sorted by time internally).
+// Inject schedules workload messages, keeping the pending workload sorted
+// by origination time. Each message is placed by binary search (upper
+// bound, so equal-time messages keep their injection order — the same
+// stable order the previous sort produced); appending already-ordered
+// messages costs O(log n) with no element moves.
 func (n *Network) Inject(ms ...Message) {
-	n.workload = append(n.workload, ms...)
-	sort.SliceStable(n.workload, func(i, j int) bool { return n.workload[i].At < n.workload[j].At })
+	for _, m := range ms {
+		lo, hi := n.wlHead, len(n.workload)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if n.workload[mid].At <= m.At {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		n.workload = append(n.workload, Message{})
+		copy(n.workload[lo+1:], n.workload[lo:])
+		n.workload[lo] = m
+	}
 }
 
 // transmit queues a packet for next-chronon delivery and records the send
@@ -220,7 +404,9 @@ func (n *Network) transmit(p Packet) {
 	} else {
 		n.metrics.ControlPackets++
 	}
-	n.trace.sent(n.now, p)
+	if n.TraceMode == TraceAll || p.Kind == "data" {
+		n.trace.sent(n.now, p)
+	}
 }
 
 // deliver records end-to-end delivery.
@@ -244,37 +430,44 @@ func (n *Network) deliver(at int, p *Packet) {
 func (n *Network) Step() {
 	sendTime := n.now
 	n.now++
-	for _, id := range n.order {
-		n.apis[id].sent = 0
+	if !n.BruteForce {
+		n.advanceCache(n.now)
+	}
+	for _, a := range n.apiList {
+		a.sent = 0
 	}
 	// 1. Deliver packets sent during the previous chronon. Range is
 	// evaluated at send time (the radio decided reachability when it
-	// transmitted).
+	// transmitted). The inflight buffer is recycled: new sends this chronon
+	// go into last chronon's backing array instead of a fresh allocation.
 	pending := n.inflight
-	n.inflight = nil
+	n.inflight = n.spare[:0]
 	for _, p := range pending {
 		if p.To == Broadcast {
-			for _, j := range n.order {
-				if n.InRange(p.From, j, sendTime) && n.Alive(j, n.now) {
-					n.handlePacket(j, p)
-				}
-			}
+			n.deliverBroadcast(p, sendTime)
 		} else if n.InRange(p.From, p.To, sendTime) && n.Alive(p.To, n.now) {
-			n.handlePacket(p.To, p)
+			n.handlePacket(n.idx[p.To], p)
 		} else {
 			n.metrics.LinkDrops++
 		}
 	}
+	for i := range pending {
+		pending[i] = Packet{} // drop Route/Table references before recycling
+	}
+	n.spare = pending[:0]
 	// 2. Per-tick protocol duties (failed nodes are silent).
-	for _, id := range n.order {
+	for i, id := range n.order {
 		if n.Alive(id, n.now) {
-			n.nodes[id].Proto.OnTick(n.apis[id])
+			n.nodeList[i].Proto.OnTick(n.apiList[i])
 		}
 	}
-	// 3. Workload origination.
-	for len(n.workload) > 0 && n.workload[0].At <= n.now {
-		m := n.workload[0]
-		n.workload = n.workload[1:]
+	// 3. Workload origination. A cursor drains the sorted workload in place
+	// (re-slicing would pin the consumed prefix's backing array for the
+	// whole run); the slice is reset once fully drained.
+	for n.wlHead < len(n.workload) && n.workload[n.wlHead].At <= n.now {
+		m := n.workload[n.wlHead]
+		n.workload[n.wlHead] = Message{}
+		n.wlHead++
 		n.metrics.Sent++
 		n.metrics.originHops[mKey(m.ID)] = n.shortestHops(m.Src, m.Dst, n.now)
 		n.trace.originated(n.now, m)
@@ -282,17 +475,63 @@ func (n *Network) Step() {
 			n.nodes[m.Src].Proto.Originate(n.apis[m.Src], m)
 		}
 	}
+	if n.wlHead == len(n.workload) && n.wlHead > 0 {
+		n.workload = n.workload[:0]
+		n.wlHead = 0
+	}
+}
+
+// deliverBroadcast fans one broadcast packet out to every node in range of
+// the sender at send time, in ascending id order. With a grid covering the
+// send time only the sender's 3×3 cell neighbourhood is scanned.
+func (n *Network) deliverBroadcast(p Packet, sendTime timeseq.Time) {
+	g, ps := n.fastPath(sendTime)
+	if g == nil {
+		for tj, j := range n.order {
+			if n.InRange(p.From, j, sendTime) && n.Alive(j, n.now) {
+				n.handlePacket(tj, p)
+			}
+		}
+		return
+	}
+	if !n.Alive(p.From, sendTime) {
+		return
+	}
+	ci := n.idx[p.From]
+	self, reach := ps[ci], n.nodes[p.From].Range
+	n.scratch = g.nearby(self, n.scratch[:0])
+	// Dense indices sort into the same order as ids (order is sorted), so
+	// receivers are handled in the same deterministic sequence the
+	// brute-force scan produces.
+	targets := n.nbScratch[:0]
+	for _, cj := range n.scratch {
+		if int(cj) == ci {
+			continue
+		}
+		j := n.order[cj]
+		if Dist(self, ps[cj]) <= reach && n.Alive(j, sendTime) && n.Alive(j, n.now) {
+			targets = append(targets, int(cj))
+		}
+	}
+	sort.Ints(targets)
+	n.nbScratch = targets
+	for _, tj := range targets {
+		n.handlePacket(tj, p)
+	}
 }
 
 func mKey(id uint64) uint64 { return id }
 
 // handlePacket dispatches one delivered packet and records the receive
 // event r_u.
-func (n *Network) handlePacket(to int, p Packet) {
-	n.trace.received(n.now, to, p)
+func (n *Network) handlePacket(ti int, p Packet) {
+	to := n.order[ti]
+	if n.TraceMode == TraceAll || p.Kind == "data" {
+		n.trace.received(n.now, to, p)
+	}
 	cp := p
 	cp.Route = cloneRoute(p.Route)
-	n.nodes[to].Proto.OnPacket(n.apis[to], &cp)
+	n.nodeList[ti].Proto.OnPacket(n.apiList[ti], &cp)
 }
 
 // Run advances the simulation until the given time.
@@ -304,29 +543,70 @@ func (n *Network) Run(until timeseq.Time) {
 
 // shortestHops computes the hop count of a shortest path from src to dst on
 // the connectivity graph frozen at time t (BFS) — the reference for the
-// path-optimality measure. It returns -1 when no path exists.
+// path-optimality measure. It returns -1 when no path exists. The BFS runs
+// in dense-index space over reusable generation-stamped state; visitation
+// order varies with the grid layout but the hop distance it returns does
+// not.
 func (n *Network) shortestHops(src, dst int, t timeseq.Time) int {
 	if src == dst {
 		return 0
 	}
-	dist := map[int]int{src: 0}
-	queue := []int{src}
+	if len(n.bfsSeen) != len(n.order) {
+		n.bfsSeen = make([]uint32, len(n.order))
+		n.bfsDist = make([]int32, len(n.order))
+	}
+	n.bfsGen++
+	if n.bfsGen == 0 { // generation counter wrapped: stale stamps could collide
+		clear(n.bfsSeen)
+		n.bfsGen = 1
+	}
+	gen := n.bfsGen
+	si, di := n.idx[src], n.idx[dst]
+	n.bfsSeen[si] = gen
+	n.bfsDist[si] = 0
+	queue := append(n.bfsQueue[:0], int32(si))
+	g, ps := n.fastPath(t)
 	for qi := 0; qi < len(queue); qi++ {
-		cur := queue[qi]
-		for _, j := range n.order {
-			if j == cur || !n.InRange(cur, j, t) {
+		ci := int(queue[qi])
+		cur := n.order[ci]
+		d := n.bfsDist[ci]
+		if g != nil {
+			if !n.Alive(cur, t) {
 				continue
 			}
-			if _, ok := dist[j]; ok {
+			self, reach := ps[ci], n.nodes[cur].Range
+			n.scratch = g.nearby(self, n.scratch[:0])
+			for _, cj := range n.scratch {
+				if int(cj) == ci || n.bfsSeen[cj] == gen {
+					continue
+				}
+				if Dist(self, ps[cj]) > reach || !n.Alive(n.order[cj], t) {
+					continue
+				}
+				n.bfsSeen[cj] = gen
+				n.bfsDist[cj] = d + 1
+				if int(cj) == di {
+					n.bfsQueue = queue
+					return int(d + 1)
+				}
+				queue = append(queue, cj)
+			}
+			continue
+		}
+		for cj, j := range n.order {
+			if cj == ci || n.bfsSeen[cj] == gen || !n.InRange(cur, j, t) {
 				continue
 			}
-			dist[j] = dist[cur] + 1
-			if j == dst {
-				return dist[j]
+			n.bfsSeen[cj] = gen
+			n.bfsDist[cj] = d + 1
+			if cj == di {
+				n.bfsQueue = queue
+				return int(d + 1)
 			}
-			queue = append(queue, j)
+			queue = append(queue, int32(cj))
 		}
 	}
+	n.bfsQueue = queue
 	return -1
 }
 

@@ -13,7 +13,7 @@ package adhoc
 
 import (
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"sync"
 
 	"rtc/internal/timeseq"
@@ -87,6 +87,12 @@ type Waypoint struct {
 	mu   sync.Mutex
 	rng  *rand.Rand
 	legs []leg
+	// Memo of the last query: simulation code asks for the same chronon
+	// repeatedly (brute-force range scans, route validation), so a single
+	// (t, pos) pair absorbs most of the leg walk.
+	memoOK  bool
+	memoT   timeseq.Time
+	memoPos Pos
 }
 
 type leg struct {
@@ -104,8 +110,20 @@ func NewWaypoint(seed int64, w, h, speed float64, pause timeseq.Time) *Waypoint 
 func (wp *Waypoint) Pos(t timeseq.Time) Pos {
 	wp.mu.Lock()
 	defer wp.mu.Unlock()
+	if wp.memoOK && t == wp.memoT {
+		return wp.memoPos
+	}
+	p := wp.posLocked(t)
+	wp.memoOK, wp.memoT, wp.memoPos = true, t, p
+	return p
+}
+
+// posLocked computes the position with wp.mu held.
+func (wp *Waypoint) posLocked(t timeseq.Time) Pos {
 	if wp.rng == nil {
-		wp.rng = rand.New(rand.NewSource(wp.Seed))
+		// PCG seeds in O(1); the legacy math/rand source pays a ~600-word
+		// state fill per node, which dominated scenario construction.
+		wp.rng = rand.New(rand.NewPCG(uint64(wp.Seed), 0x9e3779b97f4a7c15))
 		start := Pos{wp.rng.Float64() * wp.W, wp.rng.Float64() * wp.H}
 		wp.legs = append(wp.legs, wp.makeLeg(start, 0))
 	}

@@ -72,21 +72,22 @@ type DV struct {
 	BufferCap   int
 
 	api    *API
-	table  map[int]dvRoute
+	table  []dvRoute // dense, indexed by destination id (labels are 1..n, §5.2.2)
 	seq    uint64
 	buffer []Message
 }
 
 type dvRoute struct {
-	next int
-	hops int
-	seq  uint64
+	next  int
+	hops  int
+	seq   uint64
+	known bool
 }
 
 // Init implements Protocol.
 func (d *DV) Init(api *API) {
 	d.api = api
-	d.table = make(map[int]dvRoute)
+	d.table = make([]dvRoute, api.NumNodes()+1)
 	if d.BeaconEvery == 0 {
 		d.BeaconEvery = 5
 	}
@@ -95,13 +96,24 @@ func (d *DV) Init(api *API) {
 	}
 }
 
+// route returns the table entry for dst, growing the table if an
+// advertisement names a label outside 1..n.
+func (d *DV) route(dst int) *dvRoute {
+	for dst >= len(d.table) {
+		d.table = append(d.table, dvRoute{})
+	}
+	return &d.table[dst]
+}
+
 // OnTick implements Protocol.
 func (d *DV) OnTick(api *API) {
 	if api.Now()%d.BeaconEvery == timeseq.Time(api.ID())%d.BeaconEvery {
 		d.seq++
 		ads := []RouteAd{{Dst: api.ID(), Hops: 0, Seq: d.seq}}
-		for dst, r := range d.table {
-			ads = append(ads, RouteAd{Dst: dst, Hops: r.hops, Seq: r.seq})
+		for dst := range d.table {
+			if r := &d.table[dst]; r.known {
+				ads = append(ads, RouteAd{Dst: dst, Hops: r.hops, Seq: r.seq})
+			}
 		}
 		api.Send(Packet{Kind: "dv", To: Broadcast, Table: ads})
 	}
@@ -117,12 +129,11 @@ func (d *DV) OnTick(api *API) {
 
 // forward sends a data message toward its next hop; false when no route.
 func (d *DV) forward(api *API, m Message) bool {
-	r, ok := d.table[m.Dst]
-	if !ok {
+	if m.Dst >= len(d.table) || !d.table[m.Dst].known {
 		return false
 	}
 	return api.Send(Packet{
-		Kind: "data", To: r.next, Src: m.Src, Dst: m.Dst,
+		Kind: "data", To: d.table[m.Dst].next, Src: m.Src, Dst: m.Dst,
 		MsgID: m.ID, OriginTime: m.At, Hops: 1, Payload: m.Payload,
 	})
 }
@@ -145,10 +156,9 @@ func (d *DV) OnPacket(api *API, p *Packet) {
 			if ad.Dst == api.ID() {
 				continue
 			}
-			cand := dvRoute{next: p.From, hops: ad.Hops + 1, seq: ad.Seq}
-			cur, ok := d.table[ad.Dst]
-			if !ok || cand.seq > cur.seq || (cand.seq == cur.seq && cand.hops < cur.hops) {
-				d.table[ad.Dst] = cand
+			cur := d.route(ad.Dst)
+			if !cur.known || ad.Seq > cur.seq || (ad.Seq == cur.seq && ad.Hops+1 < cur.hops) {
+				*cur = dvRoute{next: p.From, hops: ad.Hops + 1, seq: ad.Seq, known: true}
 			}
 		}
 	case "data":
@@ -156,9 +166,9 @@ func (d *DV) OnPacket(api *API, p *Packet) {
 			api.Deliver(p)
 			return
 		}
-		if r, ok := d.table[p.Dst]; ok {
+		if p.Dst < len(d.table) && d.table[p.Dst].known {
 			fwd := *p
-			fwd.To = r.next
+			fwd.To = d.table[p.Dst].next
 			fwd.Hops++
 			api.Send(fwd)
 		}

