@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-grid bench bench-json fuzz examples experiments clean
+.PHONY: all build vet test race race-grid race-rtdb bench bench-json fuzz examples experiments clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ race:
 race-grid:
 	$(GO) test -run=TestGrid -race ./internal/adhoc/...
 
+# rtdbd server + WAL under the race detector: includes the 64-session
+# hammer that asserts the deadline-miss conservation law.
+race-rtdb:
+	$(GO) test -race ./internal/rtdb/log/ ./internal/rtdb/server/
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -28,12 +33,15 @@ bench:
 # plus the adhoc scaling suite) for tracking perf across commits.
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . ./internal/adhoc/ | $(GO) run ./cmd/benchjson -o BENCH_adhoc.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/rtdb/log/ ./internal/rtdb/server/ | $(GO) run ./cmd/benchjson -o BENCH_rtdb.json
 
 # Short fuzzing passes over the parsers and encoders.
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=20s ./internal/timed/
 	$(GO) test -fuzz=FuzzStrRoundTrip -fuzztime=20s ./internal/encoding/
 	$(GO) test -fuzz=FuzzRecordRoundTrip -fuzztime=20s ./internal/encoding/
+	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=20s ./internal/rtdb/log/
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=20s ./internal/rtdb/log/
 
 examples:
 	$(GO) run ./examples/quickstart

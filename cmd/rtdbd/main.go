@@ -1,0 +1,214 @@
+// Command rtdbd runs the durable, concurrent real-time database server: it
+// loads (or crash-recovers) a write-ahead log directory, serves a synthetic
+// multi-client workload — N sessions injecting timed sensor samples and
+// issuing firm/soft-deadline queries against one §5.1 database, with
+// periodic standing queries and temporal as-of reads on the side — and
+// prints the metrics table.
+//
+// Run it twice against the same -dir to watch recovery replay the log:
+//
+//	go run ./cmd/rtdbd -dir /tmp/rtdbd -sessions 8 -ops 200
+//	go run ./cmd/rtdbd -dir /tmp/rtdbd -sessions 8 -ops 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+
+	"rtc/internal/deadline"
+	wal "rtc/internal/rtdb/log"
+	"rtc/internal/rtdb"
+	"rtc/internal/rtdb/server"
+	"rtc/internal/timeseq"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "WAL directory (empty: run without durability)")
+		sessions = flag.Int("sessions", 8, "concurrent client sessions")
+		ops      = flag.Int("ops", 200, "operations per session")
+		segSize  = flag.Int64("segment-size", 1<<20, "WAL segment rotation size (bytes)")
+		snapshot = flag.Uint64("snapshot-every", 2000, "WAL catalog snapshot period (events, 0: never)")
+		fsync    = flag.Bool("fsync", false, "fsync the WAL after every append")
+		evalCost = flag.Uint64("eval-cost", 2, "chronons one query evaluation costs")
+		deadln   = flag.Uint64("deadline", 40, "relative firm deadline for client queries (chronons)")
+		queue    = flag.Int("queue-depth", 64, "per-session queue depth")
+	)
+	flag.Parse()
+	if err := run(*dir, *sessions, *ops, *segSize, *snapshot, *fsync, *evalCost, *deadln, *queue); err != nil {
+		fmt.Fprintln(os.Stderr, "rtdbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, sessions, ops int, segSize int64, snapshot uint64, fsync bool,
+	evalCost, deadln uint64, queue int) error {
+	cfg := server.Config{
+		Spec: rtdb.Spec{
+			Invariants: map[string]rtdb.Value{"limit": "25"},
+			Images: []*rtdb.ImageObject{
+				{Name: "temp", Period: 5},
+				{Name: "pressure", Period: 7},
+			},
+			Derived: []*rtdb.DerivedObject{
+				{Name: "status", Sources: []string{"temp", "limit"}, Derive: statusOf},
+			},
+		},
+		Registry: rtdb.DeriveRegistry{"status": statusOf},
+		Catalog: rtdb.Catalog{
+			"status_q": func(v *rtdb.View) []rtdb.Value {
+				if s, ok := v.DeriveNow("status"); ok {
+					return []rtdb.Value{s}
+				}
+				return nil
+			},
+			"temp_q": func(v *rtdb.View) []rtdb.Value {
+				if s, ok := v.Latest("temp"); ok {
+					return []rtdb.Value{s.Value}
+				}
+				return nil
+			},
+		},
+		Rules: []rtdb.Rule{
+			{
+				Name: "overheat", On: "sample:temp", Mode: rtdb.Immediate,
+				If: func(db *rtdb.DB, e rtdb.Event) bool {
+					t, _ := strconv.Atoi(e.Attr["value"])
+					return t > 25
+				},
+				Then: func(db *rtdb.DB, e rtdb.Event) {
+					db.Raise(rtdb.Event{Kind: "alarm", At: e.At, Attr: e.Attr})
+				},
+			},
+			{
+				Name: "log-alarm", On: "alarm", Mode: rtdb.Immediate,
+				Then: func(db *rtdb.DB, e rtdb.Event) {},
+			},
+		},
+		Sessions:   sessions,
+		QueueDepth: queue,
+		EvalCost:   evalCost,
+	}
+
+	if dir != "" {
+		l, err := wal.Open(wal.Options{
+			Dir: dir, SegmentSize: segSize, SnapshotEvery: snapshot, Sync: fsync,
+		})
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		cfg.Log = l
+		if st := l.State(); st.Events > 0 {
+			fmt.Printf("recovered %d events through chronon %d (%d recovered from log replay",
+				st.Events, st.LastAt, l.Stats().RecoveredEvents)
+			if tb := l.Stats().TruncatedBytes; tb > 0 {
+				fmt.Printf(", %d torn bytes truncated", tb)
+			}
+			fmt.Println(")")
+		} else {
+			fmt.Printf("fresh log in %s\n", dir)
+		}
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := s.RegisterPeriodic(server.PeriodicQuery{
+		Name: "status-watch", Query: "status_q",
+		Issue: s.Now(), Period: 11,
+		Kind: deadline.Firm, Deadline: timeseq.Time(evalCost) + 3, MinUseful: 1,
+	}); err != nil {
+		return err
+	}
+	if err := s.RegisterPeriodic(server.PeriodicQuery{
+		Name: "temp-trend", Query: "temp_q",
+		Issue: s.Now(), Period: 23,
+		Kind: deadline.Soft, Deadline: 5, MinUseful: 2,
+		U: deadline.Hyperbolic(10, 5),
+	}); err != nil {
+		return err
+	}
+	s.Start()
+
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client(s, id, ops, deadln)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < sessions; i++ {
+		if err := s.Session(i).Flush(); err != nil {
+			return err
+		}
+	}
+
+	// A temporal read against the published history: the temperature half a
+	// horizon ago, served lock-free from the as-of snapshot.
+	horizon := s.HistoryHorizon()
+	if v, ok := s.ValueAsOf("temp", horizon/2); ok {
+		fmt.Printf("as-of read: temp was %q at chronon %d (horizon %d)\n", v, horizon/2, horizon)
+	}
+
+	s.Stop() // syncs the WAL and folds its fsync counters into the metrics
+	m := s.Metrics.Snapshot()
+
+	fmt.Println()
+	fmt.Print(m.Table())
+	fmt.Println()
+	fmt.Println("periodic queries:")
+	for _, p := range s.PeriodicReport() {
+		fmt.Printf("  %-14s issued %4d  hit %4d  missed %4d\n", p.Name, p.Issued, p.Hit, p.Missed)
+	}
+	if got, want := m.QueriesIn, m.QueriesAccounted(); got != want {
+		return fmt.Errorf("conservation violated: %d queries in, %d accounted", got, want)
+	}
+	fmt.Printf("\nconservation: %d queries in == %d rejected + %d hit + %d missed + %d no-deadline ✓\n",
+		m.QueriesIn, m.QueriesRejected, m.DeadlineHit, m.DeadlineMiss, m.NoDeadline)
+	return nil
+}
+
+func statusOf(src map[string]rtdb.Value) rtdb.Value {
+	t, _ := strconv.Atoi(src["temp"])
+	l, _ := strconv.Atoi(src["limit"])
+	if t > l {
+		return "high"
+	}
+	return "ok"
+}
+
+// client is one synthetic session: a deterministic mix of sensor samples,
+// firm- and soft-deadline queries, and no-deadline reads.
+func client(s *server.Server, id, ops int, deadln uint64) {
+	c := s.Session(id)
+	for op := 0; op < ops; op++ {
+		switch op % 5 {
+		case 0, 1:
+			_ = c.InjectSample("temp", strconv.Itoa(18+(id*7+op)%12))
+		case 2:
+			_ = c.InjectSample("pressure", strconv.Itoa(99+(id+op)%4))
+		case 3:
+			_, _ = c.Query(server.QueryRequest{
+				Query: "status_q", Candidate: "ok",
+				Kind: deadline.Firm, Deadline: timeseq.Time(deadln), MinUseful: 1,
+			})
+		case 4:
+			if op%2 == 0 {
+				_, _ = c.Query(server.QueryRequest{
+					Query: "temp_q",
+					Kind:  deadline.Soft, Deadline: timeseq.Time(deadln),
+					MinUseful: 2, U: deadline.Hyperbolic(10, timeseq.Time(deadln)),
+				})
+			} else {
+				_, _ = c.Query(server.QueryRequest{Query: "temp_q"})
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"rtc/internal/experiments"
@@ -14,9 +15,23 @@ import (
 )
 
 func main() {
+	def := experiments.DefaultE6Config()
+	var (
+		horizon  = flag.Uint64("horizon", uint64(def.Horizon), "simulation horizon (chronons)")
+		evalCost = flag.Uint64("eval-cost", def.EvalCost, "chronons one query evaluation costs")
+		period   = flag.Uint64("sample-period", uint64(def.SamplePeriod), "image-object sampling period (chronons)")
+	)
+	flag.Parse()
+	cfg := experiments.E6Config{
+		Horizon:      timeseq.Time(*horizon),
+		EvalCost:     *evalCost,
+		SamplePeriod: timeseq.Time(*period),
+	}
+
 	fmt.Println("E6 — real-time database recognition (Definition 5.1)")
+	fmt.Printf("(horizon %d, eval cost %d, sample period %d)\n", cfg.Horizon, cfg.EvalCost, cfg.SamplePeriod)
 	fmt.Println()
-	_, table := experiments.E6RTDB()
+	_, table := experiments.E6RTDBWith(cfg)
 	fmt.Print(table)
 
 	fmt.Println()

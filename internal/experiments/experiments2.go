@@ -78,14 +78,32 @@ type E6Row struct {
 // and non-members, deadline pressure, and a periodic query. Expected shape:
 // the acceptor verdict always matches the ground truth, with deadline
 // misses turning correct-but-late answers into rejects.
-func E6RTDB() ([]E6Row, string) {
+func E6RTDB() ([]E6Row, string) { return E6RTDBWith(DefaultE6Config()) }
+
+// E6Config parameterizes the E6 run: the simulation horizon, the chronon
+// cost of one query evaluation, and the image-object sampling period.
+type E6Config struct {
+	Horizon      timeseq.Time
+	EvalCost     uint64
+	SamplePeriod timeseq.Time
+}
+
+// DefaultE6Config reproduces the published E6 table. The "ground truth"
+// column states the expected verdicts under this configuration; other knob
+// settings explore deviations (e.g. a huge EvalCost flips the firm cases).
+func DefaultE6Config() E6Config {
+	return E6Config{Horizon: 300, EvalCost: 2, SamplePeriod: 5}
+}
+
+// E6RTDBWith runs E6 under an explicit configuration.
+func E6RTDBWith(c E6Config) ([]E6Row, string) {
 	sp := rtdb.Spec{
 		Invariants: map[string]rtdb.Value{"limit": "22"},
 		Derived: []*rtdb.DerivedObject{{
 			Name: "status", Sources: []string{"temp", "limit"},
 			Derive: statusDerive,
 		}},
-		Images: []*rtdb.ImageObject{{Name: "temp", Period: 5, Read: tempRead}},
+		Images: []*rtdb.ImageObject{{Name: "temp", Period: c.SamplePeriod, Read: tempRead}},
 	}
 	cat := rtdb.Catalog{
 		"status_q": func(v *rtdb.View) []rtdb.Value {
@@ -103,17 +121,19 @@ func E6RTDB() ([]E6Row, string) {
 	}
 
 	member := rtdb.QuerySpec{Query: "status_q", Issue: 7, Candidate: "ok"}
-	add("aperiodic member", rtdb.RunAperiodic(sp, member, cat, reg, 2, 300), true)
+	add("aperiodic member", rtdb.RunAperiodic(sp, member, cat, reg, c.EvalCost, uint64(c.Horizon)), true)
 
 	non := rtdb.QuerySpec{Query: "status_q", Issue: 7, Candidate: "high"}
-	add("aperiodic non-member", rtdb.RunAperiodic(sp, non, cat, reg, 2, 300), false)
+	add("aperiodic non-member", rtdb.RunAperiodic(sp, non, cat, reg, c.EvalCost, uint64(c.Horizon)), false)
 
+	// The firm deadline tracks the eval cost so "fast" stays inside it and
+	// "slow" (cost + 7) overshoots it regardless of the configured cost.
 	firmFast := member
 	firmFast.Kind = deadline.Firm
-	firmFast.Deadline = 4
+	firmFast.Deadline = timeseq.Time(c.EvalCost) + 2
 	firmFast.MinUseful = 1
-	add("firm, fast eval", rtdb.RunAperiodic(sp, firmFast, cat, reg, 2, 300), true)
-	add("firm, slow eval", rtdb.RunAperiodic(sp, firmFast, cat, reg, 9, 300), false)
+	add("firm, fast eval", rtdb.RunAperiodic(sp, firmFast, cat, reg, c.EvalCost, uint64(c.Horizon)), true)
+	add("firm, slow eval", rtdb.RunAperiodic(sp, firmFast, cat, reg, c.EvalCost+7, uint64(c.Horizon)), false)
 
 	ps := rtdb.PeriodicSpec{
 		Query: "status_q", Issue: 2, Period: 10,
@@ -126,7 +146,7 @@ func E6RTDB() ([]E6Row, string) {
 			return s
 		},
 	}
-	res, _ := rtdb.RunPeriodic(sp, ps, cat, reg, 1, 200)
+	res, _ := rtdb.RunPeriodic(sp, ps, cat, reg, 1, uint64(c.Horizon)*2/3)
 	add("periodic all-served", res, true)
 
 	t := stats.NewTable("case", "verdict", "f-count", "ground truth")

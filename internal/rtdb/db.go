@@ -141,6 +141,7 @@ type DB struct {
 	fired           []string // firing log: "time:rule" for tests/diagnostics
 	cascadeDepthCap int
 	raiseDepth      int
+	maxCascade      int
 }
 
 // New creates an empty database bound to a scheduler.
@@ -175,8 +176,16 @@ func (db *DB) Invariant(name string) (Value, bool) {
 // AddImage registers an image object and schedules its periodic sampling
 // starting at time 0 (or now, if the clock already advanced). Each sampling
 // generates an event "sample:<name>" that the rule engine handles.
+//
+// An image with a nil Read function is registered in served mode: no
+// sampling is scheduled, and its history grows only through InjectSample —
+// the shape a server needs when external clients, not a simulated world,
+// provide the samples.
 func (db *DB) AddImage(o *ImageObject) {
 	db.images[o.Name] = o
+	if o.Read == nil {
+		return
+	}
 	start := db.sched.Now()
 	db.sched.Every(start, o.Period, prioSample, func() {
 		t := db.sched.Now()
@@ -184,6 +193,24 @@ func (db *DB) AddImage(o *ImageObject) {
 		o.history = append(o.history, Sample{At: t, Value: v})
 		db.Raise(Event{Kind: "sample:" + o.Name, At: t, Attr: map[string]Value{"value": v}})
 	})
+}
+
+// InjectSample records an externally supplied sample for the named image at
+// the current virtual time and raises the same "sample:<name>" event a
+// scheduled sampling would, so active rules fire identically whether the
+// value came from a Read function or from a client session.
+func (db *DB) InjectSample(name string, v Value) error {
+	o, ok := db.images[name]
+	if !ok {
+		return fmt.Errorf("rtdb: unknown image object %q", name)
+	}
+	t := db.sched.Now()
+	if n := len(o.history); n > 0 && o.history[n-1].At > t {
+		return fmt.Errorf("rtdb: sample for %q at %d precedes last sample at %d", name, t, o.history[n-1].At)
+	}
+	o.history = append(o.history, Sample{At: t, Value: v})
+	db.Raise(Event{Kind: "sample:" + name, At: t, Attr: map[string]Value{"value": v}})
+	return nil
 }
 
 // Image looks up an image object.
@@ -267,6 +294,9 @@ func (db *DB) raise(e Event, depth int) {
 	if depth > db.cascadeDepthCap {
 		panic(fmt.Sprintf("rtdb: rule cascade deeper than %d (non-terminating rule set?)", db.cascadeDepthCap))
 	}
+	if depth > db.maxCascade {
+		db.maxCascade = depth
+	}
 	for i := range db.rules {
 		r := db.rules[i]
 		if r.On != e.Kind {
@@ -322,3 +352,23 @@ func (db *DB) flushDeferred() {
 
 // FiringLog returns the recorded rule firings ("time:rule").
 func (db *DB) FiringLog() []string { return db.fired }
+
+// CascadeDepthMax returns the deepest rule cascade observed so far — an
+// observability hook for the serving layer's metrics block.
+func (db *DB) CascadeDepthMax() int { return db.maxCascade }
+
+// ViewNow assembles the §5.1.3 View of the database's current state. The
+// maps and histories are shared, not copied: the view is a read-only window
+// valid until the database is next mutated, which is exactly the lifetime a
+// query evaluation inside a serializing apply loop needs.
+func (db *DB) ViewNow() *View {
+	samples := make(map[string][]Sample, len(db.images))
+	for n, o := range db.images {
+		samples[n] = o.history
+	}
+	derived := make(map[string]*DerivedObject, len(db.derived))
+	for n, d := range db.derived {
+		derived[n] = d
+	}
+	return &View{Now: db.Now(), Invariants: db.invariants, Samples: samples, Derived: derived}
+}

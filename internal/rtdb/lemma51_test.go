@@ -1,0 +1,89 @@
+package rtdb
+
+import (
+	"testing"
+
+	"rtc/internal/timeseq"
+	"rtc/internal/vtime"
+	"rtc/internal/word"
+)
+
+// ramp is the well-behaved word with τ_i = i (one symbol per chronon).
+func ramp() word.Word {
+	return word.Gen{F: func(i uint64) word.TimedSym {
+		return word.TimedSym{Sym: "a", At: timeseq.Time(i)}
+	}}
+}
+
+func TestLemma51BoundKZero(t *testing.T) {
+	// k = 0: every timestamp satisfies τ ≥ 0, so the witness is index 0.
+	idx, ok := Lemma51Bound(ramp(), 0, 10)
+	if !ok || idx != 0 {
+		t.Fatalf("k=0: got (%d,%v), want (0,true)", idx, ok)
+	}
+	// … but only if the word has an element at all.
+	if _, ok := Lemma51Bound(word.Finite{}, 0, 10); ok {
+		t.Fatal("k=0 on the empty word: want no witness")
+	}
+}
+
+func TestLemma51BoundEmptyWord(t *testing.T) {
+	// A finite word shorter than the budget must not be scanned past its
+	// end (the empty word is the extreme case).
+	if _, ok := Lemma51Bound(word.Finite{}, 7, 100); ok {
+		t.Fatal("empty word: want no witness")
+	}
+	short := word.MustFinite(
+		word.TimedSym{Sym: "a", At: 0},
+		word.TimedSym{Sym: "b", At: 3},
+	)
+	if _, ok := Lemma51Bound(short, 10, 100); ok {
+		t.Fatal("finite word ending before k: want no witness")
+	}
+	if idx, ok := Lemma51Bound(short, 2, 100); !ok || idx != 1 {
+		t.Fatalf("finite word reaching k: got (%d,%v), want (1,true)", idx, ok)
+	}
+}
+
+func TestLemma51BoundBudgetExactlyExhausted(t *testing.T) {
+	// On τ_i = i the first index with τ ≥ 5 is i = 5. A budget of exactly 5
+	// scans indices 0…4 and must give up; a budget of 6 finds the witness.
+	if _, ok := Lemma51Bound(ramp(), 5, 5); ok {
+		t.Fatal("budget 5: scan must stop one short of the witness")
+	}
+	idx, ok := Lemma51Bound(ramp(), 5, 6)
+	if !ok || idx != 5 {
+		t.Fatalf("budget 6: got (%d,%v), want (5,true)", idx, ok)
+	}
+	if _, ok := Lemma51Bound(ramp(), 5, 0); ok {
+		t.Fatal("budget 0: nothing scanned, no witness")
+	}
+}
+
+func TestInjectSampleRaisesRules(t *testing.T) {
+	// A served-mode image (nil Read) never schedules sampling; injected
+	// samples drive the same event path as scheduled ones.
+	db := New(vtime.New())
+	db.AddImage(&ImageObject{Name: "temp", Period: 5})
+	var seen []Value
+	db.AddRule(Rule{
+		Name: "watch", On: "sample:temp", Mode: Immediate,
+		Then: func(db *DB, e Event) { seen = append(seen, e.Attr["value"]) },
+	})
+	if err := db.InjectSample("temp", "21"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InjectSample("nope", "1"); err == nil {
+		t.Fatal("unknown image: want error")
+	}
+	if len(seen) != 1 || seen[0] != "21" {
+		t.Fatalf("rule saw %v, want [21]", seen)
+	}
+	img, _ := db.Image("temp")
+	if s, ok := img.Latest(); !ok || s.Value != "21" || s.At != 0 {
+		t.Fatalf("history = %v, %v", s, ok)
+	}
+	if db.Scheduler().Pending() != 0 {
+		t.Fatalf("served-mode image scheduled %d events, want 0", db.Scheduler().Pending())
+	}
+}

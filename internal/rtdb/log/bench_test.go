@@ -1,0 +1,85 @@
+package log
+
+import (
+	"testing"
+)
+
+func BenchmarkCodecEncode(b *testing.B) {
+	e := Sample(123456, "temp", "21.5")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeEvent(e)
+	}
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	frame := EncodeEvent(Sample(123456, "temp", "21.5"))
+	payload := frame[frameHeaderSize:]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := DecodeEvent(payload); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	l, err := Open(Options{Dir: b.TempDir(), SegmentSize: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Image("temp", 5)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(Sample(0, "temp", "21.5")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendSync(b *testing.B) {
+	l, err := Open(Options{Dir: b.TempDir(), SegmentSize: 64 << 20, Sync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Image("temp", 5)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(Sample(0, "temp", "21.5")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range workload(5000) {
+		if err := l.Append(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := Open(Options{Dir: dir, SegmentSize: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		l.Close()
+	}
+}

@@ -1,0 +1,244 @@
+// Package log is the durability layer of the rtdbd serving subsystem: an
+// append-only timed event log (write-ahead log) of the §5.1 database's
+// observable history — catalog definitions, sensor samples, rule firings and
+// query issues — stored as length-prefixed CRC32-checked binary records,
+// with segment rotation, periodic catalog snapshots, and replay-based crash
+// recovery that truncates a torn tail and reconstructs identical in-memory
+// state.
+//
+// The record payload reuses the enc(·) idiom of internal/encoding: a record
+// is the byte rendering of the $f1@f2@…@fk$ symbol encoding (delimiters
+// outside every payload, §5.1.1), so the same escaping discipline that keeps
+// recognition words parseable keeps log records parseable. Framing adds
+// what a disk needs and a tape does not: an explicit length and a checksum.
+package log
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+	"rtc/internal/word"
+)
+
+// Kind tags one log record.
+type Kind uint8
+
+const (
+	// KindInvariant defines an invariant object (catalog).
+	KindInvariant Kind = iota
+	// KindImage defines an image object and its sampling period (catalog).
+	KindImage
+	// KindDerived defines a derived object and its sources (catalog).
+	KindDerived
+	// KindSample is one sensor sample for an image object.
+	KindSample
+	// KindFiring is one active-rule firing.
+	KindFiring
+	// KindQuery is one query issue (aperiodic or one periodic invocation).
+	KindQuery
+)
+
+var kindTags = [...]string{"V", "I", "D", "S", "F", "Q"}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindTags) {
+		return kindTags[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one entry of the timed event log. Name is the object, rule, or
+// query name; Value is the sample value, invariant value, or query
+// candidate; Args carries kind-specific extras (a derived object's sources,
+// a query's deadline envelope).
+type Event struct {
+	Kind  Kind
+	At    timeseq.Time
+	Name  string
+	Value string
+	Args  []string
+}
+
+// Invariant builds a catalog record for an invariant object.
+func Invariant(name, value string) Event {
+	return Event{Kind: KindInvariant, Name: name, Value: value}
+}
+
+// Image builds a catalog record for an image object.
+func Image(name string, period timeseq.Time) Event {
+	return Event{Kind: KindImage, Name: name, Args: []string{encoding.FieldUint(uint64(period))}}
+}
+
+// Derived builds a catalog record for a derived object.
+func Derived(name string, sources ...string) Event {
+	return Event{Kind: KindDerived, Name: name, Args: sources}
+}
+
+// Sample builds a timed sample record.
+func Sample(at timeseq.Time, image, value string) Event {
+	return Event{Kind: KindSample, At: at, Name: image, Value: value}
+}
+
+// Firing builds a timed rule-firing record.
+func Firing(at timeseq.Time, rule string) Event {
+	return Event{Kind: KindFiring, At: at, Name: rule}
+}
+
+// Query builds a timed query-issue record. The args encode the §4.1
+// deadline envelope: session, deadline kind, relative deadline, minimum
+// usefulness.
+func Query(at timeseq.Time, session, query, candidate string, kind, dead, minUseful uint64) Event {
+	return Event{Kind: KindQuery, At: at, Name: query, Value: candidate, Args: []string{
+		session,
+		encoding.FieldUint(kind),
+		encoding.FieldUint(dead),
+		encoding.FieldUint(minUseful),
+	}}
+}
+
+// fields flattens the event into record fields.
+func (e Event) fields() []string {
+	f := make([]string, 0, 4+len(e.Args))
+	f = append(f, e.Kind.String(), encoding.FieldUint(uint64(e.At)), e.Name, e.Value)
+	return append(f, e.Args...)
+}
+
+// eventFromFields inverts fields.
+func eventFromFields(f []string) (Event, bool) {
+	if len(f) < 4 {
+		return Event{}, false
+	}
+	var kind Kind
+	found := false
+	for k, tag := range kindTags {
+		if f[0] == tag {
+			kind = Kind(k)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Event{}, false
+	}
+	at, err := parseUint(f[1])
+	if err != nil {
+		return Event{}, false
+	}
+	e := Event{Kind: kind, At: timeseq.Time(at), Name: f[2], Value: f[3]}
+	if len(f) > 4 {
+		e.Args = append([]string{}, f[4:]...)
+	}
+	return e, true
+}
+
+func parseUint(s string) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("log: empty numeric field")
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("log: numeric field %q", s)
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, nil
+}
+
+// EncodeFields renders record fields as payload bytes: the byte form of the
+// $f1@f2@…$ symbol encoding.
+func EncodeFields(fields ...string) []byte {
+	return []byte(encoding.String(encoding.Record(fields...)))
+}
+
+// DecodeFields inverts EncodeFields. It re-tokenizes the byte stream into
+// the symbol alphabet (escape pairs %x are one symbol, everything else one
+// byte) and hands the result to the shared record parser.
+func DecodeFields(payload []byte) ([]string, bool) {
+	syms := make([]word.Symbol, 0, len(payload))
+	for i := 0; i < len(payload); i++ {
+		if payload[i] == '%' {
+			if i+1 >= len(payload) {
+				return nil, false
+			}
+			syms = append(syms, word.Symbol(payload[i:i+2]))
+			i++
+			continue
+		}
+		syms = append(syms, word.Symbol(payload[i:i+1]))
+	}
+	return encoding.ParseRecord(syms)
+}
+
+// frameHeaderSize is the per-record overhead: payload length and CRC32,
+// both little-endian uint32.
+const frameHeaderSize = 8
+
+// maxPayload bounds a single record; longer payloads indicate a bug or a
+// corrupt length field during replay.
+const maxPayload = 1 << 24
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame appends the framed record | len | crc | payload | to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// EncodeEvent frames one event.
+func EncodeEvent(e Event) []byte {
+	return AppendFrame(nil, EncodeFields(e.fields()...))
+}
+
+// errTorn reports a record that is structurally damaged — short header,
+// short payload, impossible length, or checksum mismatch. During replay a
+// torn record at the tail of the last segment is the expected signature of
+// a crash mid-append and is truncated away; anywhere else it is corruption.
+var errTorn = fmt.Errorf("log: torn record")
+
+// ReadFrame reads one framed payload from r. It returns the payload and the
+// number of bytes consumed. io.EOF signals a clean end; errTorn a damaged
+// record.
+func ReadFrame(r io.Reader) (payload []byte, n int, err error) {
+	var hdr [frameHeaderSize]byte
+	got, err := io.ReadFull(r, hdr[:])
+	if err == io.EOF {
+		return nil, 0, io.EOF
+	}
+	if err != nil {
+		return nil, got, errTorn
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxPayload {
+		return nil, frameHeaderSize, errTorn
+	}
+	payload = make([]byte, length)
+	got, err = io.ReadFull(r, payload)
+	if err != nil {
+		return nil, frameHeaderSize + got, errTorn
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, frameHeaderSize + int(length), errTorn
+	}
+	return payload, frameHeaderSize + int(length), nil
+}
+
+// DecodeEvent parses one framed payload back into an Event.
+func DecodeEvent(payload []byte) (Event, bool) {
+	fields, ok := DecodeFields(payload)
+	if !ok {
+		return Event{}, false
+	}
+	return eventFromFields(fields)
+}

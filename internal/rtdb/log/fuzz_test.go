@@ -1,0 +1,61 @@
+package log
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rtc/internal/timeseq"
+)
+
+// FuzzFieldsRoundTrip: any field tuple survives EncodeFields/DecodeFields
+// (the byte-level counterpart of encoding.FuzzRecordRoundTrip).
+func FuzzFieldsRoundTrip(f *testing.F) {
+	f.Add("S", "12", "temp")
+	f.Add("", "", "")
+	f.Add("x$y", "#1@%", "a\x00b")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		got, ok := DecodeFields(EncodeFields(a, b, c))
+		if !ok || len(got) != 3 || got[0] != a || got[1] != b || got[2] != c {
+			t.Fatalf("round trip (%q,%q,%q) → %v (%v)", a, b, c, got, ok)
+		}
+	})
+}
+
+// FuzzEventRoundTrip: any event survives the frame + record codec, and the
+// framed bytes read back as exactly one record.
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add(uint8(KindSample), uint64(7), "temp", "21", "x")
+	f.Add(uint8(KindQuery), uint64(0), "", "", "")
+	f.Add(uint8(KindFiring), uint64(1<<40), "a$@#%rule", "", "s1")
+	f.Fuzz(func(t *testing.T, kind uint8, at uint64, name, value, arg string) {
+		e := Event{Kind: Kind(kind % 6), At: timeseq.Time(at), Name: name, Value: value}
+		if arg != "" {
+			e.Args = []string{arg}
+		}
+		frame := EncodeEvent(e)
+		payload, n, err := ReadFrame(bytes.NewReader(frame))
+		if err != nil || n != len(frame) {
+			t.Fatalf("ReadFrame: n=%d err=%v", n, err)
+		}
+		got, ok := DecodeEvent(payload)
+		if !ok || !reflect.DeepEqual(got, e) {
+			t.Fatalf("round trip %+v → %+v (%v)", e, got, ok)
+		}
+	})
+}
+
+// FuzzDecodeFrame: arbitrary bytes never panic the frame reader or the
+// decoder — they either parse or are reported torn/invalid.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeEvent(Sample(3, "temp", "20")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		payload, _, err := ReadFrame(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		DecodeEvent(payload)
+	})
+}

@@ -1,0 +1,471 @@
+package log
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+)
+
+// Options configures a log directory.
+type Options struct {
+	// Dir is the log directory (created if missing).
+	Dir string
+	// SegmentSize rotates the active segment once it reaches this many
+	// bytes. Default 1 MiB.
+	SegmentSize int64
+	// SnapshotEvery writes a catalog snapshot after every N appends.
+	// 0 disables automatic snapshots.
+	SnapshotEvery uint64
+	// Sync fsyncs after every append (the durable setting; off by default
+	// so tests and benchmarks can measure the code path separately).
+	Sync bool
+}
+
+func (o *Options) defaults() {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 1 << 20
+	}
+}
+
+// Stats is the log's observability block.
+type Stats struct {
+	Appends         uint64
+	Segments        uint64 // segments created over the log's lifetime
+	Snapshots       uint64
+	FsyncCount      uint64
+	FsyncNanos      uint64 // total time spent in fsync
+	FsyncMaxNanos   uint64
+	RecoveredEvents uint64 // events replayed at Open
+	TruncatedBytes  int64  // torn tail dropped at Open
+}
+
+// replayPos addresses a byte position in the segment sequence.
+type replayPos struct {
+	seg uint64
+	off int64
+}
+
+// Log is an append-only timed event log over a directory of CRC-checked
+// segments. All methods are safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	opts Options
+	st   *State
+
+	f        *os.File
+	segIndex uint64
+	segSize  int64
+
+	snapSeq       uint64
+	lastSnap      replayPos
+	sinceSnapshot uint64
+
+	stats Stats
+	buf   []byte
+}
+
+func segName(i uint64) string  { return fmt.Sprintf("seg-%08d.wal", i) }
+func snapName(i uint64) string { return fmt.Sprintf("snap-%08d.snap", i) }
+
+// parseSeq extracts the numeric sequence from names like seg-00000001.wal.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if len(name) <= len(prefix)+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	v, err := parseUint(name[len(prefix) : len(name)-len(suffix)])
+	return v, err == nil
+}
+
+// Open loads (or creates) a log directory, recovering state by replaying
+// the newest loadable snapshot plus every record after it. A torn record at
+// the tail of the last segment — the signature of a crash mid-append — is
+// truncated away; damage anywhere else is reported as corruption.
+func Open(opts Options) (*Log, error) {
+	opts.defaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	var snaps []uint64
+	for _, e := range entries {
+		if v, ok := parseSeq(e.Name(), "seg-", ".wal"); ok {
+			segs = append(segs, v)
+		}
+		if v, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			snaps = append(snaps, v)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+
+	l := &Log{opts: opts, st: NewState()}
+
+	// Newest loadable snapshot wins; unreadable ones are skipped (a crash
+	// during snapshot write leaves a torn .snap behind — the log is the
+	// source of truth, the snapshot only an accelerator).
+	pos := replayPos{seg: 1, off: 0}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		st, p, err := loadSnapshot(filepath.Join(opts.Dir, snapName(snaps[i])))
+		if err != nil {
+			continue
+		}
+		l.st, pos = st, p
+		l.snapSeq = snaps[i]
+		l.lastSnap = p
+		break
+	}
+
+	if len(segs) == 0 {
+		if l.snapSeq != 0 {
+			return nil, fmt.Errorf("log: snapshot %d refers to segment %d but no segments exist", l.snapSeq, pos.seg)
+		}
+		if err := l.openSegment(1, 0); err != nil {
+			return nil, err
+		}
+		l.stats.Segments = 1
+		return l, nil
+	}
+
+	// Replay from pos across all later segments.
+	for i, seg := range segs {
+		if seg < pos.seg {
+			continue // compacted away behind the snapshot
+		}
+		start := int64(0)
+		if seg == pos.seg {
+			start = pos.off
+		}
+		last := i == len(segs)-1
+		end, err := l.replaySegment(seg, start, last)
+		if err != nil {
+			return nil, err
+		}
+		if last {
+			if err := l.openSegment(seg, end); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if l.f == nil {
+		// Every surviving segment predates the snapshot position: the
+		// snapshot names a segment that was deleted out from under it.
+		return nil, fmt.Errorf("log: segment %d referenced by snapshot is missing", pos.seg)
+	}
+	l.stats.Segments = uint64(len(segs))
+	return l, nil
+}
+
+// replaySegment applies every valid record of one segment, returning the
+// offset just past the last good record. In the last segment a torn tail is
+// truncated; elsewhere it is corruption.
+func (l *Log) replaySegment(seg uint64, start int64, last bool) (int64, error) {
+	path := filepath.Join(l.opts.Dir, segName(seg))
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if start > fi.Size() {
+		return 0, fmt.Errorf("log: snapshot offset %d past end of %s (%d bytes)", start, segName(seg), fi.Size())
+	}
+	if _, err := f.Seek(start, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReader(f)
+	off := start
+	for {
+		payload, n, err := ReadFrame(r)
+		if err == io.EOF {
+			return off, nil
+		}
+		if err != nil {
+			if !last {
+				return 0, fmt.Errorf("log: corrupt record in %s at offset %d", segName(seg), off)
+			}
+			l.stats.TruncatedBytes = fi.Size() - off
+			if terr := os.Truncate(path, off); terr != nil {
+				return 0, terr
+			}
+			return off, nil
+		}
+		e, ok := DecodeEvent(payload)
+		if !ok {
+			return 0, fmt.Errorf("log: undecodable record in %s at offset %d", segName(seg), off)
+		}
+		if err := l.st.Apply(e); err != nil {
+			return 0, err
+		}
+		l.stats.RecoveredEvents++
+		off += int64(n)
+	}
+}
+
+// openSegment opens segment seg for appending at offset off (creating it
+// when absent).
+func (l *Log) openSegment(seg uint64, off int64) error {
+	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segName(seg)), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.segIndex = seg
+	l.segSize = off
+	return nil
+}
+
+// State returns the log's live state. It is owned by the log: callers must
+// treat it as read-only and must not retain it across Append calls.
+func (l *Log) State() *State {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st
+}
+
+// Stats returns a copy of the counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Append durably records one event and applies it to the in-memory state.
+func (l *Log) Append(e Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("log: closed")
+	}
+	if err := l.st.Apply(e); err != nil {
+		return err
+	}
+	l.buf = AppendFrame(l.buf[:0], EncodeFields(e.fields()...))
+	if _, err := l.f.Write(l.buf); err != nil {
+		return err
+	}
+	l.segSize += int64(len(l.buf))
+	l.stats.Appends++
+	if l.opts.Sync {
+		if err := l.fsync(); err != nil {
+			return err
+		}
+	}
+	if l.segSize >= l.opts.SegmentSize {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	l.sinceSnapshot++
+	if l.opts.SnapshotEvery > 0 && l.sinceSnapshot >= l.opts.SnapshotEvery {
+		if err := l.snapshotLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Log) fsync() error {
+	t0 := time.Now()
+	err := l.f.Sync()
+	d := uint64(time.Since(t0).Nanoseconds())
+	l.stats.FsyncCount++
+	l.stats.FsyncNanos += d
+	if d > l.stats.FsyncMaxNanos {
+		l.stats.FsyncMaxNanos = d
+	}
+	return err
+}
+
+// rotate seals the active segment (always fsynced: a sealed segment is
+// immutable from here on) and starts the next one.
+func (l *Log) rotate() error {
+	if err := l.fsync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.stats.Segments++
+	return l.openSegment(l.segIndex+1, 0)
+}
+
+// Snapshot writes a catalog snapshot covering everything appended so far.
+func (l *Log) Snapshot() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked()
+}
+
+func (l *Log) snapshotLocked() error {
+	l.sinceSnapshot = 0
+	pos := replayPos{seg: l.segIndex, off: l.segSize}
+	l.snapSeq++
+	path := filepath.Join(l.opts.Dir, snapName(l.snapSeq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	write := func(fields ...string) {
+		w.Write(AppendFrame(nil, EncodeFields(fields...)))
+	}
+	write("SNAPSHOT",
+		encoding.FieldUint(pos.seg), encoding.FieldUint(uint64(pos.off)),
+		encoding.FieldUint(l.st.Events), encoding.FieldUint(uint64(l.st.LastAt)))
+	dump := l.st.dump()
+	for _, e := range dump {
+		write(e.fields()...)
+	}
+	write("COMMIT", encoding.FieldUint(uint64(len(dump))))
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	l.lastSnap = pos
+	l.stats.Snapshots++
+	return nil
+}
+
+// loadSnapshot reads one snapshot file into a fresh state.
+func loadSnapshot(path string) (*State, replayPos, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, replayPos{}, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	head, _, err := ReadFrame(r)
+	if err != nil {
+		return nil, replayPos{}, fmt.Errorf("log: unreadable snapshot header: %w", err)
+	}
+	fields, ok := DecodeFields(head)
+	if !ok || len(fields) != 5 || fields[0] != "SNAPSHOT" {
+		return nil, replayPos{}, fmt.Errorf("log: bad snapshot header")
+	}
+	seg, err1 := parseUint(fields[1])
+	off, err2 := parseUint(fields[2])
+	events, err3 := parseUint(fields[3])
+	lastAt, err4 := parseUint(fields[4])
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return nil, replayPos{}, fmt.Errorf("log: bad snapshot header fields")
+	}
+
+	st := NewState()
+	n := uint64(0)
+	for {
+		payload, _, err := ReadFrame(r)
+		if err != nil {
+			return nil, replayPos{}, fmt.Errorf("log: snapshot truncated before commit")
+		}
+		fields, ok := DecodeFields(payload)
+		if !ok {
+			return nil, replayPos{}, fmt.Errorf("log: undecodable snapshot record")
+		}
+		if fields[0] == "COMMIT" {
+			want, err := parseUint(fields[1])
+			if err != nil || want != n {
+				return nil, replayPos{}, fmt.Errorf("log: snapshot commit count mismatch")
+			}
+			break
+		}
+		e, ok := eventFromFields(fields)
+		if !ok {
+			return nil, replayPos{}, fmt.Errorf("log: bad snapshot event")
+		}
+		if err := st.Apply(e); err != nil {
+			return nil, replayPos{}, err
+		}
+		n++
+	}
+	// The dump collapses catalog overwrites, so the replay counters are
+	// restored from the header rather than recomputed.
+	st.Events = events
+	st.LastAt = timeseq.Time(lastAt)
+	return st, replayPos{seg: seg, off: int64(off)}, nil
+}
+
+// Compact removes segments wholly covered by the newest snapshot and all
+// older snapshots. The active segment is never removed.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snapSeq == 0 {
+		return nil
+	}
+	entries, err := os.ReadDir(l.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if v, ok := parseSeq(e.Name(), "seg-", ".wal"); ok && v < l.lastSnap.seg {
+			if err := os.Remove(filepath.Join(l.opts.Dir, e.Name())); err != nil {
+				return err
+			}
+		}
+		if v, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && v < l.snapSeq {
+			if err := os.Remove(filepath.Join(l.opts.Dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sync forces an fsync of the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	return l.fsync()
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.fsync(); err != nil {
+		l.f.Close()
+		l.f = nil
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

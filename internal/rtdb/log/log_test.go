@@ -1,0 +1,348 @@
+package log
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rtc/internal/relational"
+	"rtc/internal/rtdb"
+	"rtc/internal/timeseq"
+	"rtc/internal/vtime"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	events := []Event{
+		Invariant("limit", "22"),
+		Image("temp", 5),
+		Derived("status", "temp", "limit"),
+		Sample(7, "temp", "21"),
+		Sample(12, "temp", "va$l@ue#%"),
+		Firing(12, "alarm"),
+		Query(13, "s3", "status_q", "ok", 1, 4, 2),
+		{Kind: KindSample, At: 0, Name: "", Value: ""},
+	}
+	for _, e := range events {
+		frame := EncodeEvent(e)
+		payload, n, err := ReadFrame(bytes.NewReader(frame))
+		if err != nil || n != len(frame) {
+			t.Fatalf("ReadFrame(%v): n=%d err=%v", e, n, err)
+		}
+		got, ok := DecodeEvent(payload)
+		if !ok || !reflect.DeepEqual(got, e) {
+			t.Fatalf("round trip %+v → %+v (%v)", e, got, ok)
+		}
+	}
+}
+
+func TestReadFrameTorn(t *testing.T) {
+	frame := EncodeEvent(Sample(1, "temp", "20"))
+	cases := map[string][]byte{
+		"short header":  frame[:4],
+		"short payload": frame[:len(frame)-2],
+		"bad crc": append(append([]byte{}, frame[:len(frame)-1]...),
+			frame[len(frame)-1]^0xff),
+	}
+	for name, b := range cases {
+		if _, _, err := ReadFrame(bytes.NewReader(b)); err != errTorn {
+			t.Errorf("%s: err = %v, want errTorn", name, err)
+		}
+	}
+}
+
+// workload returns a deterministic event sequence exercising every kind.
+func workload(n int) []Event {
+	events := []Event{
+		Invariant("limit", "22"),
+		Image("temp", 5),
+		Image("press", 3),
+		Derived("status", "temp", "limit"),
+	}
+	for i := 0; i < n; i++ {
+		at := timeseq.Time(i)
+		events = append(events, Sample(at, "temp", "v"+itoa(i)))
+		if i%3 == 0 {
+			events = append(events, Sample(at, "press", "p"+itoa(i)))
+		}
+		if i%5 == 0 {
+			events = append(events, Firing(at, "alarm"))
+		}
+		if i%7 == 0 {
+			events = append(events, Query(at, "s1", "status_q", "ok", 1, 4, 1))
+		}
+	}
+	return events
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// reference applies the events directly — the ground truth a recovered
+// state must deep-equal.
+func reference(events []Event) *State {
+	st := NewState()
+	for _, e := range events {
+		if err := st.Apply(e); err != nil {
+			panic(err)
+		}
+	}
+	return st
+}
+
+func TestRecoveryCleanShutdown(t *testing.T) {
+	dir := t.TempDir()
+	events := workload(100)
+	l, err := Open(Options{Dir: dir, SegmentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("segment rotation never triggered: %d segments", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, SegmentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	want := reference(events)
+	if !reflect.DeepEqual(l2.State(), want) {
+		t.Fatalf("recovered state differs from reference:\n got %+v\nwant %+v", l2.State(), want)
+	}
+}
+
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	events := workload(60)
+	l, err := Open(Options{Dir: dir, SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the log mid-append: a record that made it to disk only
+	// partially, exactly as a crash between write and fsync leaves it.
+	torn := EncodeEvent(Sample(999, "temp", "never-lands"))
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(Options{Dir: dir, SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if tb := l2.Stats().TruncatedBytes; tb != int64(len(torn)-3) {
+		t.Fatalf("TruncatedBytes = %d, want %d", tb, len(torn)-3)
+	}
+	want := reference(events)
+	if !reflect.DeepEqual(l2.State(), want) {
+		t.Fatal("recovered state differs from reference after torn-tail truncation")
+	}
+
+	// The historical databases must agree too — the as-of read path sees
+	// exactly the reference history.
+	now := want.LastAt
+	got, ref := l2.State().Historical(now), want.Historical(now)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("recovered historical database differs from reference")
+	}
+	h, ok := got.Relation("temp")
+	if !ok {
+		t.Fatal("no temp relation after recovery")
+	}
+	if !h.HoldsAt(relational.Tuple{"temp", "v59"}, now) {
+		t.Fatal("latest sample not visible in recovered historical relation")
+	}
+
+	// Appending after recovery lands cleanly where the tail was cut.
+	if err := l2.Append(Sample(now+1, "temp", "post")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := Open(Options{Dir: dir, SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if err := reference(events).Apply(Sample(now+1, "temp", "post")); err != nil {
+		t.Fatal(err)
+	}
+	img := l3.State().Images["temp"]
+	if img.Samples[len(img.Samples)-1].Value != "post" {
+		t.Fatal("append after recovery lost")
+	}
+}
+
+func TestRecoveryFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	events := workload(200)
+	l, err := Open(Options{Dir: dir, SegmentSize: 1024, SnapshotEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Snapshots == 0 {
+		t.Fatal("no snapshot written")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Options{Dir: dir, SegmentSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	want := reference(events)
+	if !reflect.DeepEqual(l2.State(), want) {
+		t.Fatal("snapshot + tail replay differs from full replay")
+	}
+	// The snapshot must actually have shortened the replay.
+	if re := l2.Stats().RecoveredEvents; re >= want.Events {
+		t.Fatalf("replayed %d events, want fewer than %d (snapshot unused)", re, want.Events)
+	}
+}
+
+func TestSnapshotTornIsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	events := workload(80)
+	l, err := Open(Options{Dir: dir, SegmentSize: 1 << 20, SnapshotEvery: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest snapshot: recovery must fall back to the log.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if _, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			path := filepath.Join(dir, e.Name())
+			b, _ := os.ReadFile(path)
+			os.WriteFile(path, b[:len(b)/2], 0o644)
+		}
+	}
+	l2, err := Open(Options{Dir: dir, SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if !reflect.DeepEqual(l2.State(), reference(events)) {
+		t.Fatal("recovery with torn snapshots differs from reference")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	events := workload(300)
+	l, err := Open(Options{Dir: dir, SegmentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	segs := 0
+	for _, e := range entries {
+		if _, ok := parseSeq(e.Name(), "seg-", ".wal"); ok {
+			segs++
+		}
+	}
+	if segs != 1 {
+		t.Fatalf("%d segments survive compaction, want 1 (the active one)", segs)
+	}
+	l2, err := Open(Options{Dir: dir, SegmentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if !reflect.DeepEqual(l2.State(), reference(events)) {
+		t.Fatal("recovery after compaction differs from reference")
+	}
+}
+
+func TestBuildRebindsCatalog(t *testing.T) {
+	st := reference(workload(20))
+	db := rtdb.New(vtime.New())
+	reg := rtdb.DeriveRegistry{
+		"status": func(src map[string]rtdb.Value) rtdb.Value { return src["temp"] + "/" + src["limit"] },
+	}
+	if err := st.Build(db, reg); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Image("temp"); !ok {
+		t.Fatal("image catalog not rebuilt")
+	}
+	if v, ok := db.Invariant("limit"); !ok || v != "22" {
+		t.Fatalf("invariant = %q, %v", v, ok)
+	}
+	d, ok := db.Derived("status")
+	if !ok {
+		t.Fatal("derived catalog not rebuilt")
+	}
+	if got := d.Derive(map[string]string{"temp": "21", "limit": "22"}); got != "21/22" {
+		t.Fatalf("rebound derivation = %q", got)
+	}
+	// Missing registry entry is an error, not a silent nil function.
+	if err := st.Build(rtdb.New(vtime.New()), nil); err == nil {
+		t.Fatal("Build with empty registry: want error")
+	}
+}

@@ -1,0 +1,238 @@
+package log
+
+import (
+	"fmt"
+	"sort"
+
+	"rtc/internal/relational"
+	"rtc/internal/rtdb"
+	"rtc/internal/timeseq"
+)
+
+// State is the in-memory image of the log: the database catalog plus the
+// timed history replay reconstructs. Two states built from the same event
+// sequence — one live, one by crash recovery — compare deep-equal; that is
+// the recovery invariant the tests pin down.
+type State struct {
+	Invariants map[string]string
+	Images     map[string]*ImageState
+	Derived    map[string]*DerivedState
+	Firings    []string     // "time:rule", mirroring rtdb.DB.FiringLog
+	Queries    []QueryIssue // every admitted query issue, in log order
+	LastAt     timeseq.Time // largest timestamp applied
+	Events     uint64       // number of events applied
+}
+
+// ImageState is the recovered history of one image object.
+type ImageState struct {
+	Period  timeseq.Time
+	Samples []rtdb.Sample
+}
+
+// DerivedState is the recovered definition of one derived object. The
+// derivation function itself is code, not data; like the acceptor's
+// DeriveRegistry it is re-bound by name after recovery.
+type DerivedState struct {
+	Sources []string
+}
+
+// QueryIssue is one recovered query issue with its deadline envelope.
+type QueryIssue struct {
+	At        timeseq.Time
+	Session   string
+	Query     string
+	Candidate string
+	Kind      uint64
+	Deadline  timeseq.Time
+	MinUseful uint64
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{
+		Invariants: map[string]string{},
+		Images:     map[string]*ImageState{},
+		Derived:    map[string]*DerivedState{},
+	}
+}
+
+// Apply integrates one event.
+func (st *State) Apply(e Event) error {
+	switch e.Kind {
+	case KindInvariant:
+		st.Invariants[e.Name] = e.Value
+	case KindImage:
+		if len(e.Args) != 1 {
+			return fmt.Errorf("log: image record for %q needs a period", e.Name)
+		}
+		p, err := parseUint(e.Args[0])
+		if err != nil {
+			return err
+		}
+		if _, ok := st.Images[e.Name]; !ok {
+			st.Images[e.Name] = &ImageState{Period: timeseq.Time(p)}
+		}
+	case KindDerived:
+		st.Derived[e.Name] = &DerivedState{Sources: append([]string{}, e.Args...)}
+	case KindSample:
+		img, ok := st.Images[e.Name]
+		if !ok {
+			return fmt.Errorf("log: sample for unregistered image %q", e.Name)
+		}
+		img.Samples = append(img.Samples, rtdb.Sample{At: e.At, Value: e.Value})
+	case KindFiring:
+		st.Firings = append(st.Firings, fmt.Sprintf("%d:%s", e.At, e.Name))
+	case KindQuery:
+		if len(e.Args) != 4 {
+			return fmt.Errorf("log: query record for %q needs 4 args", e.Name)
+		}
+		kind, err := parseUint(e.Args[1])
+		if err != nil {
+			return err
+		}
+		dead, err := parseUint(e.Args[2])
+		if err != nil {
+			return err
+		}
+		min, err := parseUint(e.Args[3])
+		if err != nil {
+			return err
+		}
+		st.Queries = append(st.Queries, QueryIssue{
+			At: e.At, Session: e.Args[0], Query: e.Name, Candidate: e.Value,
+			Kind: kind, Deadline: timeseq.Time(dead), MinUseful: min,
+		})
+	default:
+		return fmt.Errorf("log: unknown event kind %v", e.Kind)
+	}
+	if e.At > st.LastAt {
+		st.LastAt = e.At
+	}
+	st.Events++
+	return nil
+}
+
+// imageNames returns the image names sorted, for deterministic dumps.
+func (st *State) imageNames() []string {
+	names := make([]string, 0, len(st.Images))
+	for n := range st.Images {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// dump flattens the state into a deterministic event sequence; replaying
+// the dump into an empty state rebuilds an equal one. This is the snapshot
+// payload.
+func (st *State) dump() []Event {
+	var out []Event
+	invs := make([]string, 0, len(st.Invariants))
+	for n := range st.Invariants {
+		invs = append(invs, n)
+	}
+	sort.Strings(invs)
+	for _, n := range invs {
+		out = append(out, Invariant(n, st.Invariants[n]))
+	}
+	names := st.imageNames()
+	for _, n := range names {
+		out = append(out, Image(n, st.Images[n].Period))
+	}
+	ders := make([]string, 0, len(st.Derived))
+	for n := range st.Derived {
+		ders = append(ders, n)
+	}
+	sort.Strings(ders)
+	for _, n := range ders {
+		out = append(out, Derived(n, st.Derived[n].Sources...))
+	}
+	for _, n := range names {
+		for _, s := range st.Images[n].Samples {
+			out = append(out, Sample(s.At, n, s.Value))
+		}
+	}
+	for _, f := range st.Firings {
+		at, rule, ok := splitFiring(f)
+		if !ok {
+			continue
+		}
+		out = append(out, Firing(at, rule))
+	}
+	for _, q := range st.Queries {
+		out = append(out, Query(q.At, q.Session, q.Query, q.Candidate, q.Kind, uint64(q.Deadline), q.MinUseful))
+	}
+	return out
+}
+
+func splitFiring(s string) (timeseq.Time, string, bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			at, err := parseUint(s[:i])
+			if err != nil {
+				return 0, "", false
+			}
+			return timeseq.Time(at), s[i+1:], true
+		}
+	}
+	return 0, "", false
+}
+
+// Build instantiates a live rtdb.DB from the recovered catalog: invariants,
+// served-mode images (nil Read — samples are injected, not scheduled), and
+// derived objects re-bound through the registry, exactly as the acceptor's
+// DeriveRegistry re-binds enc(D). Sample histories are re-injected through
+// the scheduler so in-DB state matches a reference run.
+func (st *State) Build(db *rtdb.DB, reg rtdb.DeriveRegistry) error {
+	for _, n := range st.imageNames() {
+		db.AddImage(&rtdb.ImageObject{Name: n, Period: st.Images[n].Period})
+	}
+	invs := make([]string, 0, len(st.Invariants))
+	for n := range st.Invariants {
+		invs = append(invs, n)
+	}
+	sort.Strings(invs)
+	for _, n := range invs {
+		db.AddInvariant(n, st.Invariants[n])
+	}
+	ders := make([]string, 0, len(st.Derived))
+	for n := range st.Derived {
+		ders = append(ders, n)
+	}
+	sort.Strings(ders)
+	for _, n := range ders {
+		fn, ok := reg[n]
+		if !ok {
+			return fmt.Errorf("log: no derivation registered for %q", n)
+		}
+		db.AddDerived(&rtdb.DerivedObject{Name: n, Sources: st.Derived[n].Sources, Derive: fn})
+	}
+	return nil
+}
+
+// Historical converts the recovered sample histories into the §5.1.2
+// temporal view: one valid-time relation (Object, Value) per image, each
+// sample's lifespan running to the next sample (or now). This is the
+// structure as-of reads are served from.
+func (st *State) Historical(now timeseq.Time) *rtdb.HistoricalDatabase {
+	out := rtdb.NewHistoricalDatabase()
+	for _, n := range st.imageNames() {
+		img := st.Images[n]
+		h := rtdb.NewHistoricalRelation(relational.Schema{
+			Name:  n,
+			Attrs: []relational.Attribute{"Object", "Value"},
+		})
+		for i, s := range img.Samples {
+			end := now
+			if i+1 < len(img.Samples) {
+				end = img.Samples[i+1].At - 1
+			}
+			if end < s.At {
+				continue
+			}
+			_ = h.Insert(relational.Tuple{n, s.Value}, rtdb.NewLifespan(rtdb.Interval{Lo: s.At, Hi: end}))
+		}
+		out.Add(h)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"rtc/internal/deadline"
+	wal "rtc/internal/rtdb/log"
+)
+
+func benchServer(b *testing.B, sessions int, log *wal.Log) *Server {
+	b.Helper()
+	cfg := testConfig()
+	cfg.Sessions = sessions
+	cfg.QueueDepth = 256
+	cfg.Log = log
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	b.Cleanup(s.Stop)
+	return s
+}
+
+func BenchmarkInjectSample(b *testing.B) {
+	s := benchServer(b, 1, nil)
+	c := s.Session(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c.InjectSample("temp", "21") == ErrBackpressure {
+			// spin until the apply loop catches up
+		}
+	}
+	_ = c.Flush()
+}
+
+func BenchmarkInjectSampleWAL(b *testing.B) {
+	l, err := wal.Open(wal.Options{Dir: filepath.Join(b.TempDir(), "wal"), SegmentSize: 1 << 22})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	s := benchServer(b, 1, l)
+	c := s.Session(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c.InjectSample("temp", "21") == ErrBackpressure {
+		}
+	}
+	_ = c.Flush()
+}
+
+func BenchmarkQueryFirm(b *testing.B) {
+	s := benchServer(b, 1, nil)
+	c := s.Session(0)
+	if err := c.InjectSample("temp", "21"); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	req := QueryRequest{Query: "status_q", Candidate: "ok",
+		Kind: deadline.Firm, Deadline: 1 << 40, MinUseful: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConcurrentSessions(b *testing.B) {
+	s := benchServer(b, 16, nil)
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		c := s.Session(int(next.Add(1)-1) % 16)
+		i := 0
+		for pb.Next() {
+			if i%4 == 3 {
+				_, _ = c.Query(QueryRequest{Query: "temp_q"})
+			} else {
+				_ = c.InjectSample("temp", strconv.Itoa(15+i%15))
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkAsOfRead(b *testing.B) {
+	cfg := testConfig()
+	cfg.SnapshotEvery = 1
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	b.Cleanup(s.Stop)
+	c := s.Session(0)
+	for i := 0; i < 64; i++ {
+		if err := c.InjectSample("temp", "v"+strconv.Itoa(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	h := s.HistoryHorizon()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.ValueAsOf("temp", h/2); !ok {
+			b.Fatal("missing value")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package server is the concurrent serving layer of the rtdbd subsystem:
+// N client sessions inject timed samples and issue aperiodic and periodic
+// queries against one §5.1 real-time database (rtdb.DB), with bounded
+// per-session queues (reject, never block — firm semantics are preserved by
+// accounting a miss instead of waiting), firm/soft-deadline admission
+// control driven by the §4.1 usefulness functions, temporal as-of reads
+// served from published HistoricalDatabase snapshots without the write
+// lock, and write-ahead logging through internal/rtdb/log.
+//
+// Concurrency model: sessions are producers; one apply goroutine owns the
+// database and the virtual clock (an actor, so rtdb.DB itself needs no
+// locking), mirroring how the paper's machine consumes one merged timed
+// word — Hui & Chikkagoudar's parallel model (PAPERS.md) motivates treating
+// the concurrent client streams as first-class timed words whose merge is
+// the apply order.
+package server
+
+import (
+	"sync/atomic"
+
+	"rtc/internal/stats"
+)
+
+// Metrics is the server's expvar-style counter block. All fields are
+// atomics: sessions update them without the apply loop's involvement and
+// readers snapshot them without any lock.
+type Metrics struct {
+	Chronon atomic.Uint64 // current virtual time (chronons)
+
+	SamplesIn       atomic.Uint64 // samples accepted into a session queue
+	SamplesRejected atomic.Uint64 // samples rejected by backpressure
+	SamplesApplied  atomic.Uint64 // samples applied to the database
+
+	QueriesIn       atomic.Uint64 // aperiodic query submissions (attempts)
+	QueriesRejected atomic.Uint64 // rejected by backpressure
+	RejectMiss      atomic.Uint64 // subset of rejections carrying a deadline
+	DeadlineHit     atomic.Uint64 // served within the deadline discipline
+	DeadlineMiss    atomic.Uint64 // served late or admission-skipped
+	NoDeadline      atomic.Uint64 // served class-(i) queries
+	AdmissionSkip   atomic.Uint64 // misses (aperiodic or periodic) never evaluated
+
+	PeriodicIssued atomic.Uint64
+	PeriodicHit    atomic.Uint64
+	PeriodicMiss   atomic.Uint64
+
+	AsOfReads       atomic.Uint64
+	RuleFirings     atomic.Uint64
+	CascadeDepthMax atomic.Uint64
+
+	WalAppends    atomic.Uint64
+	WalErrors     atomic.Uint64
+	FsyncCount    atomic.Uint64
+	FsyncNanos    atomic.Uint64
+	FsyncMaxNanos atomic.Uint64
+}
+
+// MetricsSnapshot is a plain copy of the counters at one instant.
+type MetricsSnapshot struct {
+	Chronon uint64
+
+	SamplesIn, SamplesRejected, SamplesApplied uint64
+
+	QueriesIn, QueriesRejected, RejectMiss uint64
+	DeadlineHit, DeadlineMiss, NoDeadline  uint64
+	AdmissionSkip                          uint64
+	PeriodicIssued, PeriodicHit, PeriodicMiss uint64
+
+	AsOfReads, RuleFirings, CascadeDepthMax uint64
+
+	WalAppends, WalErrors                   uint64
+	FsyncCount, FsyncNanos, FsyncMaxNanos   uint64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Chronon:         m.Chronon.Load(),
+		SamplesIn:       m.SamplesIn.Load(),
+		SamplesRejected: m.SamplesRejected.Load(),
+		SamplesApplied:  m.SamplesApplied.Load(),
+		QueriesIn:       m.QueriesIn.Load(),
+		QueriesRejected: m.QueriesRejected.Load(),
+		RejectMiss:      m.RejectMiss.Load(),
+		DeadlineHit:     m.DeadlineHit.Load(),
+		DeadlineMiss:    m.DeadlineMiss.Load(),
+		NoDeadline:      m.NoDeadline.Load(),
+		AdmissionSkip:   m.AdmissionSkip.Load(),
+		PeriodicIssued:  m.PeriodicIssued.Load(),
+		PeriodicHit:     m.PeriodicHit.Load(),
+		PeriodicMiss:    m.PeriodicMiss.Load(),
+		AsOfReads:       m.AsOfReads.Load(),
+		RuleFirings:     m.RuleFirings.Load(),
+		CascadeDepthMax: m.CascadeDepthMax.Load(),
+		WalAppends:      m.WalAppends.Load(),
+		WalErrors:       m.WalErrors.Load(),
+		FsyncCount:      m.FsyncCount.Load(),
+		FsyncNanos:      m.FsyncNanos.Load(),
+		FsyncMaxNanos:   m.FsyncMaxNanos.Load(),
+	}
+}
+
+// QueriesAccounted sums every terminal outcome an aperiodic query can have.
+// The conservation law QueriesIn == QueriesAccounted is the "never silently
+// dropped" invariant; the race suite asserts it under load.
+func (s MetricsSnapshot) QueriesAccounted() uint64 {
+	return s.QueriesRejected + s.DeadlineHit + s.DeadlineMiss + s.NoDeadline
+}
+
+// Table renders the block for the rtdbd metrics printout.
+func (s MetricsSnapshot) Table() string {
+	t := stats.NewTable("metric", "value")
+	row := func(name string, v uint64) { t.Row(name, v) }
+	row("chronon", s.Chronon)
+	row("samples_in", s.SamplesIn)
+	row("samples_rejected", s.SamplesRejected)
+	row("samples_applied", s.SamplesApplied)
+	row("queries_in", s.QueriesIn)
+	row("queries_rejected", s.QueriesRejected)
+	row("reject_miss", s.RejectMiss)
+	row("deadline_hit", s.DeadlineHit)
+	row("deadline_miss", s.DeadlineMiss)
+	row("no_deadline", s.NoDeadline)
+	row("admission_skip", s.AdmissionSkip)
+	row("periodic_issued", s.PeriodicIssued)
+	row("periodic_hit", s.PeriodicHit)
+	row("periodic_miss", s.PeriodicMiss)
+	row("asof_reads", s.AsOfReads)
+	row("rule_firings", s.RuleFirings)
+	row("cascade_depth_max", s.CascadeDepthMax)
+	row("wal_appends", s.WalAppends)
+	row("wal_errors", s.WalErrors)
+	row("fsync_count", s.FsyncCount)
+	row("fsync_total_ns", s.FsyncNanos)
+	row("fsync_max_ns", s.FsyncMaxNanos)
+	return t.String()
+}

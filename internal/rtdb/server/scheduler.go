@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rtc/internal/deadline"
+	wal "rtc/internal/rtdb/log"
+	"rtc/internal/timeseq"
+)
+
+// PeriodicQuery is a standing query re-issued every Period chronons — the
+// serving counterpart of §5.1.3's pq words, scored invocation by
+// invocation under the §4.1 discipline instead of all-or-nothing like
+// language (10).
+type PeriodicQuery struct {
+	// Name identifies the registration in stats and the WAL.
+	Name string
+	// Query is the catalog query evaluated at each invocation.
+	Query string
+	// Issue is the first invocation's issue chronon; Period the spacing.
+	Issue  timeseq.Time
+	Period timeseq.Time
+	// Kind, Deadline, MinUseful, U: the per-invocation deadline envelope,
+	// as in QueryRequest (U over relative time since the invocation's
+	// issue).
+	Kind      deadline.Kind
+	Deadline  timeseq.Time
+	MinUseful uint64
+	U         deadline.Usefulness
+}
+
+// PeriodicStats is one registration's tally.
+type PeriodicStats struct {
+	Name                string
+	Issued, Hit, Missed uint64
+}
+
+// periodicState is the scheduler's bookkeeping for one registration.
+// next is owned by the apply loop; the tallies are atomics so stats
+// readers need no lock.
+type periodicState struct {
+	pq   PeriodicQuery
+	next timeseq.Time
+
+	issued, hit, miss atomic.Uint64
+}
+
+// RegisterPeriodic adds a standing periodic query. It must be called
+// before Start.
+func (s *Server) RegisterPeriodic(pq PeriodicQuery) error {
+	if pq.Period == 0 {
+		return fmt.Errorf("server: periodic query %q needs a positive period", pq.Name)
+	}
+	if _, ok := s.cfg.Catalog[pq.Query]; !ok {
+		return fmt.Errorf("server: periodic query %q: unknown catalog query %q", pq.Name, pq.Query)
+	}
+	first := pq.Issue
+	if now := s.Now(); first < now {
+		first = now
+	}
+	s.periodic = append(s.periodic, &periodicState{pq: pq, next: first})
+	return nil
+}
+
+// PeriodicReport returns each registration's tally, in registration order.
+func (s *Server) PeriodicReport() []PeriodicStats {
+	out := make([]PeriodicStats, 0, len(s.periodic))
+	for _, ps := range s.periodic {
+		out = append(out, PeriodicStats{
+			Name:   ps.pq.Name,
+			Issued: ps.issued.Load(),
+			Hit:    ps.hit.Load(),
+			Missed: ps.miss.Load(),
+		})
+	}
+	return out
+}
+
+// runPeriodic serves every invocation due at or before the current clock.
+// Admission control mirrors serveQuery: an invocation whose completion
+// provably cannot reach the minimum usefulness is skipped without
+// evaluation — its miss is accounted, its EvalCost is not spent, so a
+// backlogged scheduler sheds provably-useless work instead of compounding
+// the backlog (firm semantics under overload).
+func (s *Server) runPeriodic() {
+	for _, ps := range s.periodic {
+		for {
+			now := timeseq.Time(s.clock.Load())
+			if ps.next > now {
+				break
+			}
+			issue := ps.next
+			ps.next += ps.pq.Period
+			ps.issued.Add(1)
+			s.Metrics.PeriodicIssued.Add(1)
+			s.serveInvocation(ps, issue, now)
+		}
+	}
+}
+
+// serveInvocation runs (or admission-skips) one periodic invocation issued
+// at issue, with the evaluation starting at now.
+func (s *Server) serveInvocation(ps *periodicState, issue, now timeseq.Time) {
+	q := QueryRequest{
+		Query: ps.pq.Query, Kind: ps.pq.Kind, Deadline: ps.pq.Deadline,
+		MinUseful: ps.pq.MinUseful, U: ps.pq.U,
+	}
+	finish := now + timeseq.Time(s.cfg.EvalCost)
+	useful, late := usefulness(q, issue, finish)
+	if late && (q.MinUseful == 0 || useful < q.MinUseful) {
+		ps.miss.Add(1)
+		s.Metrics.PeriodicMiss.Add(1)
+		s.Metrics.AdmissionSkip.Add(1)
+		return
+	}
+	s.sched.RunUntil(now)
+	fn := s.cfg.Catalog[q.Query]
+	fn(s.db.ViewNow())
+	s.advance(finish)
+	s.walAppend(wal.Query(issue, "periodic:"+ps.pq.Name, q.Query, "",
+		uint64(q.Kind), uint64(q.Deadline), q.MinUseful))
+	// Anything the admission test let through meets the discipline at
+	// finish time (the clock only advanced to the estimate it tested).
+	ps.hit.Add(1)
+	s.Metrics.PeriodicHit.Add(1)
+}

@@ -1,0 +1,589 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rtc/internal/deadline"
+	wal "rtc/internal/rtdb/log"
+	"rtc/internal/relational"
+	"rtc/internal/rtdb"
+	"rtc/internal/timeseq"
+	"rtc/internal/vtime"
+)
+
+// Config describes a server instance.
+type Config struct {
+	// Spec is the database catalog (invariant, image, derived objects).
+	// Image Read functions are ignored: in served mode samples come from
+	// client sessions, not from a simulated world.
+	Spec rtdb.Spec
+	// Catalog resolves query names to their semantics (§5.1.3).
+	Catalog rtdb.Catalog
+	// Registry re-binds derived-object computations by name after crash
+	// recovery, like the acceptor's DeriveRegistry re-binds enc(D).
+	Registry rtdb.DeriveRegistry
+	// Rules are the active rules installed on the database.
+	Rules []rtdb.Rule
+
+	// Sessions is the number of client sessions served (default 1).
+	Sessions int
+	// QueueDepth bounds each session's request queue (default 64). A full
+	// queue rejects instead of blocking.
+	QueueDepth int
+	// EvalCost is the number of chronons one query evaluation takes
+	// (default 1) — the P_w cost model of §4.1.
+	EvalCost uint64
+	// SnapshotEvery publishes a HistoricalDatabase snapshot for as-of
+	// reads every so many chronons (default 16).
+	SnapshotEvery timeseq.Time
+	// Log, when set, write-ahead-logs catalog, samples, firings, and query
+	// issues. If the log already holds state, the server recovers from it
+	// and Spec's catalog is ignored.
+	Log *wal.Log
+}
+
+func (c *Config) defaults() {
+	if c.Sessions <= 0 {
+		c.Sessions = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.EvalCost == 0 {
+		c.EvalCost = 1
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 16
+	}
+}
+
+// QueryRequest is one aperiodic query under the §4.1 deadline discipline.
+type QueryRequest struct {
+	Query     string
+	Candidate rtdb.Value // optional; empty means "no candidate to match"
+	Kind      deadline.Kind
+	// Deadline is relative to the issue chronon (cases Firm and Soft).
+	Deadline timeseq.Time
+	// MinUseful is the minimum acceptable usefulness after the deadline.
+	MinUseful uint64
+	// U is the §4.1 usefulness decay, evaluated at *relative* time since
+	// issue — pass e.g. deadline.Hyperbolic(max, relativeDeadline).
+	U deadline.Usefulness
+}
+
+// Response is the server's answer to one aperiodic query.
+type Response struct {
+	Answers []rtdb.Value
+	Match   bool // candidate ∈ answers (false when no candidate given)
+	// Useful is the usefulness at service completion (max-valued before
+	// the deadline; 0 for a missed firm deadline).
+	Useful uint64
+	// Missed reports a deadline miss: served at or past a firm deadline,
+	// below minimum usefulness on a soft one, or rejected by backpressure
+	// or admission control before evaluation.
+	Missed bool
+	// Evaluated is false when admission control skipped the evaluation.
+	Evaluated bool
+	// Issue and Served are the issue and completion chronons.
+	Issue, Served timeseq.Time
+}
+
+// Errors reported by the session API.
+var (
+	// ErrBackpressure: the session queue is full. For deadline-carrying
+	// queries the rejection is accounted as a deadline miss.
+	ErrBackpressure = errors.New("server: session queue full")
+	// ErrClosed: the server is stopping.
+	ErrClosed = errors.New("server: closed")
+)
+
+type reqKind int
+
+const (
+	reqSample reqKind = iota
+	reqQuery
+	reqTick
+	reqBarrier
+)
+
+type request struct {
+	kind    reqKind
+	session int
+	// sample
+	image, value string
+	// query
+	q     QueryRequest
+	issue timeseq.Time
+	// tick
+	chronons uint64
+	reply    chan Response
+}
+
+// histSnap is one published as-of snapshot.
+type histSnap struct {
+	at timeseq.Time
+	db *rtdb.HistoricalDatabase
+}
+
+// Server serves concurrent sessions over one rtdb.DB.
+type Server struct {
+	cfg Config
+
+	db       *rtdb.DB
+	sched    *vtime.Scheduler
+	clock    atomic.Uint64
+	firings  int // length of db.FiringLog() already drained
+	lastSnap timeseq.Time
+	hist     atomic.Pointer[histSnap]
+
+	Metrics  Metrics
+	periodic []*periodicState
+
+	inbox    chan request
+	sessions []*Session
+	quit     chan struct{}
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// New builds a server. If cfg.Log holds recovered state the database is
+// rebuilt from it (load-or-recover); otherwise the catalog comes from
+// cfg.Spec and is logged. Rules are installed after recovery so replayed
+// samples do not re-fire them.
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	s := &Server{
+		cfg:   cfg,
+		sched: vtime.New(),
+		inbox: make(chan request, cfg.Sessions),
+		quit:  make(chan struct{}),
+	}
+	s.db = rtdb.New(s.sched)
+
+	recovered := cfg.Log != nil && cfg.Log.State().Events > 0
+	if recovered {
+		st := cfg.Log.State()
+		if err := st.Build(s.db, cfg.Registry); err != nil {
+			return nil, err
+		}
+		if err := s.replaySamples(st); err != nil {
+			return nil, err
+		}
+		s.sched.RunUntil(st.LastAt)
+		s.clock.Store(uint64(st.LastAt))
+		s.Metrics.Chronon.Store(uint64(st.LastAt))
+	} else {
+		s.installSpec()
+	}
+	for _, r := range cfg.Rules {
+		s.db.AddRule(r)
+	}
+	// The pre-existing firing log (empty after recovery by construction —
+	// rules were not installed during replay) is drained from zero.
+	s.firings = len(s.db.FiringLog())
+	s.publishSnapshot()
+
+	for i := 0; i < cfg.Sessions; i++ {
+		s.sessions = append(s.sessions, &Session{
+			id: i, srv: s, queue: make(chan request, cfg.QueueDepth),
+		})
+	}
+	return s, nil
+}
+
+// installSpec installs and write-ahead-logs the catalog.
+func (s *Server) installSpec() {
+	sp := s.cfg.Spec
+	names := make([]string, 0, len(sp.Invariants))
+	for n := range sp.Invariants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.db.AddInvariant(n, sp.Invariants[n])
+		s.walAppend(wal.Invariant(n, sp.Invariants[n]))
+	}
+	for _, o := range sp.Images {
+		s.db.AddImage(&rtdb.ImageObject{Name: o.Name, Period: o.Period})
+		s.walAppend(wal.Image(o.Name, o.Period))
+	}
+	for _, d := range sp.Derived {
+		s.db.AddDerived(&rtdb.DerivedObject{Name: d.Name, Sources: d.Sources, Derive: d.Derive})
+		s.walAppend(wal.Derived(d.Name, d.Sources...))
+	}
+}
+
+// replaySamples re-injects recovered sample histories in timestamp order,
+// advancing the virtual clock so every sample lands at its original time.
+func (s *Server) replaySamples(st *wal.State) error {
+	type rec struct {
+		at    timeseq.Time
+		image string
+		value string
+		seq   int
+	}
+	var all []rec
+	for name, img := range st.Images {
+		for i, smp := range img.Samples {
+			all = append(all, rec{at: smp.At, image: name, value: smp.Value, seq: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		if all[i].image != all[j].image {
+			return all[i].image < all[j].image
+		}
+		return all[i].seq < all[j].seq
+	})
+	for _, r := range all {
+		s.sched.RunUntil(r.at)
+		if err := s.db.InjectSample(r.image, r.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start launches the apply loop and the session forwarders.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.applyLoop()
+	for _, c := range s.sessions {
+		s.wg.Add(1)
+		go c.forward()
+	}
+}
+
+// Stop shuts the server down: no new submissions are accepted, in-flight
+// queue contents are abandoned (their callers unblock with ErrClosed), and
+// the WAL is synced.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.quit)
+		s.wg.Wait()
+		if s.cfg.Log != nil {
+			s.cfg.Log.Sync()
+			s.syncLogStats()
+		}
+	})
+}
+
+// Session returns the i-th client session handle.
+func (s *Server) Session(i int) *Session { return s.sessions[i] }
+
+// Now returns the current virtual time, lock-free.
+func (s *Server) Now() timeseq.Time { return timeseq.Time(s.clock.Load()) }
+
+// DB exposes the underlying database. It must only be touched while the
+// server is stopped (the apply loop owns it while running).
+func (s *Server) DB() *rtdb.DB { return s.db }
+
+// Tick advances the virtual clock by n chronons through the apply loop —
+// idle time during which periodic queries still fire. It blocks until
+// applied.
+func (s *Server) Tick(n uint64) error {
+	reply := make(chan Response, 1)
+	select {
+	case s.inbox <- request{kind: reqTick, chronons: n, reply: reply}:
+	case <-s.quit:
+		return ErrClosed
+	}
+	select {
+	case <-reply:
+		return nil
+	case <-s.quit:
+		return ErrClosed
+	}
+}
+
+// Barrier blocks until every request enqueued on the inbox before it has
+// been applied.
+func (s *Server) Barrier() error {
+	reply := make(chan Response, 1)
+	select {
+	case s.inbox <- request{kind: reqBarrier, reply: reply}:
+	case <-s.quit:
+		return ErrClosed
+	}
+	select {
+	case <-reply:
+		return nil
+	case <-s.quit:
+		return ErrClosed
+	}
+}
+
+// applyLoop is the actor that owns the database and the clock.
+func (s *Server) applyLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case r := <-s.inbox:
+			s.step(r)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// step applies one request, advances the clock, runs due periodic
+// invocations, and publishes as-of snapshots on period boundaries.
+func (s *Server) step(r request) {
+	now := timeseq.Time(s.clock.Load())
+	s.sched.RunUntil(now)
+	switch r.kind {
+	case reqSample:
+		if err := s.db.InjectSample(r.image, r.value); err == nil {
+			s.Metrics.SamplesApplied.Add(1)
+			s.walAppend(wal.Sample(now, r.image, r.value))
+		}
+		s.drainFirings(now)
+		s.advance(now + 1)
+	case reqQuery:
+		resp := s.serveQuery(r, now)
+		r.reply <- resp
+	case reqTick:
+		s.tickTo(now + timeseq.Time(r.chronons))
+		r.reply <- Response{Served: timeseq.Time(s.clock.Load())}
+	case reqBarrier:
+		r.reply <- Response{Served: now}
+	}
+	s.runPeriodic()
+	s.maybePublish()
+}
+
+// tickTo advances idle time to target chronon by chronon with respect to
+// the periodic schedule: each due invocation is served at its due time (not
+// at the end of the jump), so idle ticks do not manufacture deadline misses.
+func (s *Server) tickTo(target timeseq.Time) {
+	for {
+		now := timeseq.Time(s.clock.Load())
+		if now >= target {
+			return
+		}
+		due, pending := timeseq.Time(0), false
+		for _, ps := range s.periodic {
+			if !pending || ps.next < due {
+				due, pending = ps.next, true
+			}
+		}
+		if !pending || due > target {
+			s.advance(target)
+			return
+		}
+		if due > now {
+			s.advance(due)
+		}
+		s.runPeriodic()
+	}
+}
+
+// advance moves the virtual clock to t and mirrors it into the metrics.
+func (s *Server) advance(t timeseq.Time) {
+	s.clock.Store(uint64(t))
+	s.Metrics.Chronon.Store(uint64(t))
+}
+
+// serveQuery runs one aperiodic query under admission control. Evaluation
+// costs EvalCost chronons; the deadline discipline is judged at completion
+// time, mirroring P_m's comparison in §4.1.
+func (s *Server) serveQuery(r request, now timeseq.Time) Response {
+	finish := now + timeseq.Time(s.cfg.EvalCost)
+	resp := Response{Issue: r.issue, Served: finish}
+
+	useful, late := usefulness(r.q, r.issue, finish)
+	if late && (r.q.MinUseful == 0 || useful < r.q.MinUseful) {
+		// Admission control: completing the evaluation provably cannot
+		// meet the discipline — skip the work, account the miss.
+		resp.Missed = true
+		resp.Useful = useful
+		s.Metrics.AdmissionSkip.Add(1)
+		s.Metrics.DeadlineMiss.Add(1)
+		return resp
+	}
+
+	q, ok := s.cfg.Catalog[r.q.Query]
+	if !ok {
+		resp.Missed = r.q.Kind != deadline.None
+		if resp.Missed {
+			s.Metrics.DeadlineMiss.Add(1)
+		} else {
+			s.Metrics.NoDeadline.Add(1)
+		}
+		return resp
+	}
+	resp.Evaluated = true
+	resp.Answers = q(s.db.ViewNow())
+	if r.q.Candidate != "" {
+		for _, a := range resp.Answers {
+			if a == r.q.Candidate {
+				resp.Match = true
+				break
+			}
+		}
+	}
+	s.advance(finish)
+	s.walAppend(wal.Query(r.issue, fmt.Sprintf("s%d", r.session), r.q.Query, r.q.Candidate,
+		uint64(r.q.Kind), uint64(r.q.Deadline), r.q.MinUseful))
+
+	resp.Useful = useful
+	switch {
+	case r.q.Kind == deadline.None:
+		s.Metrics.NoDeadline.Add(1)
+	case late && (r.q.MinUseful == 0 || useful < r.q.MinUseful):
+		resp.Missed = true
+		s.Metrics.DeadlineMiss.Add(1)
+	default:
+		s.Metrics.DeadlineHit.Add(1)
+	}
+	return resp
+}
+
+// usefulness evaluates the §4.1 discipline for a query issued at issue and
+// completed at finish: late reports the deadline passed, and the returned
+// value is the usefulness at completion (relative time origin at issue).
+func usefulness(q QueryRequest, issue, finish timeseq.Time) (useful uint64, late bool) {
+	if q.Kind == deadline.None {
+		return 0, false
+	}
+	rel := finish - issue
+	late = rel >= q.Deadline
+	switch {
+	case !late:
+		// Before the deadline usefulness is maximal; report MinUseful so
+		// the admission test "useful ≥ MinUseful" is trivially met.
+		useful = q.MinUseful
+	case q.Kind == deadline.Soft && q.U != nil:
+		useful = q.U(rel)
+	default:
+		useful = 0 // firm: equation (2), useless after t_d
+	}
+	return useful, late
+}
+
+// drainFirings write-ahead-logs rule firings since the last drain and
+// updates the cascade metrics.
+func (s *Server) drainFirings(now timeseq.Time) {
+	logged := s.db.FiringLog()
+	for _, f := range logged[s.firings:] {
+		s.Metrics.RuleFirings.Add(1)
+		rule := f
+		if i := strings.IndexByte(f, ':'); i >= 0 {
+			rule = f[i+1:]
+		}
+		s.walAppend(wal.Firing(now, rule))
+	}
+	s.firings = len(logged)
+	if d := uint64(s.db.CascadeDepthMax()); d > s.Metrics.CascadeDepthMax.Load() {
+		s.Metrics.CascadeDepthMax.Store(d)
+	}
+}
+
+// walAppend appends one event when a log is configured.
+func (s *Server) walAppend(e wal.Event) {
+	if s.cfg.Log == nil {
+		return
+	}
+	if err := s.cfg.Log.Append(e); err != nil {
+		s.Metrics.WalErrors.Add(1)
+		return
+	}
+	s.Metrics.WalAppends.Add(1)
+}
+
+// syncLogStats copies the log's fsync counters into the metrics block.
+func (s *Server) syncLogStats() {
+	st := s.cfg.Log.Stats()
+	s.Metrics.FsyncCount.Store(st.FsyncCount)
+	s.Metrics.FsyncNanos.Store(st.FsyncNanos)
+	s.Metrics.FsyncMaxNanos.Store(st.FsyncMaxNanos)
+}
+
+// maybePublish publishes a fresh HistoricalDatabase snapshot when the
+// publication period elapsed.
+func (s *Server) maybePublish() {
+	now := timeseq.Time(s.clock.Load())
+	if now >= s.lastSnap+s.cfg.SnapshotEvery || s.hist.Load() == nil {
+		s.publishSnapshot()
+	}
+}
+
+// publishSnapshot converts every image history into a valid-time relation
+// and swaps the result in for lock-free as-of reads.
+func (s *Server) publishSnapshot() {
+	// Snapshot at the served clock, not the (possibly lagging) scheduler
+	// clock, so the newest sample's validity extends to the present.
+	now := timeseq.Time(s.clock.Load())
+	s.sched.RunUntil(now)
+	out := rtdb.NewHistoricalDatabase()
+	for _, name := range s.imageNames() {
+		img, _ := s.db.Image(name)
+		out.Add(rtdb.FromLiveImage(img, now))
+	}
+	s.hist.Store(&histSnap{at: now, db: out})
+	s.lastSnap = now
+}
+
+func (s *Server) imageNames() []string {
+	var names []string
+	for _, o := range s.cfg.Spec.Images {
+		names = append(names, o.Name)
+	}
+	if s.cfg.Log != nil {
+		if st := s.cfg.Log.State(); len(st.Images) > 0 && len(names) == 0 {
+			for n := range st.Images {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+		}
+	}
+	return names
+}
+
+// HistoryHorizon returns the time through which as-of reads are current.
+func (s *Server) HistoryHorizon() timeseq.Time {
+	if h := s.hist.Load(); h != nil {
+		return h.at
+	}
+	return 0
+}
+
+// AsOf evaluates a relational query against the published snapshot at time
+// t — §5.1.2's R(u, t) served without touching the write path.
+func (s *Server) AsOf(q relational.Query, t timeseq.Time) (*relational.Relation, error) {
+	h := s.hist.Load()
+	if h == nil {
+		return nil, fmt.Errorf("server: no snapshot published yet")
+	}
+	s.Metrics.AsOfReads.Add(1)
+	return h.db.QueryAt(q, t)
+}
+
+// ValueAsOf returns an image object's value at time t from the published
+// snapshot.
+func (s *Server) ValueAsOf(image string, t timeseq.Time) (rtdb.Value, bool) {
+	h := s.hist.Load()
+	if h == nil {
+		return "", false
+	}
+	s.Metrics.AsOfReads.Add(1)
+	rel, ok := h.db.Relation(image)
+	if !ok {
+		return "", false
+	}
+	for _, row := range rel.Rows() {
+		if row.Valid.Contains(t) && len(row.Tuple) == 2 && row.Tuple[0] == image {
+			return row.Tuple[1], true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"rtc/internal/deadline"
+)
+
+// Session is one client's handle on the server. Each session owns a
+// bounded queue; a full queue rejects immediately (reject-with-deadline-
+// miss) rather than blocking, so firm-deadline semantics survive overload.
+type Session struct {
+	id    int
+	srv   *Server
+	queue chan request
+}
+
+// ID returns the session index.
+func (c *Session) ID() int { return c.id }
+
+// forward drains the session queue into the server inbox, preserving the
+// session's FIFO order. Backpressure composes: when the inbox is full the
+// forwarder stalls, the session queue fills, and submissions start being
+// rejected at the edge.
+func (c *Session) forward() {
+	defer c.srv.wg.Done()
+	for {
+		select {
+		case r := <-c.queue:
+			select {
+			case c.srv.inbox <- r:
+			case <-c.srv.quit:
+				return
+			}
+		case <-c.srv.quit:
+			return
+		}
+	}
+}
+
+// trySubmit enqueues without blocking.
+func (c *Session) trySubmit(r request) bool {
+	if c.srv.closed.Load() {
+		return false
+	}
+	select {
+	case c.queue <- r:
+		return true
+	default:
+		return false
+	}
+}
+
+// InjectSample submits one sensor sample for an image object. It is
+// asynchronous: the sample is applied by the server's apply loop. A full
+// queue returns ErrBackpressure.
+func (c *Session) InjectSample(image, value string) error {
+	if c.srv.closed.Load() {
+		return ErrClosed
+	}
+	c.srv.Metrics.SamplesIn.Add(1)
+	if !c.trySubmit(request{kind: reqSample, session: c.id, image: image, value: value}) {
+		c.srv.Metrics.SamplesIn.Add(^uint64(0)) // undo: never entered a queue
+		c.srv.Metrics.SamplesRejected.Add(1)
+		return ErrBackpressure
+	}
+	return nil
+}
+
+// Query submits one aperiodic query and blocks for the response. A full
+// queue rejects immediately; for deadline-carrying queries the rejection is
+// accounted as a deadline miss (never silently dropped).
+func (c *Session) Query(q QueryRequest) (Response, error) {
+	if c.srv.closed.Load() {
+		return Response{}, ErrClosed
+	}
+	c.srv.Metrics.QueriesIn.Add(1)
+	r := request{
+		kind: reqQuery, session: c.id, q: q,
+		issue: c.srv.Now(), reply: make(chan Response, 1),
+	}
+	if !c.trySubmit(r) {
+		c.srv.Metrics.QueriesRejected.Add(1)
+		if q.Kind != deadline.None {
+			c.srv.Metrics.RejectMiss.Add(1)
+		}
+		return Response{Missed: q.Kind != deadline.None, Issue: r.issue}, ErrBackpressure
+	}
+	select {
+	case resp := <-r.reply:
+		return resp, nil
+	case <-c.srv.quit:
+		return Response{}, ErrClosed
+	}
+}
+
+// Flush blocks until everything this session enqueued before it has been
+// applied.
+func (c *Session) Flush() error {
+	if c.srv.closed.Load() {
+		return ErrClosed
+	}
+	r := request{kind: reqBarrier, session: c.id, reply: make(chan Response, 1)}
+	select {
+	case c.queue <- r:
+	case <-c.srv.quit:
+		return ErrClosed
+	}
+	select {
+	case <-r.reply:
+		return nil
+	case <-c.srv.quit:
+		return ErrClosed
+	}
+}

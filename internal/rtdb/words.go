@@ -217,9 +217,15 @@ func (ps PeriodicSpec) PqWord() word.Word {
 // Lemma51Bound returns, per Lemma 5.1, an index k′ such that τ_{k′} ≥ k in
 // the given word, by linear scan (the lemma asserts finiteness; the scan is
 // its constructive witness). The second result is false if the scan budget
-// is exhausted first — which for a well-behaved word cannot happen.
+// is exhausted first — which for a well-behaved word cannot happen — or if a
+// finite word (the lemma's hypotheses admit finite time sequences) ends
+// before any element reaches time k.
 func Lemma51Bound(w word.Word, k timeseq.Time, budget uint64) (uint64, bool) {
-	for i := uint64(0); i < budget; i++ {
+	limit := budget
+	if l := w.Length(); !l.Omega && l.N < limit {
+		limit = l.N
+	}
+	for i := uint64(0); i < limit; i++ {
 		if w.At(i).At >= k {
 			return i, true
 		}
