@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-grid race-rtdb bench bench-json fuzz examples experiments clean
+.PHONY: all build vet test race race-grid race-rtdb bench bench-json fuzz torture torture-short examples experiments clean
 
 all: build vet test
 
@@ -26,6 +26,20 @@ race-grid:
 race-rtdb:
 	$(GO) test -race ./internal/rtdb/log/ ./internal/rtdb/server/
 
+# Full crash-torture sweep: ~900 deterministic fault points (power cuts at
+# every mutating op, transient EIO / torn writes on every data write,
+# snapshot rename failures, and the concurrent server chaos run) across 3
+# seeds. Every recovery is checked against the deep-equal recovery
+# invariant; a failure prints a one-command seed reproduction.
+torture:
+	$(GO) run ./cmd/rttorture -mode all -seeds 3 -events 90 -v
+
+# Bounded sweep for CI: the torture + faultfs test suites under -race, then
+# a single-seed strided sweep of every fault family.
+torture-short:
+	$(GO) test -race -count=1 ./internal/faultfs/ ./internal/rtdb/torture/
+	$(GO) run ./cmd/rttorture -mode all -seeds 1 -events 60 -stride 2
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -33,7 +47,7 @@ bench:
 # plus the adhoc scaling suite) for tracking perf across commits.
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . ./internal/adhoc/ | $(GO) run ./cmd/benchjson -o BENCH_adhoc.json
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/rtdb/log/ ./internal/rtdb/server/ | $(GO) run ./cmd/benchjson -o BENCH_rtdb.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/rtdb/log/ ./internal/rtdb/server/ ./internal/rtdb/torture/ | $(GO) run ./cmd/benchjson -o BENCH_rtdb.json
 
 # Short fuzzing passes over the parsers and encoders.
 fuzz:
@@ -42,6 +56,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRecordRoundTrip -fuzztime=20s ./internal/encoding/
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=20s ./internal/rtdb/log/
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=20s ./internal/rtdb/log/
+	$(GO) test -fuzz=FuzzSegmentRecovery -fuzztime=20s ./internal/rtdb/log/
 
 examples:
 	$(GO) run ./examples/quickstart

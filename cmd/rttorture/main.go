@@ -1,0 +1,117 @@
+// Command rttorture runs the deterministic crash-torture sweeps of
+// internal/rtdb/torture against the rtdbd WAL and server.
+//
+// Every fault point is reproducible: a failing sweep prints one command
+// (rttorture -mode M -seed S -at K -events N) that replays exactly that
+// workload, fault, and crash materialization. With -corpus DIR the
+// post-crash segment images of failing points are exported as seed inputs
+// for the log package's FuzzSegmentRecovery corpus.
+//
+// Usage:
+//
+//	rttorture -mode all -seeds 3 -events 90        # full sweep
+//	rttorture -mode crash -seed 2 -at 41 -events 40  # replay one failure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rtc/internal/rtdb/torture"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "all", "fault family: all|crash|eio|rename|chaos")
+		seed    = flag.Uint64("seed", 1, "base sweep seed")
+		seeds   = flag.Int("seeds", 1, "number of consecutive seeds to sweep")
+		events  = flag.Int("events", 90, "workload length")
+		stride  = flag.Int("stride", 1, "test every Nth fault point")
+		at      = flag.Uint64("at", 0, "single fault point (reproduction mode)")
+		nosync  = flag.Bool("nosync", false, "disable per-append fsync (weakens the durability bound)")
+		corpus  = flag.String("corpus", "", "directory to export failing crash images as fuzz corpus seeds")
+		verbose = flag.Bool("v", false, "per-sweep progress lines")
+	)
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+
+	want := func(m torture.Mode) bool {
+		return *mode == "all" || *mode == string(m)
+	}
+	if !want(torture.ModeCrash) && !want(torture.ModeEIO) && !want(torture.ModeRename) && !want(torture.ModeChaos) {
+		fmt.Fprintf(os.Stderr, "rttorture: unknown -mode %q (want all|crash|eio|rename|chaos)\n", *mode)
+		os.Exit(2)
+	}
+
+	total := &torture.Report{}
+	for i := 0; i < *seeds; i++ {
+		s := *seed + uint64(i)
+		cfg := torture.Config{
+			Seed: s, Events: *events, Stride: *stride, At: *at,
+			NoSync: *nosync, Logf: logf,
+		}
+		if want(torture.ModeCrash) {
+			total.Merge(cfg.CrashSweep())
+		}
+		if want(torture.ModeEIO) {
+			total.Merge(cfg.EIOSweep())
+		}
+		if want(torture.ModeRename) {
+			total.Merge(cfg.RenameSweep())
+		}
+		if want(torture.ModeChaos) {
+			rep := torture.Chaos(torture.ChaosConfig{Seed: s, Logf: logf})
+			total.Points++
+			if rep.Ok() {
+				total.Recoveries++
+			}
+			total.Failures = append(total.Failures, rep.Failures...)
+		}
+	}
+
+	fmt.Printf("torture: mode=%s seeds=%d..%d events=%d points=%d recoveries=%d failures=%d\n",
+		*mode, *seed, *seed+uint64(*seeds)-1, *events, total.Points, total.Recoveries, len(total.Failures))
+	if total.Ok() {
+		return
+	}
+	for _, f := range total.Failures {
+		fmt.Fprintf(os.Stderr, "%s\n", f.String())
+	}
+	if *corpus != "" {
+		n, err := exportCorpus(*corpus, total.Failures)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rttorture: corpus export: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "rttorture: exported %d corpus seeds to %s\n", n, *corpus)
+		}
+	}
+	os.Exit(1)
+}
+
+// exportCorpus writes each failing fault point's post-crash segment images
+// in the Go fuzzing corpus file format, so they seed FuzzSegmentRecovery in
+// internal/rtdb/log (drop the directory into
+// internal/rtdb/log/testdata/fuzz/FuzzSegmentRecovery).
+func exportCorpus(dir string, failures []torture.Failure) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, f := range failures {
+		for name, img := range f.Segments {
+			file := fmt.Sprintf("%s-seed%d-at%d-%s", f.Mode, f.Seed, f.At, name)
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", img)
+			if err := os.WriteFile(filepath.Join(dir, file), []byte(body), 0o644); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}

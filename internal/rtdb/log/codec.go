@@ -234,6 +234,25 @@ func ReadFrame(r io.Reader) (payload []byte, n int, err error) {
 	return payload, frameHeaderSize + int(length), nil
 }
 
+// ContainsFrame reports whether any alignment of b parses as a complete
+// CRC-valid, non-empty frame. Recovery uses it to tell a torn tail (one
+// partial record, nothing intact after it) from mid-segment corruption
+// (damage with committed records behind it). The CRC makes a false positive
+// on genuinely torn bytes a ~2^-32 event.
+func ContainsFrame(b []byte) bool {
+	for i := 0; i+frameHeaderSize <= len(b); i++ {
+		length := binary.LittleEndian.Uint32(b[i : i+4])
+		if length == 0 || length > maxPayload || i+frameHeaderSize+int(length) > len(b) {
+			continue
+		}
+		sum := binary.LittleEndian.Uint32(b[i+4 : i+8])
+		if crc32.Checksum(b[i+frameHeaderSize:i+frameHeaderSize+int(length)], crcTable) == sum {
+			return true
+		}
+	}
+	return false
+}
+
 // DecodeEvent parses one framed payload back into an Event.
 func DecodeEvent(payload []byte) (Event, bool) {
 	fields, ok := DecodeFields(payload)

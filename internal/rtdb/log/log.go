@@ -2,15 +2,16 @@ package log
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"rtc/internal/encoding"
+	"rtc/internal/faultfs"
 	"rtc/internal/timeseq"
 )
 
@@ -27,11 +28,18 @@ type Options struct {
 	// Sync fsyncs after every append (the durable setting; off by default
 	// so tests and benchmarks can measure the code path separately).
 	Sync bool
+	// FS is the filesystem the log talks to. Nil means the real one
+	// (faultfs.OS); the crash-torture harness injects fault-bearing
+	// implementations here.
+	FS faultfs.FS
 }
 
 func (o *Options) defaults() {
 	if o.SegmentSize <= 0 {
 		o.SegmentSize = 1 << 20
+	}
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
 	}
 }
 
@@ -40,12 +48,20 @@ type Stats struct {
 	Appends         uint64
 	Segments        uint64 // segments created over the log's lifetime
 	Snapshots       uint64
+	SnapshotErrors  uint64 // automatic snapshots that failed (retried later)
+	Heals           uint64 // failed appends healed by truncating the torn frame
 	FsyncCount      uint64
 	FsyncNanos      uint64 // total time spent in fsync
 	FsyncMaxNanos   uint64
 	RecoveredEvents uint64 // events replayed at Open
 	TruncatedBytes  int64  // torn tail dropped at Open
 }
+
+// ErrCorrupt marks unrecoverable log damage: a record that fails its frame
+// check anywhere other than the torn tail of the final segment — a
+// bit-flipped middle segment, or a damaged frame with intact records after
+// it. Recovery surfaces it instead of silently dropping committed data.
+var ErrCorrupt = errors.New("log: corrupt record")
 
 // replayPos addresses a byte position in the segment sequence.
 type replayPos struct {
@@ -58,11 +74,17 @@ type replayPos struct {
 type Log struct {
 	mu   sync.Mutex
 	opts Options
+	fs   faultfs.FS
 	st   *State
 
-	f        *os.File
+	f        faultfs.File
 	segIndex uint64
 	segSize  int64
+
+	// err poisons the log: set when the on-disk state can no longer be
+	// trusted (fsync failure, unhealable torn append). Every later call
+	// returns it; recovery happens by reopening the directory.
+	err error
 
 	snapSeq       uint64
 	lastSnap      replayPos
@@ -88,37 +110,37 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 // Open loads (or creates) a log directory, recovering state by replaying
 // the newest loadable snapshot plus every record after it. A torn record at
 // the tail of the last segment — the signature of a crash mid-append — is
-// truncated away; damage anywhere else is reported as corruption.
+// truncated away; damage anywhere else is reported as ErrCorrupt.
 func Open(opts Options) (*Log, error) {
 	opts.defaults()
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(opts.Dir)
+	names, err := opts.FS.ReadDir(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
 	var segs []uint64
 	var snaps []uint64
-	for _, e := range entries {
-		if v, ok := parseSeq(e.Name(), "seg-", ".wal"); ok {
+	for _, name := range names {
+		if v, ok := parseSeq(name, "seg-", ".wal"); ok {
 			segs = append(segs, v)
 		}
-		if v, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+		if v, ok := parseSeq(name, "snap-", ".snap"); ok {
 			snaps = append(snaps, v)
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
 
-	l := &Log{opts: opts, st: NewState()}
+	l := &Log{opts: opts, fs: opts.FS, st: NewState()}
 
 	// Newest loadable snapshot wins; unreadable ones are skipped (a crash
 	// during snapshot write leaves a torn .snap behind — the log is the
 	// source of truth, the snapshot only an accelerator).
 	pos := replayPos{seg: 1, off: 0}
 	for i := len(snaps) - 1; i >= 0; i-- {
-		st, p, err := loadSnapshot(filepath.Join(opts.Dir, snapName(snaps[i])))
+		st, p, err := loadSnapshot(l.fs, filepath.Join(opts.Dir, snapName(snaps[i])))
 		if err != nil {
 			continue
 		}
@@ -169,21 +191,24 @@ func Open(opts Options) (*Log, error) {
 }
 
 // replaySegment applies every valid record of one segment, returning the
-// offset just past the last good record. In the last segment a torn tail is
-// truncated; elsewhere it is corruption.
+// offset just past the last good record. A damaged record is a torn tail —
+// truncated away — only when it sits in the final segment AND no intact
+// frame follows it; a damaged frame with good records after it lost
+// committed data and is surfaced as ErrCorrupt instead of silently
+// truncating history.
 func (l *Log) replaySegment(seg uint64, start int64, last bool) (int64, error) {
 	path := filepath.Join(l.opts.Dir, segName(seg))
-	f, err := os.Open(path)
+	f, err := l.fs.Open(path)
 	if err != nil {
 		return 0, err
 	}
 	defer f.Close()
-	fi, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		return 0, err
 	}
-	if start > fi.Size() {
-		return 0, fmt.Errorf("log: snapshot offset %d past end of %s (%d bytes)", start, segName(seg), fi.Size())
+	if start > size {
+		return 0, fmt.Errorf("log: snapshot offset %d past end of %s (%d bytes)", start, segName(seg), size)
 	}
 	if _, err := f.Seek(start, io.SeekStart); err != nil {
 		return 0, err
@@ -197,17 +222,24 @@ func (l *Log) replaySegment(seg uint64, start int64, last bool) (int64, error) {
 		}
 		if err != nil {
 			if !last {
-				return 0, fmt.Errorf("log: corrupt record in %s at offset %d", segName(seg), off)
+				return 0, fmt.Errorf("%w: %s at offset %d (non-final segment)", ErrCorrupt, segName(seg), off)
 			}
-			l.stats.TruncatedBytes = fi.Size() - off
-			if terr := os.Truncate(path, off); terr != nil {
+			intact, serr := l.frameAfter(f, off, size)
+			if serr != nil {
+				return 0, serr
+			}
+			if intact {
+				return 0, fmt.Errorf("%w: %s at offset %d (intact records follow the damage)", ErrCorrupt, segName(seg), off)
+			}
+			l.stats.TruncatedBytes = size - off
+			if terr := l.fs.Truncate(path, off); terr != nil {
 				return 0, terr
 			}
 			return off, nil
 		}
 		e, ok := DecodeEvent(payload)
 		if !ok {
-			return 0, fmt.Errorf("log: undecodable record in %s at offset %d", segName(seg), off)
+			return 0, fmt.Errorf("%w: undecodable record in %s at offset %d", ErrCorrupt, segName(seg), off)
 		}
 		if err := l.st.Apply(e); err != nil {
 			return 0, err
@@ -217,10 +249,26 @@ func (l *Log) replaySegment(seg uint64, start int64, last bool) (int64, error) {
 	}
 }
 
+// frameAfter reports whether any intact frame sits strictly after a damaged
+// record that starts at off — the discriminator between a torn tail (all
+// bytes to EOF belong to one partial append) and mid-segment corruption.
+func (l *Log) frameAfter(f faultfs.File, off, size int64) (bool, error) {
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return false, err
+	}
+	tail := make([]byte, size-off)
+	if _, err := io.ReadFull(f, tail); err != nil {
+		return false, err
+	}
+	// Offset 0 is the damaged record itself; any later alignment hiding a
+	// CRC-valid frame means data past the damage was once committed.
+	return ContainsFrame(tail[1:]), nil
+}
+
 // openSegment opens segment seg for appending at offset off (creating it
 // when absent).
 func (l *Log) openSegment(seg uint64, off int64) error {
-	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segName(seg)), os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenWrite(filepath.Join(l.opts.Dir, segName(seg)))
 	if err != nil {
 		return err
 	}
@@ -249,39 +297,86 @@ func (l *Log) Stats() Stats {
 	return l.stats
 }
 
+// Err returns the poison error, if the log has failed permanently.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
 // Append durably records one event and applies it to the in-memory state.
+// The order is validate → write → apply → fsync: a failed write is healed
+// by truncating the torn frame (the event is simply not logged and the
+// state untouched, so a transient EIO costs one event, not the log), while
+// a failed fsync poisons the log — after fsync failure the page cache
+// cannot be trusted, so no retry is sound.
 func (l *Log) Append(e Event) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
 	if l.f == nil {
 		return fmt.Errorf("log: closed")
 	}
-	if err := l.st.Apply(e); err != nil {
+	if err := l.st.check(e); err != nil {
 		return err
 	}
 	l.buf = AppendFrame(l.buf[:0], EncodeFields(e.fields()...))
 	if _, err := l.f.Write(l.buf); err != nil {
-		return err
+		return l.heal(err)
 	}
 	l.segSize += int64(len(l.buf))
+	if err := l.st.Apply(e); err != nil {
+		// check passed, so Apply cannot fail; if it somehow does, the
+		// frame is already on disk and the state is suspect — poison.
+		l.err = err
+		return err
+	}
 	l.stats.Appends++
 	if l.opts.Sync {
 		if err := l.fsync(); err != nil {
-			return err
+			l.err = fmt.Errorf("log: fsync failed, log poisoned: %w", err)
+			return l.err
 		}
 	}
 	if l.segSize >= l.opts.SegmentSize {
 		if err := l.rotate(); err != nil {
-			return err
+			// The event is durable but the segment boundary is in an
+			// unknown state; no further append can land safely.
+			l.err = fmt.Errorf("log: rotation failed, log poisoned: %w", err)
+			return l.err
 		}
 	}
 	l.sinceSnapshot++
 	if l.opts.SnapshotEvery > 0 && l.sinceSnapshot >= l.opts.SnapshotEvery {
 		if err := l.snapshotLocked(); err != nil {
-			return err
+			// Snapshots are accelerators, not the source of truth: a
+			// failed one (EIO, rename fault) is counted and retried after
+			// the next SnapshotEvery appends. The append itself succeeded.
+			l.stats.SnapshotErrors++
 		}
 	}
 	return nil
+}
+
+// heal recovers the active segment after a failed append write: the frame
+// may have landed partially, so the segment is truncated back to the last
+// good offset and the write cursor restored. On success the log stays
+// usable and the caller's event is simply not logged; if the heal itself
+// fails the log is poisoned.
+func (l *Log) heal(cause error) error {
+	path := filepath.Join(l.opts.Dir, segName(l.segIndex))
+	if terr := l.fs.Truncate(path, l.segSize); terr != nil {
+		l.err = fmt.Errorf("log: append failed (%v) and heal failed, log poisoned: %w", cause, terr)
+		return l.err
+	}
+	if _, serr := l.f.Seek(l.segSize, io.SeekStart); serr != nil {
+		l.err = fmt.Errorf("log: append failed (%v) and reseek failed, log poisoned: %w", cause, serr)
+		return l.err
+	}
+	l.stats.Heals++
+	return fmt.Errorf("log: append failed (segment healed): %w", cause)
 }
 
 func (l *Log) fsync() error {
@@ -313,16 +408,29 @@ func (l *Log) rotate() error {
 func (l *Log) Snapshot() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
 	return l.snapshotLocked()
 }
 
 func (l *Log) snapshotLocked() error {
 	l.sinceSnapshot = 0
+	// A snapshot must never reference a log position that is not yet
+	// durable: with per-append fsync off, a crash could otherwise drop the
+	// segment's unsynced tail while keeping the (always-fsynced) snapshot,
+	// leaving it pointing past the end of the segment it replays from.
+	if l.f != nil {
+		if err := l.fsync(); err != nil {
+			l.err = fmt.Errorf("log: fsync failed, log poisoned: %w", err)
+			return l.err
+		}
+	}
 	pos := replayPos{seg: l.segIndex, off: l.segSize}
 	l.snapSeq++
 	path := filepath.Join(l.opts.Dir, snapName(l.snapSeq))
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := l.fs.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -349,7 +457,7 @@ func (l *Log) snapshotLocked() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := l.fs.Rename(tmp, path); err != nil {
 		return err
 	}
 	l.lastSnap = pos
@@ -358,8 +466,8 @@ func (l *Log) snapshotLocked() error {
 }
 
 // loadSnapshot reads one snapshot file into a fresh state.
-func loadSnapshot(path string) (*State, replayPos, error) {
-	f, err := os.Open(path)
+func loadSnapshot(fs faultfs.FS, path string) (*State, replayPos, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, replayPos{}, err
 	}
@@ -421,21 +529,24 @@ func loadSnapshot(path string) (*State, replayPos, error) {
 func (l *Log) Compact() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
 	if l.snapSeq == 0 {
 		return nil
 	}
-	entries, err := os.ReadDir(l.opts.Dir)
+	names, err := l.fs.ReadDir(l.opts.Dir)
 	if err != nil {
 		return err
 	}
-	for _, e := range entries {
-		if v, ok := parseSeq(e.Name(), "seg-", ".wal"); ok && v < l.lastSnap.seg {
-			if err := os.Remove(filepath.Join(l.opts.Dir, e.Name())); err != nil {
+	for _, name := range names {
+		if v, ok := parseSeq(name, "seg-", ".wal"); ok && v < l.lastSnap.seg {
+			if err := l.fs.Remove(filepath.Join(l.opts.Dir, name)); err != nil {
 				return err
 			}
 		}
-		if v, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && v < l.snapSeq {
-			if err := os.Remove(filepath.Join(l.opts.Dir, e.Name())); err != nil {
+		if v, ok := parseSeq(name, "snap-", ".snap"); ok && v < l.snapSeq {
+			if err := l.fs.Remove(filepath.Join(l.opts.Dir, name)); err != nil {
 				return err
 			}
 		}
@@ -447,10 +558,17 @@ func (l *Log) Compact() error {
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
 	if l.f == nil {
 		return nil
 	}
-	return l.fsync()
+	if err := l.fsync(); err != nil {
+		l.err = fmt.Errorf("log: fsync failed, log poisoned: %w", err)
+		return l.err
+	}
+	return nil
 }
 
 // Close syncs and closes the active segment.
@@ -459,6 +577,11 @@ func (l *Log) Close() error {
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
+	}
+	if l.err != nil {
+		l.f.Close()
+		l.f = nil
+		return l.err
 	}
 	if err := l.fsync(); err != nil {
 		l.f.Close()

@@ -2,11 +2,13 @@ package log
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
+	"rtc/internal/faultfs"
 	"rtc/internal/relational"
 	"rtc/internal/rtdb"
 	"rtc/internal/timeseq"
@@ -207,6 +209,154 @@ func TestRecoveryTornTail(t *testing.T) {
 	img := l3.State().Images["temp"]
 	if img.Samples[len(img.Samples)-1].Value != "post" {
 		t.Fatal("append after recovery lost")
+	}
+}
+
+// TestCorruptMiddleSegmentSurfaced: a bit flip in a non-final segment is
+// unrecoverable damage — committed history would be lost — and Open must
+// fail with ErrCorrupt rather than skip or truncate anything.
+func TestCorruptMiddleSegmentSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	events := workload(100)
+	l, err := Open(Options{Dir: dir, SegmentSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 3 {
+		t.Fatalf("need ≥3 segments, got %d", l.Stats().Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit in the middle of the second segment's payload bytes.
+	path := filepath.Join(dir, segName(2))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(Options{Dir: dir, SegmentSize: 512})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with bit-flipped middle segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptMidFinalSegmentSurfaced: a damaged frame in the FINAL segment
+// with intact records after it is corruption too — truncating at the damage
+// would silently drop committed (possibly fsynced) events. Only a tear that
+// runs to EOF is the crash signature.
+func TestCorruptMidFinalSegmentSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	events := workload(60)
+	l, err := Open(Options{Dir: dir, SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, segName(1))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/3] ^= 0x01 // damage with plenty of intact frames after it
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(Options{Dir: dir, SegmentSize: 1 << 20})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with mid-final-segment damage: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestTransientEIOHealed: a failed append write is healed (torn frame
+// truncated) — the log stays usable, the failed event is not logged, and
+// recovery sees exactly the acknowledged events.
+func TestTransientEIOHealed(t *testing.T) {
+	mem := faultfs.NewMem(11)
+	l, err := Open(Options{Dir: "wal", FS: mem, SegmentSize: 1 << 20, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := workload(30)
+	var acked []Event
+	mem.TearWrite(12) // tear the 12th append's frame write
+	failures := 0
+	for _, e := range events {
+		if err := l.Append(e); err != nil {
+			if !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("append: %v", err)
+			}
+			failures++
+			continue
+		}
+		acked = append(acked, e)
+	}
+	if failures != 1 {
+		t.Fatalf("injected %d failures, want 1", failures)
+	}
+	if st := l.Stats(); st.Heals != 1 {
+		t.Fatalf("Heals = %d, want 1", st.Heals)
+	}
+	if l.Err() != nil {
+		t.Fatalf("transient EIO must not poison the log: %v", l.Err())
+	}
+	want := reference(acked)
+	if d := want.Diff(l.State()); d != "" {
+		t.Fatalf("live state after heal: %s", d)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Options{Dir: "wal", FS: mem, SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if d := want.Diff(l2.State()); d != "" {
+		t.Fatalf("recovered state after heal: %s", d)
+	}
+}
+
+// TestFsyncFailurePoisons: after a failed fsync the page cache cannot be
+// trusted, so the log refuses all further work with a sticky error.
+func TestFsyncFailurePoisons(t *testing.T) {
+	mem := faultfs.NewMem(5)
+	l, err := Open(Options{Dir: "wal", FS: mem, SegmentSize: 1 << 20, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := workload(10)
+	for _, e := range events[:5] {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem.FailSync(mem.Syncs() + 1)
+	if err := l.Append(events[5]); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("append over failed fsync: %v", err)
+	}
+	if err := l.Append(events[6]); err == nil || l.Err() == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("poisoned log accepted a sync")
 	}
 }
 

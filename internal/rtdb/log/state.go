@@ -2,6 +2,7 @@ package log
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 
 	"rtc/internal/relational"
@@ -53,6 +54,40 @@ func NewState() *State {
 		Invariants: map[string]string{},
 		Images:     map[string]*ImageState{},
 		Derived:    map[string]*DerivedState{},
+	}
+}
+
+// check validates an event against the current state without mutating it.
+// The log calls it before writing a frame so that everything Apply could
+// reject is caught while the disk is still untouched — after check passes,
+// Apply cannot fail.
+func (st *State) check(e Event) error {
+	switch e.Kind {
+	case KindInvariant, KindDerived, KindFiring:
+		return nil
+	case KindImage:
+		if len(e.Args) != 1 {
+			return fmt.Errorf("log: image record for %q needs a period", e.Name)
+		}
+		_, err := parseUint(e.Args[0])
+		return err
+	case KindSample:
+		if _, ok := st.Images[e.Name]; !ok {
+			return fmt.Errorf("log: sample for unregistered image %q", e.Name)
+		}
+		return nil
+	case KindQuery:
+		if len(e.Args) != 4 {
+			return fmt.Errorf("log: query record for %q needs 4 args", e.Name)
+		}
+		for _, a := range e.Args[1:] {
+			if _, err := parseUint(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("log: unknown event kind %v", e.Kind)
 	}
 }
 
@@ -176,6 +211,70 @@ func splitFiring(s string) (timeseq.Time, string, bool) {
 		}
 	}
 	return 0, "", false
+}
+
+// Diff returns a description of the first divergence between two states,
+// or "" when they are deep-equal. The torture harness uses it to turn a
+// failed recovery invariant into an actionable message instead of a bare
+// deep-equal failure.
+func (st *State) Diff(other *State) string {
+	if other == nil {
+		return "other state is nil"
+	}
+	if st.Events != other.Events {
+		return fmt.Sprintf("Events %d vs %d", st.Events, other.Events)
+	}
+	if st.LastAt != other.LastAt {
+		return fmt.Sprintf("LastAt %d vs %d", st.LastAt, other.LastAt)
+	}
+	for n, v := range st.Invariants {
+		if ov, ok := other.Invariants[n]; !ok || ov != v {
+			return fmt.Sprintf("invariant %q: %q vs %q (present=%v)", n, v, ov, ok)
+		}
+	}
+	if len(st.Invariants) != len(other.Invariants) {
+		return fmt.Sprintf("invariant count %d vs %d", len(st.Invariants), len(other.Invariants))
+	}
+	for _, n := range st.imageNames() {
+		a, b := st.Images[n], other.Images[n]
+		if b == nil {
+			return fmt.Sprintf("image %q missing", n)
+		}
+		if a.Period != b.Period {
+			return fmt.Sprintf("image %q period %d vs %d", n, a.Period, b.Period)
+		}
+		if len(a.Samples) != len(b.Samples) {
+			return fmt.Sprintf("image %q sample count %d vs %d", n, len(a.Samples), len(b.Samples))
+		}
+		for i := range a.Samples {
+			if a.Samples[i] != b.Samples[i] {
+				return fmt.Sprintf("image %q sample %d: %+v vs %+v", n, i, a.Samples[i], b.Samples[i])
+			}
+		}
+	}
+	if len(st.Images) != len(other.Images) {
+		return fmt.Sprintf("image count %d vs %d", len(st.Images), len(other.Images))
+	}
+	if len(st.Firings) != len(other.Firings) {
+		return fmt.Sprintf("firing count %d vs %d", len(st.Firings), len(other.Firings))
+	}
+	for i := range st.Firings {
+		if st.Firings[i] != other.Firings[i] {
+			return fmt.Sprintf("firing %d: %q vs %q", i, st.Firings[i], other.Firings[i])
+		}
+	}
+	if len(st.Queries) != len(other.Queries) {
+		return fmt.Sprintf("query count %d vs %d", len(st.Queries), len(other.Queries))
+	}
+	for i := range st.Queries {
+		if st.Queries[i] != other.Queries[i] {
+			return fmt.Sprintf("query %d: %+v vs %+v", i, st.Queries[i], other.Queries[i])
+		}
+	}
+	if !reflect.DeepEqual(st, other) {
+		return "states differ outside the compared fields"
+	}
+	return ""
 }
 
 // Build instantiates a live rtdb.DB from the recovered catalog: invariants,

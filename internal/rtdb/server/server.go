@@ -271,7 +271,11 @@ func (s *Server) Stop() {
 		close(s.quit)
 		s.wg.Wait()
 		if s.cfg.Log != nil {
-			s.cfg.Log.Sync()
+			// A failed final sync means the tail of the log may not be
+			// durable; it is counted, not swallowed.
+			if err := s.cfg.Log.Sync(); err != nil {
+				s.Metrics.WalErrors.Add(1)
+			}
 			s.syncLogStats()
 		}
 	})

@@ -1,0 +1,36 @@
+package torture
+
+import "testing"
+
+// BenchmarkCrashRecover measures one full crash-torture point: run the
+// workload into a power cut, materialize the crash image, recover, and check
+// the recovery invariant. crashes recovered/sec = 1e9 / (ns/op); the figure
+// lands in BENCH_rtdb.json via cmd/benchjson.
+func BenchmarkCrashRecover(b *testing.B) {
+	c := Config{Seed: 1, Events: 60}
+	c.defaults()
+	events := Workload(c.Seed, c.Events)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := uint64(10 + i%120) // rotate across fault points
+		done, fail := c.crashPoint(events, at)
+		if fail != nil {
+			b.Fatalf("%s", fail.String())
+		}
+		if done {
+			b.Fatalf("fault point %d beyond workload", at)
+		}
+	}
+}
+
+// BenchmarkChaos measures one whole chaos run (concurrent sessions, faults,
+// recovery, conservation checks).
+func BenchmarkChaos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := Chaos(ChaosConfig{Seed: uint64(i + 1), Sessions: 4, OpsEach: 50})
+		if !rep.Ok() {
+			b.Fatalf("%s", rep.Failures[0].String())
+		}
+	}
+}
