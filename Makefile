@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-grid race-rtdb bench bench-json fuzz torture torture-short examples experiments clean
+.PHONY: all build vet test race race-grid race-rtdb race-net bench bench-json fuzz torture torture-short examples experiments clean
 
 all: build vet test
 
@@ -26,6 +26,12 @@ race-grid:
 race-rtdb:
 	$(GO) test -race ./internal/rtdb/log/ ./internal/rtdb/server/
 
+# The TCP serving layer under the race detector: frame codec, listener,
+# client package, and the 32-client loopback hammer that asserts the
+# conservation laws end-to-end over the wire, plus the mid-flight drain.
+race-net:
+	$(GO) test -race ./internal/rtwire/ ./internal/rtdb/netserve/ ./internal/rtdb/client/
+
 # Full crash-torture sweep: ~900 deterministic fault points (power cuts at
 # every mutating op, transient EIO / torn writes on every data write,
 # snapshot rename failures, and the concurrent server chaos run) across 3
@@ -47,7 +53,7 @@ bench:
 # plus the adhoc scaling suite) for tracking perf across commits.
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . ./internal/adhoc/ | $(GO) run ./cmd/benchjson -o BENCH_adhoc.json
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/rtdb/log/ ./internal/rtdb/server/ ./internal/rtdb/torture/ | $(GO) run ./cmd/benchjson -o BENCH_rtdb.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/rtdb/log/ ./internal/rtdb/server/ ./internal/rtdb/netserve/ ./internal/rtdb/torture/ | $(GO) run ./cmd/benchjson -o BENCH_rtdb.json
 
 # Short fuzzing passes over the parsers and encoders.
 fuzz:
@@ -57,6 +63,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=20s ./internal/rtdb/log/
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=20s ./internal/rtdb/log/
 	$(GO) test -fuzz=FuzzSegmentRecovery -fuzztime=20s ./internal/rtdb/log/
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=20s ./internal/rtwire/
+	$(GO) test -fuzz=FuzzRequestRoundTrip -fuzztime=20s ./internal/rtwire/
 
 examples:
 	$(GO) run ./examples/quickstart

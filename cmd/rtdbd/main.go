@@ -1,50 +1,64 @@
-// Command rtdbd runs the durable, concurrent real-time database server: it
-// loads (or crash-recovers) a write-ahead log directory, serves a synthetic
-// multi-client workload — N sessions injecting timed sensor samples and
-// issuing firm/soft-deadline queries against one §5.1 database, with
-// periodic standing queries and temporal as-of reads on the side — and
-// prints the metrics table.
+// Command rtdbd runs the durable, concurrent real-time database server —
+// now on the wire. It loads (or crash-recovers) a write-ahead log
+// directory and serves the rtwire protocol over TCP: timed sensor samples,
+// firm/soft-deadline queries whose deadlines travel with them, temporal
+// as-of reads, and metrics snapshots, with periodic standing queries
+// evaluated server-side.
 //
-// Run it twice against the same -dir to watch recovery replay the log:
+// With -listen it serves real sockets until interrupted:
 //
-//	go run ./cmd/rtdbd -dir /tmp/rtdbd -sessions 8 -ops 200
-//	go run ./cmd/rtdbd -dir /tmp/rtdbd -sessions 8 -ops 200
+//	go run ./cmd/rtdbd -dir /tmp/rtdbd -listen 127.0.0.1:7677 -sessions 32
+//
+// and a load generator drives it from another terminal:
+//
+//	go run ./cmd/rtdbload -addr 127.0.0.1:7677 -conns 8 -ops 500
+//
+// Without -listen it runs the synthetic workload — the same client mix,
+// but routed through the client package against an in-process loopback
+// listener, so the synthetic and network paths cannot diverge. Run it
+// twice against the same -dir to watch recovery replay the log.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"sync"
+	"syscall"
 
 	"rtc/internal/deadline"
-	wal "rtc/internal/rtdb/log"
 	"rtc/internal/rtdb"
+	"rtc/internal/rtdb/client"
+	wal "rtc/internal/rtdb/log"
+	"rtc/internal/rtdb/netserve"
 	"rtc/internal/rtdb/server"
+	"rtc/internal/rtwire"
 	"rtc/internal/timeseq"
 )
 
 func main() {
 	var (
 		dir      = flag.String("dir", "", "WAL directory (empty: run without durability)")
-		sessions = flag.Int("sessions", 8, "concurrent client sessions")
-		ops      = flag.Int("ops", 200, "operations per session")
+		listen   = flag.String("listen", "", "serve rtwire over TCP on this address until interrupted (empty: run the synthetic workload)")
+		sessions = flag.Int("sessions", 8, "server sessions == max concurrent connections")
+		ops      = flag.Int("ops", 200, "operations per synthetic connection")
 		segSize  = flag.Int64("segment-size", 1<<20, "WAL segment rotation size (bytes)")
 		snapshot = flag.Uint64("snapshot-every", 2000, "WAL catalog snapshot period (events, 0: never)")
 		fsync    = flag.Bool("fsync", false, "fsync the WAL after every append")
 		evalCost = flag.Uint64("eval-cost", 2, "chronons one query evaluation costs")
-		deadln   = flag.Uint64("deadline", 40, "relative firm deadline for client queries (chronons)")
+		deadln   = flag.Uint64("deadline", 40, "relative firm deadline for synthetic client queries (chronons)")
 		queue    = flag.Int("queue-depth", 64, "per-session queue depth")
 	)
 	flag.Parse()
-	if err := run(*dir, *sessions, *ops, *segSize, *snapshot, *fsync, *evalCost, *deadln, *queue); err != nil {
+	if err := run(*dir, *listen, *sessions, *ops, *segSize, *snapshot, *fsync, *evalCost, *deadln, *queue); err != nil {
 		fmt.Fprintln(os.Stderr, "rtdbd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, sessions, ops int, segSize int64, snapshot uint64, fsync bool,
+func run(dir, listen string, sessions, ops int, segSize int64, snapshot uint64, fsync bool,
 	evalCost, deadln uint64, queue int) error {
 	cfg := server.Config{
 		Spec: rtdb.Spec{
@@ -135,34 +149,121 @@ func run(dir string, sessions, ops int, segSize int64, snapshot uint64, fsync bo
 	}
 	s.Start()
 
+	ns := netserve.New(s, netserve.Options{})
+	addr := listen
+	if addr == "" {
+		addr = "127.0.0.1:0" // synthetic mode: in-process loopback
+	}
+	bound, err := ns.Listen(addr)
+	if err != nil {
+		s.Stop()
+		return err
+	}
+	fmt.Printf("serving rtwire on %s (%d sessions)\n", bound, sessions)
+
+	if listen != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\ndraining...")
+	} else if err := synthetic(bound.String(), sessions, ops, deadln); err != nil {
+		_ = ns.Close()
+		s.Stop()
+		return err
+	}
+
+	if err := ns.Close(); err != nil {
+		return err
+	}
+	s.Stop() // syncs the WAL and folds its fsync counters into the metrics
+	return report(s, ns)
+}
+
+// synthetic drives the server with conns concurrent network clients — the
+// same op mix a real deployment would send, through the same client
+// package and TCP stack rtdbload uses.
+func synthetic(addr string, conns, ops int, deadln uint64) error {
 	var wg sync.WaitGroup
-	for i := 0; i < sessions; i++ {
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			client(s, id, ops, deadln)
+			c, err := client.Dial(addr, client.Options{Name: fmt.Sprintf("syn-%d", id)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			drive(c, id, ops, deadln)
+			if err := c.Flush(); err != nil {
+				errs <- err
+			}
 		}(i)
 	}
 	wg.Wait()
-	for i := 0; i < sessions; i++ {
-		if err := s.Session(i).Flush(); err != nil {
-			return err
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+
+	// A temporal read against the published history, over the wire: first
+	// learn the horizon, then read the temperature half a horizon ago.
+	c, err := client.Dial(addr, client.Options{Name: "syn-asof"})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, _, horizon, err := c.AsOf("temp", 0); err == nil && horizon > 0 {
+		if v, ok, _, err := c.AsOf("temp", horizon/2); err == nil && ok {
+			fmt.Printf("as-of read: temp was %q at chronon %d (horizon %d)\n", v, horizon/2, horizon)
 		}
 	}
+	return nil
+}
 
-	// A temporal read against the published history: the temperature half a
-	// horizon ago, served lock-free from the as-of snapshot.
-	horizon := s.HistoryHorizon()
-	if v, ok := s.ValueAsOf("temp", horizon/2); ok {
-		fmt.Printf("as-of read: temp was %q at chronon %d (horizon %d)\n", v, horizon/2, horizon)
+// drive is one synthetic connection: a deterministic mix of sensor
+// samples, firm- and soft-deadline queries, and no-deadline reads.
+func drive(c *client.Client, id, ops int, deadln uint64) {
+	for op := 0; op < ops; op++ {
+		switch op % 5 {
+		case 0, 1:
+			_ = c.InjectSample("temp", strconv.Itoa(18+(id*7+op)%12))
+		case 2:
+			_ = c.InjectSample("pressure", strconv.Itoa(99+(id+op)%4))
+		case 3:
+			_, _ = c.Query(client.Query{
+				Query: "status_q", Candidate: "ok",
+				Kind: deadline.Firm, Deadline: timeseq.Time(deadln), MinUseful: 1,
+			})
+		case 4:
+			if op%2 == 0 {
+				_, _ = c.Query(client.Query{
+					Query: "temp_q",
+					Kind:  deadline.Soft, Deadline: timeseq.Time(deadln),
+					MinUseful: 2,
+					Decay:     rtwire.Decay{ID: rtwire.DecayHyperbolic, Max: 10},
+				})
+			} else {
+				_, _ = c.Query(client.Query{Query: "temp_q"})
+			}
+		}
 	}
+}
 
-	s.Stop() // syncs the WAL and folds its fsync counters into the metrics
+// report prints the metrics table, the wire counters, the periodic tally,
+// and checks the conservation law end-to-end.
+func report(s *server.Server, ns *netserve.Server) error {
 	m := s.Metrics.Snapshot()
-
 	fmt.Println()
 	fmt.Print(m.Table())
 	fmt.Println()
+	fmt.Println("wire:")
+	w := ns.Wire.Snapshot()
+	for _, p := range w.Pairs() {
+		fmt.Printf("  %-24s %d\n", p.Name, p.Value)
+	}
 	fmt.Println("periodic queries:")
 	for _, p := range s.PeriodicReport() {
 		fmt.Printf("  %-14s issued %4d  hit %4d  missed %4d\n", p.Name, p.Issued, p.Hit, p.Missed)
@@ -170,8 +271,8 @@ func run(dir string, sessions, ops int, segSize int64, snapshot uint64, fsync bo
 	if got, want := m.QueriesIn, m.QueriesAccounted(); got != want {
 		return fmt.Errorf("conservation violated: %d queries in, %d accounted", got, want)
 	}
-	fmt.Printf("\nconservation: %d queries in == %d rejected + %d hit + %d missed + %d no-deadline ✓\n",
-		m.QueriesIn, m.QueriesRejected, m.DeadlineHit, m.DeadlineMiss, m.NoDeadline)
+	fmt.Printf("\nconservation: %d queries in == %d rejected + %d hit + %d missed + %d no-deadline ✓ (%d expired on arrival)\n",
+		m.QueriesIn, m.QueriesRejected, m.DeadlineHit, m.DeadlineMiss, m.NoDeadline, m.ExpiredOnArrival)
 	return nil
 }
 
@@ -182,33 +283,4 @@ func statusOf(src map[string]rtdb.Value) rtdb.Value {
 		return "high"
 	}
 	return "ok"
-}
-
-// client is one synthetic session: a deterministic mix of sensor samples,
-// firm- and soft-deadline queries, and no-deadline reads.
-func client(s *server.Server, id, ops int, deadln uint64) {
-	c := s.Session(id)
-	for op := 0; op < ops; op++ {
-		switch op % 5 {
-		case 0, 1:
-			_ = c.InjectSample("temp", strconv.Itoa(18+(id*7+op)%12))
-		case 2:
-			_ = c.InjectSample("pressure", strconv.Itoa(99+(id+op)%4))
-		case 3:
-			_, _ = c.Query(server.QueryRequest{
-				Query: "status_q", Candidate: "ok",
-				Kind: deadline.Firm, Deadline: timeseq.Time(deadln), MinUseful: 1,
-			})
-		case 4:
-			if op%2 == 0 {
-				_, _ = c.Query(server.QueryRequest{
-					Query: "temp_q",
-					Kind:  deadline.Soft, Deadline: timeseq.Time(deadln),
-					MinUseful: 2, U: deadline.Hyperbolic(10, timeseq.Time(deadln)),
-				})
-			} else {
-				_, _ = c.Query(server.QueryRequest{Query: "temp_q"})
-			}
-		}
-	}
 }

@@ -1,0 +1,172 @@
+// Command rtdbload is a closed-loop, multi-connection load generator for a
+// running rtdbd server: each connection dials the rtwire port, drives a
+// deterministic mix of timed samples, firm- and soft-deadline queries, and
+// no-deadline reads, waits for every response before the next operation
+// (closed loop — offered load tracks service rate), and at the end prints
+// the client-side latency/outcome summary plus the server's own metrics
+// table fetched over the wire, with the conservation law checked remotely.
+//
+// Two-terminal example:
+//
+//	go run ./cmd/rtdbd -listen 127.0.0.1:7677 -sessions 32
+//	go run ./cmd/rtdbload -addr 127.0.0.1:7677 -conns 8 -ops 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtdb/client"
+	"rtc/internal/rtwire"
+	"rtc/internal/stats"
+	"rtc/internal/timeseq"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7677", "rtdbd rtwire address")
+		conns   = flag.Int("conns", 8, "concurrent connections")
+		ops     = flag.Int("ops", 200, "operations per connection")
+		deadln  = flag.Uint64("deadline", 40, "relative firm deadline (client chronons)")
+		chronon = flag.Duration("chronon", time.Millisecond, "wall-clock length of one client chronon")
+	)
+	flag.Parse()
+	if err := run(*addr, *conns, *ops, *deadln, *chronon); err != nil {
+		fmt.Fprintln(os.Stderr, "rtdbload:", err)
+		os.Exit(1)
+	}
+}
+
+// tally is one connection's closed-loop outcome count.
+type tally struct {
+	queries, hits, misses, expired, backpressure atomic.Uint64
+}
+
+func run(addr string, conns, ops int, deadln uint64, chronon time.Duration) error {
+	var (
+		wg        sync.WaitGroup
+		t         tally
+		latMu     sync.Mutex
+		latencies []float64 // microseconds, query round trips
+		errs      = make(chan error, conns)
+	)
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{
+				Name:            fmt.Sprintf("load-%d", id),
+				ChrononDuration: chronon,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			var local []float64
+			for op := 0; op < ops; op++ {
+				switch op % 5 {
+				case 0, 1:
+					_ = c.InjectSample("temp", strconv.Itoa(18+(id*7+op)%12))
+				case 2:
+					_ = c.InjectSample("pressure", strconv.Itoa(99+(id+op)%4))
+				case 3, 4:
+					q := client.Query{
+						Query: "status_q", Candidate: "ok",
+						Kind: deadline.Firm, Deadline: timeseq.Time(deadln), MinUseful: 1,
+					}
+					if op%10 == 4 {
+						q = client.Query{
+							Query: "temp_q",
+							Kind:  deadline.Soft, Deadline: timeseq.Time(deadln),
+							MinUseful: 2,
+							Decay:     rtwire.Decay{ID: rtwire.DecayHyperbolic, Max: 10},
+						}
+					}
+					qs := time.Now()
+					res, err := c.Query(q)
+					t.queries.Add(1)
+					switch {
+					case err == client.ErrBackpressure || (err != nil && res.Missed):
+						t.backpressure.Add(1)
+						t.misses.Add(1)
+					case err != nil:
+						errs <- err
+						return
+					case res.ExpiredOnArrival:
+						t.expired.Add(1)
+						t.misses.Add(1)
+					case res.Missed:
+						t.misses.Add(1)
+					default:
+						t.hits.Add(1)
+					}
+					local = append(local, float64(time.Since(qs).Microseconds()))
+				}
+			}
+			if err := c.Flush(); err != nil {
+				errs <- err
+				return
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+
+	totalOps := uint64(conns * ops)
+	fmt.Printf("%d conns × %d ops in %v (%.0f ops/s closed-loop)\n",
+		conns, ops, elapsed.Round(time.Millisecond),
+		float64(totalOps)/elapsed.Seconds())
+	fmt.Printf("queries: %d  hit %d  miss %d (expired-on-arrival %d, backpressure %d)\n",
+		t.queries.Load(), t.hits.Load(), t.misses.Load(), t.expired.Load(), t.backpressure.Load())
+	if len(latencies) > 0 {
+		s := stats.Summarize(latencies)
+		fmt.Printf("query rtt µs: mean %.0f  median %.0f  min %.0f  max %.0f\n",
+			s.Mean, s.Median, s.Lo, s.Hi)
+	}
+
+	// Fetch the server's own books over the wire and render the same
+	// metrics table rtdbd prints, then check the conservation law
+	// remotely: every query this tool (and anyone else) submitted is
+	// accounted as exactly one terminal outcome.
+	c, err := client.Dial(addr, client.Options{Name: "load-metrics"})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	m, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	tab := stats.NewTable("metric", "value")
+	for _, p := range m.Pairs {
+		tab.Row(p.Name, p.Value)
+	}
+	fmt.Println()
+	fmt.Print(tab.String())
+
+	mm := m.Map()
+	in := mm["queries_in"]
+	accounted := mm["queries_rejected"] + mm["deadline_hit"] + mm["deadline_miss"] + mm["no_deadline"]
+	if in != accounted {
+		return fmt.Errorf("conservation violated on server: %d queries in, %d accounted", in, accounted)
+	}
+	fmt.Printf("\nconservation (server books): %d queries in == %d rejected + %d hit + %d missed + %d no-deadline ✓\n",
+		in, mm["queries_rejected"], mm["deadline_hit"], mm["deadline_miss"], mm["no_deadline"])
+	return nil
+}

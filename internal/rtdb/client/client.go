@@ -1,0 +1,459 @@
+// Package client is the Go client for the rtwire protocol: dial an rtdbd
+// server, inject timed samples, issue aperiodic queries under the §4.1
+// deadline discipline, read history as-of a chronon, and fetch metrics
+// snapshots.
+//
+// Deadline translation happens here: the caller states a deadline relative
+// to the moment Query is called (the client's issue instant); the client
+// measures the wall time it burns before each transmission — queueing,
+// redials, retries — in client chronons (Options.ChrononDuration per
+// chronon) and ships that as the Elapsed field, so the server can anchor
+// the remaining budget at the arrival chronon. A query whose budget is
+// gone when it arrives is rejected unevaluated and accounted as a miss by
+// the server (Result.ExpiredOnArrival); retries therefore consume the
+// deadline instead of silently extending it. Client-relative and
+// server-absolute chronons never mix: the wire carries only relative
+// quantities, and every absolute chronon in a Result is the server's.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtwire"
+	"rtc/internal/timeseq"
+)
+
+// Options tunes a client. The zero value is serviceable.
+type Options struct {
+	// Name identifies the client in the Hello frame.
+	Name string
+	// DialTimeout bounds one TCP connect attempt (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/response round trip (default 30s).
+	CallTimeout time.Duration
+	// WriteTimeout bounds one frame write (default 10s).
+	WriteTimeout time.Duration
+	// RetryAttempts is how many times Dial (and a Query that hits a dead
+	// connection) retries after the first failure (default 2).
+	RetryAttempts int
+	// RetryBackoff is the initial pause between retries, doubling each
+	// attempt (default 50ms).
+	RetryBackoff time.Duration
+	// ChrononDuration is the wall-clock length of one client chronon used
+	// for deadline translation (default 1ms). A query's Elapsed field is
+	// time-since-issue divided by this.
+	ChrononDuration time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.Name == "" {
+		o.Name = "rtdb-client"
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.RetryAttempts < 0 {
+		o.RetryAttempts = 0
+	} else if o.RetryAttempts == 0 {
+		o.RetryAttempts = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.ChrononDuration <= 0 {
+		o.ChrononDuration = time.Millisecond
+	}
+}
+
+// Errors reported by the client.
+var (
+	// ErrClosed: Close was called.
+	ErrClosed = errors.New("client: closed")
+	// ErrConnDown: the connection died mid-call and retries ran out.
+	ErrConnDown = errors.New("client: connection down")
+	// ErrBackpressure mirrors the server's session-queue rejection; for
+	// deadline-carrying queries the server accounted a miss.
+	ErrBackpressure = errors.New("client: server backpressure")
+	// ErrTimeout: no response within CallTimeout.
+	ErrTimeout = errors.New("client: call timed out")
+)
+
+// Query is one aperiodic query under the client-relative deadline
+// discipline.
+type Query struct {
+	Query     string
+	Candidate string
+	Kind      deadline.Kind
+	// Deadline is relative to the moment Client.Query is called.
+	Deadline  timeseq.Time
+	MinUseful uint64
+	// Decay is the usefulness-decay shape (soft deadlines).
+	Decay rtwire.Decay
+}
+
+// Result is the server's answer.
+type Result struct {
+	Answers   []string
+	Match     bool
+	Useful    uint64
+	Missed    bool
+	Evaluated bool
+	// ExpiredOnArrival: the query's budget was consumed before the server
+	// saw it; it was accounted a miss without evaluation.
+	ExpiredOnArrival bool
+	// Issue and Served are server chronons.
+	Issue, Served timeseq.Time
+}
+
+// Stats counts client-side events.
+type Stats struct {
+	Redials      atomic.Uint64
+	Backpressure atomic.Uint64 // sample submissions bounced by the server
+}
+
+// Client is a connection to an rtdbd server. It is safe for concurrent
+// use; responses are matched to callers by request id.
+type Client struct {
+	addr string
+	opt  Options
+
+	// Session is the server session index this connection was mapped to.
+	Session uint64
+
+	Stats Stats
+
+	ids atomic.Uint64
+
+	mu     sync.Mutex // guards conn/bw and (re)dials
+	conn   net.Conn
+	bw     *bufio.Writer
+	gen    int // bumped on every successful redial
+	closed bool
+
+	pmu     sync.Mutex
+	pending map[uint64]chan any
+}
+
+// Dial connects and performs the Hello/Welcome handshake, retrying per
+// Options.
+func Dial(addr string, opt Options) (*Client, error) {
+	opt.defaults()
+	c := &Client{addr: addr, opt: opt, pending: make(map[uint64]chan any)}
+	var err error
+	backoff := opt.RetryBackoff
+	for attempt := 0; attempt <= opt.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		c.mu.Lock()
+		err = c.connectLocked()
+		c.mu.Unlock()
+		if err == nil {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+}
+
+// connectLocked dials and handshakes. Caller holds mu.
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opt.DialTimeout)
+	if err != nil {
+		return err
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
+	if _, err := conn.Write(rtwire.Hello{Client: c.opt.Name}.Encode()); err != nil {
+		conn.Close()
+		return err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(c.opt.DialTimeout))
+	br := bufio.NewReader(conn)
+	f, err := rtwire.ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("handshake read: %w", err)
+	}
+	msg, err := rtwire.Decode(f)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("handshake decode: %w", err)
+	}
+	switch m := msg.(type) {
+	case rtwire.Welcome:
+		c.Session = m.Session
+	case rtwire.Err:
+		conn.Close()
+		return m
+	default:
+		conn.Close()
+		return fmt.Errorf("handshake: unexpected %s frame", f.Kind)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	c.conn, c.bw = conn, bufio.NewWriter(conn)
+	c.gen++
+	gen := c.gen
+	go c.readLoop(conn, br, gen)
+	return nil
+}
+
+// readLoop dispatches incoming frames to waiting callers until the
+// connection dies.
+func (c *Client) readLoop(conn net.Conn, br *bufio.Reader, gen int) {
+	defer c.failPending(gen)
+	for {
+		f, err := rtwire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		msg, err := rtwire.Decode(f)
+		if err != nil {
+			continue
+		}
+		switch m := msg.(type) {
+		case rtwire.Result:
+			c.deliver(m.ID, m)
+		case rtwire.AsOfResult:
+			c.deliver(m.ID, m)
+		case rtwire.Metrics:
+			c.deliver(m.ID, m)
+		case rtwire.Flushed:
+			c.deliver(m.ID, m)
+		case rtwire.Err:
+			if !c.deliver(m.ID, m) && m.Code == rtwire.CodeBackpressure {
+				// A bounced fire-and-forget sample.
+				c.Stats.Backpressure.Add(1)
+			}
+		case rtwire.Bye:
+			return
+		}
+	}
+}
+
+// deliver hands a response to its waiting caller.
+func (c *Client) deliver(id uint64, msg any) bool {
+	c.pmu.Lock()
+	ch, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.pmu.Unlock()
+	if ok {
+		ch <- msg
+	}
+	return ok
+}
+
+// failPending wakes every caller of the dead connection generation.
+func (c *Client) failPending(gen int) {
+	c.mu.Lock()
+	current := c.gen == gen
+	if current && c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	if !current {
+		return
+	}
+	c.pmu.Lock()
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- error(ErrConnDown)
+	}
+	c.pmu.Unlock()
+}
+
+// send writes one frame. redial controls whether a dead connection is
+// re-established first.
+func (c *Client) send(frame []byte, redial bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.conn == nil {
+		if !redial {
+			return ErrConnDown
+		}
+		if err := c.connectLocked(); err != nil {
+			return fmt.Errorf("%w: %v", ErrConnDown, err)
+		}
+		c.Stats.Redials.Add(1)
+	}
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
+	if _, err := c.bw.Write(frame); err != nil {
+		c.conn.Close()
+		c.conn = nil
+		return fmt.Errorf("%w: %v", ErrConnDown, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.conn.Close()
+		c.conn = nil
+		return fmt.Errorf("%w: %v", ErrConnDown, err)
+	}
+	return nil
+}
+
+// call sends an id-carrying frame and waits for its response.
+func (c *Client) call(id uint64, frame []byte) (any, error) {
+	ch := make(chan any, 1)
+	c.pmu.Lock()
+	c.pending[id] = ch
+	c.pmu.Unlock()
+	if err := c.send(frame, true); err != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, err
+	}
+	timer := time.NewTimer(c.opt.CallTimeout)
+	defer timer.Stop()
+	select {
+	case msg := <-ch:
+		if err, ok := msg.(error); ok {
+			if we, isWire := msg.(rtwire.Err); !isWire || we.Code != rtwire.CodeBackpressure {
+				return nil, err
+			}
+			return nil, fmt.Errorf("%w: %v", ErrBackpressure, msg)
+		}
+		return msg, nil
+	case <-timer.C:
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+// nextID allocates a request id (never 0; 0 marks connection-level Errs).
+func (c *Client) nextID() uint64 { return c.ids.Add(1) }
+
+// Query issues one aperiodic query. The deadline budget starts now; every
+// retry re-stamps the consumed chronons, so time lost to redials shrinks
+// the server-side remainder instead of resetting it.
+func (c *Client) Query(q Query) (Result, error) {
+	issue := time.Now()
+	backoff := c.opt.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.opt.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		id := c.nextID()
+		wq := rtwire.Query{
+			ID: id, Query: q.Query, Candidate: q.Candidate,
+			Kind: q.Kind, Deadline: q.Deadline,
+			Elapsed:   timeseq.Time(time.Since(issue) / c.opt.ChrononDuration),
+			MinUseful: q.MinUseful, Decay: q.Decay,
+		}
+		msg, err := c.call(id, wq.Encode())
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, ErrConnDown) {
+				continue // redial consumed budget; try again with new Elapsed
+			}
+			if errors.Is(err, ErrBackpressure) {
+				// The server accounted the rejection; report it like the
+				// in-process session API does.
+				return Result{Missed: q.Kind != deadline.None}, err
+			}
+			return Result{}, err
+		}
+		r, ok := msg.(rtwire.Result)
+		if !ok {
+			return Result{}, fmt.Errorf("client: unexpected response %T", msg)
+		}
+		return Result{
+			Answers: r.Answers, Match: r.Match, Useful: r.Useful,
+			Missed: r.Missed, Evaluated: r.Evaluated,
+			ExpiredOnArrival: r.ExpiredOnArrival,
+			Issue:            r.Issue, Served: r.Served,
+		}, nil
+	}
+	return Result{}, lastErr
+}
+
+// InjectSample submits one timed sensor sample, fire-and-forget. A
+// server-side rejection arrives asynchronously and is counted in
+// Stats.Backpressure.
+func (c *Client) InjectSample(image, value string) error {
+	return c.send(rtwire.Sample{ID: c.nextID(), Image: image, Value: value}.Encode(), true)
+}
+
+// AsOf reads an image object's value as of server chronon at, served from
+// the published history snapshot. The returned horizon is the chronon
+// through which as-of reads are current.
+func (c *Client) AsOf(image string, at timeseq.Time) (value string, ok bool, horizon timeseq.Time, err error) {
+	id := c.nextID()
+	msg, err := c.call(id, rtwire.AsOf{ID: id, Image: image, At: at}.Encode())
+	if err != nil {
+		return "", false, 0, err
+	}
+	r, isR := msg.(rtwire.AsOfResult)
+	if !isR {
+		return "", false, 0, fmt.Errorf("client: unexpected response %T", msg)
+	}
+	return r.Value, r.OK, r.Horizon, nil
+}
+
+// Metrics fetches the server's metrics snapshot as ordered name/value
+// pairs (server rows first, then the net_* wire rows).
+func (c *Client) Metrics() (rtwire.Metrics, error) {
+	id := c.nextID()
+	msg, err := c.call(id, rtwire.MetricsReq{ID: id}.Encode())
+	if err != nil {
+		return rtwire.Metrics{}, err
+	}
+	m, ok := msg.(rtwire.Metrics)
+	if !ok {
+		return rtwire.Metrics{}, fmt.Errorf("client: unexpected response %T", msg)
+	}
+	return m, nil
+}
+
+// Flush blocks until everything this connection submitted before it has
+// been applied by the server.
+func (c *Client) Flush() error {
+	id := c.nextID()
+	msg, err := c.call(id, rtwire.Flush{ID: id}.Encode())
+	if err != nil {
+		return err
+	}
+	if _, ok := msg.(rtwire.Flushed); !ok {
+		return fmt.Errorf("client: unexpected response %T", msg)
+	}
+	return nil
+}
+
+// Close announces an orderly close and tears the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.conn != nil {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
+		_, _ = c.conn.Write(rtwire.Bye{Reason: "close"}.Encode())
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}

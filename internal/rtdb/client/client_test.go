@@ -1,0 +1,152 @@
+package client_test
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtdb"
+	"rtc/internal/rtdb/client"
+	"rtc/internal/rtdb/netserve"
+	"rtc/internal/rtdb/server"
+)
+
+func statusDerive(src map[string]rtdb.Value) rtdb.Value {
+	t, _ := strconv.Atoi(src["temp"])
+	l, _ := strconv.Atoi(src["limit"])
+	if t > l {
+		return "high"
+	}
+	return "ok"
+}
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Config{
+		Spec: rtdb.Spec{
+			Invariants: map[string]rtdb.Value{"limit": "22"},
+			Derived: []*rtdb.DerivedObject{{
+				Name: "status", Sources: []string{"temp", "limit"}, Derive: statusDerive,
+			}},
+			Images: []*rtdb.ImageObject{{Name: "temp", Period: 5}},
+		},
+		Catalog: rtdb.Catalog{
+			"status_q": func(v *rtdb.View) []rtdb.Value {
+				if s, ok := v.DeriveNow("status"); ok {
+					return []rtdb.Value{s}
+				}
+				return nil
+			},
+		},
+		Registry: rtdb.DeriveRegistry{"status": statusDerive},
+		Sessions: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ns := netserve.New(s, netserve.Options{})
+	addr, err := ns.Listen("127.0.0.1:0")
+	if err != nil {
+		s.Stop()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = ns.Close()
+		s.Stop()
+	})
+	return addr.String()
+}
+
+// TestDialFailureIsFast: with retries disabled a dial against a dead port
+// fails promptly instead of hanging through a backoff ladder.
+func TestDialFailureIsFast(t *testing.T) {
+	start := time.Now()
+	_, err := client.Dial("127.0.0.1:1", client.Options{
+		RetryAttempts: -1, DialTimeout: 500 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("dial of a dead port succeeded")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("dial failure took %v", d)
+	}
+}
+
+// TestClientEndToEnd drives the whole public client surface against a
+// live loopback server.
+func TestClientEndToEnd(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, client.Options{Name: "e2e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.InjectSample("temp", "25"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Query(client.Query{Query: "status_q", Candidate: "high"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Match || !r.Evaluated {
+		t.Fatalf("derived query: %+v", r)
+	}
+
+	// Temporal read: learn the horizon with a throwaway read, then read a
+	// chronon the snapshot definitely covers.
+	_, _, horizon, err := c.AsOf("temp", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _, err := c.AsOf("temp", horizon/2); err != nil {
+		t.Fatal(err)
+	} else if ok && v == "" {
+		t.Fatal("as-of returned ok with empty value")
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Map()["queries_in"] != 1 {
+		t.Fatalf("queries_in = %d, want 1", m.Map()["queries_in"])
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client is closed: further calls fail with ErrClosed.
+	if _, err := c.Query(client.Query{Query: "status_q"}); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("query after close: %v", err)
+	}
+}
+
+// TestZeroDeadlineFirmExpires: a firm query with relative deadline 0 is
+// the deterministic expired-on-arrival case through the full client path —
+// whatever Elapsed the client stamps, E ≥ 0 = D holds, so the server must
+// reject it unevaluated and report the miss.
+func TestZeroDeadlineFirmExpires(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	r, err := c.Query(client.Query{
+		Query: "status_q", Kind: deadline.Firm, Deadline: 0, MinUseful: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Missed || r.Evaluated || !r.ExpiredOnArrival {
+		t.Fatalf("zero-deadline firm: %+v", r)
+	}
+}

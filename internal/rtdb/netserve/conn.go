@@ -1,0 +1,277 @@
+package netserve
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"rtc/internal/rtdb/server"
+	"rtc/internal/rtwire"
+)
+
+// conn is one live connection bound to one server session.
+type conn struct {
+	n    *Server
+	nc   net.Conn
+	br   *bufio.Reader
+	sess *server.Session
+
+	// writeq is the bounded outgoing frame queue; writeLoop drains it.
+	// done closes after every producer is finished (inflight waited), so
+	// the writer can drain-and-exit without racing an enqueue.
+	writeq chan []byte
+	done   chan struct{}
+	wdone  chan struct{}
+
+	// sem bounds concurrent blocking requests (queries, flushes); the
+	// read loop stalls when it is full, pushing backpressure into TCP.
+	sem      chan struct{}
+	inflight sync.WaitGroup
+}
+
+// interruptRead unblocks a pending Read so the read loop can observe the
+// server's quit channel.
+func (c *conn) interruptRead() { _ = c.nc.SetReadDeadline(time.Now()) }
+
+// enqueue queues one outgoing frame, blocking until there is room. It is
+// used by request handlers, which are allowed to wait on a slow client
+// (the apply loop is long done with the request by then); done aborts the
+// wait during teardown.
+func (c *conn) enqueue(frame []byte) bool {
+	select {
+	case c.writeq <- frame:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+// tryEnqueue queues one frame without blocking. Best-effort notifications
+// (backpressure errors, the drain Bye) use it: under a full queue they are
+// dropped and counted rather than stalling the read loop.
+func (c *conn) tryEnqueue(frame []byte) bool {
+	select {
+	case c.writeq <- frame:
+		return true
+	default:
+		c.n.Wire.WriteDrops.Add(1)
+		return false
+	}
+}
+
+// writeLoop drains the write queue to the socket. On done it finishes
+// whatever is queued, then signals wdone.
+func (c *conn) writeLoop() {
+	defer close(c.wdone)
+	bw := bufio.NewWriter(c.nc)
+	write := func(frame []byte) bool {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.n.opt.WriteTimeout))
+		if _, err := bw.Write(frame); err != nil {
+			return false
+		}
+		// Flush eagerly when the queue is empty; otherwise let frames
+		// coalesce into one syscall.
+		if len(c.writeq) == 0 {
+			if err := bw.Flush(); err != nil {
+				return false
+			}
+		}
+		c.n.Wire.FramesOut.Add(1)
+		c.n.Wire.BytesOut.Add(uint64(len(frame)))
+		return true
+	}
+	for {
+		select {
+		case frame := <-c.writeq:
+			if !write(frame) {
+				c.discard()
+				return
+			}
+		case <-c.done:
+			for {
+				select {
+				case frame := <-c.writeq:
+					if !write(frame) {
+						c.discard()
+						return
+					}
+				default:
+					_ = bw.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// discard keeps draining the queue after a write error so producers
+// blocked in enqueue never wedge on a dead socket.
+func (c *conn) discard() {
+	for {
+		select {
+		case <-c.writeq:
+			c.n.Wire.WriteDrops.Add(1)
+		case <-c.done:
+			// Producers are gone; drop whatever is left.
+			for {
+				select {
+				case <-c.writeq:
+					c.n.Wire.WriteDrops.Add(1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// readLoop consumes the connection's timed word frame by frame until the
+// client says Bye, the connection dies, the idle timeout fires, or the
+// server drains.
+func (c *conn) readLoop() {
+	for {
+		select {
+		case <-c.n.quit:
+			return
+		default:
+		}
+		_ = c.nc.SetReadDeadline(time.Now().Add(c.n.opt.IdleTimeout))
+		f, err := rtwire.ReadFrame(c.br)
+		if err != nil {
+			if isProtocolError(err) {
+				c.n.Wire.DecodeErrors.Add(1)
+			}
+			return
+		}
+		c.n.Wire.FramesIn.Add(1)
+		c.n.Wire.BytesIn.Add(uint64(rtwire.HeaderSize + len(f.Payload)))
+		if !c.dispatch(f) {
+			return
+		}
+	}
+}
+
+// isProtocolError reports damage to the frame stream itself, as opposed
+// to liveness failures (EOF, timeouts, closed sockets).
+func isProtocolError(err error) bool {
+	for _, p := range []error{
+		rtwire.ErrBadMagic, rtwire.ErrVersion, rtwire.ErrBadKind,
+		rtwire.ErrTooLong, rtwire.ErrChecksum, rtwire.ErrTruncated,
+	} {
+		if errors.Is(err, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch handles one frame; false ends the connection.
+func (c *conn) dispatch(f rtwire.Frame) bool {
+	msg, err := rtwire.Decode(f)
+	if err != nil {
+		c.n.Wire.DecodeErrors.Add(1)
+		c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: err.Error()}.Encode())
+		return true
+	}
+	switch m := msg.(type) {
+	case rtwire.Sample:
+		c.n.Wire.SamplesIn.Add(1)
+		switch err := c.sess.InjectSample(m.Image, m.Value); err {
+		case nil:
+		case server.ErrBackpressure:
+			c.n.Wire.BackpressureFrames.Add(1)
+			c.tryEnqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeBackpressure, Msg: "session queue full"}.Encode())
+		default: // ErrClosed
+			c.tryEnqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeClosed, Msg: err.Error()}.Encode())
+			return false
+		}
+	case rtwire.Query:
+		c.n.Wire.QueriesIn.Add(1)
+		select {
+		case c.sem <- struct{}{}:
+		case <-c.done:
+			return false
+		}
+		c.inflight.Add(1)
+		go func() {
+			defer c.inflight.Done()
+			defer func() { <-c.sem }()
+			c.serveQuery(m)
+		}()
+	case rtwire.AsOf:
+		c.n.Wire.AsOfReads.Add(1)
+		v, ok := c.n.srv.ValueAsOf(m.Image, m.At)
+		c.enqueue(rtwire.AsOfResult{
+			ID: m.ID, OK: ok, Value: v, Horizon: c.n.srv.HistoryHorizon(),
+		}.Encode())
+	case rtwire.MetricsReq:
+		snap := c.n.srv.Metrics.Snapshot()
+		pairs := snap.Pairs()
+		wp := make([]rtwire.MetricPair, 0, len(pairs)+wireMetricCount)
+		for _, p := range pairs {
+			wp = append(wp, rtwire.MetricPair{Name: p.Name, Value: p.Value})
+		}
+		wp = c.n.Wire.Snapshot().appendPairs(wp)
+		c.enqueue(rtwire.Metrics{ID: m.ID, Pairs: wp}.Encode())
+	case rtwire.Flush:
+		select {
+		case c.sem <- struct{}{}:
+		case <-c.done:
+			return false
+		}
+		c.inflight.Add(1)
+		go func() {
+			defer c.inflight.Done()
+			defer func() { <-c.sem }()
+			if err := c.sess.Flush(); err != nil {
+				c.enqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeClosed, Msg: err.Error()}.Encode())
+				return
+			}
+			c.enqueue(rtwire.Flushed{ID: m.ID, Chronon: c.n.srv.Now()}.Encode())
+		}()
+	case rtwire.Bye:
+		return false
+	default:
+		c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "unexpected " + f.Kind.String()}.Encode())
+	}
+	return true
+}
+
+// serveQuery translates the wire deadline envelope and runs the query
+// through this connection's session. An expired-on-arrival query is
+// accounted as a miss through the server's metrics block — never
+// evaluated, never silently dropped — and answered with a missed Result
+// so the client's picture matches the server's books.
+func (c *conn) serveQuery(m rtwire.Query) {
+	qr, expired := Translate(m)
+	if expired {
+		c.n.srv.Metrics.AccountExpired()
+		c.n.Wire.ExpiredOnArrival.Add(1)
+		now := c.n.srv.Now()
+		c.enqueue(rtwire.Result{
+			ID: m.ID, Missed: true, Evaluated: false,
+			Issue: now, Served: now, ExpiredOnArrival: true,
+		}.Encode())
+		return
+	}
+	resp, err := c.sess.Query(qr)
+	switch err {
+	case nil:
+	case server.ErrBackpressure:
+		// The server accounted the rejection (and the miss, for
+		// deadline-carrying queries); tell the client explicitly.
+		c.n.Wire.BackpressureFrames.Add(1)
+		c.enqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeBackpressure, Msg: "session queue full"}.Encode())
+		return
+	default:
+		c.enqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeClosed, Msg: err.Error()}.Encode())
+		return
+	}
+	c.enqueue(rtwire.Result{
+		ID: m.ID, Answers: resp.Answers, Match: resp.Match,
+		Useful: resp.Useful, Missed: resp.Missed, Evaluated: resp.Evaluated,
+		Issue: resp.Issue, Served: resp.Served,
+	}.Encode())
+}

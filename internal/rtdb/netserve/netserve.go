@@ -1,0 +1,260 @@
+// Package netserve puts the rtdbd server on the wire: a TCP listener that
+// maps each accepted connection onto one of the server's client sessions
+// and speaks the rtwire protocol — timed samples, aperiodic queries with
+// the §4.1 deadline envelope, temporal as-of reads, and metrics snapshots.
+//
+// The serving discipline extends the in-process one without weakening it:
+//
+//   - Each connection is one timed word. Frames are consumed in FIFO order
+//     and submitted to the connection's session, so the per-session
+//     ordering guarantees of the apply loop survive the network hop.
+//   - Deadlines travel client-relative and are anchored at arrival: a
+//     query that arrives with its budget already consumed is rejected
+//     unevaluated and accounted as a deadline miss through
+//     Metrics.AccountExpired — the conservation law QueriesIn ==
+//     QueriesAccounted therefore holds end-to-end over TCP.
+//   - Responses go through a bounded per-connection write queue drained by
+//     a dedicated writer goroutine; the apply loop never blocks on a slow
+//     client. Session-queue overload comes back as an rtwire.Err frame
+//     with CodeBackpressure, never as silence.
+//   - Close drains gracefully: accepts stop, readers stop, in-flight
+//     queries finish, each session is flushed before its id returns to the
+//     pool, and queued responses are written out before the socket closes.
+package netserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rtc/internal/rtdb/server"
+	"rtc/internal/rtwire"
+)
+
+// Options tunes the listener. The zero value is serviceable.
+type Options struct {
+	// WriteQueue bounds the per-connection outgoing frame queue
+	// (default 64).
+	WriteQueue int
+	// MaxInflight bounds concurrent blocking requests (queries, flushes)
+	// per connection; further frames wait in the kernel's receive buffer —
+	// natural TCP backpressure (default 16).
+	MaxInflight int
+	// IdleTimeout closes a connection that sends nothing for this long
+	// (default 2m).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one frame write to a slow client (default 10s).
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the Hello/Welcome exchange (default 5s).
+	HandshakeTimeout time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.WriteQueue <= 0 {
+		o.WriteQueue = 64
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 16
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("netserve: server closed")
+
+// Server serves rtwire connections over one rtdb server.
+type Server struct {
+	srv *server.Server
+	opt Options
+
+	// pool holds the ids of free server sessions; a connection owns
+	// exactly one session for its lifetime.
+	pool chan int
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[*conn]struct{}
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// Wire is the transport-level counter block, the per-connection
+	// metrics folded into one place (connections add into it live).
+	Wire WireMetrics
+}
+
+// New wraps srv. Every session of srv is placed in the connection pool, so
+// srv.Config.Sessions bounds the concurrent connections; an accept beyond
+// that is refused with CodeServerFull.
+func New(srv *server.Server, opt Options) *Server {
+	opt.defaults()
+	n := &Server{
+		srv:   srv,
+		opt:   opt,
+		conns: make(map[*conn]struct{}),
+		quit:  make(chan struct{}),
+	}
+	n.pool = make(chan int, srv.Sessions())
+	for id := 0; id < srv.Sessions(); id++ {
+		n.pool <- id
+	}
+	return n
+}
+
+// Serve accepts connections on ln until Close. It blocks; run it in a
+// goroutine. After Close it returns ErrServerClosed.
+func (n *Server) Serve(ln net.Listener) error {
+	n.mu.Lock()
+	if n.ln != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("netserve: Serve called twice")
+	}
+	n.ln = ln
+	n.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-n.quit:
+				return ErrServerClosed
+			default:
+				return err
+			}
+		}
+		n.Wire.ConnsAccepted.Add(1)
+		n.wg.Add(1)
+		go n.handle(c)
+	}
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") in a background
+// goroutine and returns the bound listener address.
+func (n *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = n.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound listener address (nil before Serve/Listen).
+func (n *Server) Addr() net.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ln == nil {
+		return nil
+	}
+	return n.ln.Addr()
+}
+
+// Close drains the server: the listener stops accepting, every connection
+// stops reading, in-flight requests complete, queued responses are written
+// out, each session is flushed, and only then do sockets close. It blocks
+// until the drain finishes and is safe to call more than once. The
+// underlying rtdb server is NOT stopped — callers stop it after Close so
+// in-flight queries can complete during the drain.
+func (n *Server) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.quit)
+		n.mu.Lock()
+		if n.ln != nil {
+			_ = n.ln.Close()
+		}
+		for c := range n.conns {
+			c.interruptRead()
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+// register tracks a live connection so Close can interrupt its read.
+func (n *Server) register(c *conn) {
+	n.mu.Lock()
+	n.conns[c] = struct{}{}
+	n.mu.Unlock()
+}
+
+func (n *Server) unregister(c *conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// handle runs one accepted socket: handshake, session checkout, read loop,
+// drain, teardown.
+func (n *Server) handle(nc net.Conn) {
+	defer n.wg.Done()
+	defer nc.Close()
+
+	// Handshake: the first frame must be a Hello within the timeout.
+	_ = nc.SetReadDeadline(time.Now().Add(n.opt.HandshakeTimeout))
+	br := bufio.NewReader(nc)
+	f, err := rtwire.ReadFrame(br)
+	if err != nil || f.Kind != rtwire.KindHello {
+		n.Wire.ConnsRefused.Add(1)
+		n.writeRaw(nc, rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "expected hello"}.Encode())
+		return
+	}
+	var session int
+	select {
+	case session = <-n.pool:
+	default:
+		n.Wire.ConnsRefused.Add(1)
+		n.writeRaw(nc, rtwire.Err{Code: rtwire.CodeServerFull, Msg: "no free session"}.Encode())
+		return
+	}
+	defer func() { n.pool <- session }()
+
+	c := &conn{
+		n: n, nc: nc, br: br,
+		sess:   n.srv.Session(session),
+		writeq: make(chan []byte, n.opt.WriteQueue),
+		done:   make(chan struct{}),
+		wdone:  make(chan struct{}),
+		sem:    make(chan struct{}, n.opt.MaxInflight),
+	}
+	n.register(c)
+	defer n.unregister(c)
+	defer n.Wire.ConnsClosed.Add(1)
+
+	go c.writeLoop()
+	c.enqueue(rtwire.Welcome{Session: uint64(session), Chronon: n.srv.Now()}.Encode())
+
+	c.readLoop()
+
+	// Drain: wait for in-flight queries/flushes to enqueue their
+	// responses, flush this connection's session so every sample it
+	// submitted is applied (SamplesIn == SamplesApplied survives
+	// mid-flight shutdown), announce the close, then let the writer
+	// finish the queue.
+	c.inflight.Wait()
+	_ = c.sess.Flush()
+	c.tryEnqueue(rtwire.Bye{Reason: "drain"}.Encode())
+	close(c.done)
+	<-c.wdone
+}
+
+// writeRaw writes one frame outside any connection write loop (refusals
+// during handshake).
+func (n *Server) writeRaw(nc net.Conn, frame []byte) {
+	_ = nc.SetWriteDeadline(time.Now().Add(n.opt.WriteTimeout))
+	if _, err := nc.Write(frame); err == nil {
+		n.Wire.FramesOut.Add(1)
+		n.Wire.BytesOut.Add(uint64(len(frame)))
+	}
+}

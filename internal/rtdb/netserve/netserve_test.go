@@ -1,0 +1,400 @@
+package netserve
+
+import (
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtdb"
+	"rtc/internal/rtdb/client"
+	"rtc/internal/rtdb/server"
+	"rtc/internal/rtwire"
+)
+
+func statusDerive(src map[string]rtdb.Value) rtdb.Value {
+	t, _ := strconv.Atoi(src["temp"])
+	l, _ := strconv.Atoi(src["limit"])
+	if t > l {
+		return "high"
+	}
+	return "ok"
+}
+
+func testConfig() server.Config {
+	return server.Config{
+		Spec: rtdb.Spec{
+			Invariants: map[string]rtdb.Value{"limit": "22"},
+			Derived: []*rtdb.DerivedObject{{
+				Name: "status", Sources: []string{"temp", "limit"}, Derive: statusDerive,
+			}},
+			Images: []*rtdb.ImageObject{{Name: "temp", Period: 5}},
+		},
+		Catalog: rtdb.Catalog{
+			"status_q": func(v *rtdb.View) []rtdb.Value {
+				if s, ok := v.DeriveNow("status"); ok {
+					return []rtdb.Value{s}
+				}
+				return nil
+			},
+			"temp_q": func(v *rtdb.View) []rtdb.Value {
+				if s, ok := v.Latest("temp"); ok {
+					return []rtdb.Value{s.Value}
+				}
+				return nil
+			},
+		},
+		Registry: rtdb.DeriveRegistry{"status": statusDerive},
+	}
+}
+
+// startNet stands up a started rtdb server behind a loopback listener and
+// tears both down (listener first, then server — the documented order).
+func startNet(t testing.TB, cfg server.Config, opt Options) (*server.Server, *Server, string) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ns := New(s, opt)
+	addr, err := ns.Listen("127.0.0.1:0")
+	if err != nil {
+		s.Stop()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = ns.Close()
+		s.Stop()
+	})
+	return s, ns, addr.String()
+}
+
+// checkConservation asserts the two laws the wire layer must not break:
+// every query submission is accounted exactly once, and at quiesce every
+// accepted sample has been applied.
+func checkConservation(t *testing.T, s *server.Server) {
+	t.Helper()
+	m := s.Metrics.Snapshot()
+	if got := m.QueriesRejected + m.DeadlineHit + m.DeadlineMiss + m.NoDeadline; m.QueriesIn != got {
+		t.Errorf("conservation: QueriesIn %d != accounted %d (%+v)", m.QueriesIn, got, m)
+	}
+	if m.SamplesIn != m.SamplesApplied {
+		t.Errorf("conservation: SamplesIn %d != SamplesApplied %d", m.SamplesIn, m.SamplesApplied)
+	}
+}
+
+// TestServeBasics drives every request kind through the full client →
+// TCP → session → apply-loop path.
+func TestServeBasics(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sessions = 2
+	s, ns, addr := startNet(t, cfg, Options{})
+
+	c, err := client.Dial(addr, client.Options{Name: "basics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.InjectSample("temp", "21"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Class (i): no deadline.
+	r, err := c.Query(client.Query{Query: "status_q", Candidate: "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Match || !r.Evaluated || r.Missed {
+		t.Fatalf("no-deadline query: %+v", r)
+	}
+
+	// Class (ii): a generous firm deadline is met over the wire.
+	r, err = c.Query(client.Query{
+		Query: "temp_q", Candidate: "21",
+		Kind: deadline.Firm, Deadline: 1 << 20, MinUseful: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Match || r.Missed || !r.Evaluated || r.ExpiredOnArrival {
+		t.Fatalf("firm query: %+v", r)
+	}
+
+	// Temporal read: learn the horizon, then read at it.
+	if _, _, _, err := c.AsOf("temp", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics over the wire: server rows first, then the net_* rows.
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := m.Map()
+	if mm["queries_in"] != 2 {
+		t.Errorf("queries_in over wire = %d, want 2", mm["queries_in"])
+	}
+	if _, ok := mm["net_frames_in"]; !ok {
+		t.Errorf("wire metrics missing net_frames_in: %v", mm)
+	}
+	if mm["net_conns_accepted"] != 1 {
+		t.Errorf("net_conns_accepted = %d, want 1", mm["net_conns_accepted"])
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, s)
+	if got := ns.Wire.ConnsAccepted.Load(); got != ns.Wire.ConnsClosed.Load() {
+		t.Errorf("ConnsAccepted %d != ConnsClosed %d", got, ns.Wire.ConnsClosed.Load())
+	}
+}
+
+// rawConn is a frame-level test client: it lets the suite hand-craft wire
+// images (exact Elapsed values, out-of-order kinds) that the client
+// package would never produce.
+type rawConn struct {
+	t  *testing.T
+	nc net.Conn
+}
+
+func dialRaw(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &rawConn{t: t, nc: nc}
+}
+
+func (r *rawConn) write(frame []byte) {
+	r.t.Helper()
+	_ = r.nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := r.nc.Write(frame); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rawConn) read() any {
+	r.t.Helper()
+	_ = r.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := rtwire.ReadFrame(r.nc)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	msg, err := rtwire.Decode(f)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return msg
+}
+
+func (r *rawConn) handshake() rtwire.Welcome {
+	r.t.Helper()
+	r.write(rtwire.Hello{Client: "raw"}.Encode())
+	w, ok := r.read().(rtwire.Welcome)
+	if !ok {
+		r.t.Fatal("no welcome")
+	}
+	return w
+}
+
+// TestExpiredOnArrivalRawFrame hand-crafts the wire image of a firm query
+// whose budget was consumed in transit (Elapsed 10 ≥ Deadline 5). The
+// server must reject it unevaluated, answer with a missed Result, and
+// account it — deterministically, with no clocks involved.
+func TestExpiredOnArrivalRawFrame(t *testing.T) {
+	s, ns, addr := startNet(t, testConfig(), Options{})
+	rc := dialRaw(t, addr)
+	rc.handshake()
+
+	rc.write(rtwire.Query{
+		ID: 1, Query: "status_q", Kind: deadline.Firm,
+		Deadline: 5, Elapsed: 10, MinUseful: 1,
+	}.Encode())
+	res, ok := rc.read().(rtwire.Result)
+	if !ok {
+		t.Fatal("no result")
+	}
+	if !res.Missed || res.Evaluated || !res.ExpiredOnArrival {
+		t.Fatalf("expired-on-arrival result: %+v", res)
+	}
+
+	// A live query on the same connection still evaluates.
+	rc.write(rtwire.Query{
+		ID: 2, Query: "status_q", Kind: deadline.Firm,
+		Deadline: 1 << 20, Elapsed: 3, MinUseful: 1,
+	}.Encode())
+	res, ok = rc.read().(rtwire.Result)
+	if !ok {
+		t.Fatal("no result")
+	}
+	if res.Missed || !res.Evaluated || res.ExpiredOnArrival {
+		t.Fatalf("live query after expired one: %+v", res)
+	}
+
+	rc.write(rtwire.Bye{Reason: "done"}.Encode())
+	if err := ns.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := s.Metrics.Snapshot()
+	if m.ExpiredOnArrival != 1 {
+		t.Errorf("ExpiredOnArrival = %d, want 1", m.ExpiredOnArrival)
+	}
+	if m.QueriesIn != 2 || m.DeadlineMiss != 1 || m.DeadlineHit != 1 {
+		t.Errorf("accounting: %+v", m)
+	}
+	if got := ns.Wire.ExpiredOnArrival.Load(); got != 1 {
+		t.Errorf("wire ExpiredOnArrival = %d, want 1", got)
+	}
+	checkConservation(t, s)
+}
+
+// TestSoftBelowMinUsefulAtDequeue: the query survives arrival (Elapsed 0)
+// but evaluation costs 5 chronons against a soft deadline of 3, so at
+// dequeue U(5) = 8/(5−3) = 4 < MinUseful 6 — admission control must skip
+// the evaluation and account the miss. ChrononDuration is an hour so the
+// client-side Elapsed stamp is deterministically 0.
+func TestSoftBelowMinUsefulAtDequeue(t *testing.T) {
+	cfg := testConfig()
+	cfg.EvalCost = 5
+	s, _, addr := startNet(t, cfg, Options{})
+
+	c, err := client.Dial(addr, client.Options{ChrononDuration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	r, err := c.Query(client.Query{
+		Query: "status_q", Kind: deadline.Soft, Deadline: 3, MinUseful: 6,
+		Decay: rtwire.Decay{ID: rtwire.DecayHyperbolic, Max: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Missed || r.Evaluated || r.ExpiredOnArrival {
+		t.Fatalf("admission-skip result: %+v", r)
+	}
+	if r.Useful != 4 {
+		t.Errorf("usefulness at completion = %d, want 4", r.Useful)
+	}
+	if got := s.Metrics.AdmissionSkip.Load(); got != 1 {
+		t.Errorf("AdmissionSkip = %d, want 1", got)
+	}
+
+	// Lower the bar below U(5) and the same shape is served late-but-useful.
+	r, err = c.Query(client.Query{
+		Query: "status_q", Kind: deadline.Soft, Deadline: 3, MinUseful: 3,
+		Decay: rtwire.Decay{ID: rtwire.DecayHyperbolic, Max: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Missed || !r.Evaluated || r.Useful != 4 {
+		t.Fatalf("soft-but-useful result: %+v", r)
+	}
+}
+
+// TestHandshakeDiscipline: a first frame that is not Hello is refused with
+// CodeBadRequest; a connection beyond the session pool is refused with
+// CodeServerFull; a freed session is reusable.
+func TestHandshakeDiscipline(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sessions = 1
+	_, ns, addr := startNet(t, cfg, Options{})
+
+	// Wrong first frame.
+	rc := dialRaw(t, addr)
+	rc.write(rtwire.Sample{ID: 1, Image: "temp", Value: "9"}.Encode())
+	if e, ok := rc.read().(rtwire.Err); !ok || e.Code != rtwire.CodeBadRequest {
+		t.Fatalf("non-hello first frame: %+v", e)
+	}
+
+	// Pool exhaustion: the only session is held by c1.
+	c1, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc2 := dialRaw(t, addr)
+	rc2.write(rtwire.Hello{Client: "second"}.Encode())
+	if e, ok := rc2.read().(rtwire.Err); !ok || e.Code != rtwire.CodeServerFull {
+		t.Fatalf("over-pool dial: %+v", e)
+	}
+
+	// Session returns to the pool after close and is reusable.
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c2 *client.Client
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c2, err = client.Dial(addr, client.Options{RetryAttempts: -1})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session never returned to pool: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c2.Close()
+
+	// The poll loop above may itself collect server-full refusals before
+	// the session lands back in the pool, so 2 is a floor, not an equality.
+	if got := ns.Wire.ConnsRefused.Load(); got < 2 {
+		t.Errorf("ConnsRefused = %d, want >= 2", got)
+	}
+}
+
+// TestSampleBackpressure fills the one-deep session queue of a deliberately
+// stalled server (Start comes later) and asserts the overflow comes back as
+// an explicit CodeBackpressure Err frame — never silence, never a blocked
+// read loop.
+func TestSampleBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 1
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := New(s, Options{})
+	addr, err := ns.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rc := dialRaw(t, addr.String())
+	rc.handshake()
+	// With no forwarder running, the queue holds exactly one sample.
+	rc.write(rtwire.Sample{ID: 1, Image: "temp", Value: "1"}.Encode())
+	rc.write(rtwire.Sample{ID: 2, Image: "temp", Value: "2"}.Encode())
+	e, ok := rc.read().(rtwire.Err)
+	if !ok || e.Code != rtwire.CodeBackpressure || e.ID != 2 {
+		t.Fatalf("overflow sample: %+v", e)
+	}
+
+	// Start the apply loop so the drain's session flush can complete.
+	s.Start()
+	rc.write(rtwire.Bye{Reason: "done"}.Encode())
+	if err := ns.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+
+	if got := ns.Wire.BackpressureFrames.Load(); got != 1 {
+		t.Errorf("BackpressureFrames = %d, want 1", got)
+	}
+	checkConservation(t, s)
+}

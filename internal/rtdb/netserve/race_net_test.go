@@ -1,0 +1,172 @@
+package netserve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtdb/client"
+	"rtc/internal/rtwire"
+)
+
+// TestNetRaceHammer throws 32 concurrent clients at one loopback listener
+// — samples, firm and soft queries, as-of reads, metrics fetches, flushes,
+// all interleaved — and then checks that the conservation laws survived
+// the trip over TCP: every query submission accounted exactly once, every
+// accepted sample applied, every accepted connection closed. Run it under
+// -race; that is its whole point.
+func TestNetRaceHammer(t *testing.T) {
+	const (
+		clients = 32
+		opsPer  = 40
+	)
+	cfg := testConfig()
+	cfg.Sessions = clients
+	cfg.QueueDepth = 16
+	s, ns, addr := startNet(t, cfg, Options{})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{Name: fmt.Sprintf("hammer-%d", id)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for op := 0; op < opsPer; op++ {
+				switch op % 8 {
+				case 0, 1, 2:
+					if err := c.InjectSample("temp", fmt.Sprint(15+op%10)); err != nil &&
+						!errors.Is(err, client.ErrBackpressure) {
+						errs <- err
+						return
+					}
+				case 3, 4:
+					_, err := c.Query(client.Query{
+						Query: "status_q", Candidate: "ok",
+						Kind: deadline.Firm, Deadline: 1 << 20, MinUseful: 1,
+					})
+					if err != nil && !errors.Is(err, client.ErrBackpressure) {
+						errs <- err
+						return
+					}
+				case 5:
+					_, err := c.Query(client.Query{
+						Query: "temp_q", Kind: deadline.Soft, Deadline: 1 << 20,
+						MinUseful: 1, Decay: rtwire.Decay{ID: rtwire.DecayHyperbolic, Max: 8},
+					})
+					if err != nil && !errors.Is(err, client.ErrBackpressure) {
+						errs <- err
+						return
+					}
+				case 6:
+					if _, _, _, err := c.AsOf("temp", 1); err != nil {
+						errs <- err
+						return
+					}
+				case 7:
+					if _, err := c.Metrics(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			if err := c.Flush(); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if err := ns.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkConservation(t, s)
+
+	w := ns.Wire.Snapshot()
+	if w.ConnsAccepted != w.ConnsClosed+w.ConnsRefused {
+		t.Errorf("connection conservation: accepted %d != closed %d + refused %d",
+			w.ConnsAccepted, w.ConnsClosed, w.ConnsRefused)
+	}
+	if w.QueriesIn == 0 || w.SamplesIn == 0 {
+		t.Errorf("hammer did no work: %+v", w)
+	}
+	if w.DecodeErrors != 0 {
+		t.Errorf("decode errors on a clean loopback: %d", w.DecodeErrors)
+	}
+}
+
+// TestDrainMidFlight closes the listener while 8 clients are mid-hammer.
+// The drain contract: in-flight requests finish or are cleanly refused,
+// every session is flushed before its id returns to the pool, the laws
+// still hold, and a dial after Close fails.
+func TestDrainMidFlight(t *testing.T) {
+	const clients = 8
+	cfg := testConfig()
+	cfg.Sessions = clients
+	s, ns, addr := startNet(t, cfg, Options{})
+
+	var wg sync.WaitGroup
+	started := make(chan struct{}, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{
+				Name:          fmt.Sprintf("drain-%d", id),
+				RetryAttempts: -1, CallTimeout: 5 * time.Second,
+			})
+			if err != nil {
+				return // raced the close; fine
+			}
+			defer c.Close()
+			started <- struct{}{}
+			for op := 0; ; op++ {
+				if err := c.InjectSample("temp", fmt.Sprint(op%30)); err != nil {
+					return // connection drained out from under us
+				}
+				if _, err := c.Query(client.Query{
+					Query: "status_q", Kind: deadline.Firm, Deadline: 1 << 20, MinUseful: 1,
+				}); err != nil && !errors.Is(err, client.ErrBackpressure) {
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Let every client get at least one op in, then pull the plug.
+	for i := 0; i < clients; i++ {
+		<-started
+	}
+	if err := ns.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	// Post-drain the laws hold: Close flushed each session before
+	// returning, so every accepted sample is applied.
+	checkConservation(t, s)
+	w := ns.Wire.Snapshot()
+	if w.ConnsAccepted != w.ConnsClosed+w.ConnsRefused {
+		t.Errorf("connection conservation: accepted %d != closed %d + refused %d",
+			w.ConnsAccepted, w.ConnsClosed, w.ConnsRefused)
+	}
+
+	// The drained listener accepts no one.
+	if _, err := client.Dial(addr, client.Options{
+		RetryAttempts: -1, DialTimeout: 500 * time.Millisecond,
+	}); err == nil {
+		t.Error("dial after Close succeeded")
+	}
+}

@@ -1,0 +1,142 @@
+package netserve
+
+import (
+	"testing"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtwire"
+	"rtc/internal/timeseq"
+)
+
+// TestTranslate is the table over the deadline-translation rule: the
+// client-relative deadline minus the consumed budget is anchored at
+// arrival, firm queries expired on arrival are rejected unevaluated,
+// soft queries survive arrival iff their decayed usefulness still clears
+// MinUseful, and the boundary cases (zero deadline, 2⁶⁴−1 deadline) do
+// what the contract says without overflow.
+func TestTranslate(t *testing.T) {
+	maxT := timeseq.Time(^uint64(0))
+	hyp := rtwire.Decay{ID: rtwire.DecayHyperbolic, Max: 8}
+	cases := []struct {
+		name          string
+		q             rtwire.Query
+		wantExpired   bool
+		wantRemaining timeseq.Time
+	}{
+		{
+			name:          "no deadline passes through",
+			q:             rtwire.Query{Kind: deadline.None, Deadline: 5, Elapsed: 100},
+			wantExpired:   false,
+			wantRemaining: 0,
+		},
+		{
+			name:          "firm alive: budget shrinks by elapsed",
+			q:             rtwire.Query{Kind: deadline.Firm, Deadline: 10, Elapsed: 4, MinUseful: 1},
+			wantExpired:   false,
+			wantRemaining: 6,
+		},
+		{
+			name:        "firm expired exactly at the deadline",
+			q:           rtwire.Query{Kind: deadline.Firm, Deadline: 10, Elapsed: 10, MinUseful: 1},
+			wantExpired: true,
+		},
+		{
+			name:        "firm expired past the deadline",
+			q:           rtwire.Query{Kind: deadline.Firm, Deadline: 10, Elapsed: 15, MinUseful: 1},
+			wantExpired: true,
+		},
+		{
+			name:        "zero-deadline firm is dead on issue",
+			q:           rtwire.Query{Kind: deadline.Firm, Deadline: 0, Elapsed: 0, MinUseful: 1},
+			wantExpired: true,
+		},
+		{
+			name:          "max-uint64 deadline never expires, no overflow",
+			q:             rtwire.Query{Kind: deadline.Firm, Deadline: maxT, Elapsed: 5, MinUseful: 1},
+			wantExpired:   false,
+			wantRemaining: maxT - 5,
+		},
+		{
+			name: "soft below MinUseful on arrival is rejected unevaluated",
+			// U(20) = 8/(20−10) = 0 < MinUseful 1.
+			q:           rtwire.Query{Kind: deadline.Soft, Deadline: 10, Elapsed: 20, MinUseful: 1, Decay: hyp},
+			wantExpired: true,
+		},
+		{
+			name: "soft still useful past the deadline survives arrival",
+			// U(12) = 8/(12−10) = 4 ≥ MinUseful 2; remaining clamps to 0.
+			q:             rtwire.Query{Kind: deadline.Soft, Deadline: 10, Elapsed: 12, MinUseful: 2, Decay: hyp},
+			wantExpired:   false,
+			wantRemaining: 0,
+		},
+		{
+			name:        "soft with no decay past the deadline is useless",
+			q:           rtwire.Query{Kind: deadline.Soft, Deadline: 10, Elapsed: 12, MinUseful: 1},
+			wantExpired: true,
+		},
+		{
+			name: "soft with MinUseful 0 past the deadline is a provable miss",
+			// The server's admission predicate treats MinUseful 0 as
+			// "any late completion misses"; the wire layer must agree.
+			q:           rtwire.Query{Kind: deadline.Soft, Deadline: 10, Elapsed: 12, MinUseful: 0, Decay: hyp},
+			wantExpired: true,
+		},
+		{
+			name: "zero-deadline soft with surviving usefulness",
+			// U anchored at td=0: U(5) = 8/5 = 1 ≥ MinUseful 1.
+			q:             rtwire.Query{Kind: deadline.Soft, Deadline: 0, Elapsed: 5, MinUseful: 1, Decay: hyp},
+			wantExpired:   false,
+			wantRemaining: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			qr, expired := Translate(tc.q)
+			if expired != tc.wantExpired {
+				t.Fatalf("expired = %v, want %v (qr %+v)", expired, tc.wantExpired, qr)
+			}
+			if expired {
+				return
+			}
+			if qr.Deadline != tc.wantRemaining {
+				t.Fatalf("remaining deadline = %d, want %d", qr.Deadline, tc.wantRemaining)
+			}
+			if qr.Kind != tc.q.Kind || qr.MinUseful != tc.q.MinUseful {
+				t.Fatalf("envelope mangled: %+v", qr)
+			}
+		})
+	}
+}
+
+// TestTranslateShiftsDecay: the reconstructed usefulness function keeps
+// the client's issue instant as its origin — U'(t) = U(t + Elapsed) — so
+// the server-side relative clock and the client-side one agree about how
+// decayed the answer is.
+func TestTranslateShiftsDecay(t *testing.T) {
+	q := rtwire.Query{
+		Kind: deadline.Soft, Deadline: 10, Elapsed: 12, MinUseful: 2,
+		Decay: rtwire.Decay{ID: rtwire.DecayHyperbolic, Max: 8},
+	}
+	qr, expired := Translate(q)
+	if expired {
+		t.Fatal("should survive arrival")
+	}
+	if qr.U == nil {
+		t.Fatal("decay not reconstructed")
+	}
+	orig := q.Decay.Func(q.Deadline)
+	for _, rel := range []timeseq.Time{0, 1, 2, 5, 100} {
+		if got, want := qr.U(rel), orig(rel+q.Elapsed); got != want {
+			t.Fatalf("U'(%d) = %d, want U(%d) = %d", rel, got, rel+q.Elapsed, want)
+		}
+	}
+
+	// Zero elapsed: the decay is used unshifted.
+	q.Elapsed = 0
+	qr, _ = Translate(q)
+	for _, rel := range []timeseq.Time{0, 11, 15} {
+		if got, want := qr.U(rel), orig(rel); got != want {
+			t.Fatalf("unshifted U'(%d) = %d, want %d", rel, got, want)
+		}
+	}
+}

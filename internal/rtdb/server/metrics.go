@@ -38,6 +38,11 @@ type Metrics struct {
 	DeadlineMiss    atomic.Uint64 // served late or admission-skipped
 	NoDeadline      atomic.Uint64 // served class-(i) queries
 	AdmissionSkip   atomic.Uint64 // misses (aperiodic or periodic) never evaluated
+	// ExpiredOnArrival is the subset of DeadlineMiss accounted by a
+	// transport (netserve) for queries whose client-relative deadline was
+	// already consumed when the frame arrived — rejected before entering
+	// any session queue, never evaluated.
+	ExpiredOnArrival atomic.Uint64
 
 	PeriodicIssued atomic.Uint64
 	PeriodicHit    atomic.Uint64
@@ -62,7 +67,7 @@ type MetricsSnapshot struct {
 
 	QueriesIn, QueriesRejected, RejectMiss uint64
 	DeadlineHit, DeadlineMiss, NoDeadline  uint64
-	AdmissionSkip                          uint64
+	AdmissionSkip, ExpiredOnArrival        uint64
 	PeriodicIssued, PeriodicHit, PeriodicMiss uint64
 
 	AsOfReads, RuleFirings, CascadeDepthMax uint64
@@ -83,8 +88,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RejectMiss:      m.RejectMiss.Load(),
 		DeadlineHit:     m.DeadlineHit.Load(),
 		DeadlineMiss:    m.DeadlineMiss.Load(),
-		NoDeadline:      m.NoDeadline.Load(),
-		AdmissionSkip:   m.AdmissionSkip.Load(),
+		NoDeadline:       m.NoDeadline.Load(),
+		AdmissionSkip:    m.AdmissionSkip.Load(),
+		ExpiredOnArrival: m.ExpiredOnArrival.Load(),
 		PeriodicIssued:  m.PeriodicIssued.Load(),
 		PeriodicHit:     m.PeriodicHit.Load(),
 		PeriodicMiss:    m.PeriodicMiss.Load(),
@@ -99,38 +105,69 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	}
 }
 
+// AccountExpired records a deadline-carrying query that a transport
+// rejected before submission because its client-relative deadline was
+// already consumed on arrival. It books the submission and the miss in one
+// step, so the QueriesIn == QueriesAccounted conservation law extends over
+// the wire: expired-on-arrival queries are counted, never evaluated, never
+// silently dropped.
+func (m *Metrics) AccountExpired() {
+	m.QueriesIn.Add(1)
+	m.DeadlineMiss.Add(1)
+	m.ExpiredOnArrival.Add(1)
+}
+
 // QueriesAccounted sums every terminal outcome an aperiodic query can have.
 // The conservation law QueriesIn == QueriesAccounted is the "never silently
 // dropped" invariant; the race suite asserts it under load.
+// (ExpiredOnArrival is a subset of DeadlineMiss, like RejectMiss is a
+// subset of QueriesRejected, so neither appears in the sum.)
 func (s MetricsSnapshot) QueriesAccounted() uint64 {
 	return s.QueriesRejected + s.DeadlineHit + s.DeadlineMiss + s.NoDeadline
+}
+
+// MetricPair is one named counter, in the table's display order. The wire
+// protocol ships snapshots as these pairs so remote clients (rtdbload) can
+// render the identical table without sharing struct layout.
+type MetricPair struct {
+	Name  string
+	Value uint64
+}
+
+// Pairs flattens the snapshot into named counters in display order.
+func (s MetricsSnapshot) Pairs() []MetricPair {
+	return []MetricPair{
+		{"chronon", s.Chronon},
+		{"samples_in", s.SamplesIn},
+		{"samples_rejected", s.SamplesRejected},
+		{"samples_applied", s.SamplesApplied},
+		{"queries_in", s.QueriesIn},
+		{"queries_rejected", s.QueriesRejected},
+		{"reject_miss", s.RejectMiss},
+		{"deadline_hit", s.DeadlineHit},
+		{"deadline_miss", s.DeadlineMiss},
+		{"no_deadline", s.NoDeadline},
+		{"admission_skip", s.AdmissionSkip},
+		{"expired_on_arrival", s.ExpiredOnArrival},
+		{"periodic_issued", s.PeriodicIssued},
+		{"periodic_hit", s.PeriodicHit},
+		{"periodic_miss", s.PeriodicMiss},
+		{"asof_reads", s.AsOfReads},
+		{"rule_firings", s.RuleFirings},
+		{"cascade_depth_max", s.CascadeDepthMax},
+		{"wal_appends", s.WalAppends},
+		{"wal_errors", s.WalErrors},
+		{"fsync_count", s.FsyncCount},
+		{"fsync_total_ns", s.FsyncNanos},
+		{"fsync_max_ns", s.FsyncMaxNanos},
+	}
 }
 
 // Table renders the block for the rtdbd metrics printout.
 func (s MetricsSnapshot) Table() string {
 	t := stats.NewTable("metric", "value")
-	row := func(name string, v uint64) { t.Row(name, v) }
-	row("chronon", s.Chronon)
-	row("samples_in", s.SamplesIn)
-	row("samples_rejected", s.SamplesRejected)
-	row("samples_applied", s.SamplesApplied)
-	row("queries_in", s.QueriesIn)
-	row("queries_rejected", s.QueriesRejected)
-	row("reject_miss", s.RejectMiss)
-	row("deadline_hit", s.DeadlineHit)
-	row("deadline_miss", s.DeadlineMiss)
-	row("no_deadline", s.NoDeadline)
-	row("admission_skip", s.AdmissionSkip)
-	row("periodic_issued", s.PeriodicIssued)
-	row("periodic_hit", s.PeriodicHit)
-	row("periodic_miss", s.PeriodicMiss)
-	row("asof_reads", s.AsOfReads)
-	row("rule_firings", s.RuleFirings)
-	row("cascade_depth_max", s.CascadeDepthMax)
-	row("wal_appends", s.WalAppends)
-	row("wal_errors", s.WalErrors)
-	row("fsync_count", s.FsyncCount)
-	row("fsync_total_ns", s.FsyncNanos)
-	row("fsync_max_ns", s.FsyncMaxNanos)
+	for _, p := range s.Pairs() {
+		t.Row(p.Name, p.Value)
+	}
 	return t.String()
 }

@@ -284,6 +284,10 @@ func (s *Server) Stop() {
 // Session returns the i-th client session handle.
 func (s *Server) Session(i int) *Session { return s.sessions[i] }
 
+// Sessions returns the number of client sessions (the transport layer
+// sizes its connection pool from it).
+func (s *Server) Sessions() int { return len(s.sessions) }
+
 // Now returns the current virtual time, lock-free.
 func (s *Server) Now() timeseq.Time { return timeseq.Time(s.clock.Load()) }
 

@@ -1,0 +1,99 @@
+package rtwire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rtc/internal/deadline"
+	"rtc/internal/timeseq"
+)
+
+// FuzzFrameDecode throws hostile byte images at the frame decoder:
+// malformed length prefixes, truncated frames, flipped bits, kind swaps.
+// The decoder must classify, never panic, never over-allocate, and a
+// successful decode must re-encode to exactly the consumed bytes.
+func FuzzFrameDecode(f *testing.F) {
+	for _, m := range allMessages() {
+		f.Add(m.(encoder).Encode())
+	}
+	// Malformed length prefixes and truncations.
+	valid := Sample{ID: 1, Image: "temp", Value: "21"}.Encode()
+	huge := append([]byte{}, valid...)
+	huge[3], huge[4], huge[5], huge[6] = 0xFF, 0xFF, 0xFF, 0x7F
+	f.Add(huge)
+	f.Add(valid[:HeaderSize])
+	f.Add(valid[:HeaderSize-2])
+	f.Add([]byte{Magic, Version})
+	f.Add(append(append([]byte{}, valid...), valid[:9]...)) // frame + torn frame
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			return
+		}
+		if n < HeaderSize || n > len(b) {
+			t.Fatalf("consumed %d bytes of %d", n, len(b))
+		}
+		re := AppendFrame(nil, fr.Kind, fr.Payload)
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, b[:n])
+		}
+		// Message-level decode on a CRC-valid frame must classify, not
+		// panic, and a successful decode must re-encode byte-identically.
+		msg, err := Decode(fr)
+		if err != nil {
+			return
+		}
+		if enc, ok := msg.(encoder); ok {
+			if !bytes.Equal(enc.Encode(), b[:n]) {
+				t.Fatalf("message re-encode mismatch for %T", msg)
+			}
+		}
+	})
+}
+
+// FuzzRequestRoundTrip drives the request messages (sample, query, as-of)
+// through encode → frame decode → message decode and requires exact
+// structural equality — the protocol must be injective on its domain.
+func FuzzRequestRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "status_q", "ok", uint8(1), uint64(40), uint64(0), uint64(1), uint8(1), uint64(10), uint64(0))
+	f.Add(uint64(2), "temp_q", "", uint8(2), uint64(0), uint64(5), uint64(2), uint8(2), uint64(8), uint64(4))
+	f.Add(uint64(3), "q$@#%", "v%@$#", uint8(0), ^uint64(0), ^uint64(0), uint64(0), uint8(0), uint64(0), uint64(0))
+
+	f.Fuzz(func(t *testing.T, id uint64, name, candidate string, kind uint8,
+		dead, elapsed, minUseful uint64, decayID uint8, decayMax, span uint64) {
+		if kind > uint8(deadline.Soft) {
+			kind %= 3
+		}
+		if decayID > uint8(DecayLinear) {
+			decayID %= 3
+		}
+		q := Query{
+			ID: id, Query: name, Candidate: candidate,
+			Kind:     deadline.Kind(kind),
+			Deadline: timeseq.Time(dead), Elapsed: timeseq.Time(elapsed),
+			MinUseful: minUseful,
+			Decay:     Decay{ID: DecayID(decayID), Max: decayMax, Span: timeseq.Time(span)},
+		}
+		roundTrip(t, q)
+		roundTrip(t, Sample{ID: id, Image: name, Value: candidate})
+		roundTrip(t, AsOf{ID: id, Image: name, At: timeseq.Time(dead)})
+	})
+}
+
+func roundTrip(t *testing.T, msg any) {
+	t.Helper()
+	frame := msg.(encoder).Encode()
+	fr, n, err := DecodeFrame(frame)
+	if err != nil || n != len(frame) {
+		t.Fatalf("%T: decode: n=%d err=%v", msg, n, err)
+	}
+	got, err := Decode(fr)
+	if err != nil {
+		t.Fatalf("%T: %v", msg, err)
+	}
+	if !reflect.DeepEqual(got, msg) {
+		t.Fatalf("%T round trip:\n got %+v\nwant %+v", msg, got, msg)
+	}
+}

@@ -1,0 +1,137 @@
+package rtwire
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden wire-format fixtures")
+
+const goldenFile = "testdata/golden_frames.txt"
+
+// goldenMessages maps a stable fixture name to one deterministic instance
+// of each frame type. Every Kind must appear — the test enforces it.
+func goldenMessages() []struct {
+	name string
+	msg  encoder
+} {
+	return []struct {
+		name string
+		msg  encoder
+	}{
+		{"hello", Hello{Client: "client-a"}},
+		{"welcome", Welcome{Session: 3, Chronon: 1021}},
+		{"sample", Sample{ID: 7, Image: "temp", Value: "21"}},
+		{"sample_escaped", Sample{ID: 7, Image: "te$mp", Value: "2@1%#"}},
+		{"query_firm", Query{ID: 8, Query: "status_q", Candidate: "ok", Kind: 1, Deadline: 40, Elapsed: 3, MinUseful: 1}},
+		{"query_soft_decay", Query{ID: 9, Query: "temp_q", Kind: 2, Deadline: 40, Elapsed: 0, MinUseful: 2, Decay: Decay{ID: DecayHyperbolic, Max: 10}}},
+		{"result", Result{ID: 8, Answers: []string{"ok", "high"}, Match: true, Useful: 2, Evaluated: true, Issue: 11, Served: 13}},
+		{"result_expired", Result{ID: 8, Missed: true, Issue: 11, Served: 11, ExpiredOnArrival: true}},
+		{"asof", AsOf{ID: 9, Image: "pressure", At: 512}},
+		{"asof_result", AsOfResult{ID: 9, OK: true, Value: "99", Horizon: 600}},
+		{"metrics_req", MetricsReq{ID: 10}},
+		{"metrics", Metrics{ID: 10, Pairs: []MetricPair{{"queries_in", 42}, {"deadline_hit", 40}}}},
+		{"flush", Flush{ID: 11}},
+		{"flushed", Flushed{ID: 11, Chronon: 700}},
+		{"err_backpressure", Err{ID: 12, Code: CodeBackpressure, Msg: "session queue full"}},
+		{"bye", Bye{Reason: "drain"}},
+	}
+}
+
+// TestGoldenFrames pins the byte-exact wire encoding of every frame type
+// to checked-in hex fixtures. If an encoding changes, this test fails
+// until the protocol Version is bumped and the fixtures are regenerated
+// (go test ./internal/rtwire -run TestGolden -update) — wire breaks are a
+// deliberate, reviewed act, never a silent drift.
+func TestGoldenFrames(t *testing.T) {
+	msgs := goldenMessages()
+
+	// Completeness: every frame kind has at least one fixture.
+	seen := map[Kind]bool{}
+	for _, g := range msgs {
+		f, _, err := DecodeFrame(g.msg.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		seen[f.Kind] = true
+	}
+	for k := range kindNames {
+		if !seen[k] {
+			t.Errorf("no golden fixture covers frame kind %s", k)
+		}
+	}
+
+	if *updateGolden {
+		var b strings.Builder
+		fmt.Fprintf(&b, "version %d\n", Version)
+		for _, g := range msgs {
+			fmt.Fprintf(&b, "%s %s\n", g.name, hex.EncodeToString(g.msg.Encode()))
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s for protocol version %d", goldenFile, Version)
+		return
+	}
+
+	fh, err := os.Open(goldenFile)
+	if err != nil {
+		t.Fatalf("missing golden fixtures (run with -update to generate): %v", err)
+	}
+	defer fh.Close()
+
+	want := map[string]string{}
+	var fixtureVersion int
+	sc := bufio.NewScanner(fh)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "version "); ok {
+			if _, err := fmt.Sscanf(v, "%d", &fixtureVersion); err != nil {
+				t.Fatalf("bad version line %q", line)
+			}
+			continue
+		}
+		name, hexs, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("bad fixture line %q", line)
+		}
+		want[name] = hexs
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if fixtureVersion != int(Version) {
+		t.Fatalf("golden fixtures are for protocol version %d but Version = %d; regenerate with -update",
+			fixtureVersion, Version)
+	}
+
+	for _, g := range msgs {
+		got := hex.EncodeToString(g.msg.Encode())
+		fixture, ok := want[g.name]
+		if !ok {
+			t.Errorf("fixture %q missing from %s (regenerate with -update)", g.name, goldenFile)
+			continue
+		}
+		if got != fixture {
+			t.Errorf("wire encoding of %q changed without a Version bump:\n got  %s\nwant %s\n"+
+				"If this break is intentional, bump rtwire.Version and regenerate with -update.",
+				g.name, got, fixture)
+		}
+		delete(want, g.name)
+	}
+	for name := range want {
+		t.Errorf("stale fixture %q has no message (regenerate with -update)", name)
+	}
+}

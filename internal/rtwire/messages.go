@@ -1,0 +1,444 @@
+package rtwire
+
+import (
+	"fmt"
+	"strconv"
+
+	"rtc/internal/deadline"
+	"rtc/internal/encoding"
+	"rtc/internal/timeseq"
+)
+
+// DecayID names a usefulness-decay shape on the wire. Closures cannot
+// travel; the id plus parameters reconstruct the §4.1 decay server-side.
+type DecayID uint8
+
+const (
+	// DecayNone: no decay function (firm queries, or soft with implicit 0).
+	DecayNone DecayID = iota
+	// DecayHyperbolic: the paper's example u(t) = Max before the deadline,
+	// Max/(t−t_d) after it.
+	DecayHyperbolic
+	// DecayLinear: Max at the deadline, reaching 0 after Span chronons.
+	DecayLinear
+)
+
+// Decay is the wire form of a usefulness-decay function.
+type Decay struct {
+	ID   DecayID
+	Max  uint64
+	Span timeseq.Time // DecayLinear only
+}
+
+// Func reconstructs the decay as a deadline.Usefulness anchored at the
+// client-relative deadline td. It returns nil for DecayNone.
+func (d Decay) Func(td timeseq.Time) deadline.Usefulness {
+	switch d.ID {
+	case DecayHyperbolic:
+		return deadline.Hyperbolic(d.Max, td)
+	case DecayLinear:
+		return deadline.Linear(d.Max, td, d.Span)
+	default:
+		return nil
+	}
+}
+
+// ErrCode classifies a KindErr frame.
+type ErrCode uint8
+
+const (
+	// CodeBackpressure: the session queue was full; a deadline-carrying
+	// query is accounted as a miss server-side, never silently dropped.
+	CodeBackpressure ErrCode = iota + 1
+	// CodeClosed: the server is draining or stopped.
+	CodeClosed
+	// CodeServerFull: no free session for this connection.
+	CodeServerFull
+	// CodeBadRequest: the frame did not parse or referenced nothing.
+	CodeBadRequest
+)
+
+// String implements fmt.Stringer.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeBackpressure:
+		return "backpressure"
+	case CodeClosed:
+		return "closed"
+	case CodeServerFull:
+		return "server_full"
+	case CodeBadRequest:
+		return "bad_request"
+	default:
+		return fmt.Sprintf("ErrCode(%d)", uint8(c))
+	}
+}
+
+// Hello opens a connection.
+type Hello struct{ Client string }
+
+// Welcome acknowledges a Hello.
+type Welcome struct {
+	Session uint64
+	Chronon timeseq.Time // server chronon at accept
+}
+
+// Sample is one timed sensor sample.
+type Sample struct {
+	ID           uint64
+	Image, Value string
+}
+
+// Query is one aperiodic query with its client-relative deadline envelope.
+type Query struct {
+	ID               uint64
+	Query, Candidate string
+	Kind             deadline.Kind
+	// Deadline is relative to the client's issue instant.
+	Deadline timeseq.Time
+	// Elapsed is the chronons the client already consumed between issue
+	// and this transmission (queueing, earlier attempts). The server
+	// anchors Deadline−Elapsed at the arrival chronon; Elapsed ≥ Deadline
+	// on a firm query is "expired on arrival".
+	Elapsed   timeseq.Time
+	MinUseful uint64
+	Decay     Decay
+}
+
+// Result answers one Query.
+type Result struct {
+	ID               uint64
+	Answers          []string
+	Match            bool
+	Useful           uint64
+	Missed           bool
+	Evaluated        bool
+	Issue, Served    timeseq.Time // server chronons
+	ExpiredOnArrival bool
+}
+
+// AsOf is one temporal read against the published history.
+type AsOf struct {
+	ID    uint64
+	Image string
+	At    timeseq.Time
+}
+
+// AsOfResult answers one AsOf.
+type AsOfResult struct {
+	ID      uint64
+	OK      bool
+	Value   string
+	Horizon timeseq.Time
+}
+
+// MetricsReq requests a metrics snapshot.
+type MetricsReq struct{ ID uint64 }
+
+// MetricPair is one metrics counter.
+type MetricPair struct {
+	Name  string
+	Value uint64
+}
+
+// Metrics answers one MetricsReq. Pairs are self-describing name/value
+// rows in the server's table order, so new counters never break old
+// clients.
+type Metrics struct {
+	ID    uint64
+	Pairs []MetricPair
+}
+
+// Map indexes the pairs by name.
+func (m Metrics) Map() map[string]uint64 {
+	out := make(map[string]uint64, len(m.Pairs))
+	for _, p := range m.Pairs {
+		out[p.Name] = p.Value
+	}
+	return out
+}
+
+// Flush asks the server to apply everything submitted before it.
+type Flush struct{ ID uint64 }
+
+// Flushed answers one Flush.
+type Flushed struct {
+	ID      uint64
+	Chronon timeseq.Time
+}
+
+// Err reports a per-request error. ID echoes the failing request (0 for
+// connection-level errors).
+type Err struct {
+	ID   uint64
+	Code ErrCode
+	Msg  string
+}
+
+// Error implements the error interface so Err frames can flow through
+// client call sites.
+func (e Err) Error() string { return fmt.Sprintf("rtwire: %s: %s", e.Code, e.Msg) }
+
+// Bye announces an orderly close.
+type Bye struct{ Reason string }
+
+func u(v uint64) string         { return encoding.FieldUint(v) }
+func t(v timeseq.Time) string   { return encoding.FieldUint(uint64(v)) }
+func boolField(b bool) string   { return map[bool]string{false: "0", true: "1"}[b] }
+func parseBool(s string) (bool, bool) {
+	switch s {
+	case "0":
+		return false, true
+	case "1":
+		return true, true
+	}
+	return false, false
+}
+
+func parseU(s string) (uint64, bool) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	return v, err == nil
+}
+
+// Encode renders the message as one frame.
+func (m Hello) Encode() []byte { return EncodeFields(KindHello, m.Client) }
+
+// Encode renders the message as one frame.
+func (m Welcome) Encode() []byte {
+	return EncodeFields(KindWelcome, u(m.Session), t(m.Chronon))
+}
+
+// Encode renders the message as one frame.
+func (m Sample) Encode() []byte {
+	return EncodeFields(KindSample, u(m.ID), m.Image, m.Value)
+}
+
+// Encode renders the message as one frame.
+func (m Query) Encode() []byte {
+	return EncodeFields(KindQuery,
+		u(m.ID), m.Query, m.Candidate,
+		u(uint64(m.Kind)), t(m.Deadline), t(m.Elapsed), u(m.MinUseful),
+		u(uint64(m.Decay.ID)), u(m.Decay.Max), t(m.Decay.Span))
+}
+
+// Encode renders the message as one frame.
+func (m Result) Encode() []byte {
+	fields := []string{
+		u(m.ID), boolField(m.Match), u(m.Useful), boolField(m.Missed),
+		boolField(m.Evaluated), t(m.Issue), t(m.Served),
+		boolField(m.ExpiredOnArrival),
+	}
+	fields = append(fields, m.Answers...)
+	return EncodeFields(KindResult, fields...)
+}
+
+// Encode renders the message as one frame.
+func (m AsOf) Encode() []byte {
+	return EncodeFields(KindAsOf, u(m.ID), m.Image, t(m.At))
+}
+
+// Encode renders the message as one frame.
+func (m AsOfResult) Encode() []byte {
+	return EncodeFields(KindAsOfResult, u(m.ID), boolField(m.OK), m.Value, t(m.Horizon))
+}
+
+// Encode renders the message as one frame.
+func (m MetricsReq) Encode() []byte { return EncodeFields(KindMetricsReq, u(m.ID)) }
+
+// Encode renders the message as one frame.
+func (m Metrics) Encode() []byte {
+	fields := make([]string, 0, 1+2*len(m.Pairs))
+	fields = append(fields, u(m.ID))
+	for _, p := range m.Pairs {
+		fields = append(fields, p.Name, u(p.Value))
+	}
+	return EncodeFields(KindMetrics, fields...)
+}
+
+// Encode renders the message as one frame.
+func (m Flush) Encode() []byte { return EncodeFields(KindFlush, u(m.ID)) }
+
+// Encode renders the message as one frame.
+func (m Flushed) Encode() []byte {
+	return EncodeFields(KindFlushed, u(m.ID), t(m.Chronon))
+}
+
+// Encode renders the message as one frame.
+func (m Err) Encode() []byte {
+	return EncodeFields(KindErr, u(m.ID), u(uint64(m.Code)), m.Msg)
+}
+
+// Encode renders the message as one frame.
+func (m Bye) Encode() []byte { return EncodeFields(KindBye, m.Reason) }
+
+// Decode parses a frame into its typed message.
+func Decode(f Frame) (any, error) {
+	fields, err := f.Fields()
+	if err != nil {
+		return nil, err
+	}
+	bad := func() (any, error) {
+		return nil, fmt.Errorf("%w: %s frame with %d fields", ErrBadPayload, f.Kind, len(fields))
+	}
+	need := func(n int) bool { return len(fields) >= n }
+	switch f.Kind {
+	case KindHello:
+		if !need(1) {
+			return bad()
+		}
+		return Hello{Client: fields[0]}, nil
+	case KindWelcome:
+		if !need(2) {
+			return bad()
+		}
+		sess, ok1 := parseU(fields[0])
+		chr, ok2 := parseU(fields[1])
+		if !ok1 || !ok2 {
+			return bad()
+		}
+		return Welcome{Session: sess, Chronon: timeseq.Time(chr)}, nil
+	case KindSample:
+		if !need(3) {
+			return bad()
+		}
+		id, ok := parseU(fields[0])
+		if !ok {
+			return bad()
+		}
+		return Sample{ID: id, Image: fields[1], Value: fields[2]}, nil
+	case KindQuery:
+		if !need(10) {
+			return bad()
+		}
+		id, ok0 := parseU(fields[0])
+		kind, ok1 := parseU(fields[3])
+		dead, ok2 := parseU(fields[4])
+		elapsed, ok3 := parseU(fields[5])
+		minUseful, ok4 := parseU(fields[6])
+		decayID, ok5 := parseU(fields[7])
+		decayMax, ok6 := parseU(fields[8])
+		span, ok7 := parseU(fields[9])
+		if !(ok0 && ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) {
+			return bad()
+		}
+		if kind > uint64(deadline.Soft) || decayID > uint64(DecayLinear) {
+			return bad()
+		}
+		return Query{
+			ID: id, Query: fields[1], Candidate: fields[2],
+			Kind:     deadline.Kind(kind),
+			Deadline: timeseq.Time(dead), Elapsed: timeseq.Time(elapsed),
+			MinUseful: minUseful,
+			Decay: Decay{
+				ID: DecayID(decayID), Max: decayMax, Span: timeseq.Time(span),
+			},
+		}, nil
+	case KindResult:
+		if !need(8) {
+			return bad()
+		}
+		id, ok0 := parseU(fields[0])
+		match, ok1 := parseBool(fields[1])
+		useful, ok2 := parseU(fields[2])
+		missed, ok3 := parseBool(fields[3])
+		eval, ok4 := parseBool(fields[4])
+		issue, ok5 := parseU(fields[5])
+		served, ok6 := parseU(fields[6])
+		expired, ok7 := parseBool(fields[7])
+		if !(ok0 && ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7) {
+			return bad()
+		}
+		var answers []string
+		if len(fields) > 8 {
+			answers = append(answers, fields[8:]...)
+		}
+		return Result{
+			ID: id, Answers: answers, Match: match, Useful: useful,
+			Missed: missed, Evaluated: eval,
+			Issue: timeseq.Time(issue), Served: timeseq.Time(served),
+			ExpiredOnArrival: expired,
+		}, nil
+	case KindAsOf:
+		if !need(3) {
+			return bad()
+		}
+		id, ok1 := parseU(fields[0])
+		at, ok2 := parseU(fields[2])
+		if !ok1 || !ok2 {
+			return bad()
+		}
+		return AsOf{ID: id, Image: fields[1], At: timeseq.Time(at)}, nil
+	case KindAsOfResult:
+		if !need(4) {
+			return bad()
+		}
+		id, ok1 := parseU(fields[0])
+		okv, ok2 := parseBool(fields[1])
+		hor, ok3 := parseU(fields[3])
+		if !(ok1 && ok2 && ok3) {
+			return bad()
+		}
+		return AsOfResult{ID: id, OK: okv, Value: fields[2], Horizon: timeseq.Time(hor)}, nil
+	case KindMetricsReq:
+		if !need(1) {
+			return bad()
+		}
+		id, ok := parseU(fields[0])
+		if !ok {
+			return bad()
+		}
+		return MetricsReq{ID: id}, nil
+	case KindMetrics:
+		if !need(1) || len(fields)%2 == 0 {
+			return bad()
+		}
+		id, ok := parseU(fields[0])
+		if !ok {
+			return bad()
+		}
+		m := Metrics{ID: id}
+		for i := 1; i < len(fields); i += 2 {
+			v, ok := parseU(fields[i+1])
+			if !ok {
+				return bad()
+			}
+			m.Pairs = append(m.Pairs, MetricPair{Name: fields[i], Value: v})
+		}
+		return m, nil
+	case KindFlush:
+		if !need(1) {
+			return bad()
+		}
+		id, ok := parseU(fields[0])
+		if !ok {
+			return bad()
+		}
+		return Flush{ID: id}, nil
+	case KindFlushed:
+		if !need(2) {
+			return bad()
+		}
+		id, ok1 := parseU(fields[0])
+		chr, ok2 := parseU(fields[1])
+		if !ok1 || !ok2 {
+			return bad()
+		}
+		return Flushed{ID: id, Chronon: timeseq.Time(chr)}, nil
+	case KindErr:
+		if !need(3) {
+			return bad()
+		}
+		id, ok1 := parseU(fields[0])
+		code, ok2 := parseU(fields[1])
+		if !ok1 || !ok2 {
+			return bad()
+		}
+		return Err{ID: id, Code: ErrCode(code), Msg: fields[2]}, nil
+	case KindBye:
+		if !need(1) {
+			return bad()
+		}
+		return Bye{Reason: fields[0]}, nil
+	}
+	return nil, ErrBadKind
+}

@@ -1,0 +1,247 @@
+// Package rtwire is the wire protocol of the rtdbd serving subsystem: a
+// length-prefixed, CRC32C-framed binary protocol carrying timed samples,
+// aperiodic queries under the §4.1 deadline discipline, temporal as-of
+// reads, and metrics snapshots between a client and an rtdbd server.
+//
+// Each connection is one timed word: the client's frames are its timed
+// input events, arriving in FIFO order at the server's acceptor, exactly
+// like the merged words the paper's machine consumes. Frame payloads reuse
+// the enc(·) record idiom of internal/encoding — the byte rendering of the
+// $f1@f2@…@fk$ symbol encoding, delimiters outside every payload (§5.1.1) —
+// so the escaping discipline that keeps recognition words parseable keeps
+// wire frames parseable. Framing adds what a network needs and a tape does
+// not: a magic byte, an explicit protocol version, a frame kind, a payload
+// length, and a Castagnoli CRC.
+//
+// Deadlines travel with the query and are client-relative: the wire carries
+// the relative deadline plus the chronons the client has already consumed
+// (queueing, retries); the server anchors the remainder at the arrival
+// chronon. Keeping client-relative and server-absolute time straight this
+// way follows the time-modeling survey's advice (PAPERS.md) and makes
+// "expired on arrival" a property the server can decide without any clock
+// agreement.
+package rtwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"rtc/internal/encoding"
+	"rtc/internal/word"
+)
+
+const (
+	// Magic is the first byte of every frame; a misdialed port fails fast.
+	Magic byte = 'R'
+	// Version is the protocol version carried in every frame header. The
+	// golden wire-format tests pin the byte layout of every frame kind to
+	// this number: changing an encoding without bumping Version fails the
+	// suite, so protocol breaks are deliberate.
+	Version byte = 1
+	// HeaderSize is the fixed frame overhead:
+	// | magic 1 | version 1 | kind 1 | len u32 LE | crc32c u32 LE |.
+	HeaderSize = 11
+	// MaxPayload bounds one frame; longer lengths indicate a corrupt or
+	// hostile length prefix and are rejected before any allocation.
+	MaxPayload = 1 << 20
+)
+
+// Kind tags one frame.
+type Kind uint8
+
+const (
+	// KindHello opens a connection (client → server).
+	KindHello Kind = iota + 1
+	// KindWelcome acknowledges a Hello with the session id and the server
+	// chronon at accept (server → client).
+	KindWelcome
+	// KindSample injects one timed sensor sample (client → server). It is
+	// fire-and-forget; a full session queue comes back as a KindErr frame
+	// with CodeBackpressure.
+	KindSample
+	// KindQuery issues one aperiodic query with its deadline envelope
+	// (client → server).
+	KindQuery
+	// KindResult answers a KindQuery (server → client).
+	KindResult
+	// KindAsOf issues a temporal read against the published history
+	// (client → server).
+	KindAsOf
+	// KindAsOfResult answers a KindAsOf (server → client).
+	KindAsOfResult
+	// KindMetricsReq requests a metrics snapshot (client → server).
+	KindMetricsReq
+	// KindMetrics answers a KindMetricsReq with name/value pairs
+	// (server → client).
+	KindMetrics
+	// KindFlush asks the server to apply everything this connection
+	// submitted before it (client → server).
+	KindFlush
+	// KindFlushed answers a KindFlush (server → client).
+	KindFlushed
+	// KindErr reports a per-request error (server → client).
+	KindErr
+	// KindBye announces an orderly close (either direction).
+	KindBye
+)
+
+var kindNames = map[Kind]string{
+	KindHello: "hello", KindWelcome: "welcome",
+	KindSample: "sample", KindQuery: "query", KindResult: "result",
+	KindAsOf: "asof", KindAsOfResult: "asof_result",
+	KindMetricsReq: "metrics_req", KindMetrics: "metrics",
+	KindFlush: "flush", KindFlushed: "flushed",
+	KindErr: "err", KindBye: "bye",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Decode errors. ReadFrame and DecodeFrame never panic on hostile input;
+// they classify the damage instead.
+var (
+	ErrBadMagic  = errors.New("rtwire: bad magic byte")
+	ErrVersion   = errors.New("rtwire: protocol version mismatch")
+	ErrBadKind   = errors.New("rtwire: unknown frame kind")
+	ErrTooLong   = errors.New("rtwire: frame length exceeds MaxPayload")
+	ErrChecksum  = errors.New("rtwire: frame checksum mismatch")
+	ErrTruncated = errors.New("rtwire: truncated frame")
+	// ErrBadPayload reports a CRC-valid frame whose payload does not parse
+	// as the record encoding its kind requires.
+	ErrBadPayload = errors.New("rtwire: malformed frame payload")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum covers the version and kind bytes as well as the payload, so a
+// frame cannot be replayed as a different kind or protocol version.
+func checksum(kind Kind, payload []byte) uint32 {
+	sum := crc32.Checksum([]byte{Version, byte(kind)}, crcTable)
+	return crc32.Update(sum, crcTable, payload)
+}
+
+// Frame is one decoded frame.
+type Frame struct {
+	Kind    Kind
+	Payload []byte
+}
+
+// AppendFrame appends the framed payload to dst.
+func AppendFrame(dst []byte, kind Kind, payload []byte) []byte {
+	var hdr [HeaderSize]byte
+	hdr[0] = Magic
+	hdr[1] = Version
+	hdr[2] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[3:7], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[7:11], checksum(kind, payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// EncodeFields frames a record of fields: payload = bytes of $f1@f2@…$.
+func EncodeFields(kind Kind, fields ...string) []byte {
+	return AppendFrame(nil, kind, []byte(encoding.String(encoding.Record(fields...))))
+}
+
+// ReadFrame reads one frame from r. io.EOF signals a clean end between
+// frames; mid-frame truncation comes back as ErrTruncated. An I/O error
+// with no frame bytes consumed (a read timeout between frames, a closed
+// socket) is returned as-is so transports can tell liveness failures from
+// protocol damage.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [HeaderSize]byte
+	if n, err := io.ReadFull(r, hdr[:]); err != nil {
+		if n == 0 {
+			return Frame{}, err
+		}
+		return Frame{}, ErrTruncated
+	}
+	f, err := decodeHeader(hdr)
+	if err != nil {
+		return Frame{}, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[3:7])
+	f.Payload = make([]byte, length)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return Frame{}, ErrTruncated
+	}
+	if checksum(f.Kind, f.Payload) != binary.LittleEndian.Uint32(hdr[7:11]) {
+		return Frame{}, ErrChecksum
+	}
+	return f, nil
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame
+// and the number of bytes consumed. The fuzzers drive it with hostile
+// images: malformed length prefixes and truncated frames must classify,
+// never panic or over-allocate.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	if len(b) < HeaderSize {
+		return Frame{}, 0, ErrTruncated
+	}
+	var hdr [HeaderSize]byte
+	copy(hdr[:], b)
+	f, err := decodeHeader(hdr)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	length := int(binary.LittleEndian.Uint32(hdr[3:7]))
+	if len(b) < HeaderSize+length {
+		return Frame{}, 0, ErrTruncated
+	}
+	f.Payload = b[HeaderSize : HeaderSize+length]
+	if checksum(f.Kind, f.Payload) != binary.LittleEndian.Uint32(hdr[7:11]) {
+		return Frame{}, 0, ErrChecksum
+	}
+	return f, HeaderSize + length, nil
+}
+
+// decodeHeader validates everything the header alone can prove wrong.
+func decodeHeader(hdr [HeaderSize]byte) (Frame, error) {
+	if hdr[0] != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	if hdr[1] != Version {
+		return Frame{}, ErrVersion
+	}
+	kind := Kind(hdr[2])
+	if _, ok := kindNames[kind]; !ok {
+		return Frame{}, ErrBadKind
+	}
+	if binary.LittleEndian.Uint32(hdr[3:7]) > MaxPayload {
+		return Frame{}, ErrTooLong
+	}
+	return Frame{Kind: kind}, nil
+}
+
+// Fields parses the frame payload back into its record fields. It
+// re-tokenizes the byte stream into the symbol alphabet (escape pairs %x
+// are one symbol, everything else one byte) and hands the result to the
+// shared record parser — the same inversion the WAL codec uses.
+func (f Frame) Fields() ([]string, error) {
+	syms := make([]word.Symbol, 0, len(f.Payload))
+	for i := 0; i < len(f.Payload); i++ {
+		if f.Payload[i] == '%' {
+			if i+1 >= len(f.Payload) {
+				return nil, ErrBadPayload
+			}
+			syms = append(syms, word.Symbol(f.Payload[i:i+2]))
+			i++
+			continue
+		}
+		syms = append(syms, word.Symbol(f.Payload[i:i+1]))
+	}
+	fields, ok := encoding.ParseRecord(syms)
+	if !ok {
+		return nil, ErrBadPayload
+	}
+	return fields, nil
+}

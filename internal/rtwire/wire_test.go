@@ -1,0 +1,148 @@
+package rtwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"rtc/internal/deadline"
+)
+
+// allMessages is one deterministic instance of every frame type; the
+// round-trip, golden, and fuzz suites all build on it. Payload strings
+// deliberately exercise the escaping discipline ($, @, #, %).
+func allMessages() []any {
+	return []any{
+		Hello{Client: "client-a"},
+		Welcome{Session: 3, Chronon: 1021},
+		Sample{ID: 7, Image: "temp", Value: "21"},
+		Query{
+			ID: 8, Query: "status_q", Candidate: "ok$high@40%",
+			Kind: deadline.Soft, Deadline: 40, Elapsed: 3, MinUseful: 2,
+			Decay: Decay{ID: DecayHyperbolic, Max: 10},
+		},
+		Result{
+			ID: 8, Answers: []string{"ok", "hi@there"}, Match: true,
+			Useful: 2, Missed: false, Evaluated: true, Issue: 11, Served: 13,
+		},
+		AsOf{ID: 9, Image: "pressure", At: 512},
+		AsOfResult{ID: 9, OK: true, Value: "99", Horizon: 600},
+		MetricsReq{ID: 10},
+		Metrics{ID: 10, Pairs: []MetricPair{{"queries_in", 42}, {"deadline_hit", 40}}},
+		Flush{ID: 11},
+		Flushed{ID: 11, Chronon: 700},
+		Err{ID: 12, Code: CodeBackpressure, Msg: "session queue full"},
+		Bye{Reason: "drain"},
+	}
+}
+
+type encoder interface{ Encode() []byte }
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, msg := range allMessages() {
+		frame := msg.(encoder).Encode()
+		f, n, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", msg, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("%T: consumed %d of %d bytes", msg, n, len(frame))
+		}
+		got, err := Decode(f)
+		if err != nil {
+			t.Fatalf("%T: message decode: %v", msg, err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%T round trip:\n got %+v\nwant %+v", msg, got, msg)
+		}
+	}
+}
+
+func TestReadFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := allMessages()
+	for _, m := range msgs {
+		buf.Write(m.(encoder).Encode())
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range msgs {
+		f, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := Decode(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := Hello{Client: "x"}.Encode()
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte{}, valid...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", valid[:HeaderSize-1], ErrTruncated},
+		{"bad magic", corrupt(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"bad version", corrupt(func(b []byte) { b[1] = Version + 1 }), ErrVersion},
+		{"bad kind", corrupt(func(b []byte) { b[2] = 0xEE }), ErrBadKind},
+		{"huge length prefix", corrupt(func(b []byte) { b[3], b[4], b[5], b[6] = 0xFF, 0xFF, 0xFF, 0xFF }), ErrTooLong},
+		{"truncated payload", valid[:len(valid)-1], ErrTruncated},
+		{"flipped payload bit", corrupt(func(b []byte) { b[len(b)-1] ^= 1 }), ErrChecksum},
+		{"flipped crc", corrupt(func(b []byte) { b[7] ^= 1 }), ErrChecksum},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.in); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeFrame err = %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := ReadFrame(bytes.NewReader(tc.in)); tc.in != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: ReadFrame err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestKindConfusion: a frame replayed under a different kind byte must fail
+// the checksum — the CRC covers version and kind, not just the payload.
+func TestKindConfusion(t *testing.T) {
+	b := Flush{ID: 1}.Encode()
+	b[2] = byte(KindFlushed)
+	if _, _, err := DecodeFrame(b); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("kind-swapped frame: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestDecayFunc(t *testing.T) {
+	if (Decay{}).Func(10) != nil {
+		t.Fatal("DecayNone must reconstruct as nil")
+	}
+	h := Decay{ID: DecayHyperbolic, Max: 8}.Func(10)
+	if got := h(5); got != 8 {
+		t.Fatalf("hyperbolic before deadline: %d", got)
+	}
+	if got := h(12); got != 4 {
+		t.Fatalf("hyperbolic after deadline: %d", got)
+	}
+	l := Decay{ID: DecayLinear, Max: 8, Span: 4}.Func(10)
+	if got := l(12); got != 4 {
+		t.Fatalf("linear decay: %d", got)
+	}
+	if got := l(20); got != 0 {
+		t.Fatalf("linear tail: %d", got)
+	}
+}
