@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-grid race-rtdb race-net bench bench-json fuzz torture torture-short examples experiments clean
+.PHONY: all build vet test race race-grid race-rtdb race-net race-repl bench bench-json fuzz torture torture-short torture-failover examples experiments clean
 
 all: build vet test
 
@@ -32,6 +32,13 @@ race-rtdb:
 race-net:
 	$(GO) test -race ./internal/rtwire/ ./internal/rtdb/netserve/ ./internal/rtdb/client/
 
+# WAL-streaming replication under the race detector: the replica package
+# (live tail, catch-up, resync, promotion fencing, auto-promote watchdog)
+# plus the torture failover sweep's short configuration.
+race-repl:
+	$(GO) test -race ./internal/rtdb/replica/
+	$(GO) test -race -run=TestFailover ./internal/rtdb/torture/
+
 # Full crash-torture sweep: ~900 deterministic fault points (power cuts at
 # every mutating op, transient EIO / torn writes on every data write,
 # snapshot rename failures, and the concurrent server chaos run) across 3
@@ -46,6 +53,12 @@ torture-short:
 	$(GO) test -race -count=1 ./internal/faultfs/ ./internal/rtdb/torture/
 	$(GO) run ./cmd/rttorture -mode all -seeds 1 -events 60 -stride 2
 
+# Full failover sweep: kill the primary at every WAL fault point, promote
+# the replica, and assert the durability bound (acked ≤ survived ≤ acked+1),
+# epoch fencing, and the standby conservation law at each point.
+torture-failover:
+	$(GO) run ./cmd/rttorture -mode failover -seeds 3 -events 90 -v
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
@@ -53,7 +66,7 @@ bench:
 # plus the adhoc scaling suite) for tracking perf across commits.
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . ./internal/adhoc/ | $(GO) run ./cmd/benchjson -o BENCH_adhoc.json
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/rtdb/log/ ./internal/rtdb/server/ ./internal/rtdb/netserve/ ./internal/rtdb/torture/ | $(GO) run ./cmd/benchjson -o BENCH_rtdb.json
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/rtdb/log/ ./internal/rtdb/server/ ./internal/rtdb/netserve/ ./internal/rtdb/replica/ ./internal/rtdb/torture/ | $(GO) run ./cmd/benchjson -o BENCH_rtdb.json
 
 # Short fuzzing passes over the parsers and encoders.
 fuzz:

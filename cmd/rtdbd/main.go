@@ -27,12 +27,14 @@ import (
 	"strconv"
 	"sync"
 	"syscall"
+	"time"
 
 	"rtc/internal/deadline"
 	"rtc/internal/rtdb"
 	"rtc/internal/rtdb/client"
 	wal "rtc/internal/rtdb/log"
 	"rtc/internal/rtdb/netserve"
+	"rtc/internal/rtdb/replica"
 	"rtc/internal/rtdb/server"
 	"rtc/internal/rtwire"
 	"rtc/internal/timeseq"
@@ -50,17 +52,69 @@ func main() {
 		evalCost = flag.Uint64("eval-cost", 2, "chronons one query evaluation costs")
 		deadln   = flag.Uint64("deadline", 40, "relative firm deadline for synthetic client queries (chronons)")
 		queue    = flag.Int("queue-depth", 64, "per-session queue depth")
+
+		replicaOf    = flag.String("replica-of", "", "follow this primary address as a hot standby (requires -dir)")
+		promote      = flag.Bool("promote", false, "bump the fencing epoch in -dir before serving (turn a stopped replica into the new primary)")
+		promoteAfter = flag.Duration("promote-after", 0, "replica mode: auto-promote after this much primary silence (0: manual, SIGHUP); use several times the primary heartbeat interval (1s)")
 	)
 	flag.Parse()
-	if err := run(*dir, *listen, *sessions, *ops, *segSize, *snapshot, *fsync, *evalCost, *deadln, *queue); err != nil {
+	var err error
+	if *replicaOf != "" {
+		err = runReplica(*dir, *listen, *replicaOf, *promoteAfter, *sessions, *segSize, *snapshot, *fsync, *evalCost, *queue)
+	} else {
+		err = run(*dir, *listen, *sessions, *ops, *segSize, *snapshot, *fsync, *promote, *evalCost, *deadln, *queue)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtdbd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, listen string, sessions, ops int, segSize int64, snapshot uint64, fsync bool,
+func run(dir, listen string, sessions, ops int, segSize int64, snapshot uint64, fsync, promote bool,
 	evalCost, deadln uint64, queue int) error {
-	cfg := server.Config{
+	cfg := serverConfig(sessions, queue, evalCost)
+
+	if dir != "" {
+		l, err := wal.Open(wal.Options{
+			Dir: dir, SegmentSize: segSize, SnapshotEvery: snapshot, Sync: fsync,
+		})
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		cfg.Log = l
+		if st := l.State(); st.Events > 0 {
+			fmt.Printf("recovered %d events through chronon %d (%d recovered from log replay",
+				st.Events, st.LastAt, l.Stats().RecoveredEvents)
+			if tb := l.Stats().TruncatedBytes; tb > 0 {
+				fmt.Printf(", %d torn bytes truncated", tb)
+			}
+			fmt.Println(")")
+		} else {
+			fmt.Printf("fresh log in %s\n", dir)
+		}
+		if promote {
+			// Turn a (stopped) replica's log into the new primary's: fence
+			// the old one out before serving a single request.
+			e, err := l.BumpEpoch()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("promoted: fencing epoch now %d\n", e)
+		}
+	} else if promote {
+		return fmt.Errorf("-promote needs -dir (the replica's WAL to take over)")
+	}
+
+	return serve(cfg, listen, ops, evalCost, deadln)
+}
+
+// serverConfig is the demo deployment every rtdbd role shares: primaries
+// install it as their spec, replicas use its catalog and registry for
+// degraded standby queries, and a promoted replica becomes a primary with
+// the identical books.
+func serverConfig(sessions, queue int, evalCost uint64) server.Config {
+	return server.Config{
 		Spec: rtdb.Spec{
 			Invariants: map[string]rtdb.Value{"limit": "25"},
 			Images: []*rtdb.ImageObject{
@@ -106,28 +160,12 @@ func run(dir, listen string, sessions, ops int, segSize int64, snapshot uint64, 
 		QueueDepth: queue,
 		EvalCost:   evalCost,
 	}
+}
 
-	if dir != "" {
-		l, err := wal.Open(wal.Options{
-			Dir: dir, SegmentSize: segSize, SnapshotEvery: snapshot, Sync: fsync,
-		})
-		if err != nil {
-			return err
-		}
-		defer l.Close()
-		cfg.Log = l
-		if st := l.State(); st.Events > 0 {
-			fmt.Printf("recovered %d events through chronon %d (%d recovered from log replay",
-				st.Events, st.LastAt, l.Stats().RecoveredEvents)
-			if tb := l.Stats().TruncatedBytes; tb > 0 {
-				fmt.Printf(", %d torn bytes truncated", tb)
-			}
-			fmt.Println(")")
-		} else {
-			fmt.Printf("fresh log in %s\n", dir)
-		}
-	}
-
+// serve runs a primary to completion: periodic queries, the rtwire
+// listener, then either real traffic until a signal or the synthetic
+// workload, and finally the metrics report with the conservation check.
+func serve(cfg server.Config, listen string, ops int, evalCost, deadln uint64) error {
 	s, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -149,7 +187,9 @@ func run(dir, listen string, sessions, ops int, segSize int64, snapshot uint64, 
 	}
 	s.Start()
 
-	ns := netserve.New(s, netserve.Options{})
+	// A 1s beacon keeps replication links visibly alive, so a replica's
+	// -promote-after only needs to clear seconds of genuine silence.
+	ns := netserve.New(s, netserve.Options{HeartbeatInterval: time.Second})
 	addr := listen
 	if addr == "" {
 		addr = "127.0.0.1:0" // synthetic mode: in-process loopback
@@ -159,14 +199,14 @@ func run(dir, listen string, sessions, ops int, segSize int64, snapshot uint64, 
 		s.Stop()
 		return err
 	}
-	fmt.Printf("serving rtwire on %s (%d sessions)\n", bound, sessions)
+	fmt.Printf("serving rtwire on %s (%d sessions)\n", bound, cfg.Sessions)
 
 	if listen != "" {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println("\ndraining...")
-	} else if err := synthetic(bound.String(), sessions, ops, deadln); err != nil {
+	} else if err := synthetic(bound.String(), cfg.Sessions, ops, deadln); err != nil {
 		_ = ns.Close()
 		s.Stop()
 		return err
@@ -283,4 +323,78 @@ func statusOf(src map[string]rtdb.Value) rtdb.Value {
 		return "high"
 	}
 	return "ok"
+}
+
+// runReplica runs rtdbd as a hot standby: it tails the primary's WAL into
+// its own log under -dir, serves standby reads (as-of, metrics, degraded
+// soft queries) on -listen, and on promotion — manual via SIGHUP, or
+// automatic after -promote-after of primary silence — flips in place to a
+// full primary serving the same address with a bumped fencing epoch.
+func runReplica(dir, listen, primary string, promoteAfter time.Duration,
+	sessions int, segSize int64, snapshot uint64, fsync bool, evalCost uint64, queue int) error {
+	if dir == "" {
+		return fmt.Errorf("-replica-of needs -dir (the replica keeps its own durable WAL)")
+	}
+	cfg := serverConfig(sessions, queue, evalCost)
+	r, err := replica.Open(replica.Config{
+		Primary: primary,
+		WAL: wal.Options{
+			Dir: dir, SegmentSize: segSize, SnapshotEvery: snapshot, Sync: fsync,
+		},
+		Name:     "rtdbd-replica",
+		Catalog:  cfg.Catalog,
+		Registry: cfg.Registry,
+
+		PromoteAfter: promoteAfter,
+	})
+	if err != nil {
+		return err
+	}
+	r.Start()
+
+	addr := listen
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	bound, err := r.Listen(addr)
+	if err != nil {
+		_ = r.Close()
+		return err
+	}
+	fmt.Printf("replica of %s: seq %d epoch %d, hot-standby reads on %s\n",
+		primary, r.Seq(), r.Epoch(), bound)
+	if promoteAfter > 0 {
+		fmt.Printf("auto-promotion after %v of primary silence; SIGHUP promotes now\n", promoteAfter)
+	} else {
+		fmt.Println("promotion is manual: SIGHUP promotes")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	for {
+		select {
+		case <-sig:
+			fmt.Println("\ndraining replica...")
+			return r.Close()
+		case <-hup:
+			if _, err := r.Promote(); err != nil {
+				_ = r.Close()
+				return err
+			}
+		case <-r.Promoted():
+			// The standby listener goes down with Close; the promoted
+			// primary reopens the same address, now accepting writes.
+			if err := r.Close(); err != nil {
+				return err
+			}
+			l := r.Log()
+			defer l.Close()
+			fmt.Printf("promoted: seq %d epoch %d; serving as primary on %s\n",
+				l.Seq(), l.Epoch(), bound)
+			cfg.Log = l
+			return serve(cfg, bound.String(), 0, evalCost, 0)
+		}
+	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7677", "rtdbd rtwire address")
+		addr    = flag.String("addr", "127.0.0.1:7677", "rtdbd rtwire address, or a comma-separated failover list (primary first)")
 		conns   = flag.Int("conns", 8, "concurrent connections")
 		ops     = flag.Int("ops", 200, "operations per connection")
 		deadln  = flag.Uint64("deadline", 40, "relative firm deadline (client chronons)")
@@ -46,6 +47,11 @@ func main() {
 // tally is one connection's closed-loop outcome count.
 type tally struct {
 	queries, hits, misses, expired, backpressure atomic.Uint64
+
+	// Failover accounting across all connections.
+	ackedWrites, readOnly, opFailed    atomic.Uint64
+	failedOver, degraded, stale, hbCut atomic.Uint64
+	seqWatermark                       atomic.Uint64 // max client SeqWatermark
 }
 
 func run(addr string, conns, ops int, deadln uint64, chronon time.Duration) error {
@@ -62,21 +68,40 @@ func run(addr string, conns, ops int, deadln uint64, chronon time.Duration) erro
 		go func(id int) {
 			defer wg.Done()
 			c, err := client.Dial(addr, client.Options{
-				Name:            fmt.Sprintf("load-%d", id),
-				ChrononDuration: chronon,
+				Name:              fmt.Sprintf("load-%d", id),
+				ChrononDuration:   chronon,
+				RetryAttempts:     -1, // failover: exhaust the address list
+				HeartbeatInterval: 100 * time.Millisecond,
 			})
 			if err != nil {
 				errs <- err
 				return
 			}
 			defer c.Close()
+			defer func() {
+				t.failedOver.Add(c.Stats.FailedOver.Load())
+				t.degraded.Add(c.Stats.Degraded.Load())
+				t.stale.Add(c.Stats.StaleRejected.Load())
+				t.hbCut.Add(c.Stats.HeartbeatTimeouts.Load())
+				t.readOnly.Add(c.Stats.ReadOnlyRejects.Load())
+				for {
+					w, old := c.Stats.SeqWatermark.Load(), t.seqWatermark.Load()
+					if w <= old || t.seqWatermark.CompareAndSwap(old, w) {
+						break
+					}
+				}
+			}()
 			var local []float64
 			for op := 0; op < ops; op++ {
 				switch op % 5 {
 				case 0, 1:
-					_ = c.InjectSample("temp", strconv.Itoa(18+(id*7+op)%12))
+					if c.InjectSample("temp", strconv.Itoa(18+(id*7+op)%12)) == nil {
+						t.ackedWrites.Add(1)
+					}
 				case 2:
-					_ = c.InjectSample("pressure", strconv.Itoa(99+(id+op)%4))
+					if c.InjectSample("pressure", strconv.Itoa(99+(id+op)%4)) == nil {
+						t.ackedWrites.Add(1)
+					}
 				case 3, 4:
 					q := client.Query{
 						Query: "status_q", Candidate: "ok",
@@ -97,9 +122,14 @@ func run(addr string, conns, ops int, deadln uint64, chronon time.Duration) erro
 					case err == client.ErrBackpressure || (err != nil && res.Missed):
 						t.backpressure.Add(1)
 						t.misses.Add(1)
+					case errors.Is(err, client.ErrReadOnly):
+						// Mid-failover: a firm query landed on a standby.
+						t.misses.Add(1)
 					case err != nil:
-						errs <- err
-						return
+						// An outage longer than the retry budget: the op
+						// failed; the run keeps going and reports it.
+						t.opFailed.Add(1)
+						t.misses.Add(1)
 					case res.ExpiredOnArrival:
 						t.expired.Add(1)
 						t.misses.Add(1)
@@ -168,5 +198,23 @@ func run(addr string, conns, ops int, deadln uint64, chronon time.Duration) erro
 	}
 	fmt.Printf("\nconservation (server books): %d queries in == %d rejected + %d hit + %d missed + %d no-deadline ✓\n",
 		in, mm["queries_rejected"], mm["deadline_hit"], mm["deadline_miss"], mm["no_deadline"])
+
+	// Failover accounting: how often connections changed nodes, how many
+	// queries were served degraded by a standby, and — the durability bar —
+	// whether the node we ended on carries every write the lost primary
+	// acknowledged up to the last replication sequence heard from it.
+	fmt.Printf("failover: %d acked writes, %d failed-over, %d degraded, %d read-only rejects, %d failed ops, %d stale-fenced, %d heartbeat cuts\n",
+		t.ackedWrites.Load(), t.failedOver.Load(), t.degraded.Load(), t.readOnly.Load(), t.opFailed.Load(), t.stale.Load(), t.hbCut.Load())
+	if w := t.seqWatermark.Load(); w > 0 {
+		finalSeq, ok := mm["wal_seq"]
+		if !ok {
+			return fmt.Errorf("failed over past seq %d but the final node reports no wal_seq", w)
+		}
+		if finalSeq < w {
+			return fmt.Errorf("LOST ACKED WRITES: final node at wal_seq %d < pre-failover watermark %d (%d missing)",
+				finalSeq, w, w-finalSeq)
+		}
+		fmt.Printf("failover durability: final wal_seq %d >= pre-failover watermark %d — zero lost acked writes ✓\n", finalSeq, w)
+	}
 	return nil
 }

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "all", "fault family: all|crash|eio|rename|chaos")
+		mode    = flag.String("mode", "all", "fault family: all|crash|eio|rename|chaos|failover")
 		seed    = flag.Uint64("seed", 1, "base sweep seed")
 		seeds   = flag.Int("seeds", 1, "number of consecutive seeds to sweep")
 		events  = flag.Int("events", 90, "workload length")
@@ -44,8 +44,8 @@ func main() {
 	want := func(m torture.Mode) bool {
 		return *mode == "all" || *mode == string(m)
 	}
-	if !want(torture.ModeCrash) && !want(torture.ModeEIO) && !want(torture.ModeRename) && !want(torture.ModeChaos) {
-		fmt.Fprintf(os.Stderr, "rttorture: unknown -mode %q (want all|crash|eio|rename|chaos)\n", *mode)
+	if !want(torture.ModeCrash) && !want(torture.ModeEIO) && !want(torture.ModeRename) && !want(torture.ModeChaos) && !want(torture.ModeFailover) {
+		fmt.Fprintf(os.Stderr, "rttorture: unknown -mode %q (want all|crash|eio|rename|chaos|failover)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -64,6 +64,9 @@ func main() {
 		}
 		if want(torture.ModeRename) {
 			total.Merge(cfg.RenameSweep())
+		}
+		if want(torture.ModeFailover) {
+			total.Merge(cfg.FailoverSweep())
 		}
 		if want(torture.ModeChaos) {
 			rep := torture.Chaos(torture.ChaosConfig{Seed: s, Logf: logf})

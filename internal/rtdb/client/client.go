@@ -14,6 +14,16 @@
 // deadline instead of silently extending it. Client-relative and
 // server-absolute chronons never mix: the wire carries only relative
 // quantities, and every absolute chronon in a Result is the server's.
+//
+// Failover: the address may be a comma-separated list. On connection loss
+// the client rotates through the list with decorrelated-jitter backoff,
+// re-stamping consumed chronons into the deadline budget exactly as a
+// redial does. A standby answers soft and deadline-less queries (counted
+// as degraded server-side) and refuses writes and firm queries with
+// CodeReadOnly, which also rotates the client onward in search of the
+// primary. Fencing: the client remembers the highest epoch it has seen in
+// any Welcome or PromoteInfo and refuses to connect to a node announcing
+// an older one — a deposed primary cannot recapture its former clients.
 package client
 
 import (
@@ -21,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,9 +54,22 @@ type Options struct {
 	// RetryAttempts is how many times Dial (and a Query that hits a dead
 	// connection) retries after the first failure (default 2).
 	RetryAttempts int
-	// RetryBackoff is the initial pause between retries, doubling each
-	// attempt (default 50ms).
+	// RetryBackoff is the base pause between retries (default 50ms). The
+	// actual pauses walk randomly between it and RetryBackoffMax with
+	// decorrelated jitter, so a fleet of clients that lost the same
+	// primary does not redial in lockstep.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps one retry pause (default 1s).
+	RetryBackoffMax time.Duration
+	// Seed makes the jittered retry schedule reproducible; 0 derives one
+	// from the wall clock.
+	Seed uint64
+	// HeartbeatInterval paces liveness beacons on an idle connection: the
+	// client sends a Heartbeat after this much inbound silence and closes
+	// the connection after 3× of it, so a silently dead peer is detected
+	// in bounded time instead of hanging until CallTimeout. Default 15s;
+	// negative disables heartbeats.
+	HeartbeatInterval time.Duration
 	// ChrononDuration is the wall-clock length of one client chronon used
 	// for deadline translation (default 1ms). A query's Elapsed field is
 	// time-since-issue divided by this.
@@ -73,6 +97,15 @@ func (o *Options) defaults() {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 50 * time.Millisecond
 	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = uint64(time.Now().UnixNano())
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 15 * time.Second
+	}
 	if o.ChrononDuration <= 0 {
 		o.ChrononDuration = time.Millisecond
 	}
@@ -89,6 +122,12 @@ var (
 	ErrBackpressure = errors.New("client: server backpressure")
 	// ErrTimeout: no response within CallTimeout.
 	ErrTimeout = errors.New("client: call timed out")
+	// ErrReadOnly: every reachable node is a standby; the write or firm
+	// query was refused.
+	ErrReadOnly = errors.New("client: server is read-only (standby)")
+	// ErrStale: a node announced a fencing epoch older than one the client
+	// has already seen — a deposed primary; the connection was refused.
+	ErrStale = errors.New("client: stale fencing epoch")
 )
 
 // Query is one aperiodic query under the client-relative deadline
@@ -122,42 +161,77 @@ type Result struct {
 type Stats struct {
 	Redials      atomic.Uint64
 	Backpressure atomic.Uint64 // sample submissions bounced by the server
+
+	FailedOver        atomic.Uint64 // reconnects that landed on a different address
+	StaleRejected     atomic.Uint64 // connections refused for an old fencing epoch
+	Degraded          atomic.Uint64 // queries answered by a standby
+	ReadOnlyRejects   atomic.Uint64 // submissions refused with CodeReadOnly
+	HeartbeatTimeouts atomic.Uint64 // connections cut by the liveness watchdog
+
+	// MaxPrimarySeq is the highest durability watermark heard in heartbeat
+	// echoes — a primary advertises its followers' acknowledged seq (what
+	// survives its death), a standby its own applied seq. SeqWatermark
+	// freezes that high-water mark at the moment of the most recent
+	// failover. A node reached after a failover whose log is shorter than
+	// SeqWatermark has lost acknowledged writes — load tools check exactly
+	// this (heartbeats lag acks, so it is a lower bound).
+	MaxPrimarySeq atomic.Uint64
+	SeqWatermark  atomic.Uint64
 }
 
-// Client is a connection to an rtdbd server. It is safe for concurrent
-// use; responses are matched to callers by request id.
+// Client is a connection to an rtdbd server (or a failover group of them).
+// It is safe for concurrent use; responses are matched to callers by
+// request id.
 type Client struct {
-	addr string
-	opt  Options
+	addrs []string
+	opt   Options
 
 	// Session is the server session index this connection was mapped to.
 	Session uint64
 
 	Stats Stats
 
-	ids atomic.Uint64
+	ids   atomic.Uint64
+	boSeq atomic.Uint64
 
-	mu     sync.Mutex // guards conn/bw and (re)dials
-	conn   net.Conn
-	bw     *bufio.Writer
-	gen    int // bumped on every successful redial
-	closed bool
+	// lastRead is the unix-nano timestamp of the newest inbound frame;
+	// the heartbeat watchdog reads it.
+	lastRead atomic.Int64
+
+	mu       sync.Mutex // guards conn/bw, address rotation, and (re)dials
+	conn     net.Conn
+	bw       *bufio.Writer
+	gen      int // bumped on every successful redial
+	closed   bool
+	cur      int    // index into addrs of the next dial target
+	lastAddr string // address of the previous successful connection
+	role     rtwire.Role
+	epoch    uint64 // highest fencing epoch seen in any Welcome/PromoteInfo
 
 	pmu     sync.Mutex
 	pending map[uint64]chan any
 }
 
 // Dial connects and performs the Hello/Welcome handshake, retrying per
-// Options.
+// Options. addr may be a comma-separated failover list; dial failures
+// rotate through it.
 func Dial(addr string, opt Options) (*Client, error) {
 	opt.defaults()
-	c := &Client{addr: addr, opt: opt, pending: make(map[uint64]chan any)}
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: no address to dial")
+	}
+	c := &Client{addrs: addrs, opt: opt, pending: make(map[uint64]chan any)}
+	bo := newBackoff(opt.Seed, opt.RetryBackoff, opt.RetryBackoffMax)
 	var err error
-	backoff := opt.RetryBackoff
 	for attempt := 0; attempt <= opt.RetryAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			time.Sleep(bo.Next())
 		}
 		c.mu.Lock()
 		err = c.connectLocked()
@@ -169,45 +243,159 @@ func Dial(addr string, opt Options) (*Client, error) {
 	return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 }
 
-// connectLocked dials and handshakes. Caller holds mu.
+// connectLocked establishes a connection, walking the whole address ring
+// once: a dead or stale node rotates to the next address within the same
+// attempt, so one attempt fails only when every address does. Caller
+// holds mu.
 func (c *Client) connectLocked() error {
-	conn, err := net.DialTimeout("tcp", c.addr, c.opt.DialTimeout)
-	if err != nil {
+	var err error
+	for range c.addrs {
+		if err = c.connectOneLocked(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// connectOneLocked dials the current address and handshakes; any failure
+// rotates to the next address so the following try goes elsewhere. Caller
+// holds mu.
+func (c *Client) connectOneLocked() error {
+	addr := c.addrs[c.cur]
+	fail := func(conn net.Conn, err error) error {
+		if conn != nil {
+			conn.Close()
+		}
+		c.cur = (c.cur + 1) % len(c.addrs)
 		return err
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.opt.DialTimeout)
+	if err != nil {
+		return fail(nil, err)
 	}
 	_ = conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
 	if _, err := conn.Write(rtwire.Hello{Client: c.opt.Name}.Encode()); err != nil {
-		conn.Close()
-		return err
+		return fail(conn, err)
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(c.opt.DialTimeout))
 	br := bufio.NewReader(conn)
 	f, err := rtwire.ReadFrame(br)
 	if err != nil {
-		conn.Close()
-		return fmt.Errorf("handshake read: %w", err)
+		return fail(conn, fmt.Errorf("handshake read: %w", err))
 	}
 	msg, err := rtwire.Decode(f)
 	if err != nil {
-		conn.Close()
-		return fmt.Errorf("handshake decode: %w", err)
+		return fail(conn, fmt.Errorf("handshake decode: %w", err))
 	}
 	switch m := msg.(type) {
 	case rtwire.Welcome:
+		if m.Epoch < c.epoch {
+			// A deposed primary still answering on its old address: its
+			// epoch predates one we have already seen. Refuse it.
+			c.Stats.StaleRejected.Add(1)
+			return fail(conn, fmt.Errorf("%w: %s announced epoch %d, newest seen is %d",
+				ErrStale, addr, m.Epoch, c.epoch))
+		}
+		c.epoch = m.Epoch
+		c.role = m.Role
 		c.Session = m.Session
 	case rtwire.Err:
-		conn.Close()
-		return m
+		return fail(conn, m)
 	default:
-		conn.Close()
-		return fmt.Errorf("handshake: unexpected %s frame", f.Kind)
+		return fail(conn, fmt.Errorf("handshake: unexpected %s frame", f.Kind))
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 	c.conn, c.bw = conn, bufio.NewWriter(conn)
+	if c.lastAddr != "" && c.lastAddr != addr {
+		c.Stats.FailedOver.Add(1)
+		// The node we land on next must carry everything the old one
+		// acknowledged up to the last sequence we heard from it.
+		if w := c.Stats.MaxPrimarySeq.Load(); w > c.Stats.SeqWatermark.Load() {
+			c.Stats.SeqWatermark.Store(w)
+		}
+	}
+	c.lastAddr = addr
 	c.gen++
 	gen := c.gen
+	c.lastRead.Store(time.Now().UnixNano())
 	go c.readLoop(conn, br, gen)
+	if c.opt.HeartbeatInterval > 0 {
+		go c.heartbeatLoop(conn, gen)
+	}
 	return nil
+}
+
+// heartbeatLoop is the liveness watchdog for one connection generation: it
+// beacons a Heartbeat every interval and cuts the connection after 3
+// intervals of inbound silence — a silently dead peer costs bounded time,
+// not a CallTimeout.
+func (c *Client) heartbeatLoop(conn net.Conn, gen int) {
+	iv := c.opt.HeartbeatInterval
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for range t.C {
+		c.mu.Lock()
+		stale := c.closed || c.gen != gen
+		c.mu.Unlock()
+		if stale {
+			return
+		}
+		if time.Since(time.Unix(0, c.lastRead.Load())) > 3*iv {
+			c.Stats.HeartbeatTimeouts.Add(1)
+			conn.Close() // the read loop unblocks and fails the pending calls
+			return
+		}
+		_ = c.send(rtwire.Heartbeat{}.Encode(), false)
+	}
+}
+
+// noteEpoch folds a peer-announced epoch into the fencing watermark; true
+// means the peer is stale (older than the newest epoch seen).
+func (c *Client) noteEpoch(e uint64) (stale bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e < c.epoch {
+		return true
+	}
+	c.epoch = e
+	return false
+}
+
+// notePromoted records that the connected node announced itself primary.
+func (c *Client) notePromoted(e uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e >= c.epoch {
+		c.epoch = e
+		c.role = rtwire.RolePrimary
+	}
+}
+
+// rotate abandons the current connection and advances to the next address;
+// the next send redials there.
+func (c *Client) rotate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.cur = (c.cur + 1) % len(c.addrs)
+}
+
+// Role returns the role announced by the node the client is (last)
+// connected to.
+func (c *Client) Role() rtwire.Role {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.role
+}
+
+// Epoch returns the highest fencing epoch the client has seen.
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // readLoop dispatches incoming frames to waiting callers until the
@@ -219,6 +407,7 @@ func (c *Client) readLoop(conn net.Conn, br *bufio.Reader, gen int) {
 		if err != nil {
 			return
 		}
+		c.lastRead.Store(time.Now().UnixNano())
 		msg, err := rtwire.Decode(f)
 		if err != nil {
 			continue
@@ -233,10 +422,30 @@ func (c *Client) readLoop(conn net.Conn, br *bufio.Reader, gen int) {
 		case rtwire.Flushed:
 			c.deliver(m.ID, m)
 		case rtwire.Err:
-			if !c.deliver(m.ID, m) && m.Code == rtwire.CodeBackpressure {
-				// A bounced fire-and-forget sample.
-				c.Stats.Backpressure.Add(1)
+			if !c.deliver(m.ID, m) {
+				switch m.Code {
+				case rtwire.CodeBackpressure:
+					// A bounced fire-and-forget sample.
+					c.Stats.Backpressure.Add(1)
+				case rtwire.CodeReadOnly:
+					// A sample refused by a standby.
+					c.Stats.ReadOnlyRejects.Add(1)
+				}
 			}
+		case rtwire.Heartbeat:
+			if c.noteEpoch(m.Epoch) {
+				// A heartbeat from a deposed primary: cut the link.
+				conn.Close()
+				return
+			}
+			for {
+				old := c.Stats.MaxPrimarySeq.Load()
+				if m.Seq <= old || c.Stats.MaxPrimarySeq.CompareAndSwap(old, m.Seq) {
+					break
+				}
+			}
+		case rtwire.PromoteInfo:
+			c.notePromoted(m.Epoch)
 		case rtwire.Bye:
 			return
 		}
@@ -347,12 +556,14 @@ func (c *Client) nextID() uint64 { return c.ids.Add(1) }
 // the server-side remainder instead of resetting it.
 func (c *Client) Query(q Query) (Result, error) {
 	issue := time.Now()
-	backoff := c.opt.RetryBackoff
+	// Each call walks its own jittered backoff; the golden-ratio multiplier
+	// spreads concurrent calls of one client apart as well.
+	bo := newBackoff(c.opt.Seed+c.boSeq.Add(1)*0x9e3779b97f4a7c15,
+		c.opt.RetryBackoff, c.opt.RetryBackoffMax)
 	var lastErr error
 	for attempt := 0; attempt <= c.opt.RetryAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			time.Sleep(bo.Next())
 		}
 		id := c.nextID()
 		wq := rtwire.Query{
@@ -367,6 +578,15 @@ func (c *Client) Query(q Query) (Result, error) {
 			if errors.Is(err, ErrConnDown) {
 				continue // redial consumed budget; try again with new Elapsed
 			}
+			var we rtwire.Err
+			if errors.As(err, &we) && we.Code == rtwire.CodeReadOnly {
+				// A standby refused the firm query; rotate onward in
+				// search of the primary and retry on the shrunken budget.
+				c.Stats.ReadOnlyRejects.Add(1)
+				c.rotate()
+				lastErr = fmt.Errorf("%w: %v", ErrReadOnly, err)
+				continue
+			}
 			if errors.Is(err, ErrBackpressure) {
 				// The server accounted the rejection; report it like the
 				// in-process session API does.
@@ -377,6 +597,9 @@ func (c *Client) Query(q Query) (Result, error) {
 		r, ok := msg.(rtwire.Result)
 		if !ok {
 			return Result{}, fmt.Errorf("client: unexpected response %T", msg)
+		}
+		if c.Role() == rtwire.RoleStandby {
+			c.Stats.Degraded.Add(1)
 		}
 		return Result{
 			Answers: r.Answers, Match: r.Match, Useful: r.Useful,

@@ -90,6 +90,14 @@ type Log struct {
 	lastSnap      replayPos
 	sinceSnapshot uint64
 
+	// segFirstSeq maps each on-disk segment to the sequence number of its
+	// first frame — the index ReadSince locates catch-up reads with.
+	segFirstSeq map[uint64]uint64
+	// tails are the live replication subscriptions Append fans out to.
+	tails map[*Tail]struct{}
+	// epoch is the persisted fencing epoch (see repl.go).
+	epoch uint64
+
 	stats Stats
 	buf   []byte
 }
@@ -133,7 +141,8 @@ func Open(opts Options) (*Log, error) {
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
 
-	l := &Log{opts: opts, fs: opts.FS, st: NewState()}
+	l := &Log{opts: opts, fs: opts.FS, st: NewState(), segFirstSeq: map[uint64]uint64{}}
+	l.epoch = l.readEpoch()
 
 	// Newest loadable snapshot wins; unreadable ones are skipped (a crash
 	// during snapshot write leaves a torn .snap behind — the log is the
@@ -150,6 +159,8 @@ func Open(opts Options) (*Log, error) {
 		break
 	}
 
+	snapEvents := l.st.Events
+
 	if len(segs) == 0 {
 		if l.snapSeq != 0 {
 			return nil, fmt.Errorf("log: snapshot %d refers to segment %d but no segments exist", l.snapSeq, pos.seg)
@@ -158,6 +169,7 @@ func Open(opts Options) (*Log, error) {
 			return nil, err
 		}
 		l.stats.Segments = 1
+		l.segFirstSeq[1] = 1
 		return l, nil
 	}
 
@@ -169,6 +181,10 @@ func Open(opts Options) (*Log, error) {
 		start := int64(0)
 		if seg == pos.seg {
 			start = pos.off
+		} else {
+			// Replay enters this segment at offset 0, so the next event
+			// applied is its first frame.
+			l.segFirstSeq[seg] = l.st.Events + 1
 		}
 		last := i == len(segs)-1
 		end, err := l.replaySegment(seg, start, last)
@@ -187,6 +203,7 @@ func Open(opts Options) (*Log, error) {
 		return nil, fmt.Errorf("log: segment %d referenced by snapshot is missing", pos.seg)
 	}
 	l.stats.Segments = uint64(len(segs))
+	l.indexSegments(segs, pos, snapEvents)
 	return l, nil
 }
 
@@ -357,6 +374,7 @@ func (l *Log) Append(e Event) error {
 			l.stats.SnapshotErrors++
 		}
 	}
+	l.publishLocked(e)
 	return nil
 }
 
@@ -401,6 +419,7 @@ func (l *Log) rotate() error {
 		return err
 	}
 	l.stats.Segments++
+	l.segFirstSeq[l.segIndex+1] = l.st.Events + 1
 	return l.openSegment(l.segIndex+1, 0)
 }
 
@@ -544,6 +563,7 @@ func (l *Log) Compact() error {
 			if err := l.fs.Remove(filepath.Join(l.opts.Dir, name)); err != nil {
 				return err
 			}
+			delete(l.segFirstSeq, v)
 		}
 		if v, ok := parseSeq(name, "snap-", ".snap"); ok && v < l.snapSeq {
 			if err := l.fs.Remove(filepath.Join(l.opts.Dir, name)); err != nil {

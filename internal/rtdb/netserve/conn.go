@@ -25,10 +25,20 @@ type conn struct {
 	done   chan struct{}
 	wdone  chan struct{}
 
+	// rstop closes as soon as the read loop returns — before the inflight
+	// wait — so the long-running replication sender (which is inflight-
+	// counted) has a teardown signal that does not depend on its own exit.
+	rstop chan struct{}
+
 	// sem bounds concurrent blocking requests (queries, flushes); the
 	// read loop stalls when it is full, pushing backpressure into TCP.
 	sem      chan struct{}
 	inflight sync.WaitGroup
+
+	// ackCh carries WalAck sequence numbers from the read loop to the
+	// replication sender; repl guards against a second Subscribe.
+	ackCh chan uint64
+	repl  bool
 }
 
 // interruptRead unblocks a pending Read so the read loop can observe the
@@ -214,6 +224,15 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 			wp = append(wp, rtwire.MetricPair{Name: p.Name, Value: p.Value})
 		}
 		wp = c.n.Wire.Snapshot().appendPairs(wp)
+		// Durability coordinates: failover tooling compares a promoted
+		// node's wal_seq against the watermark heard from the old primary.
+		if l := c.n.srv.WAL(); l != nil {
+			wp = append(wp, rtwire.MetricPair{Name: "wal_seq", Value: l.Seq()})
+		}
+		wp = append(wp,
+			rtwire.MetricPair{Name: "epoch", Value: c.n.srv.Epoch()},
+			rtwire.MetricPair{Name: "repl_durable", Value: c.n.ReplDurable()},
+		)
 		c.enqueue(rtwire.Metrics{ID: m.ID, Pairs: wp}.Encode())
 	case rtwire.Flush:
 		select {
@@ -231,6 +250,33 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 			}
 			c.enqueue(rtwire.Flushed{ID: m.ID, Chronon: c.n.srv.Now()}.Encode())
 		}()
+	case rtwire.Subscribe:
+		if c.repl {
+			c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "already subscribed"}.Encode())
+			return true
+		}
+		if c.n.srv.WAL() == nil {
+			c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "replication unavailable: server runs without a wal"}.Encode())
+			return true
+		}
+		c.repl = true
+		c.n.replSubscribe(c, m.AfterSeq)
+		c.inflight.Add(1)
+		go c.serveReplication(m)
+	case rtwire.WalAck:
+		c.n.replAck(c, m.Seq)
+		select {
+		case c.ackCh <- m.Seq:
+		default: // sender reads acks in batches; a stale one is harmless
+		}
+	case rtwire.Heartbeat:
+		c.n.Wire.HeartbeatsIn.Add(1)
+		// The echoed Seq is the replication durability watermark, NOT the
+		// local WAL tail: a client may rely on it surviving this node's
+		// death, so it must only cover what a follower has acknowledged.
+		c.tryEnqueue(rtwire.Heartbeat{
+			Epoch: c.n.srv.Epoch(), Chronon: c.n.srv.Now(), Seq: c.n.ReplDurable(),
+		}.Encode())
 	case rtwire.Bye:
 		return false
 	default:

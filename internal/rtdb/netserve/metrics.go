@@ -35,6 +35,11 @@ type WireMetrics struct {
 	BackpressureFrames atomic.Uint64 // Err/backpressure frames produced
 	WriteDrops         atomic.Uint64 // best-effort frames dropped on full queues
 	DecodeErrors       atomic.Uint64 // frames that failed to parse
+
+	HeartbeatsIn    atomic.Uint64 // client heartbeats echoed
+	ReplBatchesOut  atomic.Uint64 // WalBatch frames streamed to followers
+	ReplResyncs     atomic.Uint64 // full-state resyncs forced by compaction
+	ReplGapRestarts atomic.Uint64 // live-tail gaps that fell back to catch-up
 }
 
 // WireSnapshot is a plain copy of the counters at one instant.
@@ -46,6 +51,9 @@ type WireSnapshot struct {
 	SamplesIn, QueriesIn, AsOfReads      uint64
 	ExpiredOnArrival, BackpressureFrames uint64
 	WriteDrops, DecodeErrors             uint64
+
+	HeartbeatsIn, ReplBatchesOut uint64
+	ReplResyncs, ReplGapRestarts uint64
 }
 
 // Snapshot copies the counters.
@@ -65,6 +73,10 @@ func (w *WireMetrics) Snapshot() WireSnapshot {
 		BackpressureFrames: w.BackpressureFrames.Load(),
 		WriteDrops:         w.WriteDrops.Load(),
 		DecodeErrors:       w.DecodeErrors.Load(),
+		HeartbeatsIn:       w.HeartbeatsIn.Load(),
+		ReplBatchesOut:     w.ReplBatchesOut.Load(),
+		ReplResyncs:        w.ReplResyncs.Load(),
+		ReplGapRestarts:    w.ReplGapRestarts.Load(),
 	}
 }
 
@@ -75,7 +87,7 @@ func (w WireSnapshot) Pairs() []rtwire.MetricPair {
 }
 
 // wireMetricCount is the number of pairs appendPairs adds (capacity hint).
-const wireMetricCount = 14
+const wireMetricCount = 18
 
 // appendPairs appends the wire counters as named pairs (prefixed "net_")
 // after the server's rows, so the metrics frame carries one flat table.
@@ -97,5 +109,9 @@ func (w WireSnapshot) appendPairs(dst []rtwire.MetricPair) []rtwire.MetricPair {
 	add("backpressure_frames", w.BackpressureFrames)
 	add("write_drops", w.WriteDrops)
 	add("decode_errors", w.DecodeErrors)
+	add("heartbeats_in", w.HeartbeatsIn)
+	add("repl_batches_out", w.ReplBatchesOut)
+	add("repl_resyncs", w.ReplResyncs)
+	add("repl_gap_restarts", w.ReplGapRestarts)
 	return dst
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rtc/internal/rtdb/server"
@@ -50,6 +51,20 @@ type Options struct {
 	WriteTimeout time.Duration
 	// HandshakeTimeout bounds the Hello/Welcome exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// HeartbeatInterval paces the liveness beacons the replication sender
+	// emits on idle links; client heartbeats are echoed regardless
+	// (default 15s).
+	HeartbeatInterval time.Duration
+	// ReplWindow bounds the unacknowledged events in flight to one
+	// follower; a follower that stops acking stalls only its own sender
+	// (default 256).
+	ReplWindow int
+	// ReplBatch bounds the events per WalBatch frame (default 64).
+	ReplBatch int
+	// TailBuffer sizes the live-tail subscription buffer per follower; on
+	// overflow the log drops (never blocks) and the sender falls back to
+	// catch-up from the segments (default 1024).
+	TailBuffer int
 }
 
 func (o *Options) defaults() {
@@ -67,6 +82,18 @@ func (o *Options) defaults() {
 	}
 	if o.HandshakeTimeout <= 0 {
 		o.HandshakeTimeout = 5 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 15 * time.Second
+	}
+	if o.ReplWindow <= 0 {
+		o.ReplWindow = 256
+	}
+	if o.ReplBatch <= 0 {
+		o.ReplBatch = 64
+	}
+	if o.TailBuffer <= 0 {
+		o.TailBuffer = 1024
 	}
 }
 
@@ -90,6 +117,17 @@ type Server struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
+	// Replication durability watermark: replAcked tracks the highest seq
+	// each live follower has acknowledged; replDurable is the monotone max
+	// of the minimum across followers — the highest seq known to survive
+	// this node's death. Client-facing heartbeats advertise it (never the
+	// local WAL tail), so a client's failover watermark only ever covers
+	// writes a standby actually holds. Sticky on follower disconnect: what
+	// was once replicated stays replicated.
+	replMu      sync.Mutex
+	replAcked   map[*conn]uint64
+	replDurable atomic.Uint64
+
 	// Wire is the transport-level counter block, the per-connection
 	// metrics folded into one place (connections add into it live).
 	Wire WireMetrics
@@ -101,10 +139,11 @@ type Server struct {
 func New(srv *server.Server, opt Options) *Server {
 	opt.defaults()
 	n := &Server{
-		srv:   srv,
-		opt:   opt,
-		conns: make(map[*conn]struct{}),
-		quit:  make(chan struct{}),
+		srv:       srv,
+		opt:       opt,
+		conns:     make(map[*conn]struct{}),
+		replAcked: make(map[*conn]uint64),
+		quit:      make(chan struct{}),
 	}
 	n.pool = make(chan int, srv.Sessions())
 	for id := 0; id < srv.Sessions(); id++ {
@@ -195,6 +234,49 @@ func (n *Server) unregister(c *conn) {
 	n.mu.Unlock()
 }
 
+// ReplDurable is the replication durability watermark: the highest WAL
+// sequence every follower that has subscribed is known to have acknowledged
+// (applied and persisted). Zero until a follower acks. Monotone: a follower
+// disconnecting does not retract what it already holds.
+func (n *Server) ReplDurable() uint64 { return n.replDurable.Load() }
+
+// replSubscribe registers a follower connection in the durability registry
+// with the seq it claims to already hold.
+func (n *Server) replSubscribe(c *conn, afterSeq uint64) {
+	n.replMu.Lock()
+	n.replAcked[c] = afterSeq
+	n.replMu.Unlock()
+}
+
+// replAck records one follower acknowledgment and advances the watermark to
+// the minimum acked seq across live followers (CAS-max: never backward).
+func (n *Server) replAck(c *conn, seq uint64) {
+	n.replMu.Lock()
+	if cur, ok := n.replAcked[c]; ok && seq > cur {
+		n.replAcked[c] = seq
+	}
+	min := uint64(0)
+	first := true
+	for _, s := range n.replAcked {
+		if first || s < min {
+			min, first = s, false
+		}
+	}
+	n.replMu.Unlock()
+	for {
+		cur := n.replDurable.Load()
+		if min <= cur || n.replDurable.CompareAndSwap(cur, min) {
+			return
+		}
+	}
+}
+
+func (n *Server) replForget(c *conn) {
+	n.replMu.Lock()
+	delete(n.replAcked, c)
+	n.replMu.Unlock()
+}
+
 // handle runs one accepted socket: handshake, session checkout, read loop,
 // drain, teardown.
 func (n *Server) handle(nc net.Conn) {
@@ -226,22 +308,32 @@ func (n *Server) handle(nc net.Conn) {
 		writeq: make(chan []byte, n.opt.WriteQueue),
 		done:   make(chan struct{}),
 		wdone:  make(chan struct{}),
+		rstop:  make(chan struct{}),
 		sem:    make(chan struct{}, n.opt.MaxInflight),
+		ackCh:  make(chan uint64, 16),
 	}
 	n.register(c)
 	defer n.unregister(c)
 	defer n.Wire.ConnsClosed.Add(1)
 
 	go c.writeLoop()
-	c.enqueue(rtwire.Welcome{Session: uint64(session), Chronon: n.srv.Now()}.Encode())
+	c.enqueue(rtwire.Welcome{
+		Session: uint64(session), Chronon: n.srv.Now(),
+		Epoch: n.srv.Epoch(), Role: rtwire.RolePrimary,
+	}.Encode())
 
 	c.readLoop()
 
-	// Drain: wait for in-flight queries/flushes to enqueue their
-	// responses, flush this connection's session so every sample it
-	// submitted is applied (SamplesIn == SamplesApplied survives
-	// mid-flight shutdown), announce the close, then let the writer
-	// finish the queue.
+	// Drain: stop the replication sender first (it exits on rstop, so the
+	// inflight wait below cannot deadlock on it), wait for in-flight
+	// queries/flushes to enqueue their responses, flush this connection's
+	// session so every sample it submitted is applied (SamplesIn ==
+	// SamplesApplied survives mid-flight shutdown), announce the close,
+	// then let the writer finish the queue.
+	close(c.rstop)
+	if c.repl {
+		n.replForget(c)
+	}
 	c.inflight.Wait()
 	_ = c.sess.Flush()
 	c.tryEnqueue(rtwire.Bye{Reason: "drain"}.Encode())

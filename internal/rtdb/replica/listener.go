@@ -1,0 +1,272 @@
+package replica
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtdb/netserve"
+	"rtc/internal/rtwire"
+	"rtc/internal/timeseq"
+)
+
+// This file is the hot-standby serving surface: a lean rtwire listener that
+// answers reads from the replicated state and refuses everything that only
+// a primary may accept. Unlike netserve there is no session, no write
+// queue, and no apply loop — every request is answered inline from either
+// the published as-of snapshot (lock-free) or the query mirror (under mu).
+//
+// The serving contract:
+//
+//	Sample        → Err CodeReadOnly (accounted SamplesIn + SamplesRejected)
+//	Query (firm)  → Err CodeReadOnly (accounted QueriesIn + QueriesRejected
+//	                + RejectMiss, so the conservation law holds)
+//	Query (soft / no deadline) → evaluated on the mirror, accounted through
+//	                AccountDegraded — answered, but marked a distinct
+//	                quality class
+//	AsOf, MetricsReq, Flush, Heartbeat → served
+//	Subscribe     → refused (replicas do not chain)
+
+// sconn is one standby client connection; wmu serializes frame writes so a
+// PromoteInfo broadcast cannot interleave with a response.
+type sconn struct {
+	nc  net.Conn
+	wmu chan struct{} // 1-token write lock usable with a deadline
+}
+
+func (c *sconn) write(frame []byte, timeout time.Duration) bool {
+	select {
+	case c.wmu <- struct{}{}:
+	case <-time.After(timeout):
+		return false
+	}
+	defer func() { <-c.wmu }()
+	_ = c.nc.SetWriteDeadline(time.Now().Add(timeout))
+	_, err := c.nc.Write(frame)
+	return err == nil
+}
+
+// newFrameReader and readMsg keep the tailer and the listener on the same
+// decode path.
+func newFrameReader(nc net.Conn) *bufio.Reader { return bufio.NewReader(nc) }
+
+func readMsg(br *bufio.Reader) (any, error) {
+	f, err := rtwire.ReadFrame(br)
+	if err != nil {
+		return nil, err
+	}
+	return rtwire.Decode(f)
+}
+
+// Listen starts the standby listener on addr in a background goroutine and
+// returns the bound address.
+func (r *Replica) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.cmu.Lock()
+	r.ln = ln
+	r.cmu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			r.wg.Add(1)
+			go r.serveConn(nc)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// role is what the standby announces: RoleStandby until promotion.
+func (r *Replica) role() rtwire.Role {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.promoted {
+		return rtwire.RolePrimary
+	}
+	return rtwire.RoleStandby
+}
+
+// chronon is the virtual time the standby reports: the timestamp horizon of
+// the replicated state.
+func (r *Replica) chronon() timeseq.Time {
+	if h := r.hist.Load(); h != nil {
+		return h.at
+	}
+	return 0
+}
+
+func (r *Replica) serveConn(nc net.Conn) {
+	defer r.wg.Done()
+	defer nc.Close()
+	c := &sconn{nc: nc, wmu: make(chan struct{}, 1)}
+
+	_ = nc.SetReadDeadline(time.Now().Add(r.cfg.HandshakeTimeout))
+	br := newFrameReader(nc)
+	f, err := rtwire.ReadFrame(br)
+	if err != nil || f.Kind != rtwire.KindHello {
+		c.write(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "expected hello"}.Encode(), r.cfg.WriteTimeout)
+		return
+	}
+	r.cmu.Lock()
+	r.sconns[c] = struct{}{}
+	r.cmu.Unlock()
+	defer func() {
+		r.cmu.Lock()
+		delete(r.sconns, c)
+		r.cmu.Unlock()
+	}()
+	c.write(rtwire.Welcome{
+		Session: 0, Chronon: r.chronon(), Epoch: r.Epoch(), Role: r.role(),
+	}.Encode(), r.cfg.WriteTimeout)
+
+	for {
+		_ = nc.SetReadDeadline(time.Now().Add(2 * time.Minute))
+		f, err := rtwire.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		msg, err := rtwire.Decode(f)
+		if err != nil {
+			c.write(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: err.Error()}.Encode(), r.cfg.WriteTimeout)
+			continue
+		}
+		switch m := msg.(type) {
+		case rtwire.Sample:
+			r.Metrics.SamplesIn.Add(1)
+			r.Metrics.SamplesRejected.Add(1)
+			c.write(rtwire.Err{ID: m.ID, Code: rtwire.CodeReadOnly, Msg: "standby: writes go to the primary"}.Encode(), r.cfg.WriteTimeout)
+		case rtwire.Query:
+			c.write(r.serveQuery(m), r.cfg.WriteTimeout)
+		case rtwire.AsOf:
+			c.write(r.serveAsOf(m), r.cfg.WriteTimeout)
+		case rtwire.MetricsReq:
+			c.write(r.serveMetrics(m), r.cfg.WriteTimeout)
+		case rtwire.Flush:
+			// Nothing a standby accepts is ever pending.
+			c.write(rtwire.Flushed{ID: m.ID, Chronon: r.chronon()}.Encode(), r.cfg.WriteTimeout)
+		case rtwire.Heartbeat:
+			c.write(rtwire.Heartbeat{
+				Epoch: r.Epoch(), Chronon: r.chronon(), Seq: r.Seq(),
+			}.Encode(), r.cfg.WriteTimeout)
+		case rtwire.Subscribe:
+			c.write(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "standby: replicas do not serve replication"}.Encode(), r.cfg.WriteTimeout)
+		case rtwire.Bye:
+			return
+		default:
+			c.write(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "unexpected " + f.Kind.String()}.Encode(), r.cfg.WriteTimeout)
+		}
+	}
+}
+
+// serveQuery implements the degraded-query discipline described at the top
+// of the file.
+func (r *Replica) serveQuery(m rtwire.Query) []byte {
+	if m.Kind == deadline.Firm {
+		r.Metrics.QueriesIn.Add(1)
+		r.Metrics.QueriesRejected.Add(1)
+		r.Metrics.RejectMiss.Add(1)
+		return rtwire.Err{ID: m.ID, Code: rtwire.CodeReadOnly, Msg: "standby: firm queries go to the primary"}.Encode()
+	}
+	qr, expired := netserve.Translate(m)
+	now := r.chronon()
+	if expired {
+		r.Metrics.AccountExpired()
+		return rtwire.Result{
+			ID: m.ID, Missed: true, Issue: now, Served: now, ExpiredOnArrival: true,
+		}.Encode()
+	}
+
+	r.mu.Lock()
+	db := r.db
+	var answers []string
+	evaluated := false
+	if db != nil {
+		if q, ok := r.cfg.Catalog[qr.Query]; ok {
+			answers = q(db.ViewNow())
+			evaluated = true
+		}
+	}
+	r.mu.Unlock()
+	if db == nil {
+		r.Metrics.QueriesIn.Add(1)
+		r.Metrics.QueriesRejected.Add(1)
+		if m.Kind != deadline.None {
+			r.Metrics.RejectMiss.Add(1)
+		}
+		return rtwire.Err{ID: m.ID, Code: rtwire.CodeReadOnly, Msg: "standby: no query mirror available"}.Encode()
+	}
+
+	match := false
+	if m.Candidate != "" {
+		for _, a := range answers {
+			if a == m.Candidate {
+				match = true
+				break
+			}
+		}
+	}
+	// Serving is instantaneous in chronon terms (no apply loop to wait
+	// for); an unexpired soft query is therefore a hit, an unknown query
+	// name a miss when a deadline rides on it.
+	missed := !evaluated && m.Kind != deadline.None
+	r.Metrics.AccountDegraded(missed, m.Kind != deadline.None)
+	useful := qr.MinUseful
+	if missed {
+		useful = 0
+	}
+	return rtwire.Result{
+		ID: m.ID, Answers: answers, Match: match, Useful: useful,
+		Missed: missed, Evaluated: evaluated, Issue: now, Served: now,
+	}.Encode()
+}
+
+func (r *Replica) serveAsOf(m rtwire.AsOf) []byte {
+	r.Metrics.AsOfReads.Add(1)
+	h := r.hist.Load()
+	if h == nil {
+		return rtwire.AsOfResult{ID: m.ID}.Encode()
+	}
+	out := rtwire.AsOfResult{ID: m.ID, Horizon: h.at}
+	if rel, ok := h.db.Relation(m.Image); ok {
+		for _, row := range rel.Rows() {
+			if row.Valid.Contains(m.At) && len(row.Tuple) == 2 && row.Tuple[0] == m.Image {
+				out.OK, out.Value = true, row.Tuple[1]
+				break
+			}
+		}
+	}
+	return out.Encode()
+}
+
+func (r *Replica) serveMetrics(m rtwire.MetricsReq) []byte {
+	pairs := r.Metrics.Snapshot().Pairs()
+	wp := make([]rtwire.MetricPair, 0, len(pairs)+10)
+	for _, p := range pairs {
+		wp = append(wp, rtwire.MetricPair{Name: p.Name, Value: p.Value})
+	}
+	wp = append(wp,
+		// wal_seq and epoch use the same names netserve reports, so
+		// failover tooling reads one coordinate regardless of role.
+		rtwire.MetricPair{Name: "wal_seq", Value: r.Seq()},
+		rtwire.MetricPair{Name: "epoch", Value: r.Epoch()},
+		rtwire.MetricPair{Name: "repl_seq", Value: r.Seq()},
+		rtwire.MetricPair{Name: "repl_epoch", Value: r.Epoch()},
+		rtwire.MetricPair{Name: "repl_batches_in", Value: r.Repl.BatchesIn.Load()},
+		rtwire.MetricPair{Name: "repl_events_applied", Value: r.Repl.EventsApplied.Load()},
+		rtwire.MetricPair{Name: "repl_dup_skipped", Value: r.Repl.DupSkipped.Load()},
+		rtwire.MetricPair{Name: "repl_gap_resubscribes", Value: r.Repl.GapResubscribes.Load()},
+		rtwire.MetricPair{Name: "repl_resyncs", Value: r.Repl.Resyncs.Load()},
+		rtwire.MetricPair{Name: "repl_stale_batches", Value: r.Repl.StaleBatches.Load()},
+		rtwire.MetricPair{Name: "repl_reconnects", Value: r.Repl.Reconnects.Load()},
+		rtwire.MetricPair{Name: "repl_promotions", Value: r.Repl.Promotions.Load()},
+	)
+	return rtwire.Metrics{ID: m.ID, Pairs: wp}.Encode()
+}

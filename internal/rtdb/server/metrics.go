@@ -43,6 +43,12 @@ type Metrics struct {
 	// already consumed when the frame arrived — rejected before entering
 	// any session queue, never evaluated.
 	ExpiredOnArrival atomic.Uint64
+	// Degraded is the subset of query outcomes served by a standby during a
+	// primary outage: answered from replicated state that may trail the
+	// primary, so it is a distinct quality class even when the deadline was
+	// met. Like ExpiredOnArrival it annotates, it does not add a term to
+	// the conservation law.
+	Degraded atomic.Uint64
 
 	PeriodicIssued atomic.Uint64
 	PeriodicHit    atomic.Uint64
@@ -65,43 +71,44 @@ type MetricsSnapshot struct {
 
 	SamplesIn, SamplesRejected, SamplesApplied uint64
 
-	QueriesIn, QueriesRejected, RejectMiss uint64
-	DeadlineHit, DeadlineMiss, NoDeadline  uint64
-	AdmissionSkip, ExpiredOnArrival        uint64
+	QueriesIn, QueriesRejected, RejectMiss    uint64
+	DeadlineHit, DeadlineMiss, NoDeadline     uint64
+	AdmissionSkip, ExpiredOnArrival, Degraded uint64
 	PeriodicIssued, PeriodicHit, PeriodicMiss uint64
 
 	AsOfReads, RuleFirings, CascadeDepthMax uint64
 
-	WalAppends, WalErrors                   uint64
-	FsyncCount, FsyncNanos, FsyncMaxNanos   uint64
+	WalAppends, WalErrors                 uint64
+	FsyncCount, FsyncNanos, FsyncMaxNanos uint64
 }
 
 // Snapshot copies the counters.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Chronon:         m.Chronon.Load(),
-		SamplesIn:       m.SamplesIn.Load(),
-		SamplesRejected: m.SamplesRejected.Load(),
-		SamplesApplied:  m.SamplesApplied.Load(),
-		QueriesIn:       m.QueriesIn.Load(),
-		QueriesRejected: m.QueriesRejected.Load(),
-		RejectMiss:      m.RejectMiss.Load(),
-		DeadlineHit:     m.DeadlineHit.Load(),
-		DeadlineMiss:    m.DeadlineMiss.Load(),
+		Chronon:          m.Chronon.Load(),
+		SamplesIn:        m.SamplesIn.Load(),
+		SamplesRejected:  m.SamplesRejected.Load(),
+		SamplesApplied:   m.SamplesApplied.Load(),
+		QueriesIn:        m.QueriesIn.Load(),
+		QueriesRejected:  m.QueriesRejected.Load(),
+		RejectMiss:       m.RejectMiss.Load(),
+		DeadlineHit:      m.DeadlineHit.Load(),
+		DeadlineMiss:     m.DeadlineMiss.Load(),
 		NoDeadline:       m.NoDeadline.Load(),
 		AdmissionSkip:    m.AdmissionSkip.Load(),
 		ExpiredOnArrival: m.ExpiredOnArrival.Load(),
-		PeriodicIssued:  m.PeriodicIssued.Load(),
-		PeriodicHit:     m.PeriodicHit.Load(),
-		PeriodicMiss:    m.PeriodicMiss.Load(),
-		AsOfReads:       m.AsOfReads.Load(),
-		RuleFirings:     m.RuleFirings.Load(),
-		CascadeDepthMax: m.CascadeDepthMax.Load(),
-		WalAppends:      m.WalAppends.Load(),
-		WalErrors:       m.WalErrors.Load(),
-		FsyncCount:      m.FsyncCount.Load(),
-		FsyncNanos:      m.FsyncNanos.Load(),
-		FsyncMaxNanos:   m.FsyncMaxNanos.Load(),
+		Degraded:         m.Degraded.Load(),
+		PeriodicIssued:   m.PeriodicIssued.Load(),
+		PeriodicHit:      m.PeriodicHit.Load(),
+		PeriodicMiss:     m.PeriodicMiss.Load(),
+		AsOfReads:        m.AsOfReads.Load(),
+		RuleFirings:      m.RuleFirings.Load(),
+		CascadeDepthMax:  m.CascadeDepthMax.Load(),
+		WalAppends:       m.WalAppends.Load(),
+		WalErrors:        m.WalErrors.Load(),
+		FsyncCount:       m.FsyncCount.Load(),
+		FsyncNanos:       m.FsyncNanos.Load(),
+		FsyncMaxNanos:    m.FsyncMaxNanos.Load(),
 	}
 }
 
@@ -115,6 +122,24 @@ func (m *Metrics) AccountExpired() {
 	m.QueriesIn.Add(1)
 	m.DeadlineMiss.Add(1)
 	m.ExpiredOnArrival.Add(1)
+}
+
+// AccountDegraded records a query served by a standby node during a primary
+// outage. The submission and its terminal outcome are booked in one step so
+// the conservation law holds on the standby too: missed says whether the
+// (translated) deadline was blown, hasDeadline whether the query carried
+// one at all.
+func (m *Metrics) AccountDegraded(missed, hasDeadline bool) {
+	m.QueriesIn.Add(1)
+	m.Degraded.Add(1)
+	switch {
+	case !hasDeadline:
+		m.NoDeadline.Add(1)
+	case missed:
+		m.DeadlineMiss.Add(1)
+	default:
+		m.DeadlineHit.Add(1)
+	}
 }
 
 // QueriesAccounted sums every terminal outcome an aperiodic query can have.
@@ -149,6 +174,7 @@ func (s MetricsSnapshot) Pairs() []MetricPair {
 		{"no_deadline", s.NoDeadline},
 		{"admission_skip", s.AdmissionSkip},
 		{"expired_on_arrival", s.ExpiredOnArrival},
+		{"degraded", s.Degraded},
 		{"periodic_issued", s.PeriodicIssued},
 		{"periodic_hit", s.PeriodicHit},
 		{"periodic_miss", s.PeriodicMiss},

@@ -9,9 +9,9 @@ import (
 	"sync/atomic"
 
 	"rtc/internal/deadline"
-	wal "rtc/internal/rtdb/log"
 	"rtc/internal/relational"
 	"rtc/internal/rtdb"
+	wal "rtc/internal/rtdb/log"
 	"rtc/internal/timeseq"
 	"rtc/internal/vtime"
 )
@@ -294,6 +294,20 @@ func (s *Server) Now() timeseq.Time { return timeseq.Time(s.clock.Load()) }
 // DB exposes the underlying database. It must only be touched while the
 // server is stopped (the apply loop owns it while running).
 func (s *Server) DB() *rtdb.DB { return s.db }
+
+// WAL exposes the write-ahead log (nil when the server runs without one).
+// The replication fan-out reads catch-up batches and subscribes to the live
+// tail through it.
+func (s *Server) WAL() *wal.Log { return s.cfg.Log }
+
+// Epoch returns the node's fencing epoch: the WAL's persisted epoch, or 1
+// for a log-less server (which can never be deposed, having no replica).
+func (s *Server) Epoch() uint64 {
+	if s.cfg.Log == nil {
+		return 1
+	}
+	return s.cfg.Log.Epoch()
+}
 
 // Tick advances the virtual clock by n chronons through the apply loop —
 // idle time during which periodic queries still fire. It blocks until

@@ -1,0 +1,33 @@
+package torture
+
+import "testing"
+
+// TestFailoverSweepShort is the tier-1 bounded variant: a handful of kill
+// points with a live replica and a promotion at each one.
+func TestFailoverSweepShort(t *testing.T) {
+	rep := Config{Seed: 1, Events: 40, Stride: 17, Logf: t.Logf}.FailoverSweep()
+	report(t, rep)
+}
+
+// TestFailoverSweepFull kills the primary at every single WAL fault point of
+// the full workload — the ISSUE acceptance bar is ≥ 200 kill points.
+func TestFailoverSweepFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full failover sweep is minutes of work; run without -short")
+	}
+	rep := Config{Seed: 1, Stride: 1, Logf: t.Logf}.FailoverSweep()
+	report(t, rep)
+	if rep.Points < 200 {
+		t.Fatalf("full sweep exercised only %d kill points, want >= 200", rep.Points)
+	}
+}
+
+// TestFailoverPointRepro pins one kill point the way `rttorture -mode
+// failover -at K` would replay it.
+func TestFailoverPointRepro(t *testing.T) {
+	rep := Config{Seed: 1, Events: 40, At: 9}.FailoverSweep()
+	if rep.Points != 1 {
+		t.Fatalf("At should pin exactly one point, got %d", rep.Points)
+	}
+	report(t, rep)
+}

@@ -26,7 +26,7 @@ func goldenMessages() []struct {
 		msg  encoder
 	}{
 		{"hello", Hello{Client: "client-a"}},
-		{"welcome", Welcome{Session: 3, Chronon: 1021}},
+		{"welcome", Welcome{Session: 3, Chronon: 1021, Epoch: 2, Role: RoleStandby}},
 		{"sample", Sample{ID: 7, Image: "temp", Value: "21"}},
 		{"sample_escaped", Sample{ID: 7, Image: "te$mp", Value: "2@1%#"}},
 		{"query_firm", Query{ID: 8, Query: "status_q", Candidate: "ok", Kind: 1, Deadline: 40, Elapsed: 3, MinUseful: 1}},
@@ -41,6 +41,12 @@ func goldenMessages() []struct {
 		{"flushed", Flushed{ID: 11, Chronon: 700}},
 		{"err_backpressure", Err{ID: 12, Code: CodeBackpressure, Msg: "session queue full"}},
 		{"bye", Bye{Reason: "drain"}},
+		{"subscribe", Subscribe{AfterSeq: 41, Follower: "replica-1"}},
+		{"wal_batch_live", WalBatch{Epoch: 2, FirstSeq: 42, Events: []string{"s@9@temp@21", "q$esc@%#val"}}},
+		{"wal_batch_snap_final", WalBatch{Epoch: 2, Snap: SnapFinal, SnapSeq: 40, SnapLastAt: 900}},
+		{"wal_ack", WalAck{Seq: 43}},
+		{"heartbeat", Heartbeat{Epoch: 2, Chronon: 1022, Seq: 43}},
+		{"promote_info", PromoteInfo{Epoch: 3, Seq: 44}},
 	}
 }
 

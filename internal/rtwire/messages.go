@@ -56,6 +56,12 @@ const (
 	CodeServerFull
 	// CodeBadRequest: the frame did not parse or referenced nothing.
 	CodeBadRequest
+	// CodeReadOnly: the node is a standby; it refuses writes and firm
+	// queries (their freshness cannot be guaranteed behind the primary).
+	CodeReadOnly
+	// CodeStale: the peer's fencing epoch is behind — a deposed primary or
+	// an outdated follower; its frames are rejected.
+	CodeStale
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +75,10 @@ func (c ErrCode) String() string {
 		return "server_full"
 	case CodeBadRequest:
 		return "bad_request"
+	case CodeReadOnly:
+		return "read_only"
+	case CodeStale:
+		return "stale_epoch"
 	default:
 		return fmt.Sprintf("ErrCode(%d)", uint8(c))
 	}
@@ -77,10 +87,36 @@ func (c ErrCode) String() string {
 // Hello opens a connection.
 type Hello struct{ Client string }
 
-// Welcome acknowledges a Hello.
+// Role names what a node is at handshake time.
+type Role uint8
+
+const (
+	// RolePrimary accepts writes; its WAL is the replication source.
+	RolePrimary Role = iota
+	// RoleStandby tails a primary's WAL and serves reads only.
+	RoleStandby
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleStandby:
+		return "standby"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Welcome acknowledges a Hello. Epoch is the node's fencing epoch: it
+// increases on every promotion, so a client that has seen a newer epoch
+// rejects a Welcome from a deposed primary.
 type Welcome struct {
 	Session uint64
 	Chronon timeseq.Time // server chronon at accept
+	Epoch   uint64
+	Role    Role
 }
 
 // Sample is one timed sensor sample.
@@ -182,9 +218,66 @@ func (e Err) Error() string { return fmt.Sprintf("rtwire: %s: %s", e.Code, e.Msg
 // Bye announces an orderly close.
 type Bye struct{ Reason string }
 
-func u(v uint64) string         { return encoding.FieldUint(v) }
-func t(v timeseq.Time) string   { return encoding.FieldUint(uint64(v)) }
-func boolField(b bool) string   { return map[bool]string{false: "0", true: "1"}[b] }
+// Subscribe switches the connection into WAL-follower mode: the primary
+// streams every log event with sequence number > AfterSeq.
+type Subscribe struct {
+	AfterSeq uint64
+	Follower string // follower name, for the primary's logs
+}
+
+// Snap classifies a WalBatch: live events, one chunk of a full-state
+// resync, or the resync's terminating frame.
+const (
+	// SnapNone: Events are live WAL events, FirstSeq the first one's seq.
+	SnapNone uint8 = iota
+	// SnapPart: Events are one chunk of a state-dump resync; sequence
+	// numbers do not apply until the final chunk arrives.
+	SnapPart
+	// SnapFinal: the resync is complete. SnapSeq/SnapLastAt are the WAL
+	// sequence and last timestamp the dumped state corresponds to; the
+	// follower bootstraps its log from the accumulated dump.
+	SnapFinal
+)
+
+// WalBatch carries a contiguous run of WAL events from the primary's log.
+// Each entry of Events is the raw record payload of one log event (the
+// bytes of its $f1@f2@…$ encoding) — opaque to the wire layer, decoded by
+// the follower's log package. Epoch fences the stream: a follower rejects
+// batches from an epoch older than the newest it has seen.
+type WalBatch struct {
+	Epoch      uint64
+	FirstSeq   uint64
+	Snap       uint8
+	SnapSeq    uint64
+	SnapLastAt timeseq.Time
+	Events     []string
+}
+
+// WalAck acknowledges that the follower durably applied events through
+// Seq; it opens the primary's bounded send window.
+type WalAck struct{ Seq uint64 }
+
+// Heartbeat is the liveness beacon. On replication links the primary sends
+// it when idle (Seq = newest log sequence, so the follower can detect lag
+// without traffic); on plain client connections the client sends it when
+// idle and the server echoes it.
+type Heartbeat struct {
+	Epoch   uint64
+	Chronon timeseq.Time
+	Seq     uint64
+}
+
+// PromoteInfo announces a promotion: the sender is now primary at Epoch
+// with its log at Seq. A standby broadcasts it to its read clients before
+// re-opening as primary.
+type PromoteInfo struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+func u(v uint64) string       { return encoding.FieldUint(v) }
+func t(v timeseq.Time) string { return encoding.FieldUint(uint64(v)) }
+func boolField(b bool) string { return map[bool]string{false: "0", true: "1"}[b] }
 func parseBool(s string) (bool, bool) {
 	switch s {
 	case "0":
@@ -205,7 +298,7 @@ func (m Hello) Encode() []byte { return EncodeFields(KindHello, m.Client) }
 
 // Encode renders the message as one frame.
 func (m Welcome) Encode() []byte {
-	return EncodeFields(KindWelcome, u(m.Session), t(m.Chronon))
+	return EncodeFields(KindWelcome, u(m.Session), t(m.Chronon), u(m.Epoch), u(uint64(m.Role)))
 }
 
 // Encode renders the message as one frame.
@@ -271,6 +364,32 @@ func (m Err) Encode() []byte {
 // Encode renders the message as one frame.
 func (m Bye) Encode() []byte { return EncodeFields(KindBye, m.Reason) }
 
+// Encode renders the message as one frame.
+func (m Subscribe) Encode() []byte {
+	return EncodeFields(KindSubscribe, u(m.AfterSeq), m.Follower)
+}
+
+// Encode renders the message as one frame.
+func (m WalBatch) Encode() []byte {
+	fields := make([]string, 0, 5+len(m.Events))
+	fields = append(fields, u(m.Epoch), u(m.FirstSeq), u(uint64(m.Snap)), u(m.SnapSeq), t(m.SnapLastAt))
+	fields = append(fields, m.Events...)
+	return EncodeFields(KindWalBatch, fields...)
+}
+
+// Encode renders the message as one frame.
+func (m WalAck) Encode() []byte { return EncodeFields(KindWalAck, u(m.Seq)) }
+
+// Encode renders the message as one frame.
+func (m Heartbeat) Encode() []byte {
+	return EncodeFields(KindHeartbeat, u(m.Epoch), t(m.Chronon), u(m.Seq))
+}
+
+// Encode renders the message as one frame.
+func (m PromoteInfo) Encode() []byte {
+	return EncodeFields(KindPromoteInfo, u(m.Epoch), u(m.Seq))
+}
+
 // Decode parses a frame into its typed message.
 func Decode(f Frame) (any, error) {
 	fields, err := f.Fields()
@@ -288,15 +407,20 @@ func Decode(f Frame) (any, error) {
 		}
 		return Hello{Client: fields[0]}, nil
 	case KindWelcome:
-		if !need(2) {
+		if !need(4) {
 			return bad()
 		}
 		sess, ok1 := parseU(fields[0])
 		chr, ok2 := parseU(fields[1])
-		if !ok1 || !ok2 {
+		epoch, ok3 := parseU(fields[2])
+		role, ok4 := parseU(fields[3])
+		if !(ok1 && ok2 && ok3 && ok4) || role > uint64(RoleStandby) {
 			return bad()
 		}
-		return Welcome{Session: sess, Chronon: timeseq.Time(chr)}, nil
+		return Welcome{
+			Session: sess, Chronon: timeseq.Time(chr),
+			Epoch: epoch, Role: Role(role),
+		}, nil
 	case KindSample:
 		if !need(3) {
 			return bad()
@@ -439,6 +563,66 @@ func Decode(f Frame) (any, error) {
 			return bad()
 		}
 		return Bye{Reason: fields[0]}, nil
+	case KindSubscribe:
+		if !need(2) {
+			return bad()
+		}
+		after, ok := parseU(fields[0])
+		if !ok {
+			return bad()
+		}
+		return Subscribe{AfterSeq: after, Follower: fields[1]}, nil
+	case KindWalBatch:
+		if !need(5) {
+			return bad()
+		}
+		epoch, ok0 := parseU(fields[0])
+		first, ok1 := parseU(fields[1])
+		snap, ok2 := parseU(fields[2])
+		snapSeq, ok3 := parseU(fields[3])
+		snapAt, ok4 := parseU(fields[4])
+		if !(ok0 && ok1 && ok2 && ok3 && ok4) || snap > uint64(SnapFinal) {
+			return bad()
+		}
+		var events []string
+		if len(fields) > 5 {
+			events = append(events, fields[5:]...)
+		}
+		return WalBatch{
+			Epoch: epoch, FirstSeq: first,
+			Snap: uint8(snap), SnapSeq: snapSeq, SnapLastAt: timeseq.Time(snapAt),
+			Events: events,
+		}, nil
+	case KindWalAck:
+		if !need(1) {
+			return bad()
+		}
+		seq, ok := parseU(fields[0])
+		if !ok {
+			return bad()
+		}
+		return WalAck{Seq: seq}, nil
+	case KindHeartbeat:
+		if !need(3) {
+			return bad()
+		}
+		epoch, ok1 := parseU(fields[0])
+		chr, ok2 := parseU(fields[1])
+		seq, ok3 := parseU(fields[2])
+		if !(ok1 && ok2 && ok3) {
+			return bad()
+		}
+		return Heartbeat{Epoch: epoch, Chronon: timeseq.Time(chr), Seq: seq}, nil
+	case KindPromoteInfo:
+		if !need(2) {
+			return bad()
+		}
+		epoch, ok1 := parseU(fields[0])
+		seq, ok2 := parseU(fields[1])
+		if !ok1 || !ok2 {
+			return bad()
+		}
+		return PromoteInfo{Epoch: epoch, Seq: seq}, nil
 	}
 	return nil, ErrBadKind
 }

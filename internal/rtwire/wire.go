@@ -40,7 +40,10 @@ const (
 	// golden wire-format tests pin the byte layout of every frame kind to
 	// this number: changing an encoding without bumping Version fails the
 	// suite, so protocol breaks are deliberate.
-	Version byte = 1
+	//
+	// Version 2 added the replication frames (Subscribe, WalBatch, WalAck,
+	// Heartbeat, PromoteInfo) and the fencing epoch + role in Welcome.
+	Version byte = 2
 	// HeaderSize is the fixed frame overhead:
 	// | magic 1 | version 1 | kind 1 | len u32 LE | crc32c u32 LE |.
 	HeaderSize = 11
@@ -86,6 +89,23 @@ const (
 	KindErr
 	// KindBye announces an orderly close (either direction).
 	KindBye
+	// KindSubscribe switches a connection into WAL-follower mode: the
+	// server streams every log event after AfterSeq (follower → primary).
+	KindSubscribe
+	// KindWalBatch carries a contiguous run of WAL events (primary →
+	// follower), or one chunk of a full-state resync when the requested
+	// sequence has been compacted away.
+	KindWalBatch
+	// KindWalAck acknowledges application of events through Seq
+	// (follower → primary); it opens the primary's send window.
+	KindWalAck
+	// KindHeartbeat is the liveness beacon: sent on idle replication links
+	// and idle client connections, echoed by the server, so a silently dead
+	// peer is detected within HeartbeatInterval×3 instead of a call timeout.
+	KindHeartbeat
+	// KindPromoteInfo announces a promotion (standby → its read clients):
+	// the sender is now primary at Epoch, with its log at Seq.
+	KindPromoteInfo
 )
 
 var kindNames = map[Kind]string{
@@ -95,6 +115,8 @@ var kindNames = map[Kind]string{
 	KindMetricsReq: "metrics_req", KindMetrics: "metrics",
 	KindFlush: "flush", KindFlushed: "flushed",
 	KindErr: "err", KindBye: "bye",
+	KindSubscribe: "subscribe", KindWalBatch: "wal_batch", KindWalAck: "wal_ack",
+	KindHeartbeat: "heartbeat", KindPromoteInfo: "promote_info",
 }
 
 // String implements fmt.Stringer.

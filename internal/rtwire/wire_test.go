@@ -16,7 +16,7 @@ import (
 func allMessages() []any {
 	return []any{
 		Hello{Client: "client-a"},
-		Welcome{Session: 3, Chronon: 1021},
+		Welcome{Session: 3, Chronon: 1021, Epoch: 2, Role: RoleStandby},
 		Sample{ID: 7, Image: "temp", Value: "21"},
 		Query{
 			ID: 8, Query: "status_q", Candidate: "ok$high@40%",
@@ -35,6 +35,15 @@ func allMessages() []any {
 		Flushed{ID: 11, Chronon: 700},
 		Err{ID: 12, Code: CodeBackpressure, Msg: "session queue full"},
 		Bye{Reason: "drain"},
+		Subscribe{AfterSeq: 41, Follower: "replica-1"},
+		WalBatch{
+			Epoch: 2, FirstSeq: 42,
+			Events: []string{"s@9@temp@21", "q$esc@%#val"},
+		},
+		WalBatch{Epoch: 2, Snap: SnapFinal, SnapSeq: 40, SnapLastAt: 900},
+		WalAck{Seq: 43},
+		Heartbeat{Epoch: 2, Chronon: 1022, Seq: 43},
+		PromoteInfo{Epoch: 3, Seq: 44},
 	}
 }
 
