@@ -1,0 +1,70 @@
+package netserve
+
+import (
+	"testing"
+
+	"rtc/internal/faultfs"
+	"rtc/internal/rtdb/client"
+	wal "rtc/internal/rtdb/log"
+	"rtc/internal/rtdb/server"
+)
+
+// fetchMetricRows dials addr and returns the metrics table by name.
+func fetchMetricRows(t *testing.T, addr string) map[string]uint64 {
+	t.Helper()
+	c, err := client.Dial(addr, client.Options{Name: "rows-probe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Map()
+}
+
+// TestMetricsDurabilityRows: the wire metrics of a WAL-backed primary must
+// carry the durability coordinates failover tooling reads — wal_seq (the
+// durable tail a promoted node is checked against), epoch (the fencing
+// coordinate), and repl_durable (the follower-acked watermark). rtdbload's
+// zero-lost-acked-writes assertion dereferences these by name; losing a row
+// silently turns the durability check into a hard failure after failover.
+func TestMetricsDurabilityRows(t *testing.T) {
+	l, err := wal.Open(wal.Options{Dir: t.TempDir(), FS: faultfs.OS{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_, _, addr := startNet(t, server.Config{Sessions: 2, Log: l}, Options{})
+
+	mm := fetchMetricRows(t, addr)
+	for _, name := range []string{"wal_seq", "epoch", "repl_durable"} {
+		if _, ok := mm[name]; !ok {
+			t.Errorf("WAL-backed primary metrics missing %q (got %d rows)", name, len(mm))
+		}
+	}
+	if got := mm["epoch"]; got != l.Epoch() {
+		t.Errorf("epoch row = %d, want %d", got, l.Epoch())
+	}
+	if got := mm["wal_seq"]; got != l.Seq() {
+		t.Errorf("wal_seq row = %d, want %d", got, l.Seq())
+	}
+}
+
+// TestMetricsDurabilityRowsNoWAL: an ephemeral (WAL-less) server still
+// reports epoch and repl_durable; wal_seq is rightly absent because there
+// is no durable tail to advertise.
+func TestMetricsDurabilityRowsNoWAL(t *testing.T) {
+	_, _, addr := startNet(t, server.Config{Sessions: 2}, Options{})
+
+	mm := fetchMetricRows(t, addr)
+	for _, name := range []string{"epoch", "repl_durable"} {
+		if _, ok := mm[name]; !ok {
+			t.Errorf("ephemeral server metrics missing %q", name)
+		}
+	}
+	if _, ok := mm["wal_seq"]; ok {
+		t.Error("ephemeral server advertises wal_seq with no WAL behind it")
+	}
+}
