@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-grid race-rtdb race-net race-repl bench bench-json fuzz torture torture-short torture-failover examples experiments clean
+.PHONY: all build vet test race race-grid race-rtdb race-net race-repl bench bench-json fuzz torture torture-short torture-failover soak-short examples experiments clean
 
 all: build vet test
 
@@ -58,6 +58,19 @@ torture-short:
 # epoch fencing, and the standby conservation law at each point.
 torture-failover:
 	$(GO) run ./cmd/rttorture -mode failover -seeds 3 -events 90 -v
+
+# Flat-latency soak: start a real rtdbd, age it by 60k injected samples
+# over TCP, and assert that the late-run serving p99 (as-of reads and
+# queries) stays within a small factor of the early-run p99. Catches any
+# regression that makes publish or read cost grow with total history.
+SOAK_PORT ?= 7693
+soak-short:
+	$(GO) build -o /tmp/rtdbd-soak ./cmd/rtdbd
+	$(GO) build -o /tmp/rtdbload-soak ./cmd/rtdbload
+	/tmp/rtdbd-soak -listen 127.0.0.1:$(SOAK_PORT) -sessions 8 & \
+	pid=$$!; sleep 1; \
+	/tmp/rtdbload-soak -addr 127.0.0.1:$(SOAK_PORT) -soak 60000; rc=$$?; \
+	kill $$pid 2>/dev/null; exit $$rc
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -53,11 +53,16 @@ func main() {
 		deadln   = flag.Uint64("deadline", 40, "relative firm deadline for synthetic client queries (chronons)")
 		queue    = flag.Int("queue-depth", 64, "per-session queue depth")
 
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
+
 		replicaOf    = flag.String("replica-of", "", "follow this primary address as a hot standby (requires -dir)")
 		promote      = flag.Bool("promote", false, "bump the fencing epoch in -dir before serving (turn a stopped replica into the new primary)")
 		promoteAfter = flag.Duration("promote-after", 0, "replica mode: auto-promote after this much primary silence (0: manual, SIGHUP); use several times the primary heartbeat interval (1s)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
 	var err error
 	if *replicaOf != "" {
 		err = runReplica(*dir, *listen, *replicaOf, *promoteAfter, *sessions, *segSize, *snapshot, *fsync, *evalCost, *queue)

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+)
+
+// startPprof serves the standard net/http/pprof endpoints in the
+// background. Profiling a live server is how the hot-path allocation
+// budget is policed:
+//
+//	rtdbd -listen 127.0.0.1:7677 -pprof 127.0.0.1:6060 &
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
+// (use /debug/pprof/allocs for the allocation profile). A failure to bind
+// is reported and otherwise ignored — profiling must never take the
+// server down.
+func startPprof(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "rtdbd: pprof:", err)
+		}
+	}()
+}

@@ -36,9 +36,18 @@ func main() {
 		ops     = flag.Int("ops", 200, "operations per connection")
 		deadln  = flag.Uint64("deadline", 40, "relative firm deadline (client chronons)")
 		chronon = flag.Duration("chronon", time.Millisecond, "wall-clock length of one client chronon")
+
+		soak       = flag.Int("soak", 0, "age the server by this many injected samples and assert flat serving latency (0: run the mixed load)")
+		soakFactor = flag.Float64("soak-factor", 8, "soak mode: max allowed late-run/early-run p99 ratio")
 	)
 	flag.Parse()
-	if err := run(*addr, *conns, *ops, *deadln, *chronon); err != nil {
+	var err error
+	if *soak > 0 {
+		err = runSoak(*addr, *soak, *soakFactor, *chronon)
+	} else {
+		err = run(*addr, *conns, *ops, *deadln, *chronon)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtdbload:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"rtc/internal/rtdb/client"
+	"rtc/internal/stats"
+)
+
+// runSoak ages a server by n injected samples and checks that serving
+// latency stays flat: it times an as-of read and a no-deadline query at
+// regular intervals along the way, then compares the p99 of the last tenth
+// of the run against the p99 of the first tenth. A server that rebuilds
+// its snapshot from scratch or scans histories linearly fails the factor
+// bound as the history grows; the incremental-publish + indexed-timeline
+// design passes it at millions of chronons.
+func runSoak(addr string, n int, factor float64, chronon time.Duration) error {
+	const qEvery = 50 // one timed probe pair per this many injections
+	c, err := client.Dial(addr, client.Options{
+		Name: "soak", ChrononDuration: chronon,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	var asofLat, queryLat []float64 // microseconds, in run order
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := c.InjectSample("temp", soakValue(i)); err != nil {
+			return fmt.Errorf("inject %d: %w", i, err)
+		}
+		if (i+1)%qEvery != 0 {
+			continue
+		}
+		// Close the loop before probing, so the probe measures serving
+		// latency at an applied history of known depth, not queue depth.
+		if err := c.Flush(); err != nil {
+			return fmt.Errorf("flush at %d: %w", i, err)
+		}
+		t0 := time.Now()
+		if _, _, _, err := c.AsOf("temp", 1); err != nil {
+			return fmt.Errorf("asof at %d: %w", i, err)
+		}
+		asofLat = append(asofLat, float64(time.Since(t0).Microseconds()))
+		t0 = time.Now()
+		if _, err := c.Query(client.Query{Query: "temp_q"}); err != nil {
+			return fmt.Errorf("query at %d: %w", i, err)
+		}
+		queryLat = append(queryLat, float64(time.Since(t0).Microseconds()))
+	}
+	elapsed := time.Since(start)
+
+	fail := false
+	report := func(name string, lat []float64) {
+		tenth := len(lat) / 10
+		if tenth == 0 {
+			fmt.Printf("%s: too few probes (%d) for a window comparison\n", name, len(lat))
+			return
+		}
+		early := stats.Percentile(lat[:tenth], 99)
+		late := stats.Percentile(lat[len(lat)-tenth:], 99)
+		verdict := "✓"
+		if late > factor*early {
+			verdict = "✗"
+			fail = true
+		}
+		fmt.Printf("%s p99 µs: early %.0f → late %.0f (bound %.1f×) %s\n",
+			name, early, late, factor, verdict)
+	}
+	fmt.Printf("soak: %d samples applied in %v, %d probe pairs\n",
+		n, elapsed.Round(time.Millisecond), len(asofLat))
+	report("asof", asofLat)
+	report("query", queryLat)
+	if fail {
+		return fmt.Errorf("soak: late-run p99 exceeded %.1f× early-run p99 — serving latency is not flat", factor)
+	}
+	return nil
+}
+
+// soakValue cycles a small value alphabet so the aged history still has
+// value changes at every depth.
+func soakValue(i int) string {
+	return soakValues[i%len(soakValues)]
+}
+
+var soakValues = []string{"18", "19", "20", "21", "22", "23", "24", "25"}

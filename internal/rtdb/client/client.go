@@ -402,8 +402,11 @@ func (c *Client) Epoch() uint64 {
 // connection dies.
 func (c *Client) readLoop(conn net.Conn, br *bufio.Reader, gen int) {
 	defer c.failPending(gen)
+	// One payload buffer for the connection's lifetime; Decode copies the
+	// field strings out before the next frame overwrites it.
+	var rbuf []byte
 	for {
-		f, err := rtwire.ReadFrame(br)
+		f, err := rtwire.ReadFrameBuf(br, &rbuf)
 		if err != nil {
 			return
 		}

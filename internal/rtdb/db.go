@@ -3,6 +3,7 @@ package rtdb
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"rtc/internal/timeseq"
 	"rtc/internal/vtime"
@@ -32,6 +33,9 @@ type ImageObject struct {
 	Read func(t timeseq.Time) Value
 
 	history []Sample
+	// sampleKind is the precomputed "sample:<name>" event kind, so the hot
+	// injection path does not rebuild the string per sample.
+	sampleKind string
 }
 
 // Latest returns the most recent sample, if any.
@@ -135,6 +139,11 @@ type DB struct {
 	derived    map[string]*DerivedObject
 	invariants map[string]Value
 	rules      []Rule
+	// listeners counts rules per event kind; raising an event no rule
+	// listens to can then skip building the event entirely.
+	listeners map[string]int
+	// view is the cached ViewNow result, dropped on every mutation.
+	view *View
 
 	deferred        []func()
 	deferredArmed   bool
@@ -151,6 +160,7 @@ func New(s *vtime.Scheduler) *DB {
 		images:          make(map[string]*ImageObject),
 		derived:         make(map[string]*DerivedObject),
 		invariants:      make(map[string]Value),
+		listeners:       make(map[string]int),
 		cascadeDepthCap: 64,
 	}
 }
@@ -165,6 +175,7 @@ func (db *DB) Now() timeseq.Time { return db.sched.Now() }
 // with time"). Its timestamp is always the current time, per §5.1.2.
 func (db *DB) AddInvariant(name string, v Value) {
 	db.invariants[name] = v
+	db.view = nil
 }
 
 // Invariant looks up an invariant object.
@@ -182,7 +193,9 @@ func (db *DB) Invariant(name string) (Value, bool) {
 // the shape a server needs when external clients, not a simulated world,
 // provide the samples.
 func (db *DB) AddImage(o *ImageObject) {
+	o.sampleKind = "sample:" + o.Name
 	db.images[o.Name] = o
+	db.view = nil
 	if o.Read == nil {
 		return
 	}
@@ -191,8 +204,20 @@ func (db *DB) AddImage(o *ImageObject) {
 		t := db.sched.Now()
 		v := o.Read(t)
 		o.history = append(o.history, Sample{At: t, Value: v})
-		db.Raise(Event{Kind: "sample:" + o.Name, At: t, Attr: map[string]Value{"value": v}})
+		db.view = nil
+		db.raiseSample(o, t, v)
 	})
+}
+
+// raiseSample raises the "sample:<name>" event for a fresh sample — unless
+// no rule listens for it, in which case the event (and its attribute map)
+// is never built. Rules observe identical behavior either way: an event
+// with no matching rule is a no-op in the engine.
+func (db *DB) raiseSample(o *ImageObject, t timeseq.Time, v Value) {
+	if db.listeners[o.sampleKind] == 0 {
+		return
+	}
+	db.Raise(Event{Kind: o.sampleKind, At: t, Attr: map[string]Value{"value": v}})
 }
 
 // InjectSample records an externally supplied sample for the named image at
@@ -209,7 +234,8 @@ func (db *DB) InjectSample(name string, v Value) error {
 		return fmt.Errorf("rtdb: sample for %q at %d precedes last sample at %d", name, t, o.history[n-1].At)
 	}
 	o.history = append(o.history, Sample{At: t, Value: v})
-	db.Raise(Event{Kind: "sample:" + name, At: t, Attr: map[string]Value{"value": v}})
+	db.view = nil
+	db.raiseSample(o, t, v)
 	return nil
 }
 
@@ -225,6 +251,7 @@ func (db *DB) Image(name string) (*ImageObject, bool) {
 // firing for image updates but deferred firing for derived objects.
 func (db *DB) AddDerived(o *DerivedObject) {
 	db.derived[o.Name] = o
+	db.view = nil
 }
 
 // Derived looks up a derived object.
@@ -280,6 +307,7 @@ func (db *DB) Rederive(name string) error {
 // AddRule registers a rule.
 func (db *DB) AddRule(r Rule) {
 	db.rules = append(db.rules, r)
+	db.listeners[r.On]++
 }
 
 // Raise delivers an event to the rule engine under the firing-mode
@@ -305,13 +333,13 @@ func (db *DB) raise(e Event, depth int) {
 		switch r.Mode {
 		case Immediate:
 			if r.If == nil || r.If(db, e) {
-				db.fired = append(db.fired, fmt.Sprintf("%d:%s", db.Now(), r.Name))
+				db.logFiring(r.Name)
 				db.runAction(r, e, depth)
 			}
 		case Concurrent:
 			db.sched.At(db.Now(), prioConcurrent, func() {
 				if r.If == nil || r.If(db, e) {
-					db.fired = append(db.fired, fmt.Sprintf("%d:%s", db.Now(), r.Name))
+					db.logFiring(r.Name)
 					db.runAction(r, e, depth)
 				}
 			})
@@ -320,7 +348,7 @@ func (db *DB) raise(e Event, depth int) {
 				// Deferred rules evaluate their condition against the
 				// final (quiescent) state.
 				if r.If == nil || r.If(db, e) {
-					db.fired = append(db.fired, fmt.Sprintf("%d:%s", db.Now(), r.Name))
+					db.logFiring(r.Name)
 					db.runAction(r, e, depth)
 				}
 			})
@@ -330,6 +358,11 @@ func (db *DB) raise(e Event, depth int) {
 			}
 		}
 	}
+}
+
+// logFiring appends "time:rule" to the firing log.
+func (db *DB) logFiring(rule string) {
+	db.fired = append(db.fired, strconv.FormatUint(uint64(db.Now()), 10)+":"+rule)
 }
 
 func (db *DB) runAction(r Rule, e Event, depth int) {
@@ -360,15 +393,21 @@ func (db *DB) CascadeDepthMax() int { return db.maxCascade }
 // ViewNow assembles the §5.1.3 View of the database's current state. The
 // maps and histories are shared, not copied: the view is a read-only window
 // valid until the database is next mutated, which is exactly the lifetime a
-// query evaluation inside a serializing apply loop needs.
+// query evaluation inside a serializing apply loop needs. Between
+// mutations the view is cached (only its Now advances), so back-to-back
+// query evaluations stop paying a pair of map builds each.
 func (db *DB) ViewNow() *View {
-	samples := make(map[string][]Sample, len(db.images))
-	for n, o := range db.images {
-		samples[n] = o.history
+	if db.view == nil {
+		samples := make(map[string][]Sample, len(db.images))
+		for n, o := range db.images {
+			samples[n] = o.history
+		}
+		derived := make(map[string]*DerivedObject, len(db.derived))
+		for n, d := range db.derived {
+			derived[n] = d
+		}
+		db.view = &View{Invariants: db.invariants, Samples: samples, Derived: derived}
 	}
-	derived := make(map[string]*DerivedObject, len(db.derived))
-	for n, d := range db.derived {
-		derived[n] = d
-	}
-	return &View{Now: db.Now(), Invariants: db.invariants, Samples: samples, Derived: derived}
+	db.view.Now = db.Now()
+	return db.view
 }

@@ -5,7 +5,6 @@ import (
 	"reflect"
 	"sort"
 
-	"rtc/internal/relational"
 	"rtc/internal/rtdb"
 	"rtc/internal/timeseq"
 )
@@ -316,22 +315,11 @@ func (st *State) Build(db *rtdb.DB, reg rtdb.DeriveRegistry) error {
 func (st *State) Historical(now timeseq.Time) *rtdb.HistoricalDatabase {
 	out := rtdb.NewHistoricalDatabase()
 	for _, n := range st.imageNames() {
-		img := st.Images[n]
-		h := rtdb.NewHistoricalRelation(relational.Schema{
-			Name:  n,
-			Attrs: []relational.Attribute{"Object", "Value"},
-		})
-		for i, s := range img.Samples {
-			end := now
-			if i+1 < len(img.Samples) {
-				end = img.Samples[i+1].At - 1
-			}
-			if end < s.At {
-				continue
-			}
-			_ = h.Insert(relational.Tuple{n, s.Value}, rtdb.NewLifespan(rtdb.Interval{Lo: s.At, Hi: end}))
-		}
-		out.Add(h)
+		// Timeline capture: shares the sample slice, O(1) per image instead
+		// of O(n²) row inserts — a standby republishing its query mirror on
+		// every applied batch must not slow down as the history grows.
+		out.Add(rtdb.NewTimelineRelation(n, st.Images[n].Samples, now))
 	}
+	out.SetHorizon(now)
 	return out
 }

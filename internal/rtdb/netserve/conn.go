@@ -25,6 +25,13 @@ type conn struct {
 	done   chan struct{}
 	wdone  chan struct{}
 
+	// wfree recycles outgoing frame buffers: writeLoop returns each buffer
+	// once its bytes are on (or in the bufio layer of) the socket, and
+	// handlers encode the next response into a recycled one. Bounded at
+	// one more than the write queue, so every in-flight frame plus one
+	// being encoded can come from the list; overflow falls to the GC.
+	wfree chan []byte
+
 	// rstop closes as soon as the read loop returns — before the inflight
 	// wait — so the long-running replication sender (which is inflight-
 	// counted) has a teardown signal that does not depend on its own exit.
@@ -44,6 +51,28 @@ type conn struct {
 // interruptRead unblocks a pending Read so the read loop can observe the
 // server's quit channel.
 func (c *conn) interruptRead() { _ = c.nc.SetReadDeadline(time.Now()) }
+
+// getBuf returns a recycled encode buffer (length 0) or nil; append grows
+// a nil slice, so callers just encode into whatever comes back.
+func (c *conn) getBuf() []byte {
+	select {
+	case b := <-c.wfree:
+		return b[:0]
+	default:
+		return nil
+	}
+}
+
+// putBuf offers a spent frame buffer back to the free list.
+func (c *conn) putBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case c.wfree <- b:
+	default:
+	}
+}
 
 // enqueue queues one outgoing frame, blocking until there is room. It is
 // used by request handlers, which are allowed to wait on a slow client
@@ -67,6 +96,7 @@ func (c *conn) tryEnqueue(frame []byte) bool {
 		return true
 	default:
 		c.n.Wire.WriteDrops.Add(1)
+		c.putBuf(frame)
 		return false
 	}
 }
@@ -90,6 +120,9 @@ func (c *conn) writeLoop() {
 		}
 		c.n.Wire.FramesOut.Add(1)
 		c.n.Wire.BytesOut.Add(uint64(len(frame)))
+		// bufio has copied (or directly written) the bytes; the buffer is
+		// free for the next response.
+		c.putBuf(frame)
 		return true
 	}
 	for {
@@ -141,6 +174,9 @@ func (c *conn) discard() {
 // client says Bye, the connection dies, the idle timeout fires, or the
 // server drains.
 func (c *conn) readLoop() {
+	// One payload buffer for the connection's lifetime: Decode copies the
+	// field strings out, so the next frame may overwrite it.
+	var rbuf []byte
 	for {
 		select {
 		case <-c.n.quit:
@@ -148,7 +184,7 @@ func (c *conn) readLoop() {
 		default:
 		}
 		_ = c.nc.SetReadDeadline(time.Now().Add(c.n.opt.IdleTimeout))
-		f, err := rtwire.ReadFrame(c.br)
+		f, err := rtwire.ReadFrameBuf(c.br, &rbuf)
 		if err != nil {
 			if isProtocolError(err) {
 				c.n.Wire.DecodeErrors.Add(1)
@@ -182,7 +218,7 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 	msg, err := rtwire.Decode(f)
 	if err != nil {
 		c.n.Wire.DecodeErrors.Add(1)
-		c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: err.Error()}.Encode())
+		c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: err.Error()}.AppendTo(c.getBuf()))
 		return true
 	}
 	switch m := msg.(type) {
@@ -192,9 +228,9 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 		case nil:
 		case server.ErrBackpressure:
 			c.n.Wire.BackpressureFrames.Add(1)
-			c.tryEnqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeBackpressure, Msg: "session queue full"}.Encode())
+			c.tryEnqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeBackpressure, Msg: "session queue full"}.AppendTo(c.getBuf()))
 		default: // ErrClosed
-			c.tryEnqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeClosed, Msg: err.Error()}.Encode())
+			c.tryEnqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeClosed, Msg: err.Error()}.AppendTo(c.getBuf()))
 			return false
 		}
 	case rtwire.Query:
@@ -215,7 +251,7 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 		v, ok := c.n.srv.ValueAsOf(m.Image, m.At)
 		c.enqueue(rtwire.AsOfResult{
 			ID: m.ID, OK: ok, Value: v, Horizon: c.n.srv.HistoryHorizon(),
-		}.Encode())
+		}.AppendTo(c.getBuf()))
 	case rtwire.MetricsReq:
 		snap := c.n.srv.Metrics.Snapshot()
 		pairs := snap.Pairs()
@@ -233,7 +269,7 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 			rtwire.MetricPair{Name: "epoch", Value: c.n.srv.Epoch()},
 			rtwire.MetricPair{Name: "repl_durable", Value: c.n.ReplDurable()},
 		)
-		c.enqueue(rtwire.Metrics{ID: m.ID, Pairs: wp}.Encode())
+		c.enqueue(rtwire.Metrics{ID: m.ID, Pairs: wp}.AppendTo(c.getBuf()))
 	case rtwire.Flush:
 		select {
 		case c.sem <- struct{}{}:
@@ -245,18 +281,18 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 			defer c.inflight.Done()
 			defer func() { <-c.sem }()
 			if err := c.sess.Flush(); err != nil {
-				c.enqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeClosed, Msg: err.Error()}.Encode())
+				c.enqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeClosed, Msg: err.Error()}.AppendTo(c.getBuf()))
 				return
 			}
-			c.enqueue(rtwire.Flushed{ID: m.ID, Chronon: c.n.srv.Now()}.Encode())
+			c.enqueue(rtwire.Flushed{ID: m.ID, Chronon: c.n.srv.Now()}.AppendTo(c.getBuf()))
 		}()
 	case rtwire.Subscribe:
 		if c.repl {
-			c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "already subscribed"}.Encode())
+			c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "already subscribed"}.AppendTo(c.getBuf()))
 			return true
 		}
 		if c.n.srv.WAL() == nil {
-			c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "replication unavailable: server runs without a wal"}.Encode())
+			c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "replication unavailable: server runs without a wal"}.AppendTo(c.getBuf()))
 			return true
 		}
 		c.repl = true
@@ -276,11 +312,11 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 		// death, so it must only cover what a follower has acknowledged.
 		c.tryEnqueue(rtwire.Heartbeat{
 			Epoch: c.n.srv.Epoch(), Chronon: c.n.srv.Now(), Seq: c.n.ReplDurable(),
-		}.Encode())
+		}.AppendTo(c.getBuf()))
 	case rtwire.Bye:
 		return false
 	default:
-		c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "unexpected " + f.Kind.String()}.Encode())
+		c.tryEnqueue(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "unexpected " + f.Kind.String()}.AppendTo(c.getBuf()))
 	}
 	return true
 }
@@ -299,7 +335,7 @@ func (c *conn) serveQuery(m rtwire.Query) {
 		c.enqueue(rtwire.Result{
 			ID: m.ID, Missed: true, Evaluated: false,
 			Issue: now, Served: now, ExpiredOnArrival: true,
-		}.Encode())
+		}.AppendTo(c.getBuf()))
 		return
 	}
 	resp, err := c.sess.Query(qr)
@@ -309,15 +345,15 @@ func (c *conn) serveQuery(m rtwire.Query) {
 		// The server accounted the rejection (and the miss, for
 		// deadline-carrying queries); tell the client explicitly.
 		c.n.Wire.BackpressureFrames.Add(1)
-		c.enqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeBackpressure, Msg: "session queue full"}.Encode())
+		c.enqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeBackpressure, Msg: "session queue full"}.AppendTo(c.getBuf()))
 		return
 	default:
-		c.enqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeClosed, Msg: err.Error()}.Encode())
+		c.enqueue(rtwire.Err{ID: m.ID, Code: rtwire.CodeClosed, Msg: err.Error()}.AppendTo(c.getBuf()))
 		return
 	}
 	c.enqueue(rtwire.Result{
 		ID: m.ID, Answers: resp.Answers, Match: resp.Match,
 		Useful: resp.Useful, Missed: resp.Missed, Evaluated: resp.Evaluated,
 		Issue: resp.Issue, Served: resp.Served,
-	}.Encode())
+	}.AppendTo(c.getBuf()))
 }

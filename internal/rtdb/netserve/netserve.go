@@ -311,6 +311,7 @@ func (n *Server) handle(nc net.Conn) {
 		rstop:  make(chan struct{}),
 		sem:    make(chan struct{}, n.opt.MaxInflight),
 		ackCh:  make(chan uint64, 16),
+		wfree:  make(chan []byte, n.opt.WriteQueue+1),
 	}
 	n.register(c)
 	defer n.unregister(c)

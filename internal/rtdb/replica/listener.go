@@ -127,9 +127,10 @@ func (r *Replica) serveConn(nc net.Conn) {
 		Session: 0, Chronon: r.chronon(), Epoch: r.Epoch(), Role: r.role(),
 	}.Encode(), r.cfg.WriteTimeout)
 
+	var rbuf []byte // reused payload buffer; Decode copies fields out
 	for {
 		_ = nc.SetReadDeadline(time.Now().Add(2 * time.Minute))
-		f, err := rtwire.ReadFrame(br)
+		f, err := rtwire.ReadFrameBuf(br, &rbuf)
 		if err != nil {
 			return
 		}
@@ -235,14 +236,9 @@ func (r *Replica) serveAsOf(m rtwire.AsOf) []byte {
 		return rtwire.AsOfResult{ID: m.ID}.Encode()
 	}
 	out := rtwire.AsOfResult{ID: m.ID, Horizon: h.at}
-	if rel, ok := h.db.Relation(m.Image); ok {
-		for _, row := range rel.Rows() {
-			if row.Valid.Contains(m.At) && len(row.Tuple) == 2 && row.Tuple[0] == m.Image {
-				out.OK, out.Value = true, row.Tuple[1]
-				break
-			}
-		}
-	}
+	// Indexed timeline lookup — the same O(log history) path the primary
+	// serves from, so a standby's as-of reads stay flat as the mirror ages.
+	out.Value, out.OK = h.db.ValueAsOf(m.Image, m.At)
 	return out.Encode()
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"rtc/internal/deadline"
 	wal "rtc/internal/rtdb/log"
+	"rtc/internal/timeseq"
 )
 
 func benchServer(b *testing.B, sessions int, log *wal.Log) *Server {
@@ -91,6 +92,74 @@ func BenchmarkConcurrentSessions(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// agedServer builds an unstarted server whose single image already holds
+// `age` samples, injected directly through the database (the apply loop is
+// bypassed so aging a million chronons takes milliseconds, not minutes).
+// The clock sits at chronon age-1 with a fresh snapshot published.
+func agedServer(b *testing.B, age int) *Server {
+	b.Helper()
+	s, err := New(testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < age; i++ {
+		t := timeseq.Time(i)
+		s.sched.RunUntil(t)
+		if err := s.db.InjectSample("temp", "v"+strconv.Itoa(i&1023)); err != nil {
+			b.Fatal(err)
+		}
+		s.advance(t)
+	}
+	s.publishSnapshot()
+	return s
+}
+
+// BenchmarkPublishAtAge measures one incremental publish with a one-sample
+// delta at three server ages. The per-publish cost must stay flat as the
+// history grows — publish is O(#images + delta), never O(total history).
+func BenchmarkPublishAtAge(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		age  int
+	}{{"1k", 1_000}, {"100k", 100_000}, {"1M", 1_000_000}} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := agedServer(b, bc.age)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := timeseq.Time(bc.age + i)
+				s.sched.RunUntil(t)
+				if err := s.db.InjectSample("temp", "w"); err != nil {
+					b.Fatal(err)
+				}
+				s.advance(t)
+				s.publishSnapshot()
+			}
+		})
+	}
+}
+
+// BenchmarkQueryAtAge measures catalog-query evaluation (the serveQuery
+// read path: cached view + binary-searched Latest) at three server ages.
+func BenchmarkQueryAtAge(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		age  int
+	}{{"1k", 1_000}, {"100k", 100_000}, {"1M", 1_000_000}} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := agedServer(b, bc.age)
+			q := s.cfg.Catalog["temp_q"]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ans := q(s.db.ViewNow()); len(ans) != 1 {
+					b.Fatalf("answers = %v", ans)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkAsOfRead(b *testing.B) {

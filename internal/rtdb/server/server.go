@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -141,6 +142,18 @@ type Server struct {
 	lastSnap timeseq.Time
 	hist     atomic.Pointer[histSnap]
 
+	// names is the sorted image-name list, computed once at construction
+	// (the image set is fixed after New; refreshImageNames re-derives it if
+	// that ever changes). publishSnapshot used to rebuild and re-sort it
+	// every period.
+	names []string
+	// pubLen is each image's history length at its last capture; an image
+	// whose length is unchanged is clean and its published relation is
+	// shared by pointer into the next snapshot.
+	pubLen map[string]int
+	// sessLabels precomputes the "s<i>" WAL session labels.
+	sessLabels []string
+
 	Metrics  Metrics
 	periodic []*periodicState
 
@@ -187,9 +200,13 @@ func New(cfg Config) (*Server, error) {
 	// The pre-existing firing log (empty after recovery by construction —
 	// rules were not installed during replay) is drained from zero.
 	s.firings = len(s.db.FiringLog())
+	s.refreshImageNames()
+	s.pubLen = make(map[string]int, len(s.names))
 	s.publishSnapshot()
 
+	s.sessLabels = make([]string, cfg.Sessions)
 	for i := 0; i < cfg.Sessions; i++ {
+		s.sessLabels[i] = "s" + strconv.Itoa(i)
 		s.sessions = append(s.sessions, &Session{
 			id: i, srv: s, queue: make(chan request, cfg.QueueDepth),
 		})
@@ -454,8 +471,10 @@ func (s *Server) serveQuery(r request, now timeseq.Time) Response {
 		}
 	}
 	s.advance(finish)
-	s.walAppend(wal.Query(r.issue, fmt.Sprintf("s%d", r.session), r.q.Query, r.q.Candidate,
-		uint64(r.q.Kind), uint64(r.q.Deadline), r.q.MinUseful))
+	if s.cfg.Log != nil {
+		s.walAppend(wal.Query(r.issue, s.sessLabels[r.session], r.q.Query, r.q.Candidate,
+			uint64(r.q.Kind), uint64(r.q.Deadline), r.q.MinUseful))
+	}
 
 	resp.Useful = useful
 	switch {
@@ -539,23 +558,49 @@ func (s *Server) maybePublish() {
 	}
 }
 
-// publishSnapshot converts every image history into a valid-time relation
-// and swaps the result in for lock-free as-of reads.
+// publishSnapshot publishes the as-of view incrementally: the previous
+// snapshot is cloned copy-on-write, images whose histories grew since
+// their last capture get a fresh O(1) timeline capture, and clean images'
+// relations are shared by pointer. The snapshot-level horizon extends
+// every shared relation's newest value to the publication instant, so a
+// quiet image still answers as-of reads up to the present. Publish cost is
+// O(#images + delta), independent of total history — the flat-latency
+// property the serving layer promises.
 func (s *Server) publishSnapshot() {
 	// Snapshot at the served clock, not the (possibly lagging) scheduler
 	// clock, so the newest sample's validity extends to the present.
 	now := timeseq.Time(s.clock.Load())
 	s.sched.RunUntil(now)
-	out := rtdb.NewHistoricalDatabase()
-	for _, name := range s.imageNames() {
-		img, _ := s.db.Image(name)
-		out.Add(rtdb.FromLiveImage(img, now))
+	var out *rtdb.HistoricalDatabase
+	if prev := s.hist.Load(); prev == nil {
+		out = rtdb.NewHistoricalDatabase()
+		for _, name := range s.imageNames() {
+			img, _ := s.db.Image(name)
+			out.Add(rtdb.FromLiveImage(img, now))
+			s.pubLen[name] = len(img.History())
+		}
+	} else {
+		out = prev.db.Clone()
+		for _, name := range s.imageNames() {
+			img, _ := s.db.Image(name)
+			if n := len(img.History()); n != s.pubLen[name] {
+				out.Add(rtdb.FromLiveImage(img, now))
+				s.pubLen[name] = n
+			}
+		}
 	}
+	out.SetHorizon(now)
 	s.hist.Store(&histSnap{at: now, db: out})
 	s.lastSnap = now
 }
 
-func (s *Server) imageNames() []string {
+// imageNames returns the sorted image-name list, cached at construction.
+func (s *Server) imageNames() []string { return s.names }
+
+// refreshImageNames re-derives the cached image-name list from the spec
+// (or, after recovery, the WAL state). Call it again only if the image set
+// ever changes after construction.
+func (s *Server) refreshImageNames() {
 	var names []string
 	for _, o := range s.cfg.Spec.Images {
 		names = append(names, o.Name)
@@ -568,7 +613,7 @@ func (s *Server) imageNames() []string {
 			sort.Strings(names)
 		}
 	}
-	return names
+	s.names = names
 }
 
 // HistoryHorizon returns the time through which as-of reads are current.
@@ -591,21 +636,13 @@ func (s *Server) AsOf(q relational.Query, t timeseq.Time) (*relational.Relation,
 }
 
 // ValueAsOf returns an image object's value at time t from the published
-// snapshot.
+// snapshot — a binary search over the image's captured timeline, so the
+// read costs O(log history), allocation-free, at any server age.
 func (s *Server) ValueAsOf(image string, t timeseq.Time) (rtdb.Value, bool) {
 	h := s.hist.Load()
 	if h == nil {
 		return "", false
 	}
 	s.Metrics.AsOfReads.Add(1)
-	rel, ok := h.db.Relation(image)
-	if !ok {
-		return "", false
-	}
-	for _, row := range rel.Rows() {
-		if row.Valid.Contains(t) && len(row.Tuple) == 2 && row.Tuple[0] == image {
-			return row.Tuple[1], true
-		}
-	}
-	return "", false
+	return h.db.ValueAsOf(image, t)
 }

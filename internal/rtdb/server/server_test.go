@@ -9,6 +9,7 @@ import (
 	"rtc/internal/deadline"
 	"rtc/internal/relational"
 	wal "rtc/internal/rtdb/log"
+	"rtc/internal/timeseq"
 	"rtc/internal/rtdb"
 )
 
@@ -448,5 +449,61 @@ func TestWalAndRecovery(t *testing.T) {
 	}
 	if !resp.Evaluated || len(resp.Answers) == 0 {
 		t.Fatalf("query after recovery: %+v", resp)
+	}
+}
+
+// TestValueAsOfLongHistory pins the indexed as-of fast path to the
+// relational evaluation it replaced: on a multi-hundred-sample history,
+// ValueAsOf must agree with AsOf at every probe instant, including before
+// the first sample and at the horizon.
+func TestValueAsOfLongHistory(t *testing.T) {
+	cfg := testConfig()
+	cfg.SnapshotEvery = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+	c := s.Session(0)
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := c.InjectSample("temp", "v"+strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Tick(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	schema := relational.Schema{Name: "temp", Attrs: []relational.Attribute{"Object", "Value"}}
+	q := relational.Project{
+		Input: relational.From{Name: "temp", Schema: schema},
+		Attrs: []relational.Attribute{"Value"},
+	}
+	horizon := s.HistoryHorizon()
+	if horizon == 0 {
+		t.Fatal("no snapshot horizon")
+	}
+	for at := timeseq.Time(0); at <= horizon+2; at++ {
+		v, ok := s.ValueAsOf("temp", at)
+		rel, err := s.AsOf(q, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuples := rel.Tuples()
+		if ok != (len(tuples) == 1) {
+			t.Fatalf("at %d: ValueAsOf ok=%v but AsOf returned %d tuples", at, ok, len(tuples))
+		}
+		if ok && rtdb.Value(tuples[0][0]) != v {
+			t.Fatalf("at %d: ValueAsOf=%q, AsOf=%q", at, v, tuples[0][0])
+		}
+		if at > horizon && ok {
+			t.Fatalf("at %d: value %q served beyond horizon %d", at, v, horizon)
+		}
 	}
 }

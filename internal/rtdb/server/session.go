@@ -1,8 +1,18 @@
 package server
 
 import (
+	"sync"
+
 	"rtc/internal/deadline"
 )
+
+// replyPool recycles the one-slot response channels Query and Flush block
+// on. A channel is returned to the pool only after its response has been
+// received — a request abandoned on server shutdown keeps its channel, so
+// a late send can never leak into the next borrower's call.
+var replyPool = sync.Pool{
+	New: func() any { return make(chan Response, 1) },
+}
 
 // Session is one client's handle on the server. Each session owns a
 // bounded queue; a full queue rejects immediately (reject-with-deadline-
@@ -75,17 +85,19 @@ func (c *Session) Query(q QueryRequest) (Response, error) {
 	c.srv.Metrics.QueriesIn.Add(1)
 	r := request{
 		kind: reqQuery, session: c.id, q: q,
-		issue: c.srv.Now(), reply: make(chan Response, 1),
+		issue: c.srv.Now(), reply: replyPool.Get().(chan Response),
 	}
 	if !c.trySubmit(r) {
 		c.srv.Metrics.QueriesRejected.Add(1)
 		if q.Kind != deadline.None {
 			c.srv.Metrics.RejectMiss.Add(1)
 		}
+		replyPool.Put(r.reply)
 		return Response{Missed: q.Kind != deadline.None, Issue: r.issue}, ErrBackpressure
 	}
 	select {
 	case resp := <-r.reply:
+		replyPool.Put(r.reply)
 		return resp, nil
 	case <-c.srv.quit:
 		return Response{}, ErrClosed
@@ -98,7 +110,7 @@ func (c *Session) Flush() error {
 	if c.srv.closed.Load() {
 		return ErrClosed
 	}
-	r := request{kind: reqBarrier, session: c.id, reply: make(chan Response, 1)}
+	r := request{kind: reqBarrier, session: c.id, reply: replyPool.Get().(chan Response)}
 	select {
 	case c.queue <- r:
 	case <-c.srv.quit:
@@ -106,6 +118,7 @@ func (c *Session) Flush() error {
 	}
 	select {
 	case <-r.reply:
+		replyPool.Put(r.reply)
 		return nil
 	case <-c.srv.quit:
 		return ErrClosed

@@ -2,6 +2,8 @@ package rtdb
 
 import (
 	"sort"
+	"strconv"
+	"strings"
 
 	"rtc/internal/relational"
 	"rtc/internal/timeseq"
@@ -23,14 +25,128 @@ type HistoricalTuple struct {
 
 // HistoricalRelation is a relation whose tuples carry lifespans. The
 // sequence-of-snapshots view I_t is recovered by SnapshotAt.
+//
+// Two backings exist. The general form stores explicit rows with lifespans
+// and supports arbitrary Insert/Terminate. The timeline form — built by
+// FromLiveImage and NewTimelineRelation — captures an image object's
+// append-only sample history by slice header: sample i is valid from its
+// own timestamp to just before the next sample's, and the last sample runs
+// to the horizon. Point lookups binary-search the samples instead of
+// scanning rows, and capturing a timeline is O(1) regardless of history
+// length, which is what makes incremental snapshot publication cheap.
+// Mutating a timeline relation first thaws it into explicit rows.
 type HistoricalRelation struct {
 	Schema relational.Schema
 	rows   []HistoricalTuple
+	// index maps tupleKey → rows offset; maintained by Insert so repeated
+	// inserts stay O(1) instead of rescanning every row.
+	index map[string]int
+
+	// Timeline backing (nil samples and empty object mean rows-backed).
+	object  string
+	samples []Sample
+	horizon timeseq.Time
 }
 
 // NewHistoricalRelation creates an empty historical relation.
 func NewHistoricalRelation(s relational.Schema) *HistoricalRelation {
 	return &HistoricalRelation{Schema: s}
+}
+
+// NewTimelineRelation captures an image-style sample history as a
+// (Object, Value) historical relation without materializing rows: the
+// samples slice is shared, not copied, so the capture is O(1). Samples must
+// be in non-decreasing timestamp order (append-only histories are); a later
+// sample at the same instant shadows the earlier one. The last sample's
+// validity runs to horizon.
+func NewTimelineRelation(object string, samples []Sample, horizon timeseq.Time) *HistoricalRelation {
+	return &HistoricalRelation{
+		Schema: relational.Schema{
+			Name:  object,
+			Attrs: []relational.Attribute{"Object", "Value"},
+		},
+		object:  object,
+		samples: samples,
+		horizon: horizon,
+	}
+}
+
+// timeline reports whether the relation is timeline-backed.
+func (h *HistoricalRelation) timeline() bool { return h.samples != nil || h.object != "" }
+
+// valueAt is the timeline point lookup: the value current at t, bounded by
+// the given horizon. Binary search over the (sorted) samples; choosing the
+// last sample with At ≤ t makes same-instant shadowing come out right.
+func (h *HistoricalRelation) valueAt(t, horizon timeseq.Time) (Value, bool) {
+	if t > horizon {
+		return "", false
+	}
+	lo, hi := 0, len(h.samples)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.samples[mid].At <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return "", false
+	}
+	return h.samples[lo-1].Value, true
+}
+
+// tupleKey renders a tuple as a collision-free map key (length-prefixed so
+// field boundaries cannot be forged by crafted values).
+func tupleKey(t relational.Tuple) string {
+	var b strings.Builder
+	for _, v := range t {
+		b.WriteString(strconv.Itoa(len(v)))
+		b.WriteByte(':')
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// thaw materializes a timeline backing into explicit rows so the mutating
+// API keeps working on relations captured from live images.
+func (h *HistoricalRelation) thaw() {
+	if !h.timeline() {
+		return
+	}
+	h.rows = h.materializeRows()
+	h.object, h.samples = "", nil
+	h.index = nil
+}
+
+// materializeRows converts the timeline into the equivalent explicit rows:
+// one (Object, Value) tuple per distinct value run, lifespans unioned per
+// tuple — the same structure the eager per-sample Insert loop used to build.
+func (h *HistoricalRelation) materializeRows() []HistoricalTuple {
+	var (
+		rows []HistoricalTuple
+		idx  = make(map[string]int, 8)
+	)
+	for i, s := range h.samples {
+		end := h.horizon
+		if i+1 < len(h.samples) {
+			end = h.samples[i+1].At - 1
+		}
+		if end < s.At {
+			continue
+		}
+		span := NewLifespan(Interval{s.At, end})
+		if j, ok := idx[s.Value]; ok {
+			rows[j].Valid = rows[j].Valid.Union(span)
+			continue
+		}
+		idx[s.Value] = len(rows)
+		rows = append(rows, HistoricalTuple{
+			Tuple: relational.Tuple{h.object, s.Value},
+			Valid: span,
+		})
+	}
+	return rows
 }
 
 // Insert records a tuple valid over the given lifespan. Re-inserting an
@@ -39,14 +155,21 @@ func (h *HistoricalRelation) Insert(t relational.Tuple, valid Lifespan) error {
 	if len(t) != h.Schema.Arity() {
 		return errArity(h.Schema, t)
 	}
-	for i := range h.rows {
-		if h.rows[i].Tuple.Equal(t) {
-			h.rows[i].Valid = h.rows[i].Valid.Union(valid)
-			return nil
+	h.thaw()
+	if h.index == nil {
+		h.index = make(map[string]int, len(h.rows)+1)
+		for i := range h.rows {
+			h.index[tupleKey(h.rows[i].Tuple)] = i
 		}
+	}
+	key := tupleKey(t)
+	if i, ok := h.index[key]; ok {
+		h.rows[i].Valid = h.rows[i].Valid.Union(valid)
+		return nil
 	}
 	cp := make(relational.Tuple, len(t))
 	copy(cp, t)
+	h.index[key] = len(h.rows)
 	h.rows = append(h.rows, HistoricalTuple{Tuple: cp, Valid: valid})
 	return nil
 }
@@ -59,6 +182,7 @@ func errArity(s relational.Schema, t relational.Tuple) error {
 // Terminate ends a tuple's validity at time t (exclusive): its lifespan is
 // intersected with [0, t−1]. A tuple never valid is removed.
 func (h *HistoricalRelation) Terminate(t relational.Tuple, at timeseq.Time) {
+	h.thaw()
 	var upTo Lifespan
 	if at > 0 {
 		upTo = NewLifespan(Interval{0, at - 1})
@@ -74,11 +198,35 @@ func (h *HistoricalRelation) Terminate(t relational.Tuple, at timeseq.Time) {
 		out = append(out, row)
 	}
 	h.rows = out
+	if h.index != nil {
+		// Offsets shifted; rebuild.
+		h.index = make(map[string]int, len(h.rows))
+		for i := range h.rows {
+			h.index[tupleKey(h.rows[i].Tuple)] = i
+		}
+	}
 }
 
 // HoldsAt is the predicate R(u, t) of §5.1.2: tuple u is in the relation at
 // time t.
 func (h *HistoricalRelation) HoldsAt(u relational.Tuple, t timeseq.Time) bool {
+	return h.holdsAt(u, t, h.horizon)
+}
+
+func (h *HistoricalRelation) holdsAt(u relational.Tuple, t, horizon timeseq.Time) bool {
+	if h.timeline() {
+		if len(u) != 2 || u[0] != h.object {
+			return false
+		}
+		v, ok := h.valueAt(t, horizon)
+		return ok && v == u[1]
+	}
+	if h.index != nil {
+		if i, ok := h.index[tupleKey(u)]; ok {
+			return h.rows[i].Valid.Contains(t)
+		}
+		return false
+	}
 	for _, row := range h.rows {
 		if row.Tuple.Equal(u) {
 			return row.Valid.Contains(t)
@@ -89,7 +237,17 @@ func (h *HistoricalRelation) HoldsAt(u relational.Tuple, t timeseq.Time) bool {
 
 // SnapshotAt materializes the instance I_t.
 func (h *HistoricalRelation) SnapshotAt(t timeseq.Time) *relational.Relation {
+	return h.snapshotAt(t, h.horizon)
+}
+
+func (h *HistoricalRelation) snapshotAt(t, horizon timeseq.Time) *relational.Relation {
 	r := relational.NewRelation(h.Schema)
+	if h.timeline() {
+		if v, ok := h.valueAt(t, horizon); ok {
+			_ = r.Insert(relational.Tuple{h.object, v})
+		}
+		return r
+	}
 	for _, row := range h.rows {
 		if row.Valid.Contains(t) {
 			_ = r.Insert(row.Tuple)
@@ -98,28 +256,70 @@ func (h *HistoricalRelation) SnapshotAt(t timeseq.Time) *relational.Relation {
 	return r
 }
 
-// Rows returns the stored historical tuples.
-func (h *HistoricalRelation) Rows() []HistoricalTuple { return h.rows }
+// Rows returns the historical tuples. For a timeline-backed relation the
+// rows are materialized fresh on every call (the backing itself stays
+// shared and immutable, so concurrent readers of a published snapshot never
+// race); callers on hot paths should prefer the point lookups.
+func (h *HistoricalRelation) Rows() []HistoricalTuple {
+	if h.timeline() {
+		return h.materializeRows()
+	}
+	return h.rows
+}
 
-// ChangePoints returns every instant at which the snapshot differs from the
-// preceding instant — the boundaries of the sequence-of-states view. The
-// result is sorted and bounded by the stored lifespans.
-func (h *HistoricalRelation) ChangePoints() []timeseq.Time {
-	set := map[timeseq.Time]bool{}
+// AppendChangePoints appends every instant at which the snapshot differs
+// from the preceding instant — the boundaries of the sequence-of-states
+// view — to dst and returns it, sorted ascending and deduplicated. Passing
+// a reused scratch slice (dst[:0]) makes repeated calls allocation-free.
+func (h *HistoricalRelation) AppendChangePoints(dst []timeseq.Time) []timeseq.Time {
+	if h.timeline() {
+		// Boundaries are where the current value changes: the first
+		// effective sample, every value flip, and the instant after the
+		// horizon. Samples shadowed by a same-instant successor and
+		// same-value runs (whose adjacent lifespans would have merged in
+		// row form) contribute nothing.
+		first := true
+		var prev Value
+		for i, s := range h.samples {
+			if i+1 < len(h.samples) && h.samples[i+1].At == s.At {
+				continue // shadowed by a later sample at the same instant
+			}
+			if first || s.Value != prev {
+				dst = append(dst, s.At)
+			}
+			first, prev = false, s.Value
+		}
+		if !first && h.horizon != timeseq.Infinity {
+			dst = append(dst, h.horizon+1)
+		}
+		return dst
+	}
+	base := len(dst)
 	for _, row := range h.rows {
 		for _, iv := range row.Valid {
-			set[iv.Lo] = true
+			dst = append(dst, iv.Lo)
 			if iv.Hi != timeseq.Infinity {
-				set[iv.Hi+1] = true
+				dst = append(dst, iv.Hi+1)
 			}
 		}
 	}
-	out := make([]timeseq.Time, 0, len(set))
-	for t := range set {
-		out = append(out, t)
+	tail := dst[base:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	// Dedupe in place.
+	out := tail[:0]
+	for i, t := range tail {
+		if i == 0 || t != tail[i-1] {
+			out = append(out, t)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return dst[:base+len(out)]
+}
+
+// ChangePoints returns every instant at which the snapshot differs from the
+// preceding instant. The result is sorted and bounded by the stored
+// lifespans.
+func (h *HistoricalRelation) ChangePoints() []timeseq.Time {
+	return h.AppendChangePoints(nil)
 }
 
 // HistoricalDatabase is a database of historical relations plus a
@@ -127,11 +327,43 @@ func (h *HistoricalRelation) ChangePoints() []timeseq.Time {
 // extension of the §5.1.1 query model.
 type HistoricalDatabase struct {
 	rels map[string]*HistoricalRelation
+	// at is the serving horizon of a published snapshot. Timeline-backed
+	// relations shared by pointer from an older snapshot keep their capture
+	// horizon; at extends their newest value's validity to the publication
+	// instant — an image without new samples since its last capture still
+	// answers as-of reads up to the present. Zero means "each relation's
+	// own horizon", the standalone behavior.
+	at timeseq.Time
 }
 
 // NewHistoricalDatabase creates an empty instance.
 func NewHistoricalDatabase() *HistoricalDatabase {
 	return &HistoricalDatabase{rels: map[string]*HistoricalRelation{}}
+}
+
+// Clone returns a copy sharing every relation by pointer — the copy-on-
+// write step of incremental snapshot publication: replace only the
+// relations whose images changed, keep the rest.
+func (db *HistoricalDatabase) Clone() *HistoricalDatabase {
+	rels := make(map[string]*HistoricalRelation, len(db.rels))
+	for n, h := range db.rels {
+		rels[n] = h
+	}
+	return &HistoricalDatabase{rels: rels, at: db.at}
+}
+
+// SetHorizon sets the serving horizon (see the at field).
+func (db *HistoricalDatabase) SetHorizon(t timeseq.Time) { db.at = t }
+
+// Horizon returns the serving horizon.
+func (db *HistoricalDatabase) Horizon() timeseq.Time { return db.at }
+
+// effHorizon is the horizon a relation serves under inside this database.
+func (db *HistoricalDatabase) effHorizon(h *HistoricalRelation) timeseq.Time {
+	if db.at > h.horizon {
+		return db.at
+	}
+	return h.horizon
 }
 
 // Add registers a historical relation.
@@ -145,11 +377,39 @@ func (db *HistoricalDatabase) Relation(name string) (*HistoricalRelation, bool) 
 	return h, ok
 }
 
+// HoldsAt is R(u, t) routed through the database's serving horizon.
+func (db *HistoricalDatabase) HoldsAt(name string, u relational.Tuple, t timeseq.Time) bool {
+	h, ok := db.rels[name]
+	if !ok {
+		return false
+	}
+	return h.holdsAt(u, t, db.effHorizon(h))
+}
+
+// ValueAsOf returns the (Object, Value) relation's value at time t — the
+// indexed fast path behind Server.ValueAsOf. Timeline-backed relations
+// binary-search their samples; row-backed ones fall back to a scan.
+func (db *HistoricalDatabase) ValueAsOf(name string, t timeseq.Time) (Value, bool) {
+	h, ok := db.rels[name]
+	if !ok {
+		return "", false
+	}
+	if h.timeline() {
+		return h.valueAt(t, db.effHorizon(h))
+	}
+	for _, row := range h.rows {
+		if len(row.Tuple) == 2 && row.Tuple[0] == name && row.Valid.Contains(t) {
+			return row.Tuple[1], true
+		}
+	}
+	return "", false
+}
+
 // SnapshotAt materializes the whole database instance I_t.
 func (db *HistoricalDatabase) SnapshotAt(t timeseq.Time) *relational.Database {
 	out := relational.NewDatabase()
 	for _, h := range db.rels {
-		out.Add(h.SnapshotAt(t))
+		out.Add(h.snapshotAt(t, db.effHorizon(h)))
 	}
 	return out
 }
@@ -165,10 +425,13 @@ func (db *HistoricalDatabase) QueryAt(q relational.Query, t timeseq.Time) (*rela
 // answer tuple was in the result — a simple valid-time query semantics.
 func (db *HistoricalDatabase) QueryDuring(q relational.Query, lo, hi timeseq.Time) (*HistoricalRelation, error) {
 	// Collect candidate evaluation points: lo plus every change point of
-	// every stored relation inside (lo, hi].
+	// every stored relation inside (lo, hi]. One scratch buffer serves all
+	// relations.
 	points := []timeseq.Time{lo}
+	var scratch []timeseq.Time
 	for _, h := range db.rels {
-		for _, cp := range h.ChangePoints() {
+		scratch = h.AppendChangePoints(scratch[:0])
+		for _, cp := range scratch {
 			if cp > lo && cp <= hi {
 				points = append(points, cp)
 			}
@@ -201,23 +464,10 @@ func (db *HistoricalDatabase) QueryDuring(q relational.Query, lo, hi timeseq.Tim
 }
 
 // FromLiveImage converts an image object's archival history into a
-// historical relation (Name, Value) with lifespans spanning from each
-// sample to the next — the "archival sets of image objects" view of §5.1.2.
+// historical relation (Name, Value) — the "archival sets of image objects"
+// view of §5.1.2. The history slice is captured by header, not copied:
+// the conversion is O(1), and because the history is append-only the
+// captured prefix never changes underneath a published snapshot.
 func FromLiveImage(o *ImageObject, now timeseq.Time) *HistoricalRelation {
-	h := NewHistoricalRelation(relational.Schema{
-		Name:  o.Name,
-		Attrs: []relational.Attribute{"Object", "Value"},
-	})
-	hist := o.History()
-	for i, s := range hist {
-		end := now
-		if i+1 < len(hist) {
-			end = hist[i+1].At - 1
-		}
-		if end < s.At {
-			continue
-		}
-		_ = h.Insert(relational.Tuple{o.Name, s.Value}, NewLifespan(Interval{s.At, end}))
-	}
-	return h
+	return NewTimelineRelation(o.Name, o.History(), now)
 }

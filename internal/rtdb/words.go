@@ -249,17 +249,23 @@ type View struct {
 }
 
 // Latest returns the most recent sample of an image at or before Now.
+// Histories are append-only and timestamp-ordered, so this is a binary
+// search — the query path must not degrade as the history grows.
 func (v *View) Latest(name string) (Sample, bool) {
 	h := v.Samples[name]
-	var out Sample
-	ok := false
-	for _, s := range h {
-		if s.At <= v.Now {
-			out = s
-			ok = true
+	lo, hi := 0, len(h)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h[mid].At <= v.Now {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return out, ok
+	if lo == 0 {
+		return Sample{}, false
+	}
+	return h[lo-1], true
 }
 
 // DeriveNow recomputes a derived object against the view.

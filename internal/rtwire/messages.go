@@ -5,7 +5,6 @@ import (
 	"strconv"
 
 	"rtc/internal/deadline"
-	"rtc/internal/encoding"
 	"rtc/internal/timeseq"
 )
 
@@ -275,9 +274,6 @@ type PromoteInfo struct {
 	Seq   uint64
 }
 
-func u(v uint64) string       { return encoding.FieldUint(v) }
-func t(v timeseq.Time) string { return encoding.FieldUint(uint64(v)) }
-func boolField(b bool) string { return map[bool]string{false: "0", true: "1"}[b] }
 func parseBool(s string) (bool, bool) {
 	switch s {
 	case "0":
@@ -293,102 +289,239 @@ func parseU(s string) (uint64, bool) {
 	return v, err == nil
 }
 
-// Encode renders the message as one frame.
-func (m Hello) Encode() []byte { return EncodeFields(KindHello, m.Client) }
+// Every message encodes through an AppendTo method that assembles the
+// frame directly into the destination buffer — numeric fields via strconv,
+// no intermediate field strings — plus an Encode() convenience that
+// allocates a fresh one. The byte output is pinned by the golden
+// wire-format fixtures: AppendTo(nil) equals the old field-slice encoding
+// for every message.
 
-// Encode renders the message as one frame.
-func (m Welcome) Encode() []byte {
-	return EncodeFields(KindWelcome, u(m.Session), t(m.Chronon), u(m.Epoch), u(uint64(m.Role)))
+// AppendTo appends the encoded frame to dst.
+func (m Hello) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindHello)
+	b.str(m.Client)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m Sample) Encode() []byte {
-	return EncodeFields(KindSample, u(m.ID), m.Image, m.Value)
+func (m Hello) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m Welcome) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindWelcome)
+	b.uint(m.Session)
+	b.time(m.Chronon)
+	b.uint(m.Epoch)
+	b.uint(uint64(m.Role))
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m Query) Encode() []byte {
-	return EncodeFields(KindQuery,
-		u(m.ID), m.Query, m.Candidate,
-		u(uint64(m.Kind)), t(m.Deadline), t(m.Elapsed), u(m.MinUseful),
-		u(uint64(m.Decay.ID)), u(m.Decay.Max), t(m.Decay.Span))
+func (m Welcome) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m Sample) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindSample)
+	b.uint(m.ID)
+	b.str(m.Image)
+	b.str(m.Value)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m Result) Encode() []byte {
-	fields := []string{
-		u(m.ID), boolField(m.Match), u(m.Useful), boolField(m.Missed),
-		boolField(m.Evaluated), t(m.Issue), t(m.Served),
-		boolField(m.ExpiredOnArrival),
+func (m Sample) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m Query) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindQuery)
+	b.uint(m.ID)
+	b.str(m.Query)
+	b.str(m.Candidate)
+	b.uint(uint64(m.Kind))
+	b.time(m.Deadline)
+	b.time(m.Elapsed)
+	b.uint(m.MinUseful)
+	b.uint(uint64(m.Decay.ID))
+	b.uint(m.Decay.Max)
+	b.time(m.Decay.Span)
+	return b.finish()
+}
+
+// Encode renders the message as one frame.
+func (m Query) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m Result) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindResult)
+	b.uint(m.ID)
+	b.boolf(m.Match)
+	b.uint(m.Useful)
+	b.boolf(m.Missed)
+	b.boolf(m.Evaluated)
+	b.time(m.Issue)
+	b.time(m.Served)
+	b.boolf(m.ExpiredOnArrival)
+	for _, a := range m.Answers {
+		b.str(a)
 	}
-	fields = append(fields, m.Answers...)
-	return EncodeFields(KindResult, fields...)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m AsOf) Encode() []byte {
-	return EncodeFields(KindAsOf, u(m.ID), m.Image, t(m.At))
+func (m Result) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m AsOf) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindAsOf)
+	b.uint(m.ID)
+	b.str(m.Image)
+	b.time(m.At)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m AsOfResult) Encode() []byte {
-	return EncodeFields(KindAsOfResult, u(m.ID), boolField(m.OK), m.Value, t(m.Horizon))
+func (m AsOf) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m AsOfResult) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindAsOfResult)
+	b.uint(m.ID)
+	b.boolf(m.OK)
+	b.str(m.Value)
+	b.time(m.Horizon)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m MetricsReq) Encode() []byte { return EncodeFields(KindMetricsReq, u(m.ID)) }
+func (m AsOfResult) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m MetricsReq) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindMetricsReq)
+	b.uint(m.ID)
+	return b.finish()
+}
 
 // Encode renders the message as one frame.
-func (m Metrics) Encode() []byte {
-	fields := make([]string, 0, 1+2*len(m.Pairs))
-	fields = append(fields, u(m.ID))
+func (m MetricsReq) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m Metrics) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindMetrics)
+	b.uint(m.ID)
 	for _, p := range m.Pairs {
-		fields = append(fields, p.Name, u(p.Value))
+		b.str(p.Name)
+		b.uint(p.Value)
 	}
-	return EncodeFields(KindMetrics, fields...)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m Flush) Encode() []byte { return EncodeFields(KindFlush, u(m.ID)) }
+func (m Metrics) Encode() []byte { return m.AppendTo(nil) }
 
-// Encode renders the message as one frame.
-func (m Flushed) Encode() []byte {
-	return EncodeFields(KindFlushed, u(m.ID), t(m.Chronon))
+// AppendTo appends the encoded frame to dst.
+func (m Flush) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindFlush)
+	b.uint(m.ID)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m Err) Encode() []byte {
-	return EncodeFields(KindErr, u(m.ID), u(uint64(m.Code)), m.Msg)
+func (m Flush) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m Flushed) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindFlushed)
+	b.uint(m.ID)
+	b.time(m.Chronon)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m Bye) Encode() []byte { return EncodeFields(KindBye, m.Reason) }
+func (m Flushed) Encode() []byte { return m.AppendTo(nil) }
 
-// Encode renders the message as one frame.
-func (m Subscribe) Encode() []byte {
-	return EncodeFields(KindSubscribe, u(m.AfterSeq), m.Follower)
+// AppendTo appends the encoded frame to dst.
+func (m Err) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindErr)
+	b.uint(m.ID)
+	b.uint(uint64(m.Code))
+	b.str(m.Msg)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m WalBatch) Encode() []byte {
-	fields := make([]string, 0, 5+len(m.Events))
-	fields = append(fields, u(m.Epoch), u(m.FirstSeq), u(uint64(m.Snap)), u(m.SnapSeq), t(m.SnapLastAt))
-	fields = append(fields, m.Events...)
-	return EncodeFields(KindWalBatch, fields...)
+func (m Err) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m Bye) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindBye)
+	b.str(m.Reason)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m WalAck) Encode() []byte { return EncodeFields(KindWalAck, u(m.Seq)) }
+func (m Bye) Encode() []byte { return m.AppendTo(nil) }
 
-// Encode renders the message as one frame.
-func (m Heartbeat) Encode() []byte {
-	return EncodeFields(KindHeartbeat, u(m.Epoch), t(m.Chronon), u(m.Seq))
+// AppendTo appends the encoded frame to dst.
+func (m Subscribe) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindSubscribe)
+	b.uint(m.AfterSeq)
+	b.str(m.Follower)
+	return b.finish()
 }
 
 // Encode renders the message as one frame.
-func (m PromoteInfo) Encode() []byte {
-	return EncodeFields(KindPromoteInfo, u(m.Epoch), u(m.Seq))
+func (m Subscribe) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m WalBatch) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindWalBatch)
+	b.uint(m.Epoch)
+	b.uint(m.FirstSeq)
+	b.uint(uint64(m.Snap))
+	b.uint(m.SnapSeq)
+	b.time(m.SnapLastAt)
+	for _, e := range m.Events {
+		b.str(e)
+	}
+	return b.finish()
 }
+
+// Encode renders the message as one frame.
+func (m WalBatch) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m WalAck) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindWalAck)
+	b.uint(m.Seq)
+	return b.finish()
+}
+
+// Encode renders the message as one frame.
+func (m WalAck) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m Heartbeat) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindHeartbeat)
+	b.uint(m.Epoch)
+	b.time(m.Chronon)
+	b.uint(m.Seq)
+	return b.finish()
+}
+
+// Encode renders the message as one frame.
+func (m Heartbeat) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m PromoteInfo) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindPromoteInfo)
+	b.uint(m.Epoch)
+	b.uint(m.Seq)
+	return b.finish()
+}
+
+// Encode renders the message as one frame.
+func (m PromoteInfo) Encode() []byte { return m.AppendTo(nil) }
 
 // Decode parses a frame into its typed message.
 func Decode(f Frame) (any, error) {

@@ -28,9 +28,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"strconv"
 
-	"rtc/internal/encoding"
-	"rtc/internal/word"
+	"rtc/internal/timeseq"
 )
 
 const (
@@ -168,9 +168,96 @@ func AppendFrame(dst []byte, kind Kind, payload []byte) []byte {
 	return append(dst, payload...)
 }
 
+// appendEscaped appends s with the record escaping discipline of
+// internal/encoding.Str: the delimiter bytes '$', '@', '#', '%' become
+// %-pairs, everything else passes through. Byte-for-byte identical to
+// rendering encoding.Str(s), without the per-byte symbol allocations.
+func appendEscaped(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch b := s[i]; b {
+		case '$', '@', '#', '%':
+			dst = append(dst, '%', b)
+		default:
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// frameBuilder assembles one record-payload frame in place: the header is
+// reserved up front, fields append directly into the destination buffer
+// (numbers via strconv, never through intermediate strings), and finish
+// patches the length and CRC. The byte output is identical to
+// AppendFrame(dst, kind, render(encoding.Record(fields...))) — the golden
+// wire-format fixtures hold across the two encoders.
+type frameBuilder struct {
+	buf   []byte
+	start int
+	kind  Kind
+	n     int
+}
+
+// beginFrame starts a frame of the given kind appended to dst.
+func beginFrame(dst []byte, kind Kind) frameBuilder {
+	start := len(dst)
+	var hdr [HeaderSize]byte
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, '$')
+	return frameBuilder{buf: dst, start: start, kind: kind}
+}
+
+func (b *frameBuilder) sep() {
+	if b.n > 0 {
+		b.buf = append(b.buf, '@')
+	}
+	b.n++
+}
+
+// str appends one string field, escaped.
+func (b *frameBuilder) str(f string) {
+	b.sep()
+	b.buf = appendEscaped(b.buf, f)
+}
+
+// uint appends one numeric field. Decimal digits never need escaping.
+func (b *frameBuilder) uint(v uint64) {
+	b.sep()
+	b.buf = strconv.AppendUint(b.buf, v, 10)
+}
+
+// time appends one chronon field.
+func (b *frameBuilder) time(v timeseq.Time) { b.uint(uint64(v)) }
+
+// boolf appends one boolean field as "0"/"1".
+func (b *frameBuilder) boolf(v bool) {
+	b.sep()
+	if v {
+		b.buf = append(b.buf, '1')
+	} else {
+		b.buf = append(b.buf, '0')
+	}
+}
+
+// finish closes the record and fills in the reserved header.
+func (b *frameBuilder) finish() []byte {
+	b.buf = append(b.buf, '$')
+	hdr := b.buf[b.start:]
+	payload := b.buf[b.start+HeaderSize:]
+	hdr[0] = Magic
+	hdr[1] = Version
+	hdr[2] = byte(b.kind)
+	binary.LittleEndian.PutUint32(hdr[3:7], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[7:11], checksum(b.kind, payload))
+	return b.buf
+}
+
 // EncodeFields frames a record of fields: payload = bytes of $f1@f2@…$.
 func EncodeFields(kind Kind, fields ...string) []byte {
-	return AppendFrame(nil, kind, []byte(encoding.String(encoding.Record(fields...))))
+	b := beginFrame(nil, kind)
+	for _, f := range fields {
+		b.str(f)
+	}
+	return b.finish()
 }
 
 // ReadFrame reads one frame from r. io.EOF signals a clean end between
@@ -179,6 +266,16 @@ func EncodeFields(kind Kind, fields ...string) []byte {
 // socket) is returned as-is so transports can tell liveness failures from
 // protocol damage.
 func ReadFrame(r io.Reader) (Frame, error) {
+	var buf []byte
+	return ReadFrameBuf(r, &buf)
+}
+
+// ReadFrameBuf is ReadFrame with a caller-owned payload buffer: *buf is
+// grown as needed and the returned Frame's Payload aliases it, valid only
+// until the next call. Decoded field strings are copies, so a transport
+// can safely reuse one buffer for every frame on a connection — the read
+// loop's steady state allocates nothing.
+func ReadFrameBuf(r io.Reader, buf *[]byte) (Frame, error) {
 	var hdr [HeaderSize]byte
 	if n, err := io.ReadFull(r, hdr[:]); err != nil {
 		if n == 0 {
@@ -190,8 +287,11 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	if err != nil {
 		return Frame{}, err
 	}
-	length := binary.LittleEndian.Uint32(hdr[3:7])
-	f.Payload = make([]byte, length)
+	length := int(binary.LittleEndian.Uint32(hdr[3:7]))
+	if cap(*buf) < length {
+		*buf = make([]byte, length)
+	}
+	f.Payload = (*buf)[:length]
 	if _, err := io.ReadFull(r, f.Payload); err != nil {
 		return Frame{}, ErrTruncated
 	}
@@ -244,26 +344,69 @@ func decodeHeader(hdr [HeaderSize]byte) (Frame, error) {
 	return Frame{Kind: kind}, nil
 }
 
-// Fields parses the frame payload back into its record fields. It
-// re-tokenizes the byte stream into the symbol alphabet (escape pairs %x
-// are one symbol, everything else one byte) and hands the result to the
-// shared record parser — the same inversion the WAL codec uses.
+// Fields parses the frame payload back into its record fields: the byte
+// rendering of $f1@f2@…$, escape pairs %x decoding to x. It accepts and
+// rejects exactly what tokenizing into the symbol alphabet and running the
+// shared record parser accepts and rejects — an unescaped delimiter or a
+// dangling escape inside the record is ErrBadPayload — but works directly
+// on the bytes: one validation pass, then one string per field.
 func (f Frame) Fields() ([]string, error) {
-	syms := make([]word.Symbol, 0, len(f.Payload))
-	for i := 0; i < len(f.Payload); i++ {
-		if f.Payload[i] == '%' {
-			if i+1 >= len(f.Payload) {
-				return nil, ErrBadPayload
-			}
-			syms = append(syms, word.Symbol(f.Payload[i:i+2]))
-			i++
-			continue
-		}
-		syms = append(syms, word.Symbol(f.Payload[i:i+1]))
-	}
-	fields, ok := encoding.ParseRecord(syms)
-	if !ok {
+	p := f.Payload
+	if len(p) < 2 || p[0] != '$' || p[len(p)-1] != '$' {
 		return nil, ErrBadPayload
 	}
+	inner := p[1 : len(p)-1]
+	// Validation pass; counts fields so the result is sized exactly.
+	nf := 1
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '%':
+			if i+1 >= len(inner) {
+				return nil, ErrBadPayload
+			}
+			i++
+		case '@':
+			nf++
+		case '$', '#':
+			// An unescaped delimiter or number prefix never appears in a
+			// well-formed field (encoding.UnStr rejects both).
+			return nil, ErrBadPayload
+		}
+	}
+	fields := make([]string, 0, nf)
+	var scratch []byte
+	start := 0
+	flush := func(end int) {
+		seg := inner[start:end]
+		start = end + 1
+		esc := -1
+		for k := 0; k < len(seg); k++ {
+			if seg[k] == '%' {
+				esc = k
+				break
+			}
+		}
+		if esc < 0 {
+			fields = append(fields, string(seg))
+			return
+		}
+		scratch = append(scratch[:0], seg[:esc]...)
+		for k := esc; k < len(seg); k++ {
+			if seg[k] == '%' {
+				k++
+			}
+			scratch = append(scratch, seg[k])
+		}
+		fields = append(fields, string(scratch))
+	}
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '%':
+			i++
+		case '@':
+			flush(i)
+		}
+	}
+	flush(len(inner))
 	return fields, nil
 }

@@ -71,6 +71,24 @@ func MinMax(xs []float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs by the
+// nearest-rank method on a sorted copy (0 for an empty sample).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
 // Summary aggregates one metric across runs.
 type Summary struct {
 	N              int
