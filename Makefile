@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-grid race-rtdb race-net race-repl bench bench-json fuzz torture torture-short torture-failover soak-short examples experiments clean
+.PHONY: all build vet test race race-grid race-rtdb race-net race-repl race-sub bench bench-json fuzz torture torture-short torture-failover soak-short examples experiments clean
 
 all: build vet test
 
@@ -38,6 +38,12 @@ race-net:
 race-repl:
 	$(GO) test -race ./internal/rtdb/replica/
 	$(GO) test -race -run=TestFailover ./internal/rtdb/torture/
+
+# Standing queries under the race detector: the sub package's queue/table,
+# the SUB-xxx conformance suite on both transports, and the 32-subscriber ×
+# 4-writer hammer with a mid-flight listener drain and resume.
+race-sub:
+	$(GO) test -race ./internal/rtdb/sub/ ./internal/rtdb/subspec/
 
 # Full crash-torture sweep: ~900 deterministic fault points (power cuts at
 # every mutating op, transient EIO / torn writes on every data write,
@@ -79,7 +85,7 @@ bench:
 # plus the adhoc scaling suite) for tracking perf across commits.
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem . ./internal/adhoc/ | $(GO) run ./cmd/benchjson -o BENCH_adhoc.json
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/rtdb/log/ ./internal/rtdb/server/ ./internal/rtdb/netserve/ ./internal/rtdb/replica/ ./internal/rtdb/torture/ | $(GO) run ./cmd/benchjson -o BENCH_rtdb.json
+	$(GO) test -run='^$$' -bench=. -benchmem -timeout=30m ./internal/rtdb/log/ ./internal/rtdb/server/ ./internal/rtdb/sub/ ./internal/rtdb/netserve/ ./internal/rtdb/replica/ ./internal/rtdb/torture/ | $(GO) run ./cmd/benchjson -o BENCH_rtdb.json
 
 # Short fuzzing passes over the parsers and encoders.
 fuzz:

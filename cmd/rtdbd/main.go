@@ -226,8 +226,39 @@ func serve(cfg server.Config, listen string, ops int, evalCost, deadln uint64) e
 
 // synthetic drives the server with conns concurrent network clients — the
 // same op mix a real deployment would send, through the same client
-// package and TCP stack rtdbload uses.
+// package and TCP stack rtdbload uses — while one standing-query
+// subscription watches status_q over the same wire, so every run
+// demonstrates the push path next to the polled one.
 func synthetic(addr string, conns, ops int, deadln uint64) error {
+	// One session is reserved for the subscriber riding along.
+	if conns > 1 {
+		conns--
+	}
+	sc, err := client.Dial(addr, client.Options{Name: "syn-sub"})
+	if err != nil {
+		return err
+	}
+	defer sc.Close()
+	subscription, err := sc.Subscribe(client.SubSpec{
+		Query: "status_q", Period: 7,
+		Kind: deadline.Soft, Deadline: timeseq.Time(deadln), MinUseful: 1,
+		Depth: 16, Buffer: 32,
+	})
+	if err != nil {
+		return err
+	}
+	var pushes, hits uint64
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		for p := range subscription.Pushes() {
+			pushes++
+			if !p.Missed {
+				hits++
+			}
+		}
+	}()
+
 	var wg sync.WaitGroup
 	errs := make(chan error, conns)
 	for i := 0; i < conns; i++ {
@@ -252,6 +283,25 @@ func synthetic(addr string, conns, ops int, deadln uint64) error {
 		return err
 	default:
 	}
+
+	// Close out the standing query and audit its stream with the cursor
+	// arithmetic every subscriber can run locally. The drivers are flushed,
+	// so every tick is scheduled; a short settle lets the pump deliver the
+	// tail before the audit coordinates are read.
+	time.Sleep(300 * time.Millisecond)
+	cursor, receivedC := subscription.Cursor(), subscription.Received()
+	dropped, expired := subscription.Tallies()
+	local := subscription.LocalDrops()
+	if err := subscription.Close(); err != nil {
+		return err
+	}
+	<-subDone
+	if receivedC+dropped+expired+local != cursor {
+		return fmt.Errorf("standing query audit open: received %d + dropped %d + expired %d + local %d != cursor %d",
+			receivedC, dropped, expired, local, cursor)
+	}
+	fmt.Printf("standing query: %d pushes (%d deadline hits), cursor %d == %d received + %d dropped + %d expired + %d shed ✓\n",
+		pushes, hits, cursor, receivedC, dropped, expired, local)
 
 	// A temporal read against the published history, over the wire: first
 	// learn the horizon, then read the temperature half a horizon ago.

@@ -39,12 +39,19 @@ func main() {
 
 		soak       = flag.Int("soak", 0, "age the server by this many injected samples and assert flat serving latency (0: run the mixed load)")
 		soakFactor = flag.Float64("soak-factor", 8, "soak mode: max allowed late-run/early-run p99 ratio")
+
+		fanout  = flag.Int("fanout", 0, "standing-query fan-out mode: this many push subscribers watching status_q (0: run the mixed load)")
+		writers = flag.Int("writers", 4, "fanout mode: writer connections driving the clock")
+		period  = flag.Uint64("period", 2, "fanout mode: subscription period (chronons)")
 	)
 	flag.Parse()
 	var err error
-	if *soak > 0 {
+	switch {
+	case *soak > 0:
 		err = runSoak(*addr, *soak, *soakFactor, *chronon)
-	} else {
+	case *fanout > 0:
+		err = runFanout(*addr, *fanout, *writers, *ops, *deadln, *period, *chronon)
+	default:
 		err = run(*addr, *conns, *ops, *deadln, *chronon)
 	}
 	if err != nil {

@@ -167,6 +167,7 @@ type Stats struct {
 	Degraded          atomic.Uint64 // queries answered by a standby
 	ReadOnlyRejects   atomic.Uint64 // submissions refused with CodeReadOnly
 	HeartbeatTimeouts atomic.Uint64 // connections cut by the liveness watchdog
+	Resubscribes      atomic.Uint64 // subscriptions re-attached after a reconnect
 
 	// MaxPrimarySeq is the highest durability watermark heard in heartbeat
 	// echoes — a primary advertises its followers' acknowledged seq (what
@@ -210,6 +211,16 @@ type Client struct {
 
 	pmu     sync.Mutex
 	pending map[uint64]chan any
+
+	// smu guards the live subscription registry, keyed by the wire id of
+	// each subscription's current attachment (SubOpen/SubResume frame id).
+	smu  sync.Mutex
+	subs map[uint64]*Subscription
+
+	// done closes when Close is called; every waiter that outlives a call —
+	// the heartbeat watchdog, retry backoff pauses, resume loops — selects
+	// on it so Close leaks neither goroutines nor timers.
+	done chan struct{}
 }
 
 // Dial connects and performs the Hello/Welcome handshake, retrying per
@@ -226,7 +237,12 @@ func Dial(addr string, opt Options) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("client: no address to dial")
 	}
-	c := &Client{addrs: addrs, opt: opt, pending: make(map[uint64]chan any)}
+	c := &Client{
+		addrs: addrs, opt: opt,
+		pending: make(map[uint64]chan any),
+		subs:    make(map[uint64]*Subscription),
+		done:    make(chan struct{}),
+	}
 	bo := newBackoff(opt.Seed, opt.RetryBackoff, opt.RetryBackoffMax)
 	var err error
 	for attempt := 0; attempt <= opt.RetryAttempts; attempt++ {
@@ -333,7 +349,14 @@ func (c *Client) heartbeatLoop(conn net.Conn, gen int) {
 	iv := c.opt.HeartbeatInterval
 	t := time.NewTicker(iv)
 	defer t.Stop()
-	for range t.C {
+	for {
+		select {
+		case <-t.C:
+		case <-c.done:
+			// Close must not strand this goroutine (and its ticker) for up
+			// to an interval; exit the moment the client goes away.
+			return
+		}
 		c.mu.Lock()
 		stale := c.closed || c.gen != gen
 		c.mu.Unlock()
@@ -424,6 +447,10 @@ func (c *Client) readLoop(conn net.Conn, br *bufio.Reader, gen int) {
 			c.deliver(m.ID, m)
 		case rtwire.Flushed:
 			c.deliver(m.ID, m)
+		case rtwire.SubAck:
+			c.deliver(m.ID, m)
+		case rtwire.Push:
+			c.dispatchPush(m)
 		case rtwire.Err:
 			if !c.deliver(m.ID, m) {
 				switch m.Code {
@@ -487,6 +514,7 @@ func (c *Client) failPending(gen int) {
 		ch <- error(ErrConnDown)
 	}
 	c.pmu.Unlock()
+	c.resumeSubs()
 }
 
 // send writes one frame. redial controls whether a dead connection is
@@ -566,7 +594,9 @@ func (c *Client) Query(q Query) (Result, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opt.RetryAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(bo.Next())
+			if !c.sleep(bo.Next()) {
+				return Result{}, ErrClosed
+			}
 		}
 		id := c.nextID()
 		wq := rtwire.Query{
@@ -666,14 +696,44 @@ func (c *Client) Flush() error {
 	return nil
 }
 
+// sleep pauses for d; false means Close was called mid-pause. Backoff
+// waits use it so a closing client abandons its retry ladder immediately
+// instead of finishing the nap first.
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
 // Close announces an orderly close and tears the connection down.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
+	close(c.done)
+	c.mu.Unlock()
+	// Every subscription ends here: consumers see their channels close and
+	// Err() report the client shutdown.
+	c.smu.Lock()
+	subs := make([]*Subscription, 0, len(c.subs))
+	for id, s := range c.subs {
+		delete(c.subs, id)
+		subs = append(subs, s)
+	}
+	c.smu.Unlock()
+	for _, s := range subs {
+		s.finish(ErrClosed)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.conn != nil {
 		_ = c.conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
 		_, _ = c.conn.Write(rtwire.Bye{Reason: "close"}.Encode())

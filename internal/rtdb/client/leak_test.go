@@ -1,0 +1,200 @@
+package client_test
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"rtc/internal/rtdb/client"
+	"rtc/internal/rtdb/netserve"
+	"rtc/internal/rtdb/server"
+)
+
+// waitGoroutines polls until the goroutine count sinks back to at most
+// base+slack or the deadline passes, returning the final count. Counting
+// (instead of a hard equality) keeps the check robust against runtime
+// housekeeping goroutines while still catching real leaks, which hold the
+// count elevated for minutes, not milliseconds.
+func waitGoroutines(t *testing.T, base int, slack int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+slack || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseLeaksNoGoroutines: a client with a live connection, an armed
+// heartbeat watchdog, and an active subscription must shed every goroutine
+// and timer on Close — the watchdog's old `for range ticker.C` shape kept
+// the goroutine (and its ticker) alive for up to a full interval after
+// Close, which this test pins at a long interval to make the leak loud.
+func TestCloseLeaksNoGoroutines(t *testing.T) {
+	addr := startServer(t)
+	base := runtime.NumGoroutine()
+
+	c, err := client.Dial(addr, client.Options{
+		Name: "leak", HeartbeatInterval: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectSample("temp", "20"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(client.SubSpec{Query: "status_q", Period: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close ended the subscription too: the channel closes and Err reports
+	// the shutdown.
+	select {
+	case _, ok := <-sub.Pushes():
+		if ok {
+			// Pushes delivered before the close are fine; drain to the close.
+			for range sub.Pushes() {
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription channel never closed after client Close")
+	}
+	if !errors.Is(sub.Err(), client.ErrClosed) {
+		t.Fatalf("sub.Err() = %v, want ErrClosed", sub.Err())
+	}
+
+	if n := waitGoroutines(t, base, 2); n > base+2 {
+		t.Fatalf("goroutines after Close: %d, baseline %d — leak", n, base)
+	}
+}
+
+// TestCloseUnblocksRetryBackoff: a Query stuck in its retry-backoff pause
+// (the server is gone, the ladder is long) must abort the moment Close is
+// called instead of sleeping the pause out — the old uninterruptible
+// time.Sleep held both the goroutine and the caller hostage.
+func TestCloseUnblocksRetryBackoff(t *testing.T) {
+	s, err := server.New(server.Config{Sessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+	ns := netserve.New(s, netserve.Options{})
+	addr, err := ns.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(addr.String(), client.Options{
+		Name:          "backoff-leak",
+		RetryAttempts: 100,
+		RetryBackoff:  30 * time.Second, // one pause outlasts the whole test
+		DialTimeout:   200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server: the connection dies, redials are refused, and the
+	// next Query enters the retry ladder — each rung a 30s pause.
+	if err := ns.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Query(client.Query{Query: "anything"})
+		done <- err
+	}()
+	// Let the query fail its first attempt and enter the backoff pause.
+	time.Sleep(300 * time.Millisecond)
+
+	start := time.Now()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, client.ErrClosed) && !errors.Is(err, client.ErrConnDown) {
+			t.Fatalf("interrupted query returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Query still blocked 5s after Close; backoff pause not interruptible")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Close-to-unblock took %v", d)
+	}
+}
+
+// TestClientSubscribeEndToEnd: the full client subscription surface over a
+// real connection — admitted subscribe, cursored pushes as samples advance
+// the server clock, clean Close.
+func TestClientSubscribeEndToEnd(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, client.Options{Name: "sub-e2e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sub, err := c.Subscribe(client.SubSpec{Query: "status_q", Period: 2, Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refusals surface as errors, not dead subscriptions.
+	if _, err := c.Subscribe(client.SubSpec{Query: "no_such_q", Period: 2}); !errors.Is(err, client.ErrSubRefused) {
+		t.Fatalf("unknown query: err = %v, want ErrSubRefused", err)
+	}
+
+	for i := 0; i < 8; i++ {
+		if err := c.InjectSample("temp", "25"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var last uint64
+	var got int
+collect:
+	for {
+		select {
+		case p, ok := <-sub.Pushes():
+			if !ok {
+				t.Fatal("push channel closed mid-test")
+			}
+			if p.Cursor <= last {
+				t.Fatalf("cursor not increasing: %d after %d", p.Cursor, last)
+			}
+			if len(p.Answers) != 1 || p.Answers[0] != "high" {
+				t.Fatalf("push answers: %v", p.Answers)
+			}
+			last = p.Cursor
+			got++
+			if got >= 3 {
+				break collect
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d pushes after 5s", got)
+		}
+	}
+	if sub.Cursor() < last || sub.Received() < uint64(got) {
+		t.Fatalf("bookkeeping: cursor %d received %d, saw %d/%d", sub.Cursor(), sub.Received(), last, got)
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for range sub.Pushes() {
+	} // drains to close
+	if sub.Err() != nil {
+		t.Fatalf("clean close left err %v", sub.Err())
+	}
+}

@@ -46,6 +46,11 @@ type conn struct {
 	// replication sender; repl guards against a second Subscribe.
 	ackCh chan uint64
 	repl  bool
+
+	// subs maps client-chosen subscription ids to their pumps. Only the
+	// read loop touches it (attach, cancel), so it needs no lock; pumps
+	// alive at connection teardown clean themselves up on rstop.
+	subs map[uint64]*subPump
 }
 
 // interruptRead unblocks a pending Read so the read loop can observe the
@@ -305,6 +310,14 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 		case c.ackCh <- m.Seq:
 		default: // sender reads acks in batches; a stale one is harmless
 		}
+	case rtwire.SubOpen:
+		spec, expired := translateSub(m.Query, m.Period, m.Kind, m.Deadline, m.Elapsed, m.MinUseful, m.Decay)
+		c.subAttach(m.ID, spec, expired, int(m.Depth), 0)
+	case rtwire.SubResume:
+		spec, expired := translateSub(m.Query, m.Period, m.Kind, m.Deadline, m.Elapsed, m.MinUseful, m.Decay)
+		c.subAttach(m.ID, spec, expired, int(m.Depth), m.AfterCursor)
+	case rtwire.SubCancel:
+		c.subCancel(m.ID)
 	case rtwire.Heartbeat:
 		c.n.Wire.HeartbeatsIn.Add(1)
 		// The echoed Seq is the replication durability watermark, NOT the

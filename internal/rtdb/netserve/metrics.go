@@ -31,6 +31,8 @@ type WireMetrics struct {
 	SamplesIn          atomic.Uint64 // sample frames received
 	QueriesIn          atomic.Uint64 // query frames received
 	AsOfReads          atomic.Uint64 // as-of frames received
+	SubsIn             atomic.Uint64 // sub_open/sub_resume frames received
+	PushesOut          atomic.Uint64 // push frames queued for delivery
 	ExpiredOnArrival   atomic.Uint64 // queries dead on arrival (subset of QueriesIn)
 	BackpressureFrames atomic.Uint64 // Err/backpressure frames produced
 	WriteDrops         atomic.Uint64 // best-effort frames dropped on full queues
@@ -49,6 +51,7 @@ type WireSnapshot struct {
 	FramesIn, FramesOut, BytesIn, BytesOut uint64
 
 	SamplesIn, QueriesIn, AsOfReads      uint64
+	SubsIn, PushesOut                    uint64
 	ExpiredOnArrival, BackpressureFrames uint64
 	WriteDrops, DecodeErrors             uint64
 
@@ -69,6 +72,8 @@ func (w *WireMetrics) Snapshot() WireSnapshot {
 		SamplesIn:          w.SamplesIn.Load(),
 		QueriesIn:          w.QueriesIn.Load(),
 		AsOfReads:          w.AsOfReads.Load(),
+		SubsIn:             w.SubsIn.Load(),
+		PushesOut:          w.PushesOut.Load(),
 		ExpiredOnArrival:   w.ExpiredOnArrival.Load(),
 		BackpressureFrames: w.BackpressureFrames.Load(),
 		WriteDrops:         w.WriteDrops.Load(),
@@ -87,7 +92,7 @@ func (w WireSnapshot) Pairs() []rtwire.MetricPair {
 }
 
 // wireMetricCount is the number of pairs appendPairs adds (capacity hint).
-const wireMetricCount = 18
+const wireMetricCount = 20
 
 // appendPairs appends the wire counters as named pairs (prefixed "net_")
 // after the server's rows, so the metrics frame carries one flat table.
@@ -105,6 +110,8 @@ func (w WireSnapshot) appendPairs(dst []rtwire.MetricPair) []rtwire.MetricPair {
 	add("samples_in", w.SamplesIn)
 	add("queries_in", w.QueriesIn)
 	add("asof_reads", w.AsOfReads)
+	add("subs_in", w.SubsIn)
+	add("pushes_out", w.PushesOut)
 	add("expired_on_arrival", w.ExpiredOnArrival)
 	add("backpressure_frames", w.BackpressureFrames)
 	add("write_drops", w.WriteDrops)

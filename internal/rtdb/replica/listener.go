@@ -27,6 +27,9 @@ import (
 //	                quality class
 //	AsOf, MetricsReq, Flush, Heartbeat → served
 //	Subscribe     → refused (replicas do not chain)
+//	SubOpen / SubResume (firm) → Err CodeReadOnly; (soft / no deadline) →
+//	                admitted and served from the replicated horizon with
+//	                Degraded pushes (see subs.go)
 
 // sconn is one standby client connection; wmu serializes frame writes so a
 // PromoteInfo broadcast cannot interleave with a response.
@@ -119,6 +122,7 @@ func (r *Replica) serveConn(nc net.Conn) {
 	r.sconns[c] = struct{}{}
 	r.cmu.Unlock()
 	defer func() {
+		r.dropConnSubs(c)
 		r.cmu.Lock()
 		delete(r.sconns, c)
 		r.cmu.Unlock()
@@ -159,6 +163,16 @@ func (r *Replica) serveConn(nc net.Conn) {
 			}.Encode(), r.cfg.WriteTimeout)
 		case rtwire.Subscribe:
 			c.write(rtwire.Err{Code: rtwire.CodeBadRequest, Msg: "standby: replicas do not serve replication"}.Encode(), r.cfg.WriteTimeout)
+		case rtwire.SubOpen:
+			c.write(r.serveSubOpen(c, m, 0), r.cfg.WriteTimeout)
+		case rtwire.SubResume:
+			c.write(r.serveSubOpen(c, rtwire.SubOpen{
+				ID: m.ID, Query: m.Query, Period: m.Period, Kind: m.Kind,
+				Deadline: m.Deadline, Elapsed: m.Elapsed,
+				MinUseful: m.MinUseful, Decay: m.Decay, Depth: m.Depth,
+			}, m.AfterCursor), r.cfg.WriteTimeout)
+		case rtwire.SubCancel:
+			c.write(r.serveSubCancel(c, m.ID), r.cfg.WriteTimeout)
 		case rtwire.Bye:
 			return
 		default:

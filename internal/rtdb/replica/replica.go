@@ -158,6 +158,9 @@ type Replica struct {
 	ln     net.Listener
 	sconns map[*sconn]struct{}
 
+	smu   sync.Mutex // guards the standby subscription registry
+	rsubs map[*sconn]map[uint64]*rsub
+
 	promotedCh chan struct{}
 	quit       chan struct{}
 	closeOnce  sync.Once
@@ -420,6 +423,10 @@ func (r *Replica) streamOnce() error {
 		case rtwire.WalBatch:
 			switch err := r.applyBatch(m); {
 			case err == nil:
+				// The horizon moved: serve every standby subscription tick it
+				// crossed before acking, so a client that saw the ack'd seq
+				// reflected in a query also has the pushes that apply implies.
+				r.serveSubTicks()
 			case errors.Is(err, errGap):
 				return err // redial; Subscribe restarts from the local tail
 			default:

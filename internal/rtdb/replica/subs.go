@@ -1,0 +1,207 @@
+package replica
+
+import (
+	"rtc/internal/deadline"
+	"rtc/internal/rtdb/netserve"
+	"rtc/internal/rtdb/sub"
+	"rtc/internal/rtwire"
+	"rtc/internal/timeseq"
+)
+
+// Standby standing queries: a hot standby accepts soft and deadline-free
+// subscriptions and pushes each due tick evaluated against the replicated
+// mirror, marked Degraded — the same quality class its aperiodic degraded
+// queries carry. Firm subscriptions are refused read-only, exactly like
+// firm queries: a standby cannot promise a firm per-tick deadline because
+// its clock only moves when the primary's batches arrive.
+//
+// Time on a standby is the replicated horizon (chronon of the newest
+// applied event), so ticks fall due when a batch advances the horizon past
+// them — the tailer calls serveSubTicks after every applied batch, the only
+// moment the standby's virtual clock moves. A batch that jumps the horizon
+// far ahead makes a burst of ticks due at once; each is re-checked against
+// its translated envelope, so stale ticks expire (counted cursors, not
+// silent skips) and only envelopes that still clear their decay are served.
+//
+// There is no delivery queue on this path: pushes are written directly to
+// the connection under its write lock, so every scheduled tick reaches a
+// terminal outcome — pushed, expired by admission, or dropped on a write
+// failure — at serve time, and the push conservation law holds on the
+// standby's own metrics block with nothing parked in flight. The SubOpen
+// Depth field is therefore ignored here.
+
+// rsub is one standby-attached subscription. All fields are guarded by
+// r.smu; the write to its connection happens under the sconn write lock.
+type rsub struct {
+	id      uint64
+	spec    sub.Spec
+	next    timeseq.Time // next due tick on the replicated horizon
+	cursor  uint64       // last assigned cursor
+	expired uint64       // cumulative admission-expired ticks, this attachment
+	dropped uint64       // cumulative write-failure drops, this attachment
+}
+
+// serveSubOpen admits or refuses one SubOpen/SubResume on the standby.
+// Firm envelopes are turned away read-only; a soft or deadline-free
+// envelope is translated through the same remaining = D−E rule as every
+// other frame and admitted when the catalog and the mirror can serve it.
+func (r *Replica) serveSubOpen(c *sconn, m rtwire.SubOpen, after uint64) []byte {
+	if m.Kind == deadline.Firm {
+		return rtwire.Err{ID: m.ID, Code: rtwire.CodeReadOnly, Msg: "standby: firm subscriptions go to the primary"}.Encode()
+	}
+	qr, expired := netserve.Translate(rtwire.Query{
+		Query: m.Query, Kind: m.Kind, Deadline: m.Deadline, Elapsed: m.Elapsed,
+		MinUseful: m.MinUseful, Decay: m.Decay,
+	})
+	now := r.chronon()
+	r.mu.Lock()
+	_, known := r.cfg.Catalog[m.Query]
+	mirror := r.db != nil
+	r.mu.Unlock()
+	if expired || m.Period == 0 || !known || !mirror {
+		return rtwire.SubAck{ID: m.ID, State: rtwire.SubRefused, Cursor: after, Chronon: now}.Encode()
+	}
+	s := &rsub{
+		id: m.ID,
+		spec: sub.Spec{
+			Query: m.Query, Period: m.Period, Kind: m.Kind,
+			Deadline: qr.Deadline, MinUseful: m.MinUseful, U: qr.U,
+		},
+		next: now + m.Period, cursor: after,
+	}
+	r.smu.Lock()
+	if r.rsubs == nil {
+		r.rsubs = make(map[*sconn]map[uint64]*rsub)
+	}
+	subs := r.rsubs[c]
+	if subs == nil {
+		subs = make(map[uint64]*rsub)
+		r.rsubs[c] = subs
+	}
+	if _, dup := subs[m.ID]; dup {
+		r.smu.Unlock()
+		return rtwire.Err{ID: m.ID, Code: rtwire.CodeBadRequest, Msg: "subscription id already in use"}.Encode()
+	}
+	subs[m.ID] = s
+	r.smu.Unlock()
+	r.Metrics.SubsOpened.Add(1)
+	return rtwire.SubAck{ID: m.ID, State: rtwire.SubAdmitted, Cursor: after, Chronon: now}.Encode()
+}
+
+// serveSubCancel detaches one standby subscription; the closing ack carries
+// the last assigned cursor, the resume point for wherever the client
+// reattaches.
+func (r *Replica) serveSubCancel(c *sconn, id uint64) []byte {
+	r.smu.Lock()
+	s := r.rsubs[c][id]
+	if s != nil {
+		delete(r.rsubs[c], id)
+	}
+	r.smu.Unlock()
+	if s == nil {
+		return rtwire.Err{ID: id, Code: rtwire.CodeBadRequest, Msg: "unknown subscription"}.Encode()
+	}
+	r.Metrics.SubsClosed.Add(1)
+	return rtwire.SubAck{ID: id, State: rtwire.SubClosed, Cursor: s.cursor, Chronon: r.chronon()}.Encode()
+}
+
+// dropConnSubs detaches everything a vanished connection still had
+// attached. Nothing is ever parked in a queue on the standby path, so there
+// is nothing to book as dropped — every scheduled tick already reached its
+// terminal outcome when it was served.
+func (r *Replica) dropConnSubs(c *sconn) {
+	r.smu.Lock()
+	subs := r.rsubs[c]
+	delete(r.rsubs, c)
+	r.smu.Unlock()
+	if n := uint64(len(subs)); n > 0 {
+		r.Metrics.SubsClosed.Add(n)
+	}
+}
+
+// mirrorEval is one cached evaluation: the mirror is frozen between batch
+// applies, so every tick due in the same horizon advance sees the same
+// answer and one catalog call per query name serves them all.
+type mirrorEval struct {
+	answers   []string
+	evaluated bool
+}
+
+// serveSubTicks serves every subscription tick the replicated horizon has
+// crossed. The tailer calls it after each applied batch. It holds smu for
+// the sweep — a slow standby subscriber can stall the sweep up to one write
+// timeout, the same exposure the PromoteInfo broadcast accepts — and takes
+// mu only transiently inside evalMirror (mu holders never take smu, so the
+// smu→mu order is safe).
+func (r *Replica) serveSubTicks() {
+	r.smu.Lock()
+	defer r.smu.Unlock()
+	if len(r.rsubs) == 0 {
+		return
+	}
+	now := r.chronon()
+	evals := make(map[string]mirrorEval)
+	for c, subs := range r.rsubs {
+		for _, s := range subs {
+			r.serveDueLocked(c, s, now, evals)
+		}
+	}
+}
+
+// serveDueLocked walks one subscription's due ticks up to the horizon.
+// Every tick consumes a cursor and lands in exactly one terminal class:
+// expired by per-tick admission, pushed, or dropped on a failed write.
+// Caller holds smu.
+func (r *Replica) serveDueLocked(c *sconn, s *rsub, now timeseq.Time, evals map[string]mirrorEval) {
+	for s.next <= now {
+		issue := s.next
+		s.next += s.spec.Period
+		s.cursor++
+		r.Metrics.PushScheduled.Add(1)
+		if !s.spec.Admissible(issue, now) {
+			s.expired++
+			r.Metrics.PushExpired.Add(1)
+			continue
+		}
+		ev := r.evalMirror(s.spec.Query, evals)
+		useful, late := s.spec.Score(issue, now)
+		missed := late || (!ev.evaluated && s.spec.Kind != deadline.None)
+		if !ev.evaluated {
+			useful = 0
+		}
+		r.Metrics.AccountDegraded(missed, s.spec.Kind != deadline.None)
+		frame := rtwire.Push{
+			ID: s.id, Cursor: s.cursor, Dropped: s.dropped, Expired: s.expired,
+			Useful: useful, Missed: missed, Evaluated: ev.evaluated, Degraded: true,
+			Issue: issue, Served: now, Answers: ev.answers,
+		}.Encode()
+		if c.write(frame, r.cfg.WriteTimeout) {
+			r.Metrics.AccountPushed()
+		} else {
+			// The cursor is spent and the loss is on the books; the client's
+			// next successful push carries the tally, and a resume continues
+			// past it without a replay.
+			s.dropped++
+			r.Metrics.AccountPushDropped(1)
+		}
+	}
+}
+
+// evalMirror evaluates one catalog query against the mirror, memoized per
+// horizon advance.
+func (r *Replica) evalMirror(query string, evals map[string]mirrorEval) mirrorEval {
+	if ev, ok := evals[query]; ok {
+		return ev
+	}
+	var ev mirrorEval
+	r.mu.Lock()
+	if r.db != nil {
+		if q, ok := r.cfg.Catalog[query]; ok {
+			ev.answers = q(r.db.ViewNow())
+			ev.evaluated = true
+		}
+	}
+	r.mu.Unlock()
+	evals[query] = ev
+	return ev
+}

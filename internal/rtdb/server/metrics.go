@@ -54,6 +54,20 @@ type Metrics struct {
 	PeriodicHit    atomic.Uint64
 	PeriodicMiss   atomic.Uint64
 
+	// Standing-query (push subscription) counters. PushScheduled counts
+	// every tick of every attached subscription — each consumes one cursor —
+	// and the conservation law PushScheduled == Pushed + PushDropped +
+	// PushExpired is the subscription-side extension of the QueriesIn ==
+	// QueriesAccounted invariant: a scheduled tick is delivered to its
+	// subscriber, dropped by its bounded queue (slow reader or teardown), or
+	// expired by per-tick admission — never silently lost.
+	SubsOpened    atomic.Uint64 // subscriptions attached (opens + resumes)
+	SubsClosed    atomic.Uint64 // subscriptions detached (cancel or teardown)
+	PushScheduled atomic.Uint64 // subscription ticks scheduled (cursors consumed)
+	Pushed        atomic.Uint64 // pushes handed to a transport for delivery
+	PushDropped   atomic.Uint64 // pushes discarded by drop-oldest or teardown
+	PushExpired   atomic.Uint64 // ticks skipped by per-tick admission
+
 	AsOfReads       atomic.Uint64
 	RuleFirings     atomic.Uint64
 	CascadeDepthMax atomic.Uint64
@@ -75,6 +89,10 @@ type MetricsSnapshot struct {
 	DeadlineHit, DeadlineMiss, NoDeadline     uint64
 	AdmissionSkip, ExpiredOnArrival, Degraded uint64
 	PeriodicIssued, PeriodicHit, PeriodicMiss uint64
+
+	SubsOpened, SubsClosed              uint64
+	PushScheduled, Pushed               uint64
+	PushDropped, PushExpired            uint64
 
 	AsOfReads, RuleFirings, CascadeDepthMax uint64
 
@@ -101,6 +119,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		PeriodicIssued:   m.PeriodicIssued.Load(),
 		PeriodicHit:      m.PeriodicHit.Load(),
 		PeriodicMiss:     m.PeriodicMiss.Load(),
+		SubsOpened:       m.SubsOpened.Load(),
+		SubsClosed:       m.SubsClosed.Load(),
+		PushScheduled:    m.PushScheduled.Load(),
+		Pushed:           m.Pushed.Load(),
+		PushDropped:      m.PushDropped.Load(),
+		PushExpired:      m.PushExpired.Load(),
 		AsOfReads:        m.AsOfReads.Load(),
 		RuleFirings:      m.RuleFirings.Load(),
 		CascadeDepthMax:  m.CascadeDepthMax.Load(),
@@ -142,6 +166,32 @@ func (m *Metrics) AccountDegraded(missed, hasDeadline bool) {
 	}
 }
 
+// AccountPushed records one subscription push handed to a transport (or an
+// in-process consumer) for delivery — the "delivered" term of the push
+// conservation law. Transports call it at pop time, after the push has left
+// the bounded queue, so a push still exposed to drop-oldest is never
+// double-counted.
+func (m *Metrics) AccountPushed() {
+	m.Pushed.Add(1)
+}
+
+// AccountPushDropped records n subscription pushes discarded undelivered:
+// by drop-oldest when a subscriber's bounded queue overflowed, or in bulk
+// when a connection tears down with pushes still queued. Like AccountExpired
+// on the query side, it keeps the loss on the books — the push conservation
+// law stays exact through overload and teardown.
+func (m *Metrics) AccountPushDropped(n uint64) {
+	m.PushDropped.Add(n)
+}
+
+// PushAccounted sums every terminal outcome a scheduled subscription tick
+// can have. The conservation law PushScheduled == PushAccounted holds at
+// quiescence (no pushes parked in delivery queues); the race suite and the
+// rtdbload fan-out mode assert it after drain.
+func (s MetricsSnapshot) PushAccounted() uint64 {
+	return s.Pushed + s.PushDropped + s.PushExpired
+}
+
 // QueriesAccounted sums every terminal outcome an aperiodic query can have.
 // The conservation law QueriesIn == QueriesAccounted is the "never silently
 // dropped" invariant; the race suite asserts it under load.
@@ -178,6 +228,12 @@ func (s MetricsSnapshot) Pairs() []MetricPair {
 		{"periodic_issued", s.PeriodicIssued},
 		{"periodic_hit", s.PeriodicHit},
 		{"periodic_miss", s.PeriodicMiss},
+		{"subs_opened", s.SubsOpened},
+		{"subs_closed", s.SubsClosed},
+		{"push_scheduled", s.PushScheduled},
+		{"pushed", s.Pushed},
+		{"push_dropped", s.PushDropped},
+		{"push_expired", s.PushExpired},
 		{"asof_reads", s.AsOfReads},
 		{"rule_firings", s.RuleFirings},
 		{"cascade_depth_max", s.CascadeDepthMax},

@@ -13,6 +13,7 @@ import (
 	"rtc/internal/relational"
 	"rtc/internal/rtdb"
 	wal "rtc/internal/rtdb/log"
+	"rtc/internal/rtdb/sub"
 	"rtc/internal/timeseq"
 	"rtc/internal/vtime"
 )
@@ -42,6 +43,10 @@ type Config struct {
 	// SnapshotEvery publishes a HistoricalDatabase snapshot for as-of
 	// reads every so many chronons (default 16).
 	SnapshotEvery timeseq.Time
+	// SubQueueDepth bounds each subscription's push delivery queue when the
+	// subscriber does not choose its own (default 32). A full queue drops
+	// the oldest queued push and counts it — never blocks the apply loop.
+	SubQueueDepth int
 	// Log, when set, write-ahead-logs catalog, samples, firings, and query
 	// issues. If the log already holds state, the server recovers from it
 	// and Spec's catalog is ignored.
@@ -60,6 +65,9 @@ func (c *Config) defaults() {
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 16
+	}
+	if c.SubQueueDepth <= 0 {
+		c.SubQueueDepth = 32
 	}
 }
 
@@ -110,6 +118,7 @@ const (
 	reqQuery
 	reqTick
 	reqBarrier
+	reqApply
 )
 
 type request struct {
@@ -122,7 +131,10 @@ type request struct {
 	issue timeseq.Time
 	// tick
 	chronons uint64
-	reply    chan Response
+	// apply: an arbitrary closure run on the apply loop (subscription
+	// attach/detach — anything that mutates apply-loop-owned state).
+	do    func()
+	reply chan Response
 }
 
 // histSnap is one published as-of snapshot.
@@ -156,6 +168,7 @@ type Server struct {
 
 	Metrics  Metrics
 	periodic []*periodicState
+	subs     *sub.Table
 
 	inbox    chan request
 	sessions []*Session
@@ -174,6 +187,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		sched: vtime.New(),
+		subs:  sub.NewTable(),
 		inbox: make(chan request, cfg.Sessions),
 		quit:  make(chan struct{}),
 	}
@@ -395,8 +409,12 @@ func (s *Server) step(r request) {
 		r.reply <- Response{Served: timeseq.Time(s.clock.Load())}
 	case reqBarrier:
 		r.reply <- Response{Served: now}
+	case reqApply:
+		r.do()
+		r.reply <- Response{Served: now}
 	}
 	s.runPeriodic()
+	s.runSubs()
 	s.maybePublish()
 }
 
@@ -415,6 +433,9 @@ func (s *Server) tickTo(target timeseq.Time) {
 				due, pending = ps.next, true
 			}
 		}
+		if sd, ok := s.subs.NextDue(); ok && (!pending || sd < due) {
+			due, pending = sd, true
+		}
 		if !pending || due > target {
 			s.advance(target)
 			return
@@ -423,6 +444,7 @@ func (s *Server) tickTo(target timeseq.Time) {
 			s.advance(due)
 		}
 		s.runPeriodic()
+		s.runSubs()
 	}
 }
 

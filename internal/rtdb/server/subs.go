@@ -1,0 +1,221 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtdb/sub"
+	"rtc/internal/timeseq"
+)
+
+// This file is the server half of the standing-query subsystem: Subscribe
+// and the cancel path run as apply-loop closures (the sub.Table is
+// apply-loop-owned state, like the periodic registrations), and runSubs is
+// the per-step tick evaluator — the push counterpart of runPeriodic.
+// Subscriptions are connection-scoped, not durable: they are not WAL-logged;
+// a client that loses its node re-creates them with SubResume, which carries
+// the full spec.
+
+// ErrNotAdmissible reports a subscription whose envelope can never be met:
+// even an evaluation starting exactly at a tick's issue instant would
+// finish too late to clear the declared minimum usefulness. Admitting it
+// would schedule work that per-tick admission then sheds forever.
+var ErrNotAdmissible = errors.New("server: subscription can never meet its deadline envelope")
+
+// ServerSub is one attached subscription as the transports see it: a popper
+// over the bounded delivery queue plus the cancel path. Pop and Notify are
+// safe for one consumer goroutine; Cancel may be called from anywhere.
+type ServerSub struct {
+	srv *Server
+	s   *sub.Sub
+}
+
+// Subscribe attaches a standing query. spec is the server-relative envelope
+// (deadline already translated, decay already shifted by the transport);
+// after is the cursor to continue from (0 for a fresh subscription, the
+// client's newest cursor on a resume); depth bounds the delivery queue
+// (0: Config.SubQueueDepth). Admission runs once here — a subscription
+// whose envelope is impossible is refused, not admitted-then-starved — and
+// again per tick against the live clock.
+func (s *Server) Subscribe(spec sub.Spec, after uint64, depth int) (*ServerSub, error) {
+	if spec.Period == 0 {
+		return nil, fmt.Errorf("server: subscription needs a positive period")
+	}
+	if _, ok := s.cfg.Catalog[spec.Query]; !ok {
+		return nil, fmt.Errorf("server: subscription names unknown catalog query %q", spec.Query)
+	}
+	// Subscribe-time admission: the best any tick can do is start its
+	// evaluation at the issue instant and finish EvalCost later. If even
+	// that cannot meet the envelope, no tick ever will (the test is
+	// time-invariant — Score only sees finish−issue).
+	if !spec.Admissible(0, timeseq.Time(s.cfg.EvalCost)) {
+		return nil, ErrNotAdmissible
+	}
+	// A deadline-free standing query has nothing for per-tick admission to
+	// shed, so its schedule must be feasible outright: each tick costs
+	// EvalCost chronons, and a period at or below that is utilization ≥ 1 —
+	// the backlog would grow without bound. Deadline-carrying envelopes may
+	// subscribe at any period; overload degrades them into counted expired
+	// ticks instead.
+	if spec.Kind == deadline.None && spec.Period <= timeseq.Time(s.cfg.EvalCost) {
+		return nil, ErrNotAdmissible
+	}
+	if depth <= 0 {
+		depth = s.cfg.SubQueueDepth
+	}
+	var ss *ServerSub
+	err := s.apply(func() {
+		now := timeseq.Time(s.clock.Load())
+		ss = &ServerSub{srv: s, s: s.subs.Attach(spec, after, depth, now)}
+		s.Metrics.SubsOpened.Add(1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ss, nil
+}
+
+// apply runs fn on the apply loop and waits for it.
+func (s *Server) apply(fn func()) error {
+	reply := make(chan Response, 1)
+	select {
+	case s.inbox <- request{kind: reqApply, do: fn, reply: reply}:
+	case <-s.quit:
+		return ErrClosed
+	}
+	select {
+	case <-reply:
+		return nil
+	case <-s.quit:
+		return ErrClosed
+	}
+}
+
+// Pop dequeues the oldest queued push and accounts its delivery. droppedCum
+// is the queue's cumulative drop count at pop time — the value the
+// transport stamps into the frame. ok is false when the queue is empty.
+func (ss *ServerSub) Pop() (p sub.Push, droppedCum uint64, ok bool) {
+	p, droppedCum, ok = ss.s.Q.Pop()
+	if ok {
+		ss.srv.Metrics.AccountPushed()
+	}
+	return p, droppedCum, ok
+}
+
+// Notify returns the delivery queue's wake channel.
+func (ss *ServerSub) Notify() <-chan struct{} { return ss.s.Q.Notify() }
+
+// Queue exposes the raw delivery queue (tests and benchmarks; transports
+// should use Pop so delivery is accounted).
+func (ss *ServerSub) Queue() *sub.Queue { return ss.s.Q }
+
+// Spec returns the attached envelope.
+func (ss *ServerSub) Spec() sub.Spec { return ss.s.Spec }
+
+// Cancel detaches the subscription and closes its queue, accounting
+// everything still queued as dropped. It returns the last assigned cursor
+// (for the closing SubAck). Safe to call when the server is stopping: the
+// detach is skipped (the apply loop is gone, nothing ticks anymore) but the
+// queue is still closed and its leftovers accounted.
+func (ss *ServerSub) Cancel() (lastCursor uint64, err error) {
+	err = ss.srv.apply(func() {
+		ss.srv.subs.Detach(ss.s)
+		ss.srv.Metrics.SubsClosed.Add(1)
+	})
+	if errors.Is(err, ErrClosed) {
+		ss.srv.Metrics.SubsClosed.Add(1)
+		err = nil
+	}
+	if n := ss.s.Q.Close(); n > 0 {
+		ss.srv.Metrics.AccountPushDropped(uint64(n))
+	}
+	// The apply loop (if it ran) no longer sees ss.s, so the cursor is
+	// stable to read here.
+	return ss.s.Cursor(), err
+}
+
+// runSubs serves every subscription tick due at or before the clock as it
+// stood on entry. Each due group costs one catalog evaluation and one
+// EvalCost clock advance no matter how many members watch it; members score
+// the shared result against their own envelopes. A tick whose members all
+// fail per-tick admission is skipped without evaluation (the backlogged
+// case: shed provably-useless work), and each member's skipped tick is an
+// expired cursor, visible to the client as a counted gap.
+//
+// Due-ness is measured against the entry snapshot, not the live clock: the
+// evaluations themselves advance the clock, so a period at or below
+// EvalCost would otherwise re-arm the group it just served and spin the
+// apply loop forever (utilization ≥ 1 with issue advancing in lockstep with
+// the clock — lateness never grows, so expiry never sheds it). Against the
+// snapshot every group serves a bounded tick count per step, and a schedule
+// the server cannot keep up with degrades the honest way: the backlog's
+// lateness grows across steps until per-tick admission expires it.
+func (s *Server) runSubs() {
+	if s.subs.Len() == 0 {
+		return
+	}
+	now := timeseq.Time(s.clock.Load())
+	for {
+		due := s.subs.Due(now)
+		if len(due) == 0 {
+			return
+		}
+		for _, g := range due {
+			s.serveGroupTick(g)
+		}
+	}
+}
+
+// serveGroupTick runs (or admission-skips) one due tick of one group.
+func (s *Server) serveGroupTick(g *sub.Group) {
+	now := timeseq.Time(s.clock.Load())
+	issue := g.Advance()
+	finish := now + timeseq.Time(s.cfg.EvalCost)
+	members := g.Members()
+
+	anyAdmissible := false
+	for _, m := range members {
+		if m.Spec.Admissible(issue, finish) {
+			anyAdmissible = true
+			break
+		}
+	}
+	if !anyAdmissible {
+		for _, m := range members {
+			m.AssignCursor()
+			m.Expire()
+			s.Metrics.PushScheduled.Add(1)
+			s.Metrics.PushExpired.Add(1)
+		}
+		s.Metrics.AdmissionSkip.Add(1)
+		return
+	}
+
+	s.sched.RunUntil(now)
+	answers := s.cfg.Catalog[g.Key().Query](s.db.ViewNow())
+	s.advance(finish)
+	for _, m := range members {
+		cur := m.AssignCursor()
+		s.Metrics.PushScheduled.Add(1)
+		if !m.Spec.Admissible(issue, finish) {
+			m.Expire()
+			s.Metrics.PushExpired.Add(1)
+			continue
+		}
+		useful, _ := m.Spec.Score(issue, finish)
+		p := sub.Push{
+			Cursor: cur,
+			// Expired is stamped before this tick's outcome is decided, so
+			// it covers exactly the cursors below cur.
+			Expired:   m.Expired(),
+			Useful:    useful,
+			Evaluated: true,
+			Issue:     issue, Served: finish,
+			Answers: answers,
+		}
+		if m.Q.Put(p) {
+			s.Metrics.AccountPushDropped(1)
+		}
+	}
+}

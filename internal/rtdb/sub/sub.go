@@ -1,0 +1,102 @@
+// Package sub is the standing-query subsystem of the rtdbd serving stack:
+// a client registers a periodic query once (query name + period + per-tick
+// deadline envelope) and the server evaluates it on the apply loop's
+// periodic tick, pushing each invocation's stamped result instead of making
+// the client poll. It is the serving counterpart of §5.1.3's pq words for
+// the fan-out workload: many concurrent watchers with per-deadline
+// guarantees over one evolving state (the real-time parallel model of
+// PAPERS.md).
+//
+// The package owns the three mechanisms the transports share:
+//
+//   - Grouping: subscriptions with the same (query, period) share one
+//     evaluation per tick — one catalog call, one EvalCost clock advance —
+//     and fan the answers out to every member, each scored against its own
+//     translated deadline envelope. One write, N watchers, O(1) evaluations.
+//
+//   - Cursors: every scheduled tick consumes exactly one monotone cursor
+//     value per member, whether the result was delivered, dropped by the
+//     bounded queue, or expired by per-tick admission. Because the delivery
+//     queue is FIFO and drop-oldest discards from the head (the minimum
+//     queued cursor), every cursor below a delivered push's is already
+//     resolved when it arrives — so a client can audit delivery with plain
+//     arithmetic: received == cursor − base − dropped − expired.
+//
+//   - Bounded drop-oldest delivery: a slow reader loses the oldest queued
+//     tick, never the newest, and every loss is counted — the push
+//     conservation law scheduled == pushed + dropped + expired is the
+//     subscription-side extension of the server's QueriesIn == accounted
+//     invariant.
+//
+// Ownership: Table, Group, and Sub bookkeeping (cursors, expiry tallies,
+// group schedules) belong to the server's apply loop — single-writer, no
+// locks. Queue is the only concurrent structure: the apply loop puts, one
+// transport pump pops.
+package sub
+
+import (
+	"rtc/internal/deadline"
+	"rtc/internal/timeseq"
+)
+
+// Spec is one subscription's standing envelope, in server-relative terms:
+// Deadline is the translated remaining deadline per tick (the transport
+// already subtracted the client's consumed chronons, netserve's
+// remaining = D − E), and U is the shifted decay U'(t) = U(t+E).
+type Spec struct {
+	Query  string
+	Period timeseq.Time
+	Kind   deadline.Kind
+	// Deadline is relative to each tick's issue chronon.
+	Deadline  timeseq.Time
+	MinUseful uint64
+	U         deadline.Usefulness
+}
+
+// Push is one tick result as the evaluator stamps it. Dropped is not here:
+// it is stamped at send time by the transport from Queue.Pop's cumulative
+// counter, because drops keep happening while a push waits in the queue.
+type Push struct {
+	// Cursor is the tick's monotone per-subscription cursor.
+	Cursor uint64
+	// Expired is the cumulative count of admission-expired ticks among this
+	// attachment's cursors below Cursor, stamped at schedule time.
+	Expired       uint64
+	Useful        uint64
+	Missed        bool
+	Evaluated     bool
+	Issue, Served timeseq.Time
+	Answers       []string
+}
+
+// Score evaluates the §4.1 discipline for one tick issued at issue and
+// completed at finish: late reports the deadline passed, and the returned
+// value is the usefulness at completion (relative time origin at issue).
+// It mirrors the server's aperiodic scoring exactly, so a standing query's
+// tick and the equivalent polled query always land in the same outcome
+// class.
+func (s Spec) Score(issue, finish timeseq.Time) (useful uint64, late bool) {
+	if s.Kind == deadline.None {
+		return 0, false
+	}
+	rel := finish - issue
+	late = rel >= s.Deadline
+	switch {
+	case !late:
+		useful = s.MinUseful
+	case s.Kind == deadline.Soft && s.U != nil:
+		useful = s.U(rel)
+	default:
+		useful = 0 // firm: useless after the deadline
+	}
+	return useful, late
+}
+
+// Admissible reports whether a tick issued at issue and finishing at finish
+// can meet the discipline — the same test the server's admission control
+// applies to aperiodic queries: late completions survive only when a
+// minimum usefulness is declared and the decay still clears it.
+func (s Spec) Admissible(issue, finish timeseq.Time) bool {
+	useful, late := s.Score(issue, finish)
+	return !late || (s.MinUseful > 0 && useful >= s.MinUseful)
+}

@@ -1,0 +1,162 @@
+package sub
+
+import (
+	"testing"
+
+	"rtc/internal/deadline"
+)
+
+func TestQueueFIFOAndDropOldest(t *testing.T) {
+	q := NewQueue(3)
+	for c := uint64(1); c <= 5; c++ {
+		dropped := q.Put(Push{Cursor: c})
+		if want := c > 3; dropped != want {
+			t.Fatalf("Put(%d): dropped = %v, want %v", c, dropped, want)
+		}
+	}
+	// Cursors 1 and 2 were dropped from the head; 3, 4, 5 remain in order.
+	if got := q.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	for want := uint64(3); want <= 5; want++ {
+		p, cum, ok := q.Pop()
+		if !ok || p.Cursor != want || cum != 2 {
+			t.Fatalf("Pop() = (%d, %d, %v), want (%d, 2, true)", p.Cursor, cum, ok, want)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+}
+
+func TestQueueCloseAccountsEverything(t *testing.T) {
+	q := NewQueue(4)
+	q.Put(Push{Cursor: 1})
+	q.Put(Push{Cursor: 2})
+	if n := q.Close(); n != 2 {
+		t.Fatalf("Close discarded %d, want 2", n)
+	}
+	if !q.Closed() {
+		t.Fatal("queue not closed")
+	}
+	// A Put racing with teardown counts itself as dropped: the tick stays
+	// accounted even though nobody will ever pop it.
+	if !q.Put(Push{Cursor: 3}) {
+		t.Fatal("Put after Close must report dropped")
+	}
+	if got := q.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	if n := q.Close(); n != 0 {
+		t.Fatalf("second Close discarded %d, want 0", n)
+	}
+}
+
+func TestQueueNotify(t *testing.T) {
+	q := NewQueue(2)
+	select {
+	case <-q.Notify():
+		t.Fatal("spurious wake")
+	default:
+	}
+	q.Put(Push{Cursor: 1})
+	select {
+	case <-q.Notify():
+	default:
+		t.Fatal("Put did not post a wake token")
+	}
+}
+
+func TestTableGroupingAndCursors(t *testing.T) {
+	tab := NewTable()
+	spec := Spec{Query: "status_q", Period: 4, Kind: deadline.Firm, Deadline: 2}
+	a := tab.Attach(spec, 0, 8, 100)
+	b := tab.Attach(spec, 0, 8, 100)
+	c := tab.Attach(Spec{Query: "status_q", Period: 8}, 0, 8, 100)
+	if tab.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", tab.Len())
+	}
+	// Same (query, period) shares a group; a different period does not.
+	if a.g != b.g || a.g == c.g {
+		t.Fatal("grouping by (query, period) violated")
+	}
+	if due, ok := tab.NextDue(); !ok || due != 104 {
+		t.Fatalf("NextDue() = (%d, %v), want (104, true)", due, ok)
+	}
+	groups := tab.Due(104)
+	if len(groups) != 1 || groups[0] != a.g {
+		t.Fatalf("Due(104) = %v groups, want exactly a's", len(groups))
+	}
+	if issue := a.g.Advance(); issue != 104 || a.g.Next() != 108 {
+		t.Fatalf("Advance: issue %d next %d, want 104/108", issue, a.g.Next())
+	}
+
+	// Cursor discipline: assign, stamp expired-before, then maybe expire.
+	if cur := a.AssignCursor(); cur != 1 {
+		t.Fatalf("first cursor = %d, want 1", cur)
+	}
+	before := a.Expired()
+	a.Expire()
+	if before != 0 || a.Expired() != 1 {
+		t.Fatalf("expired before/after = %d/%d, want 0/1", before, a.Expired())
+	}
+
+	tab.Detach(a)
+	tab.Detach(c)
+	if tab.Len() != 1 {
+		t.Fatalf("Len() after detach = %d, want 1", tab.Len())
+	}
+	// b keeps the group alive; detaching it deletes the group.
+	tab.Detach(b)
+	if _, ok := tab.NextDue(); ok {
+		t.Fatal("empty table still reports a due tick")
+	}
+	tab.Detach(b) // idempotent
+}
+
+func TestTableResumeContinuesCursor(t *testing.T) {
+	tab := NewTable()
+	spec := Spec{Query: "temp_q", Period: 2}
+	s := tab.Attach(spec, 41, 8, 10)
+	if s.Base() != 41 || s.Cursor() != 41 {
+		t.Fatalf("resume base/cursor = %d/%d, want 41/41", s.Base(), s.Cursor())
+	}
+	if cur := s.AssignCursor(); cur != 42 {
+		t.Fatalf("resumed first cursor = %d, want 42", cur)
+	}
+	if s.Expired() != 0 {
+		t.Fatal("resume must start a fresh expiry tally")
+	}
+}
+
+func TestScoreMatchesDiscipline(t *testing.T) {
+	firm := Spec{Kind: deadline.Firm, Deadline: 5, MinUseful: 1}
+	if u, late := firm.Score(100, 104); late || u != 1 {
+		t.Fatalf("firm in time: (%d, %v)", u, late)
+	}
+	if u, late := firm.Score(100, 105); !late || u != 0 {
+		t.Fatalf("firm at deadline: (%d, %v)", u, late)
+	}
+	if firm.Admissible(100, 105) {
+		t.Fatal("late firm tick must not be admissible")
+	}
+
+	soft := Spec{
+		Kind: deadline.Soft, Deadline: 5, MinUseful: 2,
+		U: deadline.Hyperbolic(10, 5),
+	}
+	if u, late := soft.Score(100, 107); !late || u != 5 {
+		t.Fatalf("soft decayed: (%d, %v), want (5, true)", u, late)
+	}
+	if !soft.Admissible(100, 107) {
+		t.Fatal("decayed-but-useful soft tick must be admissible")
+	}
+	if soft.Admissible(100, 120) {
+		t.Fatal("fully decayed soft tick must not be admissible")
+	}
+
+	none := Spec{Kind: deadline.None}
+	if !none.Admissible(0, 1000) {
+		t.Fatal("no-deadline ticks are always admissible")
+	}
+}

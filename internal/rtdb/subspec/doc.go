@@ -1,0 +1,18 @@
+// Package subspec is the numbered conformance suite for the standing-query
+// (push subscription) subsystem. Each SUB-xxx spec is written once against a
+// transport-neutral interface and runs identically on two transports:
+//
+//   - loopback: sub.Spec attached straight onto a server (ServerSub.Pop),
+//     the in-process path rtdbd's own periodic machinery uses;
+//   - tcp: client.Subscribe over netserve — SubOpen/SubAck/Push frames on a
+//     real socket, with the client package's automatic resume.
+//
+// The suite pins the subsystem's portable contract, not transport detail:
+// admission answers exactly once (SUB-001); delivery is periodic with
+// contiguous cursors (SUB-002); a slow reader loses oldest, counted, and the
+// audit arithmetic received + dropped + expired + locally-shed == cursor
+// closes exactly (SUB-003); cancel stops delivery at a resumable cursor
+// (SUB-004); and resume continues at cursor+1 with fresh tallies after a
+// reconnect to the same node (SUB-005) or a failover onto a promoted
+// successor (SUB-006) — no acknowledged push replayed, no skip uncounted.
+package subspec

@@ -79,7 +79,40 @@ func FuzzRequestRoundTrip(f *testing.F) {
 		roundTrip(t, q)
 		roundTrip(t, Sample{ID: id, Image: name, Value: candidate})
 		roundTrip(t, AsOf{ID: id, Image: name, At: timeseq.Time(dead)})
+		// The v3 subscription request surface rides the same envelope.
+		so := SubOpen{
+			ID: id, Query: name, Period: timeseq.Time(span) + 1,
+			Kind:     deadline.Kind(kind),
+			Deadline: timeseq.Time(dead), Elapsed: timeseq.Time(elapsed),
+			MinUseful: minUseful,
+			Decay:     Decay{ID: DecayID(decayID), Max: decayMax, Span: timeseq.Time(span)},
+			Depth:     minUseful,
+		}
+		roundTrip(t, so)
+		roundTrip(t, SubResume{
+			ID: so.ID, Query: so.Query, Period: so.Period,
+			Kind: so.Kind, Deadline: so.Deadline, Elapsed: so.Elapsed,
+			MinUseful: so.MinUseful, Decay: so.Decay, Depth: so.Depth,
+			AfterCursor: dead,
+		})
+		roundTrip(t, Push{
+			ID: id, Cursor: dead, Dropped: elapsed, Expired: minUseful,
+			Useful: decayMax, Missed: kind == 1, Evaluated: kind != 0,
+			Degraded: decayID == 1,
+			Issue:    timeseq.Time(elapsed), Served: timeseq.Time(dead),
+			Answers: answersFor(name, candidate),
+		})
 	})
+}
+
+// answersFor keeps the fuzzed Push answers structurally canonical: Decode
+// returns nil (not an empty slice) when no answer fields follow, so the
+// round trip only includes Answers when there is at least one.
+func answersFor(a, b string) []string {
+	if b == "" {
+		return nil
+	}
+	return []string{a, b}
 }
 
 func roundTrip(t *testing.T, msg any) {

@@ -47,6 +47,14 @@ func goldenMessages() []struct {
 		{"wal_ack", WalAck{Seq: 43}},
 		{"heartbeat", Heartbeat{Epoch: 2, Chronon: 1022, Seq: 43}},
 		{"promote_info", PromoteInfo{Epoch: 3, Seq: 44}},
+		{"sub_open", SubOpen{ID: 5, Query: "status_q", Period: 8, Kind: 1, Deadline: 6, Elapsed: 1, MinUseful: 1, Depth: 16}},
+		{"sub_open_soft_decay", SubOpen{ID: 6, Query: "temp_q", Period: 4, Kind: 2, Deadline: 10, MinUseful: 2, Decay: Decay{ID: DecayHyperbolic, Max: 10}}},
+		{"sub_ack_admitted", SubAck{ID: 5, State: SubAdmitted, Cursor: 0, Chronon: 1023}},
+		{"sub_ack_closed", SubAck{ID: 5, State: SubClosed, Cursor: 9, Chronon: 1100}},
+		{"push", Push{ID: 5, Cursor: 3, Dropped: 1, Expired: 1, Useful: 9, Evaluated: true, Issue: 1024, Served: 1026, Answers: []string{"ok", "high"}}},
+		{"push_degraded_miss", Push{ID: 5, Cursor: 4, Missed: true, Degraded: true, Issue: 1032, Served: 1032}},
+		{"sub_cancel", SubCancel{ID: 5}},
+		{"sub_resume", SubResume{ID: 5, Query: "status_q", Period: 8, Kind: 2, Deadline: 6, Elapsed: 2, MinUseful: 2, Decay: Decay{ID: DecayLinear, Max: 9, Span: 4}, Depth: 16, AfterCursor: 3}},
 	}
 }
 

@@ -274,6 +274,107 @@ type PromoteInfo struct {
 	Seq   uint64
 }
 
+// SubState classifies a SubAck.
+type SubState uint8
+
+const (
+	// SubAdmitted: the standing query passed §4.1 admission and is live.
+	SubAdmitted SubState = iota + 1
+	// SubRefused: admission failed (unknown query, impossible deadline,
+	// zero period, or a duplicate id on this connection).
+	SubRefused
+	// SubClosed: the subscription is closed; Cursor is the last assigned.
+	SubClosed
+)
+
+// String implements fmt.Stringer.
+func (s SubState) String() string {
+	switch s {
+	case SubAdmitted:
+		return "admitted"
+	case SubRefused:
+		return "refused"
+	case SubClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("SubState(%d)", uint8(s))
+	}
+}
+
+// SubOpen registers a standing periodic query: the server evaluates Query
+// every Period chronons and pushes each tick's stamped result. The deadline
+// envelope (Kind, Deadline, Elapsed, MinUseful, Decay) is the same
+// client-relative contract a Query carries, applied per tick: Deadline is
+// relative to each tick's issue instant, and Elapsed shifts it exactly as
+// netserve's translation shifts an aperiodic query's.
+type SubOpen struct {
+	ID        uint64 // client-chosen subscription id, unique per connection
+	Query     string
+	Period    timeseq.Time
+	Kind      deadline.Kind
+	Deadline  timeseq.Time
+	Elapsed   timeseq.Time
+	MinUseful uint64
+	Decay     Decay
+	// Depth bounds the server-side delivery queue for this subscriber
+	// (0: server default). When the queue is full the oldest queued push is
+	// dropped and counted, never the newest.
+	Depth uint64
+}
+
+// SubAck answers a SubOpen, SubResume, or SubCancel. Cursor is the cursor
+// base the subscription continues from (0 for a fresh subscription, the
+// resumed-after cursor on a SubResume, the last assigned cursor on close).
+type SubAck struct {
+	ID      uint64
+	State   SubState
+	Cursor  uint64
+	Chronon timeseq.Time
+}
+
+// Push carries one tick result of a standing query. Cursor is monotone per
+// subscription: every scheduled tick consumes exactly one cursor value,
+// whether it was delivered, dropped, or expired. Dropped and Expired are
+// cumulative for the current attachment — Dropped counts queued pushes
+// discarded by the bounded queue (stamped at send time), Expired counts
+// ticks skipped by per-tick admission (stamped at schedule time) — so a
+// client can audit delivery: received == Cursor − base − Dropped − Expired.
+type Push struct {
+	ID        uint64
+	Cursor    uint64
+	Dropped   uint64
+	Expired   uint64
+	Useful    uint64
+	Missed    bool
+	Evaluated bool
+	// Degraded marks a push served by a hot standby from replicated state.
+	Degraded      bool
+	Issue, Served timeseq.Time // server chronons
+	Answers       []string
+}
+
+// SubCancel closes a standing query.
+type SubCancel struct{ ID uint64 }
+
+// SubResume re-registers a standing query after a reconnect or failover on
+// whichever node the client landed on. It carries the full SubOpen spec —
+// any node can recreate the subscription from the frame alone — plus
+// AfterCursor, the newest cursor the client holds: delivery continues at
+// AfterCursor+1 with fresh drop/expiry tallies, so cursors stay strictly
+// increasing across attachments and no acknowledged tick is replayed.
+type SubResume struct {
+	ID          uint64
+	Query       string
+	Period      timeseq.Time
+	Kind        deadline.Kind
+	Deadline    timeseq.Time
+	Elapsed     timeseq.Time
+	MinUseful   uint64
+	Decay       Decay
+	Depth       uint64
+	AfterCursor uint64
+}
+
 func parseBool(s string) (bool, bool) {
 	switch s {
 	case "0":
@@ -287,6 +388,48 @@ func parseBool(s string) (bool, bool) {
 func parseU(s string) (uint64, bool) {
 	v, err := strconv.ParseUint(s, 10, 64)
 	return v, err == nil
+}
+
+// subEnvelope is the field layout SubOpen and SubResume share: id, query,
+// period, then the per-tick deadline envelope, then the queue depth.
+type subEnvelope struct {
+	id                uint64
+	query             string
+	period            timeseq.Time
+	kind              deadline.Kind
+	deadline, elapsed timeseq.Time
+	minUseful         uint64
+	decay             Decay
+	depth             uint64
+}
+
+func parseSubEnvelope(fields []string) (subEnvelope, bool) {
+	id, ok0 := parseU(fields[0])
+	period, ok1 := parseU(fields[2])
+	kind, ok2 := parseU(fields[3])
+	dead, ok3 := parseU(fields[4])
+	elapsed, ok4 := parseU(fields[5])
+	minUseful, ok5 := parseU(fields[6])
+	decayID, ok6 := parseU(fields[7])
+	decayMax, ok7 := parseU(fields[8])
+	span, ok8 := parseU(fields[9])
+	depth, ok9 := parseU(fields[10])
+	if !(ok0 && ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8 && ok9) {
+		return subEnvelope{}, false
+	}
+	if kind > uint64(deadline.Soft) || decayID > uint64(DecayLinear) {
+		return subEnvelope{}, false
+	}
+	return subEnvelope{
+		id: id, query: fields[1], period: timeseq.Time(period),
+		kind:     deadline.Kind(kind),
+		deadline: timeseq.Time(dead), elapsed: timeseq.Time(elapsed),
+		minUseful: minUseful,
+		decay: Decay{
+			ID: DecayID(decayID), Max: decayMax, Span: timeseq.Time(span),
+		},
+		depth: depth,
+	}, true
 }
 
 // Every message encodes through an AppendTo method that assembles the
@@ -523,6 +666,92 @@ func (m PromoteInfo) AppendTo(dst []byte) []byte {
 // Encode renders the message as one frame.
 func (m PromoteInfo) Encode() []byte { return m.AppendTo(nil) }
 
+// AppendTo appends the encoded frame to dst.
+func (m SubOpen) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindSubOpen)
+	b.uint(m.ID)
+	b.str(m.Query)
+	b.time(m.Period)
+	b.uint(uint64(m.Kind))
+	b.time(m.Deadline)
+	b.time(m.Elapsed)
+	b.uint(m.MinUseful)
+	b.uint(uint64(m.Decay.ID))
+	b.uint(m.Decay.Max)
+	b.time(m.Decay.Span)
+	b.uint(m.Depth)
+	return b.finish()
+}
+
+// Encode renders the message as one frame.
+func (m SubOpen) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m SubAck) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindSubAck)
+	b.uint(m.ID)
+	b.uint(uint64(m.State))
+	b.uint(m.Cursor)
+	b.time(m.Chronon)
+	return b.finish()
+}
+
+// Encode renders the message as one frame.
+func (m SubAck) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m Push) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindPush)
+	b.uint(m.ID)
+	b.uint(m.Cursor)
+	b.uint(m.Dropped)
+	b.uint(m.Expired)
+	b.uint(m.Useful)
+	b.boolf(m.Missed)
+	b.boolf(m.Evaluated)
+	b.boolf(m.Degraded)
+	b.time(m.Issue)
+	b.time(m.Served)
+	for _, a := range m.Answers {
+		b.str(a)
+	}
+	return b.finish()
+}
+
+// Encode renders the message as one frame.
+func (m Push) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m SubCancel) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindSubCancel)
+	b.uint(m.ID)
+	return b.finish()
+}
+
+// Encode renders the message as one frame.
+func (m SubCancel) Encode() []byte { return m.AppendTo(nil) }
+
+// AppendTo appends the encoded frame to dst.
+func (m SubResume) AppendTo(dst []byte) []byte {
+	b := beginFrame(dst, KindSubResume)
+	b.uint(m.ID)
+	b.str(m.Query)
+	b.time(m.Period)
+	b.uint(uint64(m.Kind))
+	b.time(m.Deadline)
+	b.time(m.Elapsed)
+	b.uint(m.MinUseful)
+	b.uint(uint64(m.Decay.ID))
+	b.uint(m.Decay.Max)
+	b.time(m.Decay.Span)
+	b.uint(m.Depth)
+	b.uint(m.AfterCursor)
+	return b.finish()
+}
+
+// Encode renders the message as one frame.
+func (m SubResume) Encode() []byte { return m.AppendTo(nil) }
+
 // Decode parses a frame into its typed message.
 func Decode(f Frame) (any, error) {
 	fields, err := f.Fields()
@@ -756,6 +985,85 @@ func Decode(f Frame) (any, error) {
 			return bad()
 		}
 		return PromoteInfo{Epoch: epoch, Seq: seq}, nil
+	case KindSubOpen:
+		if !need(11) {
+			return bad()
+		}
+		env, ok := parseSubEnvelope(fields)
+		if !ok {
+			return bad()
+		}
+		return SubOpen{
+			ID: env.id, Query: env.query, Period: env.period,
+			Kind: env.kind, Deadline: env.deadline, Elapsed: env.elapsed,
+			MinUseful: env.minUseful, Decay: env.decay, Depth: env.depth,
+		}, nil
+	case KindSubAck:
+		if !need(4) {
+			return bad()
+		}
+		id, ok0 := parseU(fields[0])
+		state, ok1 := parseU(fields[1])
+		cursor, ok2 := parseU(fields[2])
+		chr, ok3 := parseU(fields[3])
+		if !(ok0 && ok1 && ok2 && ok3) || state == 0 || state > uint64(SubClosed) {
+			return bad()
+		}
+		return SubAck{
+			ID: id, State: SubState(state), Cursor: cursor,
+			Chronon: timeseq.Time(chr),
+		}, nil
+	case KindPush:
+		if !need(10) {
+			return bad()
+		}
+		id, ok0 := parseU(fields[0])
+		cursor, ok1 := parseU(fields[1])
+		dropped, ok2 := parseU(fields[2])
+		expired, ok3 := parseU(fields[3])
+		useful, ok4 := parseU(fields[4])
+		missed, ok5 := parseBool(fields[5])
+		eval, ok6 := parseBool(fields[6])
+		degraded, ok7 := parseBool(fields[7])
+		issue, ok8 := parseU(fields[8])
+		served, ok9 := parseU(fields[9])
+		if !(ok0 && ok1 && ok2 && ok3 && ok4 && ok5 && ok6 && ok7 && ok8 && ok9) {
+			return bad()
+		}
+		var answers []string
+		if len(fields) > 10 {
+			answers = append(answers, fields[10:]...)
+		}
+		return Push{
+			ID: id, Cursor: cursor, Dropped: dropped, Expired: expired,
+			Useful: useful, Missed: missed, Evaluated: eval, Degraded: degraded,
+			Issue: timeseq.Time(issue), Served: timeseq.Time(served),
+			Answers: answers,
+		}, nil
+	case KindSubCancel:
+		if !need(1) {
+			return bad()
+		}
+		id, ok := parseU(fields[0])
+		if !ok {
+			return bad()
+		}
+		return SubCancel{ID: id}, nil
+	case KindSubResume:
+		if !need(12) {
+			return bad()
+		}
+		env, ok0 := parseSubEnvelope(fields)
+		after, ok1 := parseU(fields[11])
+		if !ok0 || !ok1 {
+			return bad()
+		}
+		return SubResume{
+			ID: env.id, Query: env.query, Period: env.period,
+			Kind: env.kind, Deadline: env.deadline, Elapsed: env.elapsed,
+			MinUseful: env.minUseful, Decay: env.decay, Depth: env.depth,
+			AfterCursor: after,
+		}, nil
 	}
 	return nil, ErrBadKind
 }

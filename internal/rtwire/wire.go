@@ -43,7 +43,12 @@ const (
 	//
 	// Version 2 added the replication frames (Subscribe, WalBatch, WalAck,
 	// Heartbeat, PromoteInfo) and the fencing epoch + role in Welcome.
-	Version byte = 2
+	//
+	// Version 3 added the standing-query subscription frames (SubOpen,
+	// SubAck, Push, SubCancel, SubResume). A v2 decoder rejects every v3
+	// frame with ErrVersion before looking at the kind byte, and the CRC
+	// covers the version byte, so no frame can be replayed across versions.
+	Version byte = 3
 	// HeaderSize is the fixed frame overhead:
 	// | magic 1 | version 1 | kind 1 | len u32 LE | crc32c u32 LE |.
 	HeaderSize = 11
@@ -106,6 +111,21 @@ const (
 	// KindPromoteInfo announces a promotion (standby → its read clients):
 	// the sender is now primary at Epoch, with its log at Seq.
 	KindPromoteInfo
+	// KindSubOpen registers a standing periodic query: the server evaluates
+	// it every Period chronons and pushes stamped results (client → server).
+	KindSubOpen
+	// KindSubAck answers a KindSubOpen/KindSubResume/KindSubCancel with the
+	// subscription's admission state and cursor base (server → client).
+	KindSubAck
+	// KindPush carries one stamped tick result of a standing query, with the
+	// monotone per-subscription cursor and the cumulative drop/expiry
+	// counters that let the client audit delivery (server → client).
+	KindPush
+	// KindSubCancel closes a standing query (client → server).
+	KindSubCancel
+	// KindSubResume re-registers a standing query after a reconnect or
+	// failover, continuing the cursor after AfterCursor (client → server).
+	KindSubResume
 )
 
 var kindNames = map[Kind]string{
@@ -117,6 +137,8 @@ var kindNames = map[Kind]string{
 	KindErr: "err", KindBye: "bye",
 	KindSubscribe: "subscribe", KindWalBatch: "wal_batch", KindWalAck: "wal_ack",
 	KindHeartbeat: "heartbeat", KindPromoteInfo: "promote_info",
+	KindSubOpen: "sub_open", KindSubAck: "sub_ack", KindPush: "push",
+	KindSubCancel: "sub_cancel", KindSubResume: "sub_resume",
 }
 
 // String implements fmt.Stringer.
