@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-grid race-rtdb race-net race-repl race-sub bench bench-json fuzz torture torture-short torture-failover soak-short examples experiments clean
+.PHONY: all build vet test race race-grid race-rtdb race-net race-repl race-sub race-gc bench bench-json fuzz torture torture-short torture-failover soak-short examples experiments clean
 
 all: build vet test
 
@@ -38,6 +38,13 @@ race-net:
 race-repl:
 	$(GO) test -race ./internal/rtdb/replica/
 	$(GO) test -race -run=TestFailover ./internal/rtdb/torture/
+
+# Group commit under the race detector: the 64-writer fsync-batching
+# hammer (mid-run Sync/CloseWindow antagonist, mid-run Close, goroutine
+# leak checks), the window-edge table tests, and the server's ack-barrier
+# test that pins "reply only after the covering fsync".
+race-gc:
+	$(GO) test -race -run='GroupCommit|Group(Window|Single|Firm|Batch|FsyncFailure|Close|Tail|Amortized)|AppendBatch|BatchedShipping' ./internal/rtdb/log/ ./internal/rtdb/server/ ./internal/rtdb/replica/
 
 # Standing queries under the race detector: the sub package's queue/table,
 # the SUB-xxx conformance suite on both transports, and the 32-subscriber ×

@@ -49,6 +49,7 @@ func main() {
 		segSize  = flag.Int64("segment-size", 1<<20, "WAL segment rotation size (bytes)")
 		snapshot = flag.Uint64("snapshot-every", 2000, "WAL catalog snapshot period (events, 0: never)")
 		fsync    = flag.Bool("fsync", false, "fsync the WAL after every append")
+		fsyncWin = flag.Duration("fsync-window", 200*time.Microsecond, "group-commit window with -fsync: concurrent appends share one fsync per window (0: fsync each append)")
 		evalCost = flag.Uint64("eval-cost", 2, "chronons one query evaluation costs")
 		deadln   = flag.Uint64("deadline", 40, "relative firm deadline for synthetic client queries (chronons)")
 		queue    = flag.Int("queue-depth", 64, "per-session queue depth")
@@ -65,9 +66,9 @@ func main() {
 	}
 	var err error
 	if *replicaOf != "" {
-		err = runReplica(*dir, *listen, *replicaOf, *promoteAfter, *sessions, *segSize, *snapshot, *fsync, *evalCost, *queue)
+		err = runReplica(*dir, *listen, *replicaOf, *promoteAfter, *sessions, *segSize, *snapshot, *fsync, *fsyncWin, *evalCost, *queue)
 	} else {
-		err = run(*dir, *listen, *sessions, *ops, *segSize, *snapshot, *fsync, *promote, *evalCost, *deadln, *queue)
+		err = run(*dir, *listen, *sessions, *ops, *segSize, *snapshot, *fsync, *fsyncWin, *promote, *evalCost, *deadln, *queue)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rtdbd:", err)
@@ -75,13 +76,14 @@ func main() {
 	}
 }
 
-func run(dir, listen string, sessions, ops int, segSize int64, snapshot uint64, fsync, promote bool,
-	evalCost, deadln uint64, queue int) error {
+func run(dir, listen string, sessions, ops int, segSize int64, snapshot uint64, fsync bool,
+	fsyncWin time.Duration, promote bool, evalCost, deadln uint64, queue int) error {
 	cfg := serverConfig(sessions, queue, evalCost)
 
 	if dir != "" {
 		l, err := wal.Open(wal.Options{
 			Dir: dir, SegmentSize: segSize, SnapshotEvery: snapshot, Sync: fsync,
+			GroupWindow: fsyncWin,
 		})
 		if err != nil {
 			return err
@@ -386,7 +388,8 @@ func statusOf(src map[string]rtdb.Value) rtdb.Value {
 // automatic after -promote-after of primary silence — flips in place to a
 // full primary serving the same address with a bumped fencing epoch.
 func runReplica(dir, listen, primary string, promoteAfter time.Duration,
-	sessions int, segSize int64, snapshot uint64, fsync bool, evalCost uint64, queue int) error {
+	sessions int, segSize int64, snapshot uint64, fsync bool, fsyncWin time.Duration,
+	evalCost uint64, queue int) error {
 	if dir == "" {
 		return fmt.Errorf("-replica-of needs -dir (the replica keeps its own durable WAL)")
 	}
@@ -395,6 +398,7 @@ func runReplica(dir, listen, primary string, promoteAfter time.Duration,
 		Primary: primary,
 		WAL: wal.Options{
 			Dir: dir, SegmentSize: segSize, SnapshotEvery: snapshot, Sync: fsync,
+			GroupWindow: fsyncWin,
 		},
 		Name:     "rtdbd-replica",
 		Catalog:  cfg.Catalog,

@@ -1,7 +1,11 @@
 package log
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func BenchmarkCodecEncode(b *testing.B) {
@@ -56,6 +60,50 @@ func BenchmarkAppendSync(b *testing.B) {
 		if err := l.Append(Sample(0, "temp", "21.5")); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAppendGroupSync measures group commit under contention: W
+// concurrent writers issue durable appends through a 200µs commit window,
+// so one fsync is amortized over every writer that joined the batch. The
+// per-op number is the amortized durable-append cost; compare against
+// BenchmarkAppendSync (one fsync each) for the amortization factor.
+func BenchmarkAppendGroupSync(b *testing.B) {
+	for _, writers := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("%dwriters", writers), func(b *testing.B) {
+			l, err := Open(Options{
+				Dir: b.TempDir(), SegmentSize: 64 << 20, Sync: true,
+				GroupWindow: 200 * time.Microsecond, GroupMaxBatch: 64,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			tk, err := l.AppendTicket(Image("temp", 5), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tk.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if err := l.Append(Sample(0, "temp", "21.5")); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
 	}
 }
 

@@ -1,0 +1,462 @@
+package log
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rtc/internal/faultfs"
+)
+
+// groupOptions is the grouped-WAL configuration the edge tests share: big
+// segments and a far snapshot threshold so fsync counts are exactly the
+// commit discipline's, nothing else's.
+func groupOptions(fs faultfs.FS, window time.Duration) Options {
+	return Options{
+		Dir: "wal", FS: fs, SegmentSize: 1 << 20, SnapshotEvery: 1 << 20,
+		Sync: true, GroupWindow: window,
+	}
+}
+
+// TestGroupWindowZeroDegrades: GroupWindow=0 IS the old per-append-fsync
+// log. AppendTicket degrades to a born-resolved ticket, every append pays
+// its own fsync, and the produced segment bytes are identical to the
+// ungrouped writer's — group commit off is not merely equivalent, it is
+// byte-for-byte the same log.
+func TestGroupWindowZeroDegrades(t *testing.T) {
+	events := workload(30)
+
+	memA := faultfs.NewMem(1)
+	la, err := Open(groupOptions(memA, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := memA.Syncs()
+	for _, e := range events {
+		tk, err := la.AppendTicket(e, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tk.Resolved() {
+			t.Fatalf("window=0 ticket for seq %d not born resolved", tk.Seq())
+		}
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := memA.Syncs()-base, uint64(len(events)); got != want {
+		t.Fatalf("window=0 paid %d fsyncs for %d appends, want one each", got, want)
+	}
+	if st := la.Stats(); st.GroupCommits != 0 {
+		t.Fatalf("window=0 recorded %d group commits, want 0", st.GroupCommits)
+	}
+	if err := la.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	memB := faultfs.NewMem(1)
+	lb, err := Open(Options{Dir: "wal", FS: memB, SegmentSize: 1 << 20, SnapshotEvery: 1 << 20, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := lb.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names, err := memA.ReadDir("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		a, b := memA.DumpFile("wal/"+name), memB.DumpFile("wal/"+name)
+		if string(a) != string(b) {
+			t.Fatalf("window=0 wrote different bytes for %s (%d vs %d bytes)", name, len(a), len(b))
+		}
+	}
+}
+
+// TestGroupSingleAppendBatch: one blocking append under a short window is a
+// batch of one — it waits out the window, pays one fsync, and returns
+// durable.
+func TestGroupSingleAppendBatch(t *testing.T) {
+	mem := faultfs.NewMem(2)
+	l, err := Open(groupOptions(mem, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	base := mem.Syncs()
+	if err := l.Append(Image("temp", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Syncs() - base; got != 1 {
+		t.Fatalf("batch of one paid %d fsyncs, want 1", got)
+	}
+	if ds, sq := l.DurableSeq(), l.Seq(); ds != sq {
+		t.Fatalf("after a blocking append DurableSeq=%d != Seq=%d", ds, sq)
+	}
+	st := l.Stats()
+	if st.GroupCommits != 1 || st.GroupedAppends != 1 || st.GroupBatchMax != 1 {
+		t.Fatalf("stats = commits %d appends %d max %d, want 1/1/1",
+			st.GroupCommits, st.GroupedAppends, st.GroupBatchMax)
+	}
+}
+
+// TestGroupFirmSealsWindow: a firm append seals the open window — the
+// batch commits as soon as its leader wakes instead of waiting out an
+// arbitrarily long window, and the whole batch (soft joiners included)
+// rides the one early fsync.
+func TestGroupFirmSealsWindow(t *testing.T) {
+	mem := faultfs.NewMem(3)
+	l, err := Open(groupOptions(mem, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	base := mem.Syncs()
+	t1, err := l.AppendTicket(Image("temp", 5), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := l.AppendTicket(Sample(1, "temp", "a"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := l.AppendTicket(Sample(2, "temp", "b"), true) // firm: seal
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tk := range []*Ticket{t1, t2, t3} {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+	if got := mem.Syncs() - base; got != 1 {
+		t.Fatalf("sealed batch paid %d fsyncs, want 1", got)
+	}
+	st := l.Stats()
+	if st.GroupCommits != 1 || st.GroupedAppends != 3 || st.GroupBatchMax != 3 {
+		t.Fatalf("stats = commits %d appends %d max %d, want 1/3/3",
+			st.GroupCommits, st.GroupedAppends, st.GroupBatchMax)
+	}
+	if ds, sq := l.DurableSeq(), l.Seq(); ds != sq {
+		t.Fatalf("after firm commit DurableSeq=%d != Seq=%d", ds, sq)
+	}
+}
+
+// TestGroupBatchMaxSeals: the GroupMaxBatch-th joiner seals the window —
+// a saturated batch never waits for the timer.
+func TestGroupBatchMaxSeals(t *testing.T) {
+	mem := faultfs.NewMem(4)
+	opts := groupOptions(mem, time.Hour)
+	opts.GroupMaxBatch = 3
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tickets := make([]*Ticket, 0, 3)
+	for _, e := range []Event{Image("temp", 5), Sample(1, "temp", "a"), Sample(2, "temp", "b")} {
+		tk, err := l.AppendTicket(e, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for i, tk := range tickets {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+	if st := l.Stats(); st.GroupCommits != 1 || st.GroupBatchMax != 3 {
+		t.Fatalf("stats = commits %d max %d, want 1 commit of 3", st.GroupCommits, st.GroupBatchMax)
+	}
+}
+
+// TestGroupBatchSpansRotate: a batch whose frames straddle housekeeping is
+// released by the rotation's own fsync — every frame the rotate fsync
+// covered is durable, so the tickets must not wait for a leader commit.
+func TestGroupBatchSpansRotate(t *testing.T) {
+	mem := faultfs.NewMem(5)
+	opts := groupOptions(mem, time.Hour)
+	opts.SegmentSize = 256 // a handful of frames per segment
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var tickets []*Ticket
+	for _, e := range workload(20) {
+		tk, err := l.AppendTicket(e, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("workload never rotated (segments=%d); shrink SegmentSize", st.Segments)
+	}
+	// Everything written before the last rotation is durable and must have
+	// been released by it — without any Sync or window expiry.
+	released := 0
+	for _, tk := range tickets {
+		if tk.Resolved() {
+			if err := tk.Wait(); err != nil {
+				t.Fatalf("rotation-released ticket seq %d: %v", tk.Seq(), err)
+			}
+			released++
+		}
+	}
+	if released == 0 {
+		t.Fatal("rotation fsync released no tickets")
+	}
+	ds := l.DurableSeq()
+	for _, tk := range tickets {
+		if tk.Resolved() != (tk.Seq() <= ds) {
+			t.Fatalf("ticket seq %d resolved=%v but DurableSeq=%d", tk.Seq(), tk.Resolved(), ds)
+		}
+	}
+	// The tail batch commits on demand.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tickets {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("ticket seq %d after sync: %v", tk.Seq(), err)
+		}
+	}
+}
+
+// TestGroupFsyncFailurePoisonsBatch: the covering fsync failing fails the
+// whole batch — every ticket resolves with the poison error and the log
+// refuses further work.
+func TestGroupFsyncFailurePoisonsBatch(t *testing.T) {
+	mem := faultfs.NewMem(6)
+	l, err := Open(groupOptions(mem, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var tickets []*Ticket
+	for _, e := range []Event{Image("temp", 5), Sample(1, "temp", "a"), Sample(2, "temp", "b")} {
+		tk, err := l.AppendTicket(e, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	mem.FailSync(mem.Syncs() + 1)
+	if err := l.Sync(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("sync over injected fault: %v", err)
+	}
+	for i, tk := range tickets {
+		if !tk.Resolved() {
+			t.Fatalf("ticket %d unresolved after poison", i)
+		}
+		if err := tk.Wait(); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("ticket %d resolved %v, want the injected fsync error", i, err)
+		}
+	}
+	if l.Err() == nil {
+		t.Fatal("failed group fsync must poison the log")
+	}
+	if _, err := l.AppendTicket(Sample(3, "temp", "c"), false); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+}
+
+// TestGroupCloseResolvesTail: Close commits the open window — no ticket is
+// left hanging behind an hour-long timer.
+func TestGroupCloseResolvesTail(t *testing.T) {
+	mem := faultfs.NewMem(7)
+	l, err := Open(groupOptions(mem, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := l.AppendTicket(Image("temp", 5), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatalf("ticket after clean close: %v", err)
+	}
+	l2, err := Open(groupOptions(mem, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.State().Events; got != 1 {
+		t.Fatalf("recovered %d events, want the closed-over append", got)
+	}
+}
+
+// TestAppendBatchSingleFsync: a whole slice of events lands with exactly
+// one fsync — the follower-side mirror of the primary's group commit — and
+// the tail subscription sees the events only after that fsync, in order.
+func TestAppendBatchSingleFsync(t *testing.T) {
+	mem := faultfs.NewMem(8)
+	l, err := Open(groupOptions(mem, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tail := l.SubscribeTail(64)
+	defer tail.Close()
+
+	events := workload(10)
+	base := mem.Syncs()
+	applied, err := l.AppendBatch(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(events) {
+		t.Fatalf("applied %d of %d", applied, len(events))
+	}
+	if got := mem.Syncs() - base; got != 1 {
+		t.Fatalf("AppendBatch paid %d fsyncs for %d events, want 1", got, len(events))
+	}
+	if ds, sq := l.DurableSeq(), l.Seq(); ds != sq {
+		t.Fatalf("after AppendBatch DurableSeq=%d != Seq=%d", ds, sq)
+	}
+	for i := range events {
+		select {
+		case se := <-tail.C:
+			if se.Seq != uint64(i+1) {
+				t.Fatalf("tail event %d has seq %d, want %d", i, se.Seq, i+1)
+			}
+		default:
+			t.Fatalf("tail missing event %d: publication must cover the whole batch", i)
+		}
+	}
+}
+
+// TestGroupTailPublishAfterCommit: in grouped mode a tail subscriber must
+// not see an event before its covering fsync — publication happens at
+// release, so a follower can never apply data the primary might lose.
+func TestGroupTailPublishAfterCommit(t *testing.T) {
+	mem := faultfs.NewMem(9)
+	l, err := Open(groupOptions(mem, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tail := l.SubscribeTail(64)
+	defer tail.Close()
+
+	tk, err := l.AppendTicket(Image("temp", 5), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case se := <-tail.C:
+		t.Fatalf("tail saw seq %d before its fsync", se.Seq)
+	default:
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case se := <-tail.C:
+		if se.Seq != tk.Seq() {
+			t.Fatalf("tail seq %d, want %d", se.Seq, tk.Seq())
+		}
+	default:
+		t.Fatal("tail never saw the committed event")
+	}
+}
+
+// TestGroupAmortizedCostGate is the deterministic CI-safe form of the
+// benchmark acceptance gate: on the faultfs.Mem op clock — fsyncs cost
+// ~144µs, buffered writes ~2µs, the ratio of a real disk — 64 lockstep
+// writers amortizing one fsync per full batch must land under 1/4 of the
+// serial per-append-fsync cost. Wall-clock noise cannot move it: only op
+// counts enter the model.
+func TestGroupAmortizedCostGate(t *testing.T) {
+	const (
+		syncCost  = 144_000 // ns per fsync on the virtual disk
+		writeCost = 2_000   // ns per buffered write
+		writers   = 64
+		rounds    = 4
+	)
+
+	// Serial baseline: one fsync per append.
+	memS := faultfs.NewMem(10)
+	ls, err := Open(groupOptions(memS, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Append(Image("temp", 5)); err != nil {
+		t.Fatal(err)
+	}
+	baseW, baseS := memS.Writes(), memS.Syncs()
+	n := writers * rounds
+	for i := 0; i < n; i++ {
+		if err := ls.Append(Sample(0, "temp", "21.5")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serialCost := float64((memS.Syncs()-baseS)*syncCost+(memS.Writes()-baseW)*writeCost) / float64(n)
+	ls.Close()
+
+	// Grouped: 64 writers in lockstep — each blocking append joins the one
+	// open batch, the 64th seals it, one fsync releases all. The hour-long
+	// window guarantees every commit is a full batch, so the op counts are
+	// exact, not schedule-dependent.
+	memG := faultfs.NewMem(10)
+	opts := groupOptions(memG, time.Hour)
+	opts.GroupMaxBatch = writers
+	lg, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prologue as a firm ticket: a lone blocking append would otherwise sit
+	// out the hour-long window waiting for 63 joiners that don't exist yet.
+	ptk, err := lg.AppendTicket(Image("temp", 5), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ptk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	baseW, baseS = memG.Writes(), memG.Syncs()
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			for i := 0; i < rounds; i++ {
+				if err := lg.Append(Sample(0, "temp", "21.5")); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncs, writes := memG.Syncs()-baseS, memG.Writes()-baseW
+	if syncs != rounds {
+		t.Fatalf("lockstep batching paid %d fsyncs for %d full batches", syncs, rounds)
+	}
+	groupCost := float64(syncs*syncCost+writes*writeCost) / float64(n)
+	lg.Close()
+
+	t.Logf("virtual amortized cost: serial=%.0fns grouped=%.0fns (%.1fx)",
+		serialCost, groupCost, serialCost/groupCost)
+	if groupCost >= serialCost/4 {
+		t.Fatalf("grouped amortized cost %.0fns not < 1/4 of serial %.0fns", groupCost, serialCost)
+	}
+}

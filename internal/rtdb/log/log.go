@@ -28,6 +28,16 @@ type Options struct {
 	// Sync fsyncs after every append (the durable setting; off by default
 	// so tests and benchmarks can measure the code path separately).
 	Sync bool
+	// GroupWindow enables leader-based group commit when Sync is set:
+	// instead of one fsync per append, concurrent appends share the open
+	// commit batch and the batch leader issues a single fsync once the
+	// window elapses (or earlier — full batch, firm append, CloseWindow).
+	// 0 (the default) keeps the per-append fsync. See group.go.
+	GroupWindow time.Duration
+	// GroupMaxBatch caps how many appends one commit batch accumulates
+	// before its window closes early (default 64). Only meaningful with
+	// GroupWindow > 0.
+	GroupMaxBatch int
 	// FS is the filesystem the log talks to. Nil means the real one
 	// (faultfs.OS); the crash-torture harness injects fault-bearing
 	// implementations here.
@@ -37,6 +47,9 @@ type Options struct {
 func (o *Options) defaults() {
 	if o.SegmentSize <= 0 {
 		o.SegmentSize = 1 << 20
+	}
+	if o.GroupMaxBatch <= 0 {
+		o.GroupMaxBatch = 64
 	}
 	if o.FS == nil {
 		o.FS = faultfs.OS{}
@@ -53,6 +66,9 @@ type Stats struct {
 	FsyncCount      uint64
 	FsyncNanos      uint64 // total time spent in fsync
 	FsyncMaxNanos   uint64
+	GroupCommits    uint64 // commit batches released by a successful fsync
+	GroupedAppends  uint64 // appends whose durability rode a group commit
+	GroupBatchMax   uint64 // largest single commit batch
 	RecoveredEvents uint64 // events replayed at Open
 	TruncatedBytes  int64  // torn tail dropped at Open
 }
@@ -97,6 +113,13 @@ type Log struct {
 	tails map[*Tail]struct{}
 	// epoch is the persisted fencing epoch (see repl.go).
 	epoch uint64
+
+	// Group commit (see group.go): cur is the open batch still accepting
+	// joiners, pending the FIFO of batches written but not yet covered by
+	// an fsync, durableSeq the newest sequence a successful fsync covered.
+	cur        *batch
+	pending    []*batch
+	durableSeq uint64
 
 	stats Stats
 	buf   []byte
@@ -170,6 +193,7 @@ func Open(opts Options) (*Log, error) {
 		}
 		l.stats.Segments = 1
 		l.segFirstSeq[1] = 1
+		l.durableSeq = l.st.Events
 		return l, nil
 	}
 
@@ -204,6 +228,8 @@ func Open(opts Options) (*Log, error) {
 	}
 	l.stats.Segments = uint64(len(segs))
 	l.indexSegments(segs, pos, snapEvents)
+	// Everything replayed came off disk: the recovered tail is durable.
+	l.durableSeq = l.st.Events
 	return l, nil
 }
 
@@ -327,14 +353,38 @@ func (l *Log) Err() error {
 // state untouched, so a transient EIO costs one event, not the log), while
 // a failed fsync poisons the log — after fsync failure the page cache
 // cannot be trusted, so no retry is sound.
+//
+// In group-commit mode (Sync with a GroupWindow) the fsync is batched:
+// Append blocks on a commit ticket and returns once the fsync covering its
+// frame completed — the first waiter of a window leads the batch and
+// issues one fsync for everyone. AppendTicket is the non-blocking form.
 func (l *Log) Append(e Event) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	if !l.grouped() {
+		defer l.mu.Unlock()
+		return l.appendUngroupedLocked(e)
+	}
+	t, lead, err := l.appendGroupedLocked(e, false)
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if lead {
+		// The blocking caller waits out the window anyway, so it runs the
+		// leader inline instead of paying for a goroutine.
+		l.lead(t.b)
+	}
+	return t.Wait()
+}
+
+// appendUngroupedLocked is the classic append path — per-append fsync when
+// Sync is set, byte- and op-identical to the pre-group-commit log.
+func (l *Log) appendUngroupedLocked(e Event) error {
 	if l.err != nil {
 		return l.err
 	}
 	if l.f == nil {
-		return fmt.Errorf("log: closed")
+		return errClosed
 	}
 	if err := l.st.check(e); err != nil {
 		return err
@@ -347,22 +397,33 @@ func (l *Log) Append(e Event) error {
 	if err := l.st.Apply(e); err != nil {
 		// check passed, so Apply cannot fail; if it somehow does, the
 		// frame is already on disk and the state is suspect — poison.
-		l.err = err
-		return err
+		return l.poisonLocked(err)
 	}
 	l.stats.Appends++
 	if l.opts.Sync {
 		if err := l.fsync(); err != nil {
-			l.err = fmt.Errorf("log: fsync failed, log poisoned: %w", err)
-			return l.err
+			return l.poisonLocked(fmt.Errorf("log: fsync failed, log poisoned: %w", err))
 		}
+		// A leftover AppendBatch tail (possible on a Sync log without a
+		// window) is covered by this fsync too.
+		l.releaseAllLocked(nil)
 	}
+	if err := l.maintainLocked(); err != nil {
+		return err
+	}
+	l.publishLocked(e)
+	return nil
+}
+
+// maintainLocked is the post-append housekeeping shared by every append
+// path: segment rotation at the size threshold, then the automatic
+// snapshot cadence.
+func (l *Log) maintainLocked() error {
 	if l.segSize >= l.opts.SegmentSize {
 		if err := l.rotate(); err != nil {
 			// The event is durable but the segment boundary is in an
 			// unknown state; no further append can land safely.
-			l.err = fmt.Errorf("log: rotation failed, log poisoned: %w", err)
-			return l.err
+			return l.poisonLocked(fmt.Errorf("log: rotation failed, log poisoned: %w", err))
 		}
 	}
 	l.sinceSnapshot++
@@ -370,11 +431,16 @@ func (l *Log) Append(e Event) error {
 		if err := l.snapshotLocked(); err != nil {
 			// Snapshots are accelerators, not the source of truth: a
 			// failed one (EIO, rename fault) is counted and retried after
-			// the next SnapshotEvery appends. The append itself succeeded.
+			// the next SnapshotEvery appends. The append itself succeeded —
+			// unless the segment fsync inside the snapshot poisoned the log
+			// while the append's own frames were still waiting on a group
+			// commit; then the append fails like its pending tickets.
 			l.stats.SnapshotErrors++
+			if l.err != nil && l.durableSeq < l.st.Events {
+				return l.err
+			}
 		}
 	}
-	l.publishLocked(e)
 	return nil
 }
 
@@ -386,12 +452,10 @@ func (l *Log) Append(e Event) error {
 func (l *Log) heal(cause error) error {
 	path := filepath.Join(l.opts.Dir, segName(l.segIndex))
 	if terr := l.fs.Truncate(path, l.segSize); terr != nil {
-		l.err = fmt.Errorf("log: append failed (%v) and heal failed, log poisoned: %w", cause, terr)
-		return l.err
+		return l.poisonLocked(fmt.Errorf("log: append failed (%v) and heal failed, log poisoned: %w", cause, terr))
 	}
 	if _, serr := l.f.Seek(l.segSize, io.SeekStart); serr != nil {
-		l.err = fmt.Errorf("log: append failed (%v) and reseek failed, log poisoned: %w", cause, serr)
-		return l.err
+		return l.poisonLocked(fmt.Errorf("log: append failed (%v) and reseek failed, log poisoned: %w", cause, serr))
 	}
 	l.stats.Heals++
 	return fmt.Errorf("log: append failed (segment healed): %w", cause)
@@ -406,15 +470,23 @@ func (l *Log) fsync() error {
 	if d > l.stats.FsyncMaxNanos {
 		l.stats.FsyncMaxNanos = d
 	}
+	if err == nil {
+		// The active segment's fsync covers every frame written so far
+		// (earlier segments were fsynced when rotation sealed them).
+		l.durableSeq = l.st.Events
+	}
 	return err
 }
 
 // rotate seals the active segment (always fsynced: a sealed segment is
-// immutable from here on) and starts the next one.
+// immutable from here on) and starts the next one. The seal fsync covers
+// every frame written so far, so pending commit batches release here —
+// a batch spanning a rotation never waits past the segment boundary.
 func (l *Log) rotate() error {
 	if err := l.fsync(); err != nil {
 		return err
 	}
+	l.releaseAllLocked(nil)
 	if err := l.f.Close(); err != nil {
 		return err
 	}
@@ -441,9 +513,10 @@ func (l *Log) snapshotLocked() error {
 	// leaving it pointing past the end of the segment it replays from.
 	if l.f != nil {
 		if err := l.fsync(); err != nil {
-			l.err = fmt.Errorf("log: fsync failed, log poisoned: %w", err)
-			return l.err
+			return l.poisonLocked(fmt.Errorf("log: fsync failed, log poisoned: %w", err))
 		}
+		// The segment fsync covers every pending commit batch.
+		l.releaseAllLocked(nil)
 	}
 	pos := replayPos{seg: l.segIndex, off: l.segSize}
 	l.snapSeq++
@@ -574,7 +647,9 @@ func (l *Log) Compact() error {
 	return nil
 }
 
-// Sync forces an fsync of the active segment.
+// Sync forces an fsync of the active segment. In group-commit mode it is
+// the synchronous commit point: every pending ticket resolves before Sync
+// returns — nil on success, the poison error if the fsync failed.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -585,13 +660,14 @@ func (l *Log) Sync() error {
 		return nil
 	}
 	if err := l.fsync(); err != nil {
-		l.err = fmt.Errorf("log: fsync failed, log poisoned: %w", err)
-		return l.err
+		return l.poisonLocked(fmt.Errorf("log: fsync failed, log poisoned: %w", err))
 	}
+	l.releaseAllLocked(nil)
 	return nil
 }
 
-// Close syncs and closes the active segment.
+// Close syncs and closes the active segment. Pending commit tickets
+// resolve with the final fsync's outcome — none is left hanging.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -604,10 +680,12 @@ func (l *Log) Close() error {
 		return l.err
 	}
 	if err := l.fsync(); err != nil {
+		l.releaseAllLocked(err)
 		l.f.Close()
 		l.f = nil
 		return err
 	}
+	l.releaseAllLocked(nil)
 	err := l.f.Close()
 	l.f = nil
 	return err

@@ -64,10 +64,18 @@ func (l *Log) ReadSince(afterSeq uint64, max int) ([]SeqEvent, error) {
 	if l.f == nil {
 		return nil, fmt.Errorf("log: closed")
 	}
-	if afterSeq > l.st.Events {
+	// Catch-up never serves past the durable tail: under group commit
+	// frames sit written-but-unfsynced inside the open window, and a
+	// follower must never apply an event the primary could still lose. The
+	// events surface at batch release, through the tail publication.
+	tail := l.st.Events
+	if l.grouped() && l.durableSeq < tail {
+		tail = l.durableSeq
+	}
+	if afterSeq > tail {
 		return nil, ErrSeqFuture
 	}
-	if afterSeq == l.st.Events || max <= 0 {
+	if afterSeq == tail || max <= 0 {
 		return nil, nil
 	}
 	// The start segment is the one with the largest first-sequence that is
@@ -92,6 +100,9 @@ func (l *Log) ReadSince(afterSeq uint64, max int) ([]SeqEvent, error) {
 		}
 		done, err := l.scanSegment(seg, limit, func(e Event) bool {
 			seq++
+			if seq > tail {
+				return false
+			}
 			if seq > afterSeq {
 				out = append(out, SeqEvent{Seq: seq, Event: e})
 			}
@@ -245,13 +256,18 @@ func (t *Tail) Close() {
 }
 
 // publishLocked fans one appended event out to the live tails. Called with
-// mu held, immediately after a fully successful Append; the non-blocking
-// send is what keeps the apply loop independent of follower speed.
+// mu held, immediately after a fully successful ungrouped Append; group
+// commit instead publishes at batch release, after the covering fsync
+// (publishSeqLocked with the batch's recorded sequences), so followers
+// only ever see durable events, in whole commit batches.
 func (l *Log) publishLocked(e Event) {
-	if len(l.tails) == 0 {
-		return
-	}
-	se := SeqEvent{Seq: l.st.Events, Event: e}
+	l.publishSeqLocked(SeqEvent{Seq: l.st.Events, Event: e})
+}
+
+// publishSeqLocked is the non-blocking fan-out; the full-buffer drop is
+// what keeps the apply loop independent of follower speed (the subscriber
+// sees a sequence gap and falls back to ReadSince).
+func (l *Log) publishSeqLocked(se SeqEvent) {
 	for t := range l.tails {
 		select {
 		case t.C <- se:

@@ -268,7 +268,12 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 		// Durability coordinates: failover tooling compares a promoted
 		// node's wal_seq against the watermark heard from the old primary.
 		if l := c.n.srv.WAL(); l != nil {
-			wp = append(wp, rtwire.MetricPair{Name: "wal_seq", Value: l.Seq()})
+			wp = append(wp,
+				rtwire.MetricPair{Name: "wal_seq", Value: l.Seq()},
+				// Under group commit wal_durable may trail wal_seq by the
+				// open window; they converge at every commit.
+				rtwire.MetricPair{Name: "wal_durable", Value: l.DurableSeq()},
+			)
 		}
 		wp = append(wp,
 			rtwire.MetricPair{Name: "epoch", Value: c.n.srv.Epoch()},

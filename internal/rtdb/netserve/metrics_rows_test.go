@@ -39,7 +39,7 @@ func TestMetricsDurabilityRows(t *testing.T) {
 	_, _, addr := startNet(t, server.Config{Sessions: 2, Log: l}, Options{})
 
 	mm := fetchMetricRows(t, addr)
-	for _, name := range []string{"wal_seq", "epoch", "repl_durable"} {
+	for _, name := range []string{"wal_seq", "wal_durable", "epoch", "repl_durable"} {
 		if _, ok := mm[name]; !ok {
 			t.Errorf("WAL-backed primary metrics missing %q (got %d rows)", name, len(mm))
 		}
@@ -49,6 +49,10 @@ func TestMetricsDurabilityRows(t *testing.T) {
 	}
 	if got := mm["wal_seq"]; got != l.Seq() {
 		t.Errorf("wal_seq row = %d, want %d", got, l.Seq())
+	}
+	// No window is open (Sync-off log), so the durable tail equals the tail.
+	if got := mm["wal_durable"]; got != mm["wal_seq"] {
+		t.Errorf("wal_durable row = %d, want wal_seq %d", got, mm["wal_seq"])
 	}
 }
 

@@ -505,6 +505,11 @@ func (r *Replica) applyBatch(b rtwire.WalBatch) error {
 		r.Repl.GapResubscribes.Add(1)
 		return errGap
 	}
+	// Decode the fresh suffix, then land it with ONE fsync via AppendBatch —
+	// the primary ships whole commit batches, and the follower pays one
+	// fsync per shipped batch instead of one per event, so its durability
+	// cadence matches the primary's group-commit cadence.
+	fresh := make([]wal.Event, 0, len(b.Events))
 	for i, p := range b.Events {
 		es := b.FirstSeq + uint64(i)
 		if es <= seq {
@@ -515,12 +520,17 @@ func (r *Replica) applyBatch(b rtwire.WalBatch) error {
 		if !ok {
 			return fmt.Errorf("replica: undecodable record at seq %d", es)
 		}
-		if err := r.log.Append(e); err != nil {
-			return err
-		}
-		seq = r.log.Seq()
+		fresh = append(fresh, e)
+	}
+	applied, aerr := r.log.AppendBatch(fresh)
+	// On a mid-batch error exactly the prefix [0,applied) reached the log's
+	// state; the mirror must absorb the same prefix or degraded reads drift.
+	for _, e := range fresh[:applied] {
 		r.mirrorApplyLocked(e)
 		r.Repl.EventsApplied.Add(1)
+	}
+	if aerr != nil {
+		return aerr
 	}
 	r.Repl.BatchesIn.Add(1)
 	r.finishApplyLocked()

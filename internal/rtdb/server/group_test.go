@@ -1,0 +1,88 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"rtc/internal/deadline"
+	"rtc/internal/faultfs"
+	wal "rtc/internal/rtdb/log"
+)
+
+// TestGroupCommitAckBarrier: with group commit enabled the server must not
+// acknowledge state-dependent work before the covering fsync. The window
+// here is an hour long, so the test only passes if the server's own
+// durability barriers seal it: Flush closes the open window, and a firm
+// query's WAL record seals it at append. A server that forgot either
+// barrier hangs here for the rest of the window.
+func TestGroupCommitAckBarrier(t *testing.T) {
+	mem := faultfs.NewMem(31)
+	l, err := wal.Open(wal.Options{
+		Dir: "wal", FS: mem, SegmentSize: 1 << 20, SnapshotEvery: 1 << 20,
+		Sync: true, GroupWindow: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cfg := testConfig()
+	cfg.Log = l
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+	c := s.Session(0)
+
+	if err := c.InjectSample("temp", "21"); err != nil {
+		t.Fatal(err)
+	}
+	// Flush is a durability barrier: it must close the commit window and
+	// return only after the sample's WAL record is fsynced.
+	flushed := make(chan error, 1)
+	go func() { flushed <- c.Flush() }()
+	select {
+	case err := <-flushed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Flush stuck behind the open commit window: the barrier never sealed it")
+	}
+	if ds, sq := l.DurableSeq(), l.Seq(); ds != sq {
+		t.Fatalf("Flush acked with DurableSeq=%d Seq=%d: replied before the fsync", ds, sq)
+	}
+	if st := l.Stats(); st.GroupCommits == 0 {
+		t.Fatal("barrier flush never produced a group commit")
+	}
+
+	// A firm query's own WAL record seals the window (§4.1: firm acks stay
+	// off the window's tail latency) — its reply must not wait out the hour.
+	type result struct {
+		resp Response
+		err  error
+	}
+	answered := make(chan result, 1)
+	go func() {
+		resp, err := c.Query(QueryRequest{
+			Query: "status_q", Candidate: "ok",
+			Kind: deadline.Firm, Deadline: 1000, MinUseful: 1,
+		})
+		answered <- result{resp, err}
+	}()
+	select {
+	case r := <-answered:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if !r.resp.Match || r.resp.Missed {
+			t.Fatalf("firm query under group commit: %+v", r.resp)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("firm query reply waited on the window: its firm append did not seal it")
+	}
+	if ds, sq := l.DurableSeq(), l.Seq(); ds != sq {
+		t.Fatalf("firm reply with DurableSeq=%d Seq=%d: acked before its record's fsync", ds, sq)
+	}
+}

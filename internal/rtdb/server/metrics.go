@@ -77,6 +77,11 @@ type Metrics struct {
 	FsyncCount    atomic.Uint64
 	FsyncNanos    atomic.Uint64
 	FsyncMaxNanos atomic.Uint64
+	// Group-commit counters (mirrored from the WAL's stats): batches
+	// released by one fsync, and the appends whose durability rode them.
+	// GroupedAppends / GroupCommits is the realized amortization factor.
+	GroupCommits   atomic.Uint64
+	GroupedAppends atomic.Uint64
 }
 
 // MetricsSnapshot is a plain copy of the counters at one instant.
@@ -98,6 +103,7 @@ type MetricsSnapshot struct {
 
 	WalAppends, WalErrors                 uint64
 	FsyncCount, FsyncNanos, FsyncMaxNanos uint64
+	GroupCommits, GroupedAppends          uint64
 }
 
 // Snapshot copies the counters.
@@ -133,6 +139,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		FsyncCount:       m.FsyncCount.Load(),
 		FsyncNanos:       m.FsyncNanos.Load(),
 		FsyncMaxNanos:    m.FsyncMaxNanos.Load(),
+		GroupCommits:     m.GroupCommits.Load(),
+		GroupedAppends:   m.GroupedAppends.Load(),
 	}
 }
 
@@ -242,6 +250,8 @@ func (s MetricsSnapshot) Pairs() []MetricPair {
 		{"fsync_count", s.FsyncCount},
 		{"fsync_total_ns", s.FsyncNanos},
 		{"fsync_max_ns", s.FsyncMaxNanos},
+		{"group_commits", s.GroupCommits},
+		{"grouped_appends", s.GroupedAppends},
 	}
 }
 

@@ -166,6 +166,12 @@ type Server struct {
 	// sessLabels precomputes the "s<i>" WAL session labels.
 	sessLabels []string
 
+	// lastTicket is the newest WAL commit ticket the apply loop produced —
+	// the durability frontier a barrier or query ack must wait behind when
+	// the log batches fsyncs (group commit). Apply-loop-owned: only read
+	// and written from step, never concurrently.
+	lastTicket *wal.Ticket
+
 	Metrics  Metrics
 	periodic []*periodicState
 	subs     *sub.Table
@@ -403,12 +409,20 @@ func (s *Server) step(r request) {
 		s.advance(now + 1)
 	case reqQuery:
 		resp := s.serveQuery(r, now)
-		r.reply <- resp
+		// The session's ack waits for the query's WAL issue record to be
+		// fsynced (a no-op outside group-commit mode); a firm query sealed
+		// the window in serveQuery, so its ack is not window-delayed.
+		s.replyAfterDurable(r.reply, resp)
 	case reqTick:
 		s.tickTo(now + timeseq.Time(r.chronons))
 		r.reply <- Response{Served: timeseq.Time(s.clock.Load())}
 	case reqBarrier:
-		r.reply <- Response{Served: now}
+		// Flush is the durability barrier: close the open commit window so
+		// the batch leader fsyncs now, and ack once it has.
+		if t := s.lastTicket; t != nil && !t.Resolved() && s.cfg.Log != nil {
+			s.cfg.Log.CloseWindow()
+		}
+		s.replyAfterDurable(r.reply, Response{Served: now})
 	case reqApply:
 		r.do()
 		r.reply <- Response{Served: now}
@@ -494,8 +508,8 @@ func (s *Server) serveQuery(r request, now timeseq.Time) Response {
 	}
 	s.advance(finish)
 	if s.cfg.Log != nil {
-		s.walAppend(wal.Query(r.issue, s.sessLabels[r.session], r.q.Query, r.q.Candidate,
-			uint64(r.q.Kind), uint64(r.q.Deadline), r.q.MinUseful))
+		s.walAppendFirm(wal.Query(r.issue, s.sessLabels[r.session], r.q.Query, r.q.Candidate,
+			uint64(r.q.Kind), uint64(r.q.Deadline), r.q.MinUseful), r.q.Kind == deadline.Firm)
 	}
 
 	resp.Useful = useful
@@ -551,16 +565,48 @@ func (s *Server) drainFirings(now timeseq.Time) {
 	}
 }
 
-// walAppend appends one event when a log is configured.
-func (s *Server) walAppend(e wal.Event) {
+// walAppend appends one event when a log is configured, returning the
+// commit ticket the caller may wait on for durability (nil when there is
+// no log or the append was rejected). The append itself never blocks on
+// the commit window — with group commit enabled the fsync happens later,
+// and acks that require durability park on the ticket off the apply loop.
+func (s *Server) walAppend(e wal.Event) *wal.Ticket {
+	return s.walAppendFirm(e, false)
+}
+
+// walAppendFirm is walAppend with an immediate-flush request: firm seals
+// the open commit window so a firm-deadline ack is never held hostage to
+// the window's tail — the §4.1 admission promise extends through the WAL.
+func (s *Server) walAppendFirm(e wal.Event, firm bool) *wal.Ticket {
 	if s.cfg.Log == nil {
-		return
+		return nil
 	}
-	if err := s.cfg.Log.Append(e); err != nil {
+	t, err := s.cfg.Log.AppendTicket(e, firm)
+	if err != nil {
 		s.Metrics.WalErrors.Add(1)
-		return
+		return nil
 	}
 	s.Metrics.WalAppends.Add(1)
+	s.lastTicket = t
+	return t
+}
+
+// replyAfterDurable delivers a response once the newest WAL append this
+// request produced is fsynced — group commit's ack-after-fsync discipline.
+// With no log, per-append fsync, or an already-committed batch the reply
+// is immediate; otherwise a goroutine parks on the ticket so the apply
+// loop keeps serving other sessions while the window fills. The reply
+// channel is buffered, so the send cannot block even when the requester
+// abandoned the wait at shutdown.
+func (s *Server) replyAfterDurable(reply chan Response, resp Response) {
+	if t := s.lastTicket; t != nil && !t.Resolved() {
+		go func() {
+			_ = t.Wait()
+			reply <- resp
+		}()
+		return
+	}
+	reply <- resp
 }
 
 // syncLogStats copies the log's fsync counters into the metrics block.
@@ -569,6 +615,8 @@ func (s *Server) syncLogStats() {
 	s.Metrics.FsyncCount.Store(st.FsyncCount)
 	s.Metrics.FsyncNanos.Store(st.FsyncNanos)
 	s.Metrics.FsyncMaxNanos.Store(st.FsyncMaxNanos)
+	s.Metrics.GroupCommits.Store(st.GroupCommits)
+	s.Metrics.GroupedAppends.Store(st.GroupedAppends)
 }
 
 // maybePublish publishes a fresh HistoricalDatabase snapshot when the

@@ -119,6 +119,7 @@ func (c Config) failoverPoint(events []wal.Event, at uint64) (done bool, fail *F
 		WAL: wal.Options{
 			Dir: replDir, FS: memR, SegmentSize: c.SegmentSize,
 			SnapshotEvery: c.SnapshotEvery, Sync: true,
+			GroupWindow: c.GroupWindow,
 		},
 		Name:     "torture-follower",
 		Catalog:  failoverCatalog(),
@@ -248,6 +249,7 @@ func (c Config) failoverPoint(events []wal.Event, at uint64) (done bool, fail *F
 	l2, err := wal.Open(wal.Options{
 		Dir: replDir, FS: memR, SegmentSize: c.SegmentSize,
 		SnapshotEvery: c.SnapshotEvery, Sync: true,
+		GroupWindow: c.GroupWindow,
 	})
 	if err != nil {
 		return false, mkFail("reopen promoted log: %v", err)

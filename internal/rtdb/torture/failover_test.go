@@ -1,6 +1,9 @@
 package torture
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestFailoverSweepShort is the tier-1 bounded variant: a handful of kill
 // points with a live replica and a promotion at each one.
@@ -20,6 +23,18 @@ func TestFailoverSweepFull(t *testing.T) {
 	if rep.Points < 200 {
 		t.Fatalf("full sweep exercised only %d kill points, want >= 200", rep.Points)
 	}
+}
+
+// TestFailoverGroupCommit re-runs the failover sweep with group commit
+// enabled on both the primary and the replica WAL. The driver appends one
+// event at a time and blocks for the replica's ack, so each append is a
+// batch of one — the point is that the grouped code path (tickets, release
+// at fsync, tail publication at durability, AppendBatch on the follower)
+// preserves the replicated invariant acked ≤ n ≤ acked+1 at every kill
+// point.
+func TestFailoverGroupCommit(t *testing.T) {
+	rep := Config{Seed: 3, Events: 40, Stride: 23, GroupWindow: 50 * time.Microsecond, Logf: t.Logf}.FailoverSweep()
+	report(t, rep)
 }
 
 // TestFailoverPointRepro pins one kill point the way `rttorture -mode

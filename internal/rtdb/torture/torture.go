@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"rtc/internal/faultfs"
 	wal "rtc/internal/rtdb/log"
@@ -62,6 +63,10 @@ type Config struct {
 	// NoSync disables per-append fsync; the invariant then weakens to
 	// "recovered state is a prefix of the issued events" (0 ≤ n ≤ issued).
 	NoSync bool
+	// GroupWindow, when > 0, enables leader-based group commit on every WAL
+	// the sweep opens (wal.Options.GroupWindow): appends batch their fsyncs
+	// behind a commit window instead of paying one each.
+	GroupWindow time.Duration
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -181,6 +186,7 @@ func (c Config) walOptions(fs faultfs.FS) wal.Options {
 		SegmentSize:   c.SegmentSize,
 		SnapshotEvery: c.SnapshotEvery,
 		Sync:          !c.NoSync,
+		GroupWindow:   c.GroupWindow,
 	}
 }
 

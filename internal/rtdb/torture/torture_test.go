@@ -75,6 +75,20 @@ func TestChaosShort(t *testing.T) {
 	}
 }
 
+func TestGroupCommitSweepShort(t *testing.T) {
+	rep := Config{Seed: 6, Events: 40, Stride: 3, Logf: t.Logf}.GroupCommitSweep()
+	report(t, rep)
+}
+
+func TestGroupCommitPointRepro(t *testing.T) {
+	// The -at reproduction path pins one fault point per sweep half.
+	rep := Config{Seed: 6, Events: 40, At: 17}.GroupCommitSweep()
+	if rep.Points < 1 || rep.Points > 2 {
+		t.Fatalf("At=17 ran %d points, want 1 or 2 (one per sweep half)", rep.Points)
+	}
+	report(t, rep)
+}
+
 func TestFailureRepro(t *testing.T) {
 	f := Failure{Mode: ModeCrash, Seed: 9, At: 41, Events: 90}
 	want := "go run ./cmd/rttorture -mode crash -seed 9 -at 41 -events 90"
