@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-grid race-rtdb race-net race-repl race-sub race-gc bench bench-json fuzz torture torture-short torture-failover soak-short examples experiments clean
+.PHONY: all build vet test race race-grid race-rtdb race-net race-repl race-sub race-gc race-shard bench bench-json fuzz torture torture-short torture-failover torture-shard soak-short examples experiments clean
 
 all: build vet test
 
@@ -46,17 +46,27 @@ race-repl:
 race-gc:
 	$(GO) test -race -run='GroupCommit|Group(Window|Single|Firm|Batch|FsyncFailure|Close|Tail|Amortized)|AppendBatch|BatchedShipping' ./internal/rtdb/log/ ./internal/rtdb/server/ ./internal/rtdb/replica/
 
+# Keyspace sharding under the race detector: the 8-shard × 32-writer
+# hammer (concurrent routed samples, queries, ticks, and flushes against
+# the cross-shard conservation sums), the differential suite that replays
+# every sharded run against a single-shard oracle, and the sharded
+# failover sweep with its placement-announcing Welcome.
+race-shard:
+	$(GO) test -race -run='TestRaceShard|TestShard' ./internal/rtdb/server/
+	$(GO) test -race -run='TestShard|TestFailoverSharded' ./internal/rtdb/netserve/ ./internal/rtdb/replica/ ./internal/rtdb/torture/
+
 # Standing queries under the race detector: the sub package's queue/table,
 # the SUB-xxx conformance suite on both transports, and the 32-subscriber ×
 # 4-writer hammer with a mid-flight listener drain and resume.
 race-sub:
 	$(GO) test -race ./internal/rtdb/sub/ ./internal/rtdb/subspec/
 
-# Full crash-torture sweep: ~900 deterministic fault points (power cuts at
+# Full crash-torture sweep: deterministic fault points (power cuts at
 # every mutating op, transient EIO / torn writes on every data write,
-# snapshot rename failures, and the concurrent server chaos run) across 3
-# seeds. Every recovery is checked against the deep-equal recovery
-# invariant; a failure prints a one-command seed reproduction.
+# snapshot rename failures, the sharded-deployment victim sweep, and the
+# concurrent server chaos run) across 3 seeds. Every recovery is checked
+# against the deep-equal recovery invariant; a failure prints a
+# one-command seed reproduction.
 torture:
 	$(GO) run ./cmd/rttorture -mode all -seeds 3 -events 90 -v
 
@@ -65,6 +75,14 @@ torture:
 torture-short:
 	$(GO) test -race -count=1 ./internal/faultfs/ ./internal/rtdb/torture/
 	$(GO) run ./cmd/rttorture -mode all -seeds 1 -events 60 -stride 2
+
+# Full shard sweep: crash one shard's WAL at every fault point of a
+# 4-shard deployment — rotating the victim through every shard — while the
+# others keep committing. Each point checks the victim's durability bound
+# (acked ≤ n ≤ acked+1), exact survivor recovery, the cross-shard
+# conservation sum, and that the consistent read horizon never regresses.
+torture-shard:
+	$(GO) run ./cmd/rttorture -mode shard -seeds 3 -events 160 -v
 
 # Full failover sweep: kill the primary at every WAL fault point, promote
 # the replica, and assert the durability bound (acked ≤ survived ≤ acked+1),
@@ -104,6 +122,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzSegmentRecovery -fuzztime=20s ./internal/rtdb/log/
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=20s ./internal/rtwire/
 	$(GO) test -fuzz=FuzzRequestRoundTrip -fuzztime=20s ./internal/rtwire/
+	$(GO) test -fuzz=FuzzShardRoute -fuzztime=20s ./internal/rtwire/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -44,6 +44,7 @@ func main() {
 	var (
 		dir      = flag.String("dir", "", "WAL directory (empty: run without durability)")
 		listen   = flag.String("listen", "", "serve rtwire over TCP on this address until interrupted (empty: run the synthetic workload)")
+		shards   = flag.Int("shards", 1, "shard the keyspace over this many single-shard stacks, one WAL directory and one listener each (1: unsharded, byte-identical layout)")
 		sessions = flag.Int("sessions", 8, "server sessions == max concurrent connections")
 		ops      = flag.Int("ops", 200, "operations per synthetic connection")
 		segSize  = flag.Int64("segment-size", 1<<20, "WAL segment rotation size (bytes)")
@@ -65,9 +66,12 @@ func main() {
 		startPprof(*pprofAddr)
 	}
 	var err error
-	if *replicaOf != "" {
+	switch {
+	case *replicaOf != "":
 		err = runReplica(*dir, *listen, *replicaOf, *promoteAfter, *sessions, *segSize, *snapshot, *fsync, *fsyncWin, *evalCost, *queue)
-	} else {
+	case *shards > 1:
+		err = runSharded(*dir, *listen, *shards, *sessions, *ops, *segSize, *snapshot, *fsync, *fsyncWin, *evalCost, *deadln, *queue)
+	default:
 		err = run(*dir, *listen, *sessions, *ops, *segSize, *snapshot, *fsync, *fsyncWin, *promote, *evalCost, *deadln, *queue)
 	}
 	if err != nil {

@@ -1,0 +1,232 @@
+// Sharded rtdbd: -shards N composes N complete single-shard stacks — one
+// WAL directory (dir/shard-NN), one apply loop, one rtwire listener each —
+// behind the deterministic rtwire.ShardOf router. Clients compute placement
+// with the same hash, so the synthetic driver here routes exactly the way a
+// remote rtdbload -shard-addrs run does.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtdb"
+	"rtc/internal/rtdb/client"
+	wal "rtc/internal/rtdb/log"
+	"rtc/internal/rtdb/netserve"
+	"rtc/internal/rtdb/server"
+	"rtc/internal/timeseq"
+)
+
+// queryHome maps the demo catalog's queries to the object whose shard owns
+// their read set: both status_q (derives status from temp+limit) and temp_q
+// read temp, so both live on temp's shard.
+func queryHome() map[string]string {
+	return map[string]string{"status_q": "temp", "temp_q": "temp"}
+}
+
+// sensorImages widens the demo keyspace for a sharded run: the unsharded
+// demo's two images hash to one shard, so the sharded deployment adds a
+// bank of sensors that rtwire.ShardOf spreads across every lane. rtdbload
+// -shard-addrs drives the same names.
+const sensorBank = 16
+
+func sensorName(i int) string { return fmt.Sprintf("sensor-%02d", i%sensorBank) }
+
+func runSharded(dir, listen string, shards, sessions, ops int, segSize int64, snapshot uint64,
+	fsync bool, fsyncWin time.Duration, evalCost, deadln uint64, queue int) error {
+	cfg := serverConfig(sessions, queue, evalCost)
+	for i := 0; i < sensorBank; i++ {
+		cfg.Spec.Images = append(cfg.Spec.Images, &rtdb.ImageObject{Name: sensorName(i), Period: 5})
+	}
+
+	var logs []*wal.Log
+	if dir != "" {
+		logs = make([]*wal.Log, shards)
+		for i := range logs {
+			l, err := wal.Open(wal.Options{
+				Dir: server.ShardDir(dir, i, shards), SegmentSize: segSize,
+				SnapshotEvery: snapshot, Sync: fsync, GroupWindow: fsyncWin,
+			})
+			if err != nil {
+				return err
+			}
+			defer l.Close()
+			logs[i] = l
+			if st := l.State(); st.Events > 0 {
+				fmt.Printf("shard %d: recovered %d events through chronon %d\n", i, st.Events, st.LastAt)
+			}
+		}
+	}
+
+	ss, err := server.NewSharded(server.ShardedConfig{
+		Base: cfg, Shards: shards, Logs: logs, QueryHome: queryHome(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := ss.RegisterPeriodic(server.PeriodicQuery{
+		Name: "status-watch", Query: "status_q",
+		Issue: ss.Now(), Period: 11,
+		Kind: deadline.Firm, Deadline: timeseq.Time(evalCost) + 3, MinUseful: 1,
+	}); err != nil {
+		return err
+	}
+	ss.Start()
+
+	// One listener per shard: with -listen host:port, shard i serves on
+	// port+i; synthetic mode uses ephemeral loopback ports.
+	set := netserve.NewShardSet(ss, netserve.Options{HeartbeatInterval: time.Second})
+	addrs := make([]string, shards)
+	for i, ns := range set {
+		a := "127.0.0.1:0"
+		if listen != "" {
+			host, port, err := net.SplitHostPort(listen)
+			if err != nil {
+				ss.Stop()
+				return fmt.Errorf("-listen %q: %w", listen, err)
+			}
+			p, err := strconv.Atoi(port)
+			if err != nil {
+				ss.Stop()
+				return fmt.Errorf("-listen %q: port must be numeric with -shards: %w", listen, err)
+			}
+			a = net.JoinHostPort(host, strconv.Itoa(p+i))
+		}
+		bound, err := ns.Listen(a)
+		if err != nil {
+			ss.Stop()
+			return err
+		}
+		addrs[i] = bound.String()
+		fmt.Printf("shard %d/%d serving rtwire on %s\n", i, shards, addrs[i])
+	}
+	closeAll := func() {
+		for _, ns := range set {
+			_ = ns.Close()
+		}
+	}
+
+	if listen != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\ndraining...")
+	} else if err := syntheticSharded(addrs, cfg.Sessions, ops, deadln); err != nil {
+		closeAll()
+		ss.Stop()
+		return err
+	}
+
+	closeAll()
+	ss.Stop()
+	return reportSharded(ss, logs)
+}
+
+// syntheticSharded drives the same op mix as the unsharded synthetic run,
+// but through client-side placement: every connection holds one client per
+// shard listener and routes each sample to rtwire.ShardOf's owner, each
+// query to its home shard — the placement contract exercised end to end.
+func syntheticSharded(addrs []string, conns, ops int, deadln uint64) error {
+	home := queryHome()
+	errs := make(chan error, conns)
+	done := make(chan struct{}, conns)
+	perShard := make([]uint64, len(addrs))
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		go func(id int) {
+			defer func() { done <- struct{}{} }()
+			cs := make([]*client.Client, len(addrs))
+			for s, addr := range addrs {
+				c, err := client.Dial(addr, client.Options{Name: fmt.Sprintf("syn-%d-%d", id, s)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer c.Close()
+				cs[s] = c
+			}
+			route := func(object string) *client.Client { return cs[cs[0].ShardFor(object)] }
+			for op := 0; op < ops; op++ {
+				switch op % 5 {
+				case 0:
+					_ = route("temp").InjectSample("temp", strconv.Itoa(18+(id*7+op)%12))
+				case 1:
+					sensor := sensorName(id + op)
+					_ = route(sensor).InjectSample(sensor, strconv.Itoa(op%100))
+				case 2:
+					_ = route("pressure").InjectSample("pressure", strconv.Itoa(99+(id+op)%4))
+				case 3:
+					_, _ = route(home["status_q"]).Query(client.Query{
+						Query: "status_q", Candidate: "ok",
+						Kind: deadline.Firm, Deadline: timeseq.Time(deadln), MinUseful: 1,
+					})
+				case 4:
+					_, _ = route(home["temp_q"]).Query(client.Query{Query: "temp_q"})
+				}
+			}
+			for _, c := range cs {
+				if err := c.Flush(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < conns; i++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+
+	// Per-shard throughput, from each listener's own books: the shard label
+	// rows identify the lane, the unchanged base names carry the counters.
+	fmt.Println()
+	var total uint64
+	for s, addr := range addrs {
+		c, err := client.Dial(addr, client.Options{Name: "syn-report"})
+		if err != nil {
+			return err
+		}
+		m, err := c.Metrics()
+		c.Close()
+		if err != nil {
+			return err
+		}
+		mm := m.Map()
+		perShard[s] = mm["samples_applied"]
+		total += perShard[s]
+		fmt.Printf("shard %d: %d samples applied (%.0f/s), %d queries, wal_seq %d\n",
+			s, perShard[s], float64(perShard[s])/elapsed.Seconds(), mm["queries_in"], mm["wal_seq"])
+	}
+	fmt.Printf("all shards: %d samples in %v (%.0f/s aggregate)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	return nil
+}
+
+// reportSharded prints the aggregated metrics table and checks the
+// cross-shard conservation law: each shard's block satisfies it
+// independently, so the sum must too.
+func reportSharded(ss *server.ShardedServer, logs []*wal.Log) error {
+	m := ss.MetricsSnapshot()
+	fmt.Println()
+	fmt.Print(m.Table())
+	if got, want := m.QueriesIn, m.QueriesAccounted(); got != want {
+		return fmt.Errorf("cross-shard conservation violated: %d queries in, %d accounted", got, want)
+	}
+	fmt.Printf("\ncross-shard conservation: %d queries in == %d rejected + %d hit + %d missed + %d no-deadline ✓\n",
+		m.QueriesIn, m.QueriesRejected, m.DeadlineHit, m.DeadlineMiss, m.NoDeadline)
+	for i, l := range logs {
+		fmt.Printf("shard %d WAL: seq %d, %d events\n", i, l.Seq(), l.State().Events)
+	}
+	return nil
+}

@@ -43,10 +43,14 @@ func main() {
 		fanout  = flag.Int("fanout", 0, "standing-query fan-out mode: this many push subscribers watching status_q (0: run the mixed load)")
 		writers = flag.Int("writers", 4, "fanout mode: writer connections driving the clock")
 		period  = flag.Uint64("period", 2, "fanout mode: subscription period (chronons)")
+
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated per-shard rtwire addresses (shard 0 first): route the mixed load by client-side placement and report per-shard throughput")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *shardAddrs != "":
+		err = runSharded(*shardAddrs, *conns, *ops, *deadln, *chronon)
 	case *soak > 0:
 		err = runSoak(*addr, *soak, *soakFactor, *chronon)
 	case *fanout > 0:

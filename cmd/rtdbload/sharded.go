@@ -1,0 +1,147 @@
+// Sharded load: -shard-addrs drives a rtdbd -shards deployment through
+// client-side placement. Every connection holds one client per shard
+// listener, routes each sample with rtwire.ShardOf (the Welcome-announced
+// deployment width), and the report breaks throughput out per shard —
+// including each shard's own wal_seq durability watermark, read by name
+// from its labelled metrics table.
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtc/internal/deadline"
+	"rtc/internal/rtdb/client"
+	"rtc/internal/timeseq"
+)
+
+// sensorName mirrors the sharded rtdbd demo bank: 16 sensors spread over
+// the shards by the placement hash.
+func sensorName(i int) string { return fmt.Sprintf("sensor-%02d", i%16) }
+
+func runSharded(list string, conns, ops int, deadln uint64, chronon time.Duration) error {
+	addrs := strings.Split(list, ",")
+	shards := len(addrs)
+	perShard := make([]atomic.Uint64, shards)
+	var queries, hits, misses atomic.Uint64
+
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cs := make([]*client.Client, shards)
+			for s, addr := range addrs {
+				c, err := client.Dial(addr, client.Options{
+					Name:            fmt.Sprintf("load-%d-%d", id, s),
+					ChrononDuration: chronon,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer c.Close()
+				if got := c.Shards(); got != uint64(shards) {
+					errs <- fmt.Errorf("listener %s announces %d shards, -shard-addrs lists %d", addr, got, shards)
+					return
+				}
+				if got := c.Shard(); got != uint64(s) {
+					errs <- fmt.Errorf("listener %s is shard %d, listed at position %d (order -shard-addrs shard 0 first)", addr, got, s)
+					return
+				}
+				cs[s] = c
+			}
+			route := func(object string) (*client.Client, int) {
+				s := int(cs[0].ShardFor(object))
+				return cs[s], s
+			}
+			inject := func(object, value string) {
+				c, s := route(object)
+				if c.InjectSample(object, value) == nil {
+					perShard[s].Add(1)
+				}
+			}
+			for op := 0; op < ops; op++ {
+				switch op % 5 {
+				case 0:
+					inject("temp", strconv.Itoa(18+(id*7+op)%12))
+				case 1:
+					sensor := sensorName(id + op)
+					inject(sensor, strconv.Itoa(op%100))
+				case 2:
+					inject("pressure", strconv.Itoa(99+(id+op)%4))
+				case 3, 4:
+					// Both demo queries read temp's shard.
+					c, _ := route("temp")
+					res, err := c.Query(client.Query{
+						Query: "status_q", Candidate: "ok",
+						Kind: deadline.Firm, Deadline: timeseq.Time(deadln), MinUseful: 1,
+					})
+					queries.Add(1)
+					if err == nil && !res.Missed && !res.ExpiredOnArrival {
+						hits.Add(1)
+					} else {
+						misses.Add(1)
+					}
+				}
+			}
+			for _, c := range cs {
+				if err := c.Flush(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+
+	fmt.Printf("%d conns × %d ops over %d shards in %v\n",
+		conns, ops, shards, elapsed.Round(time.Millisecond))
+	fmt.Printf("queries: %d  hit %d  miss %d\n", queries.Load(), hits.Load(), misses.Load())
+
+	// Per-shard throughput and durability, from each listener's own books.
+	var totalSamples, totalIn, totalAccounted uint64
+	for s, addr := range addrs {
+		c, err := client.Dial(addr, client.Options{Name: "load-shard-report"})
+		if err != nil {
+			return err
+		}
+		m, err := c.Metrics()
+		c.Close()
+		if err != nil {
+			return err
+		}
+		mm := m.Map()
+		if got, ok := mm["shard"]; !ok || got != uint64(s) {
+			return fmt.Errorf("listener %s metrics label shard=%d (present=%v), want %d", addr, got, ok, s)
+		}
+		acked := perShard[s].Load()
+		totalSamples += acked
+		totalIn += mm["queries_in"]
+		totalAccounted += mm["queries_rejected"] + mm["deadline_hit"] + mm["deadline_miss"] + mm["no_deadline"]
+		fmt.Printf("shard %d: %6d acked samples (%7.0f/s)  applied %6d  wal_seq %d\n",
+			s, acked, float64(acked)/elapsed.Seconds(), mm["samples_applied"], mm["wal_seq"])
+	}
+	fmt.Printf("all shards: %d acked samples (%.0f/s aggregate)\n",
+		totalSamples, float64(totalSamples)/elapsed.Seconds())
+
+	// Cross-shard conservation: each shard's books satisfy the law
+	// independently, so the sums must too.
+	if totalIn != totalAccounted {
+		return fmt.Errorf("cross-shard conservation violated: %d queries in, %d accounted", totalIn, totalAccounted)
+	}
+	fmt.Printf("cross-shard conservation: %d queries in == %d accounted ✓\n", totalIn, totalAccounted)
+	return nil
+}

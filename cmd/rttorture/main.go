@@ -24,12 +24,14 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "all", "fault family: all|crash|eio|rename|chaos|failover|groupcommit")
+		mode    = flag.String("mode", "all", "fault family: all|crash|eio|rename|chaos|failover|groupcommit|shard")
 		seed    = flag.Uint64("seed", 1, "base sweep seed")
 		seeds   = flag.Int("seeds", 1, "number of consecutive seeds to sweep")
 		events  = flag.Int("events", 90, "workload length")
 		stride  = flag.Int("stride", 1, "test every Nth fault point")
 		at      = flag.Uint64("at", 0, "single fault point (reproduction mode)")
+		shards  = flag.Int("shards", 4, "deployment width of the shard sweep")
+		victim  = flag.Int("victim", 0, "shard whose WAL takes the cut when -at pins one shard-sweep point")
 		nosync  = flag.Bool("nosync", false, "disable per-append fsync (weakens the durability bound)")
 		gcwin   = flag.Duration("fsync-window", 0, "run the crash/eio/rename/failover sweeps with this group-commit window (0: per-append fsync; groupcommit mode always batches)")
 		corpus  = flag.String("corpus", "", "directory to export failing crash images as fuzz corpus seeds")
@@ -45,8 +47,8 @@ func main() {
 	want := func(m torture.Mode) bool {
 		return *mode == "all" || *mode == string(m)
 	}
-	if !want(torture.ModeCrash) && !want(torture.ModeEIO) && !want(torture.ModeRename) && !want(torture.ModeChaos) && !want(torture.ModeFailover) && !want(torture.ModeGroupCommit) {
-		fmt.Fprintf(os.Stderr, "rttorture: unknown -mode %q (want all|crash|eio|rename|chaos|failover|groupcommit)\n", *mode)
+	if !want(torture.ModeCrash) && !want(torture.ModeEIO) && !want(torture.ModeRename) && !want(torture.ModeChaos) && !want(torture.ModeFailover) && !want(torture.ModeGroupCommit) && !want(torture.ModeShard) {
+		fmt.Fprintf(os.Stderr, "rttorture: unknown -mode %q (want all|crash|eio|rename|chaos|failover|groupcommit|shard)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -55,6 +57,7 @@ func main() {
 		s := *seed + uint64(i)
 		cfg := torture.Config{
 			Seed: s, Events: *events, Stride: *stride, At: *at,
+			Shards: *shards, Victim: *victim,
 			NoSync: *nosync, GroupWindow: *gcwin, Logf: logf,
 		}
 		if want(torture.ModeCrash) {
@@ -71,6 +74,9 @@ func main() {
 		}
 		if want(torture.ModeGroupCommit) {
 			total.Merge(cfg.GroupCommitSweep())
+		}
+		if want(torture.ModeShard) {
+			total.Merge(cfg.ShardSweep())
 		}
 		if want(torture.ModeChaos) {
 			rep := torture.Chaos(torture.ChaosConfig{Seed: s, Logf: logf})

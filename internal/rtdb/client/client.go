@@ -208,6 +208,8 @@ type Client struct {
 	lastAddr string // address of the previous successful connection
 	role     rtwire.Role
 	epoch    uint64 // highest fencing epoch seen in any Welcome/PromoteInfo
+	shard    uint64 // this listener's shard index, from the Welcome
+	shards   uint64 // deployment width announced in the Welcome (>=1)
 
 	pmu     sync.Mutex
 	pending map[uint64]chan any
@@ -315,6 +317,10 @@ func (c *Client) connectOneLocked() error {
 		c.epoch = m.Epoch
 		c.role = m.Role
 		c.Session = m.Session
+		c.shard, c.shards = m.Shard, m.Shards
+		if c.shards == 0 {
+			c.shards = 1
+		}
 	case rtwire.Err:
 		return fail(conn, m)
 	default:
@@ -419,6 +425,42 @@ func (c *Client) Epoch() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.epoch
+}
+
+// Shard returns the shard index announced by the connected listener (0
+// when unsharded).
+func (c *Client) Shard() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shard
+}
+
+// Shards returns the deployment width announced by the connected listener
+// (1 when unsharded).
+func (c *Client) Shards() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards
+}
+
+// ShardFor computes the owning shard of an object under the deployment
+// width the connected listener announced — the client-side half of the
+// placement contract: rtwire.ShardOf is part of the on-disk format, so a
+// client can route each object to its shard's listener without asking.
+func (c *Client) ShardFor(object string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shards <= 1 {
+		return 0
+	}
+	return uint64(rtwire.ShardOf(object, int(c.shards)))
+}
+
+// Owns reports whether the connected listener's shard owns the object.
+func (c *Client) Owns(object string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards <= 1 || uint64(rtwire.ShardOf(object, int(c.shards))) == c.shard
 }
 
 // readLoop dispatches incoming frames to waiting callers until the

@@ -260,6 +260,9 @@ func (c *conn) dispatch(f rtwire.Frame) bool {
 	case rtwire.MetricsReq:
 		snap := c.n.srv.Metrics.Snapshot()
 		pairs := snap.Pairs()
+		if c.n.opt.Shards > 1 {
+			pairs = snap.PairsSharded(c.n.opt.Shard, c.n.opt.Shards)
+		}
 		wp := make([]rtwire.MetricPair, 0, len(pairs)+wireMetricCount)
 		for _, p := range pairs {
 			wp = append(wp, rtwire.MetricPair{Name: p.Name, Value: p.Value})

@@ -65,6 +65,12 @@ type Options struct {
 	// overflow the log drops (never blocks) and the sender falls back to
 	// catch-up from the segments (default 1024).
 	TailBuffer int
+	// Shard and Shards place this listener in a sharded deployment: the
+	// Welcome frame advertises them so clients verify placement against
+	// rtwire.ShardOf and route object traffic to the owning shard's
+	// listener. The zero values mean unsharded (Shards defaults to 1).
+	Shard  int
+	Shards int
 }
 
 func (o *Options) defaults() {
@@ -94,6 +100,9 @@ func (o *Options) defaults() {
 	}
 	if o.TailBuffer <= 0 {
 		o.TailBuffer = 1024
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 }
 
@@ -150,6 +159,23 @@ func New(srv *server.Server, opt Options) *Server {
 		n.pool <- id
 	}
 	return n
+}
+
+// NewShardSet wraps every shard of a sharded deployment in its own
+// listener: shard i's Welcome announces (i, N) so clients compute
+// placement with rtwire.ShardOf and route object traffic to the owning
+// shard's address, and each listener carries its own shard's replication
+// stream — a follower subscribed to shard i's listener replicates exactly
+// shard i's WAL. The set shares one Options template; Shard/Shards are
+// overwritten per listener.
+func NewShardSet(ss *server.ShardedServer, opt Options) []*Server {
+	out := make([]*Server, ss.NumShards())
+	for i := range out {
+		o := opt
+		o.Shard, o.Shards = i, ss.NumShards()
+		out[i] = New(ss.Shard(i), o)
+	}
+	return out
 }
 
 // Serve accepts connections on ln until Close. It blocks; run it in a
@@ -321,6 +347,7 @@ func (n *Server) handle(nc net.Conn) {
 	c.enqueue(rtwire.Welcome{
 		Session: uint64(session), Chronon: n.srv.Now(),
 		Epoch: n.srv.Epoch(), Role: rtwire.RolePrimary,
+		Shards: uint64(n.opt.Shards), Shard: uint64(n.opt.Shard),
 	}.Encode())
 
 	c.readLoop()

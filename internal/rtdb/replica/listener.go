@@ -129,6 +129,7 @@ func (r *Replica) serveConn(nc net.Conn) {
 	}()
 	c.write(rtwire.Welcome{
 		Session: 0, Chronon: r.chronon(), Epoch: r.Epoch(), Role: r.role(),
+		Shards: 1, Shard: 0,
 	}.Encode(), r.cfg.WriteTimeout)
 
 	var rbuf []byte // reused payload buffer; Decode copies fields out

@@ -1,0 +1,107 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rtc/internal/faultfs"
+	"rtc/internal/rtdb"
+	wal "rtc/internal/rtdb/log"
+	"rtc/internal/rtdb/netserve"
+	"rtc/internal/rtdb/server"
+	"rtc/internal/rtwire"
+)
+
+// TestShardReplication: each listener of a sharded set carries its own
+// shard's replication stream — a follower subscribed to shard k replicates
+// exactly shard k's WAL, not the union of the deployment.
+func TestShardReplication(t *testing.T) {
+	const shards = 2
+	logs := make([]*wal.Log, shards)
+	for i := range logs {
+		l, err := wal.Open(wal.Options{Dir: "wal", FS: faultfs.NewMem(uint64(i + 10)), Sync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs[i] = l
+	}
+	sp := rtdb.Spec{Invariants: map[string]rtdb.Value{"limit": "50"}}
+	for i := 0; i < 4*shards; i++ {
+		sp.Images = append(sp.Images, &rtdb.ImageObject{Name: fmt.Sprintf("obj-%02d", i), Period: 5})
+	}
+	ss, err := server.NewSharded(server.ShardedConfig{
+		Base: server.Config{Spec: sp}, Shards: shards, Logs: logs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.Start()
+	set := netserve.NewShardSet(ss, netserve.Options{
+		HeartbeatInterval: 25 * time.Millisecond,
+		ReplBatch:         4, ReplWindow: 16, TailBuffer: 64,
+	})
+	addrs := make([]string, len(set))
+	for i, ns := range set {
+		a, err := ns.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a.String()
+	}
+	t.Cleanup(func() {
+		for _, ns := range set {
+			_ = ns.Close()
+		}
+		ss.Stop()
+	})
+
+	const followShard = 1
+	r, err := Open(Config{
+		Primary: addrs[followShard],
+		WAL:     wal.Options{Dir: "rwal", FS: faultfs.NewMem(99), Sync: true},
+		Name:    "shard-follower",
+		Catalog: rtdb.Catalog{},
+		Seed:    7,
+
+		RetryBackoff: time.Millisecond, RetryBackoffMax: 20 * time.Millisecond,
+		HeartbeatTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Start()
+
+	// Drive both shards through their owner sessions; only followShard's
+	// stream must reach the replica.
+	for i := 0; i < 4*shards; i++ {
+		obj := fmt.Sprintf("obj-%02d", i)
+		sess := ss.Session(0)
+		if err := sess.InjectSample(obj, "7"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := logs[followShard].Seq()
+	if !r.WaitSeq(want, 10*time.Second) {
+		t.Fatalf("replica never reached shard %d's seq %d (stuck at %d)", followShard, want, r.Seq())
+	}
+	if d := logs[followShard].State().Diff(r.Log().State()); d != "" {
+		t.Fatalf("replica state != shard %d state: %s", followShard, d)
+	}
+	// The stream really was per-shard: the replica must know nothing about
+	// the other shard's objects.
+	for name := range r.Log().State().Images {
+		if sh := rtwire.ShardOf(name, shards); sh != followShard {
+			t.Fatalf("replica holds %q, owned by shard %d (followed %d)", name, sh, followShard)
+		}
+	}
+	// And the union view is still whole on the primary side.
+	if h := ss.HistoryHorizon(); h == 0 {
+		t.Fatal("sharded deployment horizon never advanced")
+	}
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"rtc/internal/deadline"
+	wal "rtc/internal/rtdb/log"
+)
+
+// TestRaceShardHammer drives an 8-shard deployment from 32 concurrent
+// writer sessions mixed with scatter-gather readers (as-of point reads,
+// consistent-horizon probes, merged metric snapshots) while a drain
+// goroutine repeatedly quiesces a single shard mid-run. Asserts, after the
+// global flush: the cross-shard conservation law on the merged counters,
+// per-shard conservation on every shard, a monotone consistent horizon,
+// and no goroutine leak across Stop. Run under -race via the race-shard
+// make target.
+func TestRaceShardHammer(t *testing.T) {
+	const (
+		shards   = 8
+		writers  = 32
+		opsEach  = 120
+		nObjects = 48
+	)
+	before := runtime.NumGoroutine()
+
+	base := filepath.Join(t.TempDir(), "wal")
+	logs := openShardLogs(t, base, shards, wal.Options{SegmentSize: 1 << 16, SnapshotEvery: 8})
+	cfg, home := shardedSpecConfig(nObjects)
+	cfg.Sessions = writers
+	cfg.QueueDepth = 8 // small on purpose: force backpressure rejections
+	ss, err := NewSharded(ShardedConfig{Base: cfg, Shards: shards, Logs: logs, QueryHome: home})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.RegisterPeriodic(PeriodicQuery{
+		Name: "watch", Query: "status_q", Period: 7,
+		Kind: deadline.Firm, Deadline: 5, MinUseful: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ss.Start()
+
+	objs := shardObjects(nObjects)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// The drain antagonist: pick one shard, pull it to the routing clock
+	// and through a durability barrier, over and over — a sharded
+	// deployment must keep serving the other seven lanes throughout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		victim := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sh := ss.Shard(victim % shards)
+			_ = sh.TickTo(ss.Now())
+			_ = sh.Barrier()
+			victim++
+		}
+	}()
+
+	// Scatter-gather readers: horizon must never regress, merged metrics
+	// must always be coherent enough to snapshot (the law is asserted at
+	// quiescence; here we just hammer the read paths).
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastHorizon = ss.HistoryHorizon()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := ss.HistoryHorizon()
+				if h < lastHorizon {
+					t.Errorf("consistent horizon regressed: %d -> %d", lastHorizon, h)
+					return
+				}
+				lastHorizon = h
+				ss.ValueAsOf(objs[(r*13+i)%nObjects], h)
+				_ = ss.MetricsSnapshot()
+			}
+		}(r)
+	}
+
+	var writerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(id int) {
+			defer writerWg.Done()
+			c := ss.Session(id)
+			for op := 0; op < opsEach; op++ {
+				obj := objs[(id*7+op)%nObjects]
+				switch op % 4 {
+				case 0, 1:
+					_ = c.InjectSample(obj, strconv.Itoa((id+op)%100))
+				case 2:
+					_, _ = c.Query(QueryRequest{
+						Query: "q-" + obj, Kind: deadline.Firm, Deadline: 20, MinUseful: 1,
+					})
+				case 3:
+					_ = c.Flush()
+				}
+			}
+			_ = c.Flush()
+		}(w)
+	}
+	writerWg.Wait()
+	close(stop)
+	wg.Wait()
+
+	if err := ss.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m := ss.MetricsSnapshot()
+	if m.QueriesIn != m.QueriesAccounted() {
+		t.Fatalf("merged conservation violated: in=%d accounted=%d (rejected=%d hit=%d miss=%d none=%d)",
+			m.QueriesIn, m.QueriesAccounted(), m.QueriesRejected, m.DeadlineHit, m.DeadlineMiss, m.NoDeadline)
+	}
+	if m.SamplesIn != m.SamplesApplied+m.SamplesRejected {
+		t.Fatalf("merged sample conservation violated: in=%d applied=%d rejected=%d",
+			m.SamplesIn, m.SamplesApplied, m.SamplesRejected)
+	}
+	var perShardIn, perShardAcc uint64
+	for i := 0; i < shards; i++ {
+		sm := ss.Shard(i).Metrics.Snapshot()
+		if sm.QueriesIn != sm.QueriesAccounted() {
+			t.Fatalf("shard %d conservation violated: in=%d accounted=%d", i, sm.QueriesIn, sm.QueriesAccounted())
+		}
+		perShardIn += sm.QueriesIn
+		perShardAcc += sm.QueriesAccounted()
+	}
+	if perShardIn != m.QueriesIn || perShardAcc != m.QueriesAccounted() {
+		t.Fatalf("per-shard sums disagree with merged snapshot: %d/%d vs %d/%d",
+			perShardIn, perShardAcc, m.QueriesIn, m.QueriesAccounted())
+	}
+
+	ss.Stop()
+	closeLogs(t, logs)
+
+	// Goroutine-leak check: apply loops, forwarders, and parked durability
+	// waiters must all exit with Stop. Allow the runtime a moment to reap.
+	deadlineAt := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadlineAt) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after Stop\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRaceShardSingle runs the same hammer shape at one shard — the
+// degrade path must be exactly as clean under -race as the full fan-out.
+func TestRaceShardSingle(t *testing.T) {
+	const writers = 16
+	base := filepath.Join(t.TempDir(), "wal")
+	logs := openShardLogs(t, base, 1, wal.Options{SegmentSize: 1 << 16})
+	cfg, home := shardedSpecConfig(8)
+	cfg.Sessions = writers
+	cfg.QueueDepth = 8
+	ss, err := NewSharded(ShardedConfig{Base: cfg, Shards: 1, Logs: logs, QueryHome: home})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss.Start()
+	objs := shardObjects(8)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := ss.Session(id)
+			for op := 0; op < 60; op++ {
+				obj := objs[(id+op)%len(objs)]
+				if op%3 == 0 {
+					_, _ = c.Query(QueryRequest{Query: "q-" + obj, Kind: deadline.Soft, Deadline: 9, MinUseful: 1, U: deadline.Hyperbolic(4, 9)})
+				} else {
+					_ = c.InjectSample(obj, strconv.Itoa(op))
+				}
+			}
+			_ = c.Flush()
+		}(w)
+	}
+	wg.Wait()
+	if err := ss.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	m := ss.MetricsSnapshot()
+	if m.QueriesIn != m.QueriesAccounted() {
+		t.Fatalf("conservation violated: in=%d accounted=%d", m.QueriesIn, m.QueriesAccounted())
+	}
+	ss.Stop()
+	closeLogs(t, logs)
+}

@@ -131,6 +131,14 @@ type request struct {
 	issue timeseq.Time
 	// tick
 	chronons uint64
+	// stamped requests carry the chronon they must land at: the sharded
+	// router stamps every routed request with its global routing clock so a
+	// shard's local clock mirrors the single-shard clock for the traffic it
+	// owns. The jump runs through tickTo, so periodic and subscription
+	// invocations that fell due during another shard's turn still fire at
+	// their own due chronons.
+	at      timeseq.Time
+	stamped bool
 	// apply: an arbitrary closure run on the apply loop (subscription
 	// attach/detach — anything that mutates apply-loop-owned state).
 	do    func()
@@ -364,6 +372,25 @@ func (s *Server) Tick(n uint64) error {
 	}
 }
 
+// TickTo advances the virtual clock to the absolute chronon at (a no-op if
+// the clock is already past it) through the apply loop. The sharded layer
+// uses it to pull idle shards up to the global routing clock so the
+// cross-shard horizon never dangles behind a quiet lane.
+func (s *Server) TickTo(at timeseq.Time) error {
+	reply := make(chan Response, 1)
+	select {
+	case s.inbox <- request{kind: reqTick, stamped: true, at: at, reply: reply}:
+	case <-s.quit:
+		return ErrClosed
+	}
+	select {
+	case <-reply:
+		return nil
+	case <-s.quit:
+		return ErrClosed
+	}
+}
+
 // Barrier blocks until every request enqueued on the inbox before it has
 // been applied.
 func (s *Server) Barrier() error {
@@ -398,6 +425,14 @@ func (s *Server) applyLoop() {
 // invocations, and publishes as-of snapshots on period boundaries.
 func (s *Server) step(r request) {
 	now := timeseq.Time(s.clock.Load())
+	if r.stamped && r.at > now {
+		// A routed request from the sharded layer lands at its stamped
+		// chronon: advance through the gap as idle time (periodic and
+		// subscription dues fire at their own instants, exactly as they
+		// would have while a single-shard clock served other objects).
+		s.tickTo(r.at)
+		now = r.at
+	}
 	s.sched.RunUntil(now)
 	switch r.kind {
 	case reqSample:

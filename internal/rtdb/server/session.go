@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"rtc/internal/deadline"
+	"rtc/internal/timeseq"
 )
 
 // replyPool recycles the one-slot response channels Query and Flush block
@@ -101,6 +102,78 @@ func (c *Session) Query(q QueryRequest) (Response, error) {
 		return resp, nil
 	case <-c.srv.quit:
 		return Response{}, ErrClosed
+	}
+}
+
+// injectSampleAt is InjectSample with a routing-clock stamp: the sample is
+// applied at chronon at (or later, if the shard's own clock already passed
+// it). Only the sharded router submits stamped requests.
+func (c *Session) injectSampleAt(image, value string, at timeseq.Time) error {
+	if c.srv.closed.Load() {
+		return ErrClosed
+	}
+	c.srv.Metrics.SamplesIn.Add(1)
+	r := request{kind: reqSample, session: c.id, image: image, value: value, at: at, stamped: true}
+	if !c.trySubmit(r) {
+		c.srv.Metrics.SamplesIn.Add(^uint64(0)) // undo: never entered a queue
+		c.srv.Metrics.SamplesRejected.Add(1)
+		return ErrBackpressure
+	}
+	return nil
+}
+
+// queryAt is Query with an explicit issue chronon taken from the routing
+// clock, so the deadline envelope is judged against global time rather than
+// the owning shard's (possibly lagging) local clock.
+func (c *Session) queryAt(q QueryRequest, issue timeseq.Time) (Response, error) {
+	if c.srv.closed.Load() {
+		return Response{}, ErrClosed
+	}
+	c.srv.Metrics.QueriesIn.Add(1)
+	r := request{
+		kind: reqQuery, session: c.id, q: q,
+		issue: issue, at: issue, stamped: true,
+		reply: replyPool.Get().(chan Response),
+	}
+	if !c.trySubmit(r) {
+		c.srv.Metrics.QueriesRejected.Add(1)
+		if q.Kind != deadline.None {
+			c.srv.Metrics.RejectMiss.Add(1)
+		}
+		replyPool.Put(r.reply)
+		return Response{Missed: q.Kind != deadline.None, Issue: r.issue}, ErrBackpressure
+	}
+	select {
+	case resp := <-r.reply:
+		replyPool.Put(r.reply)
+		return resp, nil
+	case <-c.srv.quit:
+		return Response{}, ErrClosed
+	}
+}
+
+// flushAt is Flush with a routing-clock stamp: before the durability
+// barrier resolves, the shard's clock is pulled up to chronon at, so a
+// quiet shard's horizon advances with the rest of the group. It returns
+// the shard's clock at the barrier — periodic and subscription evaluations
+// advance a shard past the stamps it was routed, and the router folds that
+// drift back into the global clock at every flush point.
+func (c *Session) flushAt(at timeseq.Time) (timeseq.Time, error) {
+	if c.srv.closed.Load() {
+		return 0, ErrClosed
+	}
+	r := request{kind: reqBarrier, session: c.id, at: at, stamped: true, reply: replyPool.Get().(chan Response)}
+	select {
+	case c.queue <- r:
+	case <-c.srv.quit:
+		return 0, ErrClosed
+	}
+	select {
+	case resp := <-r.reply:
+		replyPool.Put(r.reply)
+		return resp.Served, nil
+	case <-c.srv.quit:
+		return 0, ErrClosed
 	}
 }
 

@@ -103,10 +103,17 @@ func (c Config) failoverPoint(events []wal.Event, at uint64) (done bool, fail *F
 		lp.Close()
 		return false, mkFail("primary server shell: %v", err)
 	}
-	ns := netserve.New(srv, netserve.Options{
+	nopt := netserve.Options{
 		HeartbeatInterval: 50 * time.Millisecond,
 		ReplBatch:         8, ReplWindow: 32, TailBuffer: 256,
-	})
+	}
+	if c.Shards > 0 {
+		// Sharded rerun: the primary poses as one listener of an N-wide
+		// deployment. The replica must ignore the placement announcement
+		// and fail over exactly as in the unsharded sweep.
+		nopt.Shard, nopt.Shards = c.Victim%c.Shards, c.Shards
+	}
+	ns := netserve.New(srv, nopt)
 	addr, err := ns.Listen("127.0.0.1:0")
 	if err != nil {
 		srv.Stop()

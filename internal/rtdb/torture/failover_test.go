@@ -37,6 +37,21 @@ func TestFailoverGroupCommit(t *testing.T) {
 	report(t, rep)
 }
 
+// TestFailoverSharded re-runs the failover sweep with the primary posing
+// as each listener of a 4-wide sharded deployment in turn. The Welcome
+// then carries a (shard, shards) placement announcement; the replica must
+// ignore it and preserve the replicated invariant acked ≤ n ≤ acked+1 at
+// every kill point, exactly as in the unsharded sweep.
+func TestFailoverSharded(t *testing.T) {
+	for victim := 0; victim < 4; victim++ {
+		rep := Config{Seed: 5, Events: 40, Stride: 19, Shards: 4, Victim: victim, Logf: t.Logf}.FailoverSweep()
+		report(t, rep)
+		if rep.Points == 0 {
+			t.Fatalf("victim %d: sweep exercised no kill points", victim)
+		}
+	}
+}
+
 // TestFailoverPointRepro pins one kill point the way `rttorture -mode
 // failover -at K` would replay it.
 func TestFailoverPointRepro(t *testing.T) {

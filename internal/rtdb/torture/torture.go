@@ -55,6 +55,11 @@ type Config struct {
 	// At, when nonzero, tests exactly one fault point — the reproduction
 	// path for a failure printed by a sweep.
 	At uint64
+	// Shards is the deployment width of the shard sweep (default 4).
+	Shards int
+	// Victim selects which shard's WAL takes the power cut when At pins a
+	// single shard-sweep fault point; the full sweep rotates every victim.
+	Victim int
 	// SegmentSize (default 2048) is kept small so rotation is exercised.
 	SegmentSize int64
 	// SnapshotEvery (default 32 appends) keeps snapshot + rename traffic
@@ -92,6 +97,7 @@ type Failure struct {
 	Seed   uint64
 	At     uint64 // fault point: mutating-op / write / rename index
 	Events int
+	Victim int // shard whose WAL took the cut (shard mode only)
 	Detail string
 	// Segments holds the post-crash byte images of the WAL directory's
 	// files, exportable as fuzz corpus seeds (cmd/rttorture -corpus).
@@ -100,7 +106,11 @@ type Failure struct {
 
 // Repro renders the one-command reproduction for this failure.
 func (f Failure) Repro() string {
-	return fmt.Sprintf("go run ./cmd/rttorture -mode %s -seed %d -at %d -events %d", f.Mode, f.Seed, f.At, f.Events)
+	s := fmt.Sprintf("go run ./cmd/rttorture -mode %s -seed %d -at %d -events %d", f.Mode, f.Seed, f.At, f.Events)
+	if f.Mode == ModeShard {
+		s += fmt.Sprintf(" -victim %d", f.Victim)
+	}
+	return s
 }
 
 func (f Failure) String() string {

@@ -26,7 +26,8 @@ func goldenMessages() []struct {
 		msg  encoder
 	}{
 		{"hello", Hello{Client: "client-a"}},
-		{"welcome", Welcome{Session: 3, Chronon: 1021, Epoch: 2, Role: RoleStandby}},
+		{"welcome", Welcome{Session: 3, Chronon: 1021, Epoch: 2, Role: RoleStandby, Shards: 1, Shard: 0}},
+		{"welcome_sharded", Welcome{Session: 3, Chronon: 1021, Epoch: 2, Role: RolePrimary, Shards: 8, Shard: 5}},
 		{"sample", Sample{ID: 7, Image: "temp", Value: "21"}},
 		{"sample_escaped", Sample{ID: 7, Image: "te$mp", Value: "2@1%#"}},
 		{"query_firm", Query{ID: 8, Query: "status_q", Candidate: "ok", Kind: 1, Deadline: 40, Elapsed: 3, MinUseful: 1}},

@@ -110,12 +110,18 @@ func (r Role) String() string {
 
 // Welcome acknowledges a Hello. Epoch is the node's fencing epoch: it
 // increases on every promotion, so a client that has seen a newer epoch
-// rejects a Welcome from a deposed primary.
+// rejects a Welcome from a deposed primary. Shards and Shard carry the
+// keyspace placement (v4): the deployment's shard count and the answering
+// listener's shard index, so the client can verify it dialed the shard
+// ShardOf says owns each object. An unsharded server reports Shards=1,
+// Shard=0.
 type Welcome struct {
 	Session uint64
 	Chronon timeseq.Time // server chronon at accept
 	Epoch   uint64
 	Role    Role
+	Shards  uint64 // total shards in the deployment (1 = unsharded)
+	Shard   uint64 // this listener's shard index in [0, Shards)
 }
 
 // Sample is one timed sensor sample.
@@ -456,6 +462,8 @@ func (m Welcome) AppendTo(dst []byte) []byte {
 	b.time(m.Chronon)
 	b.uint(m.Epoch)
 	b.uint(uint64(m.Role))
+	b.uint(m.Shards)
+	b.uint(m.Shard)
 	return b.finish()
 }
 
@@ -769,19 +777,25 @@ func Decode(f Frame) (any, error) {
 		}
 		return Hello{Client: fields[0]}, nil
 	case KindWelcome:
-		if !need(4) {
+		if !need(6) {
 			return bad()
 		}
 		sess, ok1 := parseU(fields[0])
 		chr, ok2 := parseU(fields[1])
 		epoch, ok3 := parseU(fields[2])
 		role, ok4 := parseU(fields[3])
-		if !(ok1 && ok2 && ok3 && ok4) || role > uint64(RoleStandby) {
+		shards, ok5 := parseU(fields[4])
+		shard, ok6 := parseU(fields[5])
+		if !(ok1 && ok2 && ok3 && ok4 && ok5 && ok6) || role > uint64(RoleStandby) {
+			return bad()
+		}
+		if shards > 0 && shard >= shards {
 			return bad()
 		}
 		return Welcome{
 			Session: sess, Chronon: timeseq.Time(chr),
 			Epoch: epoch, Role: Role(role),
+			Shards: shards, Shard: shard,
 		}, nil
 	case KindSample:
 		if !need(3) {

@@ -1,0 +1,60 @@
+package rtwire
+
+// Object→shard routing. The keyspace of a sharded rtdbd deployment is
+// partitioned by object name: every image object lives on exactly one
+// shard, that shard's WAL is the only durable home of its samples, and a
+// client that knows the shard count can compute placement locally and send
+// each frame straight to the owning shard — no routing tier, no lookup
+// round-trip. The paper's parallel model (Hui & Chikkagoudar, PAPERS.md)
+// motivates the shape: the real-time guarantees of §4.1 are preserved per
+// parallel lane, so the lanes must be deterministic and stable.
+//
+// The hash lives in rtwire — the protocol package — because it IS protocol:
+// the server's per-shard WAL directories bake placement into disk layout,
+// and every client computes the same function. Changing shardMix or the
+// reduction is therefore a data-format break on par with re-encoding the
+// WAL: it would strand every object's history on the wrong shard. The
+// TestShardRouteGolden fixtures pin it byte-for-byte.
+
+// shardSeed is the FNV-1a 64-bit offset basis; shardPrime its prime.
+const (
+	shardSeed  = 0xcbf29ce484222325
+	shardPrime = 0x100000001b3
+)
+
+// shardMix is the splitmix64 finalizer: FNV-1a alone clusters short ASCII
+// names in the low bits, and ShardOf reduces modulo small n, so the
+// avalanche pass is what makes per-shard load uniform (FuzzShardRoute pins
+// a uniformity bound as well as determinism).
+func shardMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardHash is the stable 64-bit routing hash of an object name. Exposed
+// separately from ShardOf so deployments that resize can re-reduce the same
+// hash (e.g. consistent-hash layers) without rehashing history.
+func ShardHash(name string) uint64 {
+	h := uint64(shardSeed)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= shardPrime
+	}
+	return shardMix(h)
+}
+
+// ShardOf maps an object name to its owning shard in [0, shards). It is
+// total: shards < 2 always routes to 0, so unsharded deployments need no
+// special-casing. Deterministic across processes, platforms, and releases —
+// placement is baked into per-shard WAL directories, so this function is
+// part of the on-disk format.
+func ShardOf(name string, shards int) int {
+	if shards < 2 {
+		return 0
+	}
+	return int(ShardHash(name) % uint64(shards))
+}

@@ -48,7 +48,13 @@ const (
 	// SubAck, Push, SubCancel, SubResume). A v2 decoder rejects every v3
 	// frame with ErrVersion before looking at the kind byte, and the CRC
 	// covers the version byte, so no frame can be replayed across versions.
-	Version byte = 3
+	//
+	// Version 4 added keyspace sharding placement to Welcome: Shards (the
+	// deployment's shard count) and Shard (the answering listener's shard
+	// index), so a client computes object placement locally with ShardOf
+	// and routes each frame straight to the owning shard. A v3 decoder
+	// rejects every v4 frame with ErrVersion, and vice versa.
+	Version byte = 4
 	// HeaderSize is the fixed frame overhead:
 	// | magic 1 | version 1 | kind 1 | len u32 LE | crc32c u32 LE |.
 	HeaderSize = 11

@@ -18,7 +18,7 @@ import (
 func allMessages() []any {
 	return []any{
 		Hello{Client: "client-a"},
-		Welcome{Session: 3, Chronon: 1021, Epoch: 2, Role: RoleStandby},
+		Welcome{Session: 3, Chronon: 1021, Epoch: 2, Role: RoleStandby, Shards: 8, Shard: 5},
 		Sample{ID: 7, Image: "temp", Value: "21"},
 		Query{
 			ID: 8, Query: "status_q", Candidate: "ok$high@40%",
@@ -146,45 +146,47 @@ func TestDecodeErrors(t *testing.T) {
 	}
 }
 
-// TestVersionGuard: the Version=3 bump must be airtight in both directions.
+// TestVersionGuard: the Version=4 bump must be airtight in both directions.
 // decodeHeader rejects any version byte other than its own before looking
-// at the kind, so a v2 decoder (identical code, Version=2) refuses every v3
-// subscription frame with ErrVersion — and symmetrically, this v3 decoder
-// refuses a v2-stamped frame. Re-stamping a v3 frame's version byte to 2
-// without recomputing the CRC fails the checksum, because the CRC covers
-// the version byte: even a decoder that ignored the version field could
-// not be tricked into parsing a subscription frame as v2.
+// at the kind, so a v3 decoder (identical code, Version=3) refuses every v4
+// frame — the shard-bearing Welcome as well as the older kinds, since the
+// version byte is in every header — with ErrVersion, and symmetrically this
+// v4 decoder refuses a v3-stamped frame. Re-stamping a v4 frame's version
+// byte to 3 without recomputing the CRC fails the checksum, because the CRC
+// covers the version byte: even a decoder that ignored the version field
+// could not be tricked into parsing a shard-routed frame as v3.
 func TestVersionGuard(t *testing.T) {
-	v3Frames := []encoder{
+	v4Frames := []encoder{
+		Welcome{Session: 1, Chronon: 9, Epoch: 2, Role: RolePrimary, Shards: 8, Shard: 3},
 		SubOpen{ID: 1, Query: "status_q", Period: 4, Kind: deadline.Firm, Deadline: 3},
 		SubAck{ID: 1, State: SubAdmitted},
 		Push{ID: 1, Cursor: 1, Evaluated: true},
 		SubCancel{ID: 1},
 		SubResume{ID: 1, Query: "status_q", Period: 4, AfterCursor: 7},
 	}
-	for _, m := range v3Frames {
+	for _, m := range v4Frames {
 		b := m.Encode()
-		if b[1] != 3 {
-			t.Fatalf("%T: version byte = %d, want 3", m, b[1])
+		if b[1] != 4 {
+			t.Fatalf("%T: version byte = %d, want 4", m, b[1])
 		}
-		// What a v2 decoder does with this frame: its decodeHeader compares
-		// the version byte against its own Version first, so the 3 comes
+		// What a v3 decoder does with this frame: its decodeHeader compares
+		// the version byte against its own Version first, so the 4 comes
 		// back as a clean ErrVersion. The same comparison here proves it:
 		// any frame whose version byte differs from ours is refused the
 		// identical way.
 		downgraded := append([]byte{}, b...)
-		downgraded[1] = 2
+		downgraded[1] = 3
 		if _, _, err := DecodeFrame(downgraded); !errors.Is(err, ErrVersion) {
-			t.Fatalf("%T with version byte 2: err = %v, want ErrVersion", m, err)
+			t.Fatalf("%T with version byte 3: err = %v, want ErrVersion", m, err)
 		}
-		// Even a v2 decoder that skipped the header version check could not
-		// accept the re-stamped frame: its checksum function sums {2, kind}
-		// where ours summed {3, kind}, so the stored CRC never matches.
-		// Simulate that v2-side verification exactly.
-		v2sum := crc32.Checksum([]byte{2, downgraded[2]}, crcTable)
-		v2sum = crc32.Update(v2sum, crcTable, downgraded[HeaderSize:])
-		if v2sum == binary.LittleEndian.Uint32(downgraded[7:11]) {
-			t.Fatalf("%T: a v2 checksum accepted a re-stamped v3 frame", m)
+		// Even a v3 decoder that skipped the header version check could not
+		// accept the re-stamped frame: its checksum function sums {3, kind}
+		// where ours summed {4, kind}, so the stored CRC never matches.
+		// Simulate that v3-side verification exactly.
+		v3sum := crc32.Checksum([]byte{3, downgraded[2]}, crcTable)
+		v3sum = crc32.Update(v3sum, crcTable, downgraded[HeaderSize:])
+		if v3sum == binary.LittleEndian.Uint32(downgraded[7:11]) {
+			t.Fatalf("%T: a v3 checksum accepted a re-stamped v4 frame", m)
 		}
 	}
 }
