@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-grid race-rtdb race-net race-repl race-sub race-gc race-shard bench bench-json fuzz torture torture-short torture-failover torture-shard soak-short examples experiments clean
+.PHONY: all build vet test race race-grid race-rtdb race-net race-repl race-sub race-gc race-shard race-partition bench bench-json fuzz torture torture-short torture-failover torture-shard torture-partition soak-short examples experiments clean
 
 all: build vet test
 
@@ -89,6 +89,29 @@ torture-shard:
 # epoch fencing, and the standby conservation law at each point.
 torture-failover:
 	$(GO) run ./cmd/rttorture -mode failover -seeds 3 -events 90 -v
+
+# Full partition sweep: arm one seeded network fault — a mid-frame cut, a
+# silent drop, a corrupted byte, a slow-loris stall, a one- or two-way
+# blackhole, or a full primary isolation with mid-partition failover — at
+# every fabric write op of a client/primary/replica stack, and check the
+# wire invariants at each point: zero lost acked writes, epoch fencing
+# against the deposed primary, subscription cursor monotonicity,
+# conservation on both sides of the cut, and post-heal liveness. A failing
+# point prints its `-seed S -at N` reproduction.
+torture-partition:
+	$(GO) run ./cmd/rttorture -mode partition -seeds 3 -events 90 -v
+
+# Race-grade wire chaos: 32 clients + 1 replica hammer a primary through a
+# chaos-shaped faultnet fabric (split writes, jittered delivery) while a
+# fault monkey cuts, stalls, and partitions links at random — every
+# watchdog, eviction, redial, and teardown path under the race detector,
+# plus the short deterministic sweep and the fabric-driven corruption,
+# heartbeat, and client-teardown suites.
+race-partition:
+	$(GO) test -race -count=1 -run='TestPartitionHammer|TestPartitionSweepShort|TestPartitionPointRepro' ./internal/rtdb/torture/
+	$(GO) test -race -count=1 -run='TestCorruptedFrame|TestHeartbeatOneWay' ./internal/rtdb/netserve/
+	$(GO) test -race -count=1 -run='TestClose(AfterPartitionCut|DuringSlowLoris)' ./internal/rtdb/client/
+	$(GO) test -race -count=1 ./internal/faultnet/
 
 # Flat-latency soak: start a real rtdbd, age it by 60k injected samples
 # over TCP, and assert that the late-run serving p99 (as-of reads and

@@ -5,7 +5,10 @@
 // (rttorture -mode M -seed S -at K -events N) that replays exactly that
 // workload, fault, and crash materialization. With -corpus DIR the
 // post-crash segment images of failing points are exported as seed inputs
-// for the log package's FuzzSegmentRecovery corpus.
+// for the log package's FuzzSegmentRecovery corpus, and the malformed
+// byte streams the partition sweep's network faults left behind are
+// exported as seeds for rtwire's FuzzFrameDecode corpus — whether or not
+// the sweep failed (a stream the codec survived is still a seed).
 //
 // Usage:
 //
@@ -24,7 +27,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "all", "fault family: all|crash|eio|rename|chaos|failover|groupcommit|shard")
+		mode    = flag.String("mode", "all", "fault family: all|crash|eio|rename|chaos|failover|groupcommit|shard|partition")
 		seed    = flag.Uint64("seed", 1, "base sweep seed")
 		seeds   = flag.Int("seeds", 1, "number of consecutive seeds to sweep")
 		events  = flag.Int("events", 90, "workload length")
@@ -47,8 +50,8 @@ func main() {
 	want := func(m torture.Mode) bool {
 		return *mode == "all" || *mode == string(m)
 	}
-	if !want(torture.ModeCrash) && !want(torture.ModeEIO) && !want(torture.ModeRename) && !want(torture.ModeChaos) && !want(torture.ModeFailover) && !want(torture.ModeGroupCommit) && !want(torture.ModeShard) {
-		fmt.Fprintf(os.Stderr, "rttorture: unknown -mode %q (want all|crash|eio|rename|chaos|failover|groupcommit|shard)\n", *mode)
+	if !want(torture.ModeCrash) && !want(torture.ModeEIO) && !want(torture.ModeRename) && !want(torture.ModeChaos) && !want(torture.ModeFailover) && !want(torture.ModeGroupCommit) && !want(torture.ModeShard) && !want(torture.ModePartition) {
+		fmt.Fprintf(os.Stderr, "rttorture: unknown -mode %q (want all|crash|eio|rename|chaos|failover|groupcommit|shard|partition)\n", *mode)
 		os.Exit(2)
 	}
 
@@ -78,6 +81,9 @@ func main() {
 		if want(torture.ModeShard) {
 			total.Merge(cfg.ShardSweep())
 		}
+		if want(torture.ModePartition) {
+			total.Merge(cfg.PartitionSweep())
+		}
 		if want(torture.ModeChaos) {
 			rep := torture.Chaos(torture.ChaosConfig{Seed: s, Logf: logf})
 			total.Points++
@@ -90,40 +96,53 @@ func main() {
 
 	fmt.Printf("torture: mode=%s seeds=%d..%d events=%d points=%d recoveries=%d failures=%d\n",
 		*mode, *seed, *seed+uint64(*seeds)-1, *events, total.Points, total.Recoveries, len(total.Failures))
-	if total.Ok() {
-		return
-	}
-	for _, f := range total.Failures {
-		fmt.Fprintf(os.Stderr, "%s\n", f.String())
-	}
 	if *corpus != "" {
-		n, err := exportCorpus(*corpus, total.Failures)
+		n, err := exportCorpus(*corpus, total)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rttorture: corpus export: %v\n", err)
 		} else {
 			fmt.Fprintf(os.Stderr, "rttorture: exported %d corpus seeds to %s\n", n, *corpus)
 		}
 	}
+	if total.Ok() {
+		return
+	}
+	for _, f := range total.Failures {
+		fmt.Fprintf(os.Stderr, "%s\n", f.String())
+	}
 	os.Exit(1)
 }
 
-// exportCorpus writes each failing fault point's post-crash segment images
-// in the Go fuzzing corpus file format, so they seed FuzzSegmentRecovery in
-// internal/rtdb/log (drop the directory into
-// internal/rtdb/log/testdata/fuzz/FuzzSegmentRecovery).
-func exportCorpus(dir string, failures []torture.Failure) (int, error) {
+// exportCorpus writes the sweep's fuzz-seed material in the Go fuzzing
+// corpus file format: each failing fault point's post-crash segment
+// images (seeds for FuzzSegmentRecovery — drop into
+// internal/rtdb/log/testdata/fuzz/FuzzSegmentRecovery), and each
+// malformed byte stream the network faults produced (seeds for
+// FuzzFrameDecode — drop the rtwire-frame-* files into
+// internal/rtwire/testdata/fuzz/FuzzFrameDecode).
+func exportCorpus(dir string, rep *torture.Report) (int, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, err
 	}
 	n := 0
-	for _, f := range failures {
+	write := func(file string, body []byte) error {
+		seed := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", body)
+		if err := os.WriteFile(filepath.Join(dir, file), []byte(seed), 0o644); err != nil {
+			return err
+		}
+		n++
+		return nil
+	}
+	for _, f := range rep.Failures {
 		for name, img := range f.Segments {
-			file := fmt.Sprintf("%s-seed%d-at%d-%s", f.Mode, f.Seed, f.At, name)
-			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", img)
-			if err := os.WriteFile(filepath.Join(dir, file), []byte(body), 0o644); err != nil {
+			if err := write(fmt.Sprintf("%s-seed%d-at%d-%s", f.Mode, f.Seed, f.At, name), img); err != nil {
 				return n, err
 			}
-			n++
+		}
+	}
+	for key, stream := range rep.Streams {
+		if err := write("rtwire-frame-"+key, stream); err != nil {
+			return n, err
 		}
 	}
 	return n, nil

@@ -1,0 +1,292 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Errors surfaced by injected faults. ErrInjectedReset is what both ends
+// of a cut connection see once the delivered prefix is drained.
+var (
+	ErrInjectedReset = errors.New("faultnet: connection reset by injected fault")
+	errPeerClosed    = errors.New("faultnet: connection reset by peer")
+)
+
+// fabricAddr is the net.Addr of a fabric endpoint: just its label.
+type fabricAddr string
+
+func (a fabricAddr) Network() string { return "faultnet" }
+func (a fabricAddr) String() string  { return string(a) }
+
+// stream is one direction of a connection: a bounded in-memory pipe with
+// net.Conn deadline semantics, plus the fault hooks — a stall flag that
+// blocks writers, a held buffer for blackholed bytes, a terminal error
+// delivered after the buffered bytes drain (so a cut mid-frame hands the
+// reader a truncated frame, then the reset), and an optional tap that
+// records what the reader actually sees after a byte-damaging fault.
+type stream struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	buf  []byte
+	held []byte // blackholed bytes; Heal moves them into buf
+	max  int    // buffer bound; writers block when full
+
+	stalled bool  // slow-loris: writes make no progress until Heal
+	wclosed bool  // writer closed cleanly: EOF once buf drains
+	rclosed bool  // reader side closed: writes fail like EPIPE
+	rerr    error // terminal reset, delivered to the reader after drain
+
+	rdeadline, wdeadline time.Time
+
+	tap *tap
+}
+
+func newStream(max int) *stream {
+	s := &stream{max: max}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// waitLocked blocks on the condition, waking at the deadline if one is
+// set. Callers re-check state (and the re-read deadline) after it returns.
+func (s *stream) waitLocked(deadline time.Time) {
+	if deadline.IsZero() {
+		s.cond.Wait()
+		return
+	}
+	t := time.AfterFunc(time.Until(deadline), func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	s.cond.Wait()
+	t.Stop()
+}
+
+func (s *stream) read(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.rclosed {
+			return 0, net.ErrClosed
+		}
+		if len(s.buf) > 0 {
+			n := copy(p, s.buf)
+			s.buf = s.buf[n:]
+			if len(s.buf) == 0 {
+				s.buf = nil
+			}
+			s.cond.Broadcast() // space freed; wake writers
+			return n, nil
+		}
+		if s.rerr != nil {
+			return 0, s.rerr
+		}
+		if s.wclosed {
+			return 0, io.EOF
+		}
+		dl := s.rdeadline
+		if !dl.IsZero() && !time.Now().Before(dl) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		s.waitLocked(dl)
+	}
+}
+
+func (s *stream) write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	written := 0
+	for len(p) > 0 {
+		switch {
+		case s.rerr != nil:
+			return written, s.rerr
+		case s.wclosed:
+			return written, net.ErrClosed
+		case s.rclosed:
+			return written, errPeerClosed
+		}
+		if !s.stalled {
+			if room := s.max - len(s.buf); room > 0 {
+				n := min(room, len(p))
+				s.buf = append(s.buf, p[:n]...)
+				s.tapLocked(p[:n])
+				p = p[n:]
+				written += n
+				s.cond.Broadcast()
+				continue
+			}
+		}
+		dl := s.wdeadline
+		if !dl.IsZero() && !time.Now().Before(dl) {
+			return written, os.ErrDeadlineExceeded
+		}
+		s.waitLocked(dl)
+	}
+	return written, nil
+}
+
+// hold buffers blackholed bytes outside the pipe: the writer sees success,
+// the reader sees silence — the half-open socket. Unbounded, like the
+// kernel buffers and retransmit queues the blackhole would fill.
+func (s *stream) hold(p []byte) {
+	s.mu.Lock()
+	s.held = append(s.held, p...)
+	s.mu.Unlock()
+}
+
+// stall arms the slow-loris: the socket stays open but writes block.
+func (s *stream) stall() {
+	s.mu.Lock()
+	s.stalled = true
+	s.mu.Unlock()
+}
+
+// heal lifts a stall and delivers held bytes — TCP retransmission once the
+// partition lifts.
+func (s *stream) heal() {
+	s.mu.Lock()
+	s.stalled = false
+	if len(s.held) > 0 {
+		s.tapLocked(s.held)
+		s.buf = append(s.buf, s.held...)
+		s.held = nil
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// fail makes the stream terminal: the reader drains what is buffered and
+// then gets err; writers fail immediately; held bytes are discarded (a
+// reset, unlike a heal, retransmits nothing).
+func (s *stream) fail(err error) {
+	s.mu.Lock()
+	if s.rerr == nil {
+		s.rerr = err
+	}
+	s.held = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *stream) closeWrite() {
+	s.mu.Lock()
+	s.wclosed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *stream) closeRead() {
+	s.mu.Lock()
+	s.rclosed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *stream) setReadDeadline(t time.Time) {
+	s.mu.Lock()
+	s.rdeadline = t
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *stream) setWriteDeadline(t time.Time) {
+	s.mu.Lock()
+	s.wdeadline = t
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *stream) setTap(t *tap) {
+	s.mu.Lock()
+	s.tap = t
+	s.mu.Unlock()
+}
+
+func (s *stream) tapLocked(p []byte) {
+	if s.tap != nil {
+		s.tap.record(p)
+	}
+}
+
+// tap captures the reader-visible byte stream after a byte-damaging fault
+// — corpus material for the rtwire frame fuzzer.
+type tap struct {
+	mu     sync.Mutex
+	buf    []byte
+	budget int
+}
+
+func (t *tap) record(p []byte) {
+	t.mu.Lock()
+	if n := min(t.budget, len(p)); n > 0 {
+		t.buf = append(t.buf, p[:n]...)
+		t.budget -= n
+	}
+	t.mu.Unlock()
+}
+
+func (t *tap) bytes() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]byte(nil), t.buf...)
+}
+
+// Conn is one endpoint of a fabric connection.
+type Conn struct {
+	fab       *Fabric
+	label     string // this endpoint (dialer label or listener address)
+	peerLabel string
+	rd, wr    *stream
+	peer      *Conn
+	closeOnce sync.Once
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+func (c *Conn) Read(p []byte) (int, error) { return c.rd.read(p) }
+
+// Write charges one fabric write op, fires the armed fault if this op
+// reaches it, and routes the bytes per the live conditions (stall,
+// partition, chaos shaping). See Fabric.connWrite.
+func (c *Conn) Write(p []byte) (int, error) { return c.fab.connWrite(c, p) }
+
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.rd.closeRead()  // our reads: ErrClosed; peer writes: reset
+		c.wr.closeWrite() // peer reads drain then EOF
+		c.fab.forget(c)
+	})
+	return nil
+}
+
+// hardCut resets both directions abruptly: readers drain what was already
+// delivered, then see ErrInjectedReset; all further writes fail.
+func (c *Conn) hardCut() {
+	c.rd.fail(ErrInjectedReset)
+	c.wr.fail(ErrInjectedReset)
+}
+
+func (c *Conn) LocalAddr() net.Addr  { return fabricAddr(c.label) }
+func (c *Conn) RemoteAddr() net.Addr { return fabricAddr(c.peerLabel) }
+
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	c.wr.setWriteDeadline(t)
+	return nil
+}
+
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.wr.setWriteDeadline(t)
+	return nil
+}

@@ -1,0 +1,45 @@
+// Package faultnet is deterministic fault injection for the wire, the
+// network twin of internal/faultfs: production code dials through the
+// zero-cost OS passthrough, tests dial and listen through a Fabric — an
+// in-memory switched network whose connections implement net.Conn with
+// full deadline support — and arm seeded faults at exact write-operation
+// counts:
+//
+//   - mid-frame connection cuts (a seeded strict prefix of the write is
+//     delivered, then both directions reset),
+//   - silent drops of one write (the writer sees success; the reader's
+//     frame stream desyncs and must surface it as a checksum failure),
+//   - payload corruption (one seeded byte of one write is flipped),
+//   - slow-loris stalls (writes block until Heal — the socket is open,
+//     nothing moves),
+//   - one-way and two-way partitions (writes "succeed" but the bytes are
+//     held, exactly the half-open case heartbeats must catch; Heal
+//     delivers them, modeling TCP retransmission after the blackhole
+//     lifts),
+//   - seeded write splitting and latency jitter for chaos hammers.
+//
+// Everything is driven by the fabric's seed and a single armed fault
+// point, so a torture sweep can walk every write op of a workload and any
+// failing point reproduces from (seed, at). After a byte-damaging fault
+// the fabric captures the reader-visible malformed stream, exportable as
+// rtwire fuzz corpus seeds.
+package faultnet
+
+import (
+	"net"
+	"time"
+)
+
+// Dialer is the connection factory the client and replica thread through
+// their dial paths. Production uses OS; tests pass Fabric.Dialer(label).
+type Dialer interface {
+	DialTimeout(network, address string, timeout time.Duration) (net.Conn, error)
+}
+
+// OS is the production passthrough: a real TCP dial, nothing injected.
+type OS struct{}
+
+// DialTimeout implements Dialer via net.DialTimeout.
+func (OS) DialTimeout(network, address string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout(network, address, timeout)
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"rtc/internal/deadline"
+	"rtc/internal/faultnet"
 	"rtc/internal/rtwire"
 	"rtc/internal/timeseq"
 )
@@ -74,6 +75,10 @@ type Options struct {
 	// for deadline translation (default 1ms). A query's Elapsed field is
 	// time-since-issue divided by this.
 	ChrononDuration time.Duration
+	// Dialer makes connections (default faultnet.OS — a real TCP dial).
+	// Torture tests pass a faultnet fabric endpoint to inject partitions,
+	// cuts, stalls, and corruption under the client deterministically.
+	Dialer faultnet.Dialer
 }
 
 func (o *Options) defaults() {
@@ -108,6 +113,9 @@ func (o *Options) defaults() {
 	}
 	if o.ChrononDuration <= 0 {
 		o.ChrononDuration = time.Millisecond
+	}
+	if o.Dialer == nil {
+		o.Dialer = faultnet.OS{}
 	}
 }
 
@@ -168,6 +176,7 @@ type Stats struct {
 	ReadOnlyRejects   atomic.Uint64 // submissions refused with CodeReadOnly
 	HeartbeatTimeouts atomic.Uint64 // connections cut by the liveness watchdog
 	Resubscribes      atomic.Uint64 // subscriptions re-attached after a reconnect
+	CorruptFrames     atomic.Uint64 // connections dropped on a damaged inbound frame
 
 	// MaxPrimarySeq is the highest durability watermark heard in heartbeat
 	// echoes — a primary advertises its followers' acknowledged seq (what
@@ -287,7 +296,7 @@ func (c *Client) connectOneLocked() error {
 		c.cur = (c.cur + 1) % len(c.addrs)
 		return err
 	}
-	conn, err := net.DialTimeout("tcp", addr, c.opt.DialTimeout)
+	conn, err := c.opt.Dialer.DialTimeout("tcp", addr, c.opt.DialTimeout)
 	if err != nil {
 		return fail(nil, err)
 	}
@@ -349,12 +358,16 @@ func (c *Client) connectOneLocked() error {
 
 // heartbeatLoop is the liveness watchdog for one connection generation: it
 // beacons a Heartbeat every interval and cuts the connection after 3
-// intervals of inbound silence — a silently dead peer costs bounded time,
-// not a CallTimeout.
+// intervals of inbound silence — a silently dead peer (a half-open socket
+// behind a one-way partition) costs bounded time, not a CallTimeout. The
+// ticker runs at a quarter interval so the silence check is fine-grained
+// enough to cut at ~3 intervals instead of quantizing up to 4; beacons
+// stay paced at the full interval.
 func (c *Client) heartbeatLoop(conn net.Conn, gen int) {
 	iv := c.opt.HeartbeatInterval
-	t := time.NewTicker(iv)
+	t := time.NewTicker(max(iv/4, time.Millisecond))
 	defer t.Stop()
+	var lastBeacon time.Time
 	for {
 		select {
 		case <-t.C:
@@ -369,12 +382,19 @@ func (c *Client) heartbeatLoop(conn net.Conn, gen int) {
 		if stale {
 			return
 		}
-		if time.Since(time.Unix(0, c.lastRead.Load())) > 3*iv {
+		if time.Since(time.Unix(0, c.lastRead.Load())) >= 3*iv {
 			c.Stats.HeartbeatTimeouts.Add(1)
 			conn.Close() // the read loop unblocks and fails the pending calls
+			c.advance()  // and the next redial tries a different node first
 			return
 		}
-		_ = c.send(rtwire.Heartbeat{}.Encode(), false)
+		if now := time.Now(); now.Sub(lastBeacon) >= iv {
+			lastBeacon = now
+			// The beacon's write deadline is clamped to one interval: a
+			// stalled socket must not pin the client mutex for the full
+			// WriteTimeout while the watchdog is trying to detect it.
+			_ = c.sendTimeout(rtwire.Heartbeat{}.Encode(), false, min(iv, c.opt.WriteTimeout))
+		}
 	}
 }
 
@@ -410,6 +430,15 @@ func (c *Client) rotate() {
 		c.conn = nil
 	}
 	c.cur = (c.cur + 1) % len(c.addrs)
+}
+
+// advance rotates the dial cursor without touching the live connection —
+// the heartbeat watchdog uses it after closing a half-open socket, so the
+// redial starts at a different node instead of the one that went silent.
+func (c *Client) advance() {
+	c.mu.Lock()
+	c.cur = (c.cur + 1) % len(c.addrs)
+	c.mu.Unlock()
 }
 
 // Role returns the role announced by the node the client is (last)
@@ -473,6 +502,13 @@ func (c *Client) readLoop(conn net.Conn, br *bufio.Reader, gen int) {
 	for {
 		f, err := rtwire.ReadFrameBuf(br, &rbuf)
 		if err != nil {
+			if rtwire.IsCorruptFrame(err) {
+				// Byte damage on the wire: the CRC (or framing) caught it.
+				// Frame boundaries are unrecoverable — count it and let the
+				// connection die; a redial resynchronizes from a handshake.
+				c.Stats.CorruptFrames.Add(1)
+				conn.Close()
+			}
 			return
 		}
 		c.lastRead.Store(time.Now().UnixNano())
@@ -562,6 +598,12 @@ func (c *Client) failPending(gen int) {
 // send writes one frame. redial controls whether a dead connection is
 // re-established first.
 func (c *Client) send(frame []byte, redial bool) error {
+	return c.sendTimeout(frame, redial, c.opt.WriteTimeout)
+}
+
+// sendTimeout is send with an explicit write deadline; the heartbeat
+// beacon clamps it to one interval.
+func (c *Client) sendTimeout(frame []byte, redial bool, wt time.Duration) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -576,7 +618,7 @@ func (c *Client) send(frame []byte, redial bool) error {
 		}
 		c.Stats.Redials.Add(1)
 	}
-	_ = c.conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
+	_ = c.conn.SetWriteDeadline(time.Now().Add(wt))
 	if _, err := c.bw.Write(frame); err != nil {
 		c.conn.Close()
 		c.conn = nil

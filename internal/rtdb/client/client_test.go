@@ -22,9 +22,8 @@ func statusDerive(src map[string]rtdb.Value) rtdb.Value {
 	return "ok"
 }
 
-func startServer(t *testing.T) string {
-	t.Helper()
-	s, err := server.New(server.Config{
+func testServerConfig() server.Config {
+	return server.Config{
 		Spec: rtdb.Spec{
 			Invariants: map[string]rtdb.Value{"limit": "22"},
 			Derived: []*rtdb.DerivedObject{{
@@ -42,7 +41,12 @@ func startServer(t *testing.T) string {
 		},
 		Registry: rtdb.DeriveRegistry{"status": statusDerive},
 		Sessions: 4,
-	})
+	}
+}
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(testServerConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

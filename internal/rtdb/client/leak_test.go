@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"rtc/internal/faultnet"
 	"rtc/internal/rtdb/client"
 	"rtc/internal/rtdb/netserve"
 	"rtc/internal/rtdb/server"
@@ -130,6 +131,180 @@ func TestCloseUnblocksRetryBackoff(t *testing.T) {
 	}
 	if d := time.Since(start); d > 5*time.Second {
 		t.Fatalf("Close-to-unblock took %v", d)
+	}
+}
+
+// startFabricServer mirrors startServer behind a faultnet fabric so the
+// teardown tests can blackhole, reset, and stall the client's wire.
+func startFabricServer(t *testing.T, fab *faultnet.Fabric, addr string) {
+	t.Helper()
+	s, err := server.New(testServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ns := netserve.New(s, netserve.Options{
+		HeartbeatInterval: 50 * time.Millisecond,
+		WriteTimeout:      100 * time.Millisecond,
+	})
+	ln, err := fab.Listen(addr)
+	if err != nil {
+		s.Stop()
+		t.Fatal(err)
+	}
+	go func() { _ = ns.Serve(ln) }()
+	t.Cleanup(func() {
+		_ = ns.Close()
+		s.Stop()
+	})
+}
+
+// fabricLeakOptions are the client options every fabric teardown test
+// uses: a live heartbeat watchdog (the only detector for a blackholed
+// flow), short write deadlines, and a fast retry ladder — all the
+// machinery whose goroutines must die with Close.
+func fabricLeakOptions(fab *faultnet.Fabric, label string) client.Options {
+	return client.Options{
+		Name: label, Dialer: fab.Dialer(label),
+		DialTimeout: 150 * time.Millisecond, CallTimeout: time.Second,
+		WriteTimeout:  100 * time.Millisecond,
+		RetryAttempts: 4, RetryBackoff: time.Millisecond,
+		RetryBackoffMax:   5 * time.Millisecond,
+		HeartbeatInterval: 30 * time.Millisecond, Seed: 1,
+	}
+}
+
+// TestCloseAfterPartitionCutLeaksNoGoroutines: a client whose connection
+// is first blackholed (the half-open socket: writes "succeed", nothing
+// arrives, so the watchdog trips into a redial loop whose dials hang in
+// the partition) and then hard-reset must still shed every goroutine the
+// moment Close is called — the watchdog ticker, the redial ladder, the
+// reader, and the subscription drainer all included.
+func TestCloseAfterPartitionCutLeaksNoGoroutines(t *testing.T) {
+	fab := faultnet.NewFabric(31)
+	defer fab.Close()
+	startFabricServer(t, fab, "leak:1")
+	base := runtime.NumGoroutine()
+
+	c, err := client.Dial("leak:1", fabricLeakOptions(fab, "part-cut"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectSample("temp", "20"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Subscribe(client.SubSpec{Query: "status_q", Period: 3, Buffer: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range sub.Pushes() {
+		}
+	}()
+
+	// Blackhole both directions, give the watchdog time to cut and start
+	// redialing into the partition, then RST what is left of the old
+	// connection.
+	fab.PartitionNow(
+		faultnet.Direction{From: "part-cut", To: "leak:1"},
+		faultnet.Direction{From: "leak:1", To: "part-cut"},
+	)
+	time.Sleep(120 * time.Millisecond) // ≥ 3 heartbeat intervals
+	fab.CutAll("part-cut", "leak:1")
+
+	start := time.Now()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Close took %v with a partitioned redial in flight", d)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscription channel never closed after Close under partition")
+	}
+	fab.Heal()
+	if n := waitGoroutines(t, base, 2); n > base+2 {
+		t.Fatalf("goroutines after partition-cut Close: %d, baseline %d — leak", n, base)
+	}
+}
+
+// TestCloseDuringSlowLorisLeaksNoGoroutines: a peer that accepts the
+// connection but absorbs no bytes — every write stalls, on every
+// connection the client makes — must not pin client goroutines. Write
+// deadlines bound each stalled attempt, the retry ladder stays
+// interruptible, and Close reaps the rest even while a write is blocked
+// inside the stall.
+func TestCloseDuringSlowLorisLeaksNoGoroutines(t *testing.T) {
+	fab := faultnet.NewFabric(32)
+	defer fab.Close()
+	startFabricServer(t, fab, "loris:1")
+	base := runtime.NumGoroutine()
+
+	c, err := client.Dial("loris:1", fabricLeakOptions(fab, "slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectSample("temp", "20"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The loris: keep re-stalling so every redial lands on a connection
+	// that goes silent too — StallAll only reaches conns alive at call
+	// time, and the client keeps making new ones.
+	stop := make(chan struct{})
+	stalled := make(chan struct{})
+	go func() {
+		defer close(stalled)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				fab.StallAll("slow", "loris:1")
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+
+	// Pump writes into the stalled socket: each blocks until its write
+	// deadline, errors, and walks the retry ladder into the next stall.
+	for i := 0; i < 3; i++ {
+		_ = c.InjectSample("temp", "21")
+	}
+	flushDone := make(chan struct{})
+	go func() {
+		defer close(flushDone)
+		_, _ = c.Query(client.Query{Query: "status_q"})
+	}()
+	time.Sleep(50 * time.Millisecond) // let the query wedge in a stalled write
+
+	start := time.Now()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Close took %v with writes wedged in the stall", d)
+	}
+	select {
+	case <-flushDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight query still blocked 5s after Close under slow-loris")
+	}
+	close(stop)
+	<-stalled
+	fab.Heal()
+	if n := waitGoroutines(t, base, 2); n > base+2 {
+		t.Fatalf("goroutines after slow-loris Close: %d, baseline %d — leak", n, base)
 	}
 }
 

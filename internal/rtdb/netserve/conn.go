@@ -2,7 +2,6 @@ package netserve
 
 import (
 	"bufio"
-	"errors"
 	"net"
 	"sync"
 	"time"
@@ -130,11 +129,21 @@ func (c *conn) writeLoop() {
 		c.putBuf(frame)
 		return true
 	}
+	// fail is the write-error path: a client that cannot absorb frames
+	// within WriteTimeout is dead weight. Count it and interrupt the read
+	// loop so the whole connection tears down now — before this change a
+	// dead writer left the reader idling until IdleTimeout while every
+	// response silently fell into discard.
+	fail := func() {
+		c.n.Wire.WriteTimeouts.Add(1)
+		c.interruptRead()
+		c.discard()
+	}
 	for {
 		select {
 		case frame := <-c.writeq:
 			if !write(frame) {
-				c.discard()
+				fail()
 				return
 			}
 		case <-c.done:
@@ -182,17 +191,27 @@ func (c *conn) readLoop() {
 	// One payload buffer for the connection's lifetime: Decode copies the
 	// field strings out, so the next frame may overwrite it.
 	var rbuf []byte
+	// The inbound-silence bound is the tighter of IdleTimeout and three
+	// heartbeat intervals: a client that beacons every interval but goes
+	// silent behind a one-way partition is cut here in bounded time — the
+	// server-side half of the watchdog contract.
+	idle := min(c.n.opt.IdleTimeout, 3*c.n.opt.HeartbeatInterval)
 	for {
 		select {
 		case <-c.n.quit:
 			return
 		default:
 		}
-		_ = c.nc.SetReadDeadline(time.Now().Add(c.n.opt.IdleTimeout))
+		_ = c.nc.SetReadDeadline(time.Now().Add(idle))
 		f, err := rtwire.ReadFrameBuf(c.br, &rbuf)
 		if err != nil {
-			if isProtocolError(err) {
+			if rtwire.IsProtocolError(err) {
 				c.n.Wire.DecodeErrors.Add(1)
+				if rtwire.IsCorruptFrame(err) {
+					// Byte damage (not a mid-frame cut): the CRC or framing
+					// caught it. The connection resets — boundaries are gone.
+					c.n.Wire.CorruptFrames.Add(1)
+				}
 			}
 			return
 		}
@@ -202,20 +221,6 @@ func (c *conn) readLoop() {
 			return
 		}
 	}
-}
-
-// isProtocolError reports damage to the frame stream itself, as opposed
-// to liveness failures (EOF, timeouts, closed sockets).
-func isProtocolError(err error) bool {
-	for _, p := range []error{
-		rtwire.ErrBadMagic, rtwire.ErrVersion, rtwire.ErrBadKind,
-		rtwire.ErrTooLong, rtwire.ErrChecksum, rtwire.ErrTruncated,
-	} {
-		if errors.Is(err, p) {
-			return true
-		}
-	}
-	return false
 }
 
 // dispatch handles one frame; false ends the connection.

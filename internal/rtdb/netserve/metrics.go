@@ -42,6 +42,10 @@ type WireMetrics struct {
 	ReplBatchesOut  atomic.Uint64 // WalBatch frames streamed to followers
 	ReplResyncs     atomic.Uint64 // full-state resyncs forced by compaction
 	ReplGapRestarts atomic.Uint64 // live-tail gaps that fell back to catch-up
+
+	CorruptFrames      atomic.Uint64 // inbound frames with byte damage (CRC/framing)
+	WriteTimeouts      atomic.Uint64 // connections cut on a failed/stalled write
+	ReplStallEvictions atomic.Uint64 // followers evicted for acking nothing at a full window
 }
 
 // WireSnapshot is a plain copy of the counters at one instant.
@@ -57,6 +61,9 @@ type WireSnapshot struct {
 
 	HeartbeatsIn, ReplBatchesOut uint64
 	ReplResyncs, ReplGapRestarts uint64
+
+	CorruptFrames, WriteTimeouts uint64
+	ReplStallEvictions           uint64
 }
 
 // Snapshot copies the counters.
@@ -82,6 +89,9 @@ func (w *WireMetrics) Snapshot() WireSnapshot {
 		ReplBatchesOut:     w.ReplBatchesOut.Load(),
 		ReplResyncs:        w.ReplResyncs.Load(),
 		ReplGapRestarts:    w.ReplGapRestarts.Load(),
+		CorruptFrames:      w.CorruptFrames.Load(),
+		WriteTimeouts:      w.WriteTimeouts.Load(),
+		ReplStallEvictions: w.ReplStallEvictions.Load(),
 	}
 }
 
@@ -92,7 +102,7 @@ func (w WireSnapshot) Pairs() []rtwire.MetricPair {
 }
 
 // wireMetricCount is the number of pairs appendPairs adds (capacity hint).
-const wireMetricCount = 20
+const wireMetricCount = 23
 
 // appendPairs appends the wire counters as named pairs (prefixed "net_")
 // after the server's rows, so the metrics frame carries one flat table.
@@ -120,5 +130,8 @@ func (w WireSnapshot) appendPairs(dst []rtwire.MetricPair) []rtwire.MetricPair {
 	add("repl_batches_out", w.ReplBatchesOut)
 	add("repl_resyncs", w.ReplResyncs)
 	add("repl_gap_restarts", w.ReplGapRestarts)
+	add("corrupt_frames", w.CorruptFrames)
+	add("write_timeouts", w.WriteTimeouts)
+	add("repl_stall_evictions", w.ReplStallEvictions)
 	return dst
 }

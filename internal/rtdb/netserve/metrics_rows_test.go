@@ -56,6 +56,25 @@ func TestMetricsDurabilityRows(t *testing.T) {
 	}
 }
 
+// TestMetricsFaultPathRows: every wire-hardening drop path reports under a
+// pinned row name — corrupt frames reset on CRC damage, write timeouts
+// evict dead-weight readers, repl stall evictions cut wedged followers.
+// The torture sweeps and dashboards dereference these by name to prove no
+// drop path is silent; losing a row un-counts a whole failure family.
+func TestMetricsFaultPathRows(t *testing.T) {
+	_, _, addr := startNet(t, server.Config{Sessions: 2}, Options{})
+
+	mm := fetchMetricRows(t, addr)
+	for _, name := range []string{
+		"net_corrupt_frames", "net_write_timeouts", "net_repl_stall_evictions",
+		"net_decode_errors", "net_write_drops",
+	} {
+		if _, ok := mm[name]; !ok {
+			t.Errorf("metrics frame missing pinned fault-path row %q", name)
+		}
+	}
+}
+
 // TestMetricsDurabilityRowsNoWAL: an ephemeral (WAL-less) server still
 // reports epoch and repl_durable; wal_seq is rightly absent because there
 // is no durable tail to advertise.

@@ -65,6 +65,12 @@ type Options struct {
 	// overflow the log drops (never blocks) and the sender falls back to
 	// catch-up from the segments (default 1024).
 	TailBuffer int
+	// ReplStallTimeout evicts a follower whose send window has been full
+	// with zero ack progress for this long: the connection is cut and the
+	// follower re-catches-up on its redial, instead of pinning a sender
+	// goroutine (and the window's worth of buffers) forever behind a
+	// half-open socket (default 30s).
+	ReplStallTimeout time.Duration
 	// Shard and Shards place this listener in a sharded deployment: the
 	// Welcome frame advertises them so clients verify placement against
 	// rtwire.ShardOf and route object traffic to the owning shard's
@@ -100,6 +106,9 @@ func (o *Options) defaults() {
 	}
 	if o.TailBuffer <= 0 {
 		o.TailBuffer = 1024
+	}
+	if o.ReplStallTimeout <= 0 {
+		o.ReplStallTimeout = 30 * time.Second
 	}
 	if o.Shards <= 0 {
 		o.Shards = 1
@@ -267,11 +276,18 @@ func (n *Server) unregister(c *conn) {
 func (n *Server) ReplDurable() uint64 { return n.replDurable.Load() }
 
 // replSubscribe registers a follower connection in the durability registry
-// with the seq it claims to already hold.
+// with the seq it claims to already hold. The claim is an implicit ack: a
+// follower that reconnects already caught up — its final ack frame died
+// with the old connection — must still advance the watermark, or a fault
+// that eats exactly the last ack wedges ReplDurable forever.
 func (n *Server) replSubscribe(c *conn, afterSeq uint64) {
 	n.replMu.Lock()
 	n.replAcked[c] = afterSeq
+	min, ok := n.replMinLocked()
 	n.replMu.Unlock()
+	if ok {
+		n.replAdvance(min)
+	}
 }
 
 // replAck records one follower acknowledgment and advances the watermark to
@@ -281,14 +297,28 @@ func (n *Server) replAck(c *conn, seq uint64) {
 	if cur, ok := n.replAcked[c]; ok && seq > cur {
 		n.replAcked[c] = seq
 	}
-	min := uint64(0)
+	min, ok := n.replMinLocked()
+	n.replMu.Unlock()
+	if ok {
+		n.replAdvance(min)
+	}
+}
+
+// replMinLocked is the lowest seq held across live followers; false with
+// no followers registered.
+func (n *Server) replMinLocked() (uint64, bool) {
+	var min uint64
 	first := true
 	for _, s := range n.replAcked {
 		if first || s < min {
 			min, first = s, false
 		}
 	}
-	n.replMu.Unlock()
+	return min, !first
+}
+
+// replAdvance CAS-maxes the durability watermark — never backward.
+func (n *Server) replAdvance(min uint64) {
 	for {
 		cur := n.replDurable.Load()
 		if min <= cur || n.replDurable.CompareAndSwap(cur, min) {

@@ -38,21 +38,11 @@ func (c *conn) serveReplication(sub rtwire.Subscribe) {
 		c.tryEnqueue(rtwire.Heartbeat{Epoch: epoch, Chronon: c.n.srv.Now(), Seq: l.Seq()}.Encode())
 	}
 	// waitWindow blocks until the unacked backlog fits the send window;
-	// false means the connection is tearing down.
+	// false means the connection is tearing down or the follower was
+	// evicted for stalling.
 	waitWindow := func() bool {
-		for sent-acked > uint64(c.n.opt.ReplWindow) {
-			select {
-			case ack := <-c.ackCh:
-				if ack > acked {
-					acked = ack
-				}
-			case <-hb.C:
-				heartbeat()
-			case <-c.rstop:
-				return false
-			case <-c.n.quit:
-				return false
-			}
+		if !c.awaitAcks(&sent, &acked, hb, heartbeat) {
+			return false
 		}
 		// Fold in any acks already queued without blocking.
 		for {
@@ -176,19 +166,8 @@ func (c *conn) liveTail(tail *wal.Tail, epoch uint64, sent, acked *uint64, hb *t
 			if !contiguous {
 				return true
 			}
-			for *sent-*acked > uint64(c.n.opt.ReplWindow) {
-				select {
-				case ack := <-c.ackCh:
-					if ack > *acked {
-						*acked = ack
-					}
-				case <-hb.C:
-					heartbeat()
-				case <-c.rstop:
-					return false
-				case <-c.n.quit:
-					return false
-				}
+			if !c.awaitAcks(sent, acked, hb, heartbeat) {
+				return false
 			}
 		case ack := <-c.ackCh:
 			if ack > *acked {
@@ -231,6 +210,47 @@ func (c *conn) sendResync(l *wal.Log, epoch uint64) (uint64, bool) {
 	}
 	c.n.Wire.ReplBatchesOut.Add(1)
 	return seq, true
+}
+
+// awaitAcks blocks while the unacked backlog exceeds the send window,
+// folding in follower acks as they arrive. A follower whose window stays
+// full with zero ack progress for ReplStallTimeout is evicted: the read
+// loop is interrupted so the whole connection tears down, and the
+// follower redials into a fresh catch-up. False means stop streaming —
+// teardown, quit, or eviction.
+func (c *conn) awaitAcks(sent, acked *uint64, hb *time.Ticker, heartbeat func()) bool {
+	if *sent-*acked <= uint64(c.n.opt.ReplWindow) {
+		return true
+	}
+	stall := time.NewTimer(c.n.opt.ReplStallTimeout)
+	defer stall.Stop()
+	for *sent-*acked > uint64(c.n.opt.ReplWindow) {
+		select {
+		case ack := <-c.ackCh:
+			if ack > *acked {
+				*acked = ack
+				// Progress: push the eviction horizon out.
+				if !stall.Stop() {
+					select {
+					case <-stall.C:
+					default:
+					}
+				}
+				stall.Reset(c.n.opt.ReplStallTimeout)
+			}
+		case <-hb.C:
+			heartbeat()
+		case <-stall.C:
+			c.n.Wire.ReplStallEvictions.Add(1)
+			c.interruptRead()
+			return false
+		case <-c.rstop:
+			return false
+		case <-c.n.quit:
+			return false
+		}
+	}
+	return true
 }
 
 // sendRepl queues one replication frame, aborting on teardown instead of

@@ -69,6 +69,13 @@ func (r *Replica) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	return r.ServeOn(ln)
+}
+
+// ServeOn starts the standby serving loop on an already-bound listener —
+// the injection point torture tests use to put the standby behind a
+// faultnet fabric.
+func (r *Replica) ServeOn(ln net.Listener) (net.Addr, error) {
 	r.cmu.Lock()
 	r.ln = ln
 	r.cmu.Unlock()

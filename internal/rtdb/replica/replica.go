@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rtc/internal/faultnet"
 	"rtc/internal/rtdb"
 	wal "rtc/internal/rtdb/log"
 	"rtc/internal/rtdb/server"
@@ -77,6 +78,10 @@ type Config struct {
 	// handshake and frame writes (defaults 5s / 10s).
 	HandshakeTimeout time.Duration
 	WriteTimeout     time.Duration
+	// Dialer makes the tailer's connections to the primary (default
+	// faultnet.OS — a real TCP dial). Torture tests inject partitions and
+	// stalls into the replication stream through it.
+	Dialer faultnet.Dialer
 }
 
 func (c *Config) defaults() {
@@ -103,6 +108,9 @@ func (c *Config) defaults() {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.Dialer == nil {
+		c.Dialer = faultnet.OS{}
 	}
 }
 
@@ -361,7 +369,7 @@ func (r *Replica) tail() {
 // streamOnce runs one subscription: handshake, Subscribe from the local
 // tail, then apply WalBatch frames until the stream dies.
 func (r *Replica) streamOnce() error {
-	conn, err := net.DialTimeout("tcp", r.cfg.Primary, r.cfg.DialTimeout)
+	conn, err := r.cfg.Dialer.DialTimeout("tcp", r.cfg.Primary, r.cfg.DialTimeout)
 	if err != nil {
 		return err
 	}

@@ -122,6 +122,12 @@ type Report struct {
 	Points     int // fault points exercised
 	Recoveries int // recoveries that passed every invariant
 	Failures   []Failure
+	// Streams holds reader-visible malformed byte streams the network
+	// fault sweep captured (cut prefixes, post-drop desyncs, corrupted
+	// frames), keyed by their fault point — exportable as rtwire
+	// frame-fuzzer corpus seeds (cmd/rttorture -corpus). Collected on
+	// passing points too: a stream the codec survived is still a seed.
+	Streams map[string][]byte
 }
 
 // Merge folds another report into r.
@@ -129,6 +135,12 @@ func (r *Report) Merge(o *Report) {
 	r.Points += o.Points
 	r.Recoveries += o.Recoveries
 	r.Failures = append(r.Failures, o.Failures...)
+	for k, v := range o.Streams {
+		if r.Streams == nil {
+			r.Streams = make(map[string][]byte)
+		}
+		r.Streams[k] = v
+	}
 }
 
 // Ok reports a clean sweep.

@@ -169,6 +169,24 @@ var (
 	ErrBadPayload = errors.New("rtwire: malformed frame payload")
 )
 
+// IsProtocolError reports damage to the frame stream itself — a reader
+// that sees one must reset the connection, because frame boundaries are
+// lost. I/O errors (timeouts, resets, EOF) are not protocol errors.
+func IsProtocolError(err error) bool {
+	return errors.Is(err, ErrBadMagic) || errors.Is(err, ErrVersion) ||
+		errors.Is(err, ErrBadKind) || errors.Is(err, ErrTooLong) ||
+		errors.Is(err, ErrChecksum) || errors.Is(err, ErrTruncated)
+}
+
+// IsCorruptFrame reports byte damage inside a delivered frame — flipped
+// or desynced bytes that CRC/structure checks caught — as opposed to
+// ErrTruncated, which is a connection cut mid-frame, not damage.
+func IsCorruptFrame(err error) bool {
+	return errors.Is(err, ErrBadMagic) || errors.Is(err, ErrVersion) ||
+		errors.Is(err, ErrBadKind) || errors.Is(err, ErrTooLong) ||
+		errors.Is(err, ErrChecksum)
+}
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // checksum covers the version and kind bytes as well as the payload, so a
